@@ -1,0 +1,193 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! 1. Aho-Corasick automaton vs naive per-term scanning for dictionary NER;
+//! 2. filter ordering in the pre-selection chain (cheap-first vs
+//!    expensive-first);
+//! 3. optimizer on/off for a filter-behind-annotator plan;
+//! 4. CRF context features on/off (quality-for-speed trade).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::collections::HashMap;
+use std::hint::black_box;
+use std::sync::Arc;
+use websift_corpus::{CorpusKind, Generator, Lexicon, LexiconScale};
+use websift_flow::packages::resources::labeled_to_example;
+use websift_flow::{
+    optimize, CostModel, ExecutionConfig, Executor, LogicalPlan, Operator, Package, Record,
+};
+use websift_ner::crf::{CrfConfig, CrfTagger};
+use websift_ner::{AhoCorasick, EntityType};
+
+fn corpus_text(chars: usize) -> String {
+    let generator = Generator::new(CorpusKind::RelevantWeb, 21);
+    let mut pool = String::new();
+    for doc in generator.documents(8) {
+        pool.push_str(&doc.body);
+        pool.push(' ');
+        if pool.len() > chars {
+            break;
+        }
+    }
+    pool.truncate(pool.char_indices().take_while(|&(i, _)| i < chars).count());
+    pool
+}
+
+/// Ablation 1: automaton vs naive multi-pattern scan.
+fn bench_dictionary_matching(c: &mut Criterion) {
+    let lexicon = Lexicon::generate(LexiconScale::tiny());
+    let patterns: Vec<String> = lexicon.genes().iter().map(|g| g.to_lowercase()).collect();
+    let text = corpus_text(20_000).to_lowercase();
+    let automaton = AhoCorasick::new(&patterns, false);
+
+    let mut group = c.benchmark_group("ablation_dict_matching");
+    group.sample_size(20);
+    group.bench_function("aho_corasick", |b| {
+        b.iter(|| black_box(automaton.find_all(black_box(&text))).len())
+    });
+    group.bench_function("naive_scan", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for p in &patterns {
+                let mut at = 0usize;
+                while let Some(pos) = text[at..].find(p.as_str()) {
+                    hits += 1;
+                    at += pos + 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+    group.finish();
+}
+
+/// Ablation 2+3: filter ordering / optimizer on-off on an executor plan.
+fn bench_filter_ordering(c: &mut Criterion) {
+    let docs: Vec<Record> = (0..600)
+        .map(|i| {
+            let mut r = Record::new();
+            r.set("id", i);
+            r.set("text", format!("document {i} {}", "tokens ".repeat(i % 50)));
+            r
+        })
+        .collect();
+
+    let expensive_map = || {
+        Operator::map("expensive-annotate", Package::Ie, |mut r| {
+            // deliberately costly UDF
+            let n = r.text().map(|t| t.split_whitespace().count()).unwrap_or(0);
+            let mut acc = 0u64;
+            for k in 0..n * 50 {
+                acc = acc.wrapping_mul(31).wrapping_add(k as u64);
+            }
+            r.set("annotated", acc as i64);
+            r
+        })
+        .with_reads(&["text"])
+        .with_writes(&["annotated"])
+        .with_cost(CostModel {
+            us_per_char: 5.0,
+            ..CostModel::default()
+        })
+    };
+    let selective_filter = || {
+        Operator::filter("keep-short", Package::Base, |r| {
+            r.text().map(|t| t.len() < 120).unwrap_or(false)
+        })
+        .with_reads(&["text"])
+    };
+
+    let build = |filter_first: bool| {
+        let mut plan = LogicalPlan::new();
+        let src = plan.source("docs");
+        let (a, b) = if filter_first {
+            let f = plan.add(src, selective_filter());
+            let m = plan.add(f, expensive_map());
+            (f, m)
+        } else {
+            let m = plan.add(src, expensive_map());
+            let f = plan.add(m, selective_filter());
+            (m, f)
+        };
+        let _ = a;
+        plan.sink(b, "out");
+        plan
+    };
+
+    let run = |plan: &LogicalPlan, input: &[Record]| {
+        let mut inputs = HashMap::new();
+        inputs.insert("docs".to_string(), input.to_vec());
+        Executor::new(ExecutionConfig::local(4))
+            .run(plan, inputs)
+            .unwrap()
+            .sinks["out"]
+            .len()
+    };
+
+    let mut group = c.benchmark_group("ablation_filter_order");
+    group.sample_size(10);
+    group.bench_function("annotate_then_filter", |b| {
+        let plan = build(false);
+        b.iter(|| black_box(run(&plan, &docs)))
+    });
+    group.bench_function("filter_then_annotate", |b| {
+        let plan = build(true);
+        b.iter(|| black_box(run(&plan, &docs)))
+    });
+    group.bench_function("optimizer_rewritten", |b| {
+        let mut plan = build(false);
+        let rewrites = optimize(&mut plan);
+        assert!(!rewrites.is_empty(), "optimizer should pull the filter forward");
+        b.iter(|| black_box(run(&plan, &docs)))
+    });
+    group.finish();
+}
+
+/// Ablation 4: CRF with and without sentence-context features.
+fn bench_crf_features(c: &mut Criterion) {
+    let lexicon = Arc::new(Lexicon::generate(LexiconScale::tiny()));
+    let generator = Generator::with_lexicon(CorpusKind::Medline, 4, lexicon);
+    let examples: Vec<_> = generator
+        .labeled_sentences(60)
+        .iter()
+        .map(|ls| labeled_to_example(ls, EntityType::Gene))
+        .collect();
+    let light = CrfTagger::train(
+        EntityType::Gene,
+        &examples,
+        CrfConfig {
+            dim: 1 << 14,
+            epochs: 2,
+            context_features: false,
+            ..CrfConfig::default()
+        },
+    );
+    let heavy = CrfTagger::train(
+        EntityType::Gene,
+        &examples,
+        CrfConfig {
+            dim: 1 << 14,
+            epochs: 2,
+            context_features: true,
+            ..CrfConfig::default()
+        },
+    );
+    let text = corpus_text(800);
+
+    let mut group = c.benchmark_group("ablation_crf_features");
+    group.sample_size(20);
+    group.bench_function("without_context", |b| {
+        b.iter(|| black_box(light.tag(black_box(&text))).len())
+    });
+    group.bench_function("with_context", |b| {
+        b.iter(|| black_box(heavy.tag(black_box(&text))).len())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dictionary_matching,
+    bench_filter_ordering,
+    bench_crf_features
+);
+criterion_main!(benches);

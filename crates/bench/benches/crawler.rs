@@ -1,0 +1,63 @@
+//! Criterion benches of the crawler-side components: boilerplate
+//! extraction, Naive-Bayes classification, language identification, HTML
+//! link extraction, and simulated fetching — the per-page costs behind the
+//! paper's 3-4 docs/s download rate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use websift_corpus::{wrap_page, CorpusKind, Generator, HtmlConfig};
+use websift_crawler::{train_focus_classifier, BoilerplateDetector};
+use websift_text::LanguageId;
+use websift_web::{Url, WebGraph, WebGraphConfig, SimulatedWeb};
+
+fn sample_page() -> (String, String) {
+    let generator = Generator::new(CorpusKind::RelevantWeb, 55);
+    let doc = generator.document(3);
+    let paragraphs: Vec<String> = doc.body.split("\n\n").map(str::to_string).collect();
+    let mut rng = StdRng::seed_from_u64(8);
+    let page = wrap_page(&doc.title, &paragraphs, &[], &HtmlConfig::default(), &mut rng);
+    (page.html, doc.body)
+}
+
+fn bench_page_processing(c: &mut Criterion) {
+    let (html, body) = sample_page();
+    let detector = BoilerplateDetector::default();
+    let classifier = train_focus_classifier(100, 4.0, 9);
+    let langid = LanguageId::new();
+    let base = Url::parse("http://x.example/p.html").unwrap();
+
+    let mut group = c.benchmark_group("page_processing");
+    group.sample_size(30);
+    group.bench_function("boilerplate_extract", |b| {
+        b.iter(|| black_box(detector.extract(black_box(&html))))
+    });
+    group.bench_function("naive_bayes_classify", |b| {
+        b.iter(|| black_box(classifier.predict(black_box(&body))))
+    });
+    group.bench_function("language_identify", |b| {
+        b.iter(|| black_box(langid.detect(black_box(&body))))
+    });
+    group.bench_function("extract_links", |b| {
+        b.iter(|| black_box(websift_crawler::parser::extract_links(&html, &base)).len())
+    });
+    group.bench_function("mime_sniff", |b| {
+        b.iter(|| black_box(websift_web::sniff_mime("/p.html", html.as_bytes())))
+    });
+    group.finish();
+}
+
+fn bench_simulated_fetch(c: &mut Criterion) {
+    let web = SimulatedWeb::new(WebGraph::generate(WebGraphConfig::tiny()));
+    let url = web.graph().url_of(websift_web::PageId(5));
+    let mut group = c.benchmark_group("simulated_web");
+    group.sample_size(20);
+    group.bench_function("fetch_page", |b| {
+        b.iter(|| black_box(web.fetch(black_box(&url))).is_ok())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_page_processing, bench_simulated_fetch);
+criterion_main!(benches);

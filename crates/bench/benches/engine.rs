@@ -1,0 +1,112 @@
+//! Criterion benches of the data-flow engine itself: operator dispatch,
+//! DoP scaling of a real flow (the wall-clock complement of Figs. 4/5),
+//! Meteor compilation, and the logical optimizer.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::collections::HashMap;
+use std::hint::black_box;
+use websift_flow::packages::{base, ie};
+use websift_flow::{
+    compile, optimize, ExecutionConfig, Executor, LogicalPlan, Operator, OperatorRegistry,
+    Package, Record,
+};
+
+fn docs(n: usize) -> Vec<Record> {
+    (0..n)
+        .map(|i| {
+            let mut r = Record::new();
+            r.set("id", i);
+            r.set(
+                "text",
+                format!(
+                    "Document {i} reports that the treatment does not change the outcome. \
+                     It improves the response in most patients (P < 0.01). \
+                     The study confirms the result."
+                ),
+            );
+            r
+        })
+        .collect()
+}
+
+fn linguistic_plan() -> LogicalPlan {
+    let mut plan = LogicalPlan::new();
+    let src = plan.source("docs");
+    let s = plan.add(src, ie::annotate_sentences());
+    let n = plan.add(s, ie::annotate_negation());
+    let p = plan.add(n, ie::annotate_pronouns());
+    let q = plan.add(p, ie::annotate_parentheses());
+    plan.sink(q, "out");
+    plan
+}
+
+fn bench_executor_dop(c: &mut Criterion) {
+    let plan = linguistic_plan();
+    let input = docs(400);
+    let mut group = c.benchmark_group("executor_dop");
+    group.sample_size(10);
+    for dop in [1usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(dop), &dop, |b, &dop| {
+            b.iter(|| {
+                let mut inputs = HashMap::new();
+                inputs.insert("docs".to_string(), input.clone());
+                let out = Executor::new(ExecutionConfig::local(dop))
+                    .run(&plan, inputs)
+                    .unwrap();
+                black_box(out.sinks["out"].len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_operator_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("operator_dispatch");
+    group.sample_size(30);
+    let input = docs(2000);
+    let filter = base::filter_min_length(10);
+    group.bench_function("filter_2000_records", |b| {
+        b.iter(|| black_box(filter.apply(input.clone())).len())
+    });
+    let count = base::count_by("id");
+    group.bench_function("reduce_2000_records", |b| {
+        b.iter(|| black_box(count.apply(input.clone())).len())
+    });
+    group.finish();
+}
+
+fn bench_meteor_and_optimizer(c: &mut Criterion) {
+    let mut registry = OperatorRegistry::new();
+    registry.register("base.identity", || {
+        Operator::map("identity", Package::Base, |r| r)
+    });
+    registry.register("base.keep", || {
+        Operator::filter("keep", Package::Base, |_| true).with_reads(&["text"])
+    });
+    let script = "
+        $a = read 'docs';
+        $b = apply base.identity $a;
+        $c = apply base.keep $b;
+        $d = apply base.identity $c;
+        write $d 'out';
+    ";
+    let mut group = c.benchmark_group("frontend");
+    group.bench_function("meteor_compile", |b| {
+        b.iter(|| black_box(compile(black_box(script), &registry).unwrap()).len())
+    });
+    group.bench_function("optimize_plan", |b| {
+        b.iter(|| {
+            let mut plan = compile(script, &registry).unwrap();
+            black_box(optimize(&mut plan)).len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_executor_dop,
+    bench_operator_dispatch,
+    bench_meteor_and_optimizer
+);
+criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! Regenerates §4.1's boilerplate-detection quality numbers.
+use websift_bench::experiments::crawl_exps;
+
+fn main() {
+    let web = crawl_exps::standard_web();
+    println!("{}", crawl_exps::boilerplate(&web).render());
+}

@@ -1,0 +1,7 @@
+//! Regenerates §4.1's classifier quality numbers (10-fold CV + sample).
+use websift_bench::experiments::crawl_exps;
+
+fn main() {
+    let web = crawl_exps::standard_web();
+    println!("{}", crawl_exps::classifier(&web).render());
+}

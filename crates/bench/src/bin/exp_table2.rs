@@ -1,0 +1,21 @@
+//! Regenerates Table 2: top domains of the crawl by PageRank.
+use websift_bench::experiments::crawl_exps;
+use websift_corpus::{Lexicon, LexiconScale, SearchCategory};
+use websift_crawler::{default_engines, generate_seeds, train_focus_classifier, CrawlConfig, FocusedCrawler};
+
+fn main() {
+    let lexicon = Lexicon::generate(LexiconScale::default_scale());
+    let web = crawl_exps::standard_web();
+    let queries: Vec<String> = lexicon
+        .search_terms(SearchCategory::General, 30)
+        .into_iter()
+        .chain(lexicon.search_terms(SearchCategory::Disease, 200))
+        .chain(lexicon.search_terms(SearchCategory::Gene, 200))
+        .map(|t| t.to_lowercase())
+        .collect();
+    let seeds = generate_seeds(&web, &mut default_engines(&web), &queries);
+    let classifier = train_focus_classifier(300, crawl_exps::HIGH_PRECISION_THRESHOLD, 77);
+    let mut crawler = FocusedCrawler::new(&web, classifier, CrawlConfig { max_pages: 6000, threads: 8, ..CrawlConfig::default() });
+    let _ = crawler.crawl(seeds.urls);
+    println!("{}", crawl_exps::table2(&mut crawler, 30).render());
+}

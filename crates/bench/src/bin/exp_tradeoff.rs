@@ -1,0 +1,17 @@
+//! Regenerates §5's precision-vs-yield trade-off (classifier threshold sweep).
+use websift_bench::experiments::crawl_exps;
+use websift_corpus::{Lexicon, LexiconScale, SearchCategory};
+use websift_crawler::{default_engines, generate_seeds};
+
+fn main() {
+    let lexicon = Lexicon::generate(LexiconScale::default_scale());
+    let web = crawl_exps::standard_web();
+    let queries: Vec<String> = lexicon
+        .search_terms(SearchCategory::Disease, 150)
+        .into_iter()
+        .chain(lexicon.search_terms(SearchCategory::Gene, 150))
+        .map(|t| t.to_lowercase())
+        .collect();
+    let seeds = generate_seeds(&web, &mut default_engines(&web), &queries);
+    println!("{}", crawl_exps::tradeoff(&web, &seeds.urls, 2_500).render());
+}

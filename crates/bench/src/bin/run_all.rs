@@ -1,0 +1,84 @@
+//! Runs every experiment in sequence, printing the full paper-vs-measured
+//! report (this is what EXPERIMENTS.md is generated from):
+//!
+//! ```text
+//! cargo run --release -p websift-bench --bin run_all | tee EXPERIMENTS.md
+//! ```
+use websift_bench::experiments::{content_exps, crawl_exps, scaling_exps};
+use websift_corpus::{Lexicon, LexiconScale, SearchCategory};
+use websift_crawler::{default_engines, generate_seeds, train_focus_classifier, CrawlConfig, FocusedCrawler};
+use websift_pipeline::ExperimentContext;
+
+fn main() {
+    println!("# websift experiment report\n");
+    println!("Every table and figure of the paper's evaluation, regenerated on the");
+    println!("simulated substrates. Absolute numbers are at reduced scale; the");
+    println!("reproduction targets are the *shapes* noted per experiment.\n");
+
+    let lexicon = Lexicon::generate(LexiconScale::default_scale());
+    eprintln!("[1/15] Table 1");
+    println!("{}", crawl_exps::table1(&lexicon).render());
+
+    let web = crawl_exps::standard_web();
+    eprintln!("[2/15] crawl experiments");
+    for r in crawl_exps::crawl(&web, &lexicon, 40_000) {
+        println!("{}", r.render());
+    }
+    eprintln!("[3/15] classifier quality");
+    println!("{}", crawl_exps::classifier(&web).render());
+    eprintln!("[4/15] boilerplate quality");
+    println!("{}", crawl_exps::boilerplate(&web).render());
+
+    eprintln!("[5/15] Table 2 (PageRank)");
+    let queries: Vec<String> = lexicon
+        .search_terms(SearchCategory::General, 30)
+        .into_iter()
+        .chain(lexicon.search_terms(SearchCategory::Disease, 200))
+        .chain(lexicon.search_terms(SearchCategory::Gene, 200))
+        .map(|t| t.to_lowercase())
+        .collect();
+    let seeds = generate_seeds(&web, &mut default_engines(&web), &queries);
+    let classifier = train_focus_classifier(300, crawl_exps::HIGH_PRECISION_THRESHOLD, 77);
+    let mut crawler = FocusedCrawler::new(
+        &web,
+        classifier,
+        CrawlConfig { max_pages: 6000, threads: 8, ..CrawlConfig::default() },
+    );
+    let _ = crawler.crawl(seeds.urls.clone());
+    println!("{}", crawl_exps::table2(&mut crawler, 30).render());
+
+    eprintln!("[6/15] §5 trade-off");
+    println!("{}", crawl_exps::tradeoff(&web, &seeds.urls, 2_500).render());
+
+    let ctx = ExperimentContext::standard(42);
+    eprintln!("[7/15] Fig 3");
+    for r in scaling_exps::fig3(&ctx) {
+        println!("{}", r.render());
+    }
+    eprintln!("[8/15] runtime shares");
+    println!("{}", scaling_exps::runtime_shares(&ctx).render());
+    eprintln!("[9/15] Fig 4");
+    println!("{}", scaling_exps::fig4(&ctx).render());
+    eprintln!("[10/15] Fig 5");
+    println!("{}", scaling_exps::fig5(&ctx).render());
+    eprintln!("[11/15] war story");
+    println!("{}", scaling_exps::warstory(&ctx).render());
+
+    eprintln!("[12/15] Table 3");
+    println!("{}", content_exps::table3(&ctx).render());
+    eprintln!("[13/15] running analysis flows over all corpora");
+    let results = content_exps::run_all_corpora(&ctx, 8);
+    for r in content_exps::fig6(&results) {
+        println!("{}", r.render());
+    }
+    eprintln!("[14/15] Fig 7 / Table 4");
+    println!("{}", content_exps::fig7(&results).render());
+    for r in content_exps::table4(&results) {
+        println!("{}", r.render());
+    }
+    eprintln!("[15/15] Fig 8 / JSD");
+    for r in content_exps::fig8(&results) {
+        println!("{}", r.render());
+    }
+    eprintln!("done.");
+}

@@ -1,0 +1,8 @@
+//! Shared helpers for the websift benchmark and experiment harness.
+//! The real content lives in `src/bin/*` (experiment binaries, one per
+//! paper table/figure) and `benches/*` (Criterion benches).
+
+pub mod experiments;
+pub mod report;
+
+pub use report::{fmt_table, ExperimentResult};

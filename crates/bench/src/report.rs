@@ -1,0 +1,114 @@
+//! Result-table rendering shared by the experiment binaries.
+
+use serde::Serialize;
+
+/// One experiment's outcome: an identifier matching the paper (e.g.
+/// "Table 4"), plus measured rows and free-form notes comparing against the
+/// paper's reported values.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExperimentResult {
+    pub id: String,
+    pub title: String,
+    pub headers: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+    pub notes: Vec<String>,
+}
+
+impl ExperimentResult {
+    pub fn new(id: &str, title: &str, headers: &[&str]) -> ExperimentResult {
+        ExperimentResult {
+            id: id.to_string(),
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    pub fn note(&mut self, note: impl Into<String>) -> &mut Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Renders the result as a GitHub-flavoured markdown table with notes.
+    pub fn render(&self) -> String {
+        let mut out = format!("## {} — {}\n\n", self.id, self.title);
+        out.push_str(&fmt_table(&self.headers, &self.rows));
+        for n in &self.notes {
+            out.push_str(&format!("\n> {n}\n"));
+        }
+        out
+    }
+}
+
+/// Formats a markdown table with column alignment.
+pub fn fmt_table(headers: &[String], rows: &[Vec<String>]) -> String {
+    let ncols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::from("|");
+        for (i, cell) in cells.iter().enumerate() {
+            line.push_str(&format!(" {:<width$} |", cell, width = widths[i]));
+        }
+        line.push('\n');
+        line
+    };
+    out.push_str(&fmt_row(headers, &widths));
+    out.push('|');
+    for w in &widths {
+        out.push_str(&format!("{}|", "-".repeat(w + 2)));
+    }
+    out.push('\n');
+    for row in rows {
+        let mut padded = row.clone();
+        padded.resize(ncols, String::new());
+        out.push_str(&fmt_row(&padded, &widths));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_table_with_notes() {
+        let mut r = ExperimentResult::new("Table X", "demo", &["a", "b"]);
+        r.row(&["1".into(), "2".into()]);
+        r.note("paper reports 3");
+        let s = r.render();
+        assert!(s.contains("## Table X"));
+        assert!(s.contains("| 1 | 2 |"));
+        assert!(s.contains("> paper reports 3"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn rejects_wrong_arity() {
+        let mut r = ExperimentResult::new("T", "t", &["a"]);
+        r.row(&["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn table_alignment_pads_cells() {
+        let t = fmt_table(
+            &["col".to_string(), "x".to_string()],
+            &[vec!["longvalue".to_string(), "1".to_string()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0].len(), lines[2].len());
+    }
+}

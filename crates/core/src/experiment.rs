@@ -1,0 +1,147 @@
+//! Shared experiment context and the paper's reference values.
+//!
+//! Every experiment binary in `websift-bench` builds an
+//! [`ExperimentContext`] (lexicon → IE resources → registry → corpora) and
+//! compares its measurements against the [`paper`] constants transcribed
+//! from the publication, recording both in EXPERIMENTS.md.
+
+use crate::corpora::{Corpora, CorpusScale};
+use std::sync::Arc;
+use websift_corpus::{Lexicon, LexiconScale};
+use websift_flow::{IeConfig, IeResources, OperatorRegistry};
+
+/// Reference values transcribed from the paper, used by the experiment
+/// harness for paper-vs-measured reporting.
+pub mod paper {
+    /// §4.1: harvest rate of the focused crawl.
+    pub const HARVEST_RATE: f64 = 0.38;
+    /// §4.1: download rate in documents per second.
+    pub const DOCS_PER_SEC: (f64, f64) = (3.0, 4.0);
+    /// §4.1: filter reductions (MIME, language, length).
+    pub const FILTER_REDUCTIONS: (f64, f64, f64) = (0.095, 0.14, 0.17);
+    /// §4.1: classifier quality — 10-fold CV (precision, recall).
+    pub const CLASSIFIER_CV: (f64, f64) = (0.98, 0.83);
+    /// §4.1: classifier quality on the 200-page crawl sample.
+    pub const CLASSIFIER_SAMPLE: (f64, f64) = (0.94, 0.90);
+    /// §4.1: boilerplate detection on the gold set / crawl sample.
+    pub const BOILERPLATE_GOLD: (f64, f64) = (0.90, 0.82);
+    pub const BOILERPLATE_SAMPLE: (f64, f64) = (0.98, 0.72);
+    /// §2.2: seed counts of the two runs.
+    pub const SEEDS_FIRST: usize = 45_227;
+    pub const SEEDS_SECOND: usize = 485_462;
+    /// §4.2: share of runtime spent in entity extraction / POS tagging.
+    pub const ENTITY_RUNTIME_SHARE: f64 = 0.70;
+    pub const POS_RUNTIME_SHARE: f64 = 0.12;
+    /// Fig. 5: scale-out saturation points and gains.
+    pub const ENTITY_SATURATION_DOP: usize = 16;
+    pub const ENTITY_TIME_DECREASE: f64 = 0.72;
+    pub const LINGUISTIC_SATURATION_DOP: usize = 12;
+    pub const LINGUISTIC_TIME_DECREASE: f64 = 0.95;
+    /// §4.2: per-1000-sentence means of Fig. 7 (rel, irrel, medline, pmc).
+    pub const DISEASE_PER_1000: [f64; 4] = [128.49, 4.57, 204.92, 117.51];
+    pub const DRUG_PER_1000: [f64; 4] = [97.83, 6.85, 293.95, 275.95];
+    pub const GENE_DICT_PER_1000: [f64; 4] = [128.23, 4.39, 415.58, 74.12];
+    /// Table 4 distinct names: (relevant, irrelevant, medline, pmc) for
+    /// (dict, ml) per type.
+    pub const TABLE4_DISEASE: [[u64; 4]; 2] =
+        [[26_344, 5_318, 11_194, 12_291], [629_384, 119_638, 343_184, 277_211]];
+    pub const TABLE4_DRUG: [[u64; 4]; 2] =
+        [[17_974, 8_456, 12_164, 15_013], [28_660, 15_875, 20_282, 25_462]];
+    pub const TABLE4_GENE: [[u64; 4]; 2] =
+        [[73_435, 22_131, 29_928, 92_319], [5_506_579, 991_010, 4_715_194, 1_858_709]];
+    /// §4.3.2: TLA filtering of ML gene names (before, after).
+    pub const TLA_GENE_REDUCTION: (u64, u64) = (5_500_000, 2_300_000);
+    /// §4.3.2 JSD ranges (lo, hi) per corpus pair.
+    pub const JSD_REL_IRREL: (f64, f64) = (0.4463, 0.6548);
+    pub const JSD_REL_MEDLINE: (f64, f64) = (0.2864, 0.3596);
+    pub const JSD_REL_PMC: (f64, f64) = (0.1673, 0.3354);
+    pub const JSD_IRREL_MEDLINE: (f64, f64) = (0.4528, 0.6850);
+    pub const JSD_IRREL_PMC: (f64, f64) = (0.3941, 0.6633);
+    /// Fig. 8 pairwise dictionary-name overlaps (share of smaller set).
+    pub const OVERLAP_REL_IRREL_DISEASE: f64 = 0.15;
+    pub const OVERLAP_REL_IRREL_DRUG: f64 = 0.30;
+    pub const OVERLAP_REL_IRREL_GENE: f64 = 0.17;
+    /// §4.2 war story numbers.
+    pub const FULL_FLOW_GB_PER_WORKER: f64 = 60.0;
+    pub const INTERMEDIATE_TOTAL_TB: f64 = 1.6;
+    /// Crawl corpus (Table 3) — see `CorpusKind::paper_stats`.
+    pub const CRAWL_DAYS: f64 = 80.0;
+}
+
+/// Everything an experiment needs, built once.
+pub struct ExperimentContext {
+    pub lexicon: Arc<Lexicon>,
+    pub resources: Arc<IeResources>,
+    pub registry: OperatorRegistry,
+    pub corpora: Corpora,
+    pub scale: CorpusScale,
+}
+
+impl ExperimentContext {
+    /// Builds the context at the given scales. `seed` controls every
+    /// generator downstream.
+    pub fn build(
+        lexicon_scale: LexiconScale,
+        corpus_scale: CorpusScale,
+        ie_config: IeConfig,
+        seed: u64,
+    ) -> ExperimentContext {
+        let lexicon = Arc::new(Lexicon::generate(lexicon_scale));
+        let resources = Arc::new(IeResources::standard(&lexicon, ie_config));
+        let registry = OperatorRegistry::standard(resources.clone());
+        let corpora = Corpora::generate(corpus_scale, lexicon.clone(), seed);
+        ExperimentContext {
+            lexicon,
+            resources,
+            registry,
+            corpora,
+            scale: corpus_scale,
+        }
+    }
+
+    /// The standard benchmark context: default lexicon scale, corpora at
+    /// 1:20000 of the paper (≈ 2,300 documents total), defaults elsewhere.
+    pub fn standard(seed: u64) -> ExperimentContext {
+        ExperimentContext::build(
+            LexiconScale::default_scale(),
+            CorpusScale::paper_scaled(20_000),
+            IeConfig::default(),
+            seed,
+        )
+    }
+
+    /// A minimal context for tests.
+    pub fn tiny(seed: u64) -> ExperimentContext {
+        ExperimentContext::build(
+            LexiconScale::tiny(),
+            CorpusScale::tiny(),
+            IeConfig {
+                crf_training_sentences: 60,
+                crf_epochs: 3,
+                ..IeConfig::default()
+            },
+            seed,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use websift_corpus::CorpusKind;
+
+    #[test]
+    fn tiny_context_builds() {
+        let ctx = ExperimentContext::tiny(1);
+        assert!(ctx.registry.len() >= 20);
+        assert_eq!(ctx.corpora.get(CorpusKind::Pmc).len(), 4);
+        assert_eq!(ctx.resources.dict.len(), 3);
+    }
+
+    #[test]
+    fn paper_constants_sane() {
+        assert!(paper::HARVEST_RATE > 0.0 && paper::HARVEST_RATE < 1.0);
+        assert_eq!(paper::TABLE4_GENE[1][0], 5_506_579);
+        assert!(paper::JSD_REL_PMC.0 < paper::JSD_REL_IRREL.0);
+    }
+}

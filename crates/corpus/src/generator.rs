@@ -1,0 +1,707 @@
+//! Generative document models for the four corpora.
+//!
+//! This is the data substitute demanded by the reproduction: we do not have
+//! Medline, PMC, or a 1 TB crawl, so we generate corpora whose *measurable
+//! linguistic and entity statistics* reproduce what the paper reports —
+//! document-length and sentence-length orderings (Fig. 6a/6b), negation /
+//! pronoun / parenthesis incidence orderings (Fig. 6c, §4.3.1), per-corpus
+//! entity densities (Fig. 7, Table 4), and the overlap structure of entity
+//! vocabularies across corpora (Fig. 8) via per-corpus windows over the
+//! shared lexicons.
+//!
+//! Every document is generated independently and deterministically from
+//! `(corpus seed, document id)`, so corpora are reproducible and can be
+//! generated in parallel or streamed without materializing everything.
+
+use crate::document::{CorpusKind, Document, DocumentGold};
+use crate::html::{wrap_page, HtmlConfig};
+use crate::lexicon::{
+    Lexicon, LexiconScale, ENGLISH_ADJECTIVES, ENGLISH_CONTENT_WORDS, ENGLISH_VERBS,
+    FUNCTION_WORDS, GENERAL_MEDICAL_TERMS, NEGATION_WORDS, PRONOUNS,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::{Arc, OnceLock};
+use websift_ner::EntityType;
+use websift_stats::sampling::{log_normal, Zipf};
+
+/// Statistical profile of one corpus.
+#[derive(Debug, Clone)]
+pub struct CorpusProfile {
+    /// Median number of sentences per document (log-normal).
+    pub doc_sentences_median: f64,
+    /// Log-normal sigma of the sentence count.
+    pub doc_sentences_sigma: f64,
+    /// Median words per sentence (log-normal).
+    pub sentence_words_median: f64,
+    pub sentence_words_sigma: f64,
+    /// Per-sentence probability of a negation word.
+    pub p_negation: f64,
+    /// Per-sentence probability of a pronoun subject.
+    pub p_pronoun: f64,
+    /// Per-sentence probability of a parenthetical.
+    pub p_paren: f64,
+    /// Expected entity mentions per sentence, indexed by
+    /// `EntityType::all()` order: [gene, drug, disease].
+    pub entity_rate: [f64; 3],
+    /// Rank-fraction window of the lexicon each entity type draws from —
+    /// the knob that produces the Fig.-8 overlap structure.
+    pub lexicon_window: [(f64, f64); 3],
+    /// Zipf exponent for entity rank selection within the window.
+    pub zipf_exponent: f64,
+    /// Fraction of content nouns drawn from medical (vs general web)
+    /// vocabulary.
+    pub medical_vocab_fraction: f64,
+    /// HTML wrapping (web corpora only).
+    pub html: Option<HtmlConfig>,
+    /// Probability that a web document carries an unpunctuated list/table
+    /// blob in its genuine content (source of pathological "sentences").
+    pub p_blob: f64,
+    /// Per-sentence probability of an arbitrary (non-entity) three-letter
+    /// acronym — ubiquitous on the web, rare in curated abstracts. These
+    /// are what the abstract-trained ML gene taggers mis-tag en masse
+    /// (§4.3.2's false-positive storm).
+    pub p_acronym: f64,
+    /// Probability that an inserted entity mention is a *novel surface
+    /// variant* not present in any dictionary (misspellings, ad-hoc
+    /// hyphenation, informal drug names) — rampant on the web, rare in
+    /// edited text. Shape-driven ML taggers still catch these; dictionary
+    /// automata cannot, which is what blows the ML distinct-name counts of
+    /// Table 4 past the dictionary counts.
+    pub p_entity_variant: f64,
+    /// Fraction of documents at "the fringe of what we consider
+    /// biomedical" (§4.1's false-positive analysis: supplement shops,
+    /// medical devices) — their vocabulary mix and entity density deviate
+    /// from the corpus norm, which is what keeps the focus classifier's
+    /// precision/recall below 1.
+    pub p_fringe: f64,
+    /// Medical-vocabulary fraction of fringe documents.
+    pub fringe_medical_vocab: f64,
+    /// Multiplier on entity rates for fringe documents.
+    pub fringe_entity_scale: f64,
+}
+
+impl CorpusProfile {
+    /// The calibrated default profile for each corpus. Entity rates come
+    /// from the paper's per-1000-sentence means (§4.3.2); incidence and
+    /// length parameters are set to reproduce the orderings of Fig. 6 and
+    /// §4.3.1.
+    pub fn for_kind(kind: CorpusKind) -> CorpusProfile {
+        match kind {
+            CorpusKind::RelevantWeb => CorpusProfile {
+                doc_sentences_median: 60.0,
+                doc_sentences_sigma: 1.0, // largest variance (paper §4.3.1)
+                sentence_words_median: 17.0,
+                sentence_words_sigma: 0.45,
+                p_negation: 0.14,
+                p_pronoun: 0.18,
+                p_paren: 0.25,
+                entity_rate: [0.160, 0.122, 0.160],
+                lexicon_window: [(0.05, 0.95), (0.05, 0.95), (0.05, 0.95)],
+                zipf_exponent: 1.05,
+                medical_vocab_fraction: 0.55,
+                html: Some(HtmlConfig::default()),
+                p_blob: 0.12,
+                p_acronym: 0.45,
+                p_entity_variant: 0.45,
+                p_fringe: 0.22,
+                fringe_medical_vocab: 0.25,
+                fringe_entity_scale: 0.3,
+            },
+            CorpusKind::IrrelevantWeb => CorpusProfile {
+                doc_sentences_median: 28.0,
+                doc_sentences_sigma: 0.8,
+                sentence_words_median: 13.0,
+                sentence_words_sigma: 0.5,
+                p_negation: 0.17,
+                p_pronoun: 0.15,
+                p_paren: 0.08,
+                entity_rate: [0.0055, 0.0086, 0.0057],
+                lexicon_window: [(0.75, 1.0), (0.55, 1.0), (0.78, 1.0)],
+                zipf_exponent: 1.0,
+                medical_vocab_fraction: 0.05,
+                html: Some(HtmlConfig::default()),
+                p_blob: 0.18,
+                p_acronym: 0.40,
+                p_entity_variant: 0.40,
+                p_fringe: 0.15,
+                fringe_medical_vocab: 0.42,
+                fringe_entity_scale: 8.0,
+            },
+            CorpusKind::Medline => CorpusProfile {
+                doc_sentences_median: 7.0,
+                doc_sentences_sigma: 0.3,
+                sentence_words_median: 22.0,
+                sentence_words_sigma: 0.25,
+                p_negation: 0.10,
+                p_pronoun: 0.30,
+                p_paren: 0.20,
+                entity_rate: [0.519, 0.367, 0.256],
+                lexicon_window: [(0.0, 0.55), (0.0, 0.55), (0.0, 0.55)],
+                zipf_exponent: 1.1,
+                medical_vocab_fraction: 0.85,
+                html: None,
+                p_blob: 0.0,
+                p_acronym: 0.005,
+                p_entity_variant: 0.10,
+                p_fringe: 0.15,
+                fringe_medical_vocab: 0.30,
+                fringe_entity_scale: 0.2,
+            },
+            CorpusKind::Pmc => CorpusProfile {
+                doc_sentences_median: 180.0,
+                doc_sentences_sigma: 0.5,
+                sentence_words_median: 26.0,
+                sentence_words_sigma: 0.35,
+                p_negation: 0.20,
+                p_pronoun: 0.45,
+                p_paren: 0.50,
+                entity_rate: [0.093, 0.345, 0.147],
+                lexicon_window: [(0.05, 0.60), (0.05, 0.60), (0.05, 0.60)],
+                zipf_exponent: 1.1,
+                medical_vocab_fraction: 0.80,
+                html: None,
+                p_blob: 0.0,
+                p_acronym: 0.01,
+                p_entity_variant: 0.12,
+                p_fringe: 0.10,
+                fringe_medical_vocab: 0.40,
+                fringe_entity_scale: 0.5,
+            },
+        }
+    }
+}
+
+/// A sentence with gold entity character spans, used to train the CRF
+/// taggers (the analogue of the tagged Medline gold corpora BANNER et al.
+/// were trained on).
+#[derive(Debug, Clone)]
+pub struct LabeledSentence {
+    pub text: String,
+    /// (byte start, byte end, type) of each gold entity mention.
+    pub spans: Vec<(usize, usize, EntityType)>,
+}
+
+fn default_lexicon() -> Arc<Lexicon> {
+    static LEX: OnceLock<Arc<Lexicon>> = OnceLock::new();
+    LEX.get_or_init(|| Arc::new(Lexicon::generate(LexiconScale::default_scale())))
+        .clone()
+}
+
+/// The corpus generator.
+#[derive(Debug, Clone)]
+pub struct Generator {
+    kind: CorpusKind,
+    profile: CorpusProfile,
+    lexicon: Arc<Lexicon>,
+    seed: u64,
+    zipfs: [Zipf; 3],
+    windows: [(usize, usize); 3],
+}
+
+impl Generator {
+    /// Generator for `kind` with the default profile and the shared
+    /// default-scale lexicon.
+    pub fn new(kind: CorpusKind, seed: u64) -> Generator {
+        Generator::with_lexicon(kind, seed, default_lexicon())
+    }
+
+    /// Generator over a specific lexicon.
+    pub fn with_lexicon(kind: CorpusKind, seed: u64, lexicon: Arc<Lexicon>) -> Generator {
+        let profile = CorpusProfile::for_kind(kind);
+        Generator::assemble(kind, seed, lexicon, profile)
+    }
+
+    /// Replaces the profile (e.g. for ablations).
+    pub fn with_profile(self, profile: CorpusProfile) -> Generator {
+        Generator::assemble(self.kind, self.seed, self.lexicon, profile)
+    }
+
+    fn assemble(
+        kind: CorpusKind,
+        seed: u64,
+        lexicon: Arc<Lexicon>,
+        profile: CorpusProfile,
+    ) -> Generator {
+        let sizes = [
+            lexicon.genes().len(),
+            lexicon.drugs().len(),
+            lexicon.diseases().len(),
+        ];
+        let mut windows = [(0usize, 0usize); 3];
+        let mut zipfs: Vec<Zipf> = Vec::with_capacity(3);
+        for t in 0..3 {
+            let (lo, hi) = profile.lexicon_window[t];
+            let start = (lo * sizes[t] as f64) as usize;
+            let end = ((hi * sizes[t] as f64) as usize).max(start + 1).min(sizes[t]);
+            windows[t] = (start, end);
+            zipfs.push(Zipf::new(end - start, profile.zipf_exponent));
+        }
+        let zipfs: [Zipf; 3] = zipfs.try_into().expect("three zipfs");
+        Generator {
+            kind,
+            profile,
+            lexicon,
+            seed,
+            zipfs,
+            windows,
+        }
+    }
+
+    pub fn kind(&self) -> CorpusKind {
+        self.kind
+    }
+
+    pub fn profile(&self) -> &CorpusProfile {
+        &self.profile
+    }
+
+    pub fn lexicon(&self) -> &Lexicon {
+        &self.lexicon
+    }
+
+    fn doc_rng(&self, id: u64) -> StdRng {
+        // SplitMix-style mix of (seed, id) for independent streams.
+        let mut z = self
+            .seed
+            .wrapping_add(0x9e3779b97f4a7c15)
+            .wrapping_add(id.wrapping_mul(0xbf58476d1ce4e5b9));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        StdRng::seed_from_u64(z ^ (z >> 31))
+    }
+
+    /// Samples an entity surface form of the given type, possibly mutated
+    /// into a novel variant (see `CorpusProfile::p_entity_variant`).
+    fn entity_surface<R: Rng + ?Sized>(&self, t: usize, rng: &mut R) -> String {
+        let rank = self.windows[t].0 + self.zipfs[t].sample(rng);
+        let mut name = match t {
+            0 => self.lexicon.genes()[rank].clone(),
+            1 => self.lexicon.drugs()[rank].clone(),
+            _ => self.lexicon.diseases()[rank].clone(),
+        };
+        if rng.random::<f64>() < self.profile.p_entity_variant {
+            match rng.random_range(0..3u8) {
+                0 => name.push_str(&format!("{}", rng.random_range(2..90))),
+                1 => name = format!("{name}-{}", (b'a' + rng.random_range(0..26u8)) as char),
+                _ => {
+                    // qualified sub-form ("x cardiitis", "brca1 beta")
+                    if t == 2 {
+                        name = format!("{name} type {}", rng.random_range(2..30));
+                    } else if name.len() > 4 {
+                        name.truncate(name.len() - 1);
+                    } else {
+                        name.push('x');
+                    }
+                }
+            }
+        }
+        name
+    }
+
+    fn noun<R: Rng + ?Sized>(&self, rng: &mut R) -> &'static str {
+        self.noun_with(rng, self.profile.medical_vocab_fraction)
+    }
+
+    fn noun_with<R: Rng + ?Sized>(&self, rng: &mut R, medical_fraction: f64) -> &'static str {
+        if rng.random::<f64>() < medical_fraction {
+            GENERAL_MEDICAL_TERMS[rng.random_range(0..GENERAL_MEDICAL_TERMS.len())]
+        } else {
+            ENGLISH_CONTENT_WORDS[rng.random_range(0..ENGLISH_CONTENT_WORDS.len())]
+        }
+    }
+
+    /// Generates one sentence, returning its text, gold spans, and flags
+    /// (negated, pronoun, paren).
+    fn sentence<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+    ) -> (String, Vec<(usize, usize, EntityType)>, bool, bool, bool) {
+        let p = &self.profile;
+        self.sentence_styled(rng, p.medical_vocab_fraction, 1.0)
+    }
+
+    /// Sentence generation with a per-document style override (vocabulary
+    /// mix, entity-rate multiplier) — fringe documents use this.
+    fn sentence_styled<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        medical_fraction: f64,
+        entity_scale: f64,
+    ) -> (String, Vec<(usize, usize, EntityType)>, bool, bool, bool) {
+        let p = &self.profile;
+        let target_words = log_normal(rng, p.sentence_words_median.ln(), p.sentence_words_sigma)
+            .round()
+            .clamp(3.0, 400.0) as usize;
+
+        // Pieces: Word(&str or String) | Entity
+        enum Piece {
+            W(String),
+            E(String, EntityType),
+        }
+        let mut pieces: Vec<Piece> = Vec::with_capacity(target_words + 4);
+
+        let pronoun = rng.random::<f64>() < p.p_pronoun;
+        let negated = rng.random::<f64>() < p.p_negation;
+        let paren = rng.random::<f64>() < p.p_paren;
+
+        // Subject.
+        if pronoun {
+            pieces.push(Piece::W(PRONOUNS[rng.random_range(0..PRONOUNS.len())].to_string()));
+        } else {
+            pieces.push(Piece::W("the".to_string()));
+            if rng.random::<f64>() < 0.5 {
+                pieces.push(Piece::W(
+                    ENGLISH_ADJECTIVES[rng.random_range(0..ENGLISH_ADJECTIVES.len())].to_string(),
+                ));
+            }
+            pieces.push(Piece::W(self.noun_with(rng, medical_fraction).to_string()));
+        }
+        // Verb (optionally negated).
+        if negated {
+            let neg = NEGATION_WORDS[rng.random_range(0..NEGATION_WORDS.len())];
+            match neg {
+                "not" => {
+                    pieces.push(Piece::W("does".to_string()));
+                    pieces.push(Piece::W("not".to_string()));
+                    pieces.push(Piece::W("change".to_string()));
+                }
+                _ => {
+                    // "neither X nor Y" construction
+                    pieces.push(Piece::W("affects".to_string()));
+                    pieces.push(Piece::W("neither".to_string()));
+                    pieces.push(Piece::W(self.noun_with(rng, medical_fraction).to_string()));
+                    pieces.push(Piece::W("nor".to_string()));
+                }
+            }
+        } else {
+            pieces.push(Piece::W(
+                ENGLISH_VERBS[rng.random_range(0..ENGLISH_VERBS.len())].to_string(),
+            ));
+        }
+        pieces.push(Piece::W("the".to_string()));
+        pieces.push(Piece::W(self.noun_with(rng, medical_fraction).to_string()));
+
+        // Entity mentions.
+        for (t, &base_rate) in p.entity_rate.iter().enumerate() {
+            let rate = base_rate * entity_scale;
+            let mut k = rate.floor() as usize;
+            if rng.random::<f64>() < rate.fract() {
+                k += 1;
+            }
+            for _ in 0..k {
+                let surface = self.entity_surface(t, rng);
+                let etype = EntityType::all()[t];
+                let connector = match t {
+                    0 => "of",
+                    1 => "with",
+                    _ => "in",
+                };
+                pieces.push(Piece::W(connector.to_string()));
+                pieces.push(Piece::E(surface, etype));
+            }
+        }
+
+        // Arbitrary web acronym (not a gold entity).
+        if rng.random::<f64>() < p.p_acronym {
+            let tla: String = (0..3)
+                .map(|_| (b'A' + rng.random_range(0..26u8)) as char)
+                .collect();
+            pieces.push(Piece::W(tla));
+        }
+
+        // Filler to reach the target length.
+        while pieces.len() < target_words {
+            if rng.random::<f64>() < 0.4 {
+                pieces.push(Piece::W(
+                    FUNCTION_WORDS[rng.random_range(0..FUNCTION_WORDS.len())].to_string(),
+                ));
+            } else {
+                pieces.push(Piece::W(self.noun_with(rng, medical_fraction).to_string()));
+            }
+        }
+
+        // Parenthetical.
+        if paren {
+            let inner = self.noun_with(rng, medical_fraction);
+            let at = rng.random_range(3..=pieces.len());
+            pieces.insert(at, Piece::W(format!("({inner})")));
+        }
+
+        // Join, recording spans.
+        let mut text = String::new();
+        let mut spans = Vec::new();
+        for (i, piece) in pieces.iter().enumerate() {
+            if i > 0 {
+                text.push(' ');
+            }
+            match piece {
+                Piece::W(w) => {
+                    if i == 0 {
+                        // capitalize first word
+                        let mut cs = w.chars();
+                        if let Some(f) = cs.next() {
+                            text.extend(f.to_uppercase());
+                            text.push_str(cs.as_str());
+                        }
+                    } else {
+                        text.push_str(w);
+                    }
+                }
+                Piece::E(surface, etype) => {
+                    let start = text.len();
+                    text.push_str(surface);
+                    spans.push((start, text.len(), *etype));
+                }
+            }
+        }
+        text.push('.');
+        (text, spans, negated, pronoun, paren)
+    }
+
+    /// Generates an unpunctuated list blob (table/list content).
+    fn blob<R: Rng + ?Sized>(&self, rng: &mut R) -> String {
+        let items = rng.random_range(30..120);
+        let mut out = String::new();
+        for i in 0..items {
+            if i > 0 {
+                out.push(' ');
+            }
+            out.push_str(self.noun(rng));
+            if rng.random::<f64>() < 0.2 {
+                out.push(' ');
+                out.push_str(&format!("{}", rng.random_range(1..1000)));
+            }
+        }
+        out
+    }
+
+    /// Generates document `id`.
+    pub fn document(&self, id: u64) -> Document {
+        let mut rng = self.doc_rng(id);
+        let p = &self.profile;
+        let n_sentences = log_normal(&mut rng, p.doc_sentences_median.ln(), p.doc_sentences_sigma)
+            .round()
+            .clamp(1.0, 3000.0) as usize;
+
+        let fringe = rng.random::<f64>() < p.p_fringe;
+        let (vocab, entity_scale) = if fringe {
+            (p.fringe_medical_vocab, p.fringe_entity_scale)
+        } else {
+            (p.medical_vocab_fraction, 1.0)
+        };
+
+        let mut gold = DocumentGold::default();
+        let mut paragraphs: Vec<String> = Vec::new();
+        let mut para = String::new();
+        for i in 0..n_sentences {
+            let (text, spans, neg, pron, paren) = self.sentence_styled(&mut rng, vocab, entity_scale);
+            gold.sentences += 1;
+            gold.negated_sentences += neg as usize;
+            gold.pronoun_sentences += pron as usize;
+            gold.paren_sentences += paren as usize;
+            for (s, e, t) in spans {
+                gold.entities.push((t, text[s..e].to_lowercase()));
+            }
+            if !para.is_empty() {
+                para.push(' ');
+            }
+            para.push_str(&text);
+            // paragraph break every ~6 sentences
+            if (i + 1) % 6 == 0 || i + 1 == n_sentences {
+                paragraphs.push(std::mem::take(&mut para));
+            }
+        }
+        if !para.is_empty() {
+            paragraphs.push(para);
+        }
+        // Optional unpunctuated blob in web content.
+        if rng.random::<f64>() < p.p_blob {
+            paragraphs.push(self.blob(&mut rng));
+        }
+
+        let title = format!(
+            "{} of {} in {}",
+            ["Effects", "Analysis", "Role", "Review", "Overview"][rng.random_range(0..5)],
+            self.noun(&mut rng),
+            self.noun(&mut rng)
+        );
+
+        let body = paragraphs.join("\n\n");
+        let (html, url) = match &p.html {
+            Some(cfg) => {
+                let page = wrap_page(&title, &paragraphs, &[], cfg, &mut rng);
+                (
+                    Some(page.html),
+                    Some(format!("http://site{}.example/page/{id}", id % 977)),
+                )
+            }
+            None => (None, None),
+        };
+
+        Document {
+            id,
+            kind: self.kind,
+            url,
+            title,
+            body,
+            html,
+            gold,
+        }
+    }
+
+    /// Generates documents `0..n`.
+    pub fn documents(&self, n: usize) -> Vec<Document> {
+        (0..n as u64).map(|id| self.document(id)).collect()
+    }
+
+    /// Generates `n` gold-labeled sentences for CRF training.
+    pub fn labeled_sentences(&self, n: usize) -> Vec<LabeledSentence> {
+        let mut rng = self.doc_rng(u64::MAX / 2);
+        (0..n)
+            .map(|_| {
+                let (text, spans, _, _, _) = self.sentence(&mut rng);
+                LabeledSentence { text, spans }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexicon::LexiconScale;
+
+    fn tiny_gen(kind: CorpusKind) -> Generator {
+        Generator::with_lexicon(kind, 7, Arc::new(Lexicon::generate(LexiconScale::tiny())))
+    }
+
+    #[test]
+    fn documents_are_deterministic() {
+        let g = tiny_gen(CorpusKind::Medline);
+        let a = g.document(3);
+        let b = g.document(3);
+        assert_eq!(a.body, b.body);
+        assert_eq!(a.gold.entities, b.gold.entities);
+    }
+
+    #[test]
+    fn different_ids_differ() {
+        let g = tiny_gen(CorpusKind::Medline);
+        assert_ne!(g.document(1).body, g.document(2).body);
+    }
+
+    #[test]
+    fn web_documents_have_html_and_url() {
+        let g = tiny_gen(CorpusKind::RelevantWeb);
+        let d = g.document(0);
+        assert!(d.html.is_some());
+        assert!(d.url.is_some());
+        assert!(d.raw_len() > d.body.len());
+    }
+
+    #[test]
+    fn medline_documents_are_plain() {
+        let g = tiny_gen(CorpusKind::Medline);
+        let d = g.document(0);
+        assert!(d.html.is_none());
+        assert!(!d.body.contains('<'));
+    }
+
+    #[test]
+    fn doc_length_ordering_matches_fig6a() {
+        // PMC > Relevant > Irrelevant > Medline in mean net-text length.
+        let mut means = Vec::new();
+        for kind in [
+            CorpusKind::Pmc,
+            CorpusKind::RelevantWeb,
+            CorpusKind::IrrelevantWeb,
+            CorpusKind::Medline,
+        ] {
+            let g = tiny_gen(kind);
+            let docs = g.documents(30);
+            let mean =
+                docs.iter().map(|d| d.body.len() as f64).sum::<f64>() / docs.len() as f64;
+            means.push(mean);
+        }
+        assert!(means[0] > means[1], "PMC {} vs rel {}", means[0], means[1]);
+        assert!(means[1] > means[2], "rel {} vs irrel {}", means[1], means[2]);
+        assert!(means[2] > means[3], "irrel {} vs medl {}", means[2], means[3]);
+    }
+
+    #[test]
+    fn entity_rates_ordering_matches_fig7() {
+        // Per-sentence gold entity rates: Medline > Relevant >> Irrelevant
+        // for diseases (Fig. 7a direction).
+        let mut rates = Vec::new();
+        for kind in [CorpusKind::Medline, CorpusKind::RelevantWeb, CorpusKind::IrrelevantWeb] {
+            let g = tiny_gen(kind);
+            let docs = g.documents(20);
+            let sentences: usize = docs.iter().map(|d| d.gold.sentences).sum();
+            let diseases: usize = docs
+                .iter()
+                .flat_map(|d| &d.gold.entities)
+                .filter(|(t, _)| *t == EntityType::Disease)
+                .count();
+            rates.push(diseases as f64 / sentences as f64);
+        }
+        assert!(rates[0] > rates[1], "medline {} vs rel {}", rates[0], rates[1]);
+        assert!(rates[1] > rates[2] * 5.0, "rel {} vs irrel {}", rates[1], rates[2]);
+    }
+
+    #[test]
+    fn labeled_sentences_have_valid_spans() {
+        let g = tiny_gen(CorpusKind::Medline);
+        let sents = g.labeled_sentences(50);
+        assert_eq!(sents.len(), 50);
+        let mut any_span = false;
+        for s in &sents {
+            for &(start, end, _) in &s.spans {
+                any_span = true;
+                assert!(start < end && end <= s.text.len());
+                // span lies on char boundaries and is non-whitespace
+                let frag = &s.text[start..end];
+                assert!(!frag.trim().is_empty());
+            }
+        }
+        assert!(any_span, "medline sentences should contain entities");
+    }
+
+    #[test]
+    fn gold_counts_are_consistent() {
+        let g = tiny_gen(CorpusKind::Pmc);
+        let d = g.document(5);
+        assert!(d.gold.sentences > 0);
+        assert!(d.gold.negated_sentences <= d.gold.sentences);
+        assert!(d.gold.pronoun_sentences <= d.gold.sentences);
+    }
+
+    #[test]
+    fn irrelevant_docs_rarely_mention_entities() {
+        let g = tiny_gen(CorpusKind::IrrelevantWeb);
+        let docs = g.documents(20);
+        let sentences: usize = docs.iter().map(|d| d.gold.sentences).sum();
+        let entities: usize = docs.iter().map(|d| d.gold.entities.len()).sum();
+        assert!(
+            (entities as f64) < 0.1 * sentences as f64,
+            "{entities} entities in {sentences} sentences"
+        );
+    }
+
+    #[test]
+    fn blob_documents_occur_in_web_corpora() {
+        let g = tiny_gen(CorpusKind::RelevantWeb);
+        let docs = g.documents(60);
+        let with_blob = docs
+            .iter()
+            .filter(|d| {
+                d.body
+                    .split("\n\n")
+                    .last()
+                    .map(|p| p.len() > 200 && !p.contains('.'))
+                    .unwrap_or(false)
+            })
+            .count();
+        assert!(with_blob > 0, "expected some unpunctuated blobs");
+    }
+}

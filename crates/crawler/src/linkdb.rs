@@ -1,0 +1,141 @@
+//! LinkDB: the link graph of crawled pages.
+//!
+//! Nutch's LinkDB "stores the graph structure of the crawled pages"; here
+//! it interns URLs, records directed edges, and exports adjacency plus a
+//! host grouping so the experiment harness can compute Table 2's
+//! PageRank-by-domain ranking.
+
+use std::collections::HashMap;
+use websift_web::Url;
+
+/// Interned link graph.
+#[derive(Debug, Default)]
+pub struct LinkDb {
+    ids: HashMap<Url, u32>,
+    urls: Vec<Url>,
+    edges: Vec<Vec<u32>>,
+}
+
+impl LinkDb {
+    pub fn new() -> LinkDb {
+        LinkDb::default()
+    }
+
+    /// Interns a URL, returning its id.
+    pub fn intern(&mut self, url: &Url) -> u32 {
+        if let Some(&id) = self.ids.get(url) {
+            return id;
+        }
+        let id = self.urls.len() as u32;
+        self.ids.insert(url.clone(), id);
+        self.urls.push(url.clone());
+        self.edges.push(Vec::new());
+        id
+    }
+
+    /// Records the outlinks of a page.
+    pub fn add_links(&mut self, from: &Url, targets: &[Url]) {
+        let fid = self.intern(from);
+        let mut out: Vec<u32> = targets.iter().map(|t| self.intern(t)).collect();
+        out.sort_unstable();
+        out.dedup();
+        self.edges[fid as usize] = out;
+    }
+
+    pub fn len(&self) -> usize {
+        self.urls.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.urls.is_empty()
+    }
+
+    pub fn url(&self, id: u32) -> &Url {
+        &self.urls[id as usize]
+    }
+
+    /// Adjacency lists over interned ids (input to PageRank).
+    pub fn adjacency(&self) -> &[Vec<u32>] {
+        &self.edges
+    }
+
+    /// Groups nodes by host: returns (group id per node, host names).
+    pub fn host_groups(&self) -> (Vec<u32>, Vec<String>) {
+        let mut host_ids: HashMap<&str, u32> = HashMap::new();
+        let mut names: Vec<String> = Vec::new();
+        let mut groups = Vec::with_capacity(self.urls.len());
+        for url in &self.urls {
+            let next_id = names.len() as u32;
+            let id = *host_ids.entry(url.host()).or_insert_with(|| {
+                names.push(url.host().to_string());
+                next_id
+            });
+            groups.push(id);
+        }
+        (groups, names)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(host: &str, path: &str) -> Url {
+        Url::new(host, path)
+    }
+
+    #[test]
+    fn interning_is_stable() {
+        let mut db = LinkDb::new();
+        let a = db.intern(&u("a.example", "/1"));
+        let b = db.intern(&u("a.example", "/2"));
+        assert_ne!(a, b);
+        assert_eq!(db.intern(&u("a.example", "/1")), a);
+        assert_eq!(db.len(), 2);
+    }
+
+    #[test]
+    fn links_build_adjacency() {
+        let mut db = LinkDb::new();
+        let from = u("a.example", "/");
+        db.add_links(&from, &[u("b.example", "/x"), u("c.example", "/y")]);
+        assert_eq!(db.len(), 3);
+        let fid = db.intern(&from);
+        assert_eq!(db.adjacency()[fid as usize].len(), 2);
+    }
+
+    #[test]
+    fn duplicate_targets_deduped() {
+        let mut db = LinkDb::new();
+        let from = u("a.example", "/");
+        let t = u("b.example", "/x");
+        db.add_links(&from, &[t.clone(), t.clone()]);
+        let fid = db.intern(&from);
+        assert_eq!(db.adjacency()[fid as usize].len(), 1);
+    }
+
+    #[test]
+    fn host_grouping() {
+        let mut db = LinkDb::new();
+        db.add_links(&u("a.example", "/"), &[u("b.example", "/x"), u("a.example", "/y")]);
+        let (groups, names) = db.host_groups();
+        assert_eq!(names.len(), 2);
+        assert_eq!(groups.len(), 3);
+        assert_eq!(groups[0], groups[2], "same host same group");
+    }
+
+    #[test]
+    fn pagerank_over_linkdb() {
+        let mut db = LinkDb::new();
+        // b and c both link to a
+        db.add_links(&u("b.example", "/"), &[u("a.example", "/")]);
+        db.add_links(&u("c.example", "/"), &[u("a.example", "/")]);
+        let scores = websift_web::pagerank(db.adjacency(), 0.85, 30);
+        let aid = db.intern(&u("a.example", "/")) as usize;
+        for (i, &s) in scores.iter().enumerate() {
+            if i != aid {
+                assert!(scores[aid] > s);
+            }
+        }
+    }
+}

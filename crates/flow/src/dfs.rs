@@ -1,0 +1,252 @@
+//! An in-memory distributed-file-system model (HDFS stand-in).
+//!
+//! "Input and output of all tasks was stored in HDFS with one data node
+//! per compute node and a data replication factor of 3." This module
+//! models exactly that: fixed-size blocks placed round-robin across data
+//! nodes with `replication` copies, plus read/write network-byte
+//! accounting — the substrate behind the paper's observation that storing
+//! 1.6 TB of intermediate annotations "over-stressed the cluster network".
+
+use parking_lot::RwLock;
+use serde::Serialize;
+use std::collections::HashMap;
+
+/// Configuration of the DFS.
+#[derive(Debug, Clone, Copy)]
+pub struct DfsConfig {
+    pub data_nodes: usize,
+    pub block_size: usize,
+    pub replication: usize,
+}
+
+impl Default for DfsConfig {
+    fn default() -> DfsConfig {
+        DfsConfig {
+            data_nodes: 28,
+            block_size: 64 << 20,
+            replication: 3,
+        }
+    }
+}
+
+/// Traffic counters.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct DfsStats {
+    pub files: u64,
+    pub blocks: u64,
+    pub bytes_stored: u64,
+    /// Bytes that crossed the network (writes × replication + remote reads).
+    pub network_bytes: u64,
+}
+
+#[derive(Debug)]
+struct FileEntry {
+    /// (block bytes, nodes holding a replica)
+    blocks: Vec<(Vec<u8>, Vec<usize>)>,
+}
+
+/// The DFS. Thread-safe.
+#[derive(Debug)]
+pub struct Dfs {
+    config: DfsConfig,
+    files: RwLock<HashMap<String, FileEntry>>,
+    stats: RwLock<DfsStats>,
+    next_node: RwLock<usize>,
+}
+
+/// Errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DfsError {
+    NotFound(String),
+    AlreadyExists(String),
+}
+
+impl std::fmt::Display for DfsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DfsError::NotFound(p) => write!(f, "no such file: {p}"),
+            DfsError::AlreadyExists(p) => write!(f, "file exists: {p}"),
+        }
+    }
+}
+
+impl std::error::Error for DfsError {}
+
+impl Dfs {
+    pub fn new(config: DfsConfig) -> Dfs {
+        assert!(config.data_nodes > 0 && config.block_size > 0 && config.replication > 0);
+        Dfs {
+            config,
+            files: RwLock::new(HashMap::new()),
+            stats: RwLock::new(DfsStats::default()),
+            next_node: RwLock::new(0),
+        }
+    }
+
+    /// Writes a file, splitting into blocks placed on
+    /// `min(replication, data_nodes)` nodes each.
+    pub fn write(&self, path: &str, data: &[u8]) -> Result<(), DfsError> {
+        let mut files = self.files.write();
+        if files.contains_key(path) {
+            return Err(DfsError::AlreadyExists(path.to_string()));
+        }
+        let replicas = self.config.replication.min(self.config.data_nodes);
+        let mut blocks = Vec::new();
+        let mut next = self.next_node.write();
+        for chunk in data.chunks(self.config.block_size.max(1)) {
+            let nodes: Vec<usize> = (0..replicas)
+                .map(|k| (*next + k) % self.config.data_nodes)
+                .collect();
+            *next = (*next + 1) % self.config.data_nodes;
+            blocks.push((chunk.to_vec(), nodes));
+        }
+        // Empty files still occupy an entry with zero blocks.
+        let nblocks = blocks.len() as u64;
+        files.insert(path.to_string(), FileEntry { blocks });
+        let mut stats = self.stats.write();
+        stats.files += 1;
+        stats.blocks += nblocks;
+        stats.bytes_stored += data.len() as u64 * replicas as u64;
+        stats.network_bytes += data.len() as u64 * replicas as u64;
+        Ok(())
+    }
+
+    /// Reads a file from `reader_node`; replicas local to that node are
+    /// free, remote blocks count as network traffic.
+    pub fn read(&self, path: &str, reader_node: usize) -> Result<Vec<u8>, DfsError> {
+        let files = self.files.read();
+        let entry = files
+            .get(path)
+            .ok_or_else(|| DfsError::NotFound(path.to_string()))?;
+        let mut out = Vec::new();
+        let mut remote = 0u64;
+        for (bytes, nodes) in &entry.blocks {
+            if !nodes.contains(&(reader_node % self.config.data_nodes)) {
+                remote += bytes.len() as u64;
+            }
+            out.extend_from_slice(bytes);
+        }
+        self.stats.write().network_bytes += remote;
+        Ok(out)
+    }
+
+    pub fn exists(&self, path: &str) -> bool {
+        self.files.read().contains_key(path)
+    }
+
+    pub fn delete(&self, path: &str) -> Result<(), DfsError> {
+        let mut files = self.files.write();
+        let entry = files
+            .remove(path)
+            .ok_or_else(|| DfsError::NotFound(path.to_string()))?;
+        let mut stats = self.stats.write();
+        stats.files -= 1;
+        stats.blocks -= entry.blocks.len() as u64;
+        let bytes: u64 = entry.blocks.iter().map(|(b, n)| (b.len() * n.len()) as u64).sum();
+        stats.bytes_stored = stats.bytes_stored.saturating_sub(bytes);
+        Ok(())
+    }
+
+    pub fn stats(&self) -> DfsStats {
+        *self.stats.read()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_dfs() -> Dfs {
+        Dfs::new(DfsConfig {
+            data_nodes: 4,
+            block_size: 10,
+            replication: 3,
+        })
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let dfs = small_dfs();
+        let data = b"hello distributed world".to_vec();
+        dfs.write("/a", &data).unwrap();
+        assert_eq!(dfs.read("/a", 0).unwrap(), data);
+        assert!(dfs.exists("/a"));
+    }
+
+    #[test]
+    fn duplicate_write_rejected() {
+        let dfs = small_dfs();
+        dfs.write("/a", b"x").unwrap();
+        assert_eq!(dfs.write("/a", b"y"), Err(DfsError::AlreadyExists("/a".into())));
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        let dfs = small_dfs();
+        assert_eq!(dfs.read("/nope", 0), Err(DfsError::NotFound("/nope".into())));
+        assert_eq!(dfs.delete("/nope"), Err(DfsError::NotFound("/nope".into())));
+    }
+
+    #[test]
+    fn replication_multiplies_stored_bytes() {
+        let dfs = small_dfs();
+        dfs.write("/a", &[7u8; 25]).unwrap();
+        let stats = dfs.stats();
+        assert_eq!(stats.blocks, 3); // 25 bytes / 10-byte blocks
+        assert_eq!(stats.bytes_stored, 75); // ×3 replication
+        assert_eq!(stats.network_bytes, 75);
+    }
+
+    #[test]
+    fn local_reads_are_cheaper_than_remote() {
+        let dfs = Dfs::new(DfsConfig {
+            data_nodes: 10,
+            block_size: 1 << 20,
+            replication: 1,
+        });
+        dfs.write("/a", &[1u8; 1000]).unwrap();
+        let before = dfs.stats().network_bytes;
+        // replica lives on node 0 (first placement)
+        dfs.read("/a", 0).unwrap();
+        let local = dfs.stats().network_bytes - before;
+        dfs.read("/a", 5).unwrap();
+        let remote = dfs.stats().network_bytes - before - local;
+        assert_eq!(local, 0);
+        assert_eq!(remote, 1000);
+    }
+
+    #[test]
+    fn delete_releases_space() {
+        let dfs = small_dfs();
+        dfs.write("/a", &[0u8; 30]).unwrap();
+        dfs.delete("/a").unwrap();
+        assert!(!dfs.exists("/a"));
+        assert_eq!(dfs.stats().bytes_stored, 0);
+        assert_eq!(dfs.stats().files, 0);
+    }
+
+    #[test]
+    fn empty_file() {
+        let dfs = small_dfs();
+        dfs.write("/empty", b"").unwrap();
+        assert_eq!(dfs.read("/empty", 0).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn concurrent_writers() {
+        use std::sync::Arc;
+        let dfs = Arc::new(small_dfs());
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let dfs = dfs.clone();
+                std::thread::spawn(move || {
+                    dfs.write(&format!("/f{i}"), &[i as u8; 50]).unwrap();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(dfs.stats().files, 8);
+    }
+}

@@ -1,0 +1,42 @@
+//! A parallel data-flow engine for UDF-heavy text analytics — the
+//! from-scratch Stratosphere analogue of the websift workspace.
+//!
+//! The paper executes its entire web-text analysis "using a small set of
+//! data flows in a single, homogeneous, and declarative framework", i.e.
+//! Stratosphere: Meteor scripts over packaged operators, logically
+//! optimized, compiled to parallel primitives, and run on a cluster. This
+//! crate rebuilds that stack:
+//!
+//! - [`record`] — the JSON-like record model whose annotation growth
+//!   drives the network war story;
+//! - [`operator`] — UDF operators with semantic (reads/writes) and
+//!   resource (memory/startup/cost) annotations;
+//! - [`packages`] — the BASE / IE / WA / DC operator packages and the
+//!   trained [`packages::IeResources`];
+//! - [`logical`] / [`optimizer`] — plan DAGs and SOFA-style rewriting;
+//! - [`cluster`] — the simulated 28-node cluster: memory admission,
+//!   library-conflict detection, network capacity model;
+//! - [`executor`] — real multi-threaded execution with a simulated
+//!   paper-scale clock (the engine behind Figs. 4 and 5);
+//! - [`dfs`] — an HDFS-like replicated block store;
+//! - [`meteor`] — the declarative script front end.
+
+pub mod cluster;
+pub mod dfs;
+pub mod executor;
+pub mod logical;
+pub mod meteor;
+pub mod operator;
+pub mod optimizer;
+pub mod packages;
+pub mod record;
+
+pub use cluster::{admit, ClusterSpec, NodeSpec, Placement, SchedulingError};
+pub use dfs::{Dfs, DfsConfig, DfsError, DfsStats};
+pub use executor::{ExecutionConfig, ExecutionError, Executor, FlowMetrics, FlowOutput, OpMetrics};
+pub use logical::{LogicalPlan, NodeId, NodeOp};
+pub use meteor::{compile, MeteorError};
+pub use operator::{CostModel, Kind, OpFunc, Operator, Package};
+pub use optimizer::{optimize, Rewrite};
+pub use packages::{IeConfig, IeResources, OperatorRegistry};
+pub use record::{span_annotation, Record, Value};

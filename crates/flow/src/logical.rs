@@ -1,0 +1,210 @@
+//! Logical plans: DAGs of operators between named sources and sinks.
+//!
+//! A Meteor script "is parsed into an algebraic representation, logically
+//! optimized, and compiled into a parallel data flow program". This module
+//! is that algebraic representation: single-input operator nodes (the
+//! paper's flows are trees — one source fanning out into linguistic and
+//! entity branches), named sources and sinks.
+
+use crate::operator::Operator;
+
+/// Node id within a plan.
+pub type NodeId = usize;
+
+/// A plan node.
+#[derive(Debug, Clone)]
+pub enum NodeOp {
+    /// Reads the named input dataset.
+    Source(String),
+    /// Applies an operator to the parent's output.
+    Op(Operator),
+    /// Writes the parent's output to the named output dataset.
+    Sink(String),
+}
+
+#[derive(Debug, Clone)]
+pub struct Node {
+    pub id: NodeId,
+    pub op: NodeOp,
+    /// Parent node (None for sources).
+    pub input: Option<NodeId>,
+}
+
+/// The logical plan.
+#[derive(Debug, Clone, Default)]
+pub struct LogicalPlan {
+    nodes: Vec<Node>,
+}
+
+impl LogicalPlan {
+    pub fn new() -> LogicalPlan {
+        LogicalPlan::default()
+    }
+
+    /// Adds a source node reading dataset `name`.
+    pub fn source(&mut self, name: &str) -> NodeId {
+        self.push(NodeOp::Source(name.to_string()), None)
+    }
+
+    /// Adds an operator node downstream of `input`.
+    pub fn add(&mut self, input: NodeId, op: Operator) -> NodeId {
+        assert!(input < self.nodes.len(), "unknown input node {input}");
+        self.push(NodeOp::Op(op), Some(input))
+    }
+
+    /// Adds a sink writing `input`'s records to dataset `name`.
+    pub fn sink(&mut self, input: NodeId, name: &str) -> NodeId {
+        assert!(input < self.nodes.len(), "unknown input node {input}");
+        self.push(NodeOp::Sink(name.to_string()), Some(input))
+    }
+
+    fn push(&mut self, op: NodeOp, input: Option<NodeId>) -> NodeId {
+        let id = self.nodes.len();
+        self.nodes.push(Node { id, op, input });
+        id
+    }
+
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    pub fn nodes_mut(&mut self) -> &mut [Node] {
+        &mut self.nodes
+    }
+
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of elementary operator nodes (the paper counts its full flow
+    /// at 38).
+    pub fn operator_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n.op, NodeOp::Op(_)))
+            .count()
+    }
+
+    /// All operators in the plan.
+    pub fn operators(&self) -> impl Iterator<Item = &Operator> {
+        self.nodes.iter().filter_map(|n| match &n.op {
+            NodeOp::Op(op) => Some(op),
+            _ => None,
+        })
+    }
+
+    /// Sink names.
+    pub fn sinks(&self) -> Vec<&str> {
+        self.nodes
+            .iter()
+            .filter_map(|n| match &n.op {
+                NodeOp::Sink(name) => Some(name.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Source names.
+    pub fn sources(&self) -> Vec<&str> {
+        self.nodes
+            .iter()
+            .filter_map(|n| match &n.op {
+                NodeOp::Source(name) => Some(name.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Children of a node.
+    pub fn children(&self, id: NodeId) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .filter(|n| n.input == Some(id))
+            .map(|n| n.id)
+            .collect()
+    }
+
+    /// Validates structural invariants: every non-source has a parent with
+    /// a smaller id (acyclic by construction), every sink is a leaf, and at
+    /// least one source and sink exist.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.sources().is_empty() {
+            return Err("plan has no source".into());
+        }
+        if self.sinks().is_empty() {
+            return Err("plan has no sink".into());
+        }
+        for node in &self.nodes {
+            match (&node.op, node.input) {
+                (NodeOp::Source(_), Some(_)) => {
+                    return Err(format!("source node {} has an input", node.id))
+                }
+                (NodeOp::Source(_), None) => {}
+                (_, None) => return Err(format!("node {} has no input", node.id)),
+                (_, Some(p)) if p >= node.id => {
+                    return Err(format!("node {} input {} out of order", node.id, p))
+                }
+                _ => {}
+            }
+            if matches!(node.op, NodeOp::Sink(_)) && !self.children(node.id).is_empty() {
+                return Err(format!("sink node {} has children", node.id));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::{Operator, Package};
+
+    fn identity(name: &str) -> Operator {
+        Operator::map(name, Package::Base, |r| r)
+    }
+
+    #[test]
+    fn builds_linear_plan() {
+        let mut plan = LogicalPlan::new();
+        let src = plan.source("docs");
+        let a = plan.add(src, identity("a"));
+        let b = plan.add(a, identity("b"));
+        plan.sink(b, "out");
+        assert_eq!(plan.operator_count(), 2);
+        assert_eq!(plan.sources(), vec!["docs"]);
+        assert_eq!(plan.sinks(), vec!["out"]);
+        plan.validate().unwrap();
+    }
+
+    #[test]
+    fn builds_branching_plan() {
+        let mut plan = LogicalPlan::new();
+        let src = plan.source("docs");
+        let shared = plan.add(src, identity("preprocess"));
+        let l = plan.add(shared, identity("linguistic"));
+        let e = plan.add(shared, identity("entities"));
+        plan.sink(l, "ling");
+        plan.sink(e, "ents");
+        assert_eq!(plan.children(shared).len(), 2);
+        assert_eq!(plan.sinks().len(), 2);
+        plan.validate().unwrap();
+    }
+
+    #[test]
+    fn validation_catches_missing_sink() {
+        let mut plan = LogicalPlan::new();
+        plan.source("docs");
+        assert!(plan.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown input node")]
+    fn add_rejects_unknown_input() {
+        let mut plan = LogicalPlan::new();
+        plan.add(42, identity("x"));
+    }
+}

@@ -1,0 +1,211 @@
+//! A Meteor-like declarative script front end.
+//!
+//! Stratosphere's flows "are specified in a declarative scripting language
+//! called Meteor ... composed of primitive operators, which are defined in
+//! domain-specific packages". This module implements a compact dialect
+//! sufficient to express the paper's analysis flows:
+//!
+//! ```text
+//! # comments start with '#'
+//! $pages    = read 'crawl';
+//! $bounded  = apply base.filter_length $pages;
+//! $net      = apply wa.extract_net_text $bounded;
+//! $sents    = apply ie.annotate_sentences $net;
+//! $neg      = apply ie.annotate_negation $sents;
+//! write $neg 'negation';
+//! write $sents 'sentences';
+//! ```
+//!
+//! Scripts compile against an [`OperatorRegistry`] into a [`LogicalPlan`],
+//! which then flows through the standard optimize → execute path.
+
+use crate::logical::{LogicalPlan, NodeId};
+use crate::packages::OperatorRegistry;
+use std::collections::HashMap;
+
+/// Script compilation errors, with 1-based line numbers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MeteorError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for MeteorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "meteor script error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for MeteorError {}
+
+/// Compiles a script into a logical plan.
+pub fn compile(script: &str, registry: &OperatorRegistry) -> Result<LogicalPlan, MeteorError> {
+    let mut plan = LogicalPlan::new();
+    let mut vars: HashMap<String, NodeId> = HashMap::new();
+
+    for (lineno, raw_line) in script.lines().enumerate() {
+        let line = raw_line.trim();
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |message: String| MeteorError {
+            line: lineno + 1,
+            message,
+        };
+        let stmt = line.strip_suffix(';').ok_or_else(|| err("missing ';'".into()))?.trim();
+
+        if let Some(rest) = stmt.strip_prefix("write ") {
+            // write $var 'name'
+            let mut parts = rest.split_whitespace();
+            let var = parts
+                .next()
+                .and_then(|v| v.strip_prefix('$'))
+                .ok_or_else(|| err("write expects $variable".into()))?;
+            let name = parts
+                .next()
+                .and_then(parse_quoted)
+                .ok_or_else(|| err("write expects a quoted sink name".into()))?;
+            if parts.next().is_some() {
+                return Err(err("trailing tokens after write".into()));
+            }
+            let node = *vars
+                .get(var)
+                .ok_or_else(|| err(format!("unknown variable ${var}")))?;
+            plan.sink(node, &name);
+            continue;
+        }
+
+        // $var = read 'name'   |   $var = apply op $input
+        let (lhs, rhs) = stmt
+            .split_once('=')
+            .ok_or_else(|| err("expected assignment or write".into()))?;
+        let var = lhs
+            .trim()
+            .strip_prefix('$')
+            .ok_or_else(|| err("assignment target must be $variable".into()))?
+            .to_string();
+        let rhs = rhs.trim();
+
+        let node = if let Some(rest) = rhs.strip_prefix("read ") {
+            let name = parse_quoted(rest.trim())
+                .ok_or_else(|| err("read expects a quoted source name".into()))?;
+            plan.source(&name)
+        } else if let Some(rest) = rhs.strip_prefix("apply ") {
+            let mut parts = rest.split_whitespace();
+            let op_name = parts.next().ok_or_else(|| err("apply expects an operator".into()))?;
+            let input = parts
+                .next()
+                .and_then(|v| v.strip_prefix('$'))
+                .ok_or_else(|| err("apply expects $input".into()))?;
+            if parts.next().is_some() {
+                return Err(err("trailing tokens after apply".into()));
+            }
+            let input_node = *vars
+                .get(input)
+                .ok_or_else(|| err(format!("unknown variable ${input}")))?;
+            let op = registry
+                .create(op_name)
+                .ok_or_else(|| err(format!("unknown operator {op_name}")))?;
+            plan.add(input_node, op)
+        } else {
+            return Err(err(format!("unrecognized expression: {rhs}")));
+        };
+        vars.insert(var, node);
+    }
+
+    plan.validate().map_err(|e| MeteorError {
+        line: 0,
+        message: format!("invalid plan: {e}"),
+    })?;
+    Ok(plan)
+}
+
+fn parse_quoted(s: &str) -> Option<String> {
+    let s = s.trim();
+    let inner = s.strip_prefix('\'')?.strip_suffix('\'')?;
+    Some(inner.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::{Operator, Package};
+
+    fn registry() -> OperatorRegistry {
+        let mut reg = OperatorRegistry::new();
+        reg.register("base.identity", || {
+            Operator::map("identity", Package::Base, |r| r)
+        });
+        reg.register("base.keep_all", || {
+            Operator::filter("keep_all", Package::Base, |_| true)
+        });
+        reg
+    }
+
+    #[test]
+    fn compiles_linear_script() {
+        let script = "
+            # a comment
+            $a = read 'docs';
+            $b = apply base.identity $a;
+            $c = apply base.keep_all $b;
+            write $c 'out';
+        ";
+        let plan = compile(script, &registry()).unwrap();
+        assert_eq!(plan.sources(), vec!["docs"]);
+        assert_eq!(plan.sinks(), vec!["out"]);
+        assert_eq!(plan.operator_count(), 2);
+    }
+
+    #[test]
+    fn compiles_branching_script() {
+        let script = "
+            $a = read 'docs';
+            $b = apply base.identity $a;
+            $c = apply base.keep_all $b;
+            $d = apply base.keep_all $b;
+            write $c 'left';
+            write $d 'right';
+        ";
+        let plan = compile(script, &registry()).unwrap();
+        assert_eq!(plan.sinks().len(), 2);
+    }
+
+    #[test]
+    fn error_on_unknown_operator() {
+        let err = compile("$a = read 'x';\n$b = apply nope.op $a;\nwrite $b 'o';", &registry())
+            .unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("unknown operator"));
+    }
+
+    #[test]
+    fn error_on_unknown_variable() {
+        let err = compile("$a = read 'x';\nwrite $zzz 'o';", &registry()).unwrap_err();
+        assert!(err.message.contains("unknown variable"));
+    }
+
+    #[test]
+    fn error_on_missing_semicolon() {
+        let err = compile("$a = read 'x'", &registry()).unwrap_err();
+        assert!(err.message.contains("missing ';'"));
+    }
+
+    #[test]
+    fn error_on_planless_script() {
+        let err = compile("$a = read 'x';", &registry()).unwrap_err();
+        assert!(err.message.contains("no sink"));
+    }
+
+    #[test]
+    fn variables_can_be_rebound() {
+        let script = "
+            $a = read 'docs';
+            $a = apply base.identity $a;
+            write $a 'out';
+        ";
+        let plan = compile(script, &registry()).unwrap();
+        assert_eq!(plan.operator_count(), 1);
+    }
+}

@@ -1,0 +1,336 @@
+//! The operator model: UDF-bearing operators with semantic and resource
+//! annotations.
+//!
+//! Stratosphere organizes its ~60 operators into four packages (BASE, IE,
+//! WA, DC) and optimizes UDF-heavy flows using *semantic annotations* —
+//! which record fields an operator reads and writes (the SOFA optimizer the
+//! authors cite is built on exactly that idea). Each operator here carries:
+//!
+//! - its **package** and **kind** (map / flat-map / filter / reduce);
+//! - **reads/writes field sets** driving the reordering rules;
+//! - a **cost model** (startup seconds, per-worker memory at paper scale,
+//!   per-character processing cost, optional quadratic blow-up) that the
+//!   simulated cluster uses for admission control and for the scale-out /
+//!   scale-up experiments;
+//! - an optional **library dependency** `(name, major version)` — the
+//!   ingredient of the paper's OpenNLP 1.4-vs-1.5 class-loader war story.
+
+use crate::record::Record;
+use serde::Serialize;
+use std::sync::Arc;
+
+/// Operator package, per the paper's taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum Package {
+    /// Relational/general-purpose operators.
+    Base,
+    /// Information extraction (NLP + NER).
+    Ie,
+    /// Web analytics (markup handling, link extraction).
+    Wa,
+    /// Data cleansing.
+    Dc,
+}
+
+/// Execution kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Kind {
+    /// 1:1 record transform.
+    Map,
+    /// 1:N record transform.
+    FlatMap,
+    /// Predicate.
+    Filter,
+    /// Keyed aggregation (forces a shuffle).
+    Reduce,
+}
+
+/// Resource/cost annotations at paper scale, consumed by the simulated
+/// cluster (admission control, Figs. 4/5) — not by the real executor,
+/// which measures wall time directly.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct CostModel {
+    /// One-time per-worker startup in simulated seconds (dictionary loads).
+    pub startup_secs: f64,
+    /// Resident memory per worker thread in bytes at paper scale.
+    pub memory_bytes: u64,
+    /// Per-character processing cost in simulated microseconds.
+    pub us_per_char: f64,
+    /// If set, cost grows quadratically: multiplied by `chars / quad_ref`.
+    pub quadratic_ref: Option<f64>,
+}
+
+impl Default for CostModel {
+    fn default() -> CostModel {
+        CostModel {
+            startup_secs: 0.0,
+            memory_bytes: 64 << 20, // 64 MB baseline per worker
+            us_per_char: 0.01,
+            quadratic_ref: None,
+        }
+    }
+}
+
+impl CostModel {
+    /// Simulated processing cost of one record with `chars` characters of
+    /// text, in seconds.
+    pub fn record_cost_secs(&self, chars: usize) -> f64 {
+        let mut us = self.us_per_char * chars as f64;
+        if let Some(reference) = self.quadratic_ref {
+            us *= 1.0 + chars as f64 / reference;
+        }
+        us / 1e6
+    }
+}
+
+/// The UDF payload.
+#[derive(Clone)]
+pub enum OpFunc {
+    Map(Arc<dyn Fn(Record) -> Record + Send + Sync>),
+    FlatMap(Arc<dyn Fn(Record) -> Vec<Record> + Send + Sync>),
+    Filter(Arc<dyn Fn(&Record) -> bool + Send + Sync>),
+    Reduce {
+        key: Arc<dyn Fn(&Record) -> String + Send + Sync>,
+        aggregate: Arc<dyn Fn(&str, Vec<Record>) -> Vec<Record> + Send + Sync>,
+    },
+}
+
+/// An operator instance.
+#[derive(Clone)]
+pub struct Operator {
+    pub name: String,
+    pub package: Package,
+    pub kind: Kind,
+    /// Record fields the UDF reads (semantic annotation).
+    pub reads: Vec<String>,
+    /// Record fields the UDF writes (semantic annotation).
+    pub writes: Vec<String>,
+    pub cost: CostModel,
+    /// External library dependency `(name, major version)`.
+    pub library: Option<(String, u32)>,
+    func: OpFunc,
+}
+
+impl std::fmt::Debug for Operator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Operator")
+            .field("name", &self.name)
+            .field("package", &self.package)
+            .field("kind", &self.kind)
+            .field("reads", &self.reads)
+            .field("writes", &self.writes)
+            .finish()
+    }
+}
+
+impl Operator {
+    pub fn map(
+        name: &str,
+        package: Package,
+        f: impl Fn(Record) -> Record + Send + Sync + 'static,
+    ) -> Operator {
+        Operator {
+            name: name.to_string(),
+            package,
+            kind: Kind::Map,
+            reads: Vec::new(),
+            writes: Vec::new(),
+            cost: CostModel::default(),
+            library: None,
+            func: OpFunc::Map(Arc::new(f)),
+        }
+    }
+
+    pub fn flat_map(
+        name: &str,
+        package: Package,
+        f: impl Fn(Record) -> Vec<Record> + Send + Sync + 'static,
+    ) -> Operator {
+        Operator {
+            kind: Kind::FlatMap,
+            func: OpFunc::FlatMap(Arc::new(f)),
+            ..Operator::map(name, package, |r| r)
+        }
+    }
+
+    pub fn filter(
+        name: &str,
+        package: Package,
+        f: impl Fn(&Record) -> bool + Send + Sync + 'static,
+    ) -> Operator {
+        Operator {
+            kind: Kind::Filter,
+            func: OpFunc::Filter(Arc::new(f)),
+            ..Operator::map(name, package, |r| r)
+        }
+    }
+
+    pub fn reduce(
+        name: &str,
+        package: Package,
+        key: impl Fn(&Record) -> String + Send + Sync + 'static,
+        aggregate: impl Fn(&str, Vec<Record>) -> Vec<Record> + Send + Sync + 'static,
+    ) -> Operator {
+        Operator {
+            kind: Kind::Reduce,
+            func: OpFunc::Reduce {
+                key: Arc::new(key),
+                aggregate: Arc::new(aggregate),
+            },
+            ..Operator::map(name, package, |r| r)
+        }
+    }
+
+    /// Declares the fields read (builder style).
+    pub fn with_reads(mut self, fields: &[&str]) -> Operator {
+        self.reads = fields.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    /// Declares the fields written.
+    pub fn with_writes(mut self, fields: &[&str]) -> Operator {
+        self.writes = fields.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    pub fn with_cost(mut self, cost: CostModel) -> Operator {
+        self.cost = cost;
+        self
+    }
+
+    pub fn with_library(mut self, name: &str, major: u32) -> Operator {
+        self.library = Some((name.to_string(), major));
+        self
+    }
+
+    pub fn func(&self) -> &OpFunc {
+        &self.func
+    }
+
+    /// Can this operator be chained into a pipeline stage (no shuffle)?
+    pub fn is_pipelineable(&self) -> bool {
+        self.kind != Kind::Reduce
+    }
+
+    /// Applies the operator to a batch sequentially (the executor handles
+    /// parallelism; this is also the unit-test entry point).
+    pub fn apply(&self, input: Vec<Record>) -> Vec<Record> {
+        match &self.func {
+            OpFunc::Map(f) => input.into_iter().map(|r| f(r)).collect(),
+            OpFunc::FlatMap(f) => input.into_iter().flat_map(|r| f(r)).collect(),
+            OpFunc::Filter(f) => input.into_iter().filter(|r| f(r)).collect(),
+            OpFunc::Reduce { key, aggregate } => {
+                use std::collections::BTreeMap;
+                let mut groups: BTreeMap<String, Vec<Record>> = BTreeMap::new();
+                for r in input {
+                    groups.entry(key(&r)).or_default().push(r);
+                }
+                groups
+                    .into_iter()
+                    .flat_map(|(k, rs)| aggregate(&k, rs))
+                    .collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Value;
+
+    fn rec(id: i64) -> Record {
+        let mut r = Record::new();
+        r.set("id", id).set("text", format!("doc {id}"));
+        r
+    }
+
+    #[test]
+    fn map_applies_to_each_record() {
+        let op = Operator::map("bump", Package::Base, |mut r| {
+            let id = r.get("id").unwrap().as_int().unwrap();
+            r.set("id", id + 1);
+            r
+        });
+        let out = op.apply(vec![rec(1), rec(2)]);
+        assert_eq!(out[0].get("id").unwrap().as_int(), Some(2));
+        assert_eq!(out[1].get("id").unwrap().as_int(), Some(3));
+    }
+
+    #[test]
+    fn flat_map_changes_cardinality() {
+        let op = Operator::flat_map("dup", Package::Base, |r| vec![r.clone(), r]);
+        assert_eq!(op.apply(vec![rec(1)]).len(), 2);
+    }
+
+    #[test]
+    fn filter_drops_records() {
+        let op = Operator::filter("odd", Package::Base, |r| {
+            r.get("id").unwrap().as_int().unwrap() % 2 == 1
+        });
+        let out = op.apply(vec![rec(1), rec(2), rec(3)]);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn reduce_groups_by_key() {
+        let op = Operator::reduce(
+            "count-by-parity",
+            Package::Base,
+            |r| (r.get("id").unwrap().as_int().unwrap() % 2).to_string(),
+            |k, rs| {
+                let mut out = Record::new();
+                out.set("key", k).set("count", rs.len());
+                vec![out]
+            },
+        );
+        let out = op.apply(vec![rec(1), rec(2), rec(3), rec(4), rec(5)]);
+        assert_eq!(out.len(), 2);
+        // BTreeMap ordering: "0" then "1"
+        assert_eq!(out[0].get("count").unwrap().as_int(), Some(2));
+        assert_eq!(out[1].get("count").unwrap().as_int(), Some(3));
+    }
+
+    #[test]
+    fn cost_model_linear_and_quadratic() {
+        let lin = CostModel {
+            us_per_char: 1.0,
+            ..CostModel::default()
+        };
+        assert!((lin.record_cost_secs(1000) - 1e-3).abs() < 1e-12);
+        let quad = CostModel {
+            us_per_char: 1.0,
+            quadratic_ref: Some(100.0),
+            ..CostModel::default()
+        };
+        // 1000 chars: 1000us * (1 + 10) = 11ms
+        assert!((quad.record_cost_secs(1000) - 11e-3).abs() < 1e-9);
+        assert!(quad.record_cost_secs(2000) > 3.0 * quad.record_cost_secs(1000));
+    }
+
+    #[test]
+    fn annotations_and_builders() {
+        let op = Operator::map("x", Package::Ie, |r| r)
+            .with_reads(&["text"])
+            .with_writes(&["pos"])
+            .with_library("opennlp", 15)
+            .with_cost(CostModel {
+                memory_bytes: 123,
+                ..CostModel::default()
+            });
+        assert_eq!(op.reads, vec!["text"]);
+        assert_eq!(op.writes, vec!["pos"]);
+        assert_eq!(op.library, Some(("opennlp".to_string(), 15)));
+        assert_eq!(op.cost.memory_bytes, 123);
+        assert!(op.is_pipelineable());
+    }
+
+    #[test]
+    fn value_untouched_by_identity() {
+        let op = Operator::map("id", Package::Base, |r| r);
+        let input = vec![rec(9)];
+        let out = op.apply(input.clone());
+        assert_eq!(out[0].get("text"), Some(&Value::Str("doc 9".into())));
+        assert_eq!(out, input);
+    }
+}

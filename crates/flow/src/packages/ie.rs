@@ -1,0 +1,446 @@
+//! IE package: syntactic and semantic annotation operators.
+//!
+//! These are the wrapped "best-of-breed" tools of the paper's Fig.-2 flow:
+//! sentence/token boundary annotation, part-of-speech tagging (MedPost
+//! analogue), regular-expression linguistic annotators (negation,
+//! pronouns, parentheses), and the six entity annotators (dictionary + ML
+//! for genes, drugs, diseases). Each carries the cost model and library
+//! annotations that drive the simulated-cluster experiments, including the
+//! OpenNLP version split behind the paper's class-loader war story.
+
+use crate::operator::{CostModel, Operator, Package};
+use crate::packages::{IeResources, OperatorRegistry};
+use crate::record::{span_annotation, Record, Value};
+use std::sync::Arc;
+use std::sync::OnceLock;
+use websift_ner::{EntityType, Mention};
+use websift_text::regexlite::Regex;
+use websift_text::tokenize::tokenize;
+use websift_text::{PosTagger, SentenceSplitter};
+
+/// Reads the `sentences` annotation back into spans; falls back to the
+/// whole text as one sentence when absent.
+pub fn sentence_spans(r: &Record) -> Vec<(usize, usize)> {
+    match r.get("sentences").and_then(Value::as_array) {
+        Some(arr) => arr
+            .iter()
+            .filter_map(|v| {
+                let o = v.as_object()?;
+                Some((o.get("start")?.as_int()? as usize, o.get("end")?.as_int()? as usize))
+            })
+            .collect(),
+        None => match r.text() {
+            Some(t) if !t.is_empty() => vec![(0, t.len())],
+            _ => Vec::new(),
+        },
+    }
+}
+
+fn push_mentions(r: &mut Record, mentions: impl IntoIterator<Item = Mention>) {
+    for m in mentions {
+        r.push_to(
+            "entities",
+            span_annotation(
+                m.start,
+                m.end,
+                &[
+                    ("name", Value::Str(m.name.clone())),
+                    ("type", Value::Str(m.entity.name().to_string())),
+                    (
+                        "method",
+                        Value::Str(
+                            match m.method {
+                                websift_ner::Method::Dictionary => "dict",
+                                websift_ner::Method::Ml => "ml",
+                            }
+                            .to_string(),
+                        ),
+                    ),
+                ],
+            ),
+        );
+    }
+}
+
+/// `ie.annotate_sentences` (OpenNLP-1.5-class tool).
+pub fn annotate_sentences() -> Operator {
+    Operator::map("ie.annotate_sentences", Package::Ie, |mut r| {
+        let text = r.text().unwrap_or("").to_string();
+        let spans: Vec<Value> = SentenceSplitter::new()
+            .split(&text)
+            .into_iter()
+            .map(|s| span_annotation(s.start, s.end, &[]))
+            .collect();
+        r.set("sentences", Value::Array(spans));
+        r
+    })
+    .with_reads(&["text"])
+    .with_writes(&["sentences"])
+    .with_library("opennlp", 15)
+    .with_cost(CostModel {
+        us_per_char: 0.05,
+        ..CostModel::default()
+    })
+}
+
+/// `ie.annotate_tokens` (OpenNLP-1.5-class tool).
+pub fn annotate_tokens() -> Operator {
+    Operator::map("ie.annotate_tokens", Package::Ie, |mut r| {
+        let text = r.text().unwrap_or("").to_string();
+        let toks: Vec<Value> = tokenize(&text)
+            .into_iter()
+            .map(|t| span_annotation(t.start, t.end, &[]))
+            .collect();
+        r.set("tokens", Value::Array(toks));
+        r
+    })
+    .with_reads(&["text"])
+    .with_writes(&["tokens"])
+    .with_library("opennlp", 15)
+    .with_cost(CostModel {
+        us_per_char: 0.08,
+        ..CostModel::default()
+    })
+}
+
+/// `ie.annotate_pos` — the MedPost-analogue HMM tagger, applied per
+/// sentence. Over-long sentences fail cleanly and are counted in
+/// `pos_errors` (the original tool crashed; the flow must not).
+pub fn annotate_pos(tagger: Arc<PosTagger>) -> Operator {
+    Operator::map("ie.annotate_pos", Package::Ie, move |mut r| {
+        let text = r.text().unwrap_or("").to_string();
+        let mut errors = 0i64;
+        let mut annotations: Vec<Value> = Vec::new();
+        for (si, (start, end)) in sentence_spans(&r).into_iter().enumerate() {
+            let sent = &text[start.min(text.len())..end.min(text.len())];
+            let tokens = tokenize(sent);
+            let strs: Vec<&str> = tokens.iter().map(|t| t.text(sent)).collect();
+            match tagger.tag(&strs) {
+                Ok(tags) => {
+                    let tag_values: Vec<Value> = tags
+                        .into_iter()
+                        .map(|t| Value::Str(format!("{t:?}")))
+                        .collect();
+                    let mut obj = std::collections::BTreeMap::new();
+                    obj.insert("sentence".to_string(), Value::Int(si as i64));
+                    obj.insert("tags".to_string(), Value::Array(tag_values));
+                    annotations.push(Value::Object(obj));
+                }
+                Err(_) => errors += 1,
+            }
+        }
+        r.set("pos", Value::Array(annotations));
+        r.set("pos_errors", errors);
+        r
+    })
+    .with_reads(&["text", "sentences"])
+    .with_writes(&["pos", "pos_errors"])
+    .with_cost(CostModel {
+        startup_secs: 5.0,
+        memory_bytes: 512 << 20,
+        us_per_char: 2.0,
+        quadratic_ref: None,
+    })
+}
+
+fn regex_annotator(
+    name: &'static str,
+    writes: &'static str,
+    pattern: &'static str,
+    class_of: fn(&str) -> Option<String>,
+) -> Operator {
+    static CACHE: OnceLock<parking_lot::Mutex<std::collections::HashMap<&'static str, Arc<Regex>>>> =
+        OnceLock::new();
+    let cache = CACHE.get_or_init(Default::default);
+    let regex = cache
+        .lock()
+        .entry(pattern)
+        .or_insert_with(|| Arc::new(Regex::case_insensitive(pattern).expect("valid pattern")))
+        .clone();
+
+    Operator::map(name, Package::Ie, move |mut r| {
+        let text = r.text().unwrap_or("").to_string();
+        let mut annotations: Vec<Value> = Vec::new();
+        for (si, (start, end)) in sentence_spans(&r).into_iter().enumerate() {
+            let sent = &text[start.min(text.len())..end.min(text.len())];
+            for m in regex.find_iter(sent) {
+                let mut extra: Vec<(&str, Value)> =
+                    vec![("sentence", Value::Int(si as i64))];
+                if let Some(class) = class_of(m.text(sent)) {
+                    extra.push(("class", Value::Str(class)));
+                }
+                annotations.push(span_annotation(start + m.start, start + m.end, &extra));
+            }
+        }
+        r.set(writes, Value::Array(annotations));
+        r
+    })
+    .with_reads(&["text", "sentences"])
+    .with_writes(&[writes])
+    .with_cost(CostModel {
+        us_per_char: 0.3,
+        ..CostModel::default()
+    })
+}
+
+/// `ie.annotate_negation` — finds *not*, *nor*, *neither* (the paper's
+/// "rather simple method for determining negations").
+pub fn annotate_negation() -> Operator {
+    regex_annotator(
+        "ie.annotate_negation",
+        "negation",
+        r"\b(not|nor|neither)\b",
+        |_| None,
+    )
+}
+
+/// `ie.annotate_pronouns` — six pronoun classes.
+pub fn annotate_pronouns() -> Operator {
+    regex_annotator(
+        "ie.annotate_pronouns",
+        "pronouns",
+        r"\b(it|they|we|he|she|i|you|its|their|his|her|our|this|these|that|those|which|who|whom|them|him|us|me|itself|themselves)\b",
+        |m| {
+            let lower = m.to_lowercase();
+            let class = match lower.as_str() {
+                "it" | "they" | "we" | "he" | "she" | "i" | "you" => "personal",
+                "its" | "their" | "his" | "her" | "our" => "possessive",
+                "this" | "these" | "that" | "those" => "demonstrative",
+                "which" | "who" | "whom" => "relative",
+                "them" | "him" | "us" | "me" => "object",
+                _ => "reflexive",
+            };
+            Some(class.to_string())
+        },
+    )
+}
+
+/// `ie.annotate_parentheses` — parenthesized text spans.
+pub fn annotate_parentheses() -> Operator {
+    regex_annotator(
+        "ie.annotate_parentheses",
+        "parens",
+        r"\([^()]*\)",
+        |_| None,
+    )
+}
+
+/// Dictionary entity annotator for one type.
+pub fn annotate_entities_dict(resources: &IeResources, entity: EntityType) -> Operator {
+    let tagger = resources.dict[&entity].clone();
+    let cost = tagger.cost_model();
+    let name = format!("ie.annotate_entities_dict_{}", entity.name());
+    Operator::map(&name, Package::Ie, move |mut r| {
+        let text = r.text().unwrap_or("").to_string();
+        let mentions = tagger.tag(&text);
+        push_mentions(&mut r, mentions);
+        r
+    })
+    .with_reads(&["text"])
+    .with_writes(&["entities"])
+    .with_cost(CostModel {
+        startup_secs: cost.startup_secs,
+        memory_bytes: cost.memory_bytes,
+        us_per_char: cost.us_per_char,
+        quadratic_ref: None,
+    })
+}
+
+/// ML (CRF) entity annotator for one type. The disease tagger "brings its
+/// own linguistic preprocessing ... imported from the OpenNLP library,
+/// version 1.4" — hence its conflicting library annotation.
+pub fn annotate_entities_ml(resources: &IeResources, entity: EntityType) -> Operator {
+    let tagger = resources.crf[&entity].clone();
+    let cost = tagger.cost_model();
+    let context = resources.config.crf_context_features;
+    let name = format!("ie.annotate_entities_ml_{}", entity.name());
+    let op = Operator::map(&name, Package::Ie, move |mut r| {
+        let text = r.text().unwrap_or("").to_string();
+        let mut all = Vec::new();
+        for (start, end) in sentence_spans(&r) {
+            let sent = &text[start.min(text.len())..end.min(text.len())];
+            for mut m in tagger.tag(sent) {
+                m.start += start;
+                m.end += start;
+                all.push(m);
+            }
+        }
+        push_mentions(&mut r, all);
+        r
+    })
+    .with_cost(CostModel {
+        startup_secs: cost.startup_secs,
+        memory_bytes: cost.memory_bytes,
+        us_per_char: cost.us_per_char,
+        quadratic_ref: if context { Some(500.0) } else { None },
+    });
+    match entity {
+        EntityType::Disease => op
+            .with_reads(&["text"])
+            .with_writes(&["entities"])
+            .with_library("opennlp", 14),
+        _ => op
+            .with_reads(&["text", "sentences"])
+            .with_writes(&["entities"])
+            .with_library("opennlp", 15),
+    }
+}
+
+/// Registers IE operators over shared resources.
+pub fn register(reg: &mut OperatorRegistry, resources: Arc<IeResources>) {
+    reg.register("ie.annotate_sentences", annotate_sentences);
+    reg.register("ie.annotate_tokens", annotate_tokens);
+    let res = resources.clone();
+    reg.register("ie.annotate_pos", move || annotate_pos(res.pos.clone()));
+    reg.register("ie.annotate_negation", annotate_negation);
+    reg.register("ie.annotate_pronouns", annotate_pronouns);
+    reg.register("ie.annotate_parentheses", annotate_parentheses);
+    for entity in EntityType::all() {
+        let res = resources.clone();
+        reg.register(
+            &format!("ie.annotate_entities_dict_{}", entity.name()),
+            move || annotate_entities_dict(&res, entity),
+        );
+        let res = resources.clone();
+        reg.register(
+            &format!("ie.annotate_entities_ml_{}", entity.name()),
+            move || annotate_entities_ml(&res, entity),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use websift_corpus::LexiconScale;
+
+    fn resources() -> &'static IeResources {
+        static RES: OnceLock<IeResources> = OnceLock::new();
+        RES.get_or_init(|| IeResources::quick_for_tests(LexiconScale::tiny()))
+    }
+
+    fn doc(text: &str) -> Record {
+        let mut r = Record::new();
+        r.set("text", text);
+        r
+    }
+
+    fn with_sentences(text: &str) -> Record {
+        let out = annotate_sentences().apply(vec![doc(text)]);
+        out.into_iter().next().unwrap()
+    }
+
+    #[test]
+    fn sentence_annotation() {
+        let r = with_sentences("First sentence here. Second one follows.");
+        let sents = sentence_spans(&r);
+        assert_eq!(sents.len(), 2);
+        assert_eq!(sents[0].0, 0);
+    }
+
+    #[test]
+    fn sentence_spans_fallback_without_annotation() {
+        let r = doc("no sentence annotation");
+        assert_eq!(sentence_spans(&r), vec![(0, 22)]);
+        assert!(sentence_spans(&doc("")).is_empty());
+    }
+
+    #[test]
+    fn token_annotation() {
+        let out = annotate_tokens().apply(vec![doc("two tokens")]);
+        assert_eq!(out[0].get("tokens").unwrap().as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn pos_annotation_and_error_counting() {
+        let r = with_sentences("The gene regulates the protein.");
+        let out = annotate_pos(resources().pos.clone()).apply(vec![r]);
+        let pos = out[0].get("pos").unwrap().as_array().unwrap();
+        assert_eq!(pos.len(), 1);
+        assert_eq!(out[0].get("pos_errors").unwrap().as_int(), Some(0));
+
+        // a pathological unpunctuated blob exceeds the tagger's budget
+        let blob = "word ".repeat(600);
+        let r = with_sentences(&blob);
+        let tagger = Arc::new(PosTagger::pretrained().clone().with_max_tokens(100));
+        let out = annotate_pos(tagger).apply(vec![r]);
+        assert_eq!(out[0].get("pos_errors").unwrap().as_int(), Some(1));
+    }
+
+    #[test]
+    fn negation_annotation() {
+        let r = with_sentences("This does not work. Neither does that. All fine here.");
+        let out = annotate_negation().apply(vec![r]);
+        let ns = out[0].get("negation").unwrap().as_array().unwrap();
+        assert_eq!(ns.len(), 2);
+    }
+
+    #[test]
+    fn pronoun_classes() {
+        let r = with_sentences("They saw it. Their results, which we measured.");
+        let out = annotate_pronouns().apply(vec![r]);
+        let ps = out[0].get("pronouns").unwrap().as_array().unwrap();
+        let classes: Vec<&str> = ps
+            .iter()
+            .filter_map(|p| p.as_object()?.get("class")?.as_str())
+            .collect();
+        assert!(classes.contains(&"personal"));
+        assert!(classes.contains(&"possessive"));
+        assert!(classes.contains(&"relative"));
+    }
+
+    #[test]
+    fn parentheses_annotation() {
+        let r = with_sentences("The gene (also called TP53) matters (P < 0.01).");
+        let out = annotate_parentheses().apply(vec![r]);
+        assert_eq!(out[0].get("parens").unwrap().as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn dict_entity_annotation_finds_lexicon_terms() {
+        let lexicon = websift_corpus::Lexicon::generate(LexiconScale::tiny());
+        let gene = &lexicon.genes()[0];
+        let r = with_sentences(&format!("Mutations of {gene} were frequent."));
+        let out = annotate_entities_dict(resources(), EntityType::Gene).apply(vec![r]);
+        let ents = out[0].get("entities").unwrap().as_array().unwrap();
+        assert_eq!(ents.len(), 1);
+        let o = ents[0].as_object().unwrap();
+        assert_eq!(o["type"].as_str(), Some("gene"));
+        assert_eq!(o["method"].as_str(), Some("dict"));
+    }
+
+    #[test]
+    fn ml_entity_annotation_produces_mentions_with_offsets() {
+        let lexicon = websift_corpus::Lexicon::generate(LexiconScale::tiny());
+        let gene = &lexicon.genes()[1];
+        let text = format!("Filler sentence first. Expression of {gene} increased.");
+        let r = with_sentences(&text);
+        let out = annotate_entities_ml(resources(), EntityType::Gene).apply(vec![r]);
+        let ents = out[0].get("entities").unwrap().as_array().unwrap();
+        assert!(!ents.is_empty(), "CRF should tag a gene-like symbol");
+        for e in ents {
+            let o = e.as_object().unwrap();
+            let (s, e_) = (
+                o["start"].as_int().unwrap() as usize,
+                o["end"].as_int().unwrap() as usize,
+            );
+            assert!(e_ <= text.len() && s < e_);
+            assert_eq!(o["method"].as_str(), Some("ml"));
+        }
+    }
+
+    #[test]
+    fn disease_ml_tagger_declares_conflicting_library() {
+        let sent = annotate_sentences();
+        let disease = annotate_entities_ml(resources(), EntityType::Disease);
+        assert_eq!(sent.library, Some(("opennlp".to_string(), 15)));
+        assert_eq!(disease.library, Some(("opennlp".to_string(), 14)));
+    }
+
+    #[test]
+    fn dict_cost_dwarfed_by_ml_cost() {
+        let dict = annotate_entities_dict(resources(), EntityType::Gene);
+        let ml = annotate_entities_ml(resources(), EntityType::Gene);
+        assert!(ml.cost.us_per_char > 50.0 * dict.cost.us_per_char);
+    }
+}

@@ -1,0 +1,255 @@
+//! The semi-structured record model flowing through operators.
+//!
+//! Stratosphere's Sopremo/Meteor layer operates on JSON-like records; the
+//! IE operators "add specific annotations (POS tags, entity annotation,
+//! token boundaries etc.) and thus actually increas[e] the size of the data
+//! through the analysis pipeline" — the property behind the paper's
+//! network-overload war story. [`Value::approx_bytes`] is the size model
+//! the simulated cluster uses to account for that growth.
+
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// A JSON-like value.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+#[serde(untagged)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Array(Vec<Value>),
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Approximate serialized size in bytes — the unit of the simulated
+    /// cluster's network and storage accounting.
+    pub fn approx_bytes(&self) -> u64 {
+        match self {
+            Value::Null => 4,
+            Value::Bool(_) => 5,
+            Value::Int(_) | Value::Float(_) => 8,
+            Value::Str(s) => s.len() as u64 + 2,
+            Value::Array(a) => 2 + a.iter().map(Value::approx_bytes).sum::<u64>(),
+            Value::Object(o) => {
+                2 + o
+                    .iter()
+                    .map(|(k, v)| k.len() as u64 + 3 + v.approx_bytes())
+                    .sum::<u64>()
+            }
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::Str(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::Str(s)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Value {
+        Value::Int(i)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(i: usize) -> Value {
+        Value::Int(i as i64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(f: f64) -> Value {
+        Value::Float(f)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Value {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+/// A record: a top-level JSON object.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Record(pub BTreeMap<String, Value>);
+
+impl Default for Record {
+    fn default() -> Self {
+        Record::new()
+    }
+}
+
+impl Record {
+    pub fn new() -> Record {
+        Record(BTreeMap::new())
+    }
+
+    /// Builds a record from (key, value) pairs.
+    pub fn from_pairs<const N: usize>(pairs: [(&str, Value); N]) -> Record {
+        Record(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.0.get(key)
+    }
+
+    pub fn set(&mut self, key: &str, value: impl Into<Value>) -> &mut Record {
+        self.0.insert(key.to_string(), value.into());
+        self
+    }
+
+    pub fn remove(&mut self, key: &str) -> Option<Value> {
+        self.0.remove(key)
+    }
+
+    pub fn contains(&self, key: &str) -> bool {
+        self.0.contains_key(key)
+    }
+
+    /// The document text field, the field nearly every IE operator reads.
+    pub fn text(&self) -> Option<&str> {
+        self.get("text").and_then(Value::as_str)
+    }
+
+    pub fn approx_bytes(&self) -> u64 {
+        Value::Object(self.0.clone()).approx_bytes()
+    }
+
+    /// Pushes a value onto an array field, creating it if missing.
+    pub fn push_to(&mut self, key: &str, value: Value) {
+        match self.0.get_mut(key) {
+            Some(Value::Array(a)) => a.push(value),
+            _ => {
+                self.0.insert(key.to_string(), Value::Array(vec![value]));
+            }
+        }
+    }
+}
+
+/// Builds an annotation object `{start, end, ...extra}` — the common shape
+/// for sentence/token/mention annotations.
+pub fn span_annotation(start: usize, end: usize, extra: &[(&str, Value)]) -> Value {
+    let mut obj = BTreeMap::new();
+    obj.insert("start".to_string(), Value::Int(start as i64));
+    obj.insert("end".to_string(), Value::Int(end as i64));
+    for (k, v) in extra {
+        obj.insert(k.to_string(), v.clone());
+    }
+    Value::Object(obj)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_roundtrip() {
+        let mut r = Record::new();
+        r.set("id", 7i64).set("text", "hello");
+        assert_eq!(r.get("id").unwrap().as_int(), Some(7));
+        assert_eq!(r.text(), Some("hello"));
+        assert!(r.contains("text"));
+        assert!(!r.contains("missing"));
+        assert_eq!(r.remove("id"), Some(Value::Int(7)));
+    }
+
+    #[test]
+    fn size_grows_with_annotations() {
+        let mut r = Record::from_pairs([("text", Value::from("some document text"))]);
+        let before = r.approx_bytes();
+        for i in 0..50 {
+            r.push_to("entities", span_annotation(i, i + 5, &[("type", "gene".into())]));
+        }
+        let after = r.approx_bytes();
+        assert!(after > before * 5, "annotations must inflate records: {before} -> {after}");
+    }
+
+    #[test]
+    fn push_to_creates_and_appends() {
+        let mut r = Record::new();
+        r.push_to("xs", Value::Int(1));
+        r.push_to("xs", Value::Int(2));
+        assert_eq!(r.get("xs").unwrap().as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn value_conversions() {
+        assert_eq!(Value::from("x"), Value::Str("x".into()));
+        assert_eq!(Value::from(3i64).as_int(), Some(3));
+        assert_eq!(Value::from(2.5).as_float(), Some(2.5));
+        assert_eq!(Value::Int(2).as_float(), Some(2.0));
+        let arr: Value = vec![1i64, 2, 3].into();
+        assert_eq!(arr.as_array().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn span_annotation_shape() {
+        let a = span_annotation(3, 9, &[("kind", "neg".into())]);
+        let o = a.as_object().unwrap();
+        assert_eq!(o["start"].as_int(), Some(3));
+        assert_eq!(o["end"].as_int(), Some(9));
+        assert_eq!(o["kind"].as_str(), Some("neg"));
+    }
+
+    #[test]
+    fn approx_bytes_sane() {
+        assert!(Value::Null.approx_bytes() < 10);
+        assert_eq!(Value::Str("abcd".into()).approx_bytes(), 6);
+        let obj = Value::Object(
+            [("k".to_string(), Value::Int(1))].into_iter().collect(),
+        );
+        assert!(obj.approx_bytes() > 8);
+    }
+}

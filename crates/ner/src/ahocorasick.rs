@@ -1,0 +1,280 @@
+//! Aho-Corasick multi-pattern string matching, built from scratch.
+//!
+//! This is the core of the dictionary-based entity taggers: "an
+//! automaton-based matching algorithm that quickly retrieves mentions of
+//! entities even for large dictionaries" (the paper cites LINNAEUS). The
+//! automaton is constructed over lower-cased characters when
+//! case-insensitive matching is requested, uses BFS-computed failure links,
+//! and reports all (possibly overlapping) pattern occurrences in a single
+//! left-to-right scan — `O(text + matches)` after construction.
+
+use std::collections::{HashMap, VecDeque};
+
+/// A match: pattern index plus byte span in the haystack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AcMatch {
+    pub pattern: usize,
+    pub start: usize,
+    pub end: usize,
+}
+
+#[derive(Debug, Clone, Default)]
+struct Node {
+    /// Child transitions (by possibly-folded char).
+    next: HashMap<char, u32>,
+    /// Failure link.
+    fail: u32,
+    /// Patterns ending at this node (dictionary links resolved at build).
+    outputs: Vec<u32>,
+    /// Depth in chars (for match-start computation we instead track pattern
+    /// lengths; depth kept for diagnostics).
+    depth: u32,
+}
+
+/// The automaton.
+#[derive(Debug, Clone)]
+pub struct AhoCorasick {
+    nodes: Vec<Node>,
+    /// Char length of each pattern (to compute match starts).
+    pattern_char_lens: Vec<u32>,
+    case_insensitive: bool,
+    pattern_count: usize,
+}
+
+impl AhoCorasick {
+    /// Builds the automaton over `patterns`. Empty patterns are ignored.
+    pub fn new<I, S>(patterns: I, case_insensitive: bool) -> AhoCorasick
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut nodes = vec![Node::default()];
+        let mut pattern_char_lens = Vec::new();
+        let mut count = 0usize;
+
+        for pat in patterns {
+            let pat = pat.as_ref();
+            let id = pattern_char_lens.len() as u32;
+            let mut chars = 0u32;
+            let mut cur = 0u32;
+            for c in pat.chars() {
+                let c = fold(c, case_insensitive);
+                chars += 1;
+                let nodes_len = nodes.len() as u32;
+                let child = *nodes[cur as usize].next.entry(c).or_insert(nodes_len);
+                if child == nodes_len {
+                    let depth = nodes[cur as usize].depth + 1;
+                    nodes.push(Node {
+                        depth,
+                        ..Node::default()
+                    });
+                }
+                cur = child;
+            }
+            if chars == 0 {
+                continue; // skip empty pattern but keep ids aligned
+            }
+            nodes[cur as usize].outputs.push(id);
+            pattern_char_lens.push(chars);
+            count += 1;
+        }
+
+        // BFS to set failure links and merge outputs.
+        let mut queue = VecDeque::new();
+        let root_children: Vec<u32> = nodes[0].next.values().copied().collect();
+        for child in root_children {
+            nodes[child as usize].fail = 0;
+            queue.push_back(child);
+        }
+        while let Some(u) = queue.pop_front() {
+            let transitions: Vec<(char, u32)> =
+                nodes[u as usize].next.iter().map(|(&c, &v)| (c, v)).collect();
+            for (c, v) in transitions {
+                // find fail target for v
+                let mut f = nodes[u as usize].fail;
+                loop {
+                    if let Some(&t) = nodes[f as usize].next.get(&c) {
+                        if t != v {
+                            nodes[v as usize].fail = t;
+                            break;
+                        }
+                    }
+                    if f == 0 {
+                        nodes[v as usize].fail = 0;
+                        break;
+                    }
+                    f = nodes[f as usize].fail;
+                }
+                let fail_of_v = nodes[v as usize].fail;
+                let merged: Vec<u32> = nodes[fail_of_v as usize].outputs.clone();
+                nodes[v as usize].outputs.extend(merged);
+                queue.push_back(v);
+            }
+        }
+
+        AhoCorasick {
+            nodes,
+            pattern_char_lens,
+            case_insensitive,
+            pattern_count: count,
+        }
+    }
+
+    /// Number of non-empty patterns in the automaton.
+    pub fn pattern_count(&self) -> usize {
+        self.pattern_count
+    }
+
+    /// Number of automaton states — the basis of the taggers' memory model.
+    pub fn state_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Rough memory footprint estimate in bytes: per-state fixed overhead
+    /// plus per-transition hash-map cost. (The *simulated* footprint used by
+    /// the cluster scheduler is a separate, paper-calibrated figure; this is
+    /// the real in-process cost.)
+    pub fn memory_estimate(&self) -> usize {
+        let transitions: usize = self.nodes.iter().map(|n| n.next.len()).sum();
+        self.nodes.len() * 64 + transitions * 48
+    }
+
+    /// Finds all pattern occurrences in `text`, including overlapping ones.
+    pub fn find_all(&self, text: &str) -> Vec<AcMatch> {
+        let mut out = Vec::new();
+        // Track byte offsets of the last `max_len` chars to recover starts.
+        // Simpler: collect char boundaries once.
+        let boundaries: Vec<usize> = text
+            .char_indices()
+            .map(|(i, _)| i)
+            .chain(std::iter::once(text.len()))
+            .collect();
+        let mut state = 0u32;
+        for (ci, c) in text.chars().enumerate() {
+            let c = fold(c, self.case_insensitive);
+            state = self.step(state, c);
+            let node = &self.nodes[state as usize];
+            for &pid in &node.outputs {
+                let plen = self.pattern_char_lens[pid as usize] as usize;
+                let start_ci = ci + 1 - plen;
+                out.push(AcMatch {
+                    pattern: pid as usize,
+                    start: boundaries[start_ci],
+                    end: boundaries[ci + 1],
+                });
+            }
+        }
+        out
+    }
+
+    #[inline]
+    fn step(&self, mut state: u32, c: char) -> u32 {
+        loop {
+            if let Some(&next) = self.nodes[state as usize].next.get(&c) {
+                return next;
+            }
+            if state == 0 {
+                return 0;
+            }
+            state = self.nodes[state as usize].fail;
+        }
+    }
+}
+
+#[inline]
+fn fold(c: char, ci: bool) -> char {
+    if ci {
+        c.to_lowercase().next().unwrap_or(c)
+    } else {
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_single_pattern() {
+        let ac = AhoCorasick::new(["cancer"], false);
+        let ms = ac.find_all("breast cancer and lung cancer");
+        assert_eq!(ms.len(), 2);
+        assert_eq!(ms[0].start, 7);
+        assert_eq!(ms[0].end, 13);
+    }
+
+    #[test]
+    fn finds_overlapping_patterns() {
+        let ac = AhoCorasick::new(["he", "she", "hers", "his"], false);
+        let ms = ac.find_all("ushers");
+        // "she" at 1..4, "he" at 2..4, "hers" at 2..6
+        let spans: Vec<(usize, usize)> = ms.iter().map(|m| (m.start, m.end)).collect();
+        assert!(spans.contains(&(1, 4)));
+        assert!(spans.contains(&(2, 4)));
+        assert!(spans.contains(&(2, 6)));
+        assert_eq!(ms.len(), 3);
+    }
+
+    #[test]
+    fn substring_patterns_both_reported() {
+        let ac = AhoCorasick::new(["brca", "brca1"], false);
+        let ms = ac.find_all("brca1");
+        assert_eq!(ms.len(), 2);
+    }
+
+    #[test]
+    fn case_insensitive_matching() {
+        let ac = AhoCorasick::new(["aspirin"], true);
+        let ms = ac.find_all("Aspirin ASPIRIN aspirin");
+        assert_eq!(ms.len(), 3);
+    }
+
+    #[test]
+    fn case_sensitive_by_default() {
+        let ac = AhoCorasick::new(["TP53"], false);
+        assert_eq!(ac.find_all("tp53").len(), 0);
+        assert_eq!(ac.find_all("TP53").len(), 1);
+    }
+
+    #[test]
+    fn no_patterns_no_matches() {
+        let ac = AhoCorasick::new(Vec::<String>::new(), false);
+        assert!(ac.find_all("anything").is_empty());
+        assert_eq!(ac.pattern_count(), 0);
+    }
+
+    #[test]
+    fn empty_patterns_ignored() {
+        let ac = AhoCorasick::new(["", "x"], false);
+        assert_eq!(ac.pattern_count(), 1);
+        let ms = ac.find_all("xx");
+        assert_eq!(ms.len(), 2);
+    }
+
+    #[test]
+    fn unicode_patterns_and_text() {
+        let ac = AhoCorasick::new(["naïve"], true);
+        let ms = ac.find_all("a Naïve approach");
+        assert_eq!(ms.len(), 1);
+        let m = ms[0];
+        assert_eq!(&"a Naïve approach"[m.start..m.end], "Naïve");
+    }
+
+    #[test]
+    fn memory_estimate_grows_with_patterns() {
+        let small = AhoCorasick::new(["abc"], false);
+        let patterns: Vec<String> = (0..1000).map(|i| format!("term{i:04}")).collect();
+        let large = AhoCorasick::new(&patterns, false);
+        assert!(large.memory_estimate() > small.memory_estimate() * 10);
+        assert!(large.state_count() > 1000);
+    }
+
+    #[test]
+    fn long_haystack_scan() {
+        let ac = AhoCorasick::new(["needle"], false);
+        let hay = format!("{}needle{}", "x".repeat(10_000), "y".repeat(10_000));
+        let ms = ac.find_all(&hay);
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].start, 10_000);
+    }
+}

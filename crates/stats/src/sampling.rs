@@ -1,0 +1,255 @@
+//! Samplers for heavy-tailed and categorical distributions.
+//!
+//! The synthetic corpora and web graph need Zipfian term frequencies,
+//! log-normal document lengths, and fast weighted choices; all are
+//! implemented here from scratch on top of a generic `rand::Rng`.
+
+use rand::Rng;
+
+/// Zipf distribution over ranks `0..n` with exponent `s`:
+/// `P(rank = k) ∝ 1 / (k+1)^s`.
+///
+/// Sampling is inverse-CDF via binary search over a precomputed cumulative
+/// table — O(log n) per draw, exact, and cheap to build for the vocabulary
+/// sizes used in this workspace (up to ~1e6 ranks).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a Zipf sampler over `n` ranks with exponent `s > 0`.
+    pub fn new(n: usize, s: f64) -> Zipf {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(s > 0.0, "Zipf exponent must be positive");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws a rank in `0..n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random();
+        // partition_point returns the first index whose cdf >= u.
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Probability mass of rank `k`.
+    pub fn pmf(&self, k: usize) -> f64 {
+        if k >= self.cdf.len() {
+            return 0.0;
+        }
+        if k == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[k] - self.cdf[k - 1]
+        }
+    }
+}
+
+/// Categorical distribution over arbitrary non-negative weights using
+/// Walker's alias method: O(n) construction, O(1) sampling.
+#[derive(Debug, Clone)]
+pub struct Categorical {
+    prob: Vec<f64>,
+    alias: Vec<usize>,
+}
+
+impl Categorical {
+    /// Builds the alias table. Panics if `weights` is empty, contains a
+    /// negative weight, or sums to zero.
+    pub fn new(weights: &[f64]) -> Categorical {
+        assert!(!weights.is_empty(), "Categorical needs at least one weight");
+        let total: f64 = weights.iter().sum();
+        assert!(
+            weights.iter().all(|&w| w >= 0.0) && total > 0.0,
+            "Categorical weights must be non-negative with positive sum"
+        );
+        let n = weights.len();
+        let mut prob: Vec<f64> = weights.iter().map(|&w| w * n as f64 / total).collect();
+        let mut alias = vec![0usize; n];
+        let mut small: Vec<usize> = Vec::new();
+        let mut large: Vec<usize> = Vec::new();
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            alias[s] = l;
+            prob[l] = (prob[l] + prob[s]) - 1.0;
+            if prob[l] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Remaining entries are 1.0 up to rounding.
+        for i in small.into_iter().chain(large) {
+            prob[i] = 1.0;
+        }
+        Categorical { prob, alias }
+    }
+
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws an index in `0..len`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let i = rng.random_range(0..self.prob.len());
+        if rng.random::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i]
+        }
+    }
+}
+
+/// Samples a log-normal variate with the given parameters of the underlying
+/// normal (`mu`, `sigma`), via Box-Muller.
+pub fn log_normal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    (mu + sigma * standard_normal(rng)).exp()
+}
+
+/// Standard normal variate via the Box-Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid u1 == 0 which would take ln(0).
+    let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Samples a geometric number of trials until first success (support 1..),
+/// with success probability `p` in `(0, 1]`.
+pub fn geometric<R: Rng + ?Sized>(rng: &mut R, p: f64) -> u64 {
+    assert!(p > 0.0 && p <= 1.0, "geometric needs p in (0,1], got {p}");
+    if p >= 1.0 {
+        return 1;
+    }
+    let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+    (u.ln() / (1.0 - p).ln()).ceil().max(1.0) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_pmf_sums_to_one() {
+        let z = Zipf::new(100, 1.1);
+        let total: f64 = (0..100).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(z.pmf(0) > z.pmf(1));
+        assert_eq!(z.pmf(100), 0.0);
+    }
+
+    #[test]
+    fn zipf_rank_zero_dominates() {
+        let z = Zipf::new(1000, 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut zero = 0;
+        let n = 20_000;
+        for _ in 0..n {
+            if z.sample(&mut rng) == 0 {
+                zero += 1;
+            }
+        }
+        let expected = z.pmf(0);
+        let observed = zero as f64 / n as f64;
+        assert!(
+            (observed - expected).abs() < 0.01,
+            "observed {observed}, expected {expected}"
+        );
+    }
+
+    #[test]
+    fn zipf_single_rank() {
+        let z = Zipf::new(1, 2.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(z.sample(&mut rng), 0);
+        assert_eq!(z.pmf(0), 1.0);
+    }
+
+    #[test]
+    fn categorical_respects_weights() {
+        let c = Categorical::new(&[1.0, 0.0, 3.0]);
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut counts = [0u32; 3];
+        let n = 40_000;
+        for _ in 0..n {
+            counts[c.sample(&mut rng)] += 1;
+        }
+        assert_eq!(counts[1], 0, "zero-weight item must never be drawn");
+        let frac0 = counts[0] as f64 / n as f64;
+        assert!((frac0 - 0.25).abs() < 0.02, "frac0 = {frac0}");
+    }
+
+    #[test]
+    fn categorical_uniform() {
+        let c = Categorical::new(&[1.0; 4]);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0u32; 4];
+        for _ in 0..40_000 {
+            counts[c.sample(&mut rng)] += 1;
+        }
+        for &ct in &counts {
+            let frac = ct as f64 / 40_000.0;
+            assert!((frac - 0.25).abs() < 0.02);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn categorical_rejects_negative() {
+        Categorical::new(&[1.0, -0.5]);
+    }
+
+    #[test]
+    fn log_normal_median_near_exp_mu() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut samples: Vec<f64> = (0..10_000).map(|_| log_normal(&mut rng, 3.0, 0.5)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[samples.len() / 2];
+        let expected = 3.0f64.exp();
+        assert!(
+            (median / expected - 1.0).abs() < 0.05,
+            "median {median} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn geometric_mean_near_inverse_p() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let p = 0.25;
+        let mean: f64 =
+            (0..20_000).map(|_| geometric(&mut rng, p) as f64).sum::<f64>() / 20_000.0;
+        assert!((mean - 4.0).abs() < 0.15, "mean = {mean}");
+        assert_eq!(geometric(&mut rng, 1.0), 1);
+    }
+}

@@ -1,0 +1,191 @@
+//! Character n-gram language identification (Cavnar & Trenkle style).
+//!
+//! The focused crawler "remove[s] pages that are written in languages other
+//! than English by using an n-gram based language filter, because subsequent
+//! IE tools ... are sensitive to language". This module provides that
+//! filter: per-language n-gram rank profiles built from embedded seed text,
+//! compared with the out-of-place measure.
+
+use crate::ngram::NgramProfile;
+use serde::Serialize;
+use std::sync::OnceLock;
+
+/// Languages the identifier can distinguish.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum Lang {
+    English,
+    German,
+    French,
+    Spanish,
+    /// No profile matched with reasonable confidence.
+    Unknown,
+}
+
+const MAX_N: usize = 3;
+const TOP_K: usize = 400;
+
+/// Seed texts: a few hundred words of plain prose per language. They only
+/// need to capture characteristic short n-grams (articles, inflections),
+/// which is what makes the Cavnar-Trenkle method work with tiny models.
+const ENGLISH_SEED: &str = "the quick brown fox jumps over the lazy dog and the \
+    patient was treated with the new drug for the disease of the heart which \
+    is one of the most common causes of death in the world the study shows \
+    that there is a significant difference between the groups and that the \
+    treatment works for most of the patients who were included in the trial \
+    this is an important finding because it suggests that the therapy could \
+    be used more widely in clinical practice and that further research should \
+    be done to confirm these results in larger populations of people with \
+    similar conditions the results of this analysis were published in a peer \
+    reviewed journal and have been cited many times by other researchers in \
+    the field of medicine and biology";
+
+const GERMAN_SEED: &str = "der schnelle braune fuchs springt über den faulen \
+    hund und der patient wurde mit dem neuen medikament gegen die krankheit \
+    des herzens behandelt die eine der häufigsten todesursachen der welt ist \
+    die studie zeigt dass es einen signifikanten unterschied zwischen den \
+    gruppen gibt und dass die behandlung bei den meisten patienten wirkt die \
+    in die studie eingeschlossen wurden dies ist ein wichtiger befund weil er \
+    darauf hindeutet dass die therapie breiter in der klinischen praxis \
+    eingesetzt werden könnte und dass weitere forschung durchgeführt werden \
+    sollte um diese ergebnisse zu bestätigen";
+
+const FRENCH_SEED: &str = "le renard brun rapide saute par dessus le chien \
+    paresseux et le patient a été traité avec le nouveau médicament contre la \
+    maladie du coeur qui est une des causes les plus fréquentes de décès dans \
+    le monde l'étude montre qu'il existe une différence significative entre \
+    les groupes et que le traitement fonctionne pour la plupart des patients \
+    qui ont été inclus dans l'essai c'est une découverte importante car elle \
+    suggère que la thérapie pourrait être utilisée plus largement dans la \
+    pratique clinique et que des recherches supplémentaires devraient être \
+    menées pour confirmer ces résultats";
+
+const SPANISH_SEED: &str = "el rápido zorro marrón salta sobre el perro \
+    perezoso y el paciente fue tratado con el nuevo medicamento contra la \
+    enfermedad del corazón que es una de las causas más comunes de muerte en \
+    el mundo el estudio muestra que hay una diferencia significativa entre \
+    los grupos y que el tratamiento funciona para la mayoría de los pacientes \
+    que fueron incluidos en el ensayo este es un hallazgo importante porque \
+    sugiere que la terapia podría utilizarse más ampliamente en la práctica \
+    clínica y que se deberían realizar más investigaciones para confirmar \
+    estos resultados";
+
+struct Profiles {
+    langs: Vec<(Lang, NgramProfile)>,
+}
+
+fn profiles() -> &'static Profiles {
+    static PROFILES: OnceLock<Profiles> = OnceLock::new();
+    PROFILES.get_or_init(|| Profiles {
+        langs: vec![
+            (Lang::English, NgramProfile::build(ENGLISH_SEED, MAX_N, TOP_K)),
+            (Lang::German, NgramProfile::build(GERMAN_SEED, MAX_N, TOP_K)),
+            (Lang::French, NgramProfile::build(FRENCH_SEED, MAX_N, TOP_K)),
+            (Lang::Spanish, NgramProfile::build(SPANISH_SEED, MAX_N, TOP_K)),
+        ],
+    })
+}
+
+/// The language identifier. Stateless; cheap to construct.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LanguageId;
+
+impl LanguageId {
+    pub fn new() -> LanguageId {
+        LanguageId
+    }
+
+    /// Identifies the language of `text`.
+    ///
+    /// Texts shorter than ~20 letters come back as [`Lang::Unknown`]; so do
+    /// texts whose best profile distance is not meaningfully better than the
+    /// runner-up (ambiguous input such as pure numbers or code).
+    pub fn detect(&self, text: &str) -> Lang {
+        let letters = text.chars().filter(|c| c.is_alphabetic()).count();
+        if letters < 20 {
+            return Lang::Unknown;
+        }
+        let sample = NgramProfile::build(text, MAX_N, TOP_K);
+        let mut best = (Lang::Unknown, u64::MAX);
+        let mut second = u64::MAX;
+        for (lang, profile) in &profiles().langs {
+            let d = profile.out_of_place(&sample);
+            if d < best.1 {
+                second = best.1;
+                best = (*lang, d);
+            } else if d < second {
+                second = d;
+            }
+        }
+        // Require a margin over the runner-up: degenerate inputs are roughly
+        // equidistant from every profile.
+        if second != u64::MAX && best.1 as f64 > 0.97 * second as f64 {
+            return Lang::Unknown;
+        }
+        best.0
+    }
+
+    /// Convenience for the crawler's language filter.
+    pub fn is_english(&self, text: &str) -> bool {
+        self.detect(text) == Lang::English
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detects_english() {
+        let id = LanguageId::new();
+        assert_eq!(
+            id.detect("The treatment of the disease with this drug was effective for most of the patients in the study."),
+            Lang::English
+        );
+    }
+
+    #[test]
+    fn detects_german() {
+        let id = LanguageId::new();
+        assert_eq!(
+            id.detect("Die Behandlung der Krankheit mit diesem Medikament war bei den meisten Patienten in der Studie wirksam."),
+            Lang::German
+        );
+    }
+
+    #[test]
+    fn detects_french() {
+        let id = LanguageId::new();
+        assert_eq!(
+            id.detect("Le traitement de la maladie avec ce médicament a été efficace pour la plupart des patients de l'étude."),
+            Lang::French
+        );
+    }
+
+    #[test]
+    fn detects_spanish() {
+        let id = LanguageId::new();
+        assert_eq!(
+            id.detect("El tratamiento de la enfermedad con este medicamento fue eficaz para la mayoría de los pacientes del estudio."),
+            Lang::Spanish
+        );
+    }
+
+    #[test]
+    fn short_text_is_unknown() {
+        let id = LanguageId::new();
+        assert_eq!(id.detect("ok"), Lang::Unknown);
+        assert_eq!(id.detect("404"), Lang::Unknown);
+        assert_eq!(id.detect(""), Lang::Unknown);
+    }
+
+    #[test]
+    fn is_english_helper() {
+        let id = LanguageId::new();
+        assert!(id.is_english(
+            "This is a perfectly ordinary English sentence about the results of the clinical study."
+        ));
+        assert!(!id.is_english(
+            "Dies ist ein ganz gewöhnlicher deutscher Satz über die Ergebnisse der klinischen Studie."
+        ));
+    }
+}

@@ -1,0 +1,157 @@
+//! Character n-gram utilities shared by the language identifier and the
+//! focused crawler's text models.
+
+use std::collections::HashMap;
+
+/// Extracts all character n-grams of length `n` from `text` (over a
+/// lower-cased, whitespace-normalized view with `_` padding at word
+/// boundaries, the Cavnar-Trenkle convention).
+pub fn char_ngrams(text: &str, n: usize) -> Vec<String> {
+    assert!(n > 0, "n-gram length must be positive");
+    let normalized = normalize(text);
+    let chars: Vec<char> = normalized.chars().collect();
+    if chars.len() < n {
+        return Vec::new();
+    }
+    (0..=chars.len() - n)
+        .map(|i| chars[i..i + n].iter().collect())
+        .collect()
+}
+
+/// Lower-cases and replaces whitespace/punctuation runs with single `_`.
+pub fn normalize(text: &str) -> String {
+    let mut out = String::with_capacity(text.len() + 2);
+    out.push('_');
+    let mut last_sep = true;
+    for c in text.chars() {
+        if c.is_alphabetic() {
+            for lc in c.to_lowercase() {
+                out.push(lc);
+            }
+            last_sep = false;
+        } else if !last_sep {
+            out.push('_');
+            last_sep = true;
+        }
+    }
+    if !out.ends_with('_') {
+        out.push('_');
+    }
+    out
+}
+
+/// An n-gram frequency profile: the `top_k` most frequent n-grams of sizes
+/// `1..=max_n`, ranked — the structure used for out-of-place language
+/// identification.
+#[derive(Debug, Clone)]
+pub struct NgramProfile {
+    /// n-gram -> rank (0 = most frequent).
+    ranks: HashMap<String, usize>,
+    top_k: usize,
+}
+
+impl NgramProfile {
+    /// Builds a profile from `text` using n-gram lengths `1..=max_n`,
+    /// keeping the `top_k` most frequent.
+    pub fn build(text: &str, max_n: usize, top_k: usize) -> NgramProfile {
+        let mut counts: HashMap<String, u64> = HashMap::new();
+        for n in 1..=max_n {
+            for g in char_ngrams(text, n) {
+                *counts.entry(g).or_insert(0) += 1;
+            }
+        }
+        let mut sorted: Vec<(String, u64)> = counts.into_iter().collect();
+        // Sort by descending count, then lexicographically for determinism.
+        sorted.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        sorted.truncate(top_k);
+        let ranks = sorted
+            .into_iter()
+            .enumerate()
+            .map(|(rank, (g, _))| (g, rank))
+            .collect();
+        NgramProfile { ranks, top_k }
+    }
+
+    pub fn len(&self) -> usize {
+        self.ranks.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ranks.is_empty()
+    }
+
+    pub fn rank(&self, gram: &str) -> Option<usize> {
+        self.ranks.get(gram).copied()
+    }
+
+    /// Cavnar-Trenkle "out-of-place" distance from `other` to `self`:
+    /// for each n-gram in `other`, the rank difference in `self`, with a
+    /// `top_k` penalty for absent n-grams. Lower = more similar.
+    pub fn out_of_place(&self, other: &NgramProfile) -> u64 {
+        let mut dist = 0u64;
+        for (gram, &rank) in &other.ranks {
+            dist += match self.ranks.get(gram) {
+                Some(&r) => (r as i64 - rank as i64).unsigned_abs(),
+                None => self.top_k as u64,
+            };
+        }
+        dist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_pads_and_lowercases() {
+        assert_eq!(normalize("The Cat"), "_the_cat_");
+        assert_eq!(normalize("  hi!  "), "_hi_");
+        assert_eq!(normalize(""), "_");
+    }
+
+    #[test]
+    fn ngrams_of_short_text() {
+        assert!(char_ngrams("", 3).is_empty());
+        let grams = char_ngrams("ab", 3); // "_ab_" -> "_ab", "ab_"
+        assert_eq!(grams, vec!["_ab", "ab_"]);
+    }
+
+    #[test]
+    fn unigrams_cover_all_chars() {
+        let grams = char_ngrams("cat", 1);
+        assert_eq!(grams, vec!["_", "c", "a", "t", "_"]);
+    }
+
+    #[test]
+    fn profile_ranks_frequent_first() {
+        // 'a' dominates this text.
+        let p = NgramProfile::build("aaa aaa aaa b", 1, 10);
+        assert_eq!(p.rank("a"), Some(0));
+        assert!(p.rank("b").unwrap() > 0);
+    }
+
+    #[test]
+    fn out_of_place_zero_for_same_profile() {
+        let p = NgramProfile::build("the quick brown fox", 3, 100);
+        assert_eq!(p.out_of_place(&p), 0);
+    }
+
+    #[test]
+    fn out_of_place_larger_for_different_language_like_text() {
+        let en = NgramProfile::build(
+            "the patient was treated with the drug and the disease receded",
+            3,
+            200,
+        );
+        let en2 = NgramProfile::build("the drug treats the disease in the patient", 3, 200);
+        let xx = NgramProfile::build("zzyzx qqkrr wvvxz yyqzz kkkrr", 3, 200);
+        assert!(en.out_of_place(&en2) < en.out_of_place(&xx));
+    }
+
+    #[test]
+    fn profile_truncates_to_top_k() {
+        let p = NgramProfile::build("abcdefghijklmnopqrstuvwxyz", 2, 5);
+        assert!(p.len() <= 5);
+    }
+}

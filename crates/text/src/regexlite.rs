@@ -1,0 +1,855 @@
+//! A small regular-expression engine (Thompson NFA construction, linear-time
+//! simulation) built from scratch.
+//!
+//! The paper's pipeline uses regular expressions pervasively: the linguistic
+//! annotators find negation/pronouns/parentheses "using different sets of
+//! regular expressions", and the dictionary-based entity taggers transform
+//! "each dictionary term into a regular expression" to absorb surface
+//! variation. This engine supports the constructs those uses need:
+//!
+//! - literals and escapes (`\.` etc.), `.` (any char)
+//! - character classes `[a-z0-9]`, negation `[^…]`, and the shorthands
+//!   `\d \w \s \D \W \S`
+//! - grouping `( … )`, alternation `|`
+//! - quantifiers `*`, `+`, `?` and bounded `{m}`, `{m,n}`
+//! - anchors `^`, `$` and the word boundary `\b`
+//! - case-insensitive matching via [`Regex::case_insensitive`]
+//!
+//! Matching is leftmost-longest via breadth-first NFA simulation: worst case
+//! `O(len(text) · states)`, no exponential blow-up on pathological patterns.
+
+use serde::Serialize;
+use std::fmt;
+
+/// A parse error with byte position in the pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegexError {
+    pub position: usize,
+    pub message: String,
+}
+
+impl fmt::Display for RegexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "regex error at {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for RegexError {}
+
+/// A span of a match in the haystack, in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct Match {
+    pub start: usize,
+    pub end: usize,
+}
+
+impl Match {
+    pub fn text<'a>(&self, haystack: &'a str) -> &'a str {
+        &haystack[self.start..self.end]
+    }
+
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+// ---------------------------------------------------------------- AST
+
+#[derive(Debug, Clone)]
+enum Ast {
+    Empty,
+    Char(char),
+    Any,
+    Class(ClassSet),
+    Concat(Vec<Ast>),
+    Alt(Vec<Ast>),
+    Repeat { node: Box<Ast>, min: u32, max: Option<u32> },
+    Anchor(AnchorKind),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AnchorKind {
+    Start,
+    End,
+    WordBoundary,
+}
+
+#[derive(Debug, Clone, Default)]
+struct ClassSet {
+    negated: bool,
+    ranges: Vec<(char, char)>,
+}
+
+impl ClassSet {
+    fn push(&mut self, lo: char, hi: char) {
+        self.ranges.push((lo, hi));
+    }
+
+    fn push_shorthand(&mut self, c: char) {
+        match c {
+            'd' => self.push('0', '9'),
+            'w' => {
+                self.push('a', 'z');
+                self.push('A', 'Z');
+                self.push('0', '9');
+                self.push('_', '_');
+            }
+            's' => {
+                for ws in [' ', '\t', '\n', '\r', '\x0b', '\x0c'] {
+                    self.push(ws, ws);
+                }
+            }
+            _ => unreachable!("not a shorthand: {c}"),
+        }
+    }
+
+    fn matches(&self, c: char, ci: bool) -> bool {
+        let hit = |c: char| self.ranges.iter().any(|&(lo, hi)| c >= lo && c <= hi);
+        let mut m = hit(c);
+        if ci && !m {
+            m = hit(flip_case(c));
+        }
+        m != self.negated
+    }
+}
+
+fn flip_case(c: char) -> char {
+    if c.is_uppercase() {
+        c.to_lowercase().next().unwrap_or(c)
+    } else {
+        c.to_uppercase().next().unwrap_or(c)
+    }
+}
+
+// ---------------------------------------------------------------- parser
+
+struct Parser<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    pattern: &'a str,
+}
+
+impl<'a> Parser<'a> {
+    fn new(pattern: &'a str) -> Parser<'a> {
+        Parser {
+            chars: pattern.chars().collect(),
+            pos: 0,
+            pattern,
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> RegexError {
+        RegexError {
+            position: self.pos.min(self.pattern.len()),
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn parse(&mut self) -> Result<Ast, RegexError> {
+        let ast = self.parse_alt()?;
+        if self.pos != self.chars.len() {
+            return Err(self.err(format!("unexpected '{}'", self.chars[self.pos])));
+        }
+        Ok(ast)
+    }
+
+    fn parse_alt(&mut self) -> Result<Ast, RegexError> {
+        let mut branches = vec![self.parse_concat()?];
+        while self.peek() == Some('|') {
+            self.bump();
+            branches.push(self.parse_concat()?);
+        }
+        Ok(if branches.len() == 1 {
+            branches.pop().unwrap()
+        } else {
+            Ast::Alt(branches)
+        })
+    }
+
+    fn parse_concat(&mut self) -> Result<Ast, RegexError> {
+        let mut items = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            items.push(self.parse_repeat()?);
+        }
+        Ok(match items.len() {
+            0 => Ast::Empty,
+            1 => items.pop().unwrap(),
+            _ => Ast::Concat(items),
+        })
+    }
+
+    fn parse_repeat(&mut self) -> Result<Ast, RegexError> {
+        let atom = self.parse_atom()?;
+        let (min, max) = match self.peek() {
+            Some('*') => {
+                self.bump();
+                (0, None)
+            }
+            Some('+') => {
+                self.bump();
+                (1, None)
+            }
+            Some('?') => {
+                self.bump();
+                (0, Some(1))
+            }
+            Some('{') => {
+                self.bump();
+                let min = self.parse_number()?;
+                let max = match self.peek() {
+                    Some(',') => {
+                        self.bump();
+                        if self.peek() == Some('}') {
+                            None
+                        } else {
+                            Some(self.parse_number()?)
+                        }
+                    }
+                    _ => Some(min),
+                };
+                if self.bump() != Some('}') {
+                    return Err(self.err("expected '}'"));
+                }
+                if let Some(mx) = max {
+                    if mx < min {
+                        return Err(self.err("repetition max below min"));
+                    }
+                    if mx > 512 {
+                        return Err(self.err("repetition bound too large (max 512)"));
+                    }
+                }
+                (min, max)
+            }
+            _ => return Ok(atom),
+        };
+        if matches!(atom, Ast::Anchor(_)) {
+            return Err(self.err("cannot repeat an anchor"));
+        }
+        Ok(Ast::Repeat {
+            node: Box::new(atom),
+            min,
+            max,
+        })
+    }
+
+    fn parse_number(&mut self) -> Result<u32, RegexError> {
+        let mut saw = false;
+        let mut value: u32 = 0;
+        while let Some(c) = self.peek() {
+            if let Some(d) = c.to_digit(10) {
+                self.bump();
+                saw = true;
+                value = value
+                    .checked_mul(10)
+                    .and_then(|v| v.checked_add(d))
+                    .ok_or_else(|| self.err("number too large"))?;
+            } else {
+                break;
+            }
+        }
+        if !saw {
+            return Err(self.err("expected number"));
+        }
+        Ok(value)
+    }
+
+    fn parse_atom(&mut self) -> Result<Ast, RegexError> {
+        match self.bump() {
+            None => Err(self.err("unexpected end of pattern")),
+            Some('(') => {
+                let inner = self.parse_alt()?;
+                if self.bump() != Some(')') {
+                    return Err(self.err("unclosed group"));
+                }
+                Ok(inner)
+            }
+            Some('[') => self.parse_class(),
+            Some('.') => Ok(Ast::Any),
+            Some('^') => Ok(Ast::Anchor(AnchorKind::Start)),
+            Some('$') => Ok(Ast::Anchor(AnchorKind::End)),
+            Some('\\') => self.parse_escape(),
+            Some(c @ ('*' | '+' | '?')) => Err(self.err(format!("dangling quantifier '{c}'"))),
+            Some(c) => Ok(Ast::Char(c)),
+        }
+    }
+
+    fn parse_escape(&mut self) -> Result<Ast, RegexError> {
+        let c = self.bump().ok_or_else(|| self.err("trailing backslash"))?;
+        Ok(match c {
+            'd' | 'w' | 's' => {
+                let mut set = ClassSet::default();
+                set.push_shorthand(c);
+                Ast::Class(set)
+            }
+            'D' | 'W' | 'S' => {
+                let mut set = ClassSet::default();
+                set.push_shorthand(c.to_ascii_lowercase());
+                set.negated = true;
+                Ast::Class(set)
+            }
+            'b' => Ast::Anchor(AnchorKind::WordBoundary),
+            'n' => Ast::Char('\n'),
+            't' => Ast::Char('\t'),
+            'r' => Ast::Char('\r'),
+            other => Ast::Char(other),
+        })
+    }
+
+    fn parse_class(&mut self) -> Result<Ast, RegexError> {
+        let mut set = ClassSet::default();
+        if self.peek() == Some('^') {
+            self.bump();
+            set.negated = true;
+        }
+        let mut first = true;
+        loop {
+            let c = self.bump().ok_or_else(|| self.err("unclosed character class"))?;
+            match c {
+                ']' if !first => break,
+                '\\' => {
+                    let e = self.bump().ok_or_else(|| self.err("trailing backslash"))?;
+                    match e {
+                        'd' | 'w' | 's' => set.push_shorthand(e),
+                        'n' => set.push('\n', '\n'),
+                        't' => set.push('\t', '\t'),
+                        'r' => set.push('\r', '\r'),
+                        other => set.push(other, other),
+                    }
+                }
+                lo => {
+                    // possible range lo-hi
+                    if self.peek() == Some('-') && self.chars.get(self.pos + 1) != Some(&']') {
+                        self.bump(); // '-'
+                        let hi = self.bump().ok_or_else(|| self.err("unclosed range"))?;
+                        if hi < lo {
+                            return Err(self.err("invalid range (hi < lo)"));
+                        }
+                        set.push(lo, hi);
+                    } else {
+                        set.push(lo, lo);
+                    }
+                }
+            }
+            first = false;
+        }
+        Ok(Ast::Class(set))
+    }
+}
+
+// ---------------------------------------------------------------- NFA
+
+#[derive(Debug, Clone)]
+enum Edge {
+    Char(char),
+    Any,
+    Class(u32),
+    Epsilon,
+    Anchor(AnchorKind),
+}
+
+#[derive(Debug, Clone, Default)]
+struct State {
+    edges: Vec<(Edge, u32)>,
+}
+
+/// A compiled regular expression.
+#[derive(Debug, Clone)]
+pub struct Regex {
+    states: Vec<State>,
+    classes: Vec<ClassSet>,
+    start: u32,
+    accept: u32,
+    case_insensitive: bool,
+    pattern: String,
+}
+
+struct Compiler {
+    states: Vec<State>,
+    classes: Vec<ClassSet>,
+}
+
+impl Compiler {
+    fn push_state(&mut self) -> u32 {
+        self.states.push(State::default());
+        (self.states.len() - 1) as u32
+    }
+
+    fn edge(&mut self, from: u32, edge: Edge, to: u32) {
+        self.states[from as usize].edges.push((edge, to));
+    }
+
+    /// Compiles `ast` into a fragment, returning (entry, exit).
+    fn compile(&mut self, ast: &Ast) -> (u32, u32) {
+        match ast {
+            Ast::Empty => {
+                let s = self.push_state();
+                let e = self.push_state();
+                self.edge(s, Edge::Epsilon, e);
+                (s, e)
+            }
+            Ast::Char(c) => {
+                let s = self.push_state();
+                let e = self.push_state();
+                self.edge(s, Edge::Char(*c), e);
+                (s, e)
+            }
+            Ast::Any => {
+                let s = self.push_state();
+                let e = self.push_state();
+                self.edge(s, Edge::Any, e);
+                (s, e)
+            }
+            Ast::Class(set) => {
+                let s = self.push_state();
+                let e = self.push_state();
+                self.classes.push(set.clone());
+                let id = (self.classes.len() - 1) as u32;
+                self.edge(s, Edge::Class(id), e);
+                (s, e)
+            }
+            Ast::Anchor(kind) => {
+                let s = self.push_state();
+                let e = self.push_state();
+                self.edge(s, Edge::Anchor(*kind), e);
+                (s, e)
+            }
+            Ast::Concat(items) => {
+                let mut entry = None;
+                let mut prev_exit: Option<u32> = None;
+                for item in items {
+                    let (s, e) = self.compile(item);
+                    if let Some(pe) = prev_exit {
+                        self.edge(pe, Edge::Epsilon, s);
+                    } else {
+                        entry = Some(s);
+                    }
+                    prev_exit = Some(e);
+                }
+                (entry.unwrap(), prev_exit.unwrap())
+            }
+            Ast::Alt(branches) => {
+                let s = self.push_state();
+                let e = self.push_state();
+                for b in branches {
+                    let (bs, be) = self.compile(b);
+                    self.edge(s, Edge::Epsilon, bs);
+                    self.edge(be, Edge::Epsilon, e);
+                }
+                (s, e)
+            }
+            Ast::Repeat { node, min, max } => {
+                // Expand: min mandatory copies, then either a star (max None)
+                // or (max - min) optional copies.
+                let s = self.push_state();
+                let mut cur = s;
+                for _ in 0..*min {
+                    let (ns, ne) = self.compile(node);
+                    self.edge(cur, Edge::Epsilon, ns);
+                    cur = ne;
+                }
+                match max {
+                    None => {
+                        let (ns, ne) = self.compile(node);
+                        let exit = self.push_state();
+                        self.edge(cur, Edge::Epsilon, ns);
+                        self.edge(cur, Edge::Epsilon, exit);
+                        self.edge(ne, Edge::Epsilon, ns);
+                        self.edge(ne, Edge::Epsilon, exit);
+                        (s, exit)
+                    }
+                    Some(mx) => {
+                        let exit = self.push_state();
+                        self.edge(cur, Edge::Epsilon, exit);
+                        for _ in *min..*mx {
+                            let (ns, ne) = self.compile(node);
+                            self.edge(cur, Edge::Epsilon, ns);
+                            self.edge(ne, Edge::Epsilon, exit);
+                            cur = ne;
+                        }
+                        (s, exit)
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Regex {
+    /// Compiles a case-sensitive regex.
+    pub fn new(pattern: &str) -> Result<Regex, RegexError> {
+        Regex::compile(pattern, false)
+    }
+
+    /// Compiles a case-insensitive regex.
+    pub fn case_insensitive(pattern: &str) -> Result<Regex, RegexError> {
+        Regex::compile(pattern, true)
+    }
+
+    fn compile(pattern: &str, ci: bool) -> Result<Regex, RegexError> {
+        let ast = Parser::new(pattern).parse()?;
+        let mut compiler = Compiler {
+            states: Vec::new(),
+            classes: Vec::new(),
+        };
+        let (start, accept) = compiler.compile(&ast);
+        Ok(Regex {
+            states: compiler.states,
+            classes: compiler.classes,
+            start,
+            accept,
+            case_insensitive: ci,
+            pattern: pattern.to_string(),
+        })
+    }
+
+    /// The source pattern.
+    pub fn pattern(&self) -> &str {
+        &self.pattern
+    }
+
+    /// Number of NFA states (a proxy for pattern complexity; the dictionary
+    /// taggers use it for their memory model).
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Does the regex match anywhere in `text`?
+    pub fn is_match(&self, text: &str) -> bool {
+        self.find(text).is_some()
+    }
+
+    /// Leftmost-longest match.
+    pub fn find(&self, text: &str) -> Option<Match> {
+        self.find_at(text, 0)
+    }
+
+    /// Leftmost-longest match starting at or after byte `from` (which must
+    /// lie on a char boundary).
+    pub fn find_at(&self, text: &str, from: usize) -> Option<Match> {
+        let offsets: Vec<usize> = text[from..]
+            .char_indices()
+            .map(|(i, _)| from + i)
+            .chain(std::iter::once(text.len()))
+            .collect();
+        for &start in &offsets {
+            if let Some(end) = self.match_len(text, start) {
+                return Some(Match { start, end });
+            }
+        }
+        None
+    }
+
+    /// All non-overlapping leftmost-longest matches.
+    pub fn find_iter<'t>(&self, text: &'t str) -> Vec<Match> {
+        let mut out = Vec::new();
+        let mut pos = 0usize;
+        while pos <= text.len() {
+            match self.find_at(text, pos) {
+                Some(m) => {
+                    let next = if m.is_empty() {
+                        // advance one char past an empty match
+                        match text[m.end..].chars().next() {
+                            Some(c) => m.end + c.len_utf8(),
+                            None => break,
+                        }
+                    } else {
+                        m.end
+                    };
+                    out.push(m);
+                    pos = next;
+                }
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// Longest match length anchored at byte `start`; `None` if no match.
+    fn match_len(&self, text: &str, start: usize) -> Option<usize> {
+        let tail: Vec<(usize, char)> = text[start..]
+            .char_indices()
+            .map(|(i, c)| (start + i, c))
+            .collect();
+
+        let mut current: Vec<bool> = vec![false; self.states.len()];
+        let mut best: Option<usize> = None;
+
+        let prev_char_at = |pos: usize| -> Option<char> { text[..pos].chars().next_back() };
+
+        // epsilon closure given position context
+        let closure = |set: &mut Vec<bool>, pos: usize, next: Option<char>, slf: &Regex| {
+            let prev = prev_char_at(pos);
+            let mut stack: Vec<u32> = set
+                .iter()
+                .enumerate()
+                .filter(|(_, &b)| b)
+                .map(|(i, _)| i as u32)
+                .collect();
+            while let Some(s) = stack.pop() {
+                for (edge, to) in &slf.states[s as usize].edges {
+                    let pass = match edge {
+                        Edge::Epsilon => true,
+                        Edge::Anchor(AnchorKind::Start) => pos == 0,
+                        Edge::Anchor(AnchorKind::End) => next.is_none(),
+                        Edge::Anchor(AnchorKind::WordBoundary) => {
+                            let pw = prev.map(is_word).unwrap_or(false);
+                            let nw = next.map(is_word).unwrap_or(false);
+                            pw != nw
+                        }
+                        _ => false,
+                    };
+                    if pass && !set[*to as usize] {
+                        set[*to as usize] = true;
+                        stack.push(*to);
+                    }
+                }
+            }
+        };
+
+        current[self.start as usize] = true;
+        let first_next = tail.first().map(|&(_, c)| c);
+        closure(&mut current, start, first_next, self);
+        if current[self.accept as usize] {
+            best = Some(start);
+        }
+
+        let mut pos_iter = tail.iter().peekable();
+        while let Some(&(off, c)) = pos_iter.next() {
+            let mut next_set = vec![false; self.states.len()];
+            let mut any = false;
+            for (i, &active) in current.iter().enumerate() {
+                if !active {
+                    continue;
+                }
+                for (edge, to) in &self.states[i].edges {
+                    let pass = match edge {
+                        Edge::Char(pc) => chars_eq(*pc, c, self.case_insensitive),
+                        Edge::Any => c != '\n',
+                        Edge::Class(id) => {
+                            self.classes[*id as usize].matches(c, self.case_insensitive)
+                        }
+                        _ => false,
+                    };
+                    if pass {
+                        next_set[*to as usize] = true;
+                        any = true;
+                    }
+                }
+            }
+            if !any {
+                break;
+            }
+            let after = off + c.len_utf8();
+            let lookahead = pos_iter.peek().map(|&&(_, nc)| nc);
+            closure(&mut next_set, after, lookahead, self);
+            if next_set[self.accept as usize] {
+                best = Some(after);
+            }
+            current = next_set;
+        }
+        best
+    }
+}
+
+fn is_word(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+fn chars_eq(a: char, b: char, ci: bool) -> bool {
+    a == b || (ci && (flip_case(a) == b || a == flip_case(b)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(pat: &str, text: &str) -> Option<(usize, usize)> {
+        Regex::new(pat).unwrap().find(text).map(|m| (m.start, m.end))
+    }
+
+    #[test]
+    fn literal_match() {
+        assert_eq!(m("cat", "the cat sat"), Some((4, 7)));
+        assert_eq!(m("dog", "the cat sat"), None);
+    }
+
+    #[test]
+    fn dot_matches_any_but_newline() {
+        assert_eq!(m("c.t", "cut"), Some((0, 3)));
+        assert_eq!(m("c.t", "c\nt"), None);
+    }
+
+    #[test]
+    fn star_is_longest() {
+        assert_eq!(m("ab*", "abbbbc"), Some((0, 5)));
+        assert_eq!(m("ab*", "ac"), Some((0, 1)));
+    }
+
+    #[test]
+    fn plus_requires_one() {
+        assert_eq!(m("ab+", "ac"), None);
+        assert_eq!(m("ab+", "abb"), Some((0, 3)));
+    }
+
+    #[test]
+    fn optional() {
+        assert_eq!(m("colou?r", "color"), Some((0, 5)));
+        assert_eq!(m("colou?r", "colour"), Some((0, 6)));
+    }
+
+    #[test]
+    fn alternation() {
+        let r = Regex::new("not|nor|neither").unwrap();
+        assert!(r.is_match("it is not true"));
+        assert!(r.is_match("neither here"));
+        // without word boundaries, 'not' matches inside 'nothing'
+        assert!(r.is_match("nothing to see"));
+        assert!(!r.is_match("yes indeed"));
+    }
+
+    #[test]
+    fn alternation_with_boundaries() {
+        let r = Regex::new(r"\b(not|nor|neither)\b").unwrap();
+        assert!(r.is_match("it is not true"));
+        assert!(!r.is_match("nothing notable"));
+        assert!(r.is_match("neither option works"));
+    }
+
+    #[test]
+    fn char_classes() {
+        assert_eq!(m("[a-c]+", "zzabcz"), Some((2, 5)));
+        assert_eq!(m("[^a-z]+", "abc123def"), Some((3, 6)));
+        assert_eq!(m(r"\d+", "page 42!"), Some((5, 7)));
+        assert_eq!(m(r"\w+", "  hello "), Some((2, 7)));
+        assert_eq!(m(r"\s+", "a  b"), Some((1, 3)));
+    }
+
+    #[test]
+    fn negated_shorthands() {
+        assert_eq!(m(r"\D+", "123abc456"), Some((3, 6)));
+        assert_eq!(m(r"\S+", "  xy "), Some((2, 4)));
+    }
+
+    #[test]
+    fn anchors() {
+        assert_eq!(m("^cat", "cat sat"), Some((0, 3)));
+        assert_eq!(m("^cat", "the cat"), None);
+        assert_eq!(m("sat$", "cat sat"), Some((4, 7)));
+        assert_eq!(m("cat$", "cat sat"), None);
+        assert_eq!(m("^$", ""), Some((0, 0)));
+    }
+
+    #[test]
+    fn word_boundary() {
+        assert_eq!(m(r"\bcat\b", "a cat."), Some((2, 5)));
+        assert_eq!(m(r"\bcat\b", "concatenate"), None);
+    }
+
+    #[test]
+    fn bounded_repetition() {
+        assert_eq!(m("a{3}", "aaaa"), Some((0, 3)));
+        assert_eq!(m("a{2,3}", "aaaa"), Some((0, 3)));
+        assert_eq!(m("a{2,}", "aaaa"), Some((0, 4)));
+        assert_eq!(m("a{5}", "aaaa"), None);
+    }
+
+    #[test]
+    fn groups_and_nesting() {
+        assert_eq!(m("(ab)+", "ababab!"), Some((0, 6)));
+        assert_eq!(m("(a|b)*c", "abbac"), Some((0, 5)));
+        assert_eq!(m("x(y(z)?)?", "xyz"), Some((0, 3)));
+        assert_eq!(m("x(y(z)?)?", "x!"), Some((0, 1)));
+    }
+
+    #[test]
+    fn case_insensitive() {
+        let r = Regex::case_insensitive("aspirin").unwrap();
+        assert!(r.is_match("Aspirin is a drug"));
+        assert!(r.is_match("ASPIRIN"));
+        let r = Regex::case_insensitive("[a-z]+").unwrap();
+        assert_eq!(r.find("ABC").map(|m| (m.start, m.end)), Some((0, 3)));
+    }
+
+    #[test]
+    fn find_iter_non_overlapping() {
+        let r = Regex::new(r"\d+").unwrap();
+        let ms = r.find_iter("12 and 345 and 6");
+        let texts: Vec<&str> = ms.iter().map(|m| m.text("12 and 345 and 6")).collect();
+        assert_eq!(texts, vec!["12", "345", "6"]);
+    }
+
+    #[test]
+    fn find_iter_empty_matches_advance() {
+        let r = Regex::new("a*").unwrap();
+        let ms = r.find_iter("bab");
+        // matches: "" at 0, "a" at 1, "" at 3 — must terminate
+        assert!(ms.len() >= 2);
+    }
+
+    #[test]
+    fn escapes() {
+        assert_eq!(m(r"\(p<0\.01\)", "see (p<0.01) here"), Some((4, 12)));
+        assert_eq!(m(r"a\\b", r"a\b"), Some((0, 3)));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Regex::new("(abc").is_err());
+        assert!(Regex::new("[abc").is_err());
+        assert!(Regex::new("a{3,1}").is_err());
+        assert!(Regex::new("*a").is_err());
+        assert!(Regex::new("a\\").is_err());
+        assert!(Regex::new("a{9999}").is_err());
+    }
+
+    #[test]
+    fn unicode_haystack() {
+        assert_eq!(m("naïve", "a naïve approach"), Some((2, 8)));
+        let r = Regex::new(".").unwrap();
+        assert!(r.is_match("ü"));
+    }
+
+    #[test]
+    fn leftmost_longest_semantics() {
+        // both branches match at 0; longest wins
+        assert_eq!(m("a|ab", "ab"), Some((0, 2)));
+        assert_eq!(m("(ab|a)(b?)", "ab"), Some((0, 2)));
+    }
+
+    #[test]
+    fn pathological_pattern_is_fast() {
+        // (a*)* style blow-up patterns must stay linear-ish.
+        let r = Regex::new("(a|a)*b").unwrap();
+        let text = "a".repeat(200);
+        assert!(!r.is_match(&text)); // no 'b' — classic exponential case for backtrackers
+    }
+
+    #[test]
+    fn dictionary_variant_pattern() {
+        // The shape dictionary terms are expanded into (see websift-ner).
+        let r = Regex::case_insensitive(r"\bBRCA[- ]?1\b").unwrap();
+        assert!(r.is_match("brca1 mutation"));
+        assert!(r.is_match("BRCA-1 mutation"));
+        assert!(r.is_match("BRCA 1 mutation"));
+        assert!(!r.is_match("BRCA11"));
+    }
+}

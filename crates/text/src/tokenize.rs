@@ -1,0 +1,207 @@
+//! Offset-preserving tokenizer.
+//!
+//! Biomedical text is full of tokens that naive whitespace/punctuation
+//! splitting destroys: gene symbols like `BRCA1`, hyphenated drug codes like
+//! `GAD-67`, and decimal measurements. The tokenizer below keeps
+//! alphanumeric-with-internal-hyphen/period tokens intact while still
+//! splitting trailing punctuation, and records byte offsets so downstream
+//! annotators can report `start/end` positions exactly as the paper's
+//! pipeline does.
+
+use serde::Serialize;
+
+/// Coarse token class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum TokenKind {
+    /// Letters, possibly mixed with digits or internal hyphens (`BRCA1`,
+    /// `GAD-67`, `anti-inflammatory`).
+    Word,
+    /// Pure numbers, including decimals (`3.5`, `1,000`).
+    Number,
+    /// A single punctuation character.
+    Punct,
+}
+
+/// A token: byte span into the source text plus its kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct Token {
+    pub start: usize,
+    pub end: usize,
+    pub kind: TokenKind,
+}
+
+impl Token {
+    /// The token's text within its source.
+    pub fn text<'a>(&self, source: &'a str) -> &'a str {
+        &source[self.start..self.end]
+    }
+
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+fn is_word_char(c: char) -> bool {
+    c.is_alphanumeric()
+}
+
+/// True if `c` may join two word characters inside one token
+/// (hyphen in `GAD-67`, apostrophe in `Crohn's`, period in `i.v.`).
+fn is_internal_joiner(c: char) -> bool {
+    matches!(c, '-' | '\'' | '.' | ',')
+}
+
+/// Tokenizes `text`, returning byte-offset tokens.
+///
+/// Rules:
+/// - maximal runs of alphanumeric characters form `Word`/`Number` tokens;
+/// - a joiner character (`-`, `'`, `.`, `,`) *between* two alphanumerics is
+///   kept inside the token (`GAD-67`, `3.5`, `Crohn's`);
+/// - any other non-whitespace character becomes a single `Punct` token;
+/// - whitespace separates tokens and is never part of one.
+pub fn tokenize(text: &str) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    let bytes: Vec<(usize, char)> = text.char_indices().collect();
+    let n = bytes.len();
+    let mut i = 0;
+    while i < n {
+        let (off, c) = bytes[i];
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if is_word_char(c) {
+            let start = off;
+            let mut all_numeric = c.is_ascii_digit();
+            let mut j = i + 1;
+            loop {
+                if j < n && is_word_char(bytes[j].1) {
+                    all_numeric &= bytes[j].1.is_ascii_digit();
+                    j += 1;
+                } else if j + 1 < n && is_internal_joiner(bytes[j].1) && is_word_char(bytes[j + 1].1)
+                {
+                    // Joiners other than '.'/',' break the "number" property.
+                    if !matches!(bytes[j].1, '.' | ',') {
+                        all_numeric = false;
+                    }
+                    j += 2;
+                    all_numeric &= bytes[j - 1].1.is_ascii_digit();
+                } else {
+                    break;
+                }
+            }
+            let end = if j < n { bytes[j].0 } else { text.len() };
+            tokens.push(Token {
+                start,
+                end,
+                kind: if all_numeric {
+                    TokenKind::Number
+                } else {
+                    TokenKind::Word
+                },
+            });
+            i = j;
+        } else {
+            let end = if i + 1 < n { bytes[i + 1].0 } else { text.len() };
+            tokens.push(Token {
+                start: off,
+                end,
+                kind: TokenKind::Punct,
+            });
+            i += 1;
+        }
+    }
+    tokens
+}
+
+/// Convenience: tokenize and materialize the token strings.
+pub fn token_strings(text: &str) -> Vec<String> {
+    tokenize(text)
+        .into_iter()
+        .map(|t| t.text(text).to_string())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(s: &str) -> Vec<String> {
+        token_strings(s)
+    }
+
+    #[test]
+    fn splits_simple_sentence() {
+        assert_eq!(
+            texts("The cat sat."),
+            vec!["The", "cat", "sat", "."]
+        );
+    }
+
+    #[test]
+    fn keeps_gene_symbols_intact() {
+        assert_eq!(texts("BRCA1 and GAD-67 interact"), vec![
+            "BRCA1", "and", "GAD-67", "interact"
+        ]);
+    }
+
+    #[test]
+    fn keeps_decimals_and_classifies_numbers() {
+        let toks = tokenize("dose 3.5 mg");
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[1].text("dose 3.5 mg"), "3.5");
+        assert_eq!(toks[1].kind, TokenKind::Number);
+        assert_eq!(toks[0].kind, TokenKind::Word);
+    }
+
+    #[test]
+    fn trailing_period_is_separate() {
+        let toks = texts("aspirin.");
+        assert_eq!(toks, vec!["aspirin", "."]);
+    }
+
+    #[test]
+    fn apostrophes_inside_words() {
+        assert_eq!(texts("Crohn's disease"), vec!["Crohn's", "disease"]);
+    }
+
+    #[test]
+    fn punctuation_tokens() {
+        assert_eq!(texts("(p<0.01)"), vec!["(", "p", "<", "0.01", ")"]);
+    }
+
+    #[test]
+    fn empty_and_whitespace_only() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("   \t\n ").is_empty());
+    }
+
+    #[test]
+    fn offsets_roundtrip() {
+        let s = "Genes (e.g. TP53) regulate cells.";
+        for t in tokenize(s) {
+            assert!(t.end <= s.len());
+            assert!(!t.text(s).is_empty());
+            assert!(!t.text(s).chars().any(char::is_whitespace));
+        }
+    }
+
+    #[test]
+    fn unicode_text() {
+        let s = "naïve Bayes — 95% précision";
+        let toks = texts(s);
+        assert!(toks.contains(&"naïve".to_string()));
+        assert!(toks.contains(&"précision".to_string()));
+    }
+
+    #[test]
+    fn number_with_thousands_separator() {
+        let toks = tokenize("about 1,000 pages");
+        assert_eq!(toks[1].text("about 1,000 pages"), "1,000");
+        assert_eq!(toks[1].kind, TokenKind::Number);
+    }
+}

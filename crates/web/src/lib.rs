@@ -1,0 +1,13 @@
+//! Web substrate (synthetic web graph, simulated fetching, PageRank).
+
+pub mod graph;
+pub mod mime;
+pub mod pagerank;
+pub mod server;
+pub mod url;
+
+pub use graph::{PageId, WebGraph, WebGraphConfig};
+pub use mime::{sniff_mime, MimeType};
+pub use pagerank::pagerank;
+pub use server::{FetchError, FetchResponse, SimulatedWeb};
+pub use url::Url;

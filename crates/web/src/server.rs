@@ -1,0 +1,423 @@
+//! The simulated web server: deterministic page content, robots.txt,
+//! spider traps, and fetch accounting.
+//!
+//! [`SimulatedWeb`] is the substitute for the live internet. Fetching is
+//! deterministic in `(graph seed, url)`, so crawls are reproducible — the
+//! property the paper laments real crawls lack ("experiments cannot be
+//! repeated due to the highly dynamic nature of the web"); our substitute
+//! deliberately removes that obstacle while keeping every other hostile
+//! property (traps, broken markup, mixed languages, binary payloads).
+
+use crate::graph::{PageFlavor, PageId, WebGraph};
+use crate::mime::MimeType;
+use crate::url::Url;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use websift_corpus::{CorpusKind, Generator, HtmlConfig, Lexicon};
+
+/// Fetch failure modes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FetchError {
+    HostNotFound(String),
+    NotFound(Url),
+}
+
+impl std::fmt::Display for FetchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FetchError::HostNotFound(h) => write!(f, "host not found: {h}"),
+            FetchError::NotFound(u) => write!(f, "404: {u}"),
+        }
+    }
+}
+
+impl std::error::Error for FetchError {}
+
+/// A fetched response.
+#[derive(Debug, Clone)]
+pub struct FetchResponse {
+    pub url: Url,
+    /// The Content-Type the server *declares* (which, as the paper notes,
+    /// may not match the payload).
+    pub declared_mime: MimeType,
+    pub body: Vec<u8>,
+    /// Simulated wall-clock latency of this fetch in milliseconds.
+    pub latency_ms: u64,
+}
+
+/// Parsed robots.txt rules for one host.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RobotsRules {
+    pub crawl_delay_ms: u64,
+    pub disallow: Vec<String>,
+}
+
+impl RobotsRules {
+    pub fn allows(&self, path: &str) -> bool {
+        !self.disallow.iter().any(|d| path.starts_with(d.as_str()))
+    }
+}
+
+const GERMAN_FILLER: &str = "Die Untersuchung der Krankheit hat gezeigt dass die Behandlung \
+    mit dem neuen Medikament bei den meisten Patienten wirksam war und dass weitere Studien \
+    notwendig sind um die Ergebnisse zu bestätigen. Die Forscher haben die Daten von vielen \
+    Patienten gesammelt und ausgewertet.";
+const FRENCH_FILLER: &str = "L'étude de la maladie a montré que le traitement avec le nouveau \
+    médicament était efficace chez la plupart des patients et que des études supplémentaires \
+    sont nécessaires pour confirmer les résultats. Les chercheurs ont recueilli et analysé les \
+    données de nombreux patients.";
+
+/// The simulated web.
+pub struct SimulatedWeb {
+    graph: Arc<WebGraph>,
+    relevant_gen: Generator,
+    irrelevant_gen: Generator,
+    fetches: AtomicU64,
+}
+
+impl SimulatedWeb {
+    /// Wraps a graph, using the shared default lexicon for content.
+    pub fn new(graph: WebGraph) -> SimulatedWeb {
+        let seed = graph.config().seed;
+        SimulatedWeb {
+            graph: Arc::new(graph),
+            relevant_gen: Generator::new(CorpusKind::RelevantWeb, seed ^ 0xA11CE),
+            irrelevant_gen: Generator::new(CorpusKind::IrrelevantWeb, seed ^ 0xB0B),
+            fetches: AtomicU64::new(0),
+        }
+    }
+
+    /// Wraps a graph with content drawn from a caller-provided lexicon.
+    pub fn with_lexicon(graph: WebGraph, lexicon: Arc<Lexicon>) -> SimulatedWeb {
+        let seed = graph.config().seed;
+        SimulatedWeb {
+            relevant_gen: Generator::with_lexicon(
+                CorpusKind::RelevantWeb,
+                seed ^ 0xA11CE,
+                lexicon.clone(),
+            ),
+            irrelevant_gen: Generator::with_lexicon(CorpusKind::IrrelevantWeb, seed ^ 0xB0B, lexicon),
+            graph: Arc::new(graph),
+            fetches: AtomicU64::new(0),
+        }
+    }
+
+    pub fn graph(&self) -> &WebGraph {
+        &self.graph
+    }
+
+    /// Total fetches served (politeness-rule accounting in tests).
+    pub fn fetch_count(&self) -> u64 {
+        self.fetches.load(Ordering::Relaxed)
+    }
+
+    /// The robots rules of a host, if the host exists.
+    pub fn robots(&self, host: &str) -> Option<RobotsRules> {
+        let idx = self.graph.host_by_name(host)?;
+        let h = &self.graph.hosts()[idx];
+        Some(RobotsRules {
+            crawl_delay_ms: h.crawl_delay_ms,
+            disallow: h.disallow_prefix.iter().cloned().collect(),
+        })
+    }
+
+    /// Fetches a URL.
+    pub fn fetch(&self, url: &Url) -> Result<FetchResponse, FetchError> {
+        self.fetches.fetch_add(1, Ordering::Relaxed);
+        let host_idx = self
+            .graph
+            .host_by_name(url.host())
+            .ok_or_else(|| FetchError::HostNotFound(url.host().to_string()))?;
+        let host = &self.graph.hosts()[host_idx];
+
+        if url.path() == "/robots.txt" {
+            let mut body = format!("User-agent: *\nCrawl-delay: {}\n", host.crawl_delay_ms);
+            if let Some(d) = &host.disallow_prefix {
+                body.push_str(&format!("Disallow: {d}\n"));
+            }
+            return Ok(self.respond(url, MimeType::PlainText, body.into_bytes()));
+        }
+
+        // Spider trap: unbounded dynamic pages.
+        if host.spider_trap {
+            if let Some(rest) = url.path().strip_prefix("/trap/") {
+                let n: u64 = rest.parse().unwrap_or(0);
+                let mut body = String::from("<html><body>");
+                // enough plausible prose to pass the filters and the
+                // classifier — what makes real session-id traps dangerous
+                for _ in 0..6 {
+                    body.push_str(
+                        "<p>The archive of treatment reports describes the disease                          outcomes and the therapy responses of the patients in the                          clinical registry, including diagnosis records and gene                          expression measurements from the tumor samples collected                          during the screening program of the hospital network.</p>\n",
+                    );
+                }
+                body.push_str("<ul>");
+                for k in 1..=4u64 {
+                    body.push_str(&format!(
+                        "<li><a href=\"/trap/{}\">next</a></li>",
+                        n.wrapping_add(k)
+                    ));
+                }
+                body.push_str("</ul></body></html>");
+                return Ok(self.respond(url, MimeType::Html, body.into_bytes()));
+            }
+        }
+
+        let page_id = self
+            .graph
+            .page_at(url)
+            .ok_or_else(|| FetchError::NotFound(url.clone()))?;
+        let page = self.graph.page(page_id);
+
+        let mut link_urls: Vec<String> = self
+            .graph
+            .links(page_id)
+            .iter()
+            .map(|&t| self.graph.url_of(PageId(t)).to_string())
+            .collect();
+        if host.spider_trap && page.flavor == PageFlavor::Content {
+            link_urls.push(format!("http://{}/trap/0", host.name));
+        }
+
+        let (mime, body) = match page.flavor {
+            PageFlavor::FrontPage => {
+                let mut body = format!(
+                    "<html><head><title>{} portal</title></head><body><h1>Welcome to {}</h1>\n",
+                    host.name, host.name
+                );
+                body.push_str("<p>Your gateway to everything on this site.</p>\n<ul>\n");
+                for l in &link_urls {
+                    body.push_str(&format!("<li><a href=\"{l}\">section</a></li>\n"));
+                }
+                if host.spider_trap {
+                    body.push_str("<li><a href=\"/trap/0\">archive</a></li>\n");
+                }
+                body.push_str("</ul></body></html>");
+                (MimeType::Html, body.into_bytes())
+            }
+            PageFlavor::TooShort => (
+                MimeType::Html,
+                b"<html><body><p>Under construction.</p></body></html>".to_vec(),
+            ),
+            PageFlavor::NonEnglish => {
+                let filler = if page_id.0 % 2 == 0 {
+                    GERMAN_FILLER
+                } else {
+                    FRENCH_FILLER
+                };
+                let mut body = String::from("<html><body>");
+                for _ in 0..4 {
+                    body.push_str(&format!("<p>{filler}</p>\n"));
+                }
+                for l in link_urls.iter().take(3) {
+                    body.push_str(&format!("<a href=\"{l}\">mehr</a>\n"));
+                }
+                body.push_str("</body></html>");
+                (MimeType::Html, body.into_bytes())
+            }
+            PageFlavor::NonText => {
+                // Binary payload. A third of these declare a textual type
+                // and carry a textual prefix — the paper's mis-detected
+                // "embedded presentation slides".
+                let mut body: Vec<u8>;
+                let declared;
+                if page_id.0 % 3 == 0 {
+                    body = b"<html><body>presentation slides follow".to_vec();
+                    body.extend((0..8000u32).map(|i| (i.wrapping_mul(2654435761) >> 13) as u8));
+                    declared = MimeType::Html;
+                } else {
+                    body = b"%PDF-1.4\n".to_vec();
+                    body.extend((0..8000u32).map(|i| (i.wrapping_mul(40503) >> 7) as u8));
+                    declared = MimeType::Pdf;
+                }
+                (declared, body)
+            }
+            PageFlavor::Content => {
+                let generator = if page.relevant {
+                    &self.relevant_gen
+                } else {
+                    &self.irrelevant_gen
+                };
+                let doc = generator.document(page_id.0 as u64);
+                let paragraphs: Vec<String> =
+                    doc.body.split("\n\n").map(str::to_string).collect();
+                let mut rng = {
+                    use rand::SeedableRng;
+                    rand::rngs::StdRng::seed_from_u64(
+                        self.graph.config().seed ^ (page_id.0 as u64).wrapping_mul(0x9E3779B9),
+                    )
+                };
+                let page_html = websift_corpus::wrap_page(
+                    &doc.title,
+                    &paragraphs,
+                    &link_urls,
+                    &HtmlConfig::default(),
+                    &mut rng,
+                );
+                (MimeType::Html, page_html.html.into_bytes())
+            }
+        };
+        Ok(self.respond(url, mime, body))
+    }
+
+    /// Gold relevance of a URL's content (evaluation only).
+    pub fn gold_relevant(&self, url: &Url) -> Option<bool> {
+        self.graph.page_at(url).map(|p| self.graph.page(p).relevant)
+    }
+
+    /// Gold net text of a content page (evaluation of boilerplate
+    /// detection): regenerates the underlying document body.
+    pub fn gold_net_text(&self, url: &Url) -> Option<String> {
+        Some(self.gold_document(url)?.body)
+    }
+
+    /// The full generated document behind a content page (used by the
+    /// simulated search engines to build their indexes, and by evaluation).
+    pub fn gold_document(&self, url: &Url) -> Option<websift_corpus::Document> {
+        let page_id = self.graph.page_at(url)?;
+        let page = self.graph.page(page_id);
+        if page.flavor != PageFlavor::Content {
+            return None;
+        }
+        let generator = if page.relevant {
+            &self.relevant_gen
+        } else {
+            &self.irrelevant_gen
+        };
+        Some(generator.document(page_id.0 as u64))
+    }
+
+    fn respond(&self, url: &Url, declared_mime: MimeType, body: Vec<u8>) -> FetchResponse {
+        // Deterministic pseudo-latency: base + size-proportional.
+        let h = url.path().len() as u64 * 7 + url.host().len() as u64 * 13;
+        let latency_ms = 30 + h % 120 + (body.len() as u64 / 20_000);
+        FetchResponse {
+            url: url.clone(),
+            declared_mime,
+            body,
+            latency_ms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::WebGraphConfig;
+
+    fn web() -> SimulatedWeb {
+        SimulatedWeb::new(WebGraph::generate(WebGraphConfig::tiny()))
+    }
+
+    #[test]
+    fn fetch_front_page() {
+        let w = web();
+        let url = w.graph().url_of(PageId(0));
+        let resp = w.fetch(&url).unwrap();
+        assert_eq!(resp.declared_mime, MimeType::Html);
+        let text = String::from_utf8(resp.body).unwrap();
+        assert!(text.contains("Welcome"));
+        assert_eq!(w.fetch_count(), 1);
+    }
+
+    #[test]
+    fn fetch_is_deterministic() {
+        let w = web();
+        // find a content page
+        let pid = (0..w.graph().num_pages() as u32)
+            .find(|&i| w.graph().page(PageId(i)).flavor == PageFlavor::Content)
+            .unwrap();
+        let url = w.graph().url_of(PageId(pid));
+        let a = w.fetch(&url).unwrap();
+        let b = w.fetch(&url).unwrap();
+        assert_eq!(a.body, b.body);
+    }
+
+    #[test]
+    fn robots_rules_served_and_parsed() {
+        let w = web();
+        let host = &w.graph().hosts()[10];
+        let rules = w.robots(&host.name).unwrap();
+        assert_eq!(rules.crawl_delay_ms, host.crawl_delay_ms);
+        let url = Url::new(&host.name, "/robots.txt");
+        let resp = w.fetch(&url).unwrap();
+        assert!(String::from_utf8(resp.body).unwrap().contains("Crawl-delay"));
+        if let Some(d) = &host.disallow_prefix {
+            assert!(!rules.allows(&format!("{d}/x")));
+        }
+        assert!(rules.allows("/p5.html"));
+    }
+
+    #[test]
+    fn unknown_host_and_missing_page() {
+        let w = web();
+        assert!(matches!(
+            w.fetch(&Url::new("nonexistent.example", "/")),
+            Err(FetchError::HostNotFound(_))
+        ));
+        let host = &w.graph().hosts()[3];
+        assert!(matches!(
+            w.fetch(&Url::new(&host.name, "/p999999.html")),
+            Err(FetchError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn spider_trap_pages_are_unbounded() {
+        let w = SimulatedWeb::new(WebGraph::generate(WebGraphConfig {
+            spider_trap_fraction: 1.0,
+            ..WebGraphConfig::tiny()
+        }));
+        let trap_host = w
+            .graph()
+            .hosts()
+            .iter()
+            .find(|h| h.spider_trap)
+            .unwrap()
+            .name
+            .clone();
+        let resp = w.fetch(&Url::new(&trap_host, "/trap/7")).unwrap();
+        let text = String::from_utf8(resp.body).unwrap();
+        assert!(text.contains("/trap/8"));
+        assert!(text.contains("/trap/11"));
+    }
+
+    #[test]
+    fn content_pages_embed_their_links() {
+        let w = web();
+        let pid = (0..w.graph().num_pages() as u32)
+            .map(PageId)
+            .find(|&i| {
+                w.graph().page(i).flavor == PageFlavor::Content && !w.graph().links(i).is_empty()
+            })
+            .unwrap();
+        let url = w.graph().url_of(pid);
+        let body = String::from_utf8(w.fetch(&url).unwrap().body).unwrap();
+        let expect = w.graph().url_of(PageId(w.graph().links(pid)[0])).to_string();
+        assert!(body.contains(&expect), "missing link {expect}");
+    }
+
+    #[test]
+    fn non_text_pages_have_binary_payloads() {
+        let w = web();
+        let pid = (0..w.graph().num_pages() as u32)
+            .map(PageId)
+            .find(|&i| w.graph().page(i).flavor == PageFlavor::NonText)
+            .expect("tiny graph should have a NonText page");
+        let resp = w.fetch(&w.graph().url_of(pid)).unwrap();
+        assert!(resp.body.len() > 4000);
+    }
+
+    #[test]
+    fn gold_accessors() {
+        let w = web();
+        let pid = (0..w.graph().num_pages() as u32)
+            .map(PageId)
+            .find(|&i| w.graph().page(i).relevant)
+            .unwrap();
+        let url = w.graph().url_of(pid);
+        assert_eq!(w.gold_relevant(&url), Some(true));
+        let net = w.gold_net_text(&url).unwrap();
+        assert!(!net.is_empty());
+        assert!(!net.contains('<'));
+    }
+}

@@ -1,0 +1,56 @@
+//! The paper's headline use case in miniature: compare the "web view" of
+//! biomedicine with the scientific literature. Generates all four corpora,
+//! runs the consolidated analysis flow over each, and prints the
+//! linguistic and entity comparisons (Figs. 6/7, Table 4's shape).
+//!
+//! ```text
+//! cargo run --release --example corpus_compare
+//! ```
+
+use websift::corpus::CorpusKind;
+use websift::ner::{EntityType, Method};
+use websift::pipeline::{
+    aggregate, aggregate_entities, compare, full_analysis_plan, run_over_documents,
+    ExperimentContext, Measure,
+};
+
+fn main() {
+    println!("building corpora and IE resources (dictionaries, CRF taggers)...");
+    let ctx = ExperimentContext::tiny(11);
+    let plan = full_analysis_plan(&ctx.resources);
+    println!(
+        "analysis flow: {} elementary operators, sinks {:?}\n",
+        plan.operator_count(),
+        plan.sinks()
+    );
+
+    let mut linguistic = Vec::new();
+    for kind in CorpusKind::all() {
+        let docs = ctx.corpora.get(kind);
+        let out = run_over_documents(&plan, docs, 4).expect("flow runs");
+        let ling = aggregate(&out.sinks["linguistic"]);
+        let ents = aggregate_entities(&out.sinks["entities"]);
+        println!(
+            "{:<17} {:>4} docs | mean doc {:>6.0} chars | negation {:>6.1}/1000 sents | \
+             genes dict/ML {:>3}/{:>3} distinct",
+            kind.name(),
+            ling.documents,
+            ling.doc_length.as_ref().map(|d| d.mean).unwrap_or(0.0),
+            ling.negation_per_1000_sentences,
+            ents.distinct_names(EntityType::Gene, Method::Dictionary),
+            ents.distinct_names(EntityType::Gene, Method::Ml),
+        );
+        linguistic.push((kind, ling));
+    }
+
+    // Significance of the relevant-vs-Medline document-length difference.
+    let rel = &linguistic.iter().find(|(k, _)| *k == CorpusKind::RelevantWeb).unwrap().1;
+    let medline = &linguistic.iter().find(|(k, _)| *k == CorpusKind::Medline).unwrap().1;
+    if let Some(test) = compare(rel, medline, Measure::DocumentLength) {
+        println!(
+            "\nMann-Whitney U, relevant vs Medline document length: P = {:.2e} ({}significant at 0.01)",
+            test.p_value,
+            if test.significant_at(0.01) { "" } else { "not " }
+        );
+    }
+}

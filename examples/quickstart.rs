@@ -1,0 +1,49 @@
+//! Quickstart: generate a small biomedical corpus, run the linguistic
+//! analysis flow over it, and tag entities in one document.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use std::sync::Arc;
+use websift::corpus::{CorpusKind, Generator, Lexicon, LexiconScale};
+use websift::flow::{IeConfig, IeResources};
+use websift::ner::EntityType;
+use websift::pipeline::flows;
+
+fn main() {
+    // 1. A deterministic Medline-like corpus.
+    let generator = Generator::new(CorpusKind::Medline, 42);
+    let docs = generator.documents(25);
+    println!("generated {} abstracts; first title: {}", docs.len(), docs[0].title);
+
+    // 2. Linguistic analysis through the data-flow engine.
+    let report = flows::linguistic_report(&docs);
+    println!(
+        "linguistic flow: {} sentences, {} negations, {} pronouns, {} parentheticals",
+        report.sentences, report.negations, report.pronouns, report.parentheses
+    );
+
+    // 3. Entity extraction on one document with both method families.
+    let lexicon = Arc::new(Lexicon::generate(LexiconScale::tiny()));
+    let resources = IeResources::standard(
+        &lexicon,
+        IeConfig {
+            crf_training_sentences: 80,
+            crf_epochs: 3,
+            ..IeConfig::default()
+        },
+    );
+    let local_docs = Generator::with_lexicon(CorpusKind::Medline, 7, lexicon).documents(1);
+    let text = &local_docs[0].body;
+    println!("\nsample text: {}", &text[..text.len().min(200)]);
+    for entity in EntityType::all() {
+        let dict = resources.dict[&entity].tag(text);
+        let ml = resources.crf[&entity].tag(text);
+        println!(
+            "{entity}: dictionary found {:?}, ML found {:?}",
+            dict.iter().map(|m| m.name.as_str()).collect::<Vec<_>>(),
+            ml.iter().map(|m| m.name.as_str()).collect::<Vec<_>>(),
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! # websift
+//!
+//! An end-to-end system for domain-specific information extraction at web
+//! scale, reproducing Rheinländer et al., *Potential and Pitfalls of
+//! Domain-Specific Information Extraction at Web Scale* (SIGMOD 2016).
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! - [`corpus`] — biomedical lexicons and generative corpus models (the
+//!   Medline / PMC / web-document substitutes);
+//! - [`web`] — the synthetic web substrate: graph, simulated fetching,
+//!   PageRank, MIME sniffing;
+//! - [`crawler`] — the Nutch-style focused crawler with its filter chain,
+//!   boilerplate detector, Naive-Bayes focus classifier and seed generator;
+//! - [`text`] — NLP substrate: tokenization, sentence splitting, language
+//!   identification, regex engine, HMM part-of-speech tagger;
+//! - [`ner`] — dictionary- and CRF-based named-entity taggers for genes,
+//!   drugs, and diseases;
+//! - [`flow`] — the Stratosphere-style parallel data-flow engine with its
+//!   operator packages, optimizer, and simulated cluster;
+//! - [`pipeline`] — the consolidated analysis flows and the cross-corpus
+//!   comparison / experiment harness;
+//! - [`stats`] — statistics used throughout (Mann-Whitney U,
+//!   Jensen-Shannon divergence, evaluation metrics, samplers).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use websift::corpus::{CorpusKind, Generator};
+//! use websift::pipeline::flows;
+//!
+//! // Generate a tiny Medline-like corpus and run the linguistic analysis
+//! // flow over it.
+//! let docs = Generator::new(CorpusKind::Medline, 42).documents(10);
+//! let report = flows::linguistic_report(&docs);
+//! assert_eq!(report.documents, 10);
+//! ```
+
+pub use websift_corpus as corpus;
+pub use websift_crawler as crawler;
+pub use websift_flow as flow;
+pub use websift_ner as ner;
+pub use websift_pipeline as pipeline;
+pub use websift_stats as stats;
+pub use websift_text as text;
+pub use websift_web as web;
