@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Tier-1 gate plus the resilience lint wall. Criterion benches stay
+# behind the bench crate's [[bench]] targets and are not built here.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo build --release
+cargo test -q
+cargo clippy -p websift-resilience -- -D warnings

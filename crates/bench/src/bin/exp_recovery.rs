@@ -1,0 +1,24 @@
+//! Resilience experiment: goodput, recovery overhead, and the
+//! kill-and-resume determinism check for crawler and flow engine at
+//! fault rates {0 %, 1 %, 5 %, 20 %}.
+use websift_bench::experiments::recovery_exps;
+
+fn main() {
+    // Injected worker panics are caught and retried by the executor;
+    // keep their backtraces out of the report.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<String>()
+            .is_some_and(|s| s.starts_with("injected fault:"));
+        if !injected {
+            default_hook(info);
+        }
+    }));
+
+    for result in recovery_exps::crawl_recovery() {
+        println!("{}", result.render());
+    }
+    println!("{}", recovery_exps::flow_recovery().render());
+}

@@ -4,7 +4,7 @@
 //! ```text
 //! cargo run --release -p websift-bench --bin run_all | tee EXPERIMENTS.md
 //! ```
-use websift_bench::experiments::{content_exps, crawl_exps, scaling_exps};
+use websift_bench::experiments::{content_exps, crawl_exps, recovery_exps, scaling_exps};
 use websift_corpus::{Lexicon, LexiconScale, SearchCategory};
 use websift_crawler::{default_engines, generate_seeds, train_focus_classifier, CrawlConfig, FocusedCrawler};
 use websift_pipeline::ExperimentContext;
@@ -16,20 +16,20 @@ fn main() {
     println!("reproduction targets are the *shapes* noted per experiment.\n");
 
     let lexicon = Lexicon::generate(LexiconScale::default_scale());
-    eprintln!("[1/15] Table 1");
+    eprintln!("[1/16] Table 1");
     println!("{}", crawl_exps::table1(&lexicon).render());
 
     let web = crawl_exps::standard_web();
-    eprintln!("[2/15] crawl experiments");
+    eprintln!("[2/16] crawl experiments");
     for r in crawl_exps::crawl(&web, &lexicon, 40_000) {
         println!("{}", r.render());
     }
-    eprintln!("[3/15] classifier quality");
+    eprintln!("[3/16] classifier quality");
     println!("{}", crawl_exps::classifier(&web).render());
-    eprintln!("[4/15] boilerplate quality");
+    eprintln!("[4/16] boilerplate quality");
     println!("{}", crawl_exps::boilerplate(&web).render());
 
-    eprintln!("[5/15] Table 2 (PageRank)");
+    eprintln!("[5/16] Table 2 (PageRank)");
     let queries: Vec<String> = lexicon
         .search_terms(SearchCategory::General, 30)
         .into_iter()
@@ -47,38 +47,54 @@ fn main() {
     let _ = crawler.crawl(seeds.urls.clone());
     println!("{}", crawl_exps::table2(&mut crawler, 30).render());
 
-    eprintln!("[6/15] §5 trade-off");
+    eprintln!("[6/16] §5 trade-off");
     println!("{}", crawl_exps::tradeoff(&web, &seeds.urls, 2_500).render());
 
     let ctx = ExperimentContext::standard(42);
-    eprintln!("[7/15] Fig 3");
+    eprintln!("[7/16] Fig 3");
     for r in scaling_exps::fig3(&ctx) {
         println!("{}", r.render());
     }
-    eprintln!("[8/15] runtime shares");
+    eprintln!("[8/16] runtime shares");
     println!("{}", scaling_exps::runtime_shares(&ctx).render());
-    eprintln!("[9/15] Fig 4");
+    eprintln!("[9/16] Fig 4");
     println!("{}", scaling_exps::fig4(&ctx).render());
-    eprintln!("[10/15] Fig 5");
+    eprintln!("[10/16] Fig 5");
     println!("{}", scaling_exps::fig5(&ctx).render());
-    eprintln!("[11/15] war story");
+    eprintln!("[11/16] war story");
     println!("{}", scaling_exps::warstory(&ctx).render());
 
-    eprintln!("[12/15] Table 3");
+    eprintln!("[12/16] Table 3");
     println!("{}", content_exps::table3(&ctx).render());
-    eprintln!("[13/15] running analysis flows over all corpora");
+    eprintln!("[13/16] running analysis flows over all corpora");
     let results = content_exps::run_all_corpora(&ctx, 8);
     for r in content_exps::fig6(&results) {
         println!("{}", r.render());
     }
-    eprintln!("[14/15] Fig 7 / Table 4");
+    eprintln!("[14/16] Fig 7 / Table 4");
     println!("{}", content_exps::fig7(&results).render());
     for r in content_exps::table4(&results) {
         println!("{}", r.render());
     }
-    eprintln!("[15/15] Fig 8 / JSD");
+    eprintln!("[15/16] Fig 8 / JSD");
     for r in content_exps::fig8(&results) {
         println!("{}", r.render());
     }
+
+    eprintln!("[16/16] fault injection + recovery");
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<String>()
+            .is_some_and(|s| s.starts_with("injected fault:"));
+        if !injected {
+            default_hook(info);
+        }
+    }));
+    for r in recovery_exps::crawl_recovery() {
+        println!("{}", r.render());
+    }
+    println!("{}", recovery_exps::flow_recovery().render());
     eprintln!("done.");
 }

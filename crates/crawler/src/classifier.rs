@@ -55,6 +55,23 @@ impl NaiveBayes {
         self.threshold
     }
 
+    /// Decomposes the model for checkpointing: word counts, per-class
+    /// token totals, per-class document totals, and the threshold.
+    pub fn snapshot_parts(&self) -> (&HashMap<String, [u64; 2]>, [u64; 2], [u64; 2], f64) {
+        (&self.word_counts, self.class_tokens, self.class_docs, self.threshold)
+    }
+
+    /// Rebuilds a model from checkpointed parts (inverse of
+    /// [`NaiveBayes::snapshot_parts`]).
+    pub fn from_parts(
+        word_counts: HashMap<String, [u64; 2]>,
+        class_tokens: [u64; 2],
+        class_docs: [u64; 2],
+        threshold: f64,
+    ) -> NaiveBayes {
+        NaiveBayes { word_counts, class_tokens, class_docs, threshold }
+    }
+
     /// Incrementally adds one labeled document.
     pub fn update(&mut self, text: &str, relevant: bool) {
         let c = relevant as usize;

@@ -10,17 +10,43 @@
 //! condition ("the size of the crawl we obtained was bound by the fact
 //! that our crawl frontier eventually emptied") — or when the configured
 //! corpus size is reached.
+//!
+//! # Resilience
+//!
+//! The loop is built to survive the failures that dominated the paper's
+//! 80-day production crawl. Retryable fetch failures (injected transient
+//! network errors, crashed fetcher workers) are rescheduled with
+//! decorrelated-jitter backoff under per-host retry budgets; hosts that
+//! fail persistently are quarantined by a circuit breaker; and at round
+//! ("segment") boundaries the complete crawler state — CrawlDB, LinkDB,
+//! classifier counts, dedup hashes, report accumulators, and the retry
+//! machinery itself — can be checkpointed. A crawl killed mid-flight and
+//! resumed via [`FocusedCrawler::resume_from`] reproduces *bit-identical*
+//! final statistics to an uninterrupted run under the same fault plan:
+//! every fault/backoff decision is a pure function of the seed, and every
+//! accumulator (including `f64` time) round-trips through the checkpoint
+//! by bit pattern.
 
 use crate::boilerplate::BoilerplateDetector;
 use crate::classifier::NaiveBayes;
-use crate::feedback::IeFeedback;
 use crate::crawldb::{CrawlDb, CrawlDbConfig, FrontierEntry, UrlStatus};
-use crate::fetcher::Fetcher;
+use crate::feedback::IeFeedback;
+use crate::fetcher::{FaultContext, Fetcher};
 use crate::filters::{FilterChain, FilterConfig, FilterStats};
 use crate::linkdb::LinkDb;
 use crate::parser::extract_links;
+use crate::recovery::{CrawlCheckpoint, ResilienceOptions, ResilienceStats};
 use serde::Serialize;
+use std::collections::HashMap;
+use websift_resilience::codec;
+use websift_resilience::{
+    BreakerState, CircuitBreaker, CodecError, FaultKind, Reader, RetryBudget, Snapshot, Writer,
+};
 use websift_web::{SimulatedWeb, Url};
+
+/// Per-page classification/filtering cost in simulated seconds — this is
+/// what pushed the paper's crawler down to 3-4 docs/s.
+const ANALYSIS_COST_SECS: f64 = 0.12;
 
 /// Crawl configuration.
 #[derive(Debug, Clone, Copy)]
@@ -72,6 +98,28 @@ pub struct CrawledPage {
     pub gold_relevant: Option<bool>,
 }
 
+impl Snapshot for CrawledPage {
+    fn encode(&self, w: &mut Writer) {
+        self.url.encode(w);
+        w.str(&self.net_text);
+        w.usize(self.raw_bytes);
+        w.bool(self.classified_relevant);
+        w.f64(self.log_odds);
+        self.gold_relevant.encode(w);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<CrawledPage, CodecError> {
+        Ok(CrawledPage {
+            url: Snapshot::decode(r)?,
+            net_text: r.str()?,
+            raw_bytes: r.usize()?,
+            classified_relevant: r.bool()?,
+            log_odds: r.f64()?,
+            gold_relevant: Snapshot::decode(r)?,
+        })
+    }
+}
+
 /// Full crawl report.
 #[derive(Debug, Default, Serialize)]
 pub struct CrawlReport {
@@ -92,6 +140,40 @@ pub struct CrawlReport {
     pub trap_rejected: u64,
     pub bytes_relevant: u64,
     pub bytes_irrelevant: u64,
+    /// Retry/breaker/checkpoint counters.
+    pub resilience: ResilienceStats,
+}
+
+impl Snapshot for CrawlReport {
+    fn encode(&self, w: &mut Writer) {
+        self.relevant.encode(w);
+        self.irrelevant.encode(w);
+        self.filter_stats.encode(w);
+        w.u64(self.failed);
+        w.u64(self.duplicates);
+        w.f64(self.simulated_secs);
+        w.bool(self.frontier_exhausted);
+        w.u64(self.trap_rejected);
+        w.u64(self.bytes_relevant);
+        w.u64(self.bytes_irrelevant);
+        self.resilience.encode(w);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<CrawlReport, CodecError> {
+        Ok(CrawlReport {
+            relevant: Snapshot::decode(r)?,
+            irrelevant: Snapshot::decode(r)?,
+            filter_stats: Snapshot::decode(r)?,
+            failed: r.u64()?,
+            duplicates: r.u64()?,
+            simulated_secs: r.f64()?,
+            frontier_exhausted: r.bool()?,
+            trap_rejected: r.u64()?,
+            bytes_relevant: r.u64()?,
+            bytes_irrelevant: r.u64()?,
+            resilience: Snapshot::decode(r)?,
+        })
+    }
 }
 
 impl CrawlReport {
@@ -123,6 +205,53 @@ impl CrawlReport {
         } else {
             docs / self.simulated_secs
         }
+    }
+}
+
+/// Mutable retry machinery threaded through the crawl loop; fully
+/// checkpointed so resumed crawls replay identically.
+#[derive(Debug)]
+struct RetryState {
+    /// Segment (round) counter; also the fault-injection epoch.
+    round: u64,
+    /// Retry attempts consumed per URL (cleared on success).
+    attempts: HashMap<Url, u32>,
+    /// Entries waiting out a backoff delay or breaker quarantine, with
+    /// the simulated time at which they become fetchable again.
+    retry_queue: Vec<(u64, FrontierEntry)>,
+    budget: RetryBudget,
+    breaker: CircuitBreaker,
+}
+
+impl RetryState {
+    fn new(options: &ResilienceOptions) -> RetryState {
+        RetryState {
+            round: 0,
+            attempts: HashMap::new(),
+            retry_queue: Vec::new(),
+            budget: RetryBudget::new(options.retry_budget_per_host),
+            breaker: CircuitBreaker::new(options.breaker_threshold, options.breaker_cooldown_ms),
+        }
+    }
+}
+
+impl Snapshot for RetryState {
+    fn encode(&self, w: &mut Writer) {
+        w.u64(self.round);
+        self.attempts.encode(w);
+        self.retry_queue.encode(w);
+        self.budget.encode(w);
+        self.breaker.encode(w);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<RetryState, CodecError> {
+        Ok(RetryState {
+            round: r.u64()?,
+            attempts: Snapshot::decode(r)?,
+            retry_queue: Snapshot::decode(r)?,
+            budget: Snapshot::decode(r)?,
+            breaker: Snapshot::decode(r)?,
+        })
     }
 }
 
@@ -164,36 +293,237 @@ impl<'w> FocusedCrawler<'w> {
 
     /// Runs the crawl from `seeds` to completion.
     pub fn crawl(&mut self, seeds: Vec<Url>) -> CrawlReport {
+        self.crawl_resilient(seeds, &ResilienceOptions::default()).0
+    }
+
+    /// Runs the crawl with fault injection, retry/backoff, circuit
+    /// breaking, and periodic checkpointing per `options`. With default
+    /// options this is exactly [`FocusedCrawler::crawl`].
+    pub fn crawl_resilient(
+        &mut self,
+        seeds: Vec<Url>,
+        options: &ResilienceOptions,
+    ) -> (CrawlReport, Vec<CrawlCheckpoint>) {
         let mut report = CrawlReport::default();
         let mut filters = FilterChain::new(self.config.filters);
         self.crawldb.inject(seeds);
+        let mut rt = RetryState::new(options);
+        let mut checkpoints = Vec::new();
+        self.run_rounds(&mut report, &mut filters, &mut rt, options, &mut checkpoints);
+        self.finish(&mut report, &filters, &rt);
+        (report, checkpoints)
+    }
 
+    /// Reconstructs a crawler from `checkpoint` and runs it to
+    /// completion, returning the crawler (for CrawlDB/LinkDB
+    /// inspection), the final report, and any further checkpoints taken.
+    ///
+    /// `config` and `options` must match the original crawl's for the
+    /// resumed run to reproduce it (they are deliberately not stored in
+    /// the checkpoint: fault plans and thresholds are inputs, not
+    /// state). `feedback` likewise must be reconstructed by the caller
+    /// when the original crawl used IE feedback — the classifier counts
+    /// it trained are in the checkpoint, but taggers are not
+    /// serializable.
+    pub fn resume_from(
+        web: &'w SimulatedWeb,
+        checkpoint: &CrawlCheckpoint,
+        config: CrawlConfig,
+        options: &ResilienceOptions,
+        feedback: Option<IeFeedback>,
+    ) -> Result<(FocusedCrawler<'w>, CrawlReport, Vec<CrawlCheckpoint>), CodecError> {
+        let payload = checkpoint.payload()?;
+        let mut r = Reader::new(payload);
+        let crawldb = CrawlDb::decode_snapshot(&mut r)?;
+        let linkdb = LinkDb::decode_snapshot(&mut r)?;
+        let word_counts = Snapshot::decode(&mut r)?;
+        let class_tokens = <[u64; 2]>::decode(&mut r)?;
+        let class_docs = <[u64; 2]>::decode(&mut r)?;
+        let threshold = r.f64()?;
+        let seen_content = Snapshot::decode(&mut r)?;
+        let filter_stats = FilterStats::decode(&mut r)?;
+        let mut report = CrawlReport::decode(&mut r)?;
+        let mut rt = RetryState::decode(&mut r)?;
+        if !r.is_empty() {
+            return Err(CodecError::Truncated { what: "trailing checkpoint bytes" });
+        }
+
+        let mut crawler = FocusedCrawler {
+            web,
+            classifier: NaiveBayes::from_parts(word_counts, class_tokens, class_docs, threshold),
+            boilerplate: BoilerplateDetector::default(),
+            config,
+            crawldb,
+            linkdb,
+            seen_content,
+            feedback,
+        };
+        let mut filters = FilterChain::new(config.filters);
+        filters.restore_stats(filter_stats);
+        let mut checkpoints = Vec::new();
+        crawler.run_rounds(&mut report, &mut filters, &mut rt, options, &mut checkpoints);
+        crawler.finish(&mut report, &filters, &rt);
+        Ok((crawler, report, checkpoints))
+    }
+
+    /// Digest of the complete crawler + report state, for asserting the
+    /// bit-identical kill/resume invariant without field-by-field
+    /// comparison.
+    pub fn state_digest(&self, report: &CrawlReport) -> u64 {
+        let mut w = Writer::new();
+        self.encode_state(&mut w, report);
+        codec::digest(&w.into_bytes())
+    }
+
+    fn encode_state(&self, w: &mut Writer, report: &CrawlReport) {
+        self.crawldb.encode_snapshot(w);
+        self.linkdb.encode_snapshot(w);
+        let (word_counts, class_tokens, class_docs, threshold) = self.classifier.snapshot_parts();
+        word_counts.encode(w);
+        class_tokens.encode(w);
+        class_docs.encode(w);
+        w.f64(threshold);
+        self.seen_content.encode(w);
+        report.encode(w);
+    }
+
+    fn take_checkpoint(
+        &self,
+        report: &CrawlReport,
+        filters: &FilterChain,
+        rt: &RetryState,
+    ) -> CrawlCheckpoint {
+        let mut w = Writer::new();
+        self.crawldb.encode_snapshot(&mut w);
+        self.linkdb.encode_snapshot(&mut w);
+        let (word_counts, class_tokens, class_docs, threshold) = self.classifier.snapshot_parts();
+        word_counts.encode(&mut w);
+        class_tokens.encode(&mut w);
+        class_docs.encode(&mut w);
+        w.f64(threshold);
+        self.seen_content.encode(&mut w);
+        filters.stats().encode(&mut w);
+        report.encode(&mut w);
+        rt.encode(&mut w);
+        CrawlCheckpoint::seal(rt.round, &w.into_bytes())
+    }
+
+    fn finish(&self, report: &mut CrawlReport, filters: &FilterChain, rt: &RetryState) {
+        report.filter_stats = filters.stats();
+        report.trap_rejected = self.crawldb.trap_rejected();
+        report.resilience.breaker_trips = rt.breaker.total_trips();
+    }
+
+    /// The crawl loop proper. Returns `true` if stopped early by
+    /// `options.stop_after_rounds` (a simulated kill).
+    fn run_rounds(
+        &mut self,
+        report: &mut CrawlReport,
+        filters: &mut FilterChain,
+        rt: &mut RetryState,
+        options: &ResilienceOptions,
+        checkpoints: &mut Vec<CrawlCheckpoint>,
+    ) -> bool {
         let fetcher = Fetcher::new(self.web, self.config.threads);
-        // Per-page classification/filtering cost in simulated seconds —
-        // this is what pushed the paper's crawler down to 3-4 docs/s.
-        const ANALYSIS_COST_SECS: f64 = 0.12;
 
         loop {
             if report.relevant.len() + report.irrelevant.len() >= self.config.max_pages {
-                break;
+                return false;
             }
-            let batch = self.crawldb.next_fetch_list(
-                self.config.fetch_list_per_host,
-                self.config.fetch_list_total,
-            );
-            if batch.is_empty() {
-                report.frontier_exhausted = true;
-                break;
+            if let Some(stop) = options.stop_after_rounds {
+                if rt.round >= stop {
+                    return true;
+                }
             }
-            let (outcomes, fetch_stats) = fetcher.fetch_batch(batch);
+            let mut now_ms = (report.simulated_secs * 1000.0) as u64;
+
+            // Assemble the round's batch: frontier work plus any retries
+            // whose backoff/quarantine has expired.
+            let mut batch = self
+                .crawldb
+                .next_fetch_list(self.config.fetch_list_per_host, self.config.fetch_list_total);
+            let mut due: Vec<FrontierEntry> = Vec::new();
+            rt.retry_queue.retain(|(ready_ms, entry)| {
+                if *ready_ms <= now_ms {
+                    due.push(entry.clone());
+                    false
+                } else {
+                    true
+                }
+            });
+            if batch.is_empty() && due.is_empty() {
+                match rt.retry_queue.iter().map(|(ready, _)| *ready).min() {
+                    None => {
+                        report.frontier_exhausted = true;
+                        return false;
+                    }
+                    Some(min_ready) => {
+                        // Nothing fetchable yet: idle forward to the next
+                        // retry becoming due.
+                        report.resilience.recovery_wait_ms += min_ready - now_ms;
+                        report.simulated_secs += (min_ready - now_ms) as f64 / 1000.0;
+                        continue;
+                    }
+                }
+            }
+            batch.extend(due);
+
+            // Circuit-breaker gate: quarantined hosts' entries wait out
+            // the cooldown instead of being fetched.
+            let mut admitted = Vec::with_capacity(batch.len());
+            for entry in batch {
+                let host = entry.url.host();
+                if rt.breaker.allow(host, now_ms) {
+                    admitted.push(entry);
+                } else {
+                    let ready_ms = match rt.breaker.state(host) {
+                        BreakerState::Open { until_ms } => until_ms,
+                        _ => now_ms + options.breaker_cooldown_ms,
+                    };
+                    report.resilience.breaker_deferred += 1;
+                    rt.retry_queue.push((ready_ms, entry));
+                }
+            }
+            if admitted.is_empty() {
+                continue;
+            }
+
+            let (outcomes, fetch_stats) = match &options.faults {
+                Some(plan) => fetcher
+                    .fetch_batch_with(admitted, FaultContext::new(plan, rt.round, &rt.attempts)),
+                None => fetcher.fetch_batch(admitted),
+            };
             report.simulated_secs += fetch_stats.simulated_ms as f64 / 1000.0;
-            report.failed += fetch_stats.failed;
+            report.resilience.injected_transient += fetch_stats.injected_transient;
+            report.resilience.worker_panics += fetch_stats.worker_panics;
+            now_ms = (report.simulated_secs * 1000.0) as u64;
 
             for outcome in outcomes {
                 let url = outcome.entry.url.clone();
                 let resp = match outcome.result {
-                    Ok(r) => r,
+                    Ok(r) => {
+                        rt.breaker.record_success(url.host());
+                        rt.attempts.remove(&url);
+                        r
+                    }
+                    Err(failure) if failure.is_retryable() => {
+                        let host = url.host().to_string();
+                        rt.breaker.record_failure(&host, now_ms);
+                        let attempt = rt.attempts.entry(url.clone()).or_insert(0);
+                        *attempt += 1;
+                        if *attempt <= options.backoff.max_retries && rt.budget.try_spend(&host) {
+                            let delay = options.backoff.delay_ms(&url.to_string(), *attempt);
+                            rt.retry_queue.push((now_ms + delay, outcome.entry));
+                            report.resilience.retries_scheduled += 1;
+                        } else {
+                            report.resilience.retries_exhausted += 1;
+                            report.failed += 1;
+                            self.crawldb.mark(&url, UrlStatus::Failed);
+                        }
+                        continue;
+                    }
                     Err(_) => {
+                        report.failed += 1;
                         self.crawldb.mark(&url, UrlStatus::Failed);
                         continue;
                     }
@@ -289,10 +619,25 @@ impl<'w> FocusedCrawler<'w> {
                     report.irrelevant.push(page);
                 }
             }
+
+            // Segment boundary: advance the round counter and checkpoint
+            // if the cadence says so (an injected store-write fault loses
+            // the snapshot but not the crawl).
+            rt.round += 1;
+            if let Some(every) = options.checkpoint_every_rounds {
+                if every > 0 && rt.round % every == 0 {
+                    let lost = options.faults.as_ref().is_some_and(|plan| {
+                        plan.injects_at(FaultKind::StoreWrite, "crawl-checkpoint", rt.round)
+                    });
+                    if lost {
+                        report.resilience.store_write_failures += 1;
+                    } else {
+                        report.resilience.checkpoints_taken += 1;
+                        checkpoints.push(self.take_checkpoint(report, filters, rt));
+                    }
+                }
+            }
         }
-        report.filter_stats = filters.stats();
-        report.trap_rejected = self.crawldb.trap_rejected();
-        report
     }
 }
 
@@ -491,5 +836,102 @@ mod tests {
         );
         let _ = crawler.crawl(seeds);
         assert!(crawler.linkdb.len() > 10);
+    }
+
+    fn resilient_config() -> CrawlConfig {
+        CrawlConfig {
+            max_pages: 250,
+            fetch_list_total: 60,
+            threads: 4,
+            ..CrawlConfig::default()
+        }
+    }
+
+    #[test]
+    fn checkpointing_does_not_perturb_the_crawl() {
+        let (web, nb) = setup();
+        let seeds = biomedical_seeds(&web, 20);
+        let plain = FocusedCrawler::new(&web, nb.clone(), resilient_config()).crawl(seeds.clone());
+
+        let opts = ResilienceOptions {
+            checkpoint_every_rounds: Some(2),
+            ..ResilienceOptions::default()
+        };
+        let mut crawler = FocusedCrawler::new(&web, nb, resilient_config());
+        let (ckpt_run, checkpoints) = crawler.crawl_resilient(seeds, &opts);
+
+        assert!(!checkpoints.is_empty(), "no checkpoints taken");
+        assert_eq!(
+            ckpt_run.resilience.checkpoints_taken,
+            checkpoints.len() as u64
+        );
+        assert_eq!(plain.relevant.len(), ckpt_run.relevant.len());
+        assert_eq!(plain.irrelevant.len(), ckpt_run.irrelevant.len());
+        assert_eq!(plain.failed, ckpt_run.failed);
+        assert_eq!(plain.duplicates, ckpt_run.duplicates);
+        assert_eq!(
+            plain.simulated_secs.to_bits(),
+            ckpt_run.simulated_secs.to_bits(),
+            "checkpointing changed the simulated clock"
+        );
+    }
+
+    #[test]
+    fn injected_faults_are_retried_and_survived() {
+        let (web, nb) = setup();
+        let seeds = biomedical_seeds(&web, 20);
+        let opts = ResilienceOptions::injected(0xFA17, 0.2, 4);
+        let mut crawler = FocusedCrawler::new(&web, nb, resilient_config());
+        let (report, _) = crawler.crawl_resilient(seeds, &opts);
+
+        assert!(report.resilience.injected_transient > 0, "no faults fired");
+        assert!(report.resilience.retries_scheduled > 0, "nothing retried");
+        assert!(
+            !report.relevant.is_empty(),
+            "crawl did not survive fault injection"
+        );
+    }
+
+    #[test]
+    fn kill_and_resume_matches_uninterrupted_run() {
+        let (web, nb) = setup();
+        let seeds = biomedical_seeds(&web, 20);
+        let opts = ResilienceOptions::injected(0xC0FFEE, 0.05, 2);
+
+        // Uninterrupted baseline under the identical fault plan.
+        let mut baseline = FocusedCrawler::new(&web, nb.clone(), resilient_config());
+        let (base_report, base_ckpts) = baseline.crawl_resilient(seeds.clone(), &opts);
+        assert!(!base_ckpts.is_empty());
+
+        // Kill after 3 rounds, losing the work since the round-2 checkpoint.
+        let killed_opts = ResilienceOptions {
+            stop_after_rounds: Some(3),
+            ..opts.clone()
+        };
+        let mut killed = FocusedCrawler::new(&web, nb, resilient_config());
+        let (_partial, mut ckpts) = killed.crawl_resilient(seeds, &killed_opts);
+        let last = ckpts.pop().expect("killed run took no checkpoint");
+        assert!(last.round < 3 + 1, "checkpoint past the kill point");
+
+        // Resume from durable bytes (exercising the corruption checks).
+        let restored = CrawlCheckpoint::from_bytes(last.round, last.as_bytes().to_vec()).unwrap();
+        let (resumed, resumed_report, _) =
+            FocusedCrawler::resume_from(&web, &restored, resilient_config(), &opts, None).unwrap();
+
+        assert_eq!(
+            baseline.state_digest(&base_report),
+            resumed.state_digest(&resumed_report),
+            "resumed crawl state diverged from uninterrupted baseline"
+        );
+        assert_eq!(base_report.relevant.len(), resumed_report.relevant.len());
+        assert_eq!(
+            base_report.simulated_secs.to_bits(),
+            resumed_report.simulated_secs.to_bits()
+        );
+        assert_eq!(base_report.resilience, resumed_report.resilience);
+        assert_eq!(
+            base_report.harvest_rate().to_bits(),
+            resumed_report.harvest_rate().to_bits()
+        );
     }
 }

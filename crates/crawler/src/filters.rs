@@ -69,6 +69,28 @@ impl FilterStats {
     }
 }
 
+impl websift_resilience::Snapshot for FilterStats {
+    fn encode(&self, w: &mut websift_resilience::Writer) {
+        w.u64(self.seen);
+        w.u64(self.mime_rejected);
+        w.u64(self.length_rejected);
+        w.u64(self.language_rejected);
+        w.u64(self.passed);
+    }
+
+    fn decode(
+        r: &mut websift_resilience::Reader<'_>,
+    ) -> Result<FilterStats, websift_resilience::CodecError> {
+        Ok(FilterStats {
+            seen: r.u64()?,
+            mime_rejected: r.u64()?,
+            length_rejected: r.u64()?,
+            language_rejected: r.u64()?,
+            passed: r.u64()?,
+        })
+    }
+}
+
 /// The filter chain. Stateless apart from counters.
 #[derive(Debug, Default)]
 pub struct FilterChain {
@@ -88,6 +110,12 @@ impl FilterChain {
 
     pub fn stats(&self) -> FilterStats {
         self.stats
+    }
+
+    /// Restores counters from a crawl checkpoint, so a resumed crawl's
+    /// filter statistics match an uninterrupted run's.
+    pub fn restore_stats(&mut self, stats: FilterStats) {
+        self.stats = stats;
     }
 
     /// Stage 1 (runs *before* boilerplate extraction, as in Fig. 1): MIME

@@ -21,7 +21,10 @@
 //! - [`crawl`] — the orchestrated focused-crawl loop with harvest-rate and
 //!   throughput reporting;
 //! - [`feedback`] — the §5 "consolidated process" extension: IE results
-//!   steering the classifier during the crawl.
+//!   steering the classifier during the crawl;
+//! - [`recovery`] — resilience options, retry/breaker/checkpoint counters,
+//!   and the sealed crawl-checkpoint container behind
+//!   [`crawl::FocusedCrawler::resume_from`].
 
 pub mod boilerplate;
 pub mod classifier;
@@ -32,6 +35,7 @@ pub mod fetcher;
 pub mod filters;
 pub mod linkdb;
 pub mod parser;
+pub mod recovery;
 pub mod seeds;
 
 pub use boilerplate::{evaluate_extraction, BoilerplateConfig, BoilerplateDetector};
@@ -39,7 +43,8 @@ pub use classifier::{train_focus_classifier, NaiveBayes, Prediction};
 pub use crawl::{CrawlConfig, CrawlReport, CrawledPage, FocusedCrawler};
 pub use crawldb::{CrawlDb, CrawlDbConfig, FrontierEntry, UrlStatus};
 pub use feedback::IeFeedback;
-pub use fetcher::{FetchOutcome, FetchStats, Fetcher};
+pub use fetcher::{FaultContext, FetchFailure, FetchOutcome, FetchStats, Fetcher};
 pub use filters::{FilterChain, FilterConfig, FilterStats, RejectReason};
 pub use linkdb::LinkDb;
+pub use recovery::{CrawlCheckpoint, ResilienceOptions, ResilienceStats};
 pub use seeds::{default_engines, generate_seeds, SearchEngine, SeedList};

@@ -6,6 +6,7 @@
 //! PageRank-by-domain ranking.
 
 use std::collections::HashMap;
+use websift_resilience::{CodecError, Reader, Snapshot, Writer};
 use websift_web::Url;
 
 /// Interned link graph.
@@ -57,6 +58,26 @@ impl LinkDb {
     /// Adjacency lists over interned ids (input to PageRank).
     pub fn adjacency(&self) -> &[Vec<u32>] {
         &self.edges
+    }
+
+    /// Serializes the graph for a crawl checkpoint. Only the interned
+    /// URL list and adjacency are stored; the id index is rebuilt on
+    /// decode (ids are positions in the URL list).
+    pub fn encode_snapshot(&self, w: &mut Writer) {
+        self.urls.encode(w);
+        self.edges.encode(w);
+    }
+
+    /// Inverse of [`LinkDb::encode_snapshot`].
+    pub fn decode_snapshot(r: &mut Reader<'_>) -> Result<LinkDb, CodecError> {
+        let urls: Vec<Url> = Snapshot::decode(r)?;
+        let edges: Vec<Vec<u32>> = Snapshot::decode(r)?;
+        let ids = urls
+            .iter()
+            .enumerate()
+            .map(|(i, u)| (u.clone(), i as u32))
+            .collect();
+        Ok(LinkDb { ids, urls, edges })
     }
 
     /// Groups nodes by host: returns (group id per node, host names).

@@ -193,9 +193,9 @@ pub fn repair_markup(html: &str, max_damage: f64) -> Result<Vec<HtmlToken>, Untr
                 tag_count += 1;
                 match stack.iter().rposition(|t| *t == name) {
                     Some(pos) => {
-                        // close interleaved elements opened after it
-                        while stack.len() > pos + 1 {
-                            let unclosed = stack.pop().unwrap();
+                        // close interleaved elements opened after it,
+                        // innermost first (no unwrap on attacker input)
+                        for unclosed in stack.drain(pos + 1..).rev() {
                             damage += 1;
                             repaired.push(HtmlToken::Close { name: unclosed });
                         }

@@ -116,6 +116,10 @@ pub enum SchedulingError {
     },
     /// Requested DoP exceeds the cluster's total cores.
     DopExceedsCores { dop: usize, cores: usize },
+    /// A node was lost mid-flow and no survivors remain to reschedule
+    /// onto. Carries the failed node's id so the executor's rescheduler
+    /// and the recovery experiments can report *which* node died.
+    NodeFailed { node: usize },
 }
 
 impl std::fmt::Display for SchedulingError {
@@ -136,6 +140,9 @@ impl std::fmt::Display for SchedulingError {
             }
             SchedulingError::DopExceedsCores { dop, cores } => {
                 write!(f, "DoP {dop} exceeds {cores} total cores")
+            }
+            SchedulingError::NodeFailed { node } => {
+                write!(f, "node {node} failed and no surviving nodes remain")
             }
         }
     }

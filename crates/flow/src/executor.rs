@@ -14,15 +14,39 @@
 //!
 //! The simulated clock is what reproduces the shapes of Figs. 4 and 5
 //! without the authors' 28-node cluster.
+//!
+//! # Resilience
+//!
+//! With a [`FlowResilience`] configuration the executor additionally
+//! survives the paper's infrastructure failures: panicked partitions are
+//! re-launched (up to a retry budget) instead of aborting the flow,
+//! simulated node losses reschedule remaining work onto the surviving
+//! nodes (reporting the failed node id via
+//! [`SchedulingError::NodeFailed`] only when nobody survives), source
+//! reads retry through injected store faults, and completed plan nodes
+//! can be checkpointed so [`Executor::resume_from`] continues a killed
+//! flow instead of restarting it. All failure decisions are pure
+//! functions of the fault-plan seed, so a killed-and-resumed flow
+//! reproduces an uninterrupted run bit-for-bit (wall-clock fields aside).
 
 use crate::cluster::{admit, ClusterSpec, SchedulingError};
 use crate::logical::{LogicalPlan, NodeOp};
 use crate::operator::{Kind, OpFunc, Operator};
 use crate::record::Record;
+use crate::resilience::{FlowCheckpoint, FlowResilience};
 use serde::Serialize;
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::collections::{HashMap, HashSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
+use websift_resilience::{CodecError, FaultKind, FaultPlan, Reader, Snapshot, Writer};
+
+/// Simulated seconds charged per partition re-launch (task setup on the
+/// rescheduled worker).
+const PARTITION_RETRY_SECS: f64 = 0.5;
+/// Simulated seconds charged per retried source read.
+const STORE_READ_RETRY_SECS: f64 = 1.0;
+/// Simulated seconds to detect a dead node and rebalance its work.
+const NODE_LOSS_RESCHEDULE_SECS: f64 = 5.0;
 
 /// Executor configuration.
 #[derive(Debug, Clone)]
@@ -75,6 +99,30 @@ pub struct OpMetrics {
     pub simulated_secs: f64,
 }
 
+impl Snapshot for OpMetrics {
+    fn encode(&self, w: &mut Writer) {
+        w.str(&self.name);
+        w.u64(self.records_in);
+        w.u64(self.records_out);
+        w.u64(self.bytes_in);
+        w.u64(self.bytes_out);
+        w.f64(self.wall_ms);
+        w.f64(self.simulated_secs);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<OpMetrics, CodecError> {
+        Ok(OpMetrics {
+            name: r.str()?,
+            records_in: r.u64()?,
+            records_out: r.u64()?,
+            bytes_in: r.u64()?,
+            bytes_out: r.u64()?,
+            wall_ms: r.f64()?,
+            simulated_secs: r.f64()?,
+        })
+    }
+}
+
 /// Flow-level metrics.
 #[derive(Debug, Clone, Default, Serialize)]
 pub struct FlowMetrics {
@@ -86,6 +134,46 @@ pub struct FlowMetrics {
     /// Peak intermediate data volume (largest single edge).
     pub peak_intermediate_bytes: u64,
     pub per_op: Vec<OpMetrics>,
+    /// Panicked partitions that were re-launched.
+    pub partition_retries: u64,
+    /// Source reads retried through injected store faults.
+    pub store_read_retries: u64,
+    /// Simulated nodes lost mid-flow (work rescheduled onto survivors).
+    pub nodes_lost: Vec<usize>,
+    /// Checkpoints successfully taken.
+    pub checkpoints_taken: u64,
+    /// Checkpoint writes lost to injected store-write faults.
+    pub store_write_failures: u64,
+}
+
+impl Snapshot for FlowMetrics {
+    fn encode(&self, w: &mut Writer) {
+        w.f64(self.wall_ms);
+        w.f64(self.simulated_secs);
+        w.u64(self.network_bytes);
+        w.u64(self.peak_intermediate_bytes);
+        self.per_op.encode(w);
+        w.u64(self.partition_retries);
+        w.u64(self.store_read_retries);
+        self.nodes_lost.encode(w);
+        w.u64(self.checkpoints_taken);
+        w.u64(self.store_write_failures);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<FlowMetrics, CodecError> {
+        Ok(FlowMetrics {
+            wall_ms: r.f64()?,
+            simulated_secs: r.f64()?,
+            network_bytes: r.u64()?,
+            peak_intermediate_bytes: r.u64()?,
+            per_op: Snapshot::decode(r)?,
+            partition_retries: r.u64()?,
+            store_read_retries: r.u64()?,
+            nodes_lost: Snapshot::decode(r)?,
+            checkpoints_taken: r.u64()?,
+            store_write_failures: r.u64()?,
+        })
+    }
 }
 
 /// Execution failures.
@@ -98,6 +186,18 @@ pub enum ExecutionError {
         capacity_bytes: u64,
     },
     MissingSource(String),
+    /// A partition of `operator` panicked `attempts` times, exhausting
+    /// its retry budget.
+    OperatorPanicked {
+        operator: String,
+        partition: usize,
+        attempts: u32,
+    },
+    /// A source read kept failing through every retry.
+    StoreReadFailed { source: String },
+    /// A checkpoint could not be decoded (corruption, version mismatch,
+    /// or a plan that does not match the one it was taken from).
+    BadCheckpoint(CodecError),
 }
 
 impl std::fmt::Display for ExecutionError {
@@ -112,6 +212,18 @@ impl std::fmt::Display for ExecutionError {
                 "network overload: {intermediate_bytes} bytes in flight exceeds {capacity_bytes}"
             ),
             ExecutionError::MissingSource(s) => write!(f, "no input bound for source '{s}'"),
+            ExecutionError::OperatorPanicked {
+                operator,
+                partition,
+                attempts,
+            } => write!(
+                f,
+                "operator '{operator}' partition {partition} panicked {attempts} times, retries exhausted"
+            ),
+            ExecutionError::StoreReadFailed { source } => {
+                write!(f, "store read of source '{source}' failed through every retry")
+            }
+            ExecutionError::BadCheckpoint(e) => write!(f, "bad flow checkpoint: {e}"),
         }
     }
 }
@@ -123,6 +235,89 @@ impl std::error::Error for ExecutionError {}
 pub struct FlowOutput {
     pub sinks: HashMap<String, Vec<Record>>,
     pub metrics: FlowMetrics,
+}
+
+impl FlowOutput {
+    /// Digest over everything deterministic in the run — sink contents
+    /// and the simulated-time accounting, excluding wall-clock fields —
+    /// for asserting the kill/resume invariant.
+    pub fn deterministic_digest(&self) -> u64 {
+        let mut w = Writer::new();
+        self.sinks.encode(&mut w);
+        w.f64(self.metrics.simulated_secs);
+        w.u64(self.metrics.network_bytes);
+        w.u64(self.metrics.peak_intermediate_bytes);
+        w.u64(self.metrics.partition_retries);
+        w.u64(self.metrics.store_read_retries);
+        self.metrics.nodes_lost.encode(&mut w);
+        for m in &self.metrics.per_op {
+            w.str(&m.name);
+            w.u64(m.records_in);
+            w.u64(m.records_out);
+            w.u64(m.bytes_in);
+            w.u64(m.bytes_out);
+            w.f64(m.simulated_secs);
+        }
+        websift_resilience::codec::digest(&w.into_bytes())
+    }
+}
+
+/// The outcome of a resilient run: the output when the flow completed,
+/// plus every checkpoint taken along the way. `output` is `None` only
+/// when the run was interrupted by `stop_after_nodes`.
+#[derive(Debug)]
+pub struct ResilientRun {
+    pub output: Option<FlowOutput>,
+    pub checkpoints: Vec<FlowCheckpoint>,
+}
+
+/// Mid-plan executor state — everything a checkpoint must capture.
+struct ExecState {
+    next_node: usize,
+    outputs: Vec<Option<Vec<Record>>>,
+    consumers_left: Vec<usize>,
+    sinks: HashMap<String, Vec<Record>>,
+    metrics: FlowMetrics,
+    startup_charged: HashSet<String>,
+    node_alive: Vec<bool>,
+}
+
+impl ExecState {
+    fn fresh(plan: &LogicalPlan, cluster_nodes: usize) -> ExecState {
+        ExecState {
+            next_node: 0,
+            outputs: vec![None; plan.len()],
+            consumers_left: (0..plan.len()).map(|id| plan.children(id).len()).collect(),
+            sinks: HashMap::new(),
+            metrics: FlowMetrics::default(),
+            startup_charged: HashSet::new(),
+            node_alive: vec![true; cluster_nodes],
+        }
+    }
+}
+
+impl Snapshot for ExecState {
+    fn encode(&self, w: &mut Writer) {
+        w.usize(self.next_node);
+        self.outputs.encode(w);
+        self.consumers_left.encode(w);
+        self.sinks.encode(w);
+        self.metrics.encode(w);
+        self.startup_charged.encode(w);
+        self.node_alive.encode(w);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<ExecState, CodecError> {
+        Ok(ExecState {
+            next_node: r.usize()?,
+            outputs: Snapshot::decode(r)?,
+            consumers_left: Snapshot::decode(r)?,
+            sinks: Snapshot::decode(r)?,
+            metrics: Snapshot::decode(r)?,
+            startup_charged: Snapshot::decode(r)?,
+            node_alive: Snapshot::decode(r)?,
+        })
+    }
 }
 
 /// The executor.
@@ -147,8 +342,21 @@ impl Executor {
     pub fn run(
         &self,
         plan: &LogicalPlan,
-        mut inputs: HashMap<String, Vec<Record>>,
+        inputs: HashMap<String, Vec<Record>>,
     ) -> Result<FlowOutput, ExecutionError> {
+        let run = self.run_resilient(plan, inputs, &FlowResilience::default())?;
+        Ok(run.output.expect("default resilience never interrupts"))
+    }
+
+    /// Runs `plan` with fault injection, partition retry, node-loss
+    /// rescheduling, and operator-granular checkpointing per `res`. With
+    /// default options this is exactly [`Executor::run`].
+    pub fn run_resilient(
+        &self,
+        plan: &LogicalPlan,
+        inputs: HashMap<String, Vec<Record>>,
+        res: &FlowResilience,
+    ) -> Result<ResilientRun, ExecutionError> {
         plan.validate().map_err(|e| {
             ExecutionError::Scheduling(SchedulingError::LibraryConflict {
                 library: format!("invalid plan: {e}"),
@@ -159,34 +367,75 @@ impl Executor {
             admit(plan, self.config.dop, &self.config.cluster)
                 .map_err(ExecutionError::Scheduling)?;
         }
+        let state = ExecState::fresh(plan, self.config.cluster.nodes.len());
+        self.drive(plan, inputs, state, res)
+    }
 
+    /// Reconstructs mid-plan state from `checkpoint` and runs the flow to
+    /// completion. `plan`, `inputs`, and `res` must match the original
+    /// run's (the checkpoint stores executor state, not the plan or the
+    /// fault schedule); `inputs` is only consulted for sources the
+    /// checkpointed run had not yet read.
+    pub fn resume_from(
+        &self,
+        plan: &LogicalPlan,
+        checkpoint: &FlowCheckpoint,
+        inputs: HashMap<String, Vec<Record>>,
+        res: &FlowResilience,
+    ) -> Result<ResilientRun, ExecutionError> {
+        let payload = checkpoint.payload().map_err(ExecutionError::BadCheckpoint)?;
+        let mut r = Reader::new(payload);
+        let state = ExecState::decode(&mut r).map_err(ExecutionError::BadCheckpoint)?;
+        if !r.is_empty() || state.outputs.len() != plan.len() {
+            return Err(ExecutionError::BadCheckpoint(CodecError::Truncated {
+                what: "checkpoint does not match plan",
+            }));
+        }
+        self.drive(plan, inputs, state, res)
+    }
+
+    /// Shared run loop behind `run_resilient` and `resume_from`.
+    fn drive(
+        &self,
+        plan: &LogicalPlan,
+        mut inputs: HashMap<String, Vec<Record>>,
+        mut state: ExecState,
+        res: &FlowResilience,
+    ) -> Result<ResilientRun, ExecutionError> {
         let started = Instant::now();
-        let mut outputs: Vec<Option<Vec<Record>>> = vec![None; plan.len()];
-        let mut consumers_left: Vec<usize> =
-            (0..plan.len()).map(|id| plan.children(id).len()).collect();
-        let mut sinks: HashMap<String, Vec<Record>> = HashMap::new();
-        let mut metrics = FlowMetrics::default();
-        let mut startup_charged: std::collections::HashSet<String> = Default::default();
+        let mut checkpoints = Vec::new();
 
-        for node in plan.nodes() {
+        while state.next_node < plan.len() {
+            if let Some(stop) = res.stop_after_nodes {
+                if state.next_node >= stop {
+                    state.metrics.wall_ms += started.elapsed().as_secs_f64() * 1000.0;
+                    return Ok(ResilientRun {
+                        output: None,
+                        checkpoints,
+                    });
+                }
+            }
+            let node = &plan.nodes()[state.next_node];
+
             // Unreachable nodes (orphaned by the optimizer) with no
             // consumers and no sink role are skipped.
             let is_sink = matches!(node.op, NodeOp::Sink(_));
-            if !is_sink && consumers_left[node.id] == 0 {
+            if !is_sink && state.consumers_left[node.id] == 0 {
+                state.next_node += 1;
                 continue;
             }
             let input: Vec<Record> = match node.input {
                 None => Vec::new(),
                 Some(parent) => {
                     let take = {
-                        consumers_left[parent] -= 1;
-                        consumers_left[parent] == 0
+                        state.consumers_left[parent] -= 1;
+                        state.consumers_left[parent] == 0
                     };
-                    let parent_out = outputs[parent]
+                    let parent_out = state.outputs[parent]
                         .as_ref()
                         .expect("parent executed before child");
                     if take {
-                        outputs[parent].take().unwrap()
+                        state.outputs[parent].take().unwrap()
                     } else {
                         parent_out.clone()
                     }
@@ -195,55 +444,132 @@ impl Executor {
 
             match &node.op {
                 NodeOp::Source(name) => {
+                    // Injected store-read faults retry the read; each
+                    // attempt's decision is pure in (source, attempt).
+                    if let Some(fault_plan) = &res.faults {
+                        let mut attempt: u32 = 0;
+                        while fault_plan.injects_at(FaultKind::StoreRead, name, attempt as u64) {
+                            state.metrics.store_read_retries += 1;
+                            state.metrics.simulated_secs += STORE_READ_RETRY_SECS;
+                            attempt += 1;
+                            if attempt > res.partition_retries {
+                                return Err(ExecutionError::StoreReadFailed {
+                                    source: name.clone(),
+                                });
+                            }
+                        }
+                    }
                     let data = inputs
                         .remove(name)
                         .ok_or_else(|| ExecutionError::MissingSource(name.clone()))?;
-                    outputs[node.id] = Some(data);
+                    state.outputs[node.id] = Some(data);
                 }
                 NodeOp::Sink(name) => {
                     let bytes: u64 = input.iter().map(Record::approx_bytes).sum();
                     let scaled = (bytes as f64 * self.config.byte_scale) as u64;
-                    metrics.network_bytes += scaled * SINK_REPLICATION;
-                    metrics.simulated_secs +=
+                    state.metrics.network_bytes += scaled * SINK_REPLICATION;
+                    state.metrics.simulated_secs +=
                         self.config.cluster.network_secs(scaled * SINK_REPLICATION);
-                    sinks.entry(name.clone()).or_default().extend(input);
-                    outputs[node.id] = Some(Vec::new());
+                    state.sinks.entry(name.clone()).or_default().extend(input);
+                    state.outputs[node.id] = Some(Vec::new());
                 }
                 NodeOp::Op(op) => {
-                    let op_metrics = self.run_operator(op, &input, &mut outputs[node.id])?;
+                    // Simulated node losses: dead nodes drop out of the
+                    // placement and their share of work is rescheduled
+                    // onto the survivors (slower, but correct).
+                    if let Some(fault_plan) = &res.faults {
+                        for j in 0..state.node_alive.len() {
+                            if state.node_alive[j]
+                                && fault_plan.injects_at(
+                                    FaultKind::NodeLoss,
+                                    &format!("node{j}"),
+                                    node.id as u64,
+                                )
+                            {
+                                state.node_alive[j] = false;
+                                state.metrics.nodes_lost.push(j);
+                                state.metrics.simulated_secs += NODE_LOSS_RESCHEDULE_SECS;
+                                // the replacement placement re-runs the
+                                // operator's startup on the survivors
+                                state.metrics.simulated_secs += op.cost.startup_secs;
+                            }
+                        }
+                        if !state.node_alive.iter().any(|&a| a) {
+                            let node_id = state.metrics.nodes_lost.last().copied().unwrap_or(0);
+                            return Err(ExecutionError::Scheduling(SchedulingError::NodeFailed {
+                                node: node_id,
+                            }));
+                        }
+                    }
+                    let alive = state.node_alive.iter().filter(|&&a| a).count();
+                    let total = state.node_alive.len().max(1);
+                    let dop_eff = (self.config.dop * alive / total).max(1);
+
+                    let mut retries: u64 = 0;
+                    let op_metrics = self.run_operator(
+                        op,
+                        &input,
+                        &mut state.outputs[node.id],
+                        dop_eff,
+                        res,
+                        &mut retries,
+                    )?;
+                    state.metrics.partition_retries += retries;
+                    state.metrics.simulated_secs += retries as f64 * PARTITION_RETRY_SECS;
                     // startup is charged once per distinct operator name
                     // (workers start it in parallel; it floors the clock),
                     // plus the cost of shipping the operator's resident
                     // data (dictionaries, models) to every worker over the
                     // shared switch — the term that makes heavy flows
                     // scale sub-linearly in DoP (Figs. 4/5)
-                    if startup_charged.insert(op.name.clone()) {
-                        metrics.simulated_secs += op.cost.startup_secs;
-                        metrics.simulated_secs += self.config.cluster.network_secs(
+                    if state.startup_charged.insert(op.name.clone()) {
+                        state.metrics.simulated_secs += op.cost.startup_secs;
+                        state.metrics.simulated_secs += self.config.cluster.network_secs(
                             op.cost.memory_bytes.saturating_mul(self.config.dop as u64),
                         );
                     }
-                    metrics.simulated_secs += op_metrics.simulated_secs;
+                    state.metrics.simulated_secs += op_metrics.simulated_secs;
                     // shuffle accounting for reduce
                     if op.kind == Kind::Reduce {
                         let scaled = (op_metrics.bytes_in as f64 * self.config.byte_scale) as u64;
-                        metrics.network_bytes += scaled;
-                        metrics.peak_intermediate_bytes =
-                            metrics.peak_intermediate_bytes.max(scaled);
-                        metrics.simulated_secs += self.config.cluster.network_secs(scaled);
+                        state.metrics.network_bytes += scaled;
+                        state.metrics.peak_intermediate_bytes =
+                            state.metrics.peak_intermediate_bytes.max(scaled);
+                        state.metrics.simulated_secs += self.config.cluster.network_secs(scaled);
                     }
                     let scaled_out = (op_metrics.bytes_out as f64 * self.config.byte_scale) as u64;
-                    metrics.peak_intermediate_bytes =
-                        metrics.peak_intermediate_bytes.max(scaled_out);
-                    metrics.per_op.push(op_metrics);
+                    state.metrics.peak_intermediate_bytes =
+                        state.metrics.peak_intermediate_bytes.max(scaled_out);
+                    state.metrics.per_op.push(op_metrics);
+                }
+            }
+
+            state.next_node += 1;
+            if let Some(every) = res.checkpoint_every_nodes {
+                if every > 0 && state.next_node % every == 0 && state.next_node < plan.len() {
+                    let lost = res.faults.as_ref().is_some_and(|fault_plan| {
+                        fault_plan.injects_at(
+                            FaultKind::StoreWrite,
+                            "flow-checkpoint",
+                            state.next_node as u64,
+                        )
+                    });
+                    if lost {
+                        state.metrics.store_write_failures += 1;
+                    } else {
+                        state.metrics.checkpoints_taken += 1;
+                        let mut w = Writer::new();
+                        state.encode(&mut w);
+                        checkpoints.push(FlowCheckpoint::seal(state.next_node, &w.into_bytes()));
+                    }
                 }
             }
         }
 
         // Network overload check on the peak edge volume.
         let per_round = match self.config.chunk_rounds {
-            Some(rounds) if rounds > 0 => metrics.peak_intermediate_bytes / rounds as u64,
-            _ => metrics.peak_intermediate_bytes,
+            Some(rounds) if rounds > 0 => state.metrics.peak_intermediate_bytes / rounds as u64,
+            _ => state.metrics.peak_intermediate_bytes,
         };
         if self.config.cluster.overloaded_by(per_round) {
             return Err(ExecutionError::NetworkOverload {
@@ -253,22 +579,32 @@ impl Executor {
         }
         // chunked execution pays a per-round latency overhead
         if let Some(rounds) = self.config.chunk_rounds {
-            metrics.simulated_secs += rounds as f64 * 2.0;
+            state.metrics.simulated_secs += rounds as f64 * 2.0;
         }
 
-        metrics.wall_ms = started.elapsed().as_secs_f64() * 1000.0;
-        Ok(FlowOutput { sinks, metrics })
+        state.metrics.wall_ms += started.elapsed().as_secs_f64() * 1000.0;
+        Ok(ResilientRun {
+            output: Some(FlowOutput {
+                sinks: state.sinks,
+                metrics: state.metrics,
+            }),
+            checkpoints,
+        })
     }
 
-    /// Runs one operator data-parallel over `dop` partitions.
+    /// Runs one operator data-parallel over `dop_eff` partitions.
+    /// Panicked partitions (injected or real) are re-queued up to
+    /// `res.partition_retries` times before the operator fails.
     fn run_operator(
         &self,
         op: &Operator,
         input: &[Record],
         out_slot: &mut Option<Vec<Record>>,
+        dop_eff: usize,
+        res: &FlowResilience,
+        retries: &mut u64,
     ) -> Result<OpMetrics, ExecutionError> {
         let started = Instant::now();
-        let dop = self.config.dop;
         let bytes_in: u64 = input.iter().map(Record::approx_bytes).sum();
 
         let (result, max_partition_secs) = match op.func() {
@@ -289,46 +625,75 @@ impl Executor {
                     }
                     out.extend(aggregate(&k, rs));
                 }
-                (out, work_secs / dop as f64)
+                (out, work_secs / dop_eff as f64)
             }
             _ => {
-                // partition into dop contiguous chunks, process in parallel
-                let chunk_size = input.len().div_ceil(dop).max(1);
+                // partition into dop_eff contiguous chunks, process in
+                // parallel; a panicking chunk is retried on another worker
+                let chunk_size = input.len().div_ceil(dop_eff).max(1);
                 let chunks: Vec<&[Record]> = input.chunks(chunk_size).collect();
-                let worker_count = dop.min(chunks.len()).min(32).max(1);
-                let next = AtomicUsize::new(0);
+                let worker_count = dop_eff.min(chunks.len()).min(32).max(1);
+                let queue: parking_lot::Mutex<Vec<(usize, u32)>> =
+                    parking_lot::Mutex::new((0..chunks.len()).map(|i| (i, 0)).rev().collect());
                 let results: Vec<parking_lot::Mutex<(Vec<Record>, f64)>> = (0..chunks.len())
                     .map(|_| parking_lot::Mutex::new((Vec::new(), 0.0)))
                     .collect();
+                let retry_count = parking_lot::Mutex::new(0u64);
+                let fatal: parking_lot::Mutex<Option<(usize, u32)>> = parking_lot::Mutex::new(None);
 
-                crossbeam::thread::scope(|scope| {
+                std::thread::scope(|scope| {
                     for _ in 0..worker_count {
-                        scope.spawn(|_| loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            if i >= chunks.len() {
+                        scope.spawn(|| loop {
+                            if fatal.lock().is_some() {
                                 break;
                             }
-                            let mut out = Vec::with_capacity(chunks[i].len());
-                            let mut secs = 0.0f64;
-                            for r in chunks[i] {
-                                secs += self.config.work_scale
-                                    * op.cost.record_cost_secs(r.text().map(str::len).unwrap_or(64));
-                                match op.func() {
-                                    OpFunc::Map(f) => out.push(f(r.clone())),
-                                    OpFunc::FlatMap(f) => out.extend(f(r.clone())),
-                                    OpFunc::Filter(f) => {
-                                        if f(r) {
-                                            out.push(r.clone());
+                            let Some((i, attempt)) = queue.lock().pop() else {
+                                break;
+                            };
+                            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                                maybe_panic(res.faults.as_ref(), op, i, attempt);
+                                let mut out = Vec::with_capacity(chunks[i].len());
+                                let mut secs = 0.0f64;
+                                for r in chunks[i] {
+                                    secs += self.config.work_scale
+                                        * op.cost
+                                            .record_cost_secs(r.text().map(str::len).unwrap_or(64));
+                                    match op.func() {
+                                        OpFunc::Map(f) => out.push(f(r.clone())),
+                                        OpFunc::FlatMap(f) => out.extend(f(r.clone())),
+                                        OpFunc::Filter(f) => {
+                                            if f(r) {
+                                                out.push(r.clone());
+                                            }
                                         }
+                                        OpFunc::Reduce { .. } => unreachable!(),
                                     }
-                                    OpFunc::Reduce { .. } => unreachable!(),
+                                }
+                                (out, secs)
+                            }));
+                            match outcome {
+                                Ok(chunk_result) => *results[i].lock() = chunk_result,
+                                Err(_) => {
+                                    if attempt < res.partition_retries {
+                                        *retry_count.lock() += 1;
+                                        queue.lock().push((i, attempt + 1));
+                                    } else {
+                                        *fatal.lock() = Some((i, attempt));
+                                    }
                                 }
                             }
-                            *results[i].lock() = (out, secs);
                         });
                     }
-                })
-                .expect("operator workers panicked");
+                });
+
+                if let Some((partition, attempt)) = fatal.into_inner() {
+                    return Err(ExecutionError::OperatorPanicked {
+                        operator: op.name.clone(),
+                        partition,
+                        attempts: attempt + 1,
+                    });
+                }
+                *retries += retry_count.into_inner();
 
                 let mut out = Vec::with_capacity(input.len());
                 let mut max_secs = 0.0f64;
@@ -353,6 +718,22 @@ impl Executor {
         };
         *out_slot = Some(result);
         Ok(metrics)
+    }
+}
+
+/// Injected worker panic: pure in (operator, partition, attempt).
+fn maybe_panic(faults: Option<&FaultPlan>, op: &Operator, partition: usize, attempt: u32) {
+    if let Some(plan) = faults {
+        if plan.injects_at(
+            FaultKind::WorkerPanic,
+            &format!("{}#p{partition}", op.name),
+            attempt as u64,
+        ) {
+            panic!(
+                "injected fault: worker panic in operator '{}' partition {partition}",
+                op.name
+            );
+        }
     }
 }
 
@@ -571,5 +952,165 @@ mod tests {
         let even = out.metrics.per_op.iter().find(|m| m.name == "even").unwrap();
         assert_eq!(even.records_out, 10);
         assert!(out.metrics.wall_ms >= 0.0);
+    }
+
+    fn run_resilient(
+        plan: &LogicalPlan,
+        input: Vec<Record>,
+        dop: usize,
+        res: &FlowResilience,
+    ) -> Result<ResilientRun, ExecutionError> {
+        let mut inputs = HashMap::new();
+        inputs.insert("in".to_string(), input);
+        Executor::new(ExecutionConfig::local(dop)).run_resilient(plan, inputs, res)
+    }
+
+    #[test]
+    fn panicked_partitions_are_retried() {
+        let res = FlowResilience {
+            faults: Some(
+                FaultPlan::new(11).with_rate(FaultKind::WorkerPanic, 0.5),
+            ),
+            partition_retries: 8,
+            ..FlowResilience::default()
+        };
+        let run = run_resilient(&simple_plan(), docs(40), 4, &res).unwrap();
+        let out = run.output.unwrap();
+        assert_eq!(out.sinks["out"].len(), 20, "results survive worker panics");
+        assert!(out.metrics.partition_retries > 0, "no retries recorded");
+
+        // the same flow without faults produces identical sink contents
+        let clean = run_resilient(&simple_plan(), docs(40), 4, &FlowResilience::default())
+            .unwrap()
+            .output
+            .unwrap();
+        assert_eq!(clean.sinks["out"], out.sinks["out"]);
+    }
+
+    #[test]
+    fn exhausted_partition_retries_fail_typed() {
+        let res = FlowResilience {
+            faults: Some(
+                FaultPlan::new(7).with_rate(FaultKind::WorkerPanic, 1.0),
+            ),
+            partition_retries: 2,
+            ..FlowResilience::default()
+        };
+        let err = run_resilient(&simple_plan(), docs(10), 2, &res).unwrap_err();
+        match err {
+            ExecutionError::OperatorPanicked { operator, attempts, .. } => {
+                assert_eq!(operator, "upper");
+                assert_eq!(attempts, 3);
+            }
+            other => panic!("expected OperatorPanicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn node_loss_reschedules_onto_survivors() {
+        let res = FlowResilience {
+            faults: Some(
+                FaultPlan::new(5).with_rate(FaultKind::NodeLoss, 0.3),
+            ),
+            ..FlowResilience::default()
+        };
+        let faulty = run_resilient(&simple_plan(), docs(40), 8, &res).unwrap().output.unwrap();
+        assert!(!faulty.metrics.nodes_lost.is_empty(), "no nodes lost at 50%");
+        let clean = run_resilient(&simple_plan(), docs(40), 8, &FlowResilience::default())
+            .unwrap()
+            .output
+            .unwrap();
+        assert_eq!(clean.sinks["out"], faulty.sinks["out"], "results unchanged");
+        assert!(
+            faulty.metrics.simulated_secs > clean.metrics.simulated_secs,
+            "losing nodes must cost simulated time"
+        );
+    }
+
+    #[test]
+    fn losing_every_node_reports_the_failed_node() {
+        let res = FlowResilience {
+            faults: Some(
+                FaultPlan::new(3).with_rate(FaultKind::NodeLoss, 1.0),
+            ),
+            ..FlowResilience::default()
+        };
+        let err = run_resilient(&simple_plan(), docs(10), 4, &res).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ExecutionError::Scheduling(SchedulingError::NodeFailed { node: 3 })
+            ),
+            "expected NodeFailed with the last node id, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn store_read_faults_retry_sources() {
+        let res = FlowResilience {
+            faults: Some(
+                FaultPlan::new(21).with_rate(FaultKind::StoreRead, 0.7),
+            ),
+            partition_retries: 10,
+            ..FlowResilience::default()
+        };
+        let run = run_resilient(&simple_plan(), docs(10), 2, &res).unwrap();
+        let out = run.output.unwrap();
+        assert_eq!(out.sinks["out"].len(), 5);
+    }
+
+    #[test]
+    fn kill_and_resume_reproduces_uninterrupted_flow() {
+        let plan = simple_plan();
+        let res = FlowResilience::injected(0xFEED, 0.3, 1);
+
+        let baseline = run_resilient(&plan, docs(50), 4, &res).unwrap();
+        let base_out = baseline.output.expect("baseline must complete");
+
+        // kill before plan node 2 (after source + first operator)
+        let killed_res = FlowResilience {
+            stop_after_nodes: Some(2),
+            ..res.clone()
+        };
+        let killed = run_resilient(&plan, docs(50), 4, &killed_res).unwrap();
+        assert!(killed.output.is_none(), "killed run must not complete");
+        let ckpt = killed.checkpoints.last().expect("no checkpoint before kill");
+
+        // resume from durable bytes and run to completion
+        let restored =
+            FlowCheckpoint::from_bytes(ckpt.next_node, ckpt.as_bytes().to_vec()).unwrap();
+        let mut inputs = HashMap::new();
+        inputs.insert("in".to_string(), docs(50));
+        let resumed = Executor::new(ExecutionConfig::local(4))
+            .resume_from(&plan, &restored, inputs, &res)
+            .unwrap();
+        let resumed_out = resumed.output.expect("resumed run must complete");
+
+        assert_eq!(base_out.sinks, resumed_out.sinks);
+        assert_eq!(
+            base_out.deterministic_digest(),
+            resumed_out.deterministic_digest(),
+            "resumed flow diverged from uninterrupted baseline"
+        );
+        assert_eq!(
+            base_out.metrics.simulated_secs.to_bits(),
+            resumed_out.metrics.simulated_secs.to_bits()
+        );
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_rejected_on_resume() {
+        let plan = simple_plan();
+        let res = FlowResilience {
+            checkpoint_every_nodes: Some(1),
+            stop_after_nodes: Some(2),
+            ..FlowResilience::default()
+        };
+        let killed = run_resilient(&plan, docs(10), 2, &res).unwrap();
+        let ckpt = killed.checkpoints.last().unwrap();
+        let mut bytes = ckpt.as_bytes().to_vec();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x80;
+        assert!(FlowCheckpoint::from_bytes(ckpt.next_node, bytes).is_err());
     }
 }

@@ -19,7 +19,9 @@
 //! - [`executor`] — real multi-threaded execution with a simulated
 //!   paper-scale clock (the engine behind Figs. 4 and 5);
 //! - [`dfs`] — an HDFS-like replicated block store;
-//! - [`meteor`] — the declarative script front end.
+//! - [`meteor`] — the declarative script front end;
+//! - [`resilience`] — fault-injection options, operator-granular
+//!   checkpoints, and the machinery behind [`Executor::resume_from`].
 
 pub mod cluster;
 pub mod dfs;
@@ -30,10 +32,14 @@ pub mod operator;
 pub mod optimizer;
 pub mod packages;
 pub mod record;
+pub mod resilience;
 
 pub use cluster::{admit, ClusterSpec, NodeSpec, Placement, SchedulingError};
 pub use dfs::{Dfs, DfsConfig, DfsError, DfsStats};
-pub use executor::{ExecutionConfig, ExecutionError, Executor, FlowMetrics, FlowOutput, OpMetrics};
+pub use executor::{
+    ExecutionConfig, ExecutionError, Executor, FlowMetrics, FlowOutput, OpMetrics, ResilientRun,
+};
+pub use resilience::{FlowCheckpoint, FlowResilience};
 pub use logical::{LogicalPlan, NodeId, NodeOp};
 pub use meteor::{compile, MeteorError};
 pub use operator::{CostModel, Kind, OpFunc, Operator, Package};

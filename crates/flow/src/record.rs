@@ -9,6 +9,7 @@
 
 use serde::Serialize;
 use std::collections::BTreeMap;
+use websift_resilience::{CodecError, Reader, Snapshot, Writer};
 
 /// A JSON-like value.
 #[derive(Debug, Clone, PartialEq, Serialize)]
@@ -76,6 +77,63 @@ impl Value {
                     .sum::<u64>()
             }
         }
+    }
+}
+
+impl Snapshot for Value {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            Value::Null => w.u8(0),
+            Value::Bool(b) => {
+                w.u8(1);
+                w.bool(*b);
+            }
+            Value::Int(i) => {
+                w.u8(2);
+                w.i64(*i);
+            }
+            Value::Float(f) => {
+                w.u8(3);
+                w.f64(*f);
+            }
+            Value::Str(s) => {
+                w.u8(4);
+                w.str(s);
+            }
+            Value::Array(a) => {
+                w.u8(5);
+                a.encode(w);
+            }
+            Value::Object(o) => {
+                w.u8(6);
+                w.usize(o.len());
+                for (k, v) in o {
+                    w.str(k);
+                    v.encode(w);
+                }
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Value, CodecError> {
+        Ok(match r.u8()? {
+            0 => Value::Null,
+            1 => Value::Bool(r.bool()?),
+            2 => Value::Int(r.i64()?),
+            3 => Value::Float(r.f64()?),
+            4 => Value::Str(r.str()?),
+            5 => Value::Array(Snapshot::decode(r)?),
+            6 => {
+                let n = r.usize()?;
+                let mut o = BTreeMap::new();
+                for _ in 0..n {
+                    let k = r.str()?;
+                    o.insert(k, Value::decode(r)?);
+                }
+                Value::Object(o)
+            }
+            tag => return Err(CodecError::BadTag { what: "Value", tag }),
+        })
     }
 }
 
@@ -174,6 +232,19 @@ impl Record {
             _ => {
                 self.0.insert(key.to_string(), Value::Array(vec![value]));
             }
+        }
+    }
+}
+
+impl Snapshot for Record {
+    fn encode(&self, w: &mut Writer) {
+        Value::Object(self.0.clone()).encode(w);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Record, CodecError> {
+        match Value::decode(r)? {
+            Value::Object(o) => Ok(Record(o)),
+            _ => Err(CodecError::BadTag { what: "Record", tag: 255 }),
         }
     }
 }

@@ -1,0 +1,128 @@
+//! Flow-side resilience surface: per-run options and the sealed
+//! operator-granular [`FlowCheckpoint`].
+//!
+//! The paper's flows died for infrastructure reasons — timeout-induced
+//! crashes, lost workers, failed nodes — and every death meant rerunning
+//! the whole flow over terabytes of crawled data. This module gives the
+//! executor the knobs to (a) inject those failures deterministically,
+//! (b) retry lost partitions and reschedule around dead nodes, and
+//! (c) checkpoint completed plan nodes so a rerun resumes instead of
+//! restarting.
+
+use websift_resilience::codec;
+use websift_resilience::{CodecError, FaultPlan};
+
+/// Frame tag + version for flow checkpoints.
+const CHECKPOINT_TAG: [u8; 4] = *b"WSFK";
+const CHECKPOINT_VERSION: u16 = 1;
+
+/// Per-run resilience configuration for [`crate::Executor`].
+///
+/// Defaults are behaviour-preserving: no fault plan means no injected
+/// panics or losses, and the retry/rescheduling machinery only engages on
+/// failures — so [`crate::Executor::run`] behaves exactly as it did
+/// before this module existed.
+#[derive(Debug, Clone)]
+pub struct FlowResilience {
+    /// Deterministic fault schedule; `None` disables injection.
+    pub faults: Option<FaultPlan>,
+    /// Times a panicked partition is re-launched before the operator
+    /// (and flow) is declared failed.
+    pub partition_retries: u32,
+    /// Take a checkpoint after every N completed plan nodes; `None`
+    /// disables checkpointing.
+    pub checkpoint_every_nodes: Option<usize>,
+    /// Stop (simulating a kill) before executing this plan-node index.
+    pub stop_after_nodes: Option<usize>,
+}
+
+impl Default for FlowResilience {
+    fn default() -> FlowResilience {
+        FlowResilience {
+            faults: None,
+            partition_retries: 3,
+            checkpoint_every_nodes: None,
+            stop_after_nodes: None,
+        }
+    }
+}
+
+impl FlowResilience {
+    /// Options for a fault-injection run: uniform fault rate across all
+    /// kinds, checkpointing every `checkpoint_every` plan nodes.
+    pub fn injected(seed: u64, rate: f64, checkpoint_every: usize) -> FlowResilience {
+        FlowResilience {
+            faults: Some(FaultPlan::uniform(seed, rate)),
+            checkpoint_every_nodes: Some(checkpoint_every),
+            ..FlowResilience::default()
+        }
+    }
+}
+
+/// A sealed flow checkpoint: the executor's complete mid-plan state
+/// (completed node outputs, sink contents, metrics, surviving nodes)
+/// framed with a magic tag, version, and checksum.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowCheckpoint {
+    frame: Vec<u8>,
+    /// Index of the next plan node to execute on resume.
+    pub next_node: usize,
+}
+
+impl FlowCheckpoint {
+    pub(crate) fn seal(next_node: usize, payload: &[u8]) -> FlowCheckpoint {
+        FlowCheckpoint {
+            frame: codec::seal(CHECKPOINT_TAG, CHECKPOINT_VERSION, payload),
+            next_node,
+        }
+    }
+
+    pub(crate) fn payload(&self) -> Result<&[u8], CodecError> {
+        codec::open(CHECKPOINT_TAG, CHECKPOINT_VERSION, &self.frame)
+    }
+
+    /// The serialized frame — what a real deployment would persist.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.frame
+    }
+
+    /// Rehydrates a checkpoint from stored bytes, verifying tag,
+    /// version, and checksum.
+    pub fn from_bytes(next_node: usize, bytes: Vec<u8>) -> Result<FlowCheckpoint, CodecError> {
+        let ckpt = FlowCheckpoint { frame: bytes, next_node };
+        ckpt.payload()?;
+        Ok(ckpt)
+    }
+
+    /// Content digest, for cheap state comparison.
+    pub fn digest(&self) -> u64 {
+        codec::digest(&self.frame)
+    }
+
+    pub fn size_bytes(&self) -> usize {
+        self.frame.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corrupted_flow_checkpoint_is_rejected() {
+        let ckpt = FlowCheckpoint::seal(5, b"executor state");
+        assert_eq!(ckpt.next_node, 5);
+        assert!(ckpt.payload().is_ok());
+        let mut bytes = ckpt.as_bytes().to_vec();
+        bytes[10] ^= 0x01;
+        assert!(FlowCheckpoint::from_bytes(5, bytes).is_err());
+    }
+
+    #[test]
+    fn default_flow_resilience_is_inert() {
+        let r = FlowResilience::default();
+        assert!(r.faults.is_none());
+        assert!(r.checkpoint_every_nodes.is_none());
+        assert!(r.stop_after_nodes.is_none());
+    }
+}

@@ -29,6 +29,25 @@ impl fmt::Display for UrlError {
 
 impl std::error::Error for UrlError {}
 
+/// URLs participate in crawl checkpoints (frontier, status store,
+/// LinkDB). Encoded as raw parts; `host` is stored lowercased and
+/// `path` with its leading `/`, so re-encoding a decoded URL is
+/// byte-identical.
+impl websift_resilience::Snapshot for Url {
+    fn encode(&self, w: &mut websift_resilience::Writer) {
+        w.str(&self.host);
+        w.str(&self.path);
+    }
+
+    fn decode(
+        r: &mut websift_resilience::Reader<'_>,
+    ) -> Result<Url, websift_resilience::CodecError> {
+        let host = r.str()?;
+        let path = r.str()?;
+        Ok(Url { host, path })
+    }
+}
+
 impl Url {
     /// Parses an absolute URL. Accepts `http://` and `https://`.
     pub fn parse(s: &str) -> Result<Url, UrlError> {

@@ -20,6 +20,9 @@
 //!   operator packages, optimizer, and simulated cluster;
 //! - [`pipeline`] — the consolidated analysis flows and the cross-corpus
 //!   comparison / experiment harness;
+//! - [`resilience`] — deterministic fault injection, retry/backoff with
+//!   circuit breakers, and the checkpoint codec behind crawl and flow
+//!   kill-and-resume recovery;
 //! - [`stats`] — statistics used throughout (Mann-Whitney U,
 //!   Jensen-Shannon divergence, evaluation metrics, samplers).
 //!
@@ -41,6 +44,7 @@ pub use websift_crawler as crawler;
 pub use websift_flow as flow;
 pub use websift_ner as ner;
 pub use websift_pipeline as pipeline;
+pub use websift_resilience as resilience;
 pub use websift_stats as stats;
 pub use websift_text as text;
 pub use websift_web as web;

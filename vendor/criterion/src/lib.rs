@@ -1,0 +1,205 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API shape the workspace's benches use — `Criterion`,
+//! `benchmark_group` / `sample_size` / `bench_function` /
+//! `bench_with_input` / `finish`, `BenchmarkId`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros — backed by a simple
+//! median-of-samples wall-clock timer. Good enough to keep benches
+//! compiling, runnable, and comparable run-to-run on one machine; not a
+//! statistics engine.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId(format!("{}/{}", function_name.into(), parameter))
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Accepted by `bench_function`: a plain name or a [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.0
+    }
+}
+
+/// Timer handle passed to bench closures.
+pub struct Bencher {
+    samples: Vec<f64>,
+    iters_per_sample: u32,
+}
+
+impl Bencher {
+    /// Times `routine`, collecting one sample per outer round.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let started = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            black_box(routine());
+        }
+        self.samples
+            .push(started.elapsed().as_secs_f64() / self.iters_per_sample as f64);
+    }
+}
+
+fn run_bench(group: &str, name: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        iters_per_sample: 1,
+    };
+    // warmup round, also calibrates iters so fast routines get batched
+    f(&mut b);
+    let per_iter = b.samples.first().copied().unwrap_or(0.0);
+    b.iters_per_sample = if per_iter > 0.0 {
+        ((0.005 / per_iter).ceil() as u32).clamp(1, 10_000)
+    } else {
+        1000
+    };
+    b.samples.clear();
+    for _ in 0..samples.max(1) {
+        f(&mut b);
+    }
+    b.samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = b.samples[b.samples.len() / 2];
+    let label = if group.is_empty() {
+        name.to_string()
+    } else {
+        format!("{group}/{name}")
+    };
+    println!("bench {label:<50} {:>12} /iter ({} samples)", fmt_time(median), b.samples.len());
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Group of related benchmarks sharing a sample-size setting.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n;
+        self
+    }
+
+    pub fn bench_function<I: IntoBenchmarkId>(
+        &mut self,
+        id: I,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_bench(&self.name, &id.into_id(), self.samples, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: IntoBenchmarkId, P: ?Sized>(
+        &mut self,
+        id: I,
+        input: &P,
+        mut f: impl FnMut(&mut Bencher, &P),
+    ) -> &mut Self {
+        run_bench(&self.name, &id.into_id(), self.samples, &mut |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// The harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn bench_function(&mut self, id: impl IntoBenchmarkId, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_bench("", &id.into_id(), 10, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: 10,
+            _parent: self,
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_api_shape() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::from_parameter(4), &4, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+        c.bench_function("top", |b| b.iter(|| black_box(2) * 3));
+    }
+}

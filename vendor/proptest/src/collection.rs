@@ -1,0 +1,70 @@
+//! Collection strategies: `vec` and `hash_map`.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::ops::Range;
+
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    elem: S,
+    size: Range<usize>,
+}
+
+/// `prop::collection::vec(elem, m..n)` — a vector of `m..n` elements.
+pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { elem, size }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let n = sample_size(&self.size, rng);
+        (0..n).map(|_| self.elem.generate(rng)).collect()
+    }
+}
+
+#[derive(Debug, Clone)]
+pub struct HashMapStrategy<K, V> {
+    key: K,
+    value: V,
+    size: Range<usize>,
+}
+
+/// `prop::collection::hash_map(k, v, m..n)` — up to `n-1` entries
+/// (duplicate generated keys may land below `m`, as in a sparse domain).
+pub fn hash_map<K: Strategy, V: Strategy>(
+    key: K,
+    value: V,
+    size: Range<usize>,
+) -> HashMapStrategy<K, V>
+where
+    K::Value: Eq + Hash,
+{
+    HashMapStrategy { key, value, size }
+}
+
+impl<K: Strategy, V: Strategy> Strategy for HashMapStrategy<K, V>
+where
+    K::Value: Eq + Hash,
+{
+    type Value = HashMap<K::Value, V::Value>;
+    fn generate(&self, rng: &mut StdRng) -> HashMap<K::Value, V::Value> {
+        let n = sample_size(&self.size, rng);
+        let mut map = HashMap::with_capacity(n);
+        for _ in 0..n {
+            map.insert(self.key.generate(rng), self.value.generate(rng));
+        }
+        map
+    }
+}
+
+fn sample_size(range: &Range<usize>, rng: &mut StdRng) -> usize {
+    if range.start >= range.end {
+        range.start
+    } else {
+        rng.random_range(range.clone())
+    }
+}

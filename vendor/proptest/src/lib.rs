@@ -1,0 +1,170 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace uses:
+//!
+//! - the [`proptest!`] macro wrapping `#[test]` functions whose arguments
+//!   are drawn from strategies (`arg in strategy`), with an optional
+//!   `#![proptest_config(...)]` header;
+//! - string strategies written as regex-lite patterns (`"[a-z]{1,6}"`,
+//!   `"\\PC{0,200}"`) — character classes, escapes, and `{m,n}` counts;
+//! - numeric `Range`/`RangeInclusive` strategies;
+//! - `prop::collection::{vec, hash_map}`;
+//! - `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`.
+//!
+//! Generation is fully deterministic: each test's stream is seeded from a
+//! hash of the test-function name, so failures reproduce on every run.
+//! There is no shrinking — the macro prints the offending case's inputs
+//! via the assertion message instead.
+
+pub mod collection;
+pub mod strategy;
+pub mod string;
+
+#[doc(hidden)]
+pub use rand as __rand;
+
+/// Runtime configuration for one `proptest!` block.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test function.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// FNV-1a, used to derive a per-test deterministic seed from its name.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Mirror of proptest's `prelude::prop` module path.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (config = $cfg:expr; $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let __seed = $crate::fnv1a(stringify!($name).as_bytes());
+                for __case in 0..__config.cases as u64 {
+                    let mut __rng = <$crate::__rand::rngs::StdRng as $crate::__rand::SeedableRng>::seed_from_u64(
+                        __seed ^ __case.wrapping_mul(0x9E3779B97F4A7C15),
+                    );
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                    )+
+                    // bind clones for the failure report before the body
+                    // may move the values
+                    let __report = format!(
+                        concat!("proptest case ", "{}", $(" ", stringify!($arg), "={:?}",)+),
+                        __case $(, &$arg)+
+                    );
+                    let __result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                        $body
+                    }));
+                    if let Err(payload) = __result {
+                        eprintln!("{}", __report);
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn strings_match_class_and_counts(s in "[a-c]{2,5}") {
+            prop_assert!((2..=5).contains(&s.chars().count()), "{s:?}");
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+
+        #[test]
+        fn ranges_in_bounds(n in 10u64..20, x in -1.0f64..1.0) {
+            prop_assert!((10..20).contains(&n));
+            prop_assert!((-1.0..1.0).contains(&x));
+        }
+
+        #[test]
+        fn collections_sized(
+            v in prop::collection::vec("[a-z]{1,3}", 1..6),
+            m in prop::collection::hash_map("[a-e]", 1u64..50, 0..6),
+        ) {
+            prop_assert!((1..6).contains(&v.len()));
+            prop_assert!(m.len() < 6);
+        }
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        use crate::strategy::Strategy;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        let pat = "[a-z0-9/._-]{0,30}";
+        for _ in 0..50 {
+            assert_eq!(pat.generate(&mut a), pat.generate(&mut b));
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Regex-lite string generation.
+//!
+//! Supports the pattern subset the workspace's properties use:
+//!
+//! - character classes `[a-z0-9/._-]` with ranges, literals, and the
+//!   escapes `\n`, `\t`, `\\`, `\.`;
+//! - `\PC` — "any printable character" (proptest's non-control class),
+//!   drawn from a palette that includes multi-byte UTF-8 so byte-index
+//!   invariants get exercised;
+//! - counts `{n}` and `{m,n}` (absent count means exactly one);
+//! - plain literal characters between atoms.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// Explicit set of candidate characters.
+    Class(Vec<char>),
+    /// Any printable char (`\PC`).
+    Printable,
+    Literal(char),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+/// Printable palette for `\PC`: ASCII plus a few multi-byte characters.
+const EXTRA_PRINTABLE: &[char] = &['é', 'ß', 'λ', 'Ω', '中', '界', '–', '€'];
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0usize;
+    let mut pieces = Vec::new();
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                i += 1;
+                let mut set = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    let c = if chars[i] == '\\' && i + 1 < chars.len() {
+                        i += 1;
+                        unescape(chars[i])
+                    } else {
+                        chars[i]
+                    };
+                    // range a-z (a trailing '-' is a literal)
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let hi = chars[i + 2];
+                        for v in c as u32..=hi as u32 {
+                            if let Some(ch) = char::from_u32(v) {
+                                set.push(ch);
+                            }
+                        }
+                        i += 3;
+                    } else {
+                        set.push(c);
+                        i += 1;
+                    }
+                }
+                i += 1; // consume ']'
+                Atom::Class(set)
+            }
+            '\\' => {
+                i += 1;
+                if i < chars.len() && chars[i] == 'P' {
+                    // \PC — "not in Unicode category C (control/other)"
+                    i += 2; // consume 'P' and the category letter
+                    Atom::Printable
+                } else {
+                    let c = unescape(chars[i]);
+                    i += 1;
+                    Atom::Literal(c)
+                }
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        // optional {n} / {m,n}
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            i += 1;
+            let mut lo = String::new();
+            while i < chars.len() && chars[i].is_ascii_digit() {
+                lo.push(chars[i]);
+                i += 1;
+            }
+            let lo: usize = lo.parse().unwrap_or(1);
+            let hi = if i < chars.len() && chars[i] == ',' {
+                i += 1;
+                let mut hi = String::new();
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    hi.push(chars[i]);
+                    i += 1;
+                }
+                hi.parse().unwrap_or(lo)
+            } else {
+                lo
+            };
+            i += 1; // consume '}'
+            (lo, hi)
+        } else {
+            (1, 1)
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        other => other,
+    }
+}
+
+fn sample_atom(atom: &Atom, rng: &mut StdRng) -> char {
+    match atom {
+        Atom::Class(set) => {
+            assert!(!set.is_empty(), "empty character class");
+            set[rng.random_range(0..set.len())]
+        }
+        Atom::Printable => {
+            // mostly ASCII printable, occasionally multi-byte
+            if rng.random_bool(0.1) {
+                EXTRA_PRINTABLE[rng.random_range(0..EXTRA_PRINTABLE.len())]
+            } else {
+                char::from_u32(rng.random_range(0x20u32..0x7F)).unwrap_or('x')
+            }
+        }
+        Atom::Literal(c) => *c,
+    }
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut StdRng) -> String {
+    let mut out = String::new();
+    for piece in parse(pattern) {
+        let n = if piece.min == piece.max {
+            piece.min
+        } else {
+            rng.random_range(piece.min..=piece.max)
+        };
+        for _ in 0..n {
+            out.push(sample_atom(&piece.atom, rng));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn class_with_ranges_and_literals() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate("[a-z0-9/._-]{0,30}", &mut r);
+            assert!(s.len() <= 30);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || "/._-".contains(c)));
+        }
+    }
+
+    #[test]
+    fn printable_class_lengths() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = generate("\\PC{0,200}", &mut r);
+            assert!(s.chars().count() <= 200);
+            assert!(s.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn escaped_newline_in_class() {
+        let mut r = rng();
+        let mut saw_newline = false;
+        for _ in 0..500 {
+            let s = generate("[a-zA-Z .!?()0-9\\n]{0,300}", &mut r);
+            saw_newline |= s.contains('\n');
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || " .!?()\n".contains(c)));
+        }
+        assert!(saw_newline, "\\n escape should be generatable");
+    }
+
+    #[test]
+    fn exact_count_single_char() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let s = generate("[a-e]", &mut r);
+            assert_eq!(s.chars().count(), 1);
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde`.
+//!
+//! `Serialize`/`Deserialize` are marker traits with blanket impls; the
+//! derive macros (re-exported from the vendored `serde_derive`) expand to
+//! nothing but accept `#[serde(...)]` helper attributes. This keeps the
+//! workspace's `#[derive(Serialize)]` annotations compiling unchanged
+//! while the build environment has no registry access. Actual snapshot
+//! serialization lives in `websift-resilience::codec`, which is explicit
+//! and byte-deterministic — a property derive-based serde would not
+//! guarantee across versions anyway.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -1,0 +1,20 @@
+//! Inert `Serialize`/`Deserialize` derives for the vendored serde stub.
+//!
+//! The workspace marks many types `#[derive(Serialize)]` to document
+//! wire-visibility, but nothing actually serializes through serde (the
+//! resilience layer uses its own deterministic codec). The vendored
+//! `serde` crate provides blanket impls of both traits, so these derives
+//! only need to (a) exist, and (b) register `serde` as a helper attribute
+//! so `#[serde(skip)]`-style annotations stay legal.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
