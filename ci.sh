@@ -1,9 +1,22 @@
 #!/usr/bin/env bash
-# Tier-1 gate plus the resilience lint wall. Criterion benches stay
-# behind the bench crate's [[bench]] targets and are not built here.
+# Tier-1 gate plus the workspace lint wall and the observability smoke
+# check. Criterion benches stay behind the bench crate's [[bench]]
+# targets and are not built here.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 cargo build --release
 cargo test -q
-cargo clippy -p websift-resilience -- -D warnings
+cargo clippy --workspace --all-targets -- -D warnings
+
+# Observability smoke: a small traced flow must yield parseable
+# folded-stack (flamegraph) output — "scope;path <integer usecs>" lines.
+folded="$(cargo run -q --release -p websift-bench --bin exp_profile -- --folded)"
+echo "$folded" | awk '
+  NF != 2 { print "bad folded line: " $0; bad = 1 }
+  $2 !~ /^[0-9]+$/ { print "non-integer count: " $0; bad = 1 }
+  END {
+    if (NR == 0) { print "folded-stack output is empty"; exit 1 }
+    exit bad
+  }'
+echo "exp_profile smoke: $(echo "$folded" | wc -l) folded stacks ok"

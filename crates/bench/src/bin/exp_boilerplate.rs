@@ -1,7 +1,8 @@
 //! Regenerates §4.1's boilerplate-detection quality numbers.
 use websift_bench::experiments::crawl_exps;
+use websift_bench::report;
 
 fn main() {
     let web = crawl_exps::standard_web();
-    println!("{}", crawl_exps::boilerplate(&web).render());
+    report::emit(&[crawl_exps::boilerplate(&web)]);
 }

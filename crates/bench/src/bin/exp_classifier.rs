@@ -1,7 +1,8 @@
 //! Regenerates §4.1's classifier quality numbers (10-fold CV + sample).
 use websift_bench::experiments::crawl_exps;
+use websift_bench::report;
 
 fn main() {
     let web = crawl_exps::standard_web();
-    println!("{}", crawl_exps::classifier(&web).render());
+    report::emit(&[crawl_exps::classifier(&web)]);
 }

@@ -96,5 +96,5 @@ fn main() {
         seeds.urls,
     );
     result.note("the paper's §5 proposal, implemented: dictionary entity density adjusts the classifier's log-odds at crawl time; confident verdicts retrain the incremental Naive Bayes");
-    println!("{}", result.render());
+    websift_bench::report::emit(&[result]);
 }

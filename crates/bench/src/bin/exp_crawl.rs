@@ -1,12 +1,11 @@
 //! Regenerates §4.1's crawl statistics (harvest rate, filter reductions,
 //! throughput, frontier behaviour) and §2.2's two seed-generation runs.
 use websift_bench::experiments::crawl_exps;
+use websift_bench::report;
 use websift_corpus::{Lexicon, LexiconScale};
 
 fn main() {
     let lexicon = Lexicon::generate(LexiconScale::default_scale());
     let web = crawl_exps::standard_web();
-    for result in crawl_exps::crawl(&web, &lexicon, 40_000) {
-        println!("{}", result.render());
-    }
+    report::emit(&crawl_exps::crawl(&web, &lexicon, 40_000));
 }

@@ -1,11 +1,11 @@
 //! Regenerates Fig. 3: tool runtimes vs input length.
 use websift_bench::experiments::scaling_exps;
+use websift_bench::report;
 use websift_pipeline::ExperimentContext;
 
 fn main() {
     let ctx = ExperimentContext::standard(3);
-    for result in scaling_exps::fig3(&ctx) {
-        println!("{}", result.render());
-    }
-    println!("{}", scaling_exps::runtime_shares(&ctx).render());
+    let mut results = scaling_exps::fig3(&ctx);
+    results.push(scaling_exps::runtime_shares(&ctx));
+    report::emit(&results);
 }

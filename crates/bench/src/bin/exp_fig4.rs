@@ -1,8 +1,9 @@
 //! Regenerates Fig. 4: scale-up of the linguistic and entity flows.
 use websift_bench::experiments::scaling_exps;
+use websift_bench::report;
 use websift_pipeline::ExperimentContext;
 
 fn main() {
     let ctx = ExperimentContext::standard(4);
-    println!("{}", scaling_exps::fig4(&ctx).render());
+    report::emit(&[scaling_exps::fig4(&ctx)]);
 }

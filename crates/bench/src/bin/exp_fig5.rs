@@ -1,8 +1,9 @@
 //! Regenerates Fig. 5: scale-out of the linguistic and entity flows.
 use websift_bench::experiments::scaling_exps;
+use websift_bench::report;
 use websift_pipeline::ExperimentContext;
 
 fn main() {
     let ctx = ExperimentContext::standard(5);
-    println!("{}", scaling_exps::fig5(&ctx).render());
+    report::emit(&[scaling_exps::fig5(&ctx)]);
 }

@@ -1,11 +1,10 @@
 //! Regenerates Fig. 6 and §4.3.1: linguistic distributions + MWW tests.
 use websift_bench::experiments::content_exps;
+use websift_bench::report;
 use websift_pipeline::ExperimentContext;
 
 fn main() {
     let ctx = ExperimentContext::standard(8);
     let results = content_exps::run_all_corpora(&ctx, 8);
-    for r in content_exps::fig6(&results) {
-        println!("{}", r.render());
-    }
+    report::emit(&content_exps::fig6(&results));
 }

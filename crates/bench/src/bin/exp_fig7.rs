@@ -1,9 +1,10 @@
 //! Regenerates Fig. 7: entity incidence per corpus.
 use websift_bench::experiments::content_exps;
+use websift_bench::report;
 use websift_pipeline::ExperimentContext;
 
 fn main() {
     let ctx = ExperimentContext::standard(9);
     let results = content_exps::run_all_corpora(&ctx, 8);
-    println!("{}", content_exps::fig7(&results).render());
+    report::emit(&[content_exps::fig7(&results)]);
 }

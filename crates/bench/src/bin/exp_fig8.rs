@@ -1,11 +1,10 @@
 //! Regenerates Fig. 8 (annotation overlap) and the §4.3.2 JSD analysis.
 use websift_bench::experiments::content_exps;
+use websift_bench::report;
 use websift_pipeline::ExperimentContext;
 
 fn main() {
     let ctx = ExperimentContext::standard(11);
     let results = content_exps::run_all_corpora(&ctx, 8);
-    for r in content_exps::fig8(&results) {
-        println!("{}", r.render());
-    }
+    report::emit(&content_exps::fig8(&results));
 }

@@ -17,8 +17,7 @@ fn main() {
         }
     }));
 
-    for result in recovery_exps::crawl_recovery() {
-        println!("{}", result.render());
-    }
-    println!("{}", recovery_exps::flow_recovery().render());
+    let mut results = recovery_exps::crawl_recovery();
+    results.push(recovery_exps::flow_recovery());
+    websift_bench::report::emit(&results);
 }

@@ -1,8 +1,9 @@
 //! Regenerates Table 1 (seed keyword categories).
 use websift_bench::experiments::crawl_exps;
+use websift_bench::report;
 use websift_corpus::{Lexicon, LexiconScale};
 
 fn main() {
     let lexicon = Lexicon::generate(LexiconScale::default_scale());
-    println!("{}", crawl_exps::table1(&lexicon).render());
+    report::emit(&[crawl_exps::table1(&lexicon)]);
 }

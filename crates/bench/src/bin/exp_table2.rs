@@ -17,5 +17,5 @@ fn main() {
     let classifier = train_focus_classifier(300, crawl_exps::HIGH_PRECISION_THRESHOLD, 77);
     let mut crawler = FocusedCrawler::new(&web, classifier, CrawlConfig { max_pages: 6000, threads: 8, ..CrawlConfig::default() });
     let _ = crawler.crawl(seeds.urls);
-    println!("{}", crawl_exps::table2(&mut crawler, 30).render());
+    websift_bench::report::emit(&[crawl_exps::table2(&mut crawler, 30)]);
 }

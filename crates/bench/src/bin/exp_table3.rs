@@ -1,8 +1,9 @@
 //! Regenerates Table 3: corpus summary statistics.
 use websift_bench::experiments::content_exps;
+use websift_bench::report;
 use websift_pipeline::ExperimentContext;
 
 fn main() {
     let ctx = ExperimentContext::standard(7);
-    println!("{}", content_exps::table3(&ctx).render());
+    report::emit(&[content_exps::table3(&ctx)]);
 }

@@ -1,11 +1,10 @@
 //! Regenerates Table 4 (+ the §4.3.2 TLA filter).
 use websift_bench::experiments::content_exps;
+use websift_bench::report;
 use websift_pipeline::ExperimentContext;
 
 fn main() {
     let ctx = ExperimentContext::standard(10);
     let results = content_exps::run_all_corpora(&ctx, 8);
-    for r in content_exps::table4(&results) {
-        println!("{}", r.render());
-    }
+    report::emit(&content_exps::table4(&results));
 }

@@ -13,5 +13,5 @@ fn main() {
         .map(|t| t.to_lowercase())
         .collect();
     let seeds = generate_seeds(&web, &mut default_engines(&web), &queries);
-    println!("{}", crawl_exps::tradeoff(&web, &seeds.urls, 2_500).render());
+    websift_bench::report::emit(&[crawl_exps::tradeoff(&web, &seeds.urls, 2_500)]);
 }

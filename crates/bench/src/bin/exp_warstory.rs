@@ -1,8 +1,9 @@
 //! Regenerates §4.2's war story: the three failure modes and mitigations.
 use websift_bench::experiments::scaling_exps;
+use websift_bench::report;
 use websift_pipeline::ExperimentContext;
 
 fn main() {
     let ctx = ExperimentContext::standard(6);
-    println!("{}", scaling_exps::warstory(&ctx).render());
+    report::emit(&[scaling_exps::warstory(&ctx)]);
 }

@@ -4,9 +4,18 @@
 //! ```text
 //! cargo run --release -p websift-bench --bin run_all | tee EXPERIMENTS.md
 //! ```
-use websift_bench::experiments::{content_exps, crawl_exps, recovery_exps, scaling_exps};
+//!
+//! Besides the markdown report, every result is collected and written to
+//! `BENCH_RESULTS.json` so the perf trajectory is machine-readable.
+use websift_bench::experiments::{
+    content_exps, crawl_exps, profile_exps, recovery_exps, scaling_exps,
+};
+use websift_bench::report::results_to_json;
+use websift_bench::ExperimentResult;
 use websift_corpus::{Lexicon, LexiconScale, SearchCategory};
-use websift_crawler::{default_engines, generate_seeds, train_focus_classifier, CrawlConfig, FocusedCrawler};
+use websift_crawler::{
+    default_engines, generate_seeds, train_focus_classifier, CrawlConfig, FocusedCrawler,
+};
 use websift_pipeline::ExperimentContext;
 
 fn main() {
@@ -15,21 +24,27 @@ fn main() {
     println!("simulated substrates. Absolute numbers are at reduced scale; the");
     println!("reproduction targets are the *shapes* noted per experiment.\n");
 
+    let mut collected: Vec<ExperimentResult> = Vec::new();
+    let mut out = |r: ExperimentResult| {
+        println!("{}", r.render());
+        collected.push(r);
+    };
+
     let lexicon = Lexicon::generate(LexiconScale::default_scale());
-    eprintln!("[1/16] Table 1");
-    println!("{}", crawl_exps::table1(&lexicon).render());
+    eprintln!("[1/17] Table 1");
+    out(crawl_exps::table1(&lexicon));
 
     let web = crawl_exps::standard_web();
-    eprintln!("[2/16] crawl experiments");
+    eprintln!("[2/17] crawl experiments");
     for r in crawl_exps::crawl(&web, &lexicon, 40_000) {
-        println!("{}", r.render());
+        out(r);
     }
-    eprintln!("[3/16] classifier quality");
-    println!("{}", crawl_exps::classifier(&web).render());
-    eprintln!("[4/16] boilerplate quality");
-    println!("{}", crawl_exps::boilerplate(&web).render());
+    eprintln!("[3/17] classifier quality");
+    out(crawl_exps::classifier(&web));
+    eprintln!("[4/17] boilerplate quality");
+    out(crawl_exps::boilerplate(&web));
 
-    eprintln!("[5/16] Table 2 (PageRank)");
+    eprintln!("[5/17] Table 2 (PageRank)");
     let queries: Vec<String> = lexicon
         .search_terms(SearchCategory::General, 30)
         .into_iter()
@@ -45,43 +60,45 @@ fn main() {
         CrawlConfig { max_pages: 6000, threads: 8, ..CrawlConfig::default() },
     );
     let _ = crawler.crawl(seeds.urls.clone());
-    println!("{}", crawl_exps::table2(&mut crawler, 30).render());
+    out(crawl_exps::table2(&mut crawler, 30));
 
-    eprintln!("[6/16] §5 trade-off");
-    println!("{}", crawl_exps::tradeoff(&web, &seeds.urls, 2_500).render());
+    eprintln!("[6/17] §5 trade-off");
+    out(crawl_exps::tradeoff(&web, &seeds.urls, 2_500));
 
     let ctx = ExperimentContext::standard(42);
-    eprintln!("[7/16] Fig 3");
+    eprintln!("[7/17] Fig 3");
     for r in scaling_exps::fig3(&ctx) {
-        println!("{}", r.render());
+        out(r);
     }
-    eprintln!("[8/16] runtime shares");
-    println!("{}", scaling_exps::runtime_shares(&ctx).render());
-    eprintln!("[9/16] Fig 4");
-    println!("{}", scaling_exps::fig4(&ctx).render());
-    eprintln!("[10/16] Fig 5");
-    println!("{}", scaling_exps::fig5(&ctx).render());
-    eprintln!("[11/16] war story");
-    println!("{}", scaling_exps::warstory(&ctx).render());
+    eprintln!("[8/17] runtime shares");
+    out(scaling_exps::runtime_shares(&ctx));
+    eprintln!("[9/17] cost decomposition (profiler)");
+    out(profile_exps::cost_decomposition(&ctx, 40).result);
+    eprintln!("[10/17] Fig 4");
+    out(scaling_exps::fig4(&ctx));
+    eprintln!("[11/17] Fig 5");
+    out(scaling_exps::fig5(&ctx));
+    eprintln!("[12/17] war story");
+    out(scaling_exps::warstory(&ctx));
 
-    eprintln!("[12/16] Table 3");
-    println!("{}", content_exps::table3(&ctx).render());
-    eprintln!("[13/16] running analysis flows over all corpora");
+    eprintln!("[13/17] Table 3");
+    out(content_exps::table3(&ctx));
+    eprintln!("[14/17] running analysis flows over all corpora");
     let results = content_exps::run_all_corpora(&ctx, 8);
     for r in content_exps::fig6(&results) {
-        println!("{}", r.render());
+        out(r);
     }
-    eprintln!("[14/16] Fig 7 / Table 4");
-    println!("{}", content_exps::fig7(&results).render());
+    eprintln!("[15/17] Fig 7 / Table 4");
+    out(content_exps::fig7(&results));
     for r in content_exps::table4(&results) {
-        println!("{}", r.render());
+        out(r);
     }
-    eprintln!("[15/16] Fig 8 / JSD");
+    eprintln!("[16/17] Fig 8 / JSD");
     for r in content_exps::fig8(&results) {
-        println!("{}", r.render());
+        out(r);
     }
 
-    eprintln!("[16/16] fault injection + recovery");
+    eprintln!("[17/17] fault injection + recovery");
     let default_hook = std::panic::take_hook();
     std::panic::set_hook(Box::new(move |info| {
         let injected = info
@@ -93,8 +110,13 @@ fn main() {
         }
     }));
     for r in recovery_exps::crawl_recovery() {
-        println!("{}", r.render());
+        out(r);
     }
-    println!("{}", recovery_exps::flow_recovery().render());
+    out(recovery_exps::flow_recovery());
+
+    match std::fs::write("BENCH_RESULTS.json", results_to_json(&collected) + "\n") {
+        Ok(()) => eprintln!("wrote BENCH_RESULTS.json ({} results)", collected.len()),
+        Err(e) => eprintln!("could not write BENCH_RESULTS.json: {e}"),
+    }
     eprintln!("done.");
 }

@@ -18,10 +18,12 @@
 //! | [`content_exps::fig7`] | Fig. 7 (entity incidence per corpus) |
 //! | [`content_exps::table4`] | Table 4 (+ TLA filtering) |
 //! | [`content_exps::fig8`] | Fig. 8 (annotation overlap, JSD) |
+//! | [`profile_exps::cost_decomposition`] | Fig. 8 cost split (startup vs per-record, live from the profiler) |
 //! | [`recovery_exps::crawl_recovery`] | crawl goodput + checkpoint overhead under injected faults |
 //! | [`recovery_exps::flow_recovery`] | flow partition/node-loss recovery + kill-and-resume check |
 
 pub mod content_exps;
 pub mod crawl_exps;
+pub mod profile_exps;
 pub mod recovery_exps;
 pub mod scaling_exps;

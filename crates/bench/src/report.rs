@@ -1,6 +1,7 @@
 //! Result-table rendering shared by the experiment binaries.
 
 use serde::Serialize;
+use websift_observe::json::{array, str_array, ObjectWriter};
 
 /// One experiment's outcome: an identifier matching the paper (e.g.
 /// "Table 4"), plus measured rows and free-form notes comparing against the
@@ -44,6 +45,49 @@ impl ExperimentResult {
             out.push_str(&format!("\n> {n}\n"));
         }
         out
+    }
+
+    /// Renders the result as a JSON object (`{id, title, headers, rows,
+    /// notes}`). The vendored `serde` is an inert stub, so this goes
+    /// through `websift-observe`'s deterministic writer.
+    pub fn to_json(&self) -> String {
+        ObjectWriter::new()
+            .str("id", &self.id)
+            .str("title", &self.title)
+            .raw("headers", &str_array(self.headers.iter().map(String::as_str)))
+            .raw(
+                "rows",
+                &array(
+                    self.rows
+                        .iter()
+                        .map(|row| str_array(row.iter().map(String::as_str))),
+                ),
+            )
+            .raw("notes", &str_array(self.notes.iter().map(String::as_str)))
+            .finish()
+    }
+}
+
+/// Renders a slice of results as a JSON array.
+pub fn results_to_json(results: &[ExperimentResult]) -> String {
+    array(results.iter().map(ExperimentResult::to_json))
+}
+
+/// True when the process was invoked with `--json` — the experiment
+/// binaries switch from markdown tables to machine-readable output.
+pub fn json_mode() -> bool {
+    std::env::args().any(|a| a == "--json")
+}
+
+/// Prints `results` in the format selected by the command line: markdown
+/// tables by default, one consolidated JSON array under `--json`.
+pub fn emit(results: &[ExperimentResult]) {
+    if json_mode() {
+        println!("{}", results_to_json(results));
+    } else {
+        for r in results {
+            println!("{}", r.render());
+        }
     }
 }
 

@@ -187,7 +187,7 @@ pub fn overlap_partition(sets: &[(&str, &HashSet<String>)]) -> OverlapPartition 
         }
     }
     let mut regions = [0usize; 16];
-    for (_, mask) in &membership {
+    for mask in membership.values() {
         regions[*mask] += 1;
     }
     OverlapPartition {

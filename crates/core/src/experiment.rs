@@ -139,6 +139,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn paper_constants_sane() {
         assert!(paper::HARVEST_RATE > 0.0 && paper::HARVEST_RATE < 1.0);
         assert_eq!(paper::TABLE4_GENE[1][0], 5_506_579);

@@ -25,6 +25,10 @@ use std::sync::{Arc, OnceLock};
 use websift_ner::EntityType;
 use websift_stats::sampling::{log_normal, Zipf};
 
+/// One generated sentence: text, gold entity spans, and the negation /
+/// pronoun / parenthesis flags the linguistic analysis counts.
+type SentencePieces = (String, Vec<(usize, usize, EntityType)>, bool, bool, bool);
+
 /// Statistical profile of one corpus.
 #[derive(Debug, Clone)]
 pub struct CorpusProfile {
@@ -313,10 +317,7 @@ impl Generator {
 
     /// Generates one sentence, returning its text, gold spans, and flags
     /// (negated, pronoun, paren).
-    fn sentence<R: Rng + ?Sized>(
-        &self,
-        rng: &mut R,
-    ) -> (String, Vec<(usize, usize, EntityType)>, bool, bool, bool) {
+    fn sentence<R: Rng + ?Sized>(&self, rng: &mut R) -> SentencePieces {
         let p = &self.profile;
         self.sentence_styled(rng, p.medical_vocab_fraction, 1.0)
     }
@@ -328,7 +329,7 @@ impl Generator {
         rng: &mut R,
         medical_fraction: f64,
         entity_scale: f64,
-    ) -> (String, Vec<(usize, usize, EntityType)>, bool, bool, bool) {
+    ) -> SentencePieces {
         let p = &self.profile;
         let target_words = log_normal(rng, p.sentence_words_median.ln(), p.sentence_words_sigma)
             .round()

@@ -23,6 +23,10 @@ pub struct NaiveBayes {
     threshold: f64,
 }
 
+/// The checkpointable decomposition of a [`NaiveBayes`] model: word
+/// counts, per-class token totals, per-class document totals, threshold.
+pub type ModelParts<'a> = (&'a HashMap<String, [u64; 2]>, [u64; 2], [u64; 2], f64);
+
 /// A scored prediction.
 #[derive(Debug, Clone, Copy, Serialize)]
 pub struct Prediction {
@@ -57,7 +61,7 @@ impl NaiveBayes {
 
     /// Decomposes the model for checkpointing: word counts, per-class
     /// token totals, per-class document totals, and the threshold.
-    pub fn snapshot_parts(&self) -> (&HashMap<String, [u64; 2]>, [u64; 2], [u64; 2], f64) {
+    pub fn snapshot_parts(&self) -> ModelParts<'_> {
         (&self.word_counts, self.class_tokens, self.class_docs, self.threshold)
     }
 

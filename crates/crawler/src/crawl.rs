@@ -38,6 +38,8 @@ use crate::parser::extract_links;
 use crate::recovery::{CrawlCheckpoint, ResilienceOptions, ResilienceStats};
 use serde::Serialize;
 use std::collections::HashMap;
+use std::sync::Arc;
+use websift_observe::{Labels, Observer, RegistrySnapshot};
 use websift_resilience::codec;
 use websift_resilience::{
     BreakerState, CircuitBreaker, CodecError, FaultKind, Reader, RetryBudget, Snapshot, Writer,
@@ -47,6 +49,24 @@ use websift_web::{SimulatedWeb, Url};
 /// Per-page classification/filtering cost in simulated seconds — this is
 /// what pushed the paper's crawler down to 3-4 docs/s.
 const ANALYSIS_COST_SECS: f64 = 0.12;
+
+/// Fig. 1 phase decomposition of [`ANALYSIS_COST_SECS`], used only to
+/// *attribute* the per-page analysis cost to spans and profiler scopes.
+/// The clock still advances by the single per-page constant, so
+/// observability cannot perturb simulated time; phases a rejected page
+/// never reached are charged to the phase that rejected it.
+const FILTER_COST_SECS: f64 = 0.02;
+const PARSE_COST_SECS: f64 = 0.03;
+const DEDUP_COST_SECS: f64 = 0.02;
+
+/// Per-round phase attribution accumulators (simulated seconds).
+#[derive(Debug, Default)]
+struct RoundPhases {
+    parse: f64,
+    filter: f64,
+    classify: f64,
+    dedup: f64,
+}
 
 /// Crawl configuration.
 #[derive(Debug, Clone, Copy)]
@@ -267,6 +287,10 @@ pub struct FocusedCrawler<'w> {
     seen_content: std::collections::HashSet<u64>,
     /// Optional IE feedback loop (§5's consolidated process).
     feedback: Option<IeFeedback>,
+    /// Observability sink: per-round spans, frontier/harvest gauges,
+    /// phase-cost profiling. A private observer by default; share one
+    /// via [`FocusedCrawler::with_observer`].
+    observer: Arc<Observer>,
 }
 
 impl<'w> FocusedCrawler<'w> {
@@ -280,6 +304,7 @@ impl<'w> FocusedCrawler<'w> {
             config,
             seen_content: std::collections::HashSet::new(),
             feedback: None,
+            observer: Arc::new(Observer::new()),
         }
     }
 
@@ -289,6 +314,18 @@ impl<'w> FocusedCrawler<'w> {
     pub fn with_ie_feedback(mut self, feedback: IeFeedback) -> Self {
         self.feedback = Some(feedback);
         self
+    }
+
+    /// Reports this crawl's observations through a shared [`Observer`]
+    /// instead of the crawler's private one.
+    pub fn with_observer(mut self, observer: Arc<Observer>) -> Self {
+        self.observer = observer;
+        self
+    }
+
+    /// The observer this crawl reports through.
+    pub fn observer(&self) -> &Observer {
+        &self.observer
     }
 
     /// Runs the crawl from `seeds` to completion.
@@ -332,6 +369,28 @@ impl<'w> FocusedCrawler<'w> {
         options: &ResilienceOptions,
         feedback: Option<IeFeedback>,
     ) -> Result<(FocusedCrawler<'w>, CrawlReport, Vec<CrawlCheckpoint>), CodecError> {
+        Self::resume_observed(
+            web,
+            checkpoint,
+            config,
+            options,
+            feedback,
+            Arc::new(Observer::new()),
+        )
+    }
+
+    /// [`FocusedCrawler::resume_from`] reporting through the caller's
+    /// [`Observer`]. The checkpoint's registry snapshot is restored into
+    /// `observer` before the crawl continues, so counters, gauges, and
+    /// histograms pick up exactly where the killed run left them.
+    pub fn resume_observed(
+        web: &'w SimulatedWeb,
+        checkpoint: &CrawlCheckpoint,
+        config: CrawlConfig,
+        options: &ResilienceOptions,
+        feedback: Option<IeFeedback>,
+        observer: Arc<Observer>,
+    ) -> Result<(FocusedCrawler<'w>, CrawlReport, Vec<CrawlCheckpoint>), CodecError> {
         let payload = checkpoint.payload()?;
         let mut r = Reader::new(payload);
         let crawldb = CrawlDb::decode_snapshot(&mut r)?;
@@ -344,9 +403,11 @@ impl<'w> FocusedCrawler<'w> {
         let filter_stats = FilterStats::decode(&mut r)?;
         let mut report = CrawlReport::decode(&mut r)?;
         let mut rt = RetryState::decode(&mut r)?;
+        let registry = RegistrySnapshot::decode(&mut r)?;
         if !r.is_empty() {
             return Err(CodecError::Truncated { what: "trailing checkpoint bytes" });
         }
+        observer.registry().restore(&registry);
 
         let mut crawler = FocusedCrawler {
             web,
@@ -357,6 +418,7 @@ impl<'w> FocusedCrawler<'w> {
             linkdb,
             seen_content,
             feedback,
+            observer,
         };
         let mut filters = FilterChain::new(config.filters);
         filters.restore_stats(filter_stats);
@@ -405,6 +467,9 @@ impl<'w> FocusedCrawler<'w> {
         filters.stats().encode(&mut w);
         report.encode(&mut w);
         rt.encode(&mut w);
+        // registry state rides in the frame so resumed crawls continue
+        // their metrics bit-identically
+        self.observer.registry().snapshot().encode(&mut w);
         CrawlCheckpoint::seal(rt.round, &w.into_bytes())
     }
 
@@ -488,12 +553,22 @@ impl<'w> FocusedCrawler<'w> {
                 continue;
             }
 
+            let round_t0 = report.simulated_secs;
+            let mut phases = RoundPhases::default();
+            let mut round_analyzed: u64 = 0;
+            let mut round_failed: u64 = 0;
+            let mut round_duplicates: u64 = 0;
+            let mut round_relevant: u64 = 0;
+            let mut round_irrelevant: u64 = 0;
+            let mut round_bytes: u64 = 0;
+
             let (outcomes, fetch_stats) = match &options.faults {
                 Some(plan) => fetcher
                     .fetch_batch_with(admitted, FaultContext::new(plan, rt.round, &rt.attempts)),
                 None => fetcher.fetch_batch(admitted),
             };
-            report.simulated_secs += fetch_stats.simulated_ms as f64 / 1000.0;
+            let fetch_secs = fetch_stats.simulated_ms as f64 / 1000.0;
+            report.simulated_secs += fetch_secs;
             report.resilience.injected_transient += fetch_stats.injected_transient;
             report.resilience.worker_panics += fetch_stats.worker_panics;
             now_ms = (report.simulated_secs * 1000.0) as u64;
@@ -518,23 +593,33 @@ impl<'w> FocusedCrawler<'w> {
                         } else {
                             report.resilience.retries_exhausted += 1;
                             report.failed += 1;
+                            round_failed += 1;
                             self.crawldb.mark(&url, UrlStatus::Failed);
                         }
                         continue;
                     }
                     Err(_) => {
                         report.failed += 1;
+                        round_failed += 1;
                         self.crawldb.mark(&url, UrlStatus::Failed);
                         continue;
                     }
                 };
                 report.simulated_secs += ANALYSIS_COST_SECS;
+                round_analyzed += 1;
+                round_bytes += resp.body.len() as u64;
+                // attribution budget for this page: phases a page never
+                // reaches are charged to the phase that stopped it
+                let mut remaining = ANALYSIS_COST_SECS;
 
                 // MIME-type / raw-size filtering first (Fig. 1 order).
                 if filters.check_mime(url.path(), &resp.body).is_err() {
+                    phases.filter += remaining;
                     self.crawldb.mark(&url, UrlStatus::Rejected);
                     continue;
                 }
+                phases.filter += FILTER_COST_SECS;
+                remaining -= FILTER_COST_SECS;
 
                 // Parse links: LinkDB stores the observed structure even of
                 // pages we later reject.
@@ -546,7 +631,9 @@ impl<'w> FocusedCrawler<'w> {
                 let net_text = match self.boilerplate.extract(&body_text) {
                     Ok(t) => t,
                     Err(_) => {
+                        phases.parse += remaining;
                         report.failed += 1;
+                        round_failed += 1;
                         self.crawldb.mark(&url, UrlStatus::Rejected);
                         continue;
                     }
@@ -554,9 +641,13 @@ impl<'w> FocusedCrawler<'w> {
 
                 // Net-text length and language filters.
                 if filters.check_text(&net_text).is_err() {
+                    phases.parse += PARSE_COST_SECS;
+                    phases.filter += remaining - PARSE_COST_SECS;
                     self.crawldb.mark(&url, UrlStatus::Rejected);
                     continue;
                 }
+                phases.parse += PARSE_COST_SECS;
+                remaining -= PARSE_COST_SECS;
 
                 // Content deduplication (trap starvation + mirror removal).
                 let mut hash: u64 = 0xcbf29ce484222325;
@@ -565,10 +656,16 @@ impl<'w> FocusedCrawler<'w> {
                     hash = hash.wrapping_mul(0x100000001b3);
                 }
                 if !self.seen_content.insert(hash) {
+                    phases.dedup += remaining;
                     report.duplicates += 1;
+                    round_duplicates += 1;
                     self.crawldb.mark(&url, UrlStatus::Rejected);
                     continue;
                 }
+                phases.dedup += DEDUP_COST_SECS;
+                remaining -= DEDUP_COST_SECS;
+                // whatever is left of the page's budget is classification
+                phases.classify += remaining;
 
                 // Relevance classification, optionally adjusted by the IE
                 // feedback loop (entity density is strong biomedical
@@ -612,12 +709,55 @@ impl<'w> FocusedCrawler<'w> {
 
                 self.crawldb.mark(&url, UrlStatus::Fetched);
                 if page.classified_relevant {
+                    round_relevant += 1;
                     report.bytes_relevant += page.raw_bytes as u64;
                     report.relevant.push(page);
                 } else {
+                    round_irrelevant += 1;
                     report.bytes_irrelevant += page.raw_bytes as u64;
                     report.irrelevant.push(page);
                 }
+            }
+
+            // Observability: one span per round phase laid end-to-end on
+            // the simulated clock (fetch, then the Fig. 1 analysis phases
+            // in order), per-round counters/gauges, and profiler scopes.
+            // All recorded here on the single-threaded round loop, so
+            // same-seed crawls observe byte-identically.
+            {
+                let obs = &self.observer;
+                let round_id = rt.round.to_string();
+                let round_label = Labels::new(&[("round", &round_id)]);
+                let mut t = round_t0;
+                for (name, dur) in [
+                    ("crawl.fetch", fetch_secs),
+                    ("crawl.parse", phases.parse),
+                    ("crawl.filter", phases.filter),
+                    ("crawl.classify", phases.classify),
+                    ("crawl.dedup", phases.dedup),
+                ] {
+                    obs.tracer().span(name, t, dur, round_label.clone());
+                    t += dur;
+                }
+                obs.profiler().record(&["crawl", "round", "fetch"], fetch_secs, round_bytes);
+                obs.profiler().record(&["crawl", "round", "parse"], phases.parse, 0);
+                obs.profiler().record(&["crawl", "round", "filter"], phases.filter, 0);
+                obs.profiler().record(&["crawl", "round", "classify"], phases.classify, 0);
+                obs.profiler().record(&["crawl", "round", "dedup"], phases.dedup, 0);
+
+                let reg = obs.registry();
+                let at = Labels::empty();
+                reg.counter("crawl.rounds", &at).inc();
+                reg.counter("crawl.pages_analyzed", &at).add(round_analyzed);
+                reg.counter("crawl.pages_failed", &at).add(round_failed);
+                reg.counter("crawl.duplicates", &at).add(round_duplicates);
+                reg.counter("crawl.relevant", &at).add(round_relevant);
+                reg.counter("crawl.irrelevant", &at).add(round_irrelevant);
+                reg.counter("crawl.bytes_fetched", &at).add(round_bytes);
+                reg.gauge("crawl.frontier_size", &at).set(self.crawldb.frontier_size() as f64);
+                reg.gauge("crawl.harvest_rate", &at).set(report.harvest_rate());
+                reg.gauge("crawl.simulated_secs", &at).set(report.simulated_secs);
+                reg.histogram("crawl.round_fetch_secs", &at).record(fetch_secs);
             }
 
             // Segment boundary: advance the round counter and checkpoint
@@ -625,7 +765,7 @@ impl<'w> FocusedCrawler<'w> {
             // the snapshot but not the crawl).
             rt.round += 1;
             if let Some(every) = options.checkpoint_every_rounds {
-                if every > 0 && rt.round % every == 0 {
+                if every > 0 && rt.round.is_multiple_of(every) {
                     let lost = options.faults.as_ref().is_some_and(|plan| {
                         plan.injects_at(FaultKind::StoreWrite, "crawl-checkpoint", rt.round)
                     });
@@ -716,7 +856,7 @@ mod tests {
         );
         let report = crawler.crawl(seeds);
         let total = report.relevant.len() + report.irrelevant.len();
-        assert!(total >= 25 && total < 60, "total {total}");
+        assert!((25..60).contains(&total), "total {total}");
     }
 
     #[test]
@@ -889,6 +1029,90 @@ mod tests {
         assert!(
             !report.relevant.is_empty(),
             "crawl did not survive fault injection"
+        );
+    }
+
+    #[test]
+    fn observed_crawl_emits_round_spans_and_conserves_the_clock() {
+        let (web, nb) = setup();
+        let seeds = biomedical_seeds(&web, 20);
+        let obs = Arc::new(Observer::new());
+        let mut crawler =
+            FocusedCrawler::new(&web, nb, resilient_config()).with_observer(Arc::clone(&obs));
+        let report = crawler.crawl(seeds);
+
+        // every round emits the five Fig. 1 phase spans in order
+        let events = obs.tracer().events();
+        assert!(!events.is_empty());
+        let expected = ["crawl.fetch", "crawl.parse", "crawl.filter", "crawl.classify", "crawl.dedup"];
+        for (i, ev) in events.iter().enumerate() {
+            assert_eq!(ev.name, expected[i % expected.len()]);
+        }
+
+        // registry counters are views of the report
+        let reg = obs.registry();
+        let at = Labels::empty();
+        assert_eq!(reg.counter("crawl.relevant", &at).value(), report.relevant.len() as u64);
+        assert_eq!(reg.counter("crawl.irrelevant", &at).value(), report.irrelevant.len() as u64);
+        assert_eq!(reg.counter("crawl.duplicates", &at).value(), report.duplicates);
+        assert_eq!(reg.gauge("crawl.harvest_rate", &at).value(), report.harvest_rate());
+        assert!(reg.counter("crawl.rounds", &at).value() > 0);
+
+        // phase attribution conserves the simulated clock: fetch secs
+        // plus the per-page analysis budget equals the profiler's crawl
+        // total (no idle waits occur without fault injection)
+        let crawl_total = obs
+            .profiler()
+            .scopes()
+            .iter()
+            .find(|s| s.folded_path() == "crawl")
+            .expect("missing crawl scope")
+            .total_secs;
+        assert!(
+            (crawl_total - report.simulated_secs).abs() < 1e-6,
+            "profiler total {crawl_total} vs clock {}",
+            report.simulated_secs
+        );
+    }
+
+    #[test]
+    fn resumed_crawl_continues_registry_bit_identically() {
+        let (web, nb) = setup();
+        let seeds = biomedical_seeds(&web, 20);
+        let opts = ResilienceOptions {
+            checkpoint_every_rounds: Some(2),
+            ..ResilienceOptions::default()
+        };
+
+        let base_obs = Arc::new(Observer::new());
+        let mut baseline = FocusedCrawler::new(&web, nb.clone(), resilient_config())
+            .with_observer(Arc::clone(&base_obs));
+        let (_base_report, _) = baseline.crawl_resilient(seeds.clone(), &opts);
+
+        let killed_opts = ResilienceOptions {
+            stop_after_rounds: Some(3),
+            ..opts.clone()
+        };
+        let mut killed = FocusedCrawler::new(&web, nb, resilient_config());
+        let (_, mut ckpts) = killed.crawl_resilient(seeds, &killed_opts);
+        let last = ckpts.pop().expect("no checkpoint taken");
+
+        let resumed_obs = Arc::new(Observer::new());
+        let (_, _, _) = FocusedCrawler::resume_observed(
+            &web,
+            &last,
+            resilient_config(),
+            &opts,
+            None,
+            Arc::clone(&resumed_obs),
+        )
+        .unwrap();
+
+        use websift_resilience::checkpoint::encode_to_vec;
+        assert_eq!(
+            encode_to_vec(&base_obs.registry().snapshot()),
+            encode_to_vec(&resumed_obs.registry().snapshot()),
+            "resumed registry diverged from uninterrupted baseline"
         );
     }
 

@@ -30,6 +30,9 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use websift_resilience::{FaultKind, FaultPlan};
 use websift_web::{FetchError, FetchResponse, SimulatedWeb, Url};
 
+/// The host batch a worker is currently fetching (for crash recovery).
+type InFlightBatch = Option<(String, Vec<FrontierEntry>)>;
+
 /// Simulated cost of detecting and cleaning up a crashed worker, charged
 /// to the host's timeline in place of the work it lost.
 const PANIC_RECOVERY_MS: u64 = 50;
@@ -151,8 +154,7 @@ impl<'w> Fetcher<'w> {
         let host_times = Mutex::new(Vec::new());
         let stats = Mutex::new(FetchStats::default());
         // host each worker is currently processing, for crash recovery
-        let in_flight: Mutex<Vec<Option<(String, Vec<FrontierEntry>)>>> =
-            Mutex::new(vec![None; self.threads]);
+        let in_flight: Mutex<Vec<InFlightBatch>> = Mutex::new(vec![None; self.threads]);
 
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..self.threads)
@@ -306,9 +308,11 @@ fn panicked_host_outcomes(
     entries: Vec<FrontierEntry>,
     message: &str,
 ) -> (Vec<FetchOutcome>, u64, FetchStats) {
-    let mut local_stats = FetchStats::default();
-    local_stats.worker_panics = 1;
-    local_stats.failed = entries.len() as u64;
+    let local_stats = FetchStats {
+        worker_panics: 1,
+        failed: entries.len() as u64,
+        ..FetchStats::default()
+    };
     let outcomes = entries
         .into_iter()
         .map(|entry| FetchOutcome {

@@ -38,6 +38,7 @@ use serde::Serialize;
 use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
+use websift_observe::{Labels, Observer, RegistrySnapshot};
 use websift_resilience::{CodecError, FaultKind, FaultPlan, Reader, Snapshot, Writer};
 
 /// Simulated seconds charged per partition re-launch (task setup on the
@@ -88,6 +89,11 @@ impl ExecutionConfig {
 }
 
 /// Per-operator metrics.
+///
+/// During a run these numbers live in the [`Observer`]'s metrics
+/// registry (counters labelled by plan node and operator name); this
+/// struct is the *view* the executor derives from those registry handles
+/// so existing callers, checkpoints, and tests keep their shape.
 #[derive(Debug, Clone, Serialize)]
 pub struct OpMetrics {
     pub name: String,
@@ -95,6 +101,10 @@ pub struct OpMetrics {
     pub records_out: u64,
     pub bytes_in: u64,
     pub bytes_out: u64,
+    /// Real elapsed milliseconds — runtime-only diagnostics. Excluded
+    /// from the `Snapshot` codec (wall time inside checksummed frames
+    /// would break byte-identical resume across machines) and from
+    /// [`FlowOutput::deterministic_digest`]; decodes as `0.0`.
     pub wall_ms: f64,
     pub simulated_secs: f64,
 }
@@ -106,7 +116,6 @@ impl Snapshot for OpMetrics {
         w.u64(self.records_out);
         w.u64(self.bytes_in);
         w.u64(self.bytes_out);
-        w.f64(self.wall_ms);
         w.f64(self.simulated_secs);
     }
 
@@ -117,7 +126,7 @@ impl Snapshot for OpMetrics {
             records_out: r.u64()?,
             bytes_in: r.u64()?,
             bytes_out: r.u64()?,
-            wall_ms: r.f64()?,
+            wall_ms: 0.0,
             simulated_secs: r.f64()?,
         })
     }
@@ -126,6 +135,8 @@ impl Snapshot for OpMetrics {
 /// Flow-level metrics.
 #[derive(Debug, Clone, Default, Serialize)]
 pub struct FlowMetrics {
+    /// Real elapsed milliseconds — runtime-only; excluded from the
+    /// `Snapshot` codec and determinism comparisons, decodes as `0.0`.
     pub wall_ms: f64,
     /// Critical-path simulated seconds (operators + network).
     pub simulated_secs: f64,
@@ -148,7 +159,6 @@ pub struct FlowMetrics {
 
 impl Snapshot for FlowMetrics {
     fn encode(&self, w: &mut Writer) {
-        w.f64(self.wall_ms);
         w.f64(self.simulated_secs);
         w.u64(self.network_bytes);
         w.u64(self.peak_intermediate_bytes);
@@ -162,7 +172,7 @@ impl Snapshot for FlowMetrics {
 
     fn decode(r: &mut Reader<'_>) -> Result<FlowMetrics, CodecError> {
         Ok(FlowMetrics {
-            wall_ms: r.f64()?,
+            wall_ms: 0.0,
             simulated_secs: r.f64()?,
             network_bytes: r.u64()?,
             peak_intermediate_bytes: r.u64()?,
@@ -350,12 +360,29 @@ impl Executor {
 
     /// Runs `plan` with fault injection, partition retry, node-loss
     /// rescheduling, and operator-granular checkpointing per `res`. With
-    /// default options this is exactly [`Executor::run`].
+    /// default options this is exactly [`Executor::run`]. Observations go
+    /// to a run-local [`Observer`]; use [`Executor::run_observed`] to
+    /// keep them.
     pub fn run_resilient(
         &self,
         plan: &LogicalPlan,
         inputs: HashMap<String, Vec<Record>>,
         res: &FlowResilience,
+    ) -> Result<ResilientRun, ExecutionError> {
+        self.run_observed(plan, inputs, res, &Observer::new())
+    }
+
+    /// [`Executor::run_resilient`] reporting through the caller's
+    /// [`Observer`]: per-plan-node spans on its tracer, per-operator
+    /// counters/histograms in its registry, startup-vs-work cost in its
+    /// profiler. All timestamps come from the simulated clock, so
+    /// same-seed runs observe byte-identically.
+    pub fn run_observed(
+        &self,
+        plan: &LogicalPlan,
+        inputs: HashMap<String, Vec<Record>>,
+        res: &FlowResilience,
+        obs: &Observer,
     ) -> Result<ResilientRun, ExecutionError> {
         plan.validate().map_err(|e| {
             ExecutionError::Scheduling(SchedulingError::LibraryConflict {
@@ -368,7 +395,7 @@ impl Executor {
                 .map_err(ExecutionError::Scheduling)?;
         }
         let state = ExecState::fresh(plan, self.config.cluster.nodes.len());
-        self.drive(plan, inputs, state, res)
+        self.drive(plan, inputs, state, res, obs)
     }
 
     /// Reconstructs mid-plan state from `checkpoint` and runs the flow to
@@ -383,24 +410,42 @@ impl Executor {
         inputs: HashMap<String, Vec<Record>>,
         res: &FlowResilience,
     ) -> Result<ResilientRun, ExecutionError> {
+        self.resume_observed(plan, checkpoint, inputs, res, &Observer::new())
+    }
+
+    /// [`Executor::resume_from`] reporting through the caller's
+    /// [`Observer`]. The checkpoint's registry snapshot is restored into
+    /// `obs` before execution continues, so counters and histograms pick
+    /// up exactly where the killed run left them.
+    pub fn resume_observed(
+        &self,
+        plan: &LogicalPlan,
+        checkpoint: &FlowCheckpoint,
+        inputs: HashMap<String, Vec<Record>>,
+        res: &FlowResilience,
+        obs: &Observer,
+    ) -> Result<ResilientRun, ExecutionError> {
         let payload = checkpoint.payload().map_err(ExecutionError::BadCheckpoint)?;
         let mut r = Reader::new(payload);
         let state = ExecState::decode(&mut r).map_err(ExecutionError::BadCheckpoint)?;
+        let registry = RegistrySnapshot::decode(&mut r).map_err(ExecutionError::BadCheckpoint)?;
         if !r.is_empty() || state.outputs.len() != plan.len() {
             return Err(ExecutionError::BadCheckpoint(CodecError::Truncated {
                 what: "checkpoint does not match plan",
             }));
         }
-        self.drive(plan, inputs, state, res)
+        obs.registry().restore(&registry);
+        self.drive(plan, inputs, state, res, obs)
     }
 
-    /// Shared run loop behind `run_resilient` and `resume_from`.
+    /// Shared run loop behind `run_observed` and `resume_observed`.
     fn drive(
         &self,
         plan: &LogicalPlan,
         mut inputs: HashMap<String, Vec<Record>>,
         mut state: ExecState,
         res: &FlowResilience,
+        obs: &Observer,
     ) -> Result<ResilientRun, ExecutionError> {
         let started = Instant::now();
         let mut checkpoints = Vec::new();
@@ -442,6 +487,8 @@ impl Executor {
                 }
             };
 
+            // logical-clock start of this plan node's span
+            let node_t0 = state.metrics.simulated_secs;
             match &node.op {
                 NodeOp::Source(name) => {
                     // Injected store-read faults retry the read; each
@@ -462,6 +509,16 @@ impl Executor {
                     let data = inputs
                         .remove(name)
                         .ok_or_else(|| ExecutionError::MissingSource(name.clone()))?;
+                    let labels = Labels::new(&[("source", name)]);
+                    obs.registry()
+                        .counter("flow.source_records", &labels)
+                        .add(data.len() as u64);
+                    obs.tracer().span(
+                        "flow.source",
+                        node_t0,
+                        state.metrics.simulated_secs - node_t0,
+                        labels,
+                    );
                     state.outputs[node.id] = Some(data);
                 }
                 NodeOp::Sink(name) => {
@@ -470,6 +527,24 @@ impl Executor {
                     state.metrics.network_bytes += scaled * SINK_REPLICATION;
                     state.metrics.simulated_secs +=
                         self.config.cluster.network_secs(scaled * SINK_REPLICATION);
+                    let labels = Labels::new(&[("sink", name)]);
+                    obs.registry()
+                        .counter("flow.sink_records", &labels)
+                        .add(input.len() as u64);
+                    obs.registry()
+                        .counter("flow.sink_bytes", &labels)
+                        .add(scaled * SINK_REPLICATION);
+                    obs.profiler().record(
+                        &["flow", &format!("sink:{name}")],
+                        state.metrics.simulated_secs - node_t0,
+                        scaled * SINK_REPLICATION,
+                    );
+                    obs.tracer().span(
+                        "flow.sink",
+                        node_t0,
+                        state.metrics.simulated_secs - node_t0,
+                        labels,
+                    );
                     state.sinks.entry(name.clone()).or_default().extend(input);
                     state.outputs[node.id] = Some(Vec::new());
                 }
@@ -523,12 +598,23 @@ impl Executor {
                     // shared switch — the term that makes heavy flows
                     // scale sub-linearly in DoP (Figs. 4/5)
                     if state.startup_charged.insert(op.name.clone()) {
-                        state.metrics.simulated_secs += op.cost.startup_secs;
-                        state.metrics.simulated_secs += self.config.cluster.network_secs(
-                            op.cost.memory_bytes.saturating_mul(self.config.dop as u64),
+                        let ship_bytes =
+                            op.cost.memory_bytes.saturating_mul(self.config.dop as u64);
+                        let startup_secs =
+                            op.cost.startup_secs + self.config.cluster.network_secs(ship_bytes);
+                        state.metrics.simulated_secs += startup_secs;
+                        obs.profiler().record(
+                            &["flow", &format!("op:{}", op.name), "startup"],
+                            startup_secs,
+                            ship_bytes,
                         );
                     }
                     state.metrics.simulated_secs += op_metrics.simulated_secs;
+                    obs.profiler().record(
+                        &["flow", &format!("op:{}", op.name), "work"],
+                        op_metrics.simulated_secs,
+                        op_metrics.bytes_in,
+                    );
                     // shuffle accounting for reduce
                     if op.kind == Kind::Reduce {
                         let scaled = (op_metrics.bytes_in as f64 * self.config.byte_scale) as u64;
@@ -540,13 +626,42 @@ impl Executor {
                     let scaled_out = (op_metrics.bytes_out as f64 * self.config.byte_scale) as u64;
                     state.metrics.peak_intermediate_bytes =
                         state.metrics.peak_intermediate_bytes.max(scaled_out);
-                    state.metrics.per_op.push(op_metrics);
+
+                    // write the raw numbers through registry handles, then
+                    // derive the public OpMetrics view back *from* the
+                    // registry — the struct stays, the registry is the
+                    // source of truth
+                    let node_id = node.id.to_string();
+                    let labels = Labels::new(&[("node", &node_id), ("op", &op.name)]);
+                    let reg = obs.registry();
+                    reg.counter("flow.records_in", &labels).add(op_metrics.records_in);
+                    reg.counter("flow.records_out", &labels).add(op_metrics.records_out);
+                    reg.counter("flow.bytes_in", &labels).add(op_metrics.bytes_in);
+                    reg.counter("flow.bytes_out", &labels).add(op_metrics.bytes_out);
+                    reg.histogram("flow.op_secs", &Labels::new(&[("op", &op.name)]))
+                        .record(op_metrics.simulated_secs);
+                    let view = OpMetrics {
+                        name: op.name.clone(),
+                        records_in: reg.counter("flow.records_in", &labels).value(),
+                        records_out: reg.counter("flow.records_out", &labels).value(),
+                        bytes_in: reg.counter("flow.bytes_in", &labels).value(),
+                        bytes_out: reg.counter("flow.bytes_out", &labels).value(),
+                        wall_ms: op_metrics.wall_ms,
+                        simulated_secs: op_metrics.simulated_secs,
+                    };
+                    obs.tracer().span(
+                        "flow.op",
+                        node_t0,
+                        state.metrics.simulated_secs - node_t0,
+                        labels,
+                    );
+                    state.metrics.per_op.push(view);
                 }
             }
 
             state.next_node += 1;
             if let Some(every) = res.checkpoint_every_nodes {
-                if every > 0 && state.next_node % every == 0 && state.next_node < plan.len() {
+                if every > 0 && state.next_node.is_multiple_of(every) && state.next_node < plan.len() {
                     let lost = res.faults.as_ref().is_some_and(|fault_plan| {
                         fault_plan.injects_at(
                             FaultKind::StoreWrite,
@@ -558,8 +673,12 @@ impl Executor {
                         state.metrics.store_write_failures += 1;
                     } else {
                         state.metrics.checkpoints_taken += 1;
+                        mirror_flow_gauges(obs, &state.metrics);
                         let mut w = Writer::new();
                         state.encode(&mut w);
+                        // the frame carries the registry so resumed runs
+                        // continue their counters bit-identically
+                        obs.registry().snapshot().encode(&mut w);
                         checkpoints.push(FlowCheckpoint::seal(state.next_node, &w.into_bytes()));
                     }
                 }
@@ -583,6 +702,7 @@ impl Executor {
         }
 
         state.metrics.wall_ms += started.elapsed().as_secs_f64() * 1000.0;
+        mirror_flow_gauges(obs, &state.metrics);
         Ok(ResilientRun {
             output: Some(FlowOutput {
                 sinks: state.sinks,
@@ -632,7 +752,7 @@ impl Executor {
                 // parallel; a panicking chunk is retried on another worker
                 let chunk_size = input.len().div_ceil(dop_eff).max(1);
                 let chunks: Vec<&[Record]> = input.chunks(chunk_size).collect();
-                let worker_count = dop_eff.min(chunks.len()).min(32).max(1);
+                let worker_count = dop_eff.min(chunks.len()).clamp(1, 32);
                 let queue: parking_lot::Mutex<Vec<(usize, u32)>> =
                     parking_lot::Mutex::new((0..chunks.len()).map(|i| (i, 0)).rev().collect());
                 let results: Vec<parking_lot::Mutex<(Vec<Record>, f64)>> = (0..chunks.len())
@@ -719,6 +839,21 @@ impl Executor {
         *out_slot = Some(result);
         Ok(metrics)
     }
+}
+
+/// Mirrors the flow-level totals into registry gauges (deterministic
+/// fields only — never `wall_ms`), so observers see flow state without
+/// holding a `FlowMetrics`.
+fn mirror_flow_gauges(obs: &Observer, m: &FlowMetrics) {
+    let reg = obs.registry();
+    let at = Labels::empty();
+    reg.gauge("flow.simulated_secs", &at).set(m.simulated_secs);
+    reg.gauge("flow.network_bytes", &at).set(m.network_bytes as f64);
+    reg.gauge("flow.peak_intermediate_bytes", &at)
+        .set(m.peak_intermediate_bytes as f64);
+    reg.gauge("flow.partition_retries", &at).set(m.partition_retries as f64);
+    reg.gauge("flow.store_read_retries", &at).set(m.store_read_retries as f64);
+    reg.gauge("flow.checkpoints_taken", &at).set(m.checkpoints_taken as f64);
 }
 
 /// Injected worker panic: pure in (operator, partition, attempt).
@@ -1096,6 +1231,121 @@ mod tests {
             base_out.metrics.simulated_secs.to_bits(),
             resumed_out.metrics.simulated_secs.to_bits()
         );
+    }
+
+    #[test]
+    fn observed_run_emits_node_spans_and_registry_views() {
+        let obs = Observer::new();
+        let mut inputs = HashMap::new();
+        inputs.insert("in".to_string(), docs(12));
+        let out = Executor::new(ExecutionConfig::local(4))
+            .run_observed(&simple_plan(), inputs, &FlowResilience::default(), &obs)
+            .unwrap()
+            .output
+            .unwrap();
+
+        // one span per executed plan node: source, two ops, sink
+        let events = obs.tracer().events();
+        let names: Vec<&str> = events.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, vec!["flow.source", "flow.op", "flow.op", "flow.sink"]);
+        assert!(events.iter().all(|e| e.dur_secs.is_some()));
+
+        // the public OpMetrics are views over the registry
+        for m in &out.metrics.per_op {
+            let snap = obs.registry().snapshot();
+            let by_op: u64 = snap
+                .by_name("flow.records_in")
+                .filter(|(_, l, _)| l.get("op") == Some(&m.name))
+                .map(|(_, _, v)| match v {
+                    websift_observe::MetricValue::Counter(c) => *c,
+                    _ => 0,
+                })
+                .sum();
+            assert_eq!(by_op, m.records_in);
+        }
+
+        // flow totals mirror into gauges
+        assert_eq!(
+            obs.registry().gauge("flow.simulated_secs", &Labels::empty()).value(),
+            out.metrics.simulated_secs
+        );
+
+        // startup/work decomposition lands in the profiler
+        let folded = obs.profiler().folded();
+        assert!(folded.contains("flow;op:upper;work"), "missing work scope: {folded}");
+    }
+
+    #[test]
+    fn resume_restores_registry_state() {
+        let plan = simple_plan();
+        let res = FlowResilience {
+            checkpoint_every_nodes: Some(1),
+            stop_after_nodes: Some(2),
+            ..FlowResilience::default()
+        };
+        let obs = Observer::new();
+        let mut inputs = HashMap::new();
+        inputs.insert("in".to_string(), docs(20));
+        let killed = Executor::new(ExecutionConfig::local(2))
+            .run_observed(&plan, inputs, &res, &obs)
+            .unwrap();
+        let ckpt = killed.checkpoints.last().unwrap();
+
+        let continue_res = FlowResilience {
+            checkpoint_every_nodes: Some(1),
+            ..FlowResilience::default()
+        };
+        let resumed_obs = Observer::new();
+        let mut inputs = HashMap::new();
+        inputs.insert("in".to_string(), docs(20));
+        Executor::new(ExecutionConfig::local(2))
+            .resume_observed(&plan, ckpt, inputs, &continue_res, &resumed_obs)
+            .unwrap()
+            .output
+            .unwrap();
+
+        // a full observed run and the killed+resumed pair agree on every
+        // counter and histogram (gauges included)
+        let full_obs = Observer::new();
+        let mut inputs = HashMap::new();
+        inputs.insert("in".to_string(), docs(20));
+        Executor::new(ExecutionConfig::local(2))
+            .run_observed(&plan, inputs, &continue_res, &full_obs)
+            .unwrap();
+        assert_eq!(resumed_obs.registry().snapshot(), full_obs.registry().snapshot());
+    }
+
+    #[test]
+    fn wall_ms_is_excluded_from_snapshot_codecs() {
+        let metrics = FlowMetrics {
+            wall_ms: 123.456,
+            simulated_secs: 9.0,
+            per_op: vec![OpMetrics {
+                name: "op".into(),
+                records_in: 1,
+                records_out: 1,
+                bytes_in: 10,
+                bytes_out: 10,
+                wall_ms: 77.7,
+                simulated_secs: 2.0,
+            }],
+            ..FlowMetrics::default()
+        };
+        let mut w = Writer::new();
+        metrics.encode(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut with_other_wall = metrics.clone();
+        with_other_wall.wall_ms = 999.0;
+        with_other_wall.per_op[0].wall_ms = 0.001;
+        let mut w = Writer::new();
+        with_other_wall.encode(&mut w);
+        assert_eq!(bytes, w.into_bytes(), "wall time must not reach checkpoint bytes");
+
+        let decoded = FlowMetrics::decode(&mut Reader::new(&bytes)).unwrap();
+        assert_eq!(decoded.wall_ms, 0.0);
+        assert_eq!(decoded.per_op[0].wall_ms, 0.0);
+        assert_eq!(decoded.simulated_secs, 9.0);
     }
 
     #[test]

@@ -83,6 +83,9 @@ impl CostModel {
     }
 }
 
+/// A reduce operator's aggregation function: key plus that key's records.
+pub type AggregateFn = Arc<dyn Fn(&str, Vec<Record>) -> Vec<Record> + Send + Sync>;
+
 /// The UDF payload.
 #[derive(Clone)]
 pub enum OpFunc {
@@ -91,7 +94,7 @@ pub enum OpFunc {
     Filter(Arc<dyn Fn(&Record) -> bool + Send + Sync>),
     Reduce {
         key: Arc<dyn Fn(&Record) -> String + Send + Sync>,
-        aggregate: Arc<dyn Fn(&str, Vec<Record>) -> Vec<Record> + Send + Sync>,
+        aggregate: AggregateFn,
     },
 }
 

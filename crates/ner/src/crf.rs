@@ -1,4 +1,8 @@
 //! Linear-chain Conditional Random Field sequence taggers.
+// The forward-backward and Viterbi loops index several DP lattices by the
+// same label position; `for y in 0..NLABELS` reads better than zipped
+// iterators there.
+#![allow(clippy::needless_range_loop)]
 //!
 //! This is the from-scratch analogue of the paper's ML-based entity taggers
 //! (BANNER for genes, ChemSpot for drugs, a Mallet-based disease tagger —

@@ -1,0 +1,203 @@
+//! Structured tracing with logical-clock timestamps.
+//!
+//! Every [`TraceEvent`] is stamped with *simulated seconds* taken from
+//! the pipeline's deterministic cost clocks (`CrawlReport::
+//! simulated_secs`, `FlowMetrics::simulated_secs`), never a wall clock.
+//! Two same-seed runs therefore record identical event sequences, and
+//! [`Tracer::to_jsonl`] exports them byte-identically — the property the
+//! determinism tests pin down.
+//!
+//! The collector is a fixed-capacity ring buffer: when full, the oldest
+//! events are evicted and counted in [`Tracer::dropped`], so tracing a
+//! long crawl can never grow memory without bound. Sequence numbers keep
+//! increasing across evictions, which makes dropped prefixes visible in
+//! the export.
+
+use crate::json::{str_array, write_f64, write_str};
+use crate::registry::Labels;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+
+/// Default ring capacity — enough for every event the bundled
+/// experiments emit, small enough to cap memory for long crawls.
+pub const DEFAULT_TRACE_CAPACITY: usize = 65_536;
+
+/// One recorded span or instantaneous event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Monotonic sequence number (keeps counting across ring evictions).
+    pub seq: u64,
+    /// Logical-clock timestamp in simulated seconds.
+    pub t_secs: f64,
+    /// Span duration in simulated seconds; `None` for point events.
+    pub dur_secs: Option<f64>,
+    pub name: String,
+    pub labels: Labels,
+}
+
+impl TraceEvent {
+    /// One JSONL line: `{"seq":…,"t":…,"dur":…,"name":…,"labels":[…]}`.
+    /// `dur` is omitted for point events; labels render as `"k=v"`
+    /// strings so the line stays flat and grep-able.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64);
+        out.push_str("{\"seq\":");
+        out.push_str(&self.seq.to_string());
+        out.push_str(",\"t\":");
+        write_f64(&mut out, self.t_secs);
+        if let Some(dur) = self.dur_secs {
+            out.push_str(",\"dur\":");
+            write_f64(&mut out, dur);
+        }
+        out.push_str(",\"name\":");
+        write_str(&mut out, &self.name);
+        if !self.labels.is_empty() {
+            out.push_str(",\"labels\":");
+            let rendered: Vec<String> = self
+                .labels
+                .pairs()
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect();
+            out.push_str(&str_array(rendered.iter().map(|s| s.as_str())));
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[derive(Debug)]
+struct Ring {
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+    next_seq: u64,
+    dropped: u64,
+}
+
+/// Ring-buffered trace collector.
+#[derive(Debug)]
+pub struct Tracer {
+    ring: Mutex<Ring>,
+}
+
+impl Default for Tracer {
+    fn default() -> Tracer {
+        Tracer::with_capacity(DEFAULT_TRACE_CAPACITY)
+    }
+}
+
+impl Tracer {
+    pub fn with_capacity(capacity: usize) -> Tracer {
+        Tracer {
+            ring: Mutex::new(Ring {
+                events: VecDeque::with_capacity(capacity.min(1024)),
+                capacity: capacity.max(1),
+                next_seq: 0,
+                dropped: 0,
+            }),
+        }
+    }
+
+    fn push(&self, name: &str, t_secs: f64, dur_secs: Option<f64>, labels: Labels) -> u64 {
+        let mut ring = self.ring.lock();
+        let seq = ring.next_seq;
+        ring.next_seq += 1;
+        if ring.events.len() == ring.capacity {
+            ring.events.pop_front();
+            ring.dropped += 1;
+        }
+        ring.events.push_back(TraceEvent {
+            seq,
+            t_secs,
+            dur_secs,
+            name: name.to_string(),
+            labels,
+        });
+        seq
+    }
+
+    /// Records a point event at logical time `t_secs`; returns its seq.
+    pub fn event(&self, name: &str, t_secs: f64, labels: Labels) -> u64 {
+        self.push(name, t_secs, None, labels)
+    }
+
+    /// Records a completed span starting at `t_secs` lasting `dur_secs`
+    /// simulated seconds; returns its seq.
+    pub fn span(&self, name: &str, t_secs: f64, dur_secs: f64, labels: Labels) -> u64 {
+        self.push(name, t_secs, Some(dur_secs), labels)
+    }
+
+    /// Events currently held (post-eviction).
+    pub fn len(&self) -> usize {
+        self.ring.lock().events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events evicted from the ring so far.
+    pub fn dropped(&self) -> u64 {
+        self.ring.lock().dropped
+    }
+
+    /// Copies out the retained events in record order.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.ring.lock().events.iter().cloned().collect()
+    }
+
+    /// Exports the retained events as JSONL (one event per line,
+    /// trailing newline). Byte-deterministic given the same recorded
+    /// observations.
+    pub fn to_jsonl(&self) -> String {
+        let ring = self.ring.lock();
+        let mut out = String::with_capacity(ring.events.len() * 64);
+        for ev in &ring.events {
+            out.push_str(&ev.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_and_spans_export_jsonl() {
+        let t = Tracer::default();
+        t.event("round_start", 0.0, Labels::new(&[("round", "0")]));
+        t.span("fetch", 0.0, 1.25, Labels::empty());
+        assert_eq!(t.len(), 2);
+        assert_eq!(
+            t.to_jsonl(),
+            "{\"seq\":0,\"t\":0,\"name\":\"round_start\",\"labels\":[\"round=0\"]}\n\
+             {\"seq\":1,\"t\":0,\"dur\":1.25,\"name\":\"fetch\"}\n"
+        );
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let t = Tracer::with_capacity(2);
+        for i in 0..5 {
+            t.event("e", i as f64, Labels::empty());
+        }
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped(), 3);
+        let seqs: Vec<u64> = t.events().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![3, 4]);
+    }
+
+    #[test]
+    fn same_observations_export_identical_bytes() {
+        let record = |t: &Tracer| {
+            t.span("fetch", 0.5, 0.125, Labels::new(&[("host", "a.example")]));
+            t.event("dedup_hit", 0.625, Labels::empty());
+        };
+        let (a, b) = (Tracer::default(), Tracer::default());
+        record(&a);
+        record(&b);
+        assert_eq!(a.to_jsonl(), b.to_jsonl());
+    }
+}

@@ -1,0 +1,99 @@
+//! Property tests for the observability substrate's algebraic
+//! invariants: histogram merge must be associative and
+//! count-preserving, and snapshots must be byte-deterministic
+//! functions of the recorded observations.
+
+use proptest::prelude::*;
+use websift_observe::registry::HISTOGRAM_BUCKETS;
+use websift_observe::{HistogramState, Labels, MetricsRegistry};
+use websift_resilience::checkpoint::encode_to_vec;
+
+fn state_of(values: &[f64]) -> HistogramState {
+    let mut s = HistogramState::default();
+    for &v in values {
+        s.record(v);
+    }
+    s
+}
+
+fn merged(a: &HistogramState, b: &HistogramState) -> HistogramState {
+    let mut out = a.clone();
+    out.merge(b);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c): the property that lets partitioned
+    /// observation streams combine in any grouping.
+    #[test]
+    fn histogram_merge_is_associative(
+        xs in prop::collection::vec(-1e6f64..1e6, 0..40),
+        ys in prop::collection::vec(-1e6f64..1e6, 0..40),
+        zs in prop::collection::vec(-1e6f64..1e6, 0..40),
+    ) {
+        let (a, b, c) = (state_of(&xs), state_of(&ys), state_of(&zs));
+        let left = merged(&merged(&a, &b), &c);
+        let right = merged(&a, &merged(&b, &c));
+        prop_assert_eq!(left.buckets, right.buckets);
+        prop_assert_eq!(left.count, right.count);
+        prop_assert_eq!(left.min.to_bits(), right.min.to_bits());
+        prop_assert_eq!(left.max.to_bits(), right.max.to_bits());
+    }
+
+    /// Merging never loses or invents observations, and the merged
+    /// state equals recording the concatenated stream directly.
+    #[test]
+    fn histogram_merge_preserves_counts(
+        xs in prop::collection::vec(-1e6f64..1e6, 0..60),
+        ys in prop::collection::vec(-1e6f64..1e6, 0..60),
+    ) {
+        let m = merged(&state_of(&xs), &state_of(&ys));
+        prop_assert_eq!(m.count, (xs.len() + ys.len()) as u64);
+        prop_assert_eq!(m.buckets.iter().sum::<u64>(), m.count);
+
+        let combined: Vec<f64> = xs.iter().chain(&ys).copied().collect();
+        let direct = state_of(&combined);
+        prop_assert_eq!(&m.buckets, &direct.buckets);
+        prop_assert_eq!(m.min.to_bits(), direct.min.to_bits());
+        prop_assert_eq!(m.max.to_bits(), direct.max.to_bits());
+    }
+
+    /// Every value lands in exactly one of the 64 buckets and within
+    /// the recorded [min, max] envelope.
+    #[test]
+    fn histogram_state_is_well_formed(
+        xs in prop::collection::vec(-1e9f64..1e9, 1..80),
+    ) {
+        let s = state_of(&xs);
+        prop_assert_eq!(s.buckets.len(), HISTOGRAM_BUCKETS);
+        prop_assert_eq!(s.count, xs.len() as u64);
+        let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(s.min, lo);
+        prop_assert_eq!(s.max, hi);
+    }
+
+    /// Two registries fed the same observations in different orders
+    /// snapshot to identical bytes.
+    #[test]
+    fn registry_snapshot_is_order_independent(
+        names in prop::collection::vec("[a-d]{1,3}", 1..12),
+        counts in prop::collection::vec(1u64..100, 1..12),
+    ) {
+        let forward = MetricsRegistry::default();
+        let reverse = MetricsRegistry::default();
+        let obs: Vec<(&String, &u64)> = names.iter().zip(&counts).collect();
+        for (name, n) in &obs {
+            forward.counter(name, &Labels::empty()).add(**n);
+        }
+        for (name, n) in obs.iter().rev() {
+            reverse.counter(name, &Labels::empty()).add(**n);
+        }
+        prop_assert_eq!(
+            encode_to_vec(&forward.snapshot()),
+            encode_to_vec(&reverse.snapshot())
+        );
+    }
+}

@@ -175,7 +175,7 @@ mod tests {
     fn kfold_partitions_cover_everything_once() {
         let folds = kfold_indices(103, 10);
         assert_eq!(folds.len(), 10);
-        let mut seen = vec![0u8; 103];
+        let mut seen = [0u8; 103];
         for (train, test) in &folds {
             assert_eq!(train.len() + test.len(), 103);
             for &i in test {

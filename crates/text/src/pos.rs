@@ -303,6 +303,7 @@ impl PosTagger {
             let e = self.emission(token);
             let mut next = vec![[neg; TAG_COUNT]; CONTEXTS];
             let mut bp = vec![[0u8; TAG_COUNT]; CONTEXTS];
+            #[allow(clippy::needless_range_loop)] // p1 indexes delta, bp, and trans at once
             for p1 in 0..CONTEXTS {
                 // p1 becomes the "previous" context; iterate possible p2.
                 for t in 0..TAG_COUNT {
@@ -520,7 +521,7 @@ mod tests {
     #[test]
     fn long_sentence_crashes_cleanly() {
         let tagger = PosTagger::pretrained().clone().with_max_tokens(50);
-        let tokens: Vec<&str> = std::iter::repeat("word").take(51).collect();
+        let tokens: Vec<&str> = std::iter::repeat_n("word", 51).collect();
         match tagger.tag(&tokens) {
             Err(PosError::SentenceTooLong { tokens: 51, limit: 50 }) => {}
             other => panic!("expected SentenceTooLong, got {other:?}"),
@@ -563,7 +564,7 @@ mod tests {
         // time, definitely not quadruple it. We only assert it completes on a
         // large sentence within the budget.
         let tagger = PosTagger::pretrained().clone().with_max_tokens(100_000);
-        let tokens: Vec<&str> = std::iter::repeat("protein").take(5_000).collect();
+        let tokens: Vec<&str> = std::iter::repeat_n("protein", 5_000).collect();
         let tags = tagger.tag(&tokens).unwrap();
         assert_eq!(tags.len(), 5_000);
     }

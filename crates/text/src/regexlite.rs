@@ -559,7 +559,7 @@ impl Regex {
     }
 
     /// All non-overlapping leftmost-longest matches.
-    pub fn find_iter<'t>(&self, text: &'t str) -> Vec<Match> {
+    pub fn find_iter(&self, text: &str) -> Vec<Match> {
         let mut out = Vec::new();
         let mut pos = 0usize;
         while pos <= text.len() {

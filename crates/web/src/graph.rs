@@ -286,7 +286,7 @@ impl WebGraph {
 
             let degree = if page.flavor == PageFlavor::FrontPage {
                 // front pages are link-dense
-                (host_pages.min(40)).max(5)
+                host_pages.clamp(5, 40)
             } else if page.flavor == PageFlavor::NonText {
                 0
             } else {

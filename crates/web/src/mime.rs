@@ -145,7 +145,7 @@ mod tests {
         // The documented failure: an embedded-slides page with a textual
         // prefix is classified textual.
         let mut body = b"<html><body>download our slides".to_vec();
-        body.extend(std::iter::repeat(0u8).take(10_000));
+        body.extend(std::iter::repeat_n(0u8, 10_000));
         assert_eq!(sniff_mime("/slides.html", &body), MimeType::Html);
     }
 

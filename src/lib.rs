@@ -23,6 +23,9 @@
 //! - [`resilience`] — deterministic fault injection, retry/backoff with
 //!   circuit breakers, and the checkpoint codec behind crawl and flow
 //!   kill-and-resume recovery;
+//! - [`observe`] — the observability substrate: metrics registry,
+//!   logical-clock tracing with JSONL export, cost profiler with
+//!   folded-stack (flamegraph) output;
 //! - [`stats`] — statistics used throughout (Mann-Whitney U,
 //!   Jensen-Shannon divergence, evaluation metrics, samplers).
 //!
@@ -43,6 +46,7 @@ pub use websift_corpus as corpus;
 pub use websift_crawler as crawler;
 pub use websift_flow as flow;
 pub use websift_ner as ner;
+pub use websift_observe as observe;
 pub use websift_pipeline as pipeline;
 pub use websift_resilience as resilience;
 pub use websift_stats as stats;
