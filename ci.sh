@@ -20,3 +20,26 @@ echo "$folded" | awk '
     exit bad
   }'
 echo "exp_profile smoke: $(echo "$folded" | wc -l) folded stacks ok"
+
+# Determinism lint wall: wall-clock reads, hash iteration feeding
+# deterministic outputs, and unwrap() in untrusted-input parsers are all
+# hard failures unless carrying a justified lint:allow.
+cargo run -q --release -p websift-analyze --bin repo_lint
+
+# Static-analyzer smoke: the known-bad plans must produce diagnostics,
+# and the JSON report must be byte-identical across runs.
+analyze_a="$(cargo run -q --release -p websift-bench --bin exp_analyze -- --json)"
+analyze_b="$(cargo run -q --release -p websift-bench --bin exp_analyze -- --json)"
+if [ -z "$analyze_a" ]; then
+  echo "exp_analyze --json produced no output" >&2
+  exit 1
+fi
+if [ "$analyze_a" != "$analyze_b" ]; then
+  echo "exp_analyze --json is not byte-stable across runs" >&2
+  exit 1
+fi
+if ! echo "$analyze_a" | grep -q 'WS001'; then
+  echo "exp_analyze --json is missing expected diagnostics" >&2
+  exit 1
+fi
+echo "exp_analyze smoke: deterministic diagnostics ok"

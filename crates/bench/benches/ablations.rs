@@ -100,16 +100,16 @@ fn bench_filter_ordering(c: &mut Criterion) {
         let mut plan = LogicalPlan::new();
         let src = plan.source("docs");
         let (a, b) = if filter_first {
-            let f = plan.add(src, selective_filter());
-            let m = plan.add(f, expensive_map());
+            let f = plan.add(src, selective_filter()).expect("static plan");
+            let m = plan.add(f, expensive_map()).expect("static plan");
             (f, m)
         } else {
-            let m = plan.add(src, expensive_map());
-            let f = plan.add(m, selective_filter());
+            let m = plan.add(src, expensive_map()).expect("static plan");
+            let f = plan.add(m, selective_filter()).expect("static plan");
             (m, f)
         };
         let _ = a;
-        plan.sink(b, "out");
+        plan.sink(b, "out").expect("static plan");
         plan
     };
 

@@ -32,11 +32,11 @@ fn docs(n: usize) -> Vec<Record> {
 fn linguistic_plan() -> LogicalPlan {
     let mut plan = LogicalPlan::new();
     let src = plan.source("docs");
-    let s = plan.add(src, ie::annotate_sentences());
-    let n = plan.add(s, ie::annotate_negation());
-    let p = plan.add(n, ie::annotate_pronouns());
-    let q = plan.add(p, ie::annotate_parentheses());
-    plan.sink(q, "out");
+    let s = plan.add(src, ie::annotate_sentences()).expect("static plan");
+    let n = plan.add(s, ie::annotate_negation()).expect("static plan");
+    let p = plan.add(n, ie::annotate_pronouns()).expect("static plan");
+    let q = plan.add(p, ie::annotate_parentheses()).expect("static plan");
+    plan.sink(q, "out").expect("static plan");
     plan
 }
 

@@ -1,0 +1,9 @@
+//! Static-analysis pre-flight report: the §4.2 failure modes as
+//! diagnostics, produced without executing a single record. Output is
+//! byte-deterministic; `ci.sh` runs `--json` twice and diffs.
+use websift_bench::experiments::analyze_exps;
+use websift_bench::report;
+
+fn main() {
+    report::emit(&[analyze_exps::known_bad()]);
+}

@@ -21,7 +21,9 @@
 //! | [`profile_exps::cost_decomposition`] | Fig. 8 cost split (startup vs per-record, live from the profiler) |
 //! | [`recovery_exps::crawl_recovery`] | crawl goodput + checkpoint overhead under injected faults |
 //! | [`recovery_exps::flow_recovery`] | flow partition/node-loss recovery + kill-and-resume check |
+//! | [`analyze_exps::known_bad`] | §4.2 failure modes caught pre-flight by the static analyzer |
 
+pub mod analyze_exps;
 pub mod content_exps;
 pub mod crawl_exps;
 pub mod profile_exps;

@@ -168,12 +168,14 @@ fn checkpoint_overhead(web: &SimulatedWeb, seeds: &[Url]) -> ExperimentResult {
     let mut last_bytes = 0usize;
     for _ in 0..5 {
         let mut crawler = fresh_crawler(web);
+        // lint:allow(wall_clock): recovery experiments report real re-execution wall time
         let t = Instant::now();
         let report = crawler.crawl(seeds.to_vec());
         plain_ms = plain_ms.min(t.elapsed().as_secs_f64() * 1000.0);
         plain_sim = report.simulated_secs / 3600.0;
 
         let mut crawler = fresh_crawler(web);
+        // lint:allow(wall_clock): recovery experiments report real re-execution wall time
         let t = Instant::now();
         let (report, ckpts) = crawler.crawl_resilient(seeds.to_vec(), &opts);
         ckpt_ms = ckpt_ms.min(t.elapsed().as_secs_f64() * 1000.0);
@@ -212,29 +214,35 @@ fn checkpoint_overhead(web: &SimulatedWeb, seeds: &[Url]) -> ExperimentResult {
 fn analysis_plan() -> LogicalPlan {
     let mut plan = LogicalPlan::new();
     let src = plan.source("crawl");
-    let norm = plan.add(
-        src,
-        Operator::map("normalize", Package::Base, |mut r| {
-            let text = r.text().map(str::to_lowercase).unwrap_or_default();
-            r.set("text", text);
-            r
-        }),
-    );
-    let tag = plan.add(
-        norm,
-        Operator::map("measure", Package::Wa, |mut r| {
-            let words = r.text().map(|t| t.split_whitespace().count()).unwrap_or(0);
-            r.set("words", words);
-            r
-        }),
-    );
-    let keep = plan.add(
-        tag,
-        Operator::filter("keep-substantive", Package::Base, |r| {
-            r.get("words").and_then(|v| v.as_int()).unwrap_or(0) >= 3
-        }),
-    );
-    plan.sink(keep, "analyzed");
+    let norm = plan
+        .add(
+            src,
+            Operator::map("normalize", Package::Base, |mut r| {
+                let text = r.text().map(str::to_lowercase).unwrap_or_default();
+                r.set("text", text);
+                r
+            }),
+        )
+        .expect("static plan");
+    let tag = plan
+        .add(
+            norm,
+            Operator::map("measure", Package::Wa, |mut r| {
+                let words = r.text().map(|t| t.split_whitespace().count()).unwrap_or(0);
+                r.set("words", words);
+                r
+            }),
+        )
+        .expect("static plan");
+    let keep = plan
+        .add(
+            tag,
+            Operator::filter("keep-substantive", Package::Base, |r| {
+                r.get("words").and_then(|v| v.as_int()).unwrap_or(0) >= 3
+            }),
+        )
+        .expect("static plan");
+    plan.sink(keep, "analyzed").expect("static plan");
     plan
 }
 

@@ -13,7 +13,8 @@ use std::collections::HashMap;
 use websift_corpus::Document;
 use websift_flow::packages::{base, dc, ie, wa};
 use websift_flow::{
-    ExecutionConfig, ExecutionError, Executor, FlowOutput, IeResources, LogicalPlan, Record,
+    ExecutionConfig, ExecutionError, Executor, FlowOutput, IeResources, LogicalPlan, PlanError,
+    Record,
 };
 use websift_ner::EntityType;
 
@@ -28,57 +29,69 @@ pub enum MethodSelection {
 /// Shared preprocessing prefix: length filter → markup repair → net-text
 /// extraction → cleansing → sentence + token annotation. Returns the node
 /// whose output is clean annotated text.
-fn preprocessing(plan: &mut LogicalPlan, source: &str) -> usize {
+fn preprocessing(plan: &mut LogicalPlan, source: &str) -> Result<usize, PlanError> {
     let src = plan.source(source);
-    let bounded = plan.add(src, base::filter_length(base::DEFAULT_MAX_TEXT_CHARS));
-    let detected = plan.add(bounded, wa::detect_markup());
-    let repaired = plan.add(detected, wa::repair_markup_op());
-    let net = plan.add(repaired, wa::extract_net_text());
-    let transcodable = plan.add(net, dc::drop_untranscodable());
-    let nonempty = plan.add(transcodable, dc::filter_empty_text());
-    let normalized = plan.add(nonempty, dc::normalize_whitespace());
-    let sentences = plan.add(normalized, ie::annotate_sentences());
+    let bounded = plan.add(src, base::filter_length(base::DEFAULT_MAX_TEXT_CHARS))?;
+    let detected = plan.add(bounded, wa::detect_markup())?;
+    let repaired = plan.add(detected, wa::repair_markup_op())?;
+    let net = plan.add(repaired, wa::extract_net_text())?;
+    let transcodable = plan.add(net, dc::drop_untranscodable())?;
+    let nonempty = plan.add(transcodable, dc::filter_empty_text())?;
+    let normalized = plan.add(nonempty, dc::normalize_whitespace())?;
+    let sentences = plan.add(normalized, ie::annotate_sentences())?;
     plan.add(sentences, ie::annotate_tokens())
 }
+
+/// Message for the `expect` on the static flow builders below: these
+/// plans are code, not scripts, so a [`PlanError`] is a programming bug.
+const STATIC_PLAN: &str = "static flow builder produces a valid plan";
 
 /// The full Fig.-2 flow: shared preprocessing fanning out into the
 /// linguistic branch and all six entity annotators.
 pub fn full_analysis_plan(resources: &IeResources) -> LogicalPlan {
+    try_full_analysis_plan(resources).expect(STATIC_PLAN)
+}
+
+fn try_full_analysis_plan(resources: &IeResources) -> Result<LogicalPlan, PlanError> {
     let mut plan = LogicalPlan::new();
-    let pre = preprocessing(&mut plan, "docs");
+    let pre = preprocessing(&mut plan, "docs")?;
 
     // Linguistic branch.
-    let neg = plan.add(pre, ie::annotate_negation());
-    let pron = plan.add(neg, ie::annotate_pronouns());
-    let paren = plan.add(pron, ie::annotate_parentheses());
-    plan.sink(paren, "linguistic");
+    let neg = plan.add(pre, ie::annotate_negation())?;
+    let pron = plan.add(neg, ie::annotate_pronouns())?;
+    let paren = plan.add(pron, ie::annotate_parentheses())?;
+    plan.sink(paren, "linguistic")?;
 
     // Entity branch: POS, then dictionary + ML for each entity class,
     // then annotation cleansing.
-    let pos = plan.add(pre, ie::annotate_pos(resources.pos.clone()));
+    let pos = plan.add(pre, ie::annotate_pos(resources.pos.clone()))?;
     let mut cur = pos;
     for entity in EntityType::all() {
-        cur = plan.add(cur, ie::annotate_entities_dict(resources, entity));
-        cur = plan.add(cur, ie::annotate_entities_ml(resources, entity));
+        cur = plan.add(cur, ie::annotate_entities_dict(resources, entity))?;
+        cur = plan.add(cur, ie::annotate_entities_ml(resources, entity))?;
     }
     // Per-method inventories (Table 4) are counted before cleansing; the
     // deduplicated view feeds downstream fact extraction.
-    plan.sink(cur, "entities");
-    let dedup = plan.add(cur, dc::dedup_entities());
-    plan.sink(dedup, "entities_deduped");
+    plan.sink(cur, "entities")?;
+    let dedup = plan.add(cur, dc::dedup_entities())?;
+    plan.sink(dedup, "entities_deduped")?;
 
-    plan
+    Ok(plan)
 }
 
 /// The linguistic-only flow (first war-story mitigation split).
 pub fn linguistic_flow(source: &str) -> LogicalPlan {
+    try_linguistic_flow(source).expect(STATIC_PLAN)
+}
+
+fn try_linguistic_flow(source: &str) -> Result<LogicalPlan, PlanError> {
     let mut plan = LogicalPlan::new();
-    let pre = preprocessing(&mut plan, source);
-    let neg = plan.add(pre, ie::annotate_negation());
-    let pron = plan.add(neg, ie::annotate_pronouns());
-    let paren = plan.add(pron, ie::annotate_parentheses());
-    plan.sink(paren, "linguistic");
-    plan
+    let pre = preprocessing(&mut plan, source)?;
+    let neg = plan.add(pre, ie::annotate_negation())?;
+    let pron = plan.add(neg, ie::annotate_pronouns())?;
+    let paren = plan.add(pron, ie::annotate_parentheses())?;
+    plan.sink(paren, "linguistic")?;
+    Ok(plan)
 }
 
 /// One entity class's flow (the per-class split). The ML disease tagger
@@ -90,6 +103,14 @@ pub fn entity_flow_for(
     entity: EntityType,
     method: MethodSelection,
 ) -> LogicalPlan {
+    try_entity_flow_for(resources, entity, method).expect(STATIC_PLAN)
+}
+
+fn try_entity_flow_for(
+    resources: &IeResources,
+    entity: EntityType,
+    method: MethodSelection,
+) -> Result<LogicalPlan, PlanError> {
     let mut plan = LogicalPlan::new();
     let mut cur = match (entity, method) {
         // ML-disease alone: raw text in, own preprocessing (no OpenNLP-15
@@ -98,21 +119,21 @@ pub fn entity_flow_for(
         // rejected at admission — exactly the paper's situation.
         (EntityType::Disease, MethodSelection::MlOnly) => {
             let src = plan.source("docs");
-            let bounded = plan.add(src, base::filter_length(base::DEFAULT_MAX_TEXT_CHARS));
-            let net = plan.add(bounded, wa::extract_net_text());
-            plan.add(net, dc::filter_empty_text())
+            let bounded = plan.add(src, base::filter_length(base::DEFAULT_MAX_TEXT_CHARS))?;
+            let net = plan.add(bounded, wa::extract_net_text())?;
+            plan.add(net, dc::filter_empty_text())?
         }
-        _ => preprocessing(&mut plan, "docs"),
+        _ => preprocessing(&mut plan, "docs")?,
     };
     if matches!(method, MethodSelection::DictionaryOnly | MethodSelection::Both) {
-        cur = plan.add(cur, ie::annotate_entities_dict(resources, entity));
+        cur = plan.add(cur, ie::annotate_entities_dict(resources, entity))?;
     }
     if matches!(method, MethodSelection::MlOnly | MethodSelection::Both) {
-        cur = plan.add(cur, ie::annotate_entities_ml(resources, entity));
+        cur = plan.add(cur, ie::annotate_entities_ml(resources, entity))?;
     }
-    let dedup = plan.add(cur, dc::dedup_entities());
-    plan.sink(dedup, "entities");
-    plan
+    let dedup = plan.add(cur, dc::dedup_entities())?;
+    plan.sink(dedup, "entities")?;
+    Ok(plan)
 }
 
 /// Runs a plan over documents at the given DoP with a permissive local

@@ -243,13 +243,16 @@ fn inject_severe_defects<R: Rng + ?Sized>(html: String, rng: &mut R) -> String {
     if let Some(p) = out.find("</div>") {
         out.replace_range(p..p + 6, "</b></div><i>");
     }
-    // truncate mid-tag near the end
-    let cut = out.len() - rng.random_range(1..out.len().min(40));
-    let mut boundary = cut.min(out.len() - 1);
-    while boundary > 0 && !out.is_char_boundary(boundary) {
-        boundary -= 1;
+    // truncate mid-tag near the end; documents of 0-1 bytes have nothing
+    // to cut (random_range panics on an empty range)
+    if out.len() > 1 {
+        let cut = out.len() - rng.random_range(1..out.len().min(40));
+        let mut boundary = cut.min(out.len() - 1);
+        while boundary > 0 && !out.is_char_boundary(boundary) {
+            boundary -= 1;
+        }
+        out.truncate(boundary);
     }
-    out.truncate(boundary);
     out.push_str("<di");
     out
 }
@@ -330,6 +333,15 @@ mod tests {
         let doc = wrap_page("T", &paragraphs(), &[], &cfg, &mut rng);
         assert_eq!(doc.quality, MarkupQuality::Severe);
         assert!(doc.html.ends_with("<di"));
+    }
+
+    #[test]
+    fn severe_defects_survive_tiny_documents() {
+        let mut rng = StdRng::seed_from_u64(6);
+        for input in ["", "x", "ü"] {
+            let out = inject_severe_defects(input.to_string(), &mut rng);
+            assert!(out.ends_with("<di"), "{input:?} -> {out:?}");
+        }
     }
 
     #[test]

@@ -1,0 +1,537 @@
+//! Static plan verification.
+//!
+//! The paper's costliest failures — OpenNLP 1.4-vs-1.5 class-loader
+//! conflicts, annotators applied before the annotations they read existed,
+//! flows admitted that could never fit worker memory — were discovered at
+//! runtime after hours of cluster time, yet every one is decidable from
+//! the operators' semantic annotations alone. This pass runs between
+//! `compile` and `optimize`/`execute` and turns them into pre-flight
+//! diagnostics:
+//!
+//! | code  | severity | check |
+//! |-------|----------|-------|
+//! | WS001 | error    | use-before-def: a read field no upstream op writes, but some op in the plan produces |
+//! | WS002 | error*   | library major-version conflict across the plan |
+//! | WS003 | warning  | dead write: a written field no downstream op reads before overwrite/sink-less end |
+//! | WS004 | error    | duplicate sink name |
+//! | WS005 | warning  | unused `$var` in the source script |
+//! | WS006 | warning  | unreachable node: contributes to no sink |
+//! | WS007 | error    | memory admission: per-worker footprint × co-located workers exceeds node RAM |
+//! | WS008 | error    | requested DoP exceeds cluster cores |
+//! | WS009 | warning  | unknown field: read field nothing in the plan produces |
+//!
+//! (*WS002 is a warning without an admission context: a plan may run
+//! locally where the simulated class loader never materializes.)
+//!
+//! Messages deliberately never mention node ids — the optimizer's
+//! reorderings move operators between nodes, and the verdict-invariance
+//! proptest in `tests/analyze.rs` holds analyzer *error* verdicts constant
+//! across optimization.
+
+use crate::cluster::ClusterSpec;
+use crate::logical::{LogicalPlan, NodeId, NodeOp};
+use crate::meteor::{self, MeteorError, ScriptInfo};
+use crate::optimizer::REMOVED_IDENTITY;
+use crate::packages::OperatorRegistry;
+use std::collections::{BTreeMap, BTreeSet};
+use websift_analyze::{sort_diagnostics, Diagnostic};
+
+/// Analyzer configuration.
+#[derive(Debug, Clone)]
+pub struct AnalyzeOptions {
+    /// Fields assumed present on every source record (the corpus reader's
+    /// schema); reads of these are never use-before-def.
+    pub source_fields: BTreeSet<String>,
+    /// When set, run the admission pre-flight (WS002 escalates to error,
+    /// WS007/WS008 fire) against this cluster at this DoP.
+    pub admission: Option<(ClusterSpec, usize)>,
+}
+
+impl Default for AnalyzeOptions {
+    fn default() -> AnalyzeOptions {
+        AnalyzeOptions {
+            source_fields: ["id", "corpus", "text", "url"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            admission: None,
+        }
+    }
+}
+
+impl AnalyzeOptions {
+    /// Enables the admission pre-flight against `cluster` at `dop`.
+    pub fn with_admission(mut self, cluster: ClusterSpec, dop: usize) -> AnalyzeOptions {
+        self.admission = Some((cluster, dop));
+        self
+    }
+}
+
+/// Runs all plan-level checks, returning diagnostics in canonical order.
+pub fn analyze_plan(plan: &LogicalPlan, opts: &AnalyzeOptions) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let contributing = contributing_nodes(plan);
+
+    check_field_availability(plan, opts, &mut diags);
+    check_library_conflicts(plan, opts, &mut diags);
+    check_dead_writes(plan, &mut diags);
+    check_duplicate_sinks(plan, &mut diags);
+    check_unreachable(plan, &contributing, &mut diags);
+    check_admission(plan, opts, &mut diags);
+
+    sort_diagnostics(&mut diags);
+    diags
+}
+
+/// Compiles `script` and analyzes the resulting plan, mapping node
+/// diagnostics back to 1-based script lines and appending WS005 for
+/// variables the script assigns but never uses.
+pub fn analyze_script(
+    script: &str,
+    registry: &OperatorRegistry,
+    opts: &AnalyzeOptions,
+) -> Result<Vec<Diagnostic>, MeteorError> {
+    let ScriptInfo { plan, node_lines, unused_vars } = meteor::compile_traced(script, registry)?;
+    let mut diags = analyze_plan(&plan, opts);
+    for d in &mut diags {
+        if let Some(node) = d.node {
+            if let Some(&line) = node_lines.get(node) {
+                if line > 0 {
+                    d.line = Some(line);
+                }
+            }
+        }
+    }
+    for (name, line) in unused_vars {
+        diags.push(
+            Diagnostic::warning("WS005", format!("variable ${name} is assigned but never used"))
+                .with_line(line),
+        );
+    }
+    sort_diagnostics(&mut diags);
+    Ok(diags)
+}
+
+/// Nodes on a path from a source to a sink (everything that affects some
+/// output).
+fn contributing_nodes(plan: &LogicalPlan) -> BTreeSet<NodeId> {
+    let mut live = BTreeSet::new();
+    // Parents have smaller ids, so one reverse sweep from the sinks
+    // closes the ancestor set.
+    for node in plan.nodes().iter().rev() {
+        if matches!(node.op, NodeOp::Sink(_)) || live.contains(&node.id) {
+            live.insert(node.id);
+            if let Some(parent) = node.input {
+                live.insert(parent);
+            }
+        }
+    }
+    live
+}
+
+/// WS001 / WS009: every operator's `reads` set must be available at its
+/// node — produced upstream or present on source records.
+fn check_field_availability(plan: &LogicalPlan, opts: &AnalyzeOptions, out: &mut Vec<Diagnostic>) {
+    // Field availability at each node = parent availability ∪ parent
+    // writes; sources start from the source schema.
+    let mut avail: Vec<BTreeSet<String>> = Vec::with_capacity(plan.len());
+    for node in plan.nodes() {
+        let set = match node.input {
+            None => opts.source_fields.clone(),
+            Some(parent) => {
+                let mut set = avail[parent].clone();
+                if let NodeOp::Op(op) = &plan.nodes()[parent].op {
+                    set.extend(op.writes.iter().cloned());
+                }
+                set
+            }
+        };
+        avail.push(set);
+    }
+
+    // All producers in the plan, for the nearest-producer suggestion:
+    // field -> first (smallest-id) operator writing it.
+    let mut producers: BTreeMap<&str, &str> = BTreeMap::new();
+    for node in plan.nodes() {
+        if let NodeOp::Op(op) = &node.op {
+            for field in &op.writes {
+                producers.entry(field.as_str()).or_insert(op.name.as_str());
+            }
+        }
+    }
+
+    for node in plan.nodes() {
+        let NodeOp::Op(op) = &node.op else { continue };
+        for field in &op.reads {
+            if avail[node.id].contains(field) {
+                continue;
+            }
+            match producers.get(field.as_str()) {
+                Some(producer) => out.push(
+                    Diagnostic::error(
+                        "WS001",
+                        format!(
+                            "operator '{}' reads field '{field}' before it is defined; \
+                             '{producer}' produces it — move that operator upstream",
+                            op.name
+                        ),
+                    )
+                    .with_node(node.id),
+                ),
+                None => out.push(
+                    Diagnostic::warning(
+                        "WS009",
+                        format!(
+                            "operator '{}' reads field '{field}' which nothing in the plan \
+                             produces and the source schema does not declare",
+                            op.name
+                        ),
+                    )
+                    .with_node(node.id),
+                ),
+            }
+        }
+    }
+}
+
+/// WS002: two operators demanding different major versions of the same
+/// library (the OpenNLP war story). Error when an admission context is
+/// present (the simulated class loader will refuse the flow); warning
+/// otherwise.
+fn check_library_conflicts(plan: &LogicalPlan, opts: &AnalyzeOptions, out: &mut Vec<Diagnostic>) {
+    let mut libs: BTreeMap<&str, BTreeSet<u32>> = BTreeMap::new();
+    let mut users: BTreeMap<(&str, u32), &str> = BTreeMap::new();
+    for node in plan.nodes() {
+        if let NodeOp::Op(op) = &node.op {
+            if let Some((name, version)) = &op.library {
+                libs.entry(name.as_str()).or_default().insert(*version);
+                users.entry((name.as_str(), *version)).or_insert(op.name.as_str());
+            }
+        }
+    }
+    for (lib, versions) in libs {
+        if versions.len() < 2 {
+            continue;
+        }
+        let listed: Vec<String> = versions
+            .iter()
+            .map(|v| format!("{v} ('{}')", users[&(lib, *v)]))
+            .collect();
+        let message = format!(
+            "conflicting major versions of library '{lib}' in one flow: {}; \
+             a single class loader cannot host both — split the flow or align versions",
+            listed.join(" vs ")
+        );
+        out.push(if opts.admission.is_some() {
+            Diagnostic::error("WS002", message)
+        } else {
+            Diagnostic::warning("WS002", message)
+        });
+    }
+}
+
+/// WS003: a written field that no path reads before it is overwritten or
+/// the branch ends without reaching any consumer. Sinks count as readers
+/// of everything (they serialize whole records).
+fn check_dead_writes(plan: &LogicalPlan, out: &mut Vec<Diagnostic>) {
+    for node in plan.nodes() {
+        let NodeOp::Op(op) = &node.op else { continue };
+        if op.name == REMOVED_IDENTITY {
+            continue;
+        }
+        for field in &op.writes {
+            if !write_is_live(plan, node.id, field) {
+                out.push(
+                    Diagnostic::warning(
+                        "WS003",
+                        format!(
+                            "operator '{}' writes field '{field}' but no downstream operator \
+                             or sink observes that value",
+                            op.name
+                        ),
+                    )
+                    .with_node(node.id),
+                );
+            }
+        }
+    }
+}
+
+/// Is the value `writer` leaves in `field` observed on any downstream
+/// path before being overwritten?
+fn write_is_live(plan: &LogicalPlan, writer: NodeId, field: &str) -> bool {
+    let mut stack = plan.children(writer);
+    while let Some(id) = stack.pop() {
+        match &plan.nodes()[id].op {
+            NodeOp::Sink(_) => return true,
+            NodeOp::Op(op) => {
+                if op.reads.iter().any(|f| f == field) {
+                    return true;
+                }
+                if op.writes.iter().any(|f| f == field) {
+                    continue; // overwritten on this path before any read
+                }
+                stack.extend(plan.children(id));
+            }
+            NodeOp::Source(_) => {}
+        }
+    }
+    false
+}
+
+/// WS004: duplicate sink names — `LogicalPlan::sink` rejects these at
+/// build time, but hand-mutated plans can still carry them.
+fn check_duplicate_sinks(plan: &LogicalPlan, out: &mut Vec<Diagnostic>) {
+    let mut seen: BTreeMap<&str, usize> = BTreeMap::new();
+    for node in plan.nodes() {
+        if let NodeOp::Sink(name) = &node.op {
+            if seen.insert(name.as_str(), node.id).is_some() {
+                out.push(
+                    Diagnostic::error(
+                        "WS004",
+                        format!("duplicate sink name '{name}': outputs would clobber each other"),
+                    )
+                    .with_node(node.id),
+                );
+            }
+        }
+    }
+}
+
+/// WS006: nodes that contribute to no sink. Identity nodes orphaned by
+/// the optimizer are expected and skipped.
+fn check_unreachable(
+    plan: &LogicalPlan,
+    contributing: &BTreeSet<NodeId>,
+    out: &mut Vec<Diagnostic>,
+) {
+    for node in plan.nodes() {
+        if contributing.contains(&node.id) {
+            continue;
+        }
+        let label = match &node.op {
+            NodeOp::Op(op) if op.name == REMOVED_IDENTITY => continue,
+            NodeOp::Op(op) => format!("operator '{}'", op.name),
+            NodeOp::Source(name) => format!("source '{name}'"),
+            NodeOp::Sink(name) => format!("sink '{name}'"),
+        };
+        out.push(
+            Diagnostic::warning("WS006", format!("{label} does not contribute to any sink"))
+                .with_node(node.id),
+        );
+    }
+}
+
+/// WS007 / WS008: the admission pre-flight, mirroring
+/// [`crate::cluster::admit`]'s arithmetic exactly so a plan flagged here
+/// is precisely a plan the scheduler would reject.
+fn check_admission(plan: &LogicalPlan, opts: &AnalyzeOptions, out: &mut Vec<Diagnostic>) {
+    let Some((cluster, dop)) = &opts.admission else { return };
+    let dop = *dop;
+
+    let cores = cluster.total_cores();
+    if dop > cores {
+        out.push(Diagnostic::error(
+            "WS008",
+            format!("requested DoP {dop} exceeds the cluster's {cores} total cores"),
+        ));
+    }
+
+    let memory_per_worker: u64 = plan.operators().map(|op| op.cost.memory_bytes).sum();
+    let workers_per_node = dop.div_ceil(cluster.nodes.len()).max(1);
+    let node_ram = cluster.nodes.iter().map(|n| n.ram_bytes).min().unwrap_or(0);
+    if memory_per_worker.saturating_mul(workers_per_node as u64) > node_ram {
+        let gb = |b: u64| b as f64 / (1u64 << 30) as f64;
+        out.push(Diagnostic::error(
+            "WS007",
+            format!(
+                "flow needs {:.1} GB per worker x {workers_per_node} workers/node but nodes \
+                 have {:.1} GB; reduce operator footprints, lower DoP, or split the flow",
+                gb(memory_per_worker),
+                gb(node_ram)
+            ),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::{CostModel, Operator, Package};
+    use websift_analyze::{has_errors, Severity};
+
+    fn op(name: &str, reads: &[&str], writes: &[&str]) -> Operator {
+        Operator::map(name, Package::Ie, |r| r)
+            .with_reads(reads)
+            .with_writes(writes)
+    }
+
+    fn codes(diags: &[Diagnostic]) -> Vec<&str> {
+        diags.iter().map(|d| d.code.as_str()).collect()
+    }
+
+    #[test]
+    fn clean_plan_has_no_diagnostics() {
+        let mut plan = LogicalPlan::new();
+        let src = plan.source("docs");
+        let s = plan.add(src, op("sentences", &["text"], &["sentences"])).unwrap();
+        let n = plan.add(s, op("negation", &["text", "sentences"], &["negation"])).unwrap();
+        plan.sink(n, "out").unwrap();
+        assert!(analyze_plan(&plan, &AnalyzeOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn use_before_def_names_the_producer() {
+        let mut plan = LogicalPlan::new();
+        let src = plan.source("docs");
+        let n = plan.add(src, op("negation", &["text", "sentences"], &["negation"])).unwrap();
+        let s = plan.add(n, op("sentences", &["text"], &["sentences"])).unwrap();
+        plan.sink(s, "out").unwrap();
+        let diags = analyze_plan(&plan, &AnalyzeOptions::default());
+        // both writes reach the sink (which observes everything), so no WS003
+        assert_eq!(codes(&diags), vec!["WS001"]);
+        assert_eq!(diags[0].severity, Severity::Error);
+        assert_eq!(diags[0].node, Some(1));
+        assert!(diags[0].message.contains("'sentences' produces it"), "{}", diags[0].message);
+    }
+
+    #[test]
+    fn unknown_field_is_a_warning_not_error() {
+        let mut plan = LogicalPlan::new();
+        let src = plan.source("docs");
+        let g = plan.add(src, op("ghost", &["no_such_field"], &[])).unwrap();
+        plan.sink(g, "out").unwrap();
+        let diags = analyze_plan(&plan, &AnalyzeOptions::default());
+        assert_eq!(codes(&diags), vec!["WS009"]);
+        assert!(!has_errors(&diags));
+    }
+
+    #[test]
+    fn library_conflict_severity_depends_on_admission_context() {
+        let mut plan = LogicalPlan::new();
+        let src = plan.source("docs");
+        let a = plan
+            .add(src, op("tokens", &["text"], &["tokens"]).with_library("opennlp", 15))
+            .unwrap();
+        let b = plan
+            .add(a, op("disease", &["text"], &["entities"]).with_library("opennlp", 14))
+            .unwrap();
+        plan.sink(b, "out").unwrap();
+
+        let local = analyze_plan(&plan, &AnalyzeOptions::default());
+        assert_eq!(codes(&local), vec!["WS002"]);
+        assert!(!has_errors(&local));
+
+        let opts = AnalyzeOptions::default().with_admission(ClusterSpec::paper_cluster(), 28);
+        let clustered = analyze_plan(&plan, &opts);
+        assert_eq!(codes(&clustered), vec!["WS002"]);
+        assert!(has_errors(&clustered));
+        assert!(clustered[0].message.contains("14 ('disease') vs 15 ('tokens')"));
+    }
+
+    #[test]
+    fn dead_write_detected_across_overwrite() {
+        let mut plan = LogicalPlan::new();
+        let src = plan.source("docs");
+        // `a` writes x, `b` overwrites x without reading it, sink sees b's x
+        let a = plan.add(src, op("a", &["text"], &["x"])).unwrap();
+        let b = plan.add(a, op("b", &["text"], &["x"])).unwrap();
+        plan.sink(b, "out").unwrap();
+        let diags = analyze_plan(&plan, &AnalyzeOptions::default());
+        assert_eq!(codes(&diags), vec!["WS003"]);
+        assert_eq!(diags[0].node, Some(1));
+    }
+
+    #[test]
+    fn branch_reads_keep_writes_live() {
+        let mut plan = LogicalPlan::new();
+        let src = plan.source("docs");
+        let a = plan.add(src, op("a", &["text"], &["x"])).unwrap();
+        // one branch overwrites x, the other reads it
+        let over = plan.add(a, op("over", &["text"], &["x"])).unwrap();
+        let read = plan.add(a, op("read", &["x"], &["y"])).unwrap();
+        plan.sink(over, "o1").unwrap();
+        plan.sink(read, "o2").unwrap();
+        let diags = analyze_plan(&plan, &AnalyzeOptions::default());
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn unreachable_and_duplicate_sinks_flagged() {
+        let mut plan = LogicalPlan::new();
+        let src = plan.source("docs");
+        let a = plan.add(src, op("a", &["text"], &[])).unwrap();
+        plan.add(src, op("orphan", &["text"], &[])).unwrap();
+        plan.sink(a, "out").unwrap();
+        let diags = analyze_plan(&plan, &AnalyzeOptions::default());
+        assert_eq!(codes(&diags), vec!["WS006"]);
+        assert!(diags[0].message.contains("'orphan'"));
+    }
+
+    #[test]
+    fn admission_preflight_matches_admit() {
+        use crate::cluster::admit;
+        let mut plan = LogicalPlan::new();
+        let src = plan.source("docs");
+        let mut prev = src;
+        for (i, gb) in [20u64, 20, 20].iter().enumerate() {
+            prev = plan
+                .add(
+                    prev,
+                    op(&format!("fat{i}"), &["text"], &[]).with_cost(CostModel {
+                        memory_bytes: gb << 30,
+                        ..CostModel::default()
+                    }),
+                )
+                .unwrap();
+        }
+        plan.sink(prev, "out").unwrap();
+
+        let cluster = ClusterSpec::paper_cluster();
+        let opts = AnalyzeOptions::default().with_admission(cluster.clone(), 28);
+        let diags = analyze_plan(&plan, &opts);
+        assert_eq!(codes(&diags), vec!["WS007"]);
+        // the analyzer and the runtime admission agree on the arithmetic
+        let err = admit(&plan, 28, &cluster).unwrap_err();
+        assert!(err.to_string().contains("60.0 GB"), "{err}");
+        assert!(diags[0].message.contains("60.0 GB per worker"));
+        assert!(diags[0].message.contains("24.0 GB"));
+
+        let opts = AnalyzeOptions::default().with_admission(cluster, 500);
+        let diags = analyze_plan(&plan, &opts);
+        assert_eq!(codes(&diags), vec!["WS007", "WS008"]);
+    }
+
+    #[test]
+    fn script_diagnostics_map_to_lines() {
+        let mut reg = OperatorRegistry::new();
+        reg.register("ie.sentences", || op("sentences", &["text"], &["sentences"]));
+        reg.register("ie.negation", || op("negation", &["text", "sentences"], &["negation"]));
+        let script = "\
+$pages = read 'crawl';
+$neg = apply ie.negation $pages;
+$sents = apply ie.sentences $neg;
+write $neg 'negation';
+write $sents 'sentences';";
+        let diags = analyze_script(script, &reg, &AnalyzeOptions::default()).unwrap();
+        assert_eq!(codes(&diags), vec!["WS001"]);
+        assert_eq!(diags[0].line, Some(2));
+        assert_eq!(diags[0].node, Some(1));
+    }
+
+    #[test]
+    fn script_unused_vars_become_ws005() {
+        let mut reg = OperatorRegistry::new();
+        reg.register("ie.sentences", || op("sentences", &["text"], &["sentences"]));
+        let script = "\
+$pages = read 'crawl';
+$dead = apply ie.sentences $pages;
+write $pages 'out';";
+        let diags = analyze_script(script, &reg, &AnalyzeOptions::default()).unwrap();
+        // $dead is unused, its node contributes to no sink, and its write
+        // (never reaching a sink) is dead — all mapped to script line 2
+        assert_eq!(codes(&diags), vec!["WS003", "WS006", "WS005"]);
+        assert!(diags.iter().all(|d| d.line == Some(2)), "{diags:?}");
+        assert!(diags[2].message.contains("$dead"));
+    }
+}

@@ -223,9 +223,9 @@ mod tests {
                 memory_bytes: gb << 30,
                 ..CostModel::default()
             });
-            prev = plan.add(prev, op);
+            prev = plan.add(prev, op).unwrap();
         }
-        plan.sink(prev, "out");
+        plan.sink(prev, "out").unwrap();
         plan
     }
 
@@ -279,15 +279,19 @@ mod tests {
     fn library_conflict_detected() {
         let mut plan = LogicalPlan::new();
         let src = plan.source("in");
-        let a = plan.add(
-            src,
-            Operator::map("tokenize", Package::Ie, |r| r).with_library("opennlp", 15),
-        );
-        let b = plan.add(
-            a,
-            Operator::map("disease-ml", Package::Ie, |r| r).with_library("opennlp", 14),
-        );
-        plan.sink(b, "out");
+        let a = plan
+            .add(
+                src,
+                Operator::map("tokenize", Package::Ie, |r| r).with_library("opennlp", 15),
+            )
+            .unwrap();
+        let b = plan
+            .add(
+                a,
+                Operator::map("disease-ml", Package::Ie, |r| r).with_library("opennlp", 14),
+            )
+            .unwrap();
+        plan.sink(b, "out").unwrap();
         let err = admit(&plan, 4, &ClusterSpec::paper_cluster()).unwrap_err();
         assert_eq!(
             err,

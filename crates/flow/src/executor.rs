@@ -29,8 +29,10 @@
 //! functions of the fault-plan seed, so a killed-and-resumed flow
 //! reproduces an uninterrupted run bit-for-bit (wall-clock fields aside).
 
+use crate::analyze::{analyze_plan, AnalyzeOptions};
 use crate::cluster::{admit, ClusterSpec, SchedulingError};
 use crate::logical::{LogicalPlan, NodeOp};
+use websift_analyze::{Diagnostic, Severity};
 use crate::operator::{Kind, OpFunc, Operator};
 use crate::record::Record;
 use crate::resilience::{FlowCheckpoint, FlowResilience};
@@ -72,6 +74,12 @@ pub struct ExecutionConfig {
     /// small local corpus stand in for the paper's 20 GB scalability
     /// sample. Does not affect real computation or results.
     pub work_scale: f64,
+    /// Run the static plan analyzer before executing; error-severity
+    /// diagnostics reject the plan as [`ExecutionError::PlanRejected`].
+    /// Set to false to reproduce the paper's fly-blind behaviour (the
+    /// warstory runtime path does, to reach the simulated scheduler's
+    /// runtime failure).
+    pub analyze: bool,
 }
 
 impl ExecutionConfig {
@@ -84,6 +92,7 @@ impl ExecutionConfig {
             byte_scale: 1.0,
             chunk_rounds: None,
             work_scale: 1.0,
+            analyze: true,
         }
     }
 }
@@ -190,6 +199,9 @@ impl Snapshot for FlowMetrics {
 #[derive(Debug, Clone, PartialEq)]
 pub enum ExecutionError {
     Scheduling(SchedulingError),
+    /// The static analyzer found error-severity diagnostics; the plan was
+    /// rejected before any operator ran.
+    PlanRejected { diagnostics: Vec<Diagnostic> },
     /// The network model declared timeout-induced failure.
     NetworkOverload {
         intermediate_bytes: u64,
@@ -214,6 +226,13 @@ impl std::fmt::Display for ExecutionError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ExecutionError::Scheduling(e) => write!(f, "scheduling failed: {e}"),
+            ExecutionError::PlanRejected { diagnostics } => {
+                write!(f, "plan rejected by static analysis:")?;
+                for d in diagnostics {
+                    write!(f, "\n  {d}")?;
+                }
+                Ok(())
+            }
             ExecutionError::NetworkOverload {
                 intermediate_bytes,
                 capacity_bytes,
@@ -390,6 +409,19 @@ impl Executor {
                 versions: vec![],
             })
         })?;
+        if self.config.analyze {
+            let mut opts = AnalyzeOptions::default();
+            if self.config.admission {
+                opts = opts.with_admission(self.config.cluster.clone(), self.config.dop);
+            }
+            let errors: Vec<Diagnostic> = analyze_plan(plan, &opts)
+                .into_iter()
+                .filter(|d| d.severity == Severity::Error)
+                .collect();
+            if !errors.is_empty() {
+                return Err(ExecutionError::PlanRejected { diagnostics: errors });
+            }
+        }
         if self.config.admission {
             admit(plan, self.config.dop, &self.config.cluster)
                 .map_err(ExecutionError::Scheduling)?;
@@ -447,6 +479,7 @@ impl Executor {
         res: &FlowResilience,
         obs: &Observer,
     ) -> Result<ResilientRun, ExecutionError> {
+        // lint:allow(wall_clock): wall_ms is runtime-only diagnostics, never checkpointed
         let started = Instant::now();
         let mut checkpoints = Vec::new();
 
@@ -724,6 +757,7 @@ impl Executor {
         res: &FlowResilience,
         retries: &mut u64,
     ) -> Result<OpMetrics, ExecutionError> {
+        // lint:allow(wall_clock): per-op wall_ms is runtime-only diagnostics
         let started = Instant::now();
         let bytes_in: u64 = input.iter().map(Record::approx_bytes).sum();
 
@@ -891,21 +925,25 @@ mod tests {
     fn simple_plan() -> LogicalPlan {
         let mut plan = LogicalPlan::new();
         let src = plan.source("in");
-        let upper = plan.add(
-            src,
-            Operator::map("upper", Package::Base, |mut r| {
-                let t = r.text().unwrap().to_uppercase();
-                r.set("text", t);
-                r
-            }),
-        );
-        let keep_even = plan.add(
-            upper,
-            Operator::filter("even", Package::Base, |r| {
-                r.get("id").unwrap().as_int().unwrap() % 2 == 0
-            }),
-        );
-        plan.sink(keep_even, "out");
+        let upper = plan
+            .add(
+                src,
+                Operator::map("upper", Package::Base, |mut r| {
+                    let t = r.text().unwrap().to_uppercase();
+                    r.set("text", t);
+                    r
+                }),
+            )
+            .unwrap();
+        let keep_even = plan
+            .add(
+                upper,
+                Operator::filter("even", Package::Base, |r| {
+                    r.get("id").unwrap().as_int().unwrap() % 2 == 0
+                }),
+            )
+            .unwrap();
+        plan.sink(keep_even, "out").unwrap();
         plan
     }
 
@@ -934,21 +972,25 @@ mod tests {
     fn branching_plan_feeds_both_sinks() {
         let mut plan = LogicalPlan::new();
         let src = plan.source("in");
-        let pre = plan.add(src, Operator::map("pre", Package::Base, |r| r));
-        let odd = plan.add(
-            pre,
-            Operator::filter("odd", Package::Base, |r| {
-                r.get("id").unwrap().as_int().unwrap() % 2 == 1
-            }),
-        );
-        let even = plan.add(
-            pre,
-            Operator::filter("even", Package::Base, |r| {
-                r.get("id").unwrap().as_int().unwrap() % 2 == 0
-            }),
-        );
-        plan.sink(odd, "odd");
-        plan.sink(even, "even");
+        let pre = plan.add(src, Operator::map("pre", Package::Base, |r| r)).unwrap();
+        let odd = plan
+            .add(
+                pre,
+                Operator::filter("odd", Package::Base, |r| {
+                    r.get("id").unwrap().as_int().unwrap() % 2 == 1
+                }),
+            )
+            .unwrap();
+        let even = plan
+            .add(
+                pre,
+                Operator::filter("even", Package::Base, |r| {
+                    r.get("id").unwrap().as_int().unwrap() % 2 == 0
+                }),
+            )
+            .unwrap();
+        plan.sink(odd, "odd").unwrap();
+        plan.sink(even, "even").unwrap();
         let out = run(&plan, docs(10), 4);
         assert_eq!(out.sinks["odd"].len(), 5);
         assert_eq!(out.sinks["even"].len(), 5);
@@ -958,20 +1000,22 @@ mod tests {
     fn reduce_counts_groups() {
         let mut plan = LogicalPlan::new();
         let src = plan.source("in");
-        let red = plan.add(
-            src,
-            Operator::reduce(
-                "count",
-                Package::Base,
-                |r| (r.get("id").unwrap().as_int().unwrap() % 3).to_string(),
-                |k, rs| {
-                    let mut r = Record::new();
-                    r.set("key", k).set("n", rs.len());
-                    vec![r]
-                },
-            ),
-        );
-        plan.sink(red, "out");
+        let red = plan
+            .add(
+                src,
+                Operator::reduce(
+                    "count",
+                    Package::Base,
+                    |r| (r.get("id").unwrap().as_int().unwrap() % 3).to_string(),
+                    |k, rs| {
+                        let mut r = Record::new();
+                        r.set("key", k).set("n", rs.len());
+                        vec![r]
+                    },
+                ),
+            )
+            .unwrap();
+        plan.sink(red, "out").unwrap();
         let out = run(&plan, docs(9), 4);
         assert_eq!(out.sinks["out"].len(), 3);
         for r in &out.sinks["out"] {
@@ -993,16 +1037,20 @@ mod tests {
     fn admission_failure_propagates() {
         let mut plan = LogicalPlan::new();
         let src = plan.source("in");
-        let fat = plan.add(
-            src,
-            Operator::map("fat", Package::Ie, |r| r).with_cost(CostModel {
-                memory_bytes: 100 << 30,
-                ..CostModel::default()
-            }),
-        );
-        plan.sink(fat, "out");
+        let fat = plan
+            .add(
+                src,
+                Operator::map("fat", Package::Ie, |r| r).with_cost(CostModel {
+                    memory_bytes: 100 << 30,
+                    ..CostModel::default()
+                }),
+            )
+            .unwrap();
+        plan.sink(fat, "out").unwrap();
+        // analyze: false reaches the runtime scheduler's own rejection
         let config = ExecutionConfig {
             admission: true,
+            analyze: false,
             cluster: ClusterSpec::paper_cluster(),
             ..ExecutionConfig::local(4)
         };
@@ -1016,18 +1064,87 @@ mod tests {
     }
 
     #[test]
+    fn analyzer_rejects_over_memory_plan_preflight() {
+        // same plan as admission_failure_propagates, but with the default
+        // analyze: true the static analyzer catches it before the
+        // scheduler — and before any operator runs
+        let mut plan = LogicalPlan::new();
+        let src = plan.source("in");
+        let fat = plan
+            .add(
+                src,
+                Operator::map("fat", Package::Ie, |r| r).with_cost(CostModel {
+                    memory_bytes: 100 << 30,
+                    ..CostModel::default()
+                }),
+            )
+            .unwrap();
+        plan.sink(fat, "out").unwrap();
+        let config = ExecutionConfig {
+            admission: true,
+            cluster: ClusterSpec::paper_cluster(),
+            ..ExecutionConfig::local(4)
+        };
+        // empty inputs: rejection must happen before the missing source
+        // could even be noticed
+        let err = Executor::new(config).run(&plan, HashMap::new()).unwrap_err();
+        match err {
+            ExecutionError::PlanRejected { diagnostics } => {
+                assert_eq!(diagnostics.len(), 1);
+                assert_eq!(diagnostics[0].code, "WS007");
+            }
+            other => panic!("expected PlanRejected, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn analyzer_rejects_use_before_def_preflight() {
+        let mut plan = LogicalPlan::new();
+        let src = plan.source("in");
+        let neg = plan
+            .add(
+                src,
+                Operator::map("negation", Package::Ie, |r| r)
+                    .with_reads(&["text", "sentences"])
+                    .with_writes(&["negation"]),
+            )
+            .unwrap();
+        let sents = plan
+            .add(
+                neg,
+                Operator::map("sentences", Package::Ie, |r| r)
+                    .with_reads(&["text"])
+                    .with_writes(&["sentences"]),
+            )
+            .unwrap();
+        plan.sink(sents, "out").unwrap();
+        let mut inputs = HashMap::new();
+        inputs.insert("in".to_string(), docs(3));
+        let err = Executor::new(ExecutionConfig::local(2)).run(&plan, inputs).unwrap_err();
+        match err {
+            ExecutionError::PlanRejected { diagnostics } => {
+                assert_eq!(diagnostics[0].code, "WS001");
+                assert!(diagnostics[0].message.contains("'sentences'"));
+            }
+            other => panic!("expected PlanRejected, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn simulated_time_decreases_with_dop_but_floors_at_startup() {
         let mut plan = LogicalPlan::new();
         let src = plan.source("in");
-        let heavy = plan.add(
-            src,
-            Operator::map("dict-tagger", Package::Ie, |r| r).with_cost(CostModel {
-                startup_secs: 1200.0,
-                us_per_char: 1000.0,
-                ..CostModel::default()
-            }),
-        );
-        plan.sink(heavy, "out");
+        let heavy = plan
+            .add(
+                src,
+                Operator::map("dict-tagger", Package::Ie, |r| r).with_cost(CostModel {
+                    startup_secs: 1200.0,
+                    us_per_char: 1000.0,
+                    ..CostModel::default()
+                }),
+            )
+            .unwrap();
+        plan.sink(heavy, "out").unwrap();
         let run_at = |dop: usize| {
             let mut inputs = HashMap::new();
             inputs.insert("in".to_string(), docs(64));
@@ -1047,14 +1164,16 @@ mod tests {
     fn network_overload_and_chunking_mitigation() {
         let mut plan = LogicalPlan::new();
         let src = plan.source("in");
-        let inflate = plan.add(
-            src,
-            Operator::map("annotate-everything", Package::Ie, |mut r| {
-                r.set("annotations", Value::Str("x".repeat(2000)));
-                r
-            }),
-        );
-        plan.sink(inflate, "out");
+        let inflate = plan
+            .add(
+                src,
+                Operator::map("annotate-everything", Package::Ie, |mut r| {
+                    r.set("annotations", Value::Str("x".repeat(2000)));
+                    r
+                }),
+            )
+            .unwrap();
+        plan.sink(inflate, "out").unwrap();
         let mut cluster = ClusterSpec::paper_cluster();
         cluster.network_overload_bytes = 50_000; // tiny threshold for the test
         let config = ExecutionConfig {

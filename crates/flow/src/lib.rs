@@ -20,9 +20,12 @@
 //!   paper-scale clock (the engine behind Figs. 4 and 5);
 //! - [`dfs`] — an HDFS-like replicated block store;
 //! - [`meteor`] — the declarative script front end;
+//! - [`analyze`] — static plan verification (use-before-def, library
+//!   conflicts, dead writes, admission pre-flight) run before execution;
 //! - [`resilience`] — fault-injection options, operator-granular
 //!   checkpoints, and the machinery behind [`Executor::resume_from`].
 
+pub mod analyze;
 pub mod cluster;
 pub mod dfs;
 pub mod executor;
@@ -34,14 +37,15 @@ pub mod packages;
 pub mod record;
 pub mod resilience;
 
+pub use analyze::{analyze_plan, analyze_script, AnalyzeOptions};
 pub use cluster::{admit, ClusterSpec, NodeSpec, Placement, SchedulingError};
 pub use dfs::{Dfs, DfsConfig, DfsError, DfsStats};
 pub use executor::{
     ExecutionConfig, ExecutionError, Executor, FlowMetrics, FlowOutput, OpMetrics, ResilientRun,
 };
 pub use resilience::{FlowCheckpoint, FlowResilience};
-pub use logical::{LogicalPlan, NodeId, NodeOp};
-pub use meteor::{compile, MeteorError};
+pub use logical::{LogicalPlan, NodeId, NodeOp, PlanError};
+pub use meteor::{compile, compile_traced, MeteorError, ScriptInfo};
 pub use operator::{CostModel, Kind, OpFunc, Operator, Package};
 pub use optimizer::{optimize, Rewrite};
 pub use packages::{IeConfig, IeResources, OperatorRegistry};

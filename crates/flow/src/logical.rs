@@ -11,6 +11,30 @@ use crate::operator::Operator;
 /// Node id within a plan.
 pub type NodeId = usize;
 
+/// Structural errors raised while building a plan. Plans are often built
+/// from untrusted Meteor scripts, so construction must not panic — these
+/// propagate through `meteor::compile` as line-mapped script errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// The referenced input node does not exist in the plan.
+    UnknownInput { node: NodeId, len: usize },
+    /// A sink with this output name already exists in the plan.
+    DuplicateSink { name: String },
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::UnknownInput { node, len } => {
+                write!(f, "unknown input node {node} (plan has {len} nodes)")
+            }
+            PlanError::DuplicateSink { name } => write!(f, "duplicate sink name '{name}'"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
 /// A plan node.
 #[derive(Debug, Clone)]
 pub enum NodeOp {
@@ -47,15 +71,27 @@ impl LogicalPlan {
     }
 
     /// Adds an operator node downstream of `input`.
-    pub fn add(&mut self, input: NodeId, op: Operator) -> NodeId {
-        assert!(input < self.nodes.len(), "unknown input node {input}");
-        self.push(NodeOp::Op(op), Some(input))
+    pub fn add(&mut self, input: NodeId, op: Operator) -> Result<NodeId, PlanError> {
+        self.check_input(input)?;
+        Ok(self.push(NodeOp::Op(op), Some(input)))
     }
 
-    /// Adds a sink writing `input`'s records to dataset `name`.
-    pub fn sink(&mut self, input: NodeId, name: &str) -> NodeId {
-        assert!(input < self.nodes.len(), "unknown input node {input}");
-        self.push(NodeOp::Sink(name.to_string()), Some(input))
+    /// Adds a sink writing `input`'s records to dataset `name`. Sink names
+    /// are output datasets, so duplicates are rejected.
+    pub fn sink(&mut self, input: NodeId, name: &str) -> Result<NodeId, PlanError> {
+        self.check_input(input)?;
+        if self.sinks().contains(&name) {
+            return Err(PlanError::DuplicateSink { name: name.to_string() });
+        }
+        Ok(self.push(NodeOp::Sink(name.to_string()), Some(input)))
+    }
+
+    fn check_input(&self, input: NodeId) -> Result<(), PlanError> {
+        if input < self.nodes.len() {
+            Ok(())
+        } else {
+            Err(PlanError::UnknownInput { node: input, len: self.nodes.len() })
+        }
     }
 
     fn push(&mut self, op: NodeOp, input: Option<NodeId>) -> NodeId {
@@ -171,9 +207,9 @@ mod tests {
     fn builds_linear_plan() {
         let mut plan = LogicalPlan::new();
         let src = plan.source("docs");
-        let a = plan.add(src, identity("a"));
-        let b = plan.add(a, identity("b"));
-        plan.sink(b, "out");
+        let a = plan.add(src, identity("a")).unwrap();
+        let b = plan.add(a, identity("b")).unwrap();
+        plan.sink(b, "out").unwrap();
         assert_eq!(plan.operator_count(), 2);
         assert_eq!(plan.sources(), vec!["docs"]);
         assert_eq!(plan.sinks(), vec!["out"]);
@@ -184,11 +220,11 @@ mod tests {
     fn builds_branching_plan() {
         let mut plan = LogicalPlan::new();
         let src = plan.source("docs");
-        let shared = plan.add(src, identity("preprocess"));
-        let l = plan.add(shared, identity("linguistic"));
-        let e = plan.add(shared, identity("entities"));
-        plan.sink(l, "ling");
-        plan.sink(e, "ents");
+        let shared = plan.add(src, identity("preprocess")).unwrap();
+        let l = plan.add(shared, identity("linguistic")).unwrap();
+        let e = plan.add(shared, identity("entities")).unwrap();
+        plan.sink(l, "ling").unwrap();
+        plan.sink(e, "ents").unwrap();
         assert_eq!(plan.children(shared).len(), 2);
         assert_eq!(plan.sinks().len(), 2);
         plan.validate().unwrap();
@@ -202,9 +238,23 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unknown input node")]
     fn add_rejects_unknown_input() {
         let mut plan = LogicalPlan::new();
-        plan.add(42, identity("x"));
+        assert_eq!(
+            plan.add(42, identity("x")),
+            Err(PlanError::UnknownInput { node: 42, len: 0 })
+        );
+        let err = plan.add(42, identity("x")).unwrap_err();
+        assert_eq!(err.to_string(), "unknown input node 42 (plan has 0 nodes)");
+    }
+
+    #[test]
+    fn sink_rejects_duplicate_names() {
+        let mut plan = LogicalPlan::new();
+        let src = plan.source("docs");
+        plan.sink(src, "out").unwrap();
+        let err = plan.sink(src, "out").unwrap_err();
+        assert_eq!(err, PlanError::DuplicateSink { name: "out".into() });
+        assert_eq!(err.to_string(), "duplicate sink name 'out'");
     }
 }

@@ -19,6 +19,11 @@
 use crate::logical::{LogicalPlan, NodeId, NodeOp};
 use crate::operator::Kind;
 
+/// Name given to identity nodes spliced out by rule 3. They stay in the
+/// node vector (orphaned) so node ids remain stable; the executor and the
+/// static analyzer both skip nodes with this name.
+pub const REMOVED_IDENTITY: &str = "removed-identity";
+
 /// A record of one applied rewrite.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Rewrite {
@@ -149,7 +154,7 @@ fn remove_identities(plan: &mut LogicalPlan, rewrites: &mut Vec<Rewrite>) -> boo
     // Orphan the identity node; execution skips unreachable nodes.
     plan.nodes_mut()[id].input = Some(parent);
     plan.nodes_mut()[id].op = NodeOp::Op(crate::operator::Operator::map(
-        "removed-identity",
+        REMOVED_IDENTITY,
         crate::operator::Package::Base,
         |r| r,
     ));
@@ -193,9 +198,9 @@ mod tests {
     fn filter_pulled_past_disjoint_map() {
         let mut plan = LogicalPlan::new();
         let src = plan.source("in");
-        let m = plan.add(src, expensive_map());
-        let f = plan.add(m, cheap_filter("len-filter", "text"));
-        plan.sink(f, "out");
+        let m = plan.add(src, expensive_map()).unwrap();
+        let f = plan.add(m, cheap_filter("len-filter", "text")).unwrap();
+        plan.sink(f, "out").unwrap();
         let rewrites = optimize(&mut plan);
         assert!(matches!(rewrites[0], Rewrite::FilterPulledForward { .. }));
         assert_eq!(op_names(&plan), vec!["len-filter", "annotate"]);
@@ -206,9 +211,9 @@ mod tests {
     fn filter_not_pulled_past_dependent_map() {
         let mut plan = LogicalPlan::new();
         let src = plan.source("in");
-        let m = plan.add(src, expensive_map());
-        let f = plan.add(m, cheap_filter("pos-filter", "pos")); // reads what map writes
-        plan.sink(f, "out");
+        let m = plan.add(src, expensive_map()).unwrap();
+        let f = plan.add(m, cheap_filter("pos-filter", "pos")).unwrap(); // reads what map writes
+        plan.sink(f, "out").unwrap();
         let rewrites = optimize(&mut plan);
         assert!(rewrites.is_empty());
         assert_eq!(op_names(&plan), vec!["annotate", "pos-filter"]);
@@ -218,11 +223,11 @@ mod tests {
     fn filter_not_pulled_when_map_has_other_consumers() {
         let mut plan = LogicalPlan::new();
         let src = plan.source("in");
-        let m = plan.add(src, expensive_map());
-        let f = plan.add(m, cheap_filter("len-filter", "text"));
-        let other = plan.add(m, cheap_filter("other", "pos"));
-        plan.sink(f, "a");
-        plan.sink(other, "b");
+        let m = plan.add(src, expensive_map()).unwrap();
+        let f = plan.add(m, cheap_filter("len-filter", "text")).unwrap();
+        let other = plan.add(m, cheap_filter("other", "pos")).unwrap();
+        plan.sink(f, "a").unwrap();
+        plan.sink(other, "b").unwrap();
         let rewrites = optimize(&mut plan);
         assert!(!rewrites
             .iter()
@@ -235,9 +240,9 @@ mod tests {
         expensive_filter.cost.us_per_char = 5.0;
         let mut plan = LogicalPlan::new();
         let src = plan.source("in");
-        let a = plan.add(src, expensive_filter);
-        let b = plan.add(a, cheap_filter("cheap", "text"));
-        plan.sink(b, "out");
+        let a = plan.add(src, expensive_filter).unwrap();
+        let b = plan.add(a, cheap_filter("cheap", "text")).unwrap();
+        plan.sink(b, "out").unwrap();
         let rewrites = optimize(&mut plan);
         assert!(rewrites
             .iter()
@@ -249,9 +254,9 @@ mod tests {
     fn identity_removed_and_plan_still_executes() {
         let mut plan = LogicalPlan::new();
         let src = plan.source("in");
-        let i = plan.add(src, Operator::map("identity", Package::Base, |r| r));
-        let f = plan.add(i, cheap_filter("keep-all", "text"));
-        plan.sink(f, "out");
+        let i = plan.add(src, Operator::map("identity", Package::Base, |r| r)).unwrap();
+        let f = plan.add(i, cheap_filter("keep-all", "text")).unwrap();
+        plan.sink(f, "out").unwrap();
         let rewrites = optimize(&mut plan);
         assert!(rewrites
             .iter()

@@ -1,0 +1,189 @@
+//! Static-analyzer integration tests (satellite 3):
+//!
+//! 1. golden-file tests — the three §4.2 failure modes (use-before-def,
+//!    OpenNLP version conflict, over-memory admission) produce exactly the
+//!    committed diagnostics JSON, byte for byte;
+//! 2. a property test — logical optimization never changes the analyzer's
+//!    *error* verdict: the set of (code, message) error pairs is identical
+//!    before and after `optimize`, across randomly generated chain plans.
+
+use proptest::prelude::*;
+use websift_analyze::{diagnostics_to_json, Severity};
+use websift_flow::packages::ie;
+use websift_flow::{
+    analyze_plan, analyze_script, optimize, AnalyzeOptions, ClusterSpec, CostModel, LogicalPlan,
+    Operator, OperatorRegistry, Package,
+};
+
+fn ie_registry() -> OperatorRegistry {
+    let mut reg = OperatorRegistry::new();
+    reg.register("ie.annotate_sentences", ie::annotate_sentences);
+    reg.register("ie.annotate_negation", ie::annotate_negation);
+    reg
+}
+
+/// §4.2 failure 1: an annotator applied before the annotation it reads
+/// exists. `ie.annotate_negation` consumes sentence spans, but the script
+/// runs it before `ie.annotate_sentences`.
+const USE_BEFORE_DEF: &str = "\
+$pages = read 'crawl';
+$neg = apply ie.annotate_negation $pages;
+$sents = apply ie.annotate_sentences $neg;
+write $neg 'negation';
+write $sents 'sentences';";
+
+#[test]
+fn golden_use_before_def() {
+    let diags = analyze_script(USE_BEFORE_DEF, &ie_registry(), &AnalyzeOptions::default())
+        .expect("script parses");
+    assert_eq!(
+        diagnostics_to_json(&diags),
+        include_str!("golden/use_before_def.json").trim_end(),
+    );
+    assert_eq!(diags[0].line, Some(2), "mapped to the offending script line");
+}
+
+/// §4.2 failure 2: the OpenNLP war story — a v1.5 annotator and a v1.4
+/// ML entity tagger in one flow, which a single class loader cannot host.
+fn version_conflict_plan() -> LogicalPlan {
+    let mut plan = LogicalPlan::new();
+    let src = plan.source("crawl");
+    let sents = plan.add(src, ie::annotate_sentences()).expect("static plan");
+    let disease = plan
+        .add(
+            sents,
+            Operator::map("ie.annotate_entities_ml[disease]", Package::Ie, |r| r)
+                .with_reads(&["text", "sentences"])
+                .with_writes(&["entities"])
+                .with_library("opennlp", 14),
+        )
+        .expect("static plan");
+    plan.sink(disease, "entities").expect("static plan");
+    plan
+}
+
+#[test]
+fn golden_version_conflict() {
+    let opts = AnalyzeOptions::default().with_admission(ClusterSpec::paper_cluster(), 28);
+    let diags = analyze_plan(&version_conflict_plan(), &opts);
+    assert_eq!(
+        diagnostics_to_json(&diags),
+        include_str!("golden/version_conflict.json").trim_end(),
+    );
+    assert!(diags.iter().any(|d| d.severity == Severity::Error));
+}
+
+/// §4.2 failure 3: a flow whose per-worker footprint can never fit the
+/// paper cluster's 24 GB nodes at DoP 28.
+fn over_memory_plan() -> LogicalPlan {
+    let mut plan = LogicalPlan::new();
+    let src = plan.source("crawl");
+    let mut prev = src;
+    for (i, gb) in [20u64, 20, 20].iter().enumerate() {
+        prev = plan
+            .add(
+                prev,
+                Operator::map(&format!("ie.fat_model_{i}"), Package::Ie, |r| r)
+                    .with_reads(&["text"])
+                    .with_writes(&[&format!("fat{i}")])
+                    .with_cost(CostModel {
+                        memory_bytes: gb << 30,
+                        ..CostModel::default()
+                    }),
+            )
+            .expect("static plan");
+    }
+    plan.sink(prev, "out").expect("static plan");
+    plan
+}
+
+#[test]
+fn golden_over_memory() {
+    let opts = AnalyzeOptions::default().with_admission(ClusterSpec::paper_cluster(), 28);
+    let diags = analyze_plan(&over_memory_plan(), &opts);
+    assert_eq!(
+        diagnostics_to_json(&diags),
+        include_str!("golden/over_memory.json").trim_end(),
+    );
+}
+
+// ---------------------------------------------------------------------
+// Verdict invariance under optimization
+// ---------------------------------------------------------------------
+
+/// A pool of operators exercising every optimizer rule: cheap/expensive
+/// filters (reorder), disjoint and dependent filter/map pairs (pull
+/// forward), identities (elimination), conflicting libraries, overwrites.
+fn pool_op(idx: usize) -> Operator {
+    let filter = |name: &str, reads: &[&str], us: f64| {
+        Operator::filter(name, Package::Base, |_| true)
+            .with_reads(reads)
+            .with_cost(CostModel { us_per_char: us, ..CostModel::default() })
+    };
+    match idx {
+        0 => filter("cheap-len", &["text"], 0.001),
+        1 => filter("costly-regex", &["text"], 5.0),
+        2 => ie::annotate_sentences(),
+        3 => Operator::map("negation", Package::Ie, |r| r)
+            .with_reads(&["text", "sentences"])
+            .with_writes(&["negation"]),
+        4 => filter("has-sentences", &["sentences"], 0.01),
+        5 => Operator::map("identity", Package::Base, |r| r),
+        6 => Operator::map("disease-ml", Package::Ie, |r| r)
+            .with_reads(&["text"])
+            .with_writes(&["entities"])
+            .with_library("opennlp", 14),
+        7 => Operator::map("stage-a", Package::Ie, |r| r)
+            .with_reads(&["text"])
+            .with_writes(&["x"]),
+        _ => Operator::map("stage-b", Package::Ie, |r| r)
+            .with_reads(&["text"])
+            .with_writes(&["x"]),
+    }
+}
+
+fn chain_plan(indices: &[usize]) -> LogicalPlan {
+    let mut plan = LogicalPlan::new();
+    let mut prev = plan.source("docs");
+    for &i in indices {
+        prev = plan.add(prev, pool_op(i)).expect("chain plan");
+    }
+    plan.sink(prev, "out").expect("chain plan");
+    plan
+}
+
+/// The analyzer's error verdict: sorted (code, message) pairs. Warnings
+/// are advisory and may legitimately shift with plan shape; errors decide
+/// whether a flow runs and must not depend on operator placement noise.
+fn error_verdict(plan: &LogicalPlan, opts: &AnalyzeOptions) -> Vec<(String, String)> {
+    let mut verdict: Vec<(String, String)> = analyze_plan(plan, opts)
+        .into_iter()
+        .filter(|d| d.severity == Severity::Error)
+        .map(|d| (d.code, d.message))
+        .collect();
+    verdict.sort();
+    verdict
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn optimizer_never_changes_error_verdict(
+        indices in prop::collection::vec(0usize..9, 1..8),
+    ) {
+        let opts = AnalyzeOptions::default()
+            .with_admission(ClusterSpec::paper_cluster(), 28);
+        let mut plan = chain_plan(&indices);
+        let before = error_verdict(&plan, &opts);
+        let rewrites = optimize(&mut plan);
+        let after = error_verdict(&plan, &opts);
+        prop_assert_eq!(
+            before,
+            after,
+            "verdict changed for chain {:?} after rewrites {:?}",
+            indices,
+            rewrites
+        );
+    }
+}

@@ -393,6 +393,7 @@ enum Metric {
 /// The registry proper: name + labels → metric handle.
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {
+    // lint:allow(hash_iteration): snapshot() sorts by (name, labels) before export
     inner: Mutex<HashMap<(String, Labels), Metric>>,
 }
 

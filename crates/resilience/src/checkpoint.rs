@@ -150,6 +150,7 @@ impl<T: Snapshot + Default + Copy, const N: usize> Snapshot for [T; N] {
     }
 }
 
+// lint:allow(hash_iteration): entries are sorted by key before encoding
 impl<K, V> Snapshot for HashMap<K, V>
 where
     K: Snapshot + Ord + Hash + Eq,
@@ -166,8 +167,10 @@ where
         }
     }
 
+    // lint:allow(hash_iteration): decode only inserts; nothing iterates here
     fn decode(r: &mut Reader<'_>) -> Result<HashMap<K, V>, CodecError> {
         let len = r.usize()?;
+        // lint:allow(hash_iteration): decode only inserts; nothing iterates here
         let mut out = HashMap::with_capacity(len.min(r.remaining()));
         for _ in 0..len {
             let k = K::decode(r)?;
@@ -178,6 +181,7 @@ where
     }
 }
 
+// lint:allow(hash_iteration): items are sorted before encoding
 impl<T> Snapshot for HashSet<T>
 where
     T: Snapshot + Ord + Hash + Eq,
@@ -191,8 +195,10 @@ where
         }
     }
 
+    // lint:allow(hash_iteration): decode only inserts; nothing iterates here
     fn decode(r: &mut Reader<'_>) -> Result<HashSet<T>, CodecError> {
         let len = r.usize()?;
+        // lint:allow(hash_iteration): decode only inserts; nothing iterates here
         let mut out = HashSet::with_capacity(len.min(r.remaining()));
         for _ in 0..len {
             out.insert(T::decode(r)?);

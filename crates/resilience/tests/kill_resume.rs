@@ -97,14 +97,16 @@ fn flow_plan() -> LogicalPlan {
             r.set("len", n);
             r
         }),
-    );
+    )
+    .expect("static plan");
     let keep = plan.add(
         tag,
         Operator::filter("keep", websift_flow::Package::Base, |r| {
             r.get("len").and_then(|v| v.as_int()).unwrap_or(0) % 3 != 0
         }),
-    );
-    plan.sink(keep, "out");
+    )
+    .expect("static plan");
+    plan.sink(keep, "out").expect("static plan");
     plan
 }
 

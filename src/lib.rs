@@ -27,7 +27,11 @@
 //!   logical-clock tracing with JSONL export, cost profiler with
 //!   folded-stack (flamegraph) output;
 //! - [`stats`] — statistics used throughout (Mann-Whitney U,
-//!   Jensen-Shannon divergence, evaluation metrics, samplers).
+//!   Jensen-Shannon divergence, evaluation metrics, samplers);
+//! - [`analyze`] — the static-analysis diagnostics core (structured
+//!   diagnostics, deterministic JSON export) and the workspace
+//!   determinism lints behind `repo_lint`; the plan analyzer itself is
+//!   [`flow::analyze`].
 //!
 //! ## Quick start
 //!
@@ -42,6 +46,7 @@
 //! assert_eq!(report.documents, 10);
 //! ```
 
+pub use websift_analyze as analyze;
 pub use websift_corpus as corpus;
 pub use websift_crawler as crawler;
 pub use websift_flow as flow;
