@@ -43,3 +43,9 @@ if ! echo "$analyze_a" | grep -q 'WS001'; then
   exit 1
 fi
 echo "exp_analyze smoke: deterministic diagnostics ok"
+
+# Fusion throughput smoke: the fused executor must not regress wall-clock
+# records/sec against its own unfused mode (--check exits non-zero below
+# a 0.95x fused/unfused ratio at the acceptance DoP).
+cargo run -q --release -p websift-bench --bin exp_throughput -- --quick --check
+echo "exp_throughput smoke: fused throughput holds up ok"

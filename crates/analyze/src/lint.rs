@@ -15,7 +15,11 @@
 //!   encoding";
 //! - **`untrusted_unwrap`** — no `.unwrap()` / `.expect(` in the modules
 //!   that parse untrusted input ([`UNTRUSTED_INPUT_FILES`]): a panic on a
-//!   malformed script or page is a bug, not an error path.
+//!   malformed script or page is a bug, not an error path;
+//! - **`nondet_parallelism`** — every read of the host's core count
+//!   (`available_parallelism`) must justify inline why the value can only
+//!   size physical thread pools and never reaches simulated seconds, byte
+//!   accounting, or any checkpoint/JSONL/digest bytes.
 //!
 //! The escape hatch is an inline comment on the flagged line or the line
 //! directly above it:
@@ -52,10 +56,13 @@ impl std::fmt::Display for LintFinding {
 pub const RULE_WALL_CLOCK: &str = "wall_clock";
 pub const RULE_HASH_ITERATION: &str = "hash_iteration";
 pub const RULE_UNTRUSTED_UNWRAP: &str = "untrusted_unwrap";
+pub const RULE_NONDET_PARALLELISM: &str = "nondet_parallelism";
 
 const WALL_CLOCK_PATTERNS: &[&str] = &[concat!("Instant", "::now"), concat!("System", "Time")];
 const HASH_PATTERNS: &[&str] = &[concat!("Hash", "Map"), concat!("Hash", "Set")];
 const UNWRAP_PATTERNS: &[&str] = &[concat!(".unwrap", "()"), concat!(".expect", "(")];
+const PARALLELISM_PATTERNS: &[&str] =
+    &[concat!("available_", "parallelism"), concat!("num_", "cpus")];
 
 /// Files allowed to contain wall-clock calls, each with the justification
 /// for why real time is acceptable there. Every occurrence inside these
@@ -74,6 +81,10 @@ pub const WALL_CLOCK_ALLOWLIST: &[(&str, &str)] = &[
     (
         "crates/bench/src/experiments/recovery_exps.rs",
         "recovery experiments report real re-execution wall time",
+    ),
+    (
+        "crates/bench/src/experiments/throughput_exps.rs",
+        "the throughput harness exists to measure real wall-clock records/sec",
     ),
 ];
 
@@ -183,6 +194,20 @@ pub fn lint_file(rel: &str, content: &str) -> Vec<LintFinding> {
                         .to_string(),
                 });
             }
+        }
+        // nondet_parallelism also applies everywhere: a core-count read in
+        // test code can silently make a "deterministic" assertion
+        // machine-dependent.
+        if PARALLELISM_PATTERNS.iter().any(|p| line.contains(p)) {
+            check(
+                &mut findings,
+                i,
+                RULE_NONDET_PARALLELISM,
+                "host core-count read: justify that the value only sizes physical thread \
+                 pools and never reaches simulated output with \
+                 `// lint:allow(nondet_parallelism): <reason>`"
+                    .to_string(),
+            );
         }
         if i >= test_start {
             continue; // remaining rules skip `#[cfg(test)]` code
@@ -342,5 +367,38 @@ mod tests {
     #[test]
     fn allowlist_entries_are_justified() {
         allowlist_is_justified().unwrap();
+    }
+
+    #[test]
+    fn parallelism_read_needs_justified_inline_allow() {
+        let read = format!(
+            "let n = std::thread::{}{}().map(usize::from).unwrap_or(8);\n",
+            "available_", "parallelism"
+        );
+        let findings = lint_file("crates/flow/src/executor.rs", &read);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, RULE_NONDET_PARALLELISM);
+        assert!(findings[0].message.contains("core-count"));
+
+        let justified = format!(
+            "// lint:allow(nondet_parallelism): physical worker cap only\n{read}"
+        );
+        assert!(lint_file("crates/flow/src/executor.rs", &justified).is_empty());
+
+        let unjustified = format!("// lint:allow(nondet_parallelism)\n{read}");
+        let findings = lint_file("crates/flow/src/executor.rs", &unjustified);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("justification"));
+    }
+
+    #[test]
+    fn parallelism_rule_covers_test_code_too() {
+        let body = format!(
+            "#[cfg(test)]\nmod tests {{\n    fn n() -> usize {{ {}{}().into() }}\n}}\n",
+            "num_", "cpus"
+        );
+        let findings = lint_file("crates/flow/src/lib.rs", &body);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, RULE_NONDET_PARALLELISM);
     }
 }

@@ -9,6 +9,7 @@
 //! `BENCH_RESULTS.json` so the perf trajectory is machine-readable.
 use websift_bench::experiments::{
     analyze_exps, content_exps, crawl_exps, profile_exps, recovery_exps, scaling_exps,
+    throughput_exps,
 };
 use websift_bench::report::results_to_json;
 use websift_bench::ExperimentResult;
@@ -31,20 +32,20 @@ fn main() {
     };
 
     let lexicon = Lexicon::generate(LexiconScale::default_scale());
-    eprintln!("[1/18] Table 1");
+    eprintln!("[1/19] Table 1");
     out(crawl_exps::table1(&lexicon));
 
     let web = crawl_exps::standard_web();
-    eprintln!("[2/18] crawl experiments");
+    eprintln!("[2/19] crawl experiments");
     for r in crawl_exps::crawl(&web, &lexicon, 40_000) {
         out(r);
     }
-    eprintln!("[3/18] classifier quality");
+    eprintln!("[3/19] classifier quality");
     out(crawl_exps::classifier(&web));
-    eprintln!("[4/18] boilerplate quality");
+    eprintln!("[4/19] boilerplate quality");
     out(crawl_exps::boilerplate(&web));
 
-    eprintln!("[5/18] Table 2 (PageRank)");
+    eprintln!("[5/19] Table 2 (PageRank)");
     let queries: Vec<String> = lexicon
         .search_terms(SearchCategory::General, 30)
         .into_iter()
@@ -62,45 +63,45 @@ fn main() {
     let _ = crawler.crawl(seeds.urls.clone());
     out(crawl_exps::table2(&mut crawler, 30));
 
-    eprintln!("[6/18] §5 trade-off");
+    eprintln!("[6/19] §5 trade-off");
     out(crawl_exps::tradeoff(&web, &seeds.urls, 2_500));
 
     let ctx = ExperimentContext::standard(42);
-    eprintln!("[7/18] Fig 3");
+    eprintln!("[7/19] Fig 3");
     for r in scaling_exps::fig3(&ctx) {
         out(r);
     }
-    eprintln!("[8/18] runtime shares");
+    eprintln!("[8/19] runtime shares");
     out(scaling_exps::runtime_shares(&ctx));
-    eprintln!("[9/18] cost decomposition (profiler)");
+    eprintln!("[9/19] cost decomposition (profiler)");
     out(profile_exps::cost_decomposition(&ctx, 40).result);
-    eprintln!("[10/18] Fig 4");
+    eprintln!("[10/19] Fig 4");
     out(scaling_exps::fig4(&ctx));
-    eprintln!("[11/18] Fig 5");
+    eprintln!("[11/19] Fig 5");
     out(scaling_exps::fig5(&ctx));
-    eprintln!("[12/18] war story");
+    eprintln!("[12/19] war story");
     out(scaling_exps::warstory(&ctx));
-    eprintln!("[13/18] static analysis pre-flight");
+    eprintln!("[13/19] static analysis pre-flight");
     out(analyze_exps::known_bad());
 
-    eprintln!("[14/18] Table 3");
+    eprintln!("[14/19] Table 3");
     out(content_exps::table3(&ctx));
-    eprintln!("[15/18] running analysis flows over all corpora");
+    eprintln!("[15/19] running analysis flows over all corpora");
     let results = content_exps::run_all_corpora(&ctx, 8);
     for r in content_exps::fig6(&results) {
         out(r);
     }
-    eprintln!("[16/18] Fig 7 / Table 4");
+    eprintln!("[16/19] Fig 7 / Table 4");
     out(content_exps::fig7(&results));
     for r in content_exps::table4(&results) {
         out(r);
     }
-    eprintln!("[17/18] Fig 8 / JSD");
+    eprintln!("[17/19] Fig 8 / JSD");
     for r in content_exps::fig8(&results) {
         out(r);
     }
 
-    eprintln!("[18/18] fault injection + recovery");
+    eprintln!("[18/19] fault injection + recovery");
     let default_hook = std::panic::take_hook();
     std::panic::set_hook(Box::new(move |info| {
         let injected = info
@@ -115,6 +116,19 @@ fn main() {
         out(r);
     }
     out(recovery_exps::flow_recovery());
+
+    eprintln!("[19/19] wall-clock throughput (fused vs unfused vs pre-fusion)");
+    let throughput = throughput_exps::throughput(480);
+    let throughput_json = throughput_exps::throughput_json(&throughput);
+    out(throughput.result.clone());
+    match std::fs::write("BENCH_THROUGHPUT.json", throughput_json + "\n") {
+        Ok(()) => eprintln!(
+            "wrote BENCH_THROUGHPUT.json (fused {:.2}x pre-fusion baseline at DoP {})",
+            throughput.fused_vs_baseline,
+            throughput_exps::ACCEPTANCE_DOP
+        ),
+        Err(e) => eprintln!("could not write BENCH_THROUGHPUT.json: {e}"),
+    }
 
     match std::fs::write("BENCH_RESULTS.json", results_to_json(&collected) + "\n") {
         Ok(()) => eprintln!("wrote BENCH_RESULTS.json ({} results)", collected.len()),

@@ -167,6 +167,7 @@ fn run_simulated(
         chunk_rounds: None,
         work_scale,
         analyze: true,
+        ..ExecutionConfig::local(dop)
     };
     let mut inputs = HashMap::new();
     inputs.insert("docs".to_string(), records);
@@ -316,6 +317,7 @@ pub fn warstory(ctx: &ExperimentContext) -> ExperimentResult {
         chunk_rounds: None,
         work_scale: 1.0,
         analyze: false,
+        ..ExecutionConfig::local(28)
     };
     match Executor::new(blind).run(&full, HashMap::new()) {
         Err(ExecutionError::Scheduling(e)) => result.row(&[
@@ -383,6 +385,7 @@ pub fn warstory(ctx: &ExperimentContext) -> ExperimentResult {
         chunk_rounds: None,
         work_scale: 1.0,
         analyze: true,
+        ..ExecutionConfig::local(28)
     };
     let mut inputs = HashMap::new();
     inputs.insert("docs".to_string(), records.clone());
@@ -413,6 +416,7 @@ pub fn warstory(ctx: &ExperimentContext) -> ExperimentResult {
         chunk_rounds: Some(32), // "chunks of 50 GB"
         work_scale: 1.0,
         analyze: true,
+        ..ExecutionConfig::local(28)
     };
     let mut inputs = HashMap::new();
     inputs.insert("docs".to_string(), records);

@@ -34,6 +34,7 @@ use crate::cluster::{admit, ClusterSpec, SchedulingError};
 use crate::logical::{LogicalPlan, NodeOp};
 use websift_analyze::{Diagnostic, Severity};
 use crate::operator::{Kind, OpFunc, Operator};
+use crate::optimizer::fusable_chain_len;
 use crate::record::Record;
 use crate::resilience::{FlowCheckpoint, FlowResilience};
 use serde::Serialize;
@@ -41,7 +42,10 @@ use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 use websift_observe::{Labels, Observer, RegistrySnapshot};
-use websift_resilience::{CodecError, FaultKind, FaultPlan, Reader, Snapshot, Writer};
+use websift_resilience::{CodecError, FaultKind, Reader, Snapshot, Writer};
+
+#[cfg(test)]
+use websift_resilience::FaultPlan;
 
 /// Simulated seconds charged per partition re-launch (task setup on the
 /// rescheduled worker).
@@ -80,6 +84,28 @@ pub struct ExecutionConfig {
     /// warstory runtime path does, to reach the simulated scheduler's
     /// runtime failure).
     pub analyze: bool,
+    /// Fuse maximal single-consumer Map/FlatMap/Filter chains into one
+    /// physical pass: one thread scope, one chunk queue, records moved by
+    /// value from stage to stage. Fusion is physical only — every
+    /// constituent operator is still charged and observed separately, so
+    /// simulated numbers, metrics, traces, and checkpoint bytes are
+    /// identical with fusion on or off.
+    pub fusion: bool,
+    /// Cap on real worker threads per partitioned pass (the effective
+    /// count is `min(dop_eff, chunks, max_workers)`). Physical only:
+    /// worker count must never leak into simulated numbers (see
+    /// `worker_count_never_affects_deterministic_outputs`).
+    pub max_workers: usize,
+}
+
+/// Default physical worker cap: the machine's available parallelism.
+/// This is deliberately the only place real hardware parallelism enters
+/// the executor, and it only ever throttles wall-clock execution.
+fn default_max_workers() -> usize {
+    // lint:allow(nondet_parallelism): physical worker cap only — never feeds simulated numbers
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(8)
 }
 
 impl ExecutionConfig {
@@ -93,6 +119,8 @@ impl ExecutionConfig {
             chunk_rounds: None,
             work_scale: 1.0,
             analyze: true,
+            fusion: true,
+            max_workers: default_max_workers(),
         }
     }
 }
@@ -582,113 +610,24 @@ impl Executor {
                     state.outputs[node.id] = Some(Vec::new());
                 }
                 NodeOp::Op(op) => {
-                    // Simulated node losses: dead nodes drop out of the
-                    // placement and their share of work is rescheduled
-                    // onto the survivors (slower, but correct).
-                    if let Some(fault_plan) = &res.faults {
-                        for j in 0..state.node_alive.len() {
-                            if state.node_alive[j]
-                                && fault_plan.injects_at(
-                                    FaultKind::NodeLoss,
-                                    &format!("node{j}"),
-                                    node.id as u64,
-                                )
-                            {
-                                state.node_alive[j] = false;
-                                state.metrics.nodes_lost.push(j);
-                                state.metrics.simulated_secs += NODE_LOSS_RESCHEDULE_SECS;
-                                // the replacement placement re-runs the
-                                // operator's startup on the survivors
-                                state.metrics.simulated_secs += op.cost.startup_secs;
-                            }
-                        }
-                        if !state.node_alive.iter().any(|&a| a) {
-                            let node_id = state.metrics.nodes_lost.last().copied().unwrap_or(0);
-                            return Err(ExecutionError::Scheduling(SchedulingError::NodeFailed {
-                                node: node_id,
-                            }));
-                        }
-                    }
-                    let alive = state.node_alive.iter().filter(|&&a| a).count();
-                    let total = state.node_alive.len().max(1);
-                    let dop_eff = (self.config.dop * alive / total).max(1);
-
-                    let mut retries: u64 = 0;
-                    let op_metrics = self.run_operator(
-                        op,
-                        &input,
-                        &mut state.outputs[node.id],
-                        dop_eff,
-                        res,
-                        &mut retries,
-                    )?;
-                    state.metrics.partition_retries += retries;
-                    state.metrics.simulated_secs += retries as f64 * PARTITION_RETRY_SECS;
-                    // startup is charged once per distinct operator name
-                    // (workers start it in parallel; it floors the clock),
-                    // plus the cost of shipping the operator's resident
-                    // data (dictionaries, models) to every worker over the
-                    // shared switch — the term that makes heavy flows
-                    // scale sub-linearly in DoP (Figs. 4/5)
-                    if state.startup_charged.insert(op.name.clone()) {
-                        let ship_bytes =
-                            op.cost.memory_bytes.saturating_mul(self.config.dop as u64);
-                        let startup_secs =
-                            op.cost.startup_secs + self.config.cluster.network_secs(ship_bytes);
-                        state.metrics.simulated_secs += startup_secs;
-                        obs.profiler().record(
-                            &["flow", &format!("op:{}", op.name), "startup"],
-                            startup_secs,
-                            ship_bytes,
-                        );
-                    }
-                    state.metrics.simulated_secs += op_metrics.simulated_secs;
-                    obs.profiler().record(
-                        &["flow", &format!("op:{}", op.name), "work"],
-                        op_metrics.simulated_secs,
-                        op_metrics.bytes_in,
-                    );
-                    // shuffle accounting for reduce
-                    if op.kind == Kind::Reduce {
-                        let scaled = (op_metrics.bytes_in as f64 * self.config.byte_scale) as u64;
-                        state.metrics.network_bytes += scaled;
-                        state.metrics.peak_intermediate_bytes =
-                            state.metrics.peak_intermediate_bytes.max(scaled);
-                        state.metrics.simulated_secs += self.config.cluster.network_secs(scaled);
-                    }
-                    let scaled_out = (op_metrics.bytes_out as f64 * self.config.byte_scale) as u64;
-                    state.metrics.peak_intermediate_bytes =
-                        state.metrics.peak_intermediate_bytes.max(scaled_out);
-
-                    // write the raw numbers through registry handles, then
-                    // derive the public OpMetrics view back *from* the
-                    // registry — the struct stays, the registry is the
-                    // source of truth
-                    let node_id = node.id.to_string();
-                    let labels = Labels::new(&[("node", &node_id), ("op", &op.name)]);
-                    let reg = obs.registry();
-                    reg.counter("flow.records_in", &labels).add(op_metrics.records_in);
-                    reg.counter("flow.records_out", &labels).add(op_metrics.records_out);
-                    reg.counter("flow.bytes_in", &labels).add(op_metrics.bytes_in);
-                    reg.counter("flow.bytes_out", &labels).add(op_metrics.bytes_out);
-                    reg.histogram("flow.op_secs", &Labels::new(&[("op", &op.name)]))
-                        .record(op_metrics.simulated_secs);
-                    let view = OpMetrics {
-                        name: op.name.clone(),
-                        records_in: reg.counter("flow.records_in", &labels).value(),
-                        records_out: reg.counter("flow.records_out", &labels).value(),
-                        bytes_in: reg.counter("flow.bytes_in", &labels).value(),
-                        bytes_out: reg.counter("flow.bytes_out", &labels).value(),
-                        wall_ms: op_metrics.wall_ms,
-                        simulated_secs: op_metrics.simulated_secs,
+                    // Collapse the maximal fusable chain starting here
+                    // into one physical pass; checkpoint and stop-after
+                    // boundaries must stay observable between nodes, so
+                    // they act as fusion barriers. With fusion off the
+                    // chain has length 1 and this is plain node-at-a-time
+                    // execution through the same code path.
+                    let chain_len = if self.config.fusion && op.is_pipelineable() {
+                        let every = res.checkpoint_every_nodes.filter(|&e| e > 0);
+                        let stop = res.stop_after_nodes;
+                        fusable_chain_len(plan, node.id, |id| {
+                            every.is_some_and(|e| id.is_multiple_of(e))
+                                || stop.is_some_and(|s| id >= s)
+                        })
+                    } else {
+                        1
                     };
-                    obs.tracer().span(
-                        "flow.op",
-                        node_t0,
-                        state.metrics.simulated_secs - node_t0,
-                        labels,
-                    );
-                    state.metrics.per_op.push(view);
+                    self.run_chain(plan, node.id, chain_len, input, &mut state, res, obs)?;
+                    state.next_node += chain_len - 1;
                 }
             }
 
@@ -745,133 +684,392 @@ impl Executor {
         })
     }
 
-    /// Runs one operator data-parallel over `dop_eff` partitions.
-    /// Panicked partitions (injected or real) are re-queued up to
-    /// `res.partition_retries` times before the operator fails.
-    fn run_operator(
+    /// Executes the chain of operator nodes `first .. first + len` as one
+    /// physical pass, then replays the cost model per constituent in
+    /// node-id order.
+    ///
+    /// The physical dataflow and the simulated accounting are
+    /// deliberately decoupled. Records move **by value** stage to stage
+    /// inside a single thread scope (no per-record clones), while each
+    /// stage tallies per-record simulated costs (in record order) and
+    /// incremental byte counts. The replay then walks the constituents in
+    /// order and reproduces exactly what unfused node-at-a-time execution
+    /// would have charged and observed: node losses, injected partition
+    /// retries, startup, per-partition work (re-partitioned with each
+    /// constituent's own `dop_eff` and cardinality, summed left-to-right
+    /// per partition so the f64 accumulation order is identical), reduce
+    /// shuffles, registry counters, profiler scopes, and tracer spans.
+    /// Chain shape therefore never changes a deterministic number.
+    #[allow(clippy::too_many_lines, clippy::too_many_arguments)]
+    fn run_chain(
         &self,
-        op: &Operator,
-        input: &[Record],
-        out_slot: &mut Option<Vec<Record>>,
-        dop_eff: usize,
+        plan: &LogicalPlan,
+        first: usize,
+        len: usize,
+        input: Vec<Record>,
+        state: &mut ExecState,
         res: &FlowResilience,
-        retries: &mut u64,
-    ) -> Result<OpMetrics, ExecutionError> {
-        // lint:allow(wall_clock): per-op wall_ms is runtime-only diagnostics
-        let started = Instant::now();
-        let bytes_in: u64 = input.iter().map(Record::approx_bytes).sum();
+        obs: &Observer,
+    ) -> Result<(), ExecutionError> {
+        let ops: Vec<&Operator> = (first..first + len)
+            .map(|id| match &plan.nodes()[id].op {
+                NodeOp::Op(op) => op,
+                _ => unreachable!("chain nodes are operator nodes"),
+            })
+            .collect();
 
-        let (result, max_partition_secs) = match op.func() {
-            OpFunc::Reduce { key, aggregate } => {
-                // group sequentially (hash shuffle), aggregate groups in parallel
-                let mut groups: HashMap<String, Vec<Record>> = HashMap::new();
-                for r in input {
-                    groups.entry(key(r)).or_default().push(r.clone());
-                }
-                let mut grouped: Vec<(String, Vec<Record>)> = groups.into_iter().collect();
-                grouped.sort_by(|a, b| a.0.cmp(&b.0));
-                let mut out = Vec::new();
-                let mut work_secs = 0.0f64;
-                for (k, rs) in grouped {
-                    for r in &rs {
-                        work_secs += self.config.work_scale
-                            * op.cost.record_cost_secs(r.text().map(str::len).unwrap_or(64));
+        // Phase 1 — schedule: node losses and effective DoP per
+        // constituent are pure functions of the fault plan and node ids,
+        // so they are decided up front (on a scratch liveness vector; the
+        // replay applies them to real state in order). If a constituent
+        // loses every node, later stages never run physically either.
+        struct StageSched {
+            losses: Vec<usize>,
+            all_nodes_dead: bool,
+            dop_eff: usize,
+        }
+        let mut alive = state.node_alive.clone();
+        let mut scheds: Vec<StageSched> = Vec::with_capacity(len);
+        let mut physical_stages = len;
+        for s in 0..len {
+            let node_id = first + s;
+            let mut losses = Vec::new();
+            if let Some(fault_plan) = &res.faults {
+                for (j, a) in alive.iter_mut().enumerate() {
+                    if *a
+                        && fault_plan.injects_at(
+                            FaultKind::NodeLoss,
+                            &format!("node{j}"),
+                            node_id as u64,
+                        )
+                    {
+                        *a = false;
+                        losses.push(j);
                     }
-                    out.extend(aggregate(&k, rs));
                 }
-                (out, work_secs / dop_eff as f64)
             }
-            _ => {
-                // partition into dop_eff contiguous chunks, process in
-                // parallel; a panicking chunk is retried on another worker
-                let chunk_size = input.len().div_ceil(dop_eff).max(1);
-                let chunks: Vec<&[Record]> = input.chunks(chunk_size).collect();
-                let worker_count = dop_eff.min(chunks.len()).clamp(1, 32);
-                let queue: parking_lot::Mutex<Vec<(usize, u32)>> =
-                    parking_lot::Mutex::new((0..chunks.len()).map(|i| (i, 0)).rev().collect());
-                let results: Vec<parking_lot::Mutex<(Vec<Record>, f64)>> = (0..chunks.len())
-                    .map(|_| parking_lot::Mutex::new((Vec::new(), 0.0)))
-                    .collect();
-                let retry_count = parking_lot::Mutex::new(0u64);
-                let fatal: parking_lot::Mutex<Option<(usize, u32)>> = parking_lot::Mutex::new(None);
+            let all_nodes_dead = !alive.iter().any(|&a| a);
+            let n_alive = alive.iter().filter(|&&a| a).count();
+            let total = alive.len().max(1);
+            let dop_eff = (self.config.dop * n_alive / total).max(1);
+            scheds.push(StageSched { losses, all_nodes_dead, dop_eff });
+            if all_nodes_dead {
+                physical_stages = s;
+                break;
+            }
+        }
 
-                std::thread::scope(|scope| {
-                    for _ in 0..worker_count {
-                        scope.spawn(|| loop {
-                            if fatal.lock().is_some() {
-                                break;
-                            }
-                            let Some((i, attempt)) = queue.lock().pop() else {
-                                break;
-                            };
-                            let outcome = catch_unwind(AssertUnwindSafe(|| {
-                                maybe_panic(res.faults.as_ref(), op, i, attempt);
-                                let mut out = Vec::with_capacity(chunks[i].len());
-                                let mut secs = 0.0f64;
-                                for r in chunks[i] {
-                                    secs += self.config.work_scale
-                                        * op.cost
-                                            .record_cost_secs(r.text().map(str::len).unwrap_or(64));
+        // Per-stage observations from the physical pass, merged across
+        // chunks in chunk order (pipeline stages preserve record order,
+        // so concatenated per-chunk tallies reproduce the record order an
+        // unfused run would have seen).
+        #[derive(Default)]
+        struct StageStats {
+            costs: Vec<f64>,
+            records_in: u64,
+            bytes_in: u64,
+            wall_ms: f64,
+        }
+        let mut stats: Vec<StageStats> = (0..physical_stages).map(|_| StageStats::default()).collect();
+        let mut output: Vec<Record> = Vec::new();
+        let mut final_bytes_out: u64 = 0;
+        let mut reduce_work: f64 = 0.0;
+
+        let is_reduce = len == 1 && ops[0].kind == Kind::Reduce;
+        if is_reduce && physical_stages == 1 {
+            // Hash shuffle: group by draining the owned input (no
+            // per-record clone), aggregate groups in key order.
+            let OpFunc::Reduce { key, aggregate } = ops[0].func() else {
+                unreachable!("reduce operator carries a reduce func")
+            };
+            // lint:allow(wall_clock): per-op wall_ms is runtime-only diagnostics
+            let started = Instant::now();
+            let st = &mut stats[0];
+            st.records_in = input.len() as u64;
+            let mut groups: HashMap<String, Vec<Record>> = HashMap::new();
+            for r in input {
+                st.bytes_in += r.approx_bytes();
+                groups.entry(key(&r)).or_default().push(r);
+            }
+            let mut grouped: Vec<(String, Vec<Record>)> = groups.into_iter().collect();
+            grouped.sort_by(|a, b| a.0.cmp(&b.0));
+            let mut work_secs = 0.0f64;
+            for (k, rs) in grouped {
+                for r in &rs {
+                    work_secs += self.config.work_scale
+                        * ops[0].cost.record_cost_secs(r.text().map(str::len).unwrap_or(64));
+                }
+                output.extend(aggregate(&k, rs));
+            }
+            reduce_work = work_secs / scheds[0].dop_eff as f64;
+            final_bytes_out = output.iter().map(Record::approx_bytes).sum();
+            st.wall_ms = started.elapsed().as_secs_f64() * 1000.0;
+        } else if physical_stages > 0 {
+            // Phase 2 — the fused pass: partition the owned input into
+            // contiguous chunks (same boundaries the unfused first stage
+            // would use) and push each chunk through every stage inside
+            // one thread scope, records moved by value throughout.
+            let chunk_size = input.len().div_ceil(scheds[0].dop_eff).max(1);
+            let mut pending: Vec<Vec<Record>> = Vec::with_capacity(input.len() / chunk_size + 1);
+            let mut rest = input;
+            while rest.len() > chunk_size {
+                let tail = rest.split_off(chunk_size);
+                pending.push(rest);
+                rest = tail;
+            }
+            if !rest.is_empty() {
+                pending.push(rest);
+            }
+            let n_chunks = pending.len();
+            struct ChunkResult {
+                stages: Vec<StageStats>,
+                out: Vec<Record>,
+                bytes_out: u64,
+            }
+            let slots: Vec<parking_lot::Mutex<Option<Vec<Record>>>> =
+                pending.into_iter().map(|c| parking_lot::Mutex::new(Some(c))).collect();
+            let results: Vec<parking_lot::Mutex<Option<ChunkResult>>> =
+                (0..n_chunks).map(|_| parking_lot::Mutex::new(None)).collect();
+            let queue: parking_lot::Mutex<Vec<usize>> =
+                parking_lot::Mutex::new((0..n_chunks).rev().collect());
+            // (stage, chunk) of a genuine UDF panic — injected panics are
+            // accounted analytically in the replay and never fire here
+            let fatal: parking_lot::Mutex<Option<(usize, usize)>> = parking_lot::Mutex::new(None);
+            let worker_count = scheds[0]
+                .dop_eff
+                .min(n_chunks)
+                .min(self.config.max_workers)
+                .max(1);
+            let stage_ops = &ops[..physical_stages];
+
+            std::thread::scope(|scope| {
+                for _ in 0..worker_count {
+                    scope.spawn(|| loop {
+                        if fatal.lock().is_some() {
+                            break;
+                        }
+                        let Some(i) = queue.lock().pop() else { break };
+                        let chunk = slots[i].lock().take().expect("each chunk is taken once");
+                        let stage_at = std::cell::Cell::new(0usize);
+                        let outcome = catch_unwind(AssertUnwindSafe(|| {
+                            let mut stages = Vec::with_capacity(stage_ops.len());
+                            let mut cur = chunk;
+                            for (s, op) in stage_ops.iter().enumerate() {
+                                stage_at.set(s);
+                                // lint:allow(wall_clock): per-op wall_ms is runtime-only diagnostics
+                                let t0 = Instant::now();
+                                let mut tally = StageStats {
+                                    costs: Vec::with_capacity(cur.len()),
+                                    ..StageStats::default()
+                                };
+                                let mut next = Vec::with_capacity(cur.len());
+                                for r in cur {
+                                    tally.bytes_in += r.approx_bytes();
+                                    tally.costs.push(
+                                        self.config.work_scale
+                                            * op.cost.record_cost_secs(
+                                                r.text().map(str::len).unwrap_or(64),
+                                            ),
+                                    );
                                     match op.func() {
-                                        OpFunc::Map(f) => out.push(f(r.clone())),
-                                        OpFunc::FlatMap(f) => out.extend(f(r.clone())),
+                                        OpFunc::Map(f) => next.push(f(r)),
+                                        OpFunc::FlatMap(f) => next.extend(f(r)),
                                         OpFunc::Filter(f) => {
-                                            if f(r) {
-                                                out.push(r.clone());
+                                            if f(&r) {
+                                                next.push(r);
                                             }
                                         }
-                                        OpFunc::Reduce { .. } => unreachable!(),
+                                        OpFunc::Reduce { .. } => {
+                                            unreachable!("reduce is never part of a chain")
+                                        }
                                     }
                                 }
-                                (out, secs)
-                            }));
-                            match outcome {
-                                Ok(chunk_result) => *results[i].lock() = chunk_result,
-                                Err(_) => {
-                                    if attempt < res.partition_retries {
-                                        *retry_count.lock() += 1;
-                                        queue.lock().push((i, attempt + 1));
-                                    } else {
-                                        *fatal.lock() = Some((i, attempt));
-                                    }
-                                }
+                                tally.records_in = tally.costs.len() as u64;
+                                tally.wall_ms = t0.elapsed().as_secs_f64() * 1000.0;
+                                stages.push(tally);
+                                cur = next;
                             }
-                        });
-                    }
-                });
-
-                if let Some((partition, attempt)) = fatal.into_inner() {
-                    return Err(ExecutionError::OperatorPanicked {
-                        operator: op.name.clone(),
-                        partition,
-                        attempts: attempt + 1,
+                            let bytes_out = cur.iter().map(Record::approx_bytes).sum();
+                            ChunkResult { stages, out: cur, bytes_out }
+                        }));
+                        match outcome {
+                            Ok(r) => *results[i].lock() = Some(r),
+                            Err(_) => *fatal.lock() = Some((stage_at.get(), i)),
+                        }
                     });
                 }
-                *retries += retry_count.into_inner();
+            });
 
-                let mut out = Vec::with_capacity(input.len());
+            if let Some((stage, chunk)) = fatal.into_inner() {
+                // A genuine (non-injected) UDF panic is a deterministic
+                // programming bug: every retry would fail identically, so
+                // the exhausted budget is reported directly. The flow
+                // aborts and nothing from this chain is committed.
+                return Err(ExecutionError::OperatorPanicked {
+                    operator: ops[stage].name.clone(),
+                    partition: chunk,
+                    attempts: res.partition_retries + 1,
+                });
+            }
+            for slot in results {
+                let r = slot.into_inner().expect("every chunk completed");
+                for (s, t) in r.stages.into_iter().enumerate() {
+                    stats[s].records_in += t.records_in;
+                    stats[s].bytes_in += t.bytes_in;
+                    stats[s].wall_ms += t.wall_ms;
+                    stats[s].costs.extend(t.costs);
+                }
+                final_bytes_out += r.bytes_out;
+                output.extend(r.out);
+            }
+        }
+
+        // Phase 3 — replay: charge and observe every constituent in node
+        // order, exactly as the unfused drive loop would have.
+        for (s, sched) in scheds.iter().enumerate() {
+            let op = ops[s];
+            let node_t0 = state.metrics.simulated_secs;
+            // Simulated node losses: dead nodes drop out of the placement
+            // and their share of work is rescheduled onto the survivors
+            // (slower, but correct). The replacement placement re-runs
+            // the operator's startup on the survivors.
+            for &j in &sched.losses {
+                state.node_alive[j] = false;
+                state.metrics.nodes_lost.push(j);
+                state.metrics.simulated_secs += NODE_LOSS_RESCHEDULE_SECS;
+                state.metrics.simulated_secs += op.cost.startup_secs;
+            }
+            if sched.all_nodes_dead {
+                let node_id = state.metrics.nodes_lost.last().copied().unwrap_or(0);
+                return Err(ExecutionError::Scheduling(SchedulingError::NodeFailed {
+                    node: node_id,
+                }));
+            }
+            let records_in = stats[s].records_in;
+            let records_out = match stats.get(s + 1) {
+                Some(next) => next.records_in,
+                None => output.len() as u64,
+            };
+            let bytes_in = stats[s].bytes_in;
+            let bytes_out = match stats.get(s + 1) {
+                Some(next) => next.bytes_in,
+                None => final_bytes_out,
+            };
+            // Injected worker panics, replayed per partition of *this*
+            // constituent's own chunking (cardinality × dop_eff), with
+            // the retry-queue semantics of physical re-execution: each
+            // injected panic burns one attempt until the budget is gone.
+            let n = records_in as usize;
+            let stage_chunk_size = n.div_ceil(sched.dop_eff).max(1);
+            let stage_chunks = if n == 0 { 0 } else { n.div_ceil(stage_chunk_size) };
+            let mut retries: u64 = 0;
+            if op.kind != Kind::Reduce {
+                if let Some(fault_plan) = &res.faults {
+                    for p in 0..stage_chunks {
+                        let key = format!("{}#p{p}", op.name);
+                        let mut attempt: u32 = 0;
+                        while fault_plan.injects_at(FaultKind::WorkerPanic, &key, attempt as u64) {
+                            if attempt < res.partition_retries {
+                                retries += 1;
+                                attempt += 1;
+                            } else {
+                                return Err(ExecutionError::OperatorPanicked {
+                                    operator: op.name.clone(),
+                                    partition: p,
+                                    attempts: attempt + 1,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+            state.metrics.partition_retries += retries;
+            state.metrics.simulated_secs += retries as f64 * PARTITION_RETRY_SECS;
+            // startup is charged once per distinct operator name (workers
+            // start it in parallel; it floors the clock), plus the cost
+            // of shipping the operator's resident data (dictionaries,
+            // models) to every worker over the shared switch — the term
+            // that makes heavy flows scale sub-linearly in DoP (Figs. 4/5)
+            if state.startup_charged.insert(op.name.clone()) {
+                let ship_bytes = op.cost.memory_bytes.saturating_mul(self.config.dop as u64);
+                let startup_secs =
+                    op.cost.startup_secs + self.config.cluster.network_secs(ship_bytes);
+                state.metrics.simulated_secs += startup_secs;
+                obs.profiler().record(
+                    &["flow", &format!("op:{}", op.name), "startup"],
+                    startup_secs,
+                    ship_bytes,
+                );
+            }
+            // per-partition work: max over this constituent's partitions
+            // of the left-to-right sum of per-record costs
+            let work = if op.kind == Kind::Reduce {
+                reduce_work
+            } else {
                 let mut max_secs = 0.0f64;
-                for m in results {
-                    let (chunk_out, secs) = m.into_inner();
-                    out.extend(chunk_out);
+                for chunk in stats[s].costs.chunks(stage_chunk_size) {
+                    let mut secs = 0.0f64;
+                    for c in chunk {
+                        secs += *c;
+                    }
                     max_secs = max_secs.max(secs);
                 }
-                (out, max_secs)
+                max_secs
+            };
+            state.metrics.simulated_secs += work;
+            obs.profiler()
+                .record(&["flow", &format!("op:{}", op.name), "work"], work, bytes_in);
+            // shuffle accounting for reduce
+            if op.kind == Kind::Reduce {
+                let scaled = (bytes_in as f64 * self.config.byte_scale) as u64;
+                state.metrics.network_bytes += scaled;
+                state.metrics.peak_intermediate_bytes =
+                    state.metrics.peak_intermediate_bytes.max(scaled);
+                state.metrics.simulated_secs += self.config.cluster.network_secs(scaled);
             }
-        };
+            let scaled_out = (bytes_out as f64 * self.config.byte_scale) as u64;
+            state.metrics.peak_intermediate_bytes =
+                state.metrics.peak_intermediate_bytes.max(scaled_out);
 
-        let bytes_out: u64 = result.iter().map(Record::approx_bytes).sum();
-        let metrics = OpMetrics {
-            name: op.name.clone(),
-            records_in: input.len() as u64,
-            records_out: result.len() as u64,
-            bytes_in,
-            bytes_out,
-            wall_ms: started.elapsed().as_secs_f64() * 1000.0,
-            simulated_secs: max_partition_secs,
-        };
-        *out_slot = Some(result);
-        Ok(metrics)
+            // write the raw numbers through registry handles, then derive
+            // the public OpMetrics view back *from* the registry — the
+            // struct stays, the registry is the source of truth
+            let node_id = (first + s).to_string();
+            let labels = Labels::new(&[("node", &node_id), ("op", &op.name)]);
+            let reg = obs.registry();
+            reg.counter("flow.records_in", &labels).add(records_in);
+            reg.counter("flow.records_out", &labels).add(records_out);
+            reg.counter("flow.bytes_in", &labels).add(bytes_in);
+            reg.counter("flow.bytes_out", &labels).add(bytes_out);
+            reg.histogram("flow.op_secs", &Labels::new(&[("op", &op.name)]))
+                .record(work);
+            let view = OpMetrics {
+                name: op.name.clone(),
+                records_in: reg.counter("flow.records_in", &labels).value(),
+                records_out: reg.counter("flow.records_out", &labels).value(),
+                bytes_in: reg.counter("flow.bytes_in", &labels).value(),
+                bytes_out: reg.counter("flow.bytes_out", &labels).value(),
+                wall_ms: stats[s].wall_ms,
+                simulated_secs: work,
+            };
+            obs.tracer().span(
+                "flow.op",
+                node_t0,
+                state.metrics.simulated_secs - node_t0,
+                labels,
+            );
+            state.metrics.per_op.push(view);
+        }
+
+        // Interior chain edges were consumed inside the pass: after an
+        // unfused run each interior node's single consumer would have
+        // taken its output, leaving `None` and zero consumers — reproduce
+        // that state so checkpoints at the chain boundary match.
+        for id in first..first + len - 1 {
+            state.consumers_left[id] = 0;
+        }
+        state.outputs[first + len - 1] = Some(output);
+        Ok(())
     }
 }
 
@@ -888,22 +1086,6 @@ fn mirror_flow_gauges(obs: &Observer, m: &FlowMetrics) {
     reg.gauge("flow.partition_retries", &at).set(m.partition_retries as f64);
     reg.gauge("flow.store_read_retries", &at).set(m.store_read_retries as f64);
     reg.gauge("flow.checkpoints_taken", &at).set(m.checkpoints_taken as f64);
-}
-
-/// Injected worker panic: pure in (operator, partition, attempt).
-fn maybe_panic(faults: Option<&FaultPlan>, op: &Operator, partition: usize, attempt: u32) {
-    if let Some(plan) = faults {
-        if plan.injects_at(
-            FaultKind::WorkerPanic,
-            &format!("{}#p{partition}", op.name),
-            attempt as u64,
-        ) {
-            panic!(
-                "injected fault: worker panic in operator '{}' partition {partition}",
-                op.name
-            );
-        }
-    }
 }
 
 #[cfg(test)]
@@ -1168,7 +1350,7 @@ mod tests {
             .add(
                 src,
                 Operator::map("annotate-everything", Package::Ie, |mut r| {
-                    r.set("annotations", Value::Str("x".repeat(2000)));
+                    r.set("annotations", Value::from("x".repeat(2000)));
                     r
                 }),
             )
@@ -1432,6 +1614,143 @@ mod tests {
             .run_observed(&plan, inputs, &continue_res, &full_obs)
             .unwrap();
         assert_eq!(resumed_obs.registry().snapshot(), full_obs.registry().snapshot());
+    }
+
+    /// Runs `plan` under `config` with faults from `res`, returning the
+    /// output plus the full observable surface (tracer JSONL + registry).
+    fn observed_run(
+        plan: &LogicalPlan,
+        input: Vec<Record>,
+        config: ExecutionConfig,
+        res: &FlowResilience,
+    ) -> (FlowOutput, String, websift_observe::RegistrySnapshot) {
+        let obs = Observer::new();
+        let mut inputs = HashMap::new();
+        inputs.insert("in".to_string(), input);
+        let out = Executor::new(config)
+            .run_observed(plan, inputs, res, &obs)
+            .unwrap()
+            .output
+            .unwrap();
+        (out, obs.tracer().to_jsonl(), obs.registry().snapshot())
+    }
+
+    fn chain_heavy_plan() -> LogicalPlan {
+        // map -> flatmap -> filter -> map: a fusable run with cardinality
+        // growth and drops in the middle
+        let mut plan = LogicalPlan::new();
+        let src = plan.source("in");
+        let a = plan
+            .add(
+                src,
+                Operator::map("stamp", Package::Base, |mut r| {
+                    let id = r.get("id").unwrap().as_int().unwrap();
+                    r.set("stamp", id * 3);
+                    r
+                }),
+            )
+            .unwrap();
+        let b = plan
+            .add(
+                a,
+                Operator::flat_map("split", Package::Base, |r| {
+                    let mut copy = r.clone();
+                    copy.set("half", 1i64);
+                    vec![r, copy]
+                }),
+            )
+            .unwrap();
+        let c = plan
+            .add(
+                b,
+                Operator::filter("trim", Package::Base, |r| {
+                    r.get("id").unwrap().as_int().unwrap() % 3 != 1
+                }),
+            )
+            .unwrap();
+        let d = plan
+            .add(
+                c,
+                Operator::map("upper", Package::Base, |mut r| {
+                    let t = r.text().unwrap().to_uppercase();
+                    r.set("text", t);
+                    r
+                }),
+            )
+            .unwrap();
+        plan.sink(d, "out").unwrap();
+        plan
+    }
+
+    #[test]
+    fn fused_execution_is_byte_identical_to_unfused() {
+        let plan = chain_heavy_plan();
+        let res = FlowResilience::injected(0xC0FFEE, 0.2, 2);
+        let fused = ExecutionConfig::local(4);
+        assert!(fused.fusion, "fusion is on by default");
+        let unfused = ExecutionConfig { fusion: false, ..ExecutionConfig::local(4) };
+
+        let (out_f, jsonl_f, reg_f) = observed_run(&plan, docs(53), fused, &res);
+        let (out_u, jsonl_u, reg_u) = observed_run(&plan, docs(53), unfused, &res);
+
+        assert_eq!(out_f.sinks, out_u.sinks);
+        assert_eq!(jsonl_f, jsonl_u, "tracer JSONL must not see fusion");
+        assert_eq!(reg_f, reg_u, "registry must not see fusion");
+        assert_eq!(out_f.deterministic_digest(), out_u.deterministic_digest());
+        assert_eq!(
+            out_f.metrics.simulated_secs.to_bits(),
+            out_u.metrics.simulated_secs.to_bits(),
+            "simulated clock must be bit-identical"
+        );
+        let mut wf = Writer::new();
+        out_f.metrics.encode(&mut wf);
+        let mut wu = Writer::new();
+        out_u.metrics.encode(&mut wu);
+        assert_eq!(wf.into_bytes(), wu.into_bytes(), "metrics codec bytes must match");
+    }
+
+    #[test]
+    fn worker_count_never_affects_deterministic_outputs() {
+        let plan = chain_heavy_plan();
+        let res = FlowResilience::injected(0xBEEF, 0.15, 3);
+        let serial = ExecutionConfig { max_workers: 1, ..ExecutionConfig::local(8) };
+        let wide = ExecutionConfig { max_workers: 32, ..ExecutionConfig::local(8) };
+
+        let (out_s, jsonl_s, reg_s) = observed_run(&plan, docs(41), serial, &res);
+        let (out_w, jsonl_w, reg_w) = observed_run(&plan, docs(41), wide, &res);
+
+        assert_eq!(out_s.sinks, out_w.sinks);
+        assert_eq!(jsonl_s, jsonl_w, "tracer JSONL must not see worker count");
+        assert_eq!(reg_s, reg_w, "registry must not see worker count");
+        assert_eq!(out_s.deterministic_digest(), out_w.deterministic_digest());
+        assert_eq!(
+            out_s.metrics.simulated_secs.to_bits(),
+            out_w.metrics.simulated_secs.to_bits()
+        );
+    }
+
+    #[test]
+    fn fused_checkpoints_match_unfused_checkpoints() {
+        let plan = chain_heavy_plan();
+        let res = FlowResilience {
+            checkpoint_every_nodes: Some(2),
+            ..FlowResilience::default()
+        };
+        let run_with = |fusion: bool| {
+            let mut inputs = HashMap::new();
+            inputs.insert("in".to_string(), docs(20));
+            Executor::new(ExecutionConfig { fusion, ..ExecutionConfig::local(4) })
+                .run_resilient(&plan, inputs, &res)
+                .unwrap()
+        };
+        let fused = run_with(true);
+        let unfused = run_with(false);
+        assert!(!fused.checkpoints.is_empty(), "checkpoint cadence must survive fusion");
+        assert_eq!(fused.checkpoints.len(), unfused.checkpoints.len());
+        for (a, b) in fused.checkpoints.iter().zip(&unfused.checkpoints) {
+            assert_eq!(a.next_node, b.next_node);
+            assert_eq!(a.as_bytes(), b.as_bytes(), "checkpoint frames must be byte-identical");
+        }
     }
 
     #[test]

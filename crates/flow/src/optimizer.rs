@@ -19,6 +19,51 @@
 use crate::logical::{LogicalPlan, NodeId, NodeOp};
 use crate::operator::Kind;
 
+/// Physical operator fusion: length (≥ 1) of the maximal fusable chain
+/// starting at `start`.
+///
+/// A chain extends from node `j` to node `j + 1` when:
+///
+/// - node `j + 1` is an operator node whose input is exactly `j`,
+/// - both operators are pipelineable (Map/FlatMap/Filter — no shuffle),
+/// - `j` has no other consumer (fan-out edges, including edges kept by
+///   orphaned [`REMOVED_IDENTITY`] nodes, block fusion),
+/// - `j + 1` has at least one consumer (the executor skips orphaned
+///   operators entirely, so fusing into one would change what runs),
+/// - the executor reports no `barrier` at `j + 1` (checkpoint or
+///   stop-after boundaries must stay observable between stages).
+///
+/// Non-contiguous ids never fuse: the executor replays per-constituent
+/// charges in node-id order, and fusing across an id gap would reorder
+/// them. Fusion is physical only — the executor still charges and
+/// observes every constituent separately, so chain shape never changes a
+/// simulated number.
+pub fn fusable_chain_len(
+    plan: &LogicalPlan,
+    start: NodeId,
+    barrier: impl Fn(NodeId) -> bool,
+) -> usize {
+    let nodes = plan.nodes();
+    let fusable = |id: NodeId| match &nodes[id].op {
+        NodeOp::Op(op) => op.is_pipelineable(),
+        _ => false,
+    };
+    if !fusable(start) {
+        return 1;
+    }
+    let mut last = start;
+    while last + 1 < nodes.len()
+        && nodes[last + 1].input == Some(last)
+        && fusable(last + 1)
+        && plan.children(last).len() == 1
+        && !plan.children(last + 1).is_empty()
+        && !barrier(last + 1)
+    {
+        last += 1;
+    }
+    last - start + 1
+}
+
 /// Name given to identity nodes spliced out by rule 3. They stay in the
 /// node vector (orphaned) so node ids remain stable; the executor and the
 /// static analyzer both skip nodes with this name.
@@ -248,6 +293,57 @@ mod tests {
             .iter()
             .any(|r| matches!(r, Rewrite::FiltersReordered { .. })));
         assert_eq!(op_names(&plan), vec!["cheap", "expensive"]);
+    }
+
+    #[test]
+    fn fusable_chain_spans_maximal_pipelineable_run() {
+        // src -> map -> filter -> map -> reduce -> map -> sink
+        let mut plan = LogicalPlan::new();
+        let src = plan.source("in");
+        let a = plan.add(src, expensive_map()).unwrap();
+        let b = plan.add(a, cheap_filter("f", "text")).unwrap();
+        let c = plan.add(b, Operator::map("m2", Package::Base, |r| r)).unwrap();
+        let red = plan
+            .add(c, Operator::reduce("r", Package::Base, |_| String::new(), |_, rs| rs))
+            .unwrap();
+        let d = plan.add(red, Operator::map("m3", Package::Base, |r| r)).unwrap();
+        plan.sink(d, "out").unwrap();
+        assert_eq!(fusable_chain_len(&plan, a, |_| false), 3, "map-filter-map fuses");
+        assert_eq!(fusable_chain_len(&plan, red, |_| false), 1, "reduce never fuses");
+        assert_eq!(fusable_chain_len(&plan, d, |_| false), 1, "sink stops the chain");
+        assert_eq!(fusable_chain_len(&plan, src, |_| false), 1, "source is not a chain");
+    }
+
+    #[test]
+    fn fan_out_and_barriers_block_fusion() {
+        let mut plan = LogicalPlan::new();
+        let src = plan.source("in");
+        let a = plan.add(src, Operator::map("a", Package::Base, |r| r)).unwrap();
+        let b = plan.add(a, Operator::map("b", Package::Base, |r| r)).unwrap();
+        let c = plan.add(b, Operator::map("c", Package::Base, |r| r)).unwrap();
+        let side = plan.add(b, Operator::map("side", Package::Base, |r| r)).unwrap();
+        plan.sink(c, "x").unwrap();
+        plan.sink(side, "y").unwrap();
+        // b has two consumers, so the chain from a stops at b
+        assert_eq!(fusable_chain_len(&plan, a, |_| false), 2);
+        // a checkpoint boundary between a and b stops the chain at a
+        assert_eq!(fusable_chain_len(&plan, a, |id| id == b), 1);
+    }
+
+    #[test]
+    fn orphaned_consumer_blocks_fusion_into_it() {
+        let mut plan = LogicalPlan::new();
+        let src = plan.source("in");
+        let a = plan.add(src, Operator::map("a", Package::Base, |r| r)).unwrap();
+        let i = plan.add(a, Operator::map("identity", Package::Base, |r| r)).unwrap();
+        let f = plan.add(i, cheap_filter("keep", "text")).unwrap();
+        plan.sink(f, "out").unwrap();
+        optimize(&mut plan);
+        // the orphaned identity keeps its input edge, so `a` now has two
+        // consumers (filter + orphan): nothing may fuse past it, and the
+        // orphan itself (zero consumers) must never be fused into
+        assert_eq!(fusable_chain_len(&plan, a, |_| false), 1);
+        assert_eq!(fusable_chain_len(&plan, i, |_| false), 1);
     }
 
     #[test]

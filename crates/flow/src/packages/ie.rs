@@ -44,17 +44,14 @@ fn push_mentions(r: &mut Record, mentions: impl IntoIterator<Item = Mention>) {
                 m.start,
                 m.end,
                 &[
-                    ("name", Value::Str(m.name.clone())),
-                    ("type", Value::Str(m.entity.name().to_string())),
+                    ("name", Value::from(m.name.as_str())),
+                    ("type", Value::from(m.entity.name())),
                     (
                         "method",
-                        Value::Str(
-                            match m.method {
-                                websift_ner::Method::Dictionary => "dict",
-                                websift_ner::Method::Ml => "ml",
-                            }
-                            .to_string(),
-                        ),
+                        Value::from(match m.method {
+                            websift_ner::Method::Dictionary => "dict",
+                            websift_ner::Method::Ml => "ml",
+                        }),
                     ),
                 ],
             ),
@@ -65,7 +62,7 @@ fn push_mentions(r: &mut Record, mentions: impl IntoIterator<Item = Mention>) {
 /// `ie.annotate_sentences` (OpenNLP-1.5-class tool).
 pub fn annotate_sentences() -> Operator {
     Operator::map("ie.annotate_sentences", Package::Ie, |mut r| {
-        let text = r.text().unwrap_or("").to_string();
+        let text = r.text_shared().unwrap_or_else(|| Arc::from(""));
         let spans: Vec<Value> = SentenceSplitter::new()
             .split(&text)
             .into_iter()
@@ -86,7 +83,7 @@ pub fn annotate_sentences() -> Operator {
 /// `ie.annotate_tokens` (OpenNLP-1.5-class tool).
 pub fn annotate_tokens() -> Operator {
     Operator::map("ie.annotate_tokens", Package::Ie, |mut r| {
-        let text = r.text().unwrap_or("").to_string();
+        let text = r.text_shared().unwrap_or_else(|| Arc::from(""));
         let toks: Vec<Value> = tokenize(&text)
             .into_iter()
             .map(|t| span_annotation(t.start, t.end, &[]))
@@ -108,7 +105,7 @@ pub fn annotate_tokens() -> Operator {
 /// `pos_errors` (the original tool crashed; the flow must not).
 pub fn annotate_pos(tagger: Arc<PosTagger>) -> Operator {
     Operator::map("ie.annotate_pos", Package::Ie, move |mut r| {
-        let text = r.text().unwrap_or("").to_string();
+        let text = r.text_shared().unwrap_or_else(|| Arc::from(""));
         let mut errors = 0i64;
         let mut annotations: Vec<Value> = Vec::new();
         for (si, (start, end)) in sentence_spans(&r).into_iter().enumerate() {
@@ -119,7 +116,7 @@ pub fn annotate_pos(tagger: Arc<PosTagger>) -> Operator {
                 Ok(tags) => {
                     let tag_values: Vec<Value> = tags
                         .into_iter()
-                        .map(|t| Value::Str(format!("{t:?}")))
+                        .map(|t| Value::from(format!("{t:?}")))
                         .collect();
                     let mut obj = std::collections::BTreeMap::new();
                     obj.insert("sentence".to_string(), Value::Int(si as i64));
@@ -159,7 +156,7 @@ fn regex_annotator(
         .clone();
 
     Operator::map(name, Package::Ie, move |mut r| {
-        let text = r.text().unwrap_or("").to_string();
+        let text = r.text_shared().unwrap_or_else(|| Arc::from(""));
         let mut annotations: Vec<Value> = Vec::new();
         for (si, (start, end)) in sentence_spans(&r).into_iter().enumerate() {
             let sent = &text[start.min(text.len())..end.min(text.len())];
@@ -167,7 +164,7 @@ fn regex_annotator(
                 let mut extra: Vec<(&str, Value)> =
                     vec![("sentence", Value::Int(si as i64))];
                 if let Some(class) = class_of(m.text(sent)) {
-                    extra.push(("class", Value::Str(class)));
+                    extra.push(("class", Value::from(class)));
                 }
                 annotations.push(span_annotation(start + m.start, start + m.end, &extra));
             }
@@ -231,7 +228,7 @@ pub fn annotate_entities_dict(resources: &IeResources, entity: EntityType) -> Op
     let cost = tagger.cost_model();
     let name = format!("ie.annotate_entities_dict_{}", entity.name());
     Operator::map(&name, Package::Ie, move |mut r| {
-        let text = r.text().unwrap_or("").to_string();
+        let text = r.text_shared().unwrap_or_else(|| Arc::from(""));
         let mentions = tagger.tag(&text);
         push_mentions(&mut r, mentions);
         r
@@ -255,7 +252,7 @@ pub fn annotate_entities_ml(resources: &IeResources, entity: EntityType) -> Oper
     let context = resources.config.crf_context_features;
     let name = format!("ie.annotate_entities_ml_{}", entity.name());
     let op = Operator::map(&name, Package::Ie, move |mut r| {
-        let text = r.text().unwrap_or("").to_string();
+        let text = r.text_shared().unwrap_or_else(|| Arc::from(""));
         let mut all = Vec::new();
         for (start, end) in sentence_spans(&r) {
             let sent = &text[start.min(text.len())..end.min(text.len())];

@@ -46,7 +46,7 @@ fn serialize_tokens(tokens: &[HtmlToken]) -> String {
 /// and drop them instead of crashing — the robustness the paper asks for).
 pub fn repair_markup_op() -> Operator {
     Operator::map("wa.repair_markup", Package::Wa, |mut r| {
-        let html = r.text().unwrap_or("").to_string();
+        let html = r.text_shared().unwrap_or_else(|| "".into());
         match repair_markup(&html, 0.45) {
             Ok(tokens) => {
                 r.set("text", serialize_tokens(&tokens));
@@ -69,7 +69,7 @@ pub fn repair_markup_op() -> Operator {
 /// `wa.remove_markup` — strips all tags, keeping every text node.
 pub fn remove_markup() -> Operator {
     Operator::map("wa.remove_markup", Package::Wa, |mut r| {
-        let text = r.text().unwrap_or("").to_string();
+        let text = r.text_shared().unwrap_or_else(|| "".into());
         if text.contains('<') {
             r.set("text", strip_markup(&text));
         }
@@ -88,7 +88,7 @@ pub fn remove_markup() -> Operator {
 /// `transcodable: false`.
 pub fn extract_net_text() -> Operator {
     Operator::map("wa.extract_net_text", Package::Wa, |mut r| {
-        let html = r.text().unwrap_or("").to_string();
+        let html = r.text_shared().unwrap_or_else(|| "".into());
         if !html.contains('<') {
             return r; // already plain text (Medline/PMC branch)
         }
@@ -116,7 +116,7 @@ pub fn extract_net_text() -> Operator {
 /// `wa.extract_links` — collects outgoing links into a `links` array.
 pub fn extract_links_op() -> Operator {
     Operator::map("wa.extract_links", Package::Wa, |mut r| {
-        let html = r.text().unwrap_or("").to_string();
+        let html = r.text_shared().unwrap_or_else(|| "".into());
         let base = r
             .get("url")
             .and_then(Value::as_str)
@@ -124,7 +124,7 @@ pub fn extract_links_op() -> Operator {
             .unwrap_or_else(|| Url::new("unknown.example", "/"));
         let links: Vec<Value> = extract_links(&html, &base)
             .into_iter()
-            .map(|u| Value::Str(u.to_string()))
+            .map(|u| Value::from(u.to_string()))
             .collect();
         r.set("links", Value::Array(links));
         r

@@ -9,9 +9,12 @@
 
 use serde::Serialize;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use websift_resilience::{CodecError, Reader, Snapshot, Writer};
 
-/// A JSON-like value.
+/// A JSON-like value. Strings are `Arc<str>` so the residual clones on
+/// fan-out and Reduce grouping are pointer bumps, not text copies — the
+/// codec bytes and [`Value::approx_bytes`] model are unaffected.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 #[serde(untagged)]
 pub enum Value {
@@ -19,7 +22,7 @@ pub enum Value {
     Bool(bool),
     Int(i64),
     Float(f64),
-    Str(String),
+    Str(Arc<str>),
     Array(Vec<Value>),
     Object(BTreeMap<String, Value>),
 }
@@ -121,7 +124,7 @@ impl Snapshot for Value {
             1 => Value::Bool(r.bool()?),
             2 => Value::Int(r.i64()?),
             3 => Value::Float(r.f64()?),
-            4 => Value::Str(r.str()?),
+            4 => Value::Str(r.str()?.into()),
             5 => Value::Array(Snapshot::decode(r)?),
             6 => {
                 let n = r.usize()?;
@@ -139,12 +142,18 @@ impl Snapshot for Value {
 
 impl From<&str> for Value {
     fn from(s: &str) -> Value {
-        Value::Str(s.to_string())
+        Value::Str(Arc::from(s))
     }
 }
 
 impl From<String> for Value {
     fn from(s: String) -> Value {
+        Value::Str(s.into())
+    }
+}
+
+impl From<Arc<str>> for Value {
+    fn from(s: Arc<str>) -> Value {
         Value::Str(s)
     }
 }
@@ -221,8 +230,25 @@ impl Record {
         self.get("text").and_then(Value::as_str)
     }
 
+    /// The text field as a shared handle: a refcount bump instead of the
+    /// full-text copy operators used to make so they could keep reading
+    /// the text while mutating the record.
+    pub fn text_shared(&self) -> Option<std::sync::Arc<str>> {
+        match self.get("text") {
+            Some(Value::Str(s)) => Some(s.clone()),
+            _ => None,
+        }
+    }
+
+    /// Same size model as `Value::Object(..).approx_bytes()` without
+    /// cloning the field map — this runs once per record per operator in
+    /// the executor's byte accounting.
     pub fn approx_bytes(&self) -> u64 {
-        Value::Object(self.0.clone()).approx_bytes()
+        2 + self
+            .0
+            .iter()
+            .map(|(k, v)| k.len() as u64 + 3 + v.approx_bytes())
+            .sum::<u64>()
     }
 
     /// Pushes a value onto an array field, creating it if missing.
@@ -238,7 +264,14 @@ impl Record {
 
 impl Snapshot for Record {
     fn encode(&self, w: &mut Writer) {
-        Value::Object(self.0.clone()).encode(w);
+        // Byte-identical to `Value::Object(self.0.clone()).encode(w)`
+        // without cloning the field map.
+        w.u8(6);
+        w.usize(self.0.len());
+        for (k, v) in &self.0 {
+            w.str(k);
+            v.encode(w);
+        }
     }
 
     fn decode(r: &mut Reader<'_>) -> Result<Record, CodecError> {
@@ -312,6 +345,33 @@ mod tests {
         assert_eq!(o["start"].as_int(), Some(3));
         assert_eq!(o["end"].as_int(), Some(9));
         assert_eq!(o["kind"].as_str(), Some("neg"));
+    }
+
+    #[test]
+    fn record_codec_and_bytes_match_value_object() {
+        // The non-cloning Record fast paths must stay byte-identical to
+        // the generic Value::Object encoding and size model.
+        let mut r = Record::from_pairs([("text", Value::from("some text")), ("id", 9i64.into())]);
+        r.push_to("entities", span_annotation(0, 4, &[("type", "gene".into())]));
+        let as_value = Value::Object(r.0.clone());
+        assert_eq!(r.approx_bytes(), as_value.approx_bytes());
+        let mut w1 = Writer::new();
+        r.encode(&mut w1);
+        let mut w2 = Writer::new();
+        as_value.encode(&mut w2);
+        assert_eq!(w1.into_bytes(), w2.into_bytes());
+    }
+
+    #[test]
+    fn str_values_clone_cheaply() {
+        let s: Arc<str> = Arc::from("shared text");
+        let v = Value::Str(s.clone());
+        let v2 = v.clone();
+        match (&v, &v2) {
+            (Value::Str(a), Value::Str(b)) => assert!(Arc::ptr_eq(a, b)),
+            _ => unreachable!(),
+        }
+        assert_eq!(Arc::strong_count(&s), 3);
     }
 
     #[test]

@@ -380,6 +380,12 @@ pub struct Regex {
     accept: u32,
     case_insensitive: bool,
     pattern: String,
+    /// Bytes a match can possibly start with, when that set is computable
+    /// and ASCII-only: the unanchored scan skips every position whose
+    /// byte is not in the set without touching the NFA. `None` (the
+    /// pattern can match empty, or can start with `.`/a negated class/a
+    /// non-ASCII char) disables the prefilter.
+    first_bytes: Option<Box<[bool; 256]>>,
 }
 
 struct Compiler {
@@ -511,6 +517,8 @@ impl Regex {
             classes: Vec::new(),
         };
         let (start, accept) = compiler.compile(&ast);
+        let first_bytes =
+            compute_first_bytes(&compiler.states, &compiler.classes, start, accept, ci);
         Ok(Regex {
             states: compiler.states,
             classes: compiler.classes,
@@ -518,6 +526,7 @@ impl Regex {
             accept,
             case_insensitive: ci,
             pattern: pattern.to_string(),
+            first_bytes,
         })
     }
 
@@ -545,17 +554,30 @@ impl Regex {
     /// Leftmost-longest match starting at or after byte `from` (which must
     /// lie on a char boundary).
     pub fn find_at(&self, text: &str, from: usize) -> Option<Match> {
-        let offsets: Vec<usize> = text[from..]
-            .char_indices()
-            .map(|(i, _)| from + i)
-            .chain(std::iter::once(text.len()))
-            .collect();
-        for &start in &offsets {
-            if let Some(end) = self.match_len(text, start) {
+        let mut scratch = Scratch::for_states(self.states.len());
+        if let Some(table) = &self.first_bytes {
+            // Marked bytes are ASCII, so every marked position is a char
+            // boundary, and a filtered regex cannot match empty — the
+            // end-of-text position needs no attempt.
+            for (start, &b) in text.as_bytes().iter().enumerate().skip(from) {
+                if table[b as usize] {
+                    if let Some(end) = self.match_len(text, start, &mut scratch) {
+                        return Some(Match { start, end });
+                    }
+                }
+            }
+            return None;
+        }
+        let mut start = from;
+        loop {
+            if let Some(end) = self.match_len(text, start, &mut scratch) {
                 return Some(Match { start, end });
             }
+            match text[start..].chars().next() {
+                Some(c) => start += c.len_utf8(),
+                None => return None,
+            }
         }
-        None
     }
 
     /// All non-overlapping leftmost-longest matches.
@@ -584,26 +606,24 @@ impl Regex {
     }
 
     /// Longest match length anchored at byte `start`; `None` if no match.
-    fn match_len(&self, text: &str, start: usize) -> Option<usize> {
-        let tail: Vec<(usize, char)> = text[start..]
-            .char_indices()
-            .map(|(i, c)| (start + i, c))
-            .collect();
-
-        let mut current: Vec<bool> = vec![false; self.states.len()];
+    /// State sets and the closure worklist live in `scratch` so the
+    /// per-position caller (`find_at`) pays no allocations in its scan loop.
+    fn match_len(&self, text: &str, start: usize, scratch: &mut Scratch) -> Option<usize> {
+        let Scratch { current, next: next_set, stack } = scratch;
+        current.iter_mut().for_each(|b| *b = false);
         let mut best: Option<usize> = None;
 
         let prev_char_at = |pos: usize| -> Option<char> { text[..pos].chars().next_back() };
 
         // epsilon closure given position context
-        let closure = |set: &mut Vec<bool>, pos: usize, next: Option<char>, slf: &Regex| {
+        let closure = |set: &mut Vec<bool>,
+                       stack: &mut Vec<u32>,
+                       pos: usize,
+                       next: Option<char>,
+                       slf: &Regex| {
             let prev = prev_char_at(pos);
-            let mut stack: Vec<u32> = set
-                .iter()
-                .enumerate()
-                .filter(|(_, &b)| b)
-                .map(|(i, _)| i as u32)
-                .collect();
+            stack.clear();
+            stack.extend(set.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i as u32));
             while let Some(s) = stack.pop() {
                 for (edge, to) in &slf.states[s as usize].edges {
                     let pass = match edge {
@@ -626,15 +646,18 @@ impl Regex {
         };
 
         current[self.start as usize] = true;
-        let first_next = tail.first().map(|&(_, c)| c);
-        closure(&mut current, start, first_next, self);
+        let mut pos_iter = text[start..]
+            .char_indices()
+            .map(|(i, c)| (start + i, c))
+            .peekable();
+        let first_next = pos_iter.peek().map(|&(_, c)| c);
+        closure(current, stack, start, first_next, self);
         if current[self.accept as usize] {
             best = Some(start);
         }
 
-        let mut pos_iter = tail.iter().peekable();
-        while let Some(&(off, c)) = pos_iter.next() {
-            let mut next_set = vec![false; self.states.len()];
+        while let Some((off, c)) = pos_iter.next() {
+            next_set.iter_mut().for_each(|b| *b = false);
             let mut any = false;
             for (i, &active) in current.iter().enumerate() {
                 if !active {
@@ -659,15 +682,91 @@ impl Regex {
                 break;
             }
             let after = off + c.len_utf8();
-            let lookahead = pos_iter.peek().map(|&&(_, nc)| nc);
-            closure(&mut next_set, after, lookahead, self);
+            let lookahead = pos_iter.peek().map(|&(_, nc)| nc);
+            closure(next_set, stack, after, lookahead, self);
             if next_set[self.accept as usize] {
                 best = Some(after);
             }
-            current = next_set;
+            std::mem::swap(current, next_set);
         }
         best
     }
+}
+
+/// Reusable NFA-simulation buffers: `find_at` allocates one `Scratch` and
+/// reuses it for every candidate start position, so scanning a long text
+/// costs zero allocations per position.
+struct Scratch {
+    current: Vec<bool>,
+    next: Vec<bool>,
+    stack: Vec<u32>,
+}
+
+impl Scratch {
+    fn for_states(n: usize) -> Self {
+        Scratch { current: vec![false; n], next: vec![false; n], stack: Vec::new() }
+    }
+}
+
+/// The set of bytes a match can start with: the char edges reachable from
+/// `start` through epsilon/anchor edges (anchors treated as passable —
+/// an over-approximation only ever *adds* candidate bytes, never drops a
+/// real match). Returns `None` — prefilter off — when the set is not a
+/// clean ASCII byte set: the pattern can match empty (accept reachable
+/// without consuming), or can open with `.`, a negated class, or a
+/// non-ASCII char.
+fn compute_first_bytes(
+    states: &[State],
+    classes: &[ClassSet],
+    start: u32,
+    accept: u32,
+    ci: bool,
+) -> Option<Box<[bool; 256]>> {
+    let mut table = [false; 256];
+    let mut seen = vec![false; states.len()];
+    let mut stack = vec![start];
+    seen[start as usize] = true;
+    while let Some(s) = stack.pop() {
+        if s == accept {
+            return None;
+        }
+        for (edge, to) in &states[s as usize].edges {
+            match edge {
+                Edge::Epsilon | Edge::Anchor(_) => {
+                    if !seen[*to as usize] {
+                        seen[*to as usize] = true;
+                        stack.push(*to);
+                    }
+                }
+                Edge::Any => return None,
+                Edge::Char(c) => {
+                    if !c.is_ascii() {
+                        return None;
+                    }
+                    table[*c as usize] = true;
+                    if ci {
+                        let f = flip_case(*c);
+                        if f.is_ascii() {
+                            table[f as usize] = true;
+                        }
+                    }
+                }
+                Edge::Class(id) => {
+                    let set = &classes[*id as usize];
+                    if set.negated || set.ranges.iter().any(|&(lo, hi)| !lo.is_ascii() || !hi.is_ascii())
+                    {
+                        return None;
+                    }
+                    for b in 0..128u8 {
+                        if set.matches(b as char, ci) {
+                            table[b as usize] = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Some(Box::new(table))
 }
 
 fn is_word(c: char) -> bool {
@@ -841,6 +940,31 @@ mod tests {
         let r = Regex::new("(a|a)*b").unwrap();
         let text = "a".repeat(200);
         assert!(!r.is_match(&text)); // no 'b' — classic exponential case for backtrackers
+    }
+
+    #[test]
+    fn prefilter_agrees_with_unfiltered_scan() {
+        let text = "Not a thing; nothing nor anyone — neither, truly. (naïve) Noção x yz";
+        for pat in [r"\b(not|nor|neither)\b", r"\([^()]*\)", "n[ao]t", "x ?y"] {
+            let filtered = Regex::case_insensitive(pat).unwrap();
+            let mut unfiltered = filtered.clone();
+            unfiltered.first_bytes = None;
+            assert_eq!(
+                filtered.find_iter(text),
+                unfiltered.find_iter(text),
+                "prefiltered scan diverges for {pat}"
+            );
+        }
+    }
+
+    #[test]
+    fn prefilter_enabled_only_when_sound() {
+        assert!(Regex::new(r"\bcat\b").unwrap().first_bytes.is_some());
+        assert!(Regex::new("x?y").unwrap().first_bytes.is_some());
+        assert!(Regex::new("a*").unwrap().first_bytes.is_none(), "matches empty");
+        assert!(Regex::new(".x").unwrap().first_bytes.is_none(), "starts with any");
+        assert!(Regex::new("[^a]b").unwrap().first_bytes.is_none(), "negated class");
+        assert!(Regex::new("ärm").unwrap().first_bytes.is_none(), "non-ascii first");
     }
 
     #[test]
