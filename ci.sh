@@ -44,8 +44,15 @@ if ! echo "$analyze_a" | grep -q 'WS001'; then
 fi
 echo "exp_analyze smoke: deterministic diagnostics ok"
 
-# Fusion throughput smoke: the fused executor must not regress wall-clock
-# records/sec against its own unfused mode (--check exits non-zero below
-# a 0.95x fused/unfused ratio at the acceptance DoP).
+# Partial-aggregation equivalence: the combining executor must be
+# byte-identical to the uncombined one on every deterministic surface.
+# Cases are pinned so CI explores the same search space every run.
+PROPTEST_CASES=64 cargo test -q -p websift-flow --test partial_agg
+echo "partial_agg: combining equivalence holds ok"
+
+# Fusion + combining throughput smoke: the fused executor must not
+# regress wall-clock records/sec against its own unfused mode, and
+# combining must never lose to uncombined — including at DoP 1, where no
+# parallelism hides the fold (--check exits non-zero below a 0.95x ratio).
 cargo run -q --release -p websift-bench --bin exp_throughput -- --quick --check
-echo "exp_throughput smoke: fused throughput holds up ok"
+echo "exp_throughput smoke: fused and combined throughput hold up ok"

@@ -25,9 +25,12 @@ use websift_observe::json::{array, ObjectWriter};
 
 /// How bad a finding is. `Error` diagnostics reject a plan; `Warning`
 /// diagnostics are advisory (dead writes, unreachable nodes, unused
-/// variables).
+/// variables); `Info` diagnostics surface silent behaviour the author
+/// may not have intended (a `Custom` aggregate disabling partial
+/// aggregation). Declaration order gives `Info < Warning < Error`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Severity {
+    Info,
     Warning,
     Error,
 }
@@ -35,6 +38,7 @@ pub enum Severity {
 impl Severity {
     pub fn as_str(self) -> &'static str {
         match self {
+            Severity::Info => "info",
             Severity::Warning => "warning",
             Severity::Error => "error",
         }
@@ -77,6 +81,10 @@ impl Diagnostic {
 
     pub fn warning(code: &str, message: impl Into<String>) -> Diagnostic {
         Diagnostic::new(code, Severity::Warning, message)
+    }
+
+    pub fn info(code: &str, message: impl Into<String>) -> Diagnostic {
+        Diagnostic::new(code, Severity::Info, message)
     }
 
     pub fn with_node(mut self, node: usize) -> Diagnostic {
@@ -177,9 +185,13 @@ mod tests {
     #[test]
     fn severity_ranks_and_displays() {
         assert!(Severity::Error > Severity::Warning);
+        assert!(Severity::Warning > Severity::Info);
         assert!(has_errors(&[Diagnostic::error("WS002", "x")]));
         assert!(!has_errors(&[Diagnostic::warning("WS003", "x")]));
+        assert!(!has_errors(&[Diagnostic::info("WS010", "x")]));
         let d = Diagnostic::warning("WS005", "unused").with_line(4);
         assert_eq!(d.to_string(), "warning [WS005] line 4: unused");
+        let d = Diagnostic::info("WS010", "custom aggregate").with_node(2);
+        assert_eq!(d.to_string(), "info [WS010] node 2: custom aggregate");
     }
 }

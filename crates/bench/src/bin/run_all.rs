@@ -31,21 +31,31 @@ fn main() {
         collected.push(r);
     };
 
+    // The wall-clock sweeps run first, on a fresh heap: the combined
+    // fold and the fused pipeline are allocation-heavy, and measuring
+    // them after 18 experiment suites have churned the allocator
+    // understates the ratios the standalone `exp_throughput` binary
+    // reports from the same code. Their tables are still printed at the
+    // usual place near the end of the report.
+    eprintln!("[1/19] wall-clock throughput (fused vs unfused vs pre-fusion; combined vs uncombined)");
+    let throughput = throughput_exps::throughput(480);
+    let combining = throughput_exps::combining(480);
+
     let lexicon = Lexicon::generate(LexiconScale::default_scale());
-    eprintln!("[1/19] Table 1");
+    eprintln!("[2/19] Table 1");
     out(crawl_exps::table1(&lexicon));
 
     let web = crawl_exps::standard_web();
-    eprintln!("[2/19] crawl experiments");
+    eprintln!("[3/19] crawl experiments");
     for r in crawl_exps::crawl(&web, &lexicon, 40_000) {
         out(r);
     }
-    eprintln!("[3/19] classifier quality");
+    eprintln!("[4/19] classifier quality");
     out(crawl_exps::classifier(&web));
-    eprintln!("[4/19] boilerplate quality");
+    eprintln!("[5/19] boilerplate quality");
     out(crawl_exps::boilerplate(&web));
 
-    eprintln!("[5/19] Table 2 (PageRank)");
+    eprintln!("[6/19] Table 2 (PageRank)");
     let queries: Vec<String> = lexicon
         .search_terms(SearchCategory::General, 30)
         .into_iter()
@@ -63,45 +73,45 @@ fn main() {
     let _ = crawler.crawl(seeds.urls.clone());
     out(crawl_exps::table2(&mut crawler, 30));
 
-    eprintln!("[6/19] §5 trade-off");
+    eprintln!("[7/19] §5 trade-off");
     out(crawl_exps::tradeoff(&web, &seeds.urls, 2_500));
 
     let ctx = ExperimentContext::standard(42);
-    eprintln!("[7/19] Fig 3");
+    eprintln!("[8/19] Fig 3");
     for r in scaling_exps::fig3(&ctx) {
         out(r);
     }
-    eprintln!("[8/19] runtime shares");
+    eprintln!("[9/19] runtime shares");
     out(scaling_exps::runtime_shares(&ctx));
-    eprintln!("[9/19] cost decomposition (profiler)");
+    eprintln!("[10/19] cost decomposition (profiler)");
     out(profile_exps::cost_decomposition(&ctx, 40).result);
-    eprintln!("[10/19] Fig 4");
+    eprintln!("[11/19] Fig 4");
     out(scaling_exps::fig4(&ctx));
-    eprintln!("[11/19] Fig 5");
+    eprintln!("[12/19] Fig 5");
     out(scaling_exps::fig5(&ctx));
-    eprintln!("[12/19] war story");
+    eprintln!("[13/19] war story");
     out(scaling_exps::warstory(&ctx));
-    eprintln!("[13/19] static analysis pre-flight");
+    eprintln!("[14/19] static analysis pre-flight");
     out(analyze_exps::known_bad());
 
-    eprintln!("[14/19] Table 3");
+    eprintln!("[15/19] Table 3");
     out(content_exps::table3(&ctx));
-    eprintln!("[15/19] running analysis flows over all corpora");
+    eprintln!("[16/19] running analysis flows over all corpora");
     let results = content_exps::run_all_corpora(&ctx, 8);
     for r in content_exps::fig6(&results) {
         out(r);
     }
-    eprintln!("[16/19] Fig 7 / Table 4");
+    eprintln!("[17/19] Fig 7 / Table 4");
     out(content_exps::fig7(&results));
     for r in content_exps::table4(&results) {
         out(r);
     }
-    eprintln!("[17/19] Fig 8 / JSD");
+    eprintln!("[18/19] Fig 8 / JSD");
     for r in content_exps::fig8(&results) {
         out(r);
     }
 
-    eprintln!("[18/19] fault injection + recovery");
+    eprintln!("[19/19] fault injection + recovery");
     let default_hook = std::panic::take_hook();
     std::panic::set_hook(Box::new(move |info| {
         let injected = info
@@ -117,14 +127,16 @@ fn main() {
     }
     out(recovery_exps::flow_recovery());
 
-    eprintln!("[19/19] wall-clock throughput (fused vs unfused vs pre-fusion)");
-    let throughput = throughput_exps::throughput(480);
-    let throughput_json = throughput_exps::throughput_json(&throughput);
+    let throughput_json = throughput_exps::throughput_json(&throughput, &combining);
     out(throughput.result.clone());
+    out(combining.result.clone());
     match std::fs::write("BENCH_THROUGHPUT.json", throughput_json + "\n") {
         Ok(()) => eprintln!(
-            "wrote BENCH_THROUGHPUT.json (fused {:.2}x pre-fusion baseline at DoP {})",
+            "wrote BENCH_THROUGHPUT.json (fused {:.2}x pre-fusion baseline, combining \
+             {:.2}x uncombined, shuffle shrink {:.1}x at DoP {})",
             throughput.fused_vs_baseline,
+            combining.combined_vs_uncombined,
+            combining.shuffle_reduction(),
             throughput_exps::ACCEPTANCE_DOP
         ),
         Err(e) => eprintln!("could not write BENCH_THROUGHPUT.json: {e}"),

@@ -159,7 +159,7 @@ fn wrap_pre_fusion(op: &Operator) -> Operator {
                         deep_clone(r)
                     })
                     .collect();
-                let out = aggregate(k, group);
+                let out = aggregate.apply_group(k, group);
                 for r in &out {
                     std::hint::black_box(deep_clone(r).approx_bytes());
                 }
@@ -216,6 +216,15 @@ fn time_run(plan: &LogicalPlan, records: &[Record], dop: usize, fusion: bool) ->
 /// overhead table) so slow drift — cold caches, cgroup CPU throttling —
 /// hits every mode equally instead of whichever ran first.
 const REPS: usize = 3;
+
+/// Additional interleaved rounds run at the acceptance DoP only. The
+/// acceptance ratios are medians of per-round paired ratios, and a
+/// median over 3 rounds still collapses when an ambient stall covers 2
+/// of them — observed on this box as multi-second freezes that best-of
+/// cells shrug off but a 3-round median does not. Widening the median
+/// to 5 rounds at the one DoP that decides acceptance keeps it honest
+/// without inflating the whole sweep.
+const EXTRA_ACCEPT_ROUNDS: usize = 2;
 
 /// Fused speedup over the engine at `other` (0 = baseline, 1 = unfused),
 /// as the median over rounds of the within-round wall-time ratio. Each
@@ -277,7 +286,8 @@ pub fn throughput_at(docs: usize, dops: &[usize]) -> ThroughputReport {
     let mut accept_rounds: Vec<[f64; 3]> = Vec::new();
     for &dop in dops {
         let mut best = [f64::MAX; 3];
-        for _ in 0..REPS {
+        let reps = REPS + if dop == accept_dop { EXTRA_ACCEPT_ROUNDS } else { 0 };
+        for _ in 0..reps {
             let mut round = [0.0f64; 3];
             for (i, (_, plan, fusion)) in engines.iter().enumerate() {
                 round[i] = time_run(plan, &records, dop, *fusion);
@@ -320,11 +330,209 @@ pub fn throughput_at(docs: usize, dops: &[usize]) -> ThroughputReport {
          baseline emulates the pre-fusion system (per-operator deep clones + \
          double approx_bytes traversals + the seed UDFs' full-text copies); \
          acceptance ratios are medians of \
-         per-round paired ratios; at DoP {accept_dop} fused is \
-         {fused_vs_baseline:.2}x baseline (target >= 2x) and {fused_vs_unfused:.2}x unfused"
+         per-round paired ratios over {} rounds; at DoP {accept_dop} fused is \
+         {fused_vs_baseline:.2}x baseline (target >= 2x) and {fused_vs_unfused:.2}x unfused",
+        REPS + EXTRA_ACCEPT_ROUNDS
     ));
 
     ThroughputReport { result, points, docs, fused_vs_unfused, fused_vs_baseline }
+}
+
+/// One measured (mode, DoP) cell of the partial-aggregation sweep.
+#[derive(Debug, Clone)]
+pub struct CombiningPoint {
+    pub mode: &'static str,
+    pub dop: usize,
+    pub records: usize,
+    pub wall_secs: f64,
+    pub records_per_sec: f64,
+    /// Bytes through the reduce shuffle emulation — every input record's
+    /// codec roundtrip uncombined, per-chunk sorted partial-aggregate
+    /// maps combined. Deterministic per (plan, input, DoP).
+    pub shuffle_bytes: u64,
+}
+
+/// Outcome of the combined-vs-uncombined sweep over the Reduce-terminated
+/// token-frequency pipeline.
+#[derive(Debug)]
+pub struct CombiningReport {
+    pub result: ExperimentResult,
+    pub points: Vec<CombiningPoint>,
+    pub docs: usize,
+    /// Combined speedup over uncombined at [`ACCEPTANCE_DOP`] (median of
+    /// per-round paired wall-time ratios).
+    pub combined_vs_uncombined: f64,
+    /// The same paired-median ratio at every measured DoP, in sweep
+    /// order — `--check` reads DoP 1 from here.
+    pub ratios: Vec<(usize, f64)>,
+    pub shuffle_bytes_uncombined: u64,
+    pub shuffle_bytes_combined: u64,
+}
+
+impl CombiningReport {
+    /// Median paired combined/uncombined throughput ratio at `dop`, if
+    /// that DoP was measured.
+    pub fn ratio_at(&self, dop: usize) -> Option<f64> {
+        self.ratios.iter().find(|(d, _)| *d == dop).map(|(_, r)| *r)
+    }
+
+    /// Shuffle-byte shrink factor (uncombined / combined) at the
+    /// acceptance DoP.
+    pub fn shuffle_reduction(&self) -> f64 {
+        if self.shuffle_bytes_combined == 0 {
+            0.0
+        } else {
+            self.shuffle_bytes_uncombined as f64 / self.shuffle_bytes_combined as f64
+        }
+    }
+}
+
+/// One timed run with combining toggled; returns wall seconds and the
+/// physical shuffle bytes of the run.
+fn time_combining_run(
+    plan: &LogicalPlan,
+    records: &[Record],
+    dop: usize,
+    combining: bool,
+) -> (f64, u64) {
+    let config = ExecutionConfig { combining, ..ExecutionConfig::local(dop) };
+    let exec = Executor::new(config);
+    let mut inputs = HashMap::new();
+    inputs.insert("docs".to_string(), records.to_vec());
+    // lint:allow(wall_clock): the throughput harness measures real execution wall time
+    let t = Instant::now();
+    let out = exec.run(plan, inputs).expect("combining flow");
+    let secs = t.elapsed().as_secs_f64();
+    std::hint::black_box(out.sinks.values().map(Vec::len).sum::<usize>());
+    (secs, out.physical.shuffle_bytes)
+}
+
+/// Median over rounds of the within-round uncombined/combined wall-time
+/// ratio (the pairwise analogue of [`median_paired_ratio`]).
+fn median_paired_ratio2(rounds: &[[f64; 2]]) -> f64 {
+    let mut ratios: Vec<f64> =
+        rounds.iter().filter(|r| r[1] > 0.0).map(|r| r[0] / r[1]).collect();
+    if ratios.is_empty() {
+        return 0.0;
+    }
+    ratios.sort_by(f64::total_cmp);
+    ratios[ratios.len() / 2]
+}
+
+/// Runs the combining sweep at the standard DoPs.
+pub fn combining(docs: usize) -> CombiningReport {
+    combining_at(docs, &THROUGHPUT_DOPS)
+}
+
+/// Combined-vs-uncombined sweep over the Reduce-terminated
+/// token-frequency pipeline at an explicit DoP list.
+///
+/// Uncombined, the final reduce's shuffle emulation codec-roundtrips
+/// every exploded token record; combined, the fused workers fold each
+/// chunk into sorted partial-aggregate maps and only those cross the
+/// shuffle. All deterministic surfaces (sink bytes, metrics, traces,
+/// checkpoints) are bit-identical between the two by construction — this
+/// sweep measures the wall clock and the shuffled bytes.
+pub fn combining_at(docs: usize, dops: &[usize]) -> CombiningReport {
+    let plan = websift_pipeline::token_frequency_flow("docs");
+    let records = throughput_corpus(docs);
+
+    let mut result = ExperimentResult::new(
+        "Partial aggregation",
+        "Wall-clock records/sec, token-frequency pipeline (interleaved best of 3)",
+        &[
+            "DoP",
+            "uncombined rec/s",
+            "combined rec/s",
+            "combined/uncombined",
+            "shuffle bytes (unc)",
+            "shuffle bytes (comb)",
+            "shuffle shrink",
+        ],
+    );
+
+    // Warm-up, untimed.
+    for combining in [false, true] {
+        time_combining_run(&plan, &records, dops.first().copied().unwrap_or(1), combining);
+    }
+
+    let accept_dop = if dops.contains(&ACCEPTANCE_DOP) {
+        ACCEPTANCE_DOP
+    } else {
+        dops.iter().copied().max().unwrap_or(1)
+    };
+
+    let mut points = Vec::new();
+    let mut ratios = Vec::new();
+    let mut accept_shuffle = [0u64; 2];
+    for &dop in dops {
+        let mut best = [f64::MAX; 2];
+        let mut shuffle = [0u64; 2];
+        let mut rounds: Vec<[f64; 2]> = Vec::new();
+        let reps = REPS + if dop == accept_dop { EXTRA_ACCEPT_ROUNDS } else { 0 };
+        for _ in 0..reps {
+            let mut round = [0.0f64; 2];
+            for (i, combining) in [false, true].into_iter().enumerate() {
+                let (secs, bytes) = time_combining_run(&plan, &records, dop, combining);
+                round[i] = secs;
+                best[i] = best[i].min(secs);
+                shuffle[i] = bytes; // deterministic per (dop, mode)
+            }
+            rounds.push(round);
+        }
+        let ratio = median_paired_ratio2(&rounds);
+        ratios.push((dop, ratio));
+        if dop == accept_dop {
+            accept_shuffle = shuffle;
+        }
+        let mut rps = [0.0f64; 2];
+        for (i, mode) in ["uncombined", "combined"].into_iter().enumerate() {
+            rps[i] = if best[i] > 0.0 { records.len() as f64 / best[i] } else { 0.0 };
+            points.push(CombiningPoint {
+                mode,
+                dop,
+                records: records.len(),
+                wall_secs: best[i],
+                records_per_sec: rps[i],
+                shuffle_bytes: shuffle[i],
+            });
+        }
+        let shrink =
+            if shuffle[1] > 0 { shuffle[0] as f64 / shuffle[1] as f64 } else { 0.0 };
+        result.row(&[
+            dop.to_string(),
+            format!("{:.0}", rps[0]),
+            format!("{:.0}", rps[1]),
+            format!("{ratio:.2}x"),
+            shuffle[0].to_string(),
+            shuffle[1].to_string(),
+            format!("{shrink:.1}x"),
+        ]);
+    }
+
+    let combined_vs_uncombined =
+        ratios.iter().find(|(d, _)| *d == accept_dop).map(|(_, r)| *r).unwrap_or(0.0);
+    let mut report = CombiningReport {
+        result,
+        points,
+        docs,
+        combined_vs_uncombined,
+        ratios,
+        shuffle_bytes_uncombined: accept_shuffle[0],
+        shuffle_bytes_combined: accept_shuffle[1],
+    };
+    report.result.note(format!(
+        "{docs} source records through the token-frequency flow; per-DoP ratios are \
+         medians of per-round paired ratios ({} rounds at the acceptance DoP); at DoP {accept_dop} \
+         combining is {combined_vs_uncombined:.2}x uncombined (target >= 1.3x) and \
+         shrinks the reduce shuffle {:.1}x ({} -> {} bytes); deterministic surfaces \
+         are bit-identical in both modes (see crates/flow/tests/partial_agg.rs)",
+        REPS + EXTRA_ACCEPT_ROUNDS,
+        report.shuffle_reduction(),
+        report.shuffle_bytes_uncombined,
+        report.shuffle_bytes_combined,
+    ));
+    report
 }
 
 /// Wall seconds spent in each operator of the linguistic pipeline, run
@@ -345,8 +553,10 @@ pub fn per_op_breakdown(docs: usize) -> Vec<(String, f64, usize)> {
     out
 }
 
-/// Machine-readable report for `BENCH_THROUGHPUT.json`.
-pub fn throughput_json(report: &ThroughputReport) -> String {
+/// Machine-readable report for `BENCH_THROUGHPUT.json`: the fusion sweep
+/// over the linguistic pipeline plus the partial-aggregation sweep over
+/// the token-frequency pipeline.
+pub fn throughput_json(report: &ThroughputReport, combining: &CombiningReport) -> String {
     let points = array(report.points.iter().map(|p| {
         ObjectWriter::new()
             .str("mode", p.mode)
@@ -356,6 +566,16 @@ pub fn throughput_json(report: &ThroughputReport) -> String {
             .f64("records_per_sec", p.records_per_sec)
             .finish()
     }));
+    let combining_points = array(combining.points.iter().map(|p| {
+        ObjectWriter::new()
+            .str("mode", p.mode)
+            .u64("dop", p.dop as u64)
+            .u64("records", p.records as u64)
+            .f64("wall_secs", p.wall_secs)
+            .f64("records_per_sec", p.records_per_sec)
+            .u64("shuffle_bytes", p.shuffle_bytes)
+            .finish()
+    }));
     ObjectWriter::new()
         .str("experiment", "throughput")
         .str("pipeline", "linguistic")
@@ -363,7 +583,12 @@ pub fn throughput_json(report: &ThroughputReport) -> String {
         .u64("acceptance_dop", ACCEPTANCE_DOP as u64)
         .f64("fused_vs_unfused", report.fused_vs_unfused)
         .f64("fused_vs_baseline", report.fused_vs_baseline)
+        .f64("combined_vs_uncombined", combining.combined_vs_uncombined)
+        .u64("shuffle_bytes_uncombined", combining.shuffle_bytes_uncombined)
+        .u64("shuffle_bytes_combined", combining.shuffle_bytes_combined)
+        .f64("shuffle_reduction", combining.shuffle_reduction())
         .raw("points", &points)
+        .raw("combining_points", &combining_points)
         .finish()
 }
 
@@ -412,8 +637,38 @@ mod tests {
         let report = throughput_at(6, &[1, 4]);
         assert_eq!(report.points.len(), 3 * 2);
         assert!(report.points.iter().all(|p| p.records_per_sec > 0.0));
-        let json = throughput_json(&report);
+        let combining = combining_at(6, &[1, 4]);
+        assert_eq!(combining.points.len(), 2 * 2);
+        assert!(combining.points.iter().all(|p| p.records_per_sec > 0.0));
+        let json = throughput_json(&report, &combining);
         assert!(json.contains("\"fused_vs_baseline\""));
         assert!(json.contains("\"mode\":\"fused\""));
+        assert!(json.contains("\"combined_vs_uncombined\""));
+        assert!(json.contains("\"shuffle_reduction\""));
+        assert!(json.contains("\"mode\":\"combined\""));
+    }
+
+    #[test]
+    fn combining_shrinks_the_shuffle_at_every_dop() {
+        let report = combining_at(8, &[1, 2]);
+        for dop in [1usize, 2] {
+            let by = |mode: &str| {
+                report
+                    .points
+                    .iter()
+                    .find(|p| p.mode == mode && p.dop == dop)
+                    .map(|p| p.shuffle_bytes)
+                    .unwrap()
+            };
+            assert!(
+                by("combined") < by("uncombined"),
+                "dop {dop}: combined {} !< uncombined {}",
+                by("combined"),
+                by("uncombined")
+            );
+        }
+        assert!(report.ratio_at(1).is_some());
+        assert!(report.ratio_at(2).is_some());
+        assert!(report.shuffle_reduction() > 1.0);
     }
 }

@@ -13,8 +13,8 @@ use std::collections::HashMap;
 use websift_corpus::Document;
 use websift_flow::packages::{base, dc, ie, wa};
 use websift_flow::{
-    ExecutionConfig, ExecutionError, Executor, FlowOutput, IeResources, LogicalPlan, PlanError,
-    Record,
+    CostModel, ExecutionConfig, ExecutionError, Executor, FlowOutput, IeResources, LogicalPlan,
+    Operator, Package, PlanError, Record, Value,
 };
 use websift_ner::EntityType;
 
@@ -76,6 +76,61 @@ fn try_full_analysis_plan(resources: &IeResources) -> Result<LogicalPlan, PlanEr
     let dedup = plan.add(cur, dc::dedup_entities())?;
     plan.sink(dedup, "entities_deduped")?;
 
+    Ok(plan)
+}
+
+/// FlatMap exploding a tokenized document into one record per token,
+/// carrying the lower-cased token text in `token`. Feeds the frequency
+/// reduce of [`token_frequency_flow`].
+fn explode_tokens() -> Operator {
+    Operator::flat_map("core.explode_tokens", Package::Base, |r| {
+        let Some(text) = r.text() else { return Vec::new() };
+        let Some(Value::Array(tokens)) = r.get("tokens") else { return Vec::new() };
+        let mut out = Vec::with_capacity(tokens.len());
+        for tok in tokens {
+            let Some(span) = tok.as_object() else { continue };
+            let (Some(start), Some(end)) = (
+                span.get("start").and_then(Value::as_int),
+                span.get("end").and_then(Value::as_int),
+            ) else {
+                continue;
+            };
+            let (start, end) = (start as usize, end as usize);
+            if end > text.len() || start >= end {
+                continue;
+            }
+            let mut rec = Record::new();
+            rec.set("token", text[start..end].to_lowercase());
+            out.push(rec);
+        }
+        out
+    })
+    .with_reads(&["text", "tokens"])
+    .with_writes(&["token"])
+    .with_cost(CostModel {
+        us_per_char: 0.01,
+        ..CostModel::default()
+    })
+}
+
+/// A Reduce-terminated corpus-frequency flow: shared preprocessing, a
+/// FlatMap exploding each document into one record per token, and the
+/// combinable `base.count_by` Reduce over the token strings.
+///
+/// This is the partial-aggregation benchmark pipeline: with combining
+/// enabled the fused workers pre-aggregate token counts, so the shuffle
+/// to the final reduce carries per-key partial maps instead of every
+/// token record.
+pub fn token_frequency_flow(source: &str) -> LogicalPlan {
+    try_token_frequency_flow(source).expect(STATIC_PLAN)
+}
+
+fn try_token_frequency_flow(source: &str) -> Result<LogicalPlan, PlanError> {
+    let mut plan = LogicalPlan::new();
+    let pre = preprocessing(&mut plan, source)?;
+    let toks = plan.add(pre, explode_tokens())?;
+    let counts = plan.add(toks, base::count_by("token"))?;
+    plan.sink(counts, "token_frequencies")?;
     Ok(plan)
 }
 
@@ -259,6 +314,41 @@ mod tests {
             .filter(|r| r.contains("entities"))
             .count();
         assert!(with_entities > 0, "no entities extracted");
+    }
+
+    #[test]
+    fn token_frequency_flow_counts_tokens_identically_combined_or_not() {
+        let plan = token_frequency_flow("docs");
+        plan.validate().unwrap();
+        // the terminal reduce is combinable, so no WS010 and the executor
+        // may pre-aggregate inside the fused stage
+        let diags = websift_flow::analyze_plan(&plan, &websift_flow::AnalyzeOptions::default());
+        assert!(diags.iter().all(|d| d.code != "WS010"), "{diags:?}");
+
+        let input = docs(CorpusKind::RelevantWeb, 6);
+        let records = crate::corpora::documents_to_records(&input);
+        let mut inputs = HashMap::new();
+        inputs.insert("docs".to_string(), records);
+
+        let mut combined_cfg = ExecutionConfig::local(3);
+        combined_cfg.combining = true;
+        let mut plain_cfg = ExecutionConfig::local(3);
+        plain_cfg.combining = false;
+        let combined = Executor::new(combined_cfg).run(&plan, inputs.clone()).unwrap();
+        let plain = Executor::new(plain_cfg).run(&plan, inputs).unwrap();
+
+        let freqs = &combined.sinks["token_frequencies"];
+        assert!(!freqs.is_empty(), "no token frequencies produced");
+        let total: i64 =
+            freqs.iter().map(|r| r.get("count").unwrap().as_int().unwrap()).sum();
+        assert!(total > 0);
+        assert_eq!(freqs, &plain.sinks["token_frequencies"]);
+        assert!(
+            combined.physical.shuffle_bytes < plain.physical.shuffle_bytes,
+            "combining should shrink the shuffle: {} vs {}",
+            combined.physical.shuffle_bytes,
+            plain.physical.shuffle_bytes
+        );
     }
 
     #[test]

@@ -23,5 +23,5 @@ pub use entities::{
 pub use experiment::{paper, ExperimentContext};
 pub use flows::{
     entity_flow_for, full_analysis_plan, linguistic_flow, linguistic_report, run_over_documents,
-    LinguisticReport, MethodSelection,
+    token_frequency_flow, LinguisticReport, MethodSelection,
 };

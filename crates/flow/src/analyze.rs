@@ -19,6 +19,7 @@
 //! | WS007 | error    | memory admission: per-worker footprint × co-located workers exceeds node RAM |
 //! | WS008 | error    | requested DoP exceeds cluster cores |
 //! | WS009 | warning  | unknown field: read field nothing in the plan produces |
+//! | WS010 | info     | custom aggregate: a `Custom` Reduce silently disables partial aggregation |
 //!
 //! (*WS002 is a warning without an admission context: a plan may run
 //! locally where the simulated class loader never materializes.)
@@ -78,6 +79,7 @@ pub fn analyze_plan(plan: &LogicalPlan, opts: &AnalyzeOptions) -> Vec<Diagnostic
     check_duplicate_sinks(plan, &mut diags);
     check_unreachable(plan, &contributing, &mut diags);
     check_admission(plan, opts, &mut diags);
+    check_combinability(plan, &mut diags);
 
     sort_diagnostics(&mut diags);
     diags
@@ -354,10 +356,36 @@ fn check_admission(plan: &LogicalPlan, opts: &AnalyzeOptions, out: &mut Vec<Diag
     }
 }
 
+/// WS010: a `Reduce` whose aggregate is a `Custom` closure. The executor
+/// cannot pre-aggregate inside fused stages for these — opaque closures
+/// have no combine step — so the full group ships to the final reduce.
+/// Silent, correct, and often unintended when a typed
+/// [`crate::operator::Aggregate`] would express the same computation.
+fn check_combinability(plan: &LogicalPlan, out: &mut Vec<Diagnostic>) {
+    for node in plan.nodes() {
+        let NodeOp::Op(op) = &node.op else { continue };
+        if op.kind == crate::operator::Kind::Reduce && !op.combinable_reduce() {
+            out.push(
+                Diagnostic::info(
+                    "WS010",
+                    format!(
+                        "reduce '{}' uses a custom aggregate closure, which disables partial \
+                         aggregation (every group ships uncombined); use a typed Aggregate \
+                         (Count/Sum/Min/Max/Concat/TopK) to enable combining",
+                        op.name
+                    ),
+                )
+                .with_node(node.id),
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::operator::{CostModel, Operator, Package};
+    use crate::operator::{Aggregate, CostModel, Operator, Package};
+    use crate::record::Record;
     use websift_analyze::{has_errors, Severity};
 
     fn op(name: &str, reads: &[&str], writes: &[&str]) -> Operator {
@@ -533,5 +561,45 @@ write $pages 'out';";
         assert_eq!(codes(&diags), vec!["WS003", "WS006", "WS005"]);
         assert!(diags.iter().all(|d| d.line == Some(2)), "{diags:?}");
         assert!(diags[2].message.contains("$dead"));
+    }
+
+    #[test]
+    fn custom_aggregate_reduce_is_flagged_ws010() {
+        let mut plan = LogicalPlan::new();
+        let src = plan.source("docs");
+        let r = plan
+            .add(
+                src,
+                Operator::reduce("tally", Package::Base, |r| format!("{:?}", r.get("corpus")), |k, rs| {
+                    let mut out = Record::new();
+                    out.set("key", k).set("count", rs.len());
+                    vec![out]
+                }),
+            )
+            .unwrap();
+        plan.sink(r, "out").unwrap();
+        let diags = analyze_plan(&plan, &AnalyzeOptions::default());
+        assert_eq!(codes(&diags), vec!["WS010"]);
+        assert_eq!(diags[0].severity, Severity::Info);
+        assert_eq!(diags[0].node, Some(1));
+        assert!(!has_errors(&diags));
+        assert!(diags[0].message.contains("custom aggregate"), "{}", diags[0].message);
+
+        // the same reduction through a typed aggregate is clean
+        let mut plan = LogicalPlan::new();
+        let src = plan.source("docs");
+        let r = plan
+            .add(
+                src,
+                Operator::reduce_agg(
+                    "tally",
+                    Package::Base,
+                    |r: &Record| format!("{:?}", r.get("corpus")),
+                    Aggregate::Count { into: "count".into() },
+                ),
+            )
+            .unwrap();
+        plan.sink(r, "out").unwrap();
+        assert!(analyze_plan(&plan, &AnalyzeOptions::default()).is_empty());
     }
 }

@@ -33,12 +33,12 @@ use crate::analyze::{analyze_plan, AnalyzeOptions};
 use crate::cluster::{admit, ClusterSpec, SchedulingError};
 use crate::logical::{LogicalPlan, NodeOp};
 use websift_analyze::{Diagnostic, Severity};
-use crate::operator::{Kind, OpFunc, Operator};
-use crate::optimizer::fusable_chain_len;
+use crate::operator::{AggState, Aggregate, Kind, OpFunc, Operator};
+use crate::optimizer::{fused_stage, FusedStage};
 use crate::record::Record;
 use crate::resilience::{FlowCheckpoint, FlowResilience};
 use serde::Serialize;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 use websift_observe::{Labels, Observer, RegistrySnapshot};
@@ -91,6 +91,16 @@ pub struct ExecutionConfig {
     /// simulated numbers, metrics, traces, and checkpoint bytes are
     /// identical with fusion on or off.
     pub fusion: bool,
+    /// Pre-aggregate combinable Reduces inside fused stages: each worker
+    /// folds its chunk into per-key partial-aggregate states, ships the
+    /// (much smaller) sorted-key partial maps across the shuffle
+    /// boundary, and a final merge reproduces the serial grouping
+    /// exactly. Combining is physical only — the analytic replay still
+    /// charges the unfused Reduce cost model, so simulated numbers,
+    /// metrics, traces, and checkpoint bytes are identical with
+    /// combining on or off. Reduces with a `Custom` aggregate always run
+    /// uncombined (the analyzer flags them as WS010).
+    pub combining: bool,
     /// Cap on real worker threads per partitioned pass (the effective
     /// count is `min(dop_eff, chunks, max_workers)`). Physical only:
     /// worker count must never leak into simulated numbers (see
@@ -120,6 +130,7 @@ impl ExecutionConfig {
             work_scale: 1.0,
             analyze: true,
             fusion: true,
+            combining: true,
             max_workers: default_max_workers(),
         }
     }
@@ -287,11 +298,28 @@ impl std::fmt::Display for ExecutionError {
 
 impl std::error::Error for ExecutionError {}
 
+/// Physical-side observations of a run — facts about how the work was
+/// really executed (as opposed to what the simulated cluster charged).
+/// Deliberately excluded from checkpoints, metric codecs, and
+/// [`FlowOutput::deterministic_digest`]: they vary with `combining` and
+/// worker counts by design, the way `wall_ms` varies with hardware.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhysicalStats {
+    /// Bytes actually serialized across Reduce shuffle boundaries: every
+    /// input record for an uncombined Reduce, only the sorted-key
+    /// partial-aggregate maps for a combined one. The combined-vs-
+    /// uncombined reduction here is the combiner's bandwidth win.
+    pub shuffle_bytes: u64,
+}
+
 /// The result of a successful run.
 #[derive(Debug)]
 pub struct FlowOutput {
     pub sinks: HashMap<String, Vec<Record>>,
     pub metrics: FlowMetrics,
+    /// Physical-only facts (shuffle bytes); never part of determinism
+    /// comparisons.
+    pub physical: PhysicalStats,
 }
 
 impl FlowOutput {
@@ -510,6 +538,7 @@ impl Executor {
         // lint:allow(wall_clock): wall_ms is runtime-only diagnostics, never checkpointed
         let started = Instant::now();
         let mut checkpoints = Vec::new();
+        let mut physical = PhysicalStats::default();
 
         while state.next_node < plan.len() {
             if let Some(stop) = res.stop_after_nodes {
@@ -610,24 +639,42 @@ impl Executor {
                     state.outputs[node.id] = Some(Vec::new());
                 }
                 NodeOp::Op(op) => {
-                    // Collapse the maximal fusable chain starting here
-                    // into one physical pass; checkpoint and stop-after
-                    // boundaries must stay observable between nodes, so
-                    // they act as fusion barriers. With fusion off the
-                    // chain has length 1 and this is plain node-at-a-time
-                    // execution through the same code path.
-                    let chain_len = if self.config.fusion && op.is_pipelineable() {
-                        let every = res.checkpoint_every_nodes.filter(|&e| e > 0);
-                        let stop = res.stop_after_nodes;
-                        fusable_chain_len(plan, node.id, |id| {
-                            every.is_some_and(|e| id.is_multiple_of(e))
-                                || stop.is_some_and(|s| id >= s)
-                        })
+                    // Collapse the maximal fusable stage starting here
+                    // into one physical pass — possibly extending through
+                    // a trailing combinable Reduce (partial aggregation).
+                    // Stop-after boundaries act as fusion barriers;
+                    // checkpoint boundaries no longer cut stages: frames
+                    // landing inside a stage are synthesized by the
+                    // replay, byte-identical to unfused execution. With
+                    // fusion off the stage has length 1 and this is plain
+                    // node-at-a-time execution through the same code path
+                    // (a lone combinable Reduce still pre-aggregates per
+                    // chunk when combining is on).
+                    let stop = res.stop_after_nodes;
+                    let stage = if self.config.fusion && op.is_pipelineable() {
+                        fused_stage(
+                            plan,
+                            node.id,
+                            |id| stop.is_some_and(|s| id >= s),
+                            self.config.combining,
+                        )
+                    } else if self.config.combining && op.combinable_reduce() {
+                        FusedStage { len: 1, combined_reduce: true }
                     } else {
-                        1
+                        FusedStage { len: 1, combined_reduce: false }
                     };
-                    self.run_chain(plan, node.id, chain_len, input, &mut state, res, obs)?;
-                    state.next_node += chain_len - 1;
+                    self.run_chain(
+                        plan,
+                        node.id,
+                        &stage,
+                        input,
+                        &mut state,
+                        res,
+                        obs,
+                        &mut checkpoints,
+                        &mut physical,
+                    )?;
+                    state.next_node += stage.len - 1;
                 }
             }
 
@@ -679,42 +726,73 @@ impl Executor {
             output: Some(FlowOutput {
                 sinks: state.sinks,
                 metrics: state.metrics,
+                physical,
             }),
             checkpoints,
         })
     }
 
-    /// Executes the chain of operator nodes `first .. first + len` as one
-    /// physical pass, then replays the cost model per constituent in
-    /// node-id order.
+    /// Executes the fused stage of operator nodes `first .. first +
+    /// stage.len` as one physical pass, then replays the cost model per
+    /// constituent in node-id order.
     ///
     /// The physical dataflow and the simulated accounting are
     /// deliberately decoupled. Records move **by value** stage to stage
     /// inside a single thread scope (no per-record clones), while each
     /// stage tallies per-record simulated costs (in record order) and
-    /// incremental byte counts. The replay then walks the constituents in
-    /// order and reproduces exactly what unfused node-at-a-time execution
-    /// would have charged and observed: node losses, injected partition
-    /// retries, startup, per-partition work (re-partitioned with each
-    /// constituent's own `dop_eff` and cardinality, summed left-to-right
-    /// per partition so the f64 accumulation order is identical), reduce
-    /// shuffles, registry counters, profiler scopes, and tracer spans.
-    /// Chain shape therefore never changes a deterministic number.
+    /// incremental byte counts. When the stage ends in a combinable
+    /// Reduce, each worker folds its chunk into per-key partial-aggregate
+    /// states and ships only the sorted-key partial maps across the
+    /// shuffle; the merge reproduces the serial grouping exactly (per-key
+    /// record order is chunk-concatenation order, which is input order).
+    /// The replay then walks the constituents in order and reproduces
+    /// exactly what unfused node-at-a-time execution would have charged
+    /// and observed: node losses, injected partition retries, startup,
+    /// per-partition work (re-partitioned with each constituent's own
+    /// `dop_eff` and cardinality, summed left-to-right per partition so
+    /// the f64 accumulation order is identical), reduce shuffles,
+    /// registry counters, profiler scopes, tracer spans — and checkpoint
+    /// frames whose boundaries land inside the stage, synthesized
+    /// byte-identically from tapped intermediate streams. Stage shape
+    /// therefore never changes a deterministic number.
     #[allow(clippy::too_many_lines, clippy::too_many_arguments)]
     fn run_chain(
         &self,
         plan: &LogicalPlan,
         first: usize,
-        len: usize,
+        stage: &FusedStage,
         input: Vec<Record>,
         state: &mut ExecState,
         res: &FlowResilience,
         obs: &Observer,
+        checkpoints: &mut Vec<FlowCheckpoint>,
+        physical: &mut PhysicalStats,
     ) -> Result<(), ExecutionError> {
+        let len = stage.len;
         let ops: Vec<&Operator> = (first..first + len)
             .map(|id| match &plan.nodes()[id].op {
                 NodeOp::Op(op) => op,
                 _ => unreachable!("chain nodes are operator nodes"),
+            })
+            .collect();
+        // The combinable Reduce closing this stage, if combining applies.
+        let combiner: Option<(crate::operator::KeyFn, Aggregate)> = if stage.combined_reduce {
+            match ops[len - 1].func() {
+                OpFunc::Reduce { key, aggregate } => Some((key.clone(), aggregate.clone())),
+                _ => unreachable!("combined stage ends in a reduce"),
+            }
+        } else {
+            None
+        };
+        // Interior checkpoint boundaries: node boundaries `first + s + 1`
+        // that the checkpoint cadence hits strictly inside this stage.
+        // The physical pass taps the record stream crossing each one so
+        // the replay can synthesize the frame an unfused run would have
+        // written there.
+        let every = res.checkpoint_every_nodes.filter(|&e| e > 0);
+        let tapped_stages: Vec<usize> = (0..len)
+            .filter(|&s| {
+                s + 1 < len && every.is_some_and(|e| (first + s + 1).is_multiple_of(e))
             })
             .collect();
 
@@ -774,21 +852,38 @@ impl Executor {
         let mut output: Vec<Record> = Vec::new();
         let mut final_bytes_out: u64 = 0;
         let mut reduce_work: f64 = 0.0;
+        // Records crossing each tapped interior boundary, in unfused
+        // record order (chunk-concatenation order).
+        let mut stage_taps: HashMap<usize, Vec<Record>> = HashMap::new();
 
-        let is_reduce = len == 1 && ops[0].kind == Kind::Reduce;
+        let is_reduce = combiner.is_none() && len == 1 && ops[0].kind == Kind::Reduce;
         if is_reduce && physical_stages == 1 {
-            // Hash shuffle: group by draining the owned input (no
-            // per-record clone), aggregate groups in key order.
+            // Uncombined hash shuffle: every record physically crosses
+            // the boundary through the snapshot codec (encode at the
+            // mapper side, decode at the reducer side) — the cost a real
+            // cluster pays to ship the full stream. decode∘encode is the
+            // identity on records, so deterministic surfaces are
+            // untouched; only wall clock and `PhysicalStats` see it.
+            // Groups then aggregate in key order.
             let OpFunc::Reduce { key, aggregate } = ops[0].func() else {
                 unreachable!("reduce operator carries a reduce func")
             };
             // lint:allow(wall_clock): per-op wall_ms is runtime-only diagnostics
             let started = Instant::now();
             let st = &mut stats[0];
-            st.records_in = input.len() as u64;
-            let mut groups: HashMap<String, Vec<Record>> = HashMap::new();
+            let n = input.len();
+            st.records_in = n as u64;
+            let mut shuf = Writer::new();
             for r in input {
                 st.bytes_in += r.approx_bytes();
+                r.encode(&mut shuf);
+            }
+            let wire = shuf.into_bytes();
+            physical.shuffle_bytes += wire.len() as u64;
+            let mut rd = Reader::new(&wire);
+            let mut groups: HashMap<String, Vec<Record>> = HashMap::new();
+            for _ in 0..n {
+                let r = Record::decode(&mut rd).expect("shuffled records round-trip");
                 groups.entry(key(&r)).or_default().push(r);
             }
             let mut grouped: Vec<(String, Vec<Record>)> = groups.into_iter().collect();
@@ -799,7 +894,7 @@ impl Executor {
                     work_secs += self.config.work_scale
                         * ops[0].cost.record_cost_secs(r.text().map(str::len).unwrap_or(64));
                 }
-                output.extend(aggregate(&k, rs));
+                output.extend(aggregate.apply_group(&k, rs));
             }
             reduce_work = work_secs / scheds[0].dop_eff as f64;
             final_bytes_out = output.iter().map(Record::approx_bytes).sum();
@@ -821,10 +916,21 @@ impl Executor {
                 pending.push(rest);
             }
             let n_chunks = pending.len();
+            // Sorted (key, partial state, per-key record costs) triples
+            // plus the chunk's emulated shuffle bytes.
+            type ChunkPartials = (Vec<(String, AggState, Vec<f64>)>, u64);
             struct ChunkResult {
                 stages: Vec<StageStats>,
                 out: Vec<Record>,
                 bytes_out: u64,
+                /// Sorted-key partial aggregates (shipped through the
+                /// codec) plus this chunk's shuffle bytes, when the stage
+                /// ends in a combined Reduce. Per-key record costs ride
+                /// along (simulation metadata, not shuffled payload).
+                partial: Option<ChunkPartials>,
+                /// Clones of the record stream at each tapped interior
+                /// boundary, aligned with `tapped_stages`.
+                taps: Vec<Vec<Record>>,
             }
             let slots: Vec<parking_lot::Mutex<Option<Vec<Record>>>> =
                 pending.into_iter().map(|c| parking_lot::Mutex::new(Some(c))).collect();
@@ -840,7 +946,14 @@ impl Executor {
                 .min(n_chunks)
                 .min(self.config.max_workers)
                 .max(1);
-            let stage_ops = &ops[..physical_stages];
+            // Pipeline constituents run per chunk; a combined Reduce is
+            // folded after them (only when every constituent survives the
+            // schedule — a dead constituent means the replay errors out
+            // before the reduce would have run).
+            let chain_op_count = if combiner.is_some() { len - 1 } else { len };
+            let stage_ops = &ops[..physical_stages.min(chain_op_count)];
+            let do_fold = combiner.is_some() && physical_stages == len;
+            let reduce_cost = ops[len - 1].cost;
 
             std::thread::scope(|scope| {
                 for _ in 0..worker_count {
@@ -852,7 +965,8 @@ impl Executor {
                         let chunk = slots[i].lock().take().expect("each chunk is taken once");
                         let stage_at = std::cell::Cell::new(0usize);
                         let outcome = catch_unwind(AssertUnwindSafe(|| {
-                            let mut stages = Vec::with_capacity(stage_ops.len());
+                            let mut stages = Vec::with_capacity(stage_ops.len() + 1);
+                            let mut taps = Vec::with_capacity(tapped_stages.len());
                             let mut cur = chunk;
                             for (s, op) in stage_ops.iter().enumerate() {
                                 stage_at.set(s);
@@ -888,9 +1002,67 @@ impl Executor {
                                 tally.wall_ms = t0.elapsed().as_secs_f64() * 1000.0;
                                 stages.push(tally);
                                 cur = next;
+                                if tapped_stages.contains(&s) {
+                                    taps.push(cur.clone());
+                                }
                             }
+                            let partial = if do_fold {
+                                let (key, agg) =
+                                    combiner.as_ref().expect("fold implies a combiner");
+                                stage_at.set(len - 1);
+                                // lint:allow(wall_clock): per-op wall_ms is runtime-only diagnostics
+                                let t0 = Instant::now();
+                                let mut tally = StageStats::default();
+                                let mut map: HashMap<String, (AggState, Vec<f64>)> =
+                                    HashMap::new();
+                                for r in cur {
+                                    tally.records_in += 1;
+                                    tally.bytes_in += r.approx_bytes();
+                                    let cost = self.config.work_scale
+                                        * reduce_cost.record_cost_secs(
+                                            r.text().map(str::len).unwrap_or(64),
+                                        );
+                                    let e = map
+                                        .entry(key(&r))
+                                        .or_insert_with(|| (agg.seed(), Vec::new()));
+                                    agg.fold(&mut e.0, &r);
+                                    e.1.push(cost);
+                                }
+                                cur = Vec::new();
+                                // The combiner's shuffle: only the
+                                // sorted-key partial map crosses the
+                                // boundary through the codec, not the
+                                // record stream.
+                                let mut sorted: Vec<(String, (AggState, Vec<f64>))> =
+                                    map.into_iter().collect();
+                                sorted.sort_by(|a, b| a.0.cmp(&b.0));
+                                let mut w = Writer::new();
+                                w.usize(sorted.len());
+                                for (k, (st, _)) in &sorted {
+                                    w.str(k);
+                                    st.encode(&mut w);
+                                }
+                                let wire = w.into_bytes();
+                                let shuffled = wire.len() as u64;
+                                let mut rd = Reader::new(&wire);
+                                let _n = rd.usize().expect("partial map round-trips");
+                                let entries: Vec<(String, AggState, Vec<f64>)> = sorted
+                                    .into_iter()
+                                    .map(|(k, (_, costs))| {
+                                        let _k = rd.str().expect("partial map round-trips");
+                                        let st = AggState::decode(&mut rd)
+                                            .expect("partial map round-trips");
+                                        (k, st, costs)
+                                    })
+                                    .collect();
+                                tally.wall_ms = t0.elapsed().as_secs_f64() * 1000.0;
+                                stages.push(tally);
+                                Some((entries, shuffled))
+                            } else {
+                                None
+                            };
                             let bytes_out = cur.iter().map(Record::approx_bytes).sum();
-                            ChunkResult { stages, out: cur, bytes_out }
+                            ChunkResult { stages, out: cur, bytes_out, partial, taps }
                         }));
                         match outcome {
                             Ok(r) => *results[i].lock() = Some(r),
@@ -911,6 +1083,11 @@ impl Executor {
                     attempts: res.partition_retries + 1,
                 });
             }
+            // Merge chunk results in chunk order: pipeline stages
+            // preserve record order, so concatenation reproduces the
+            // record order an unfused run would have seen — including the
+            // per-key cost lists the reduce-work replay depends on.
+            let mut merged: BTreeMap<String, (AggState, Vec<f64>)> = BTreeMap::new();
             for slot in results {
                 let r = slot.into_inner().expect("every chunk completed");
                 for (s, t) in r.stages.into_iter().enumerate() {
@@ -919,8 +1096,42 @@ impl Executor {
                     stats[s].wall_ms += t.wall_ms;
                     stats[s].costs.extend(t.costs);
                 }
+                if let Some((entries, shuffled)) = r.partial {
+                    physical.shuffle_bytes += shuffled;
+                    for (k, st, costs) in entries {
+                        match merged.entry(k) {
+                            std::collections::btree_map::Entry::Occupied(mut e) => {
+                                let agg = &combiner.as_ref().expect("partials imply combiner").1;
+                                agg.merge(&mut e.get_mut().0, st);
+                                e.get_mut().1.extend(costs);
+                            }
+                            std::collections::btree_map::Entry::Vacant(v) => {
+                                v.insert((st, costs));
+                            }
+                        }
+                    }
+                }
+                for (&s, tap) in tapped_stages.iter().zip(r.taps) {
+                    stage_taps.entry(s).or_default().extend(tap);
+                }
                 final_bytes_out += r.bytes_out;
                 output.extend(r.out);
+            }
+            if do_fold {
+                // Final merge: finish every key in sorted order, and
+                // replay the serial reduce's per-record cost accumulation
+                // — one left-to-right f64 sum over (sorted key, record
+                // arrival) order, bit-identical to the uncombined path.
+                let agg = &combiner.as_ref().expect("fold implies a combiner").1;
+                let mut work_secs = 0.0f64;
+                for (k, (st, costs)) in merged {
+                    for c in costs {
+                        work_secs += c;
+                    }
+                    output.extend(agg.finish(&k, st));
+                }
+                reduce_work = work_secs / scheds[len - 1].dop_eff as f64;
+                final_bytes_out = output.iter().map(Record::approx_bytes).sum();
             }
         }
 
@@ -1059,6 +1270,39 @@ impl Executor {
                 labels,
             );
             state.metrics.per_op.push(view);
+
+            // Synthesize the checkpoint frame an unfused run would have
+            // written at the node boundary `first + s + 1` when the
+            // cadence hits strictly inside this stage. The ExecState is
+            // momentarily shaped exactly as at that boundary — interior
+            // parents consumed, node `b - 1`'s output live (the tapped
+            // stream), `next_node` at the boundary — so the frame bytes
+            // match the unfused run's bit for bit, and a resume from it
+            // re-enters the plan mid-stage.
+            if tapped_stages.contains(&s) {
+                let b = first + s + 1;
+                let lost = res.faults.as_ref().is_some_and(|fault_plan| {
+                    fault_plan.injects_at(FaultKind::StoreWrite, "flow-checkpoint", b as u64)
+                });
+                if lost {
+                    state.metrics.store_write_failures += 1;
+                } else {
+                    state.metrics.checkpoints_taken += 1;
+                    mirror_flow_gauges(obs, &state.metrics);
+                    for id in first..b - 1 {
+                        state.consumers_left[id] = 0;
+                    }
+                    let saved_next = state.next_node;
+                    state.next_node = b;
+                    state.outputs[b - 1] = Some(stage_taps.remove(&s).unwrap_or_default());
+                    let mut w = Writer::new();
+                    state.encode(&mut w);
+                    obs.registry().snapshot().encode(&mut w);
+                    checkpoints.push(FlowCheckpoint::seal(b, &w.into_bytes()));
+                    state.outputs[b - 1] = None;
+                    state.next_node = saved_next;
+                }
+            }
         }
 
         // Interior chain edges were consumed inside the pass: after an

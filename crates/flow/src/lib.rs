@@ -41,12 +41,13 @@ pub use analyze::{analyze_plan, analyze_script, AnalyzeOptions};
 pub use cluster::{admit, ClusterSpec, NodeSpec, Placement, SchedulingError};
 pub use dfs::{Dfs, DfsConfig, DfsError, DfsStats};
 pub use executor::{
-    ExecutionConfig, ExecutionError, Executor, FlowMetrics, FlowOutput, OpMetrics, ResilientRun,
+    ExecutionConfig, ExecutionError, Executor, FlowMetrics, FlowOutput, OpMetrics, PhysicalStats,
+    ResilientRun,
 };
 pub use resilience::{FlowCheckpoint, FlowResilience};
 pub use logical::{LogicalPlan, NodeId, NodeOp, PlanError};
 pub use meteor::{compile, compile_traced, MeteorError, ScriptInfo};
-pub use operator::{CostModel, Kind, OpFunc, Operator, Package};
-pub use optimizer::{optimize, Rewrite};
+pub use operator::{value_cmp, AggState, Aggregate, CostModel, Kind, OpFunc, Operator, Package};
+pub use optimizer::{fused_stage, optimize, FusedStage, Rewrite};
 pub use packages::{IeConfig, IeResources, OperatorRegistry};
 pub use record::{span_annotation, Record, Value};

@@ -36,6 +36,10 @@ impl std::fmt::Display for PlanError {
 impl std::error::Error for PlanError {}
 
 /// A plan node.
+// In realistic plans nearly every node is an `Op`, so boxing the large
+// variant would buy no aggregate memory and cost a pointer chase in the
+// executor's drive loop.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum NodeOp {
     /// Reads the named input dataset.

@@ -15,9 +15,11 @@
 //! - an optional **library dependency** `(name, major version)` — the
 //!   ingredient of the paper's OpenNLP 1.4-vs-1.5 class-loader war story.
 
-use crate::record::Record;
+use crate::record::{Record, Value};
 use serde::Serialize;
+use std::cmp::Ordering;
 use std::sync::Arc;
+use websift_resilience::{CodecError, Reader, Snapshot, Writer};
 
 /// Operator package, per the paper's taxonomy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
@@ -86,6 +88,305 @@ impl CostModel {
 /// A reduce operator's aggregation function: key plus that key's records.
 pub type AggregateFn = Arc<dyn Fn(&str, Vec<Record>) -> Vec<Record> + Send + Sync>;
 
+/// A reduce operator's grouping-key function.
+pub type KeyFn = Arc<dyn Fn(&Record) -> String + Send + Sync>;
+
+/// A total order over [`Value`]s, used by `Min`/`Max`/`TopK` aggregates.
+/// Values of different types order by type tag (Null < Bool < Int < Float
+/// < Str < Array < Object); floats use IEEE `total_cmp` so NaN has a
+/// stable place. Crucially, `Equal` implies the two values are
+/// structurally identical, which is what makes tie-breaks in partial
+/// aggregation interchangeable with the serial path.
+pub fn value_cmp(a: &Value, b: &Value) -> Ordering {
+    fn rank(v: &Value) -> u8 {
+        match v {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) => 2,
+            Value::Float(_) => 3,
+            Value::Str(_) => 4,
+            Value::Array(_) => 5,
+            Value::Object(_) => 6,
+        }
+    }
+    match (a, b) {
+        (Value::Null, Value::Null) => Ordering::Equal,
+        (Value::Bool(x), Value::Bool(y)) => x.cmp(y),
+        (Value::Int(x), Value::Int(y)) => x.cmp(y),
+        (Value::Float(x), Value::Float(y)) => x.total_cmp(y),
+        (Value::Str(x), Value::Str(y)) => x.as_ref().cmp(y.as_ref()),
+        (Value::Array(x), Value::Array(y)) => {
+            for (xv, yv) in x.iter().zip(y.iter()) {
+                match value_cmp(xv, yv) {
+                    Ordering::Equal => {}
+                    other => return other,
+                }
+            }
+            x.len().cmp(&y.len())
+        }
+        (Value::Object(x), Value::Object(y)) => {
+            for ((xk, xv), (yk, yv)) in x.iter().zip(y.iter()) {
+                match xk.cmp(yk).then_with(|| value_cmp(xv, yv)) {
+                    Ordering::Equal => {}
+                    other => return other,
+                }
+            }
+            x.len().cmp(&y.len())
+        }
+        _ => rank(a).cmp(&rank(b)),
+    }
+}
+
+/// A typed reduce aggregation. The built-in variants are associative and
+/// have an exact merge, so the executor may pre-aggregate partial results
+/// inside fused workers and merge at the stage boundary without changing
+/// any output byte. `Custom` is the escape hatch for arbitrary group
+/// functions; it opts the reduce out of combining (the optimizer flags
+/// this as WS010).
+#[derive(Clone)]
+pub enum Aggregate {
+    /// Group size, emitted as `Int` under `into`.
+    Count { into: String },
+    /// Wrapping sum of the `Int` values of `field` (non-`Int` values count
+    /// as 0), emitted under `into`.
+    Sum { field: String, into: String },
+    /// Smallest value of `field` under [`value_cmp`]; records without the
+    /// field contribute nothing. `Null` if no record carried the field.
+    Min { field: String, into: String },
+    /// Largest value of `field` under [`value_cmp`], same conventions.
+    Max { field: String, into: String },
+    /// String values of `field` joined with `sep` in record order.
+    Concat { field: String, sep: String, into: String },
+    /// The `k` largest values of `field` under [`value_cmp`], descending,
+    /// emitted as an `Array` under `into`.
+    TopK { field: String, k: usize, into: String },
+    /// Arbitrary group function — not combinable.
+    Custom(AggregateFn),
+}
+
+/// Partial-aggregate state for one key, accumulated per fused worker and
+/// merged at the stage boundary. Byte-deterministic via [`Snapshot`] so
+/// checkpoint barriers can cut through a fused Reduce stage.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AggState {
+    Count(i64),
+    Sum(i64),
+    MinMax(Option<Value>),
+    Concat(Option<String>),
+    TopK(Vec<Value>),
+}
+
+impl Snapshot for AggState {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            AggState::Count(n) => {
+                w.u8(0);
+                w.i64(*n);
+            }
+            AggState::Sum(n) => {
+                w.u8(1);
+                w.i64(*n);
+            }
+            AggState::MinMax(v) => {
+                w.u8(2);
+                w.bool(v.is_some());
+                if let Some(v) = v {
+                    v.encode(w);
+                }
+            }
+            AggState::Concat(s) => {
+                w.u8(3);
+                w.bool(s.is_some());
+                if let Some(s) = s {
+                    w.str(s);
+                }
+            }
+            AggState::TopK(vs) => {
+                w.u8(4);
+                vs.encode(w);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<AggState, CodecError> {
+        Ok(match r.u8()? {
+            0 => AggState::Count(r.i64()?),
+            1 => AggState::Sum(r.i64()?),
+            2 => AggState::MinMax(if r.bool()? { Some(Value::decode(r)?) } else { None }),
+            3 => AggState::Concat(if r.bool()? { Some(r.str()?) } else { None }),
+            4 => AggState::TopK(Snapshot::decode(r)?),
+            tag => return Err(CodecError::BadTag { what: "AggState", tag }),
+        })
+    }
+}
+
+impl Aggregate {
+    /// Can partial results from independent workers be merged exactly?
+    pub fn is_combinable(&self) -> bool {
+        !matches!(self, Aggregate::Custom(_))
+    }
+
+    /// Fresh per-key state. Panics on `Custom` (callers must check
+    /// [`Aggregate::is_combinable`] first).
+    pub fn seed(&self) -> AggState {
+        match self {
+            Aggregate::Count { .. } => AggState::Count(0),
+            Aggregate::Sum { .. } => AggState::Sum(0),
+            Aggregate::Min { .. } | Aggregate::Max { .. } => AggState::MinMax(None),
+            Aggregate::Concat { .. } => AggState::Concat(None),
+            Aggregate::TopK { .. } => AggState::TopK(Vec::new()),
+            Aggregate::Custom(_) => unreachable!("custom aggregates are not combinable"),
+        }
+    }
+
+    /// Folds one record into a partial state.
+    pub fn fold(&self, state: &mut AggState, r: &Record) {
+        match (self, state) {
+            (Aggregate::Count { .. }, AggState::Count(n)) => *n = n.wrapping_add(1),
+            (Aggregate::Sum { field, .. }, AggState::Sum(n)) => {
+                *n = n.wrapping_add(r.get(field).and_then(Value::as_int).unwrap_or(0));
+            }
+            (Aggregate::Min { field, .. }, AggState::MinMax(cur)) => {
+                if let Some(v) = r.get(field) {
+                    let replace =
+                        cur.as_ref().is_none_or(|c| value_cmp(v, c) == Ordering::Less);
+                    if replace {
+                        *cur = Some(v.clone());
+                    }
+                }
+            }
+            (Aggregate::Max { field, .. }, AggState::MinMax(cur)) => {
+                if let Some(v) = r.get(field) {
+                    let replace =
+                        cur.as_ref().is_none_or(|c| value_cmp(v, c) == Ordering::Greater);
+                    if replace {
+                        *cur = Some(v.clone());
+                    }
+                }
+            }
+            (Aggregate::Concat { field, sep, .. }, AggState::Concat(acc)) => {
+                if let Some(s) = r.get(field).and_then(Value::as_str) {
+                    match acc {
+                        Some(joined) => {
+                            joined.push_str(sep);
+                            joined.push_str(s);
+                        }
+                        None => *acc = Some(s.to_string()),
+                    }
+                }
+            }
+            (Aggregate::TopK { field, k, .. }, AggState::TopK(vs)) => {
+                if let Some(v) = r.get(field) {
+                    // Sorted descending; equal values keep arrival order
+                    // (ties compare Equal only when structurally identical,
+                    // so the choice cannot show in the output).
+                    let at = vs.partition_point(|x| value_cmp(x, v) != Ordering::Less);
+                    vs.insert(at, v.clone());
+                    vs.truncate(*k);
+                }
+            }
+            _ => unreachable!("aggregate/state variant mismatch"),
+        }
+    }
+
+    /// Merges a later partial into an earlier one. Exactness: for every
+    /// built-in, `merge(fold(xs), fold(ys)) == fold(xs ++ ys)` — the
+    /// property the differential suite exercises.
+    pub fn merge(&self, left: &mut AggState, right: AggState) {
+        match (left, right) {
+            (AggState::Count(l), AggState::Count(r)) => *l = l.wrapping_add(r),
+            (AggState::Sum(l), AggState::Sum(r)) => *l = l.wrapping_add(r),
+            (AggState::MinMax(l), AggState::MinMax(r)) => {
+                let keep_right = match (&l, &r) {
+                    (Some(lv), Some(rv)) => {
+                        let want = match self {
+                            Aggregate::Min { .. } => Ordering::Less,
+                            _ => Ordering::Greater,
+                        };
+                        value_cmp(rv, lv) == want
+                    }
+                    (None, Some(_)) => true,
+                    _ => false,
+                };
+                if keep_right {
+                    *l = r;
+                }
+            }
+            (AggState::Concat(l), AggState::Concat(r)) => {
+                let sep = match self {
+                    Aggregate::Concat { sep, .. } => sep.as_str(),
+                    _ => "",
+                };
+                match (l.as_mut(), r) {
+                    (Some(joined), Some(r)) => {
+                        joined.push_str(sep);
+                        joined.push_str(&r);
+                    }
+                    (None, Some(r)) => *l = Some(r),
+                    _ => {}
+                }
+            }
+            (AggState::TopK(l), AggState::TopK(r)) => {
+                let k = match self {
+                    Aggregate::TopK { k, .. } => *k,
+                    _ => usize::MAX,
+                };
+                let mut merged = Vec::with_capacity((l.len() + r.len()).min(k));
+                let (mut li, mut ri) = (0, 0);
+                while merged.len() < k && (li < l.len() || ri < r.len()) {
+                    let take_left = li < l.len()
+                        && (ri >= r.len() || value_cmp(&l[li], &r[ri]) != Ordering::Less);
+                    if take_left {
+                        merged.push(l[li].clone());
+                        li += 1;
+                    } else {
+                        merged.push(r[ri].clone());
+                        ri += 1;
+                    }
+                }
+                *l = merged;
+            }
+            _ => unreachable!("aggregate state variant mismatch in merge"),
+        }
+    }
+
+    /// Emits the final record for one key.
+    pub fn finish(&self, key: &str, state: AggState) -> Vec<Record> {
+        let (into, value) = match (self, state) {
+            (Aggregate::Count { into }, AggState::Count(n)) => (into, Value::Int(n)),
+            (Aggregate::Sum { into, .. }, AggState::Sum(n)) => (into, Value::Int(n)),
+            (Aggregate::Min { into, .. } | Aggregate::Max { into, .. }, AggState::MinMax(v)) => {
+                (into, v.unwrap_or(Value::Null))
+            }
+            (Aggregate::Concat { into, .. }, AggState::Concat(s)) => {
+                (into, s.map(Value::from).unwrap_or(Value::Null))
+            }
+            (Aggregate::TopK { into, .. }, AggState::TopK(vs)) => (into, Value::Array(vs)),
+            _ => unreachable!("aggregate/state variant mismatch in finish"),
+        };
+        let mut out = Record::new();
+        out.set("key", key).set(into, value);
+        vec![out]
+    }
+
+    /// Applies the aggregate to one complete group — the serial (and
+    /// `Custom`) path. For built-ins this is seed → fold each record in
+    /// order → finish, so it agrees with any fold/merge split by
+    /// construction.
+    pub fn apply_group(&self, key: &str, records: Vec<Record>) -> Vec<Record> {
+        match self {
+            Aggregate::Custom(f) => f(key, records),
+            _ => {
+                let mut state = self.seed();
+                for r in &records {
+                    self.fold(&mut state, r);
+                }
+                self.finish(key, state)
+            }
+        }
+    }
+}
+
 /// The UDF payload.
 #[derive(Clone)]
 pub enum OpFunc {
@@ -93,8 +394,8 @@ pub enum OpFunc {
     FlatMap(Arc<dyn Fn(Record) -> Vec<Record> + Send + Sync>),
     Filter(Arc<dyn Fn(&Record) -> bool + Send + Sync>),
     Reduce {
-        key: Arc<dyn Fn(&Record) -> String + Send + Sync>,
-        aggregate: AggregateFn,
+        key: KeyFn,
+        aggregate: Aggregate,
     },
 }
 
@@ -168,18 +469,29 @@ impl Operator {
         }
     }
 
+    /// A reduce with an arbitrary group function. The closure is opaque to
+    /// the optimizer, so this reduce never combines ([`Aggregate::Custom`]);
+    /// prefer [`Operator::reduce_agg`] when a typed aggregate fits.
     pub fn reduce(
         name: &str,
         package: Package,
         key: impl Fn(&Record) -> String + Send + Sync + 'static,
         aggregate: impl Fn(&str, Vec<Record>) -> Vec<Record> + Send + Sync + 'static,
     ) -> Operator {
+        Operator::reduce_agg(name, package, key, Aggregate::Custom(Arc::new(aggregate)))
+    }
+
+    /// A reduce with a typed, combinable aggregate — eligible for partial
+    /// aggregation inside fused stages.
+    pub fn reduce_agg(
+        name: &str,
+        package: Package,
+        key: impl Fn(&Record) -> String + Send + Sync + 'static,
+        aggregate: Aggregate,
+    ) -> Operator {
         Operator {
             kind: Kind::Reduce,
-            func: OpFunc::Reduce {
-                key: Arc::new(key),
-                aggregate: Arc::new(aggregate),
-            },
+            func: OpFunc::Reduce { key: Arc::new(key), aggregate },
             ..Operator::map(name, package, |r| r)
         }
     }
@@ -215,6 +527,12 @@ impl Operator {
         self.kind != Kind::Reduce
     }
 
+    /// Is this a reduce whose aggregate supports exact partial
+    /// aggregation?
+    pub fn combinable_reduce(&self) -> bool {
+        matches!(&self.func, OpFunc::Reduce { aggregate, .. } if aggregate.is_combinable())
+    }
+
     /// Applies the operator to a batch sequentially (the executor handles
     /// parallelism; this is also the unit-test entry point).
     pub fn apply(&self, input: Vec<Record>) -> Vec<Record> {
@@ -230,7 +548,7 @@ impl Operator {
                 }
                 groups
                     .into_iter()
-                    .flat_map(|(k, rs)| aggregate(&k, rs))
+                    .flat_map(|(k, rs)| aggregate.apply_group(&k, rs))
                     .collect()
             }
         }
@@ -335,5 +653,137 @@ mod tests {
         let out = op.apply(input.clone());
         assert_eq!(out[0].get("text"), Some(&Value::Str("doc 9".into())));
         assert_eq!(out, input);
+    }
+
+    /// Every typed aggregate under test, with a field mix that exercises
+    /// missing fields, wrong types, ties, and NaN.
+    fn agg_pool() -> Vec<Aggregate> {
+        vec![
+            Aggregate::Count { into: "n".into() },
+            Aggregate::Sum { field: "x".into(), into: "sum".into() },
+            Aggregate::Min { field: "x".into(), into: "min".into() },
+            Aggregate::Max { field: "x".into(), into: "max".into() },
+            Aggregate::Concat { field: "text".into(), sep: "|".into(), into: "cat".into() },
+            Aggregate::TopK { field: "x".into(), k: 3, into: "top".into() },
+        ]
+    }
+
+    fn agg_records() -> Vec<Record> {
+        let mut rs: Vec<Record> = (0..7i64).map(|i| rec(i % 3)).collect();
+        rs[0].set("x", 5i64);
+        rs[1].set("x", Value::Float(f64::NAN));
+        rs[2].set("x", 5i64); // tie with rs[0]
+        rs[3].set("x", Value::Float(-0.0));
+        rs[4].remove("text"); // Concat skips this one
+        rs[5].set("x", "str-typed"); // Sum treats as 0, Min/Max by value_cmp
+        rs
+    }
+
+    /// Byte-exact comparison key: `PartialEq` on records sees
+    /// `NaN != NaN`, but the equivalence contract is codec-byte identity.
+    fn records_bytes(rs: &[Record]) -> Vec<u8> {
+        let mut w = Writer::new();
+        for r in rs {
+            r.encode(&mut w);
+        }
+        w.into_bytes()
+    }
+
+    #[test]
+    fn fold_merge_agrees_with_serial_apply_group_at_every_split() {
+        let records = agg_records();
+        for agg in agg_pool() {
+            let serial = records_bytes(&agg.apply_group("k", records.clone()));
+            for split in 0..=records.len() {
+                let (a, b) = records.split_at(split);
+                let mut left = agg.seed();
+                for r in a {
+                    agg.fold(&mut left, r);
+                }
+                let mut right = agg.seed();
+                for r in b {
+                    agg.fold(&mut right, r);
+                }
+                agg.merge(&mut left, right);
+                assert_eq!(
+                    records_bytes(&agg.finish("k", left)),
+                    serial,
+                    "split {split} diverged from serial"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn agg_state_codec_roundtrips() {
+        let states = vec![
+            AggState::Count(42),
+            AggState::Sum(-7),
+            AggState::MinMax(None),
+            AggState::MinMax(Some(Value::Float(f64::NAN))),
+            AggState::Concat(None),
+            AggState::Concat(Some("a|b".into())),
+            AggState::TopK(vec![Value::Int(3), Value::Int(1)]),
+        ];
+        for s in states {
+            let mut w = Writer::new();
+            s.encode(&mut w);
+            let bytes = w.into_bytes();
+            let mut r = Reader::new(&bytes);
+            let back = AggState::decode(&mut r).unwrap();
+            // compare re-encoded bytes, not PartialEq: NaN != NaN but the
+            // roundtrip must preserve the exact bits
+            let mut w2 = Writer::new();
+            back.encode(&mut w2);
+            assert_eq!(w2.into_bytes(), bytes, "{s:?} did not roundtrip");
+        }
+    }
+
+    #[test]
+    fn value_cmp_is_a_total_order_with_identity_ties() {
+        let vals = [
+            Value::Null,
+            Value::Bool(false),
+            Value::Int(-1),
+            Value::Int(2),
+            Value::Float(f64::NEG_INFINITY),
+            Value::Float(-0.0),
+            Value::Float(0.0),
+            Value::Float(f64::NAN),
+            Value::from("a"),
+            Value::from("b"),
+            Value::Array(vec![Value::Int(1)]),
+            Value::Object([("k".to_string(), Value::Int(1))].into_iter().collect()),
+        ];
+        for a in &vals {
+            assert_eq!(value_cmp(a, a), Ordering::Equal);
+            for b in &vals {
+                assert_eq!(value_cmp(a, b), value_cmp(b, a).reverse());
+            }
+        }
+        // Equal only for bit-identical floats: -0.0 < +0.0 under total_cmp.
+        assert_eq!(value_cmp(&Value::Float(-0.0), &Value::Float(0.0)), Ordering::Less);
+        // Cross-type ordering is by tag rank.
+        assert_eq!(value_cmp(&Value::Int(999), &Value::Float(-1.0)), Ordering::Less);
+    }
+
+    #[test]
+    fn reduce_agg_count_matches_custom_closure() {
+        let key = |r: &Record| (r.get("id").unwrap().as_int().unwrap() % 2).to_string();
+        let typed = Operator::reduce_agg(
+            "count",
+            Package::Base,
+            key,
+            Aggregate::Count { into: "count".into() },
+        );
+        let custom = Operator::reduce("count", Package::Base, key, |k, rs| {
+            let mut out = Record::new();
+            out.set("key", k).set("count", rs.len());
+            vec![out]
+        });
+        let input: Vec<Record> = (0..9i64).map(rec).collect();
+        assert_eq!(typed.apply(input.clone()), custom.apply(input));
+        assert!(typed.combinable_reduce());
+        assert!(!custom.combinable_reduce());
     }
 }

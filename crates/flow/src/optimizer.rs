@@ -64,6 +64,60 @@ pub fn fusable_chain_len(
     last - start + 1
 }
 
+/// A physical stage as planned by fusion: `len` consecutive plan nodes
+/// executed in one pass. When `combined_reduce` is set, the last node is
+/// a combinable Reduce run via partial aggregation (per-worker fold +
+/// final merge) instead of a serial hash shuffle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FusedStage {
+    pub len: usize,
+    pub combined_reduce: bool,
+}
+
+/// Plans the fused stage starting at `start`: the maximal fusable chain,
+/// extended *through* a trailing Reduce when `combining` is on and the
+/// Reduce's aggregate is provably combinable (typed, not `Custom`).
+///
+/// The extension applies the same structural rules as
+/// [`fusable_chain_len`] to the Reduce node — contiguous id, single
+/// consumer of the chain tail, itself consumed, no `barrier` — because
+/// the executor's replay walks constituents in node-id order and the
+/// Reduce must be this stage's sole terminal. A combinable Reduce that
+/// *heads* a stage is also planned as combined (chunked fold + merge):
+/// partial aggregation does not require upstream fusion, only an exact
+/// merge. `Custom` aggregates never combine; the analyzer surfaces that
+/// silent fallback as the info-level WS010 diagnostic.
+pub fn fused_stage(
+    plan: &LogicalPlan,
+    start: NodeId,
+    barrier: impl Fn(NodeId) -> bool,
+    combining: bool,
+) -> FusedStage {
+    let nodes = plan.nodes();
+    let combinable = |id: NodeId| match &nodes[id].op {
+        NodeOp::Op(op) => op.combinable_reduce(),
+        _ => false,
+    };
+    if combining && combinable(start) {
+        return FusedStage { len: 1, combined_reduce: true };
+    }
+    let len = fusable_chain_len(plan, start, &barrier);
+    let last = start + len - 1;
+    let pipelineable_start = matches!(&nodes[start].op, NodeOp::Op(op) if op.is_pipelineable());
+    if combining
+        && pipelineable_start
+        && last + 1 < nodes.len()
+        && nodes[last + 1].input == Some(last)
+        && combinable(last + 1)
+        && plan.children(last).len() == 1
+        && !plan.children(last + 1).is_empty()
+        && !barrier(last + 1)
+    {
+        return FusedStage { len: len + 1, combined_reduce: true };
+    }
+    FusedStage { len, combined_reduce: false }
+}
+
 /// Name given to identity nodes spliced out by rule 3. They stay in the
 /// node vector (orphaned) so node ids remain stable; the executor and the
 /// static analyzer both skip nodes with this name.
@@ -312,6 +366,64 @@ mod tests {
         assert_eq!(fusable_chain_len(&plan, red, |_| false), 1, "reduce never fuses");
         assert_eq!(fusable_chain_len(&plan, d, |_| false), 1, "sink stops the chain");
         assert_eq!(fusable_chain_len(&plan, src, |_| false), 1, "source is not a chain");
+    }
+
+    #[test]
+    fn fused_stage_extends_through_combinable_reduce_only() {
+        use crate::operator::Aggregate;
+        // src -> map -> filter -> reduce -> sink
+        let build = |combinable: bool| {
+            let mut plan = LogicalPlan::new();
+            let src = plan.source("in");
+            let a = plan.add(src, expensive_map()).unwrap();
+            let b = plan.add(a, cheap_filter("f", "text")).unwrap();
+            let red = if combinable {
+                Operator::reduce_agg(
+                    "r",
+                    Package::Base,
+                    |_| String::new(),
+                    Aggregate::Count { into: "n".into() },
+                )
+            } else {
+                Operator::reduce("r", Package::Base, |_| String::new(), |_, rs| rs)
+            };
+            let red = plan.add(b, red).unwrap();
+            plan.sink(red, "out").unwrap();
+            (plan, a, red)
+        };
+
+        let (plan, a, red) = build(true);
+        assert_eq!(
+            fused_stage(&plan, a, |_| false, true),
+            FusedStage { len: 3, combined_reduce: true },
+            "chain extends through the combinable reduce"
+        );
+        assert_eq!(
+            fused_stage(&plan, a, |_| false, false),
+            FusedStage { len: 2, combined_reduce: false },
+            "combining off keeps the PR-4 chain"
+        );
+        assert_eq!(
+            fused_stage(&plan, red, |_| false, true),
+            FusedStage { len: 1, combined_reduce: true },
+            "a lone combinable reduce still pre-aggregates"
+        );
+        assert_eq!(
+            fused_stage(&plan, a, |id| id == red, true),
+            FusedStage { len: 2, combined_reduce: false },
+            "a barrier at the reduce blocks the extension"
+        );
+
+        let (plan, a, red) = build(false);
+        assert_eq!(
+            fused_stage(&plan, a, |_| false, true),
+            FusedStage { len: 2, combined_reduce: false },
+            "custom aggregates never combine"
+        );
+        assert_eq!(
+            fused_stage(&plan, red, |_| false, true),
+            FusedStage { len: 1, combined_reduce: false }
+        );
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! BASE package: general-purpose relational operators.
 
-use crate::operator::{CostModel, Operator, Package};
+use crate::operator::{Aggregate, CostModel, Operator, Package};
 use crate::packages::OperatorRegistry;
 use crate::record::Record;
 
@@ -48,23 +48,21 @@ pub fn project(fields: Vec<String>) -> Operator {
     })
 }
 
-/// `base.count_by` — reduce counting records per value of `field`.
+/// `base.count_by` — reduce counting records per value of `field`. Uses
+/// the typed [`Aggregate::Count`], so the executor can pre-aggregate it
+/// inside fused stages.
 pub fn count_by(field: &str) -> Operator {
     let field = field.to_string();
     let key_field = field.clone();
-    let mut op = Operator::reduce(
+    let mut op = Operator::reduce_agg(
         "base.count_by",
         Package::Base,
-        move |r| {
+        move |r: &Record| {
             r.get(&key_field)
                 .map(|v| format!("{v:?}"))
                 .unwrap_or_else(|| "<missing>".to_string())
         },
-        |k, rs| {
-            let mut out = Record::new();
-            out.set("key", k).set("count", rs.len());
-            vec![out]
-        },
+        Aggregate::Count { into: "count".to_string() },
     );
     op.reads = vec![field];
     op

@@ -1,8 +1,9 @@
 //! Static-analyzer integration tests (satellite 3):
 //!
 //! 1. golden-file tests — the three §4.2 failure modes (use-before-def,
-//!    OpenNLP version conflict, over-memory admission) produce exactly the
-//!    committed diagnostics JSON, byte for byte;
+//!    OpenNLP version conflict, over-memory admission) plus the silent
+//!    combining-disabled pitfall (WS010) produce exactly the committed
+//!    diagnostics JSON, byte for byte;
 //! 2. a property test — logical optimization never changes the analyzer's
 //!    *error* verdict: the set of (code, message) error pairs is identical
 //!    before and after `optimize`, across randomly generated chain plans.
@@ -12,7 +13,7 @@ use websift_analyze::{diagnostics_to_json, Severity};
 use websift_flow::packages::ie;
 use websift_flow::{
     analyze_plan, analyze_script, optimize, AnalyzeOptions, ClusterSpec, CostModel, LogicalPlan,
-    Operator, OperatorRegistry, Package,
+    Operator, OperatorRegistry, Package, Record,
 };
 
 fn ie_registry() -> OperatorRegistry {
@@ -105,6 +106,45 @@ fn golden_over_memory() {
         diagnostics_to_json(&diags),
         include_str!("golden/over_memory.json").trim_end(),
     );
+}
+
+/// The silent-pitfall golden: a per-corpus tally written as a `Custom`
+/// closure. The plan is correct and runs, but the executor cannot
+/// pre-aggregate it inside fused stages — the optimizer must say so
+/// (WS010, info severity) instead of silently shipping every group
+/// uncombined.
+fn custom_aggregate_plan() -> LogicalPlan {
+    let mut plan = LogicalPlan::new();
+    let src = plan.source("crawl");
+    let sents = plan.add(src, ie::annotate_sentences()).expect("static plan");
+    let tally = plan
+        .add(
+            sents,
+            Operator::reduce(
+                "ie.tally_by_corpus",
+                Package::Ie,
+                |r| format!("{:?}", r.get("corpus")),
+                |key, group| {
+                    let mut out = Record::new();
+                    out.set("key", key).set("count", group.len());
+                    vec![out]
+                },
+            ),
+        )
+        .expect("static plan");
+    plan.sink(tally, "tallies").expect("static plan");
+    plan
+}
+
+#[test]
+fn golden_custom_aggregate_disables_combining() {
+    let diags = analyze_plan(&custom_aggregate_plan(), &AnalyzeOptions::default());
+    assert_eq!(
+        diagnostics_to_json(&diags),
+        include_str!("golden/custom_aggregate.json").trim_end(),
+    );
+    // info, not error: the plan still runs, just without combining
+    assert!(diags.iter().all(|d| d.severity == Severity::Info));
 }
 
 // ---------------------------------------------------------------------

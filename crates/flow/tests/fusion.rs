@@ -23,10 +23,11 @@ use websift_resilience::{Snapshot, Writer};
 
 /// A small vocabulary of total (never-panicking) operators: stamping
 /// maps, a duplicating flat-map, a parity filter, a grouping reduce
-/// (fusion barrier), a byte-growing map, and an operator reading the
+/// (fusion barrier), a byte-growing map, an operator reading the
 /// `stamp` field — which trips a WS001 rejection whenever it lands
 /// upstream of the map that produces it, so rejected plans are part of
-/// the property too.
+/// the property too — and a combinable Count reduce (index 6) that the
+/// combining executor extends fused stages through.
 fn pool_op(idx: usize) -> Operator {
     match idx {
         0 => Operator::map("stamp", Package::Base, |mut r| {
@@ -63,9 +64,15 @@ fn pool_op(idx: usize) -> Operator {
         })
         .with_reads(&["text"])
         .with_writes(&["text"]),
-        _ => Operator::map("needs-stamp", Package::Base, |r| r)
+        5 => Operator::map("needs-stamp", Package::Base, |r| r)
             .with_reads(&["stamp"])
             .with_writes(&["x"]),
+        _ => Operator::reduce_agg(
+            "tally",
+            Package::Base,
+            |r| format!("g{}", r.get("id").and_then(Value::as_int).unwrap_or(0) % 3),
+            websift_flow::Aggregate::Count { into: "id".into() },
+        ),
     }
 }
 
@@ -142,7 +149,7 @@ proptest! {
 
     #[test]
     fn fused_run_is_byte_identical_to_unfused(
-        indices in prop::collection::vec(0usize..6, 1..8),
+        indices in prop::collection::vec(0usize..7, 1..8),
         seed in 0u64..1_000_000,
         rate_sel in 0usize..3,
         dop in 1usize..6,
@@ -169,13 +176,18 @@ proptest! {
 
     #[test]
     fn kill_and_resume_across_fused_stage_is_bit_exact(
-        indices in prop::collection::vec(0usize..5, 2..7),
+        indices in prop::collection::vec(0usize..6, 2..7),
         stop_frac in 0usize..100,
         dop in 1usize..5,
         n_docs in 1usize..30,
     ) {
         // Fault-free so the kill point is the only perturbation; ops from
-        // the panic-free part of the vocabulary (no analyzer rejection).
+        // the panic-free part of the vocabulary (no analyzer rejection):
+        // draw 5 is remapped to the combinable Count reduce (index 6) so
+        // kill points land inside fused Reduce stages too, and the
+        // WS001-tripping needs-stamp op stays out.
+        let indices: Vec<usize> =
+            indices.into_iter().map(|i| if i == 5 { 6 } else { i }).collect();
         let plan = chain_plan(&indices);
         let full_res = FlowResilience {
             checkpoint_every_nodes: Some(1),
@@ -236,17 +248,23 @@ proptest! {
             stop
         );
 
-        // And the unfused engine agrees with the fused resume.
-        let unfused = Executor::new(ExecutionConfig { fusion: false, ..ExecutionConfig::local(dop) });
-        let mut inputs = HashMap::new();
-        inputs.insert("in".to_string(), docs(n_docs));
-        let plain = unfused.run_resilient(&plan, inputs, &full_res).unwrap().output.unwrap();
-        prop_assert_eq!(
-            resumed.deterministic_digest(),
-            plain.deterministic_digest(),
-            "fused resume diverged from unfused run for {:?} stop={}",
-            indices,
-            stop
-        );
+        // And the unfused and uncombined engines agree with the fused
+        // resume.
+        for config in [
+            ExecutionConfig { fusion: false, ..ExecutionConfig::local(dop) },
+            ExecutionConfig { combining: false, ..ExecutionConfig::local(dop) },
+        ] {
+            let other = Executor::new(config);
+            let mut inputs = HashMap::new();
+            inputs.insert("in".to_string(), docs(n_docs));
+            let plain = other.run_resilient(&plan, inputs, &full_res).unwrap().output.unwrap();
+            prop_assert_eq!(
+                resumed.deterministic_digest(),
+                plain.deterministic_digest(),
+                "fused resume diverged from unfused/uncombined run for {:?} stop={}",
+                indices,
+                stop
+            );
+        }
     }
 }

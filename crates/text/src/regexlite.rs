@@ -968,6 +968,83 @@ mod tests {
     }
 
     #[test]
+    fn empty_pattern_matches_empty_everywhere() {
+        let r = Regex::new("").unwrap();
+        assert!(r.first_bytes.is_none(), "empty-match-capable pattern must not prefilter");
+        assert!(r.is_match(""));
+        assert!(r.is_match("abc"));
+        let m = r.find("abc").unwrap();
+        assert_eq!((m.start, m.end), (0, 0));
+        // one empty match per char position; the end-of-text position
+        // terminates the scan instead of looping
+        let all = r.find_iter("aéb");
+        assert!(all.iter().all(Match::is_empty));
+        assert_eq!(
+            all.iter().map(|m| m.start).collect::<Vec<_>>(),
+            vec![0, 1, 3],
+            "empty matches advance by whole chars"
+        );
+    }
+
+    #[test]
+    fn non_ascii_first_byte_disables_prefilter_but_still_matches() {
+        for pat in ["ärm", "é+e", "√x"] {
+            let r = Regex::new(pat).unwrap();
+            assert!(r.first_bytes.is_none(), "non-ASCII first byte must not prefilter: {pat}");
+        }
+        assert_eq!(
+            Regex::new("ärm").unwrap().find("wärme").map(|m| (m.start, m.end)),
+            Some((1, 5)),
+            "match spans the multi-byte char"
+        );
+        assert!(Regex::new("é+e").unwrap().is_match("créée"));
+        // case folding is full Unicode: Ä folds to ä
+        assert!(Regex::case_insensitive("ärm").unwrap().is_match("ÄRM"));
+    }
+
+    #[test]
+    fn prefilter_differential_on_random_strings() {
+        // Deterministic LCG (no process-global randomness): the prefilter
+        // is an optimization and must be invisible on every input.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move |bound: usize| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as usize) % bound
+        };
+        let palette: Vec<char> =
+            "abxyn t()-.|ÄäéñÅ√\u{0}\u{7f}π".chars().collect();
+        let patterns = [
+            r"\b(not|nor)\b", // prefilterable word alternation
+            "n[ao]t",         // prefilterable class
+            "x ?y",           // optional interior
+            "a*b",            // leading star (no prefilter)
+            ".t",             // leading any (no prefilter)
+            "[^a]b",          // negated class (no prefilter)
+            "é?x",            // optional non-ASCII head (no prefilter)
+        ];
+        let regexes: Vec<(Regex, Regex)> = patterns
+            .iter()
+            .map(|p| {
+                let filtered = Regex::case_insensitive(p).unwrap();
+                let mut unfiltered = filtered.clone();
+                unfiltered.first_bytes = None;
+                (filtered, unfiltered)
+            })
+            .collect();
+        for _ in 0..200 {
+            let len = next(24);
+            let text: String = (0..len).map(|_| palette[next(palette.len())]).collect();
+            for ((filtered, unfiltered), pat) in regexes.iter().zip(patterns) {
+                assert_eq!(
+                    filtered.find_iter(&text),
+                    unfiltered.find_iter(&text),
+                    "prefilter diverges for {pat:?} on {text:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn dictionary_variant_pattern() {
         // The shape dictionary terms are expanded into (see websift-ner).
         let r = Regex::case_insensitive(r"\bBRCA[- ]?1\b").unwrap();

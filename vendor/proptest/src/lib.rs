@@ -4,7 +4,8 @@
 //!
 //! - the [`proptest!`] macro wrapping `#[test]` functions whose arguments
 //!   are drawn from strategies (`arg in strategy`), with an optional
-//!   `#![proptest_config(...)]` header;
+//!   `#![proptest_config(...)]` header; the `PROPTEST_CASES` environment
+//!   variable overrides the configured case count, as upstream does;
 //! - string strategies written as regex-lite patterns (`"[a-z]{1,6}"`,
 //!   `"\\PC{0,200}"`) — character classes, escapes, and `{m,n}` counts;
 //! - numeric `Range`/`RangeInclusive` strategies;
@@ -34,6 +35,14 @@ impl ProptestConfig {
     pub fn with_cases(cases: u32) -> ProptestConfig {
         ProptestConfig { cases }
     }
+}
+
+/// Mirror of upstream proptest's environment override: `PROPTEST_CASES`
+/// beats the per-block `#![proptest_config(...)]` count when set, so CI
+/// can pin (or a developer can crank) the explored case count without
+/// editing test sources.
+pub fn cases_from_env() -> Option<u32> {
+    std::env::var("PROPTEST_CASES").ok()?.trim().parse().ok()
 }
 
 impl Default for ProptestConfig {
@@ -98,7 +107,10 @@ macro_rules! __proptest_fns {
         $(
             $(#[$meta])*
             fn $name() {
-                let __config: $crate::ProptestConfig = $cfg;
+                let mut __config: $crate::ProptestConfig = $cfg;
+                if let Some(__cases) = $crate::cases_from_env() {
+                    __config.cases = __cases;
+                }
                 let __seed = $crate::fnv1a(stringify!($name).as_bytes());
                 for __case in 0..__config.cases as u64 {
                     let mut __rng = <$crate::__rand::rngs::StdRng as $crate::__rand::SeedableRng>::seed_from_u64(
