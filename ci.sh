@@ -56,3 +56,9 @@ echo "partial_agg: combining equivalence holds ok"
 # parallelism hides the fold (--check exits non-zero below a 0.95x ratio).
 cargo run -q --release -p websift-bench --bin exp_throughput -- --quick --check
 echo "exp_throughput smoke: fused and combined throughput hold up ok"
+
+# Serving-layer smoke: query responses must be byte-identical across
+# shard counts and across snapshot/resume (--check exits non-zero on any
+# digest mismatch), with admission-controlled concurrent clients.
+cargo run -q --release -p websift-bench --bin exp_serve -- --quick --check > /dev/null
+echo "exp_serve smoke: serving digests identical across shards and snapshot/resume ok"

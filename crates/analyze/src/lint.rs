@@ -86,6 +86,10 @@ pub const WALL_CLOCK_ALLOWLIST: &[(&str, &str)] = &[
         "crates/bench/src/experiments/throughput_exps.rs",
         "the throughput harness exists to measure real wall-clock records/sec",
     ),
+    (
+        "crates/bench/src/experiments/serve_exps.rs",
+        "the serving harness measures real query latency and wall-clock QPS",
+    ),
 ];
 
 /// Modules whose bytes end up in checkpoints, JSONL traces, or snapshots.
@@ -98,11 +102,12 @@ pub const DETERMINISTIC_OUTPUT_MODULES: &[&str] = &[
     "crates/observe/src/report.rs",
     "crates/observe/src/json.rs",
     "crates/bench/src/report.rs",
+    "crates/serve/src/snapshot.rs",
 ];
 
 /// Modules that parse untrusted input (scripts, crawled pages): matched by
 /// file name, panics on input are forbidden.
-pub const UNTRUSTED_INPUT_FILES: &[&str] = &["parser.rs", "meteor.rs", "html.rs"];
+pub const UNTRUSTED_INPUT_FILES: &[&str] = &["parser.rs", "meteor.rs", "html.rs", "query.rs"];
 
 /// Returns `Some(justified)` when `line` carries an inline allow for
 /// `rule`: `justified` is true when a non-empty justification follows.

@@ -20,6 +20,7 @@
 //! | [`content_exps::fig8`] | Fig. 8 (annotation overlap, JSD) |
 //! | [`profile_exps::cost_decomposition`] | Fig. 8 cost split (startup vs per-record, live from the profiler) |
 //! | [`throughput_exps::throughput`] | wall-clock records/sec of the fused vs unfused vs pre-fusion executor |
+//! | [`serve_exps::serve`] | serving-layer QPS + latency under admission-controlled concurrent clients |
 //! | [`recovery_exps::crawl_recovery`] | crawl goodput + checkpoint overhead under injected faults |
 //! | [`recovery_exps::flow_recovery`] | flow partition/node-loss recovery + kill-and-resume check |
 //! | [`analyze_exps::known_bad`] | §4.2 failure modes caught pre-flight by the static analyzer |
@@ -30,4 +31,5 @@ pub mod crawl_exps;
 pub mod profile_exps;
 pub mod recovery_exps;
 pub mod scaling_exps;
+pub mod serve_exps;
 pub mod throughput_exps;

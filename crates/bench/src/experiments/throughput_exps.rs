@@ -555,7 +555,10 @@ pub fn per_op_breakdown(docs: usize) -> Vec<(String, f64, usize)> {
 
 /// Machine-readable report for `BENCH_THROUGHPUT.json`: the fusion sweep
 /// over the linguistic pipeline plus the partial-aggregation sweep over
-/// the token-frequency pipeline.
+/// the token-frequency pipeline. The host's logical core count and the
+/// measured DoP grid are stamped in so a reader can tell whether a sweep
+/// measured parallel scaling or (on a single-core box) only overhead
+/// elimination.
 pub fn throughput_json(report: &ThroughputReport, combining: &CombiningReport) -> String {
     let points = array(report.points.iter().map(|p| {
         ObjectWriter::new()
@@ -576,10 +579,15 @@ pub fn throughput_json(report: &ThroughputReport, combining: &CombiningReport) -
             .u64("shuffle_bytes", p.shuffle_bytes)
             .finish()
     }));
+    let mut dops: Vec<u64> = report.points.iter().map(|p| p.dop as u64).collect();
+    dops.sort_unstable();
+    dops.dedup();
     ObjectWriter::new()
         .str("experiment", "throughput")
         .str("pipeline", "linguistic")
         .u64("docs", report.docs as u64)
+        .u64("host_logical_cores", crate::report::host_logical_cores())
+        .raw("dops", &array(dops.iter().map(|d| d.to_string())))
         .u64("acceptance_dop", ACCEPTANCE_DOP as u64)
         .f64("fused_vs_unfused", report.fused_vs_unfused)
         .f64("fused_vs_baseline", report.fused_vs_baseline)
@@ -642,6 +650,8 @@ mod tests {
         assert!(combining.points.iter().all(|p| p.records_per_sec > 0.0));
         let json = throughput_json(&report, &combining);
         assert!(json.contains("\"fused_vs_baseline\""));
+        assert!(json.contains("\"host_logical_cores\""));
+        assert!(json.contains("\"dops\":[1,4]"));
         assert!(json.contains("\"mode\":\"fused\""));
         assert!(json.contains("\"combined_vs_uncombined\""));
         assert!(json.contains("\"shuffle_reduction\""));

@@ -73,6 +73,16 @@ pub fn results_to_json(results: &[ExperimentResult]) -> String {
     array(results.iter().map(ExperimentResult::to_json))
 }
 
+/// The host's logical core count, stamped into the wall-clock bench JSON
+/// payloads (`BENCH_THROUGHPUT.json`, `BENCH_SERVE.json`) so measured
+/// QPS/throughput numbers carry the hardware they were taken on. The
+/// value is bench metadata only — it never sizes a thread pool here and
+/// never reaches simulated seconds or any deterministic surface.
+pub fn host_logical_cores() -> u64 {
+    // lint:allow(nondet_parallelism): stamped into bench metadata JSON only; never feeds simulated output or digests
+    std::thread::available_parallelism().map(|n| n.get() as u64).unwrap_or(0)
+}
+
 /// True when the process was invoked with `--json` — the experiment
 /// binaries switch from markdown tables to machine-readable output.
 pub fn json_mode() -> bool {

@@ -14,7 +14,7 @@ use websift_corpus::Document;
 use websift_flow::packages::{base, dc, ie, wa};
 use websift_flow::{
     CostModel, ExecutionConfig, ExecutionError, Executor, FlowOutput, IeResources, LogicalPlan,
-    Operator, Package, PlanError, Record, Value,
+    Operator, Package, PlanError, Record, StoreSink, Value,
 };
 use websift_ner::EntityType;
 
@@ -191,6 +191,28 @@ fn try_entity_flow_for(
     Ok(plan)
 }
 
+/// The entity flow wired to a serving store: same extraction pipeline as
+/// [`entity_flow_for`] with both methods, but the deduplicated mentions
+/// sink to `store:<store>/entities` for `Executor::run_into` to drain
+/// into an extraction store instead of an in-memory dataset.
+pub fn entity_store_flow(resources: &IeResources, entity: EntityType, store: &str) -> LogicalPlan {
+    try_entity_store_flow(resources, entity, store).expect(STATIC_PLAN)
+}
+
+fn try_entity_store_flow(
+    resources: &IeResources,
+    entity: EntityType,
+    store: &str,
+) -> Result<LogicalPlan, PlanError> {
+    let mut plan = LogicalPlan::new();
+    let mut cur = preprocessing(&mut plan, "docs")?;
+    cur = plan.add(cur, ie::annotate_entities_dict(resources, entity))?;
+    cur = plan.add(cur, ie::annotate_entities_ml(resources, entity))?;
+    let dedup = plan.add(cur, dc::dedup_entities())?;
+    plan.store_sink(dedup, store, "entities")?;
+    Ok(plan)
+}
+
 /// Runs a plan over documents at the given DoP with a permissive local
 /// cluster (admission off): the everyday execution path.
 pub fn run_over_documents(
@@ -203,6 +225,21 @@ pub fn run_over_documents(
     let mut inputs = HashMap::new();
     inputs.insert(source, records);
     Executor::new(ExecutionConfig::local(dop)).run(plan, inputs)
+}
+
+/// [`run_over_documents`] with the plan's `store:` sinks drained into
+/// `store` — how a pipeline feeds the serving layer.
+pub fn run_over_documents_into(
+    plan: &LogicalPlan,
+    docs: &[Document],
+    dop: usize,
+    store: &mut dyn StoreSink,
+) -> Result<FlowOutput, ExecutionError> {
+    let records = crate::corpora::documents_to_records(docs);
+    let source = plan.sources().first().map(|s| s.to_string()).unwrap_or_default();
+    let mut inputs = HashMap::new();
+    inputs.insert(source, records);
+    Executor::new(ExecutionConfig::local(dop)).run_into(plan, inputs, store)
 }
 
 /// Aggregate outcome of the linguistic flow over a document set — the

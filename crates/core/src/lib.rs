@@ -22,6 +22,7 @@ pub use entities::{
 };
 pub use experiment::{paper, ExperimentContext};
 pub use flows::{
-    entity_flow_for, full_analysis_plan, linguistic_flow, linguistic_report, run_over_documents,
-    token_frequency_flow, LinguisticReport, MethodSelection,
+    entity_flow_for, entity_store_flow, full_analysis_plan, linguistic_flow, linguistic_report,
+    run_over_documents, run_over_documents_into, token_frequency_flow, LinguisticReport,
+    MethodSelection,
 };

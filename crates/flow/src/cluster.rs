@@ -102,6 +102,16 @@ impl ClusterSpec {
 /// Admission failures.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub enum SchedulingError {
+    /// DoP 0 requests no workers at all — nothing to place. Typed (not a
+    /// panic) because the serving layer derives DoP from live query
+    /// concurrency, where 0 is an ordinary caller mistake.
+    ZeroDop,
+    /// The plan declares no memory footprint at all. The per-node
+    /// envelope would vacuously admit any co-location, which in practice
+    /// means a missing cost model rather than a genuinely free flow —
+    /// admitting it would disable the one check the paper's scheduler
+    /// lacked.
+    ZeroMemoryPlan { operators: usize },
     /// The flow's per-worker memory times co-located workers exceeds node
     /// RAM at every feasible placement.
     InsufficientMemory {
@@ -125,6 +135,14 @@ pub enum SchedulingError {
 impl std::fmt::Display for SchedulingError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            SchedulingError::ZeroDop => {
+                write!(f, "DoP 0 requests no workers; admission needs at least one")
+            }
+            SchedulingError::ZeroMemoryPlan { operators } => write!(
+                f,
+                "plan of {operators} operator(s) declares zero memory footprint; \
+                 give every operator a cost model before admission"
+            ),
             SchedulingError::InsufficientMemory {
                 memory_per_worker,
                 node_ram,
@@ -166,7 +184,9 @@ pub struct Placement {
 /// operator footprints — the paper's "roughly 60 GB main memory per worker
 /// thread" arithmetic.
 pub fn admit(plan: &LogicalPlan, dop: usize, cluster: &ClusterSpec) -> Result<Placement, SchedulingError> {
-    assert!(dop > 0, "DoP must be positive");
+    if dop == 0 {
+        return Err(SchedulingError::ZeroDop);
+    }
 
     // Library conflicts.
     let mut libs: HashMap<&str, Vec<u32>> = HashMap::new();
@@ -194,6 +214,9 @@ pub fn admit(plan: &LogicalPlan, dop: usize, cluster: &ClusterSpec) -> Result<Pl
     }
 
     let memory_per_worker: u64 = plan.operators().map(|op| op.cost.memory_bytes).sum();
+    if memory_per_worker == 0 {
+        return Err(SchedulingError::ZeroMemoryPlan { operators: plan.operator_count() });
+    }
     let workers_per_node = dop.div_ceil(cluster.nodes.len()).max(1);
     let node_ram = cluster.nodes.iter().map(|n| n.ram_bytes).min().unwrap_or(0);
     if memory_per_worker.saturating_mul(workers_per_node as u64) > node_ram {
@@ -300,6 +323,29 @@ mod tests {
                 versions: vec![14, 15],
             }
         );
+    }
+
+    #[test]
+    fn zero_dop_is_a_typed_error_not_a_panic() {
+        let plan = plan_with_memory(&[1]);
+        let err = admit(&plan, 0, &ClusterSpec::paper_cluster()).unwrap_err();
+        assert_eq!(err, SchedulingError::ZeroDop);
+        assert!(err.to_string().contains("DoP 0"));
+    }
+
+    #[test]
+    fn zero_memory_plan_is_rejected() {
+        // A plan whose operators all declare zero memory would vacuously
+        // pass the envelope check at any DoP — flag it instead.
+        let mut plan = LogicalPlan::new();
+        let src = plan.source("in");
+        let op = Operator::map("free", Package::Ie, |r| r)
+            .with_cost(CostModel { memory_bytes: 0, ..CostModel::default() });
+        let a = plan.add(src, op).unwrap();
+        plan.sink(a, "out").unwrap();
+        let err = admit(&plan, 4, &ClusterSpec::paper_cluster()).unwrap_err();
+        assert_eq!(err, SchedulingError::ZeroMemoryPlan { operators: 1 });
+        assert!(err.to_string().contains("zero memory"));
     }
 
     #[test]

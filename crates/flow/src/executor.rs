@@ -31,7 +31,7 @@
 
 use crate::analyze::{analyze_plan, AnalyzeOptions};
 use crate::cluster::{admit, ClusterSpec, SchedulingError};
-use crate::logical::{LogicalPlan, NodeOp};
+use crate::logical::{parse_store_sink, LogicalPlan, NodeOp, STORE_SINK_PREFIX};
 use websift_analyze::{Diagnostic, Severity};
 use crate::operator::{AggState, Aggregate, Kind, OpFunc, Operator};
 use crate::optimizer::{fused_stage, FusedStage};
@@ -259,6 +259,11 @@ pub enum ExecutionError {
     /// A checkpoint could not be decoded (corruption, version mismatch,
     /// or a plan that does not match the one it was taken from).
     BadCheckpoint(CodecError),
+    /// A `store:` sink named a store the run was not given (or the name
+    /// failed to parse as `store:<store>/<dataset>`). Extraction output
+    /// must never silently fall on the floor, so [`Executor::run_into`]
+    /// rejects the whole run instead of keeping the records in-memory.
+    UnknownStore { sink: String, store: String },
 }
 
 impl std::fmt::Display for ExecutionError {
@@ -292,6 +297,10 @@ impl std::fmt::Display for ExecutionError {
                 write!(f, "store read of source '{source}' failed through every retry")
             }
             ExecutionError::BadCheckpoint(e) => write!(f, "bad flow checkpoint: {e}"),
+            ExecutionError::UnknownStore { sink, store } => write!(
+                f,
+                "sink '{sink}' targets store '{store}', which this run cannot reach"
+            ),
         }
     }
 }
@@ -310,6 +319,22 @@ pub struct PhysicalStats {
     /// partial-aggregate maps for a combined one. The combined-vs-
     /// uncombined reduction here is the combiner's bandwidth win.
     pub shuffle_bytes: u64,
+}
+
+/// A destination for `store:`-prefixed sinks: anything that can accept a
+/// pipeline's output records as a named dataset. Implemented by the
+/// serving layer's extraction store; kept as a trait here so
+/// `websift-flow` stays ignorant of its layout.
+///
+/// [`Executor::run_into`] drains matching sinks in sorted name order, so
+/// an implementation that ingests deterministically sees a deterministic
+/// call sequence.
+pub trait StoreSink {
+    /// The store name this sink answers to (the `<store>` part of a
+    /// `store:<store>/<dataset>` sink name).
+    fn store_name(&self) -> &str;
+    /// Accepts all records routed to `dataset`.
+    fn append(&mut self, dataset: &str, records: Vec<Record>);
 }
 
 /// The result of a successful run.
@@ -431,6 +456,51 @@ impl Executor {
     ) -> Result<FlowOutput, ExecutionError> {
         let run = self.run_resilient(plan, inputs, &FlowResilience::default())?;
         Ok(run.output.expect("default resilience never interrupts"))
+    }
+
+    /// Runs `plan` and drains every `store:`-prefixed sink into `store`,
+    /// so extraction output lands in a persistent store instead of dying
+    /// with the returned [`FlowOutput`]. Plain sinks stay in
+    /// [`FlowOutput::sinks`]; drained store sinks are removed from it.
+    ///
+    /// Fails with [`ExecutionError::UnknownStore`] if any store sink is
+    /// malformed or names a store other than `store.store_name()` —
+    /// records routed to a store must actually reach one.
+    pub fn run_into(
+        &self,
+        plan: &LogicalPlan,
+        inputs: HashMap<String, Vec<Record>>,
+        store: &mut dyn StoreSink,
+    ) -> Result<FlowOutput, ExecutionError> {
+        let mut out = self.run(plan, inputs)?;
+        let mut store_sinks: Vec<String> = out
+            .sinks
+            .keys()
+            .filter(|name| name.starts_with(STORE_SINK_PREFIX))
+            .cloned()
+            .collect();
+        // sorted so the store sees datasets in a plan-independent,
+        // deterministic order
+        store_sinks.sort();
+        for name in store_sinks {
+            let (target, dataset) = match parse_store_sink(&name) {
+                Some(parts) => parts,
+                None => {
+                    let rest = name[STORE_SINK_PREFIX.len()..].to_string();
+                    return Err(ExecutionError::UnknownStore { sink: name, store: rest });
+                }
+            };
+            if target != store.store_name() {
+                return Err(ExecutionError::UnknownStore {
+                    sink: name.clone(),
+                    store: target.to_string(),
+                });
+            }
+            let dataset = dataset.to_string();
+            let records = out.sinks.remove(&name).unwrap_or_default();
+            store.append(&dataset, records);
+        }
+        Ok(out)
     }
 
     /// Runs `plan` with fault injection, partition retry, node-loss
@@ -1385,6 +1455,66 @@ mod tests {
         let records = &out.sinks["out"];
         assert_eq!(records.len(), 5);
         assert!(records[0].text().unwrap().contains("DOCUMENT"));
+    }
+
+    /// Records a `run_into` call sequence for the store-routing tests.
+    struct RecordingStore {
+        name: String,
+        appended: Vec<(String, usize)>,
+    }
+
+    impl StoreSink for RecordingStore {
+        fn store_name(&self) -> &str {
+            &self.name
+        }
+
+        fn append(&mut self, dataset: &str, records: Vec<Record>) {
+            self.appended.push((dataset.to_string(), records.len()));
+        }
+    }
+
+    #[test]
+    fn run_into_routes_store_sinks_and_keeps_plain_ones() {
+        let mut plan = LogicalPlan::new();
+        let src = plan.source("in");
+        plan.store_sink(src, "serve", "entities").unwrap();
+        plan.store_sink(src, "serve", "aux").unwrap();
+        plan.sink(src, "plain").unwrap();
+
+        let mut store = RecordingStore { name: "serve".into(), appended: vec![] };
+        let mut inputs = HashMap::new();
+        inputs.insert("in".to_string(), docs(6));
+        let out = Executor::new(ExecutionConfig::local(2))
+            .run_into(&plan, inputs, &mut store)
+            .unwrap();
+
+        // store sinks drained (in sorted name order), plain sink kept
+        assert_eq!(store.appended, vec![("aux".to_string(), 6), ("entities".to_string(), 6)]);
+        assert_eq!(out.sinks.len(), 1);
+        assert_eq!(out.sinks["plain"].len(), 6);
+    }
+
+    #[test]
+    fn run_into_rejects_sinks_for_other_stores() {
+        let mut plan = LogicalPlan::new();
+        let src = plan.source("in");
+        plan.store_sink(src, "archive", "entities").unwrap();
+
+        let mut store = RecordingStore { name: "serve".into(), appended: vec![] };
+        let mut inputs = HashMap::new();
+        inputs.insert("in".to_string(), docs(2));
+        let err = Executor::new(ExecutionConfig::local(1))
+            .run_into(&plan, inputs, &mut store)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ExecutionError::UnknownStore {
+                sink: "store:archive/entities".into(),
+                store: "archive".into(),
+            }
+        );
+        assert!(store.appended.is_empty());
+        assert!(err.to_string().contains("store 'archive'"));
     }
 
     #[test]

@@ -42,10 +42,10 @@ pub use cluster::{admit, ClusterSpec, NodeSpec, Placement, SchedulingError};
 pub use dfs::{Dfs, DfsConfig, DfsError, DfsStats};
 pub use executor::{
     ExecutionConfig, ExecutionError, Executor, FlowMetrics, FlowOutput, OpMetrics, PhysicalStats,
-    ResilientRun,
+    ResilientRun, StoreSink,
 };
 pub use resilience::{FlowCheckpoint, FlowResilience};
-pub use logical::{LogicalPlan, NodeId, NodeOp, PlanError};
+pub use logical::{parse_store_sink, LogicalPlan, NodeId, NodeOp, PlanError, STORE_SINK_PREFIX};
 pub use meteor::{compile, compile_traced, MeteorError, ScriptInfo};
 pub use operator::{value_cmp, AggState, Aggregate, CostModel, Kind, OpFunc, Operator, Package};
 pub use optimizer::{fused_stage, optimize, FusedStage, Rewrite};

@@ -11,6 +11,29 @@ use crate::operator::Operator;
 /// Node id within a plan.
 pub type NodeId = usize;
 
+/// Sink-name prefix marking a sink that feeds a persistent store instead
+/// of an in-memory output dataset. The full convention is
+/// `store:<store>/<dataset>`; [`parse_store_sink`] splits it.
+///
+/// Store routing rides on sink *names* rather than a new [`NodeOp`]
+/// variant so every existing plan pass (fusion, analysis, checkpointing,
+/// the executor's drive loop) keeps working unchanged — only
+/// [`crate::executor::Executor::run_into`] and the WS011 diagnostic give
+/// the prefix meaning.
+pub const STORE_SINK_PREFIX: &str = "store:";
+
+/// Splits a store-sink name into `(store, dataset)`. Returns `None` when
+/// the name does not carry the [`STORE_SINK_PREFIX`] or is malformed
+/// (missing `/`, empty store, or empty dataset).
+pub fn parse_store_sink(name: &str) -> Option<(&str, &str)> {
+    let rest = name.strip_prefix(STORE_SINK_PREFIX)?;
+    let (store, dataset) = rest.split_once('/')?;
+    if store.is_empty() || dataset.is_empty() {
+        return None;
+    }
+    Some((store, dataset))
+}
+
 /// Structural errors raised while building a plan. Plans are often built
 /// from untrusted Meteor scripts, so construction must not panic — these
 /// propagate through `meteor::compile` as line-mapped script errors.
@@ -90,6 +113,20 @@ impl LogicalPlan {
         Ok(self.push(NodeOp::Sink(name.to_string()), Some(input)))
     }
 
+    /// Adds a sink that routes `input`'s records into dataset `dataset`
+    /// of the persistent store `store` (via the `store:` name
+    /// convention). The plan still executes everywhere a plain sink
+    /// would; [`crate::executor::Executor::run_into`] drains the records
+    /// into the store afterwards.
+    pub fn store_sink(
+        &mut self,
+        input: NodeId,
+        store: &str,
+        dataset: &str,
+    ) -> Result<NodeId, PlanError> {
+        self.sink(input, &format!("{STORE_SINK_PREFIX}{store}/{dataset}"))
+    }
+
     fn check_input(&self, input: NodeId) -> Result<(), PlanError> {
         if input < self.nodes.len() {
             Ok(())
@@ -145,6 +182,15 @@ impl LogicalPlan {
                 NodeOp::Sink(name) => Some(name.as_str()),
                 _ => None,
             })
+            .collect()
+    }
+
+    /// `(store, dataset)` pairs for every well-formed store sink, in
+    /// node order.
+    pub fn store_sinks(&self) -> Vec<(&str, &str)> {
+        self.sinks()
+            .into_iter()
+            .filter_map(parse_store_sink)
             .collect()
     }
 
@@ -250,6 +296,28 @@ mod tests {
         );
         let err = plan.add(42, identity("x")).unwrap_err();
         assert_eq!(err.to_string(), "unknown input node 42 (plan has 0 nodes)");
+    }
+
+    #[test]
+    fn store_sink_names_parse_back() {
+        let mut plan = LogicalPlan::new();
+        let src = plan.source("docs");
+        plan.store_sink(src, "serve", "entities").unwrap();
+        plan.sink(src, "plain").unwrap();
+        assert_eq!(plan.sinks(), vec!["store:serve/entities", "plain"]);
+        assert_eq!(plan.store_sinks(), vec![("serve", "entities")]);
+        plan.validate().unwrap();
+    }
+
+    #[test]
+    fn parse_store_sink_rejects_malformed_names() {
+        assert_eq!(parse_store_sink("store:serve/entities"), Some(("serve", "entities")));
+        // dataset may itself contain '/': split at the first one
+        assert_eq!(parse_store_sink("store:s/a/b"), Some(("s", "a/b")));
+        assert_eq!(parse_store_sink("plain"), None);
+        assert_eq!(parse_store_sink("store:missing-slash"), None);
+        assert_eq!(parse_store_sink("store:/entities"), None);
+        assert_eq!(parse_store_sink("store:serve/"), None);
     }
 
     #[test]

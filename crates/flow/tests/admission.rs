@@ -1,0 +1,129 @@
+//! Admission-control hardening properties (the serve-layer reuse
+//! contract): `cluster::admit` must be total — a typed error, never a
+//! panic — across the whole argument space the query admission
+//! controller can reach it with, and its verdicts must agree with the
+//! documented placement arithmetic.
+
+use proptest::prelude::*;
+use websift_flow::cluster::{admit, ClusterSpec, SchedulingError};
+use websift_flow::{CostModel, LogicalPlan, Operator, Package};
+
+/// A linear plan with one operator per entry of `mem_mb`, each declaring
+/// that many megabytes.
+fn plan_with_mb(mem_mb: &[u64]) -> LogicalPlan {
+    let mut plan = LogicalPlan::new();
+    let mut prev = plan.source("in");
+    for (i, &mb) in mem_mb.iter().enumerate() {
+        let op = Operator::map(&format!("op{i}"), Package::Ie, |r| r).with_cost(CostModel {
+            memory_bytes: mb << 20,
+            ..CostModel::default()
+        });
+        prev = plan.add(prev, op).unwrap();
+    }
+    plan.sink(prev, "out").unwrap();
+    plan
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Total over the fuzzed space: every outcome is Ok or a typed
+    /// error, and each error variant fires exactly when its documented
+    /// arithmetic says it should.
+    #[test]
+    fn admit_is_total_and_matches_the_arithmetic(
+        mem_mb in prop::collection::vec(0u64..4096, 1..6),
+        dop in 0usize..512,
+        nodes in 1usize..32,
+        ram_gb in 1u64..64,
+        cores in 1usize..16,
+    ) {
+        let cluster = ClusterSpec::local(nodes, ram_gb, cores);
+        let plan = plan_with_mb(&mem_mb);
+        let memory_per_worker: u64 = mem_mb.iter().map(|mb| mb << 20).sum();
+        let result = admit(&plan, dop, &cluster);
+        if dop == 0 {
+            prop_assert_eq!(result, Err(SchedulingError::ZeroDop));
+        } else if dop > nodes * cores {
+            prop_assert_eq!(
+                result,
+                Err(SchedulingError::DopExceedsCores { dop, cores: nodes * cores })
+            );
+        } else if memory_per_worker == 0 {
+            prop_assert_eq!(
+                result,
+                Err(SchedulingError::ZeroMemoryPlan { operators: mem_mb.len() })
+            );
+        } else {
+            let workers_per_node = dop.div_ceil(nodes).max(1);
+            let fits =
+                memory_per_worker.saturating_mul(workers_per_node as u64) <= (ram_gb << 30);
+            match result {
+                Ok(p) => {
+                    prop_assert!(fits);
+                    prop_assert_eq!(p.dop, dop);
+                    prop_assert_eq!(p.workers_per_node, workers_per_node);
+                    prop_assert_eq!(p.memory_per_worker, memory_per_worker);
+                }
+                Err(SchedulingError::InsufficientMemory {
+                    memory_per_worker: m,
+                    node_ram,
+                    workers_per_node: w,
+                }) => {
+                    prop_assert!(!fits);
+                    prop_assert_eq!(m, memory_per_worker);
+                    prop_assert_eq!(node_ram, ram_gb << 30);
+                    prop_assert_eq!(w, workers_per_node);
+                }
+                other => prop_assert!(false, "unexpected admission outcome: {:?}", other),
+            }
+        }
+    }
+
+    /// Admission is monotone in DoP: a flow admitted at some concurrency
+    /// is admitted at every lower nonzero concurrency — the invariant
+    /// the serving layer's permit counter leans on when queries drain.
+    #[test]
+    fn admission_is_monotone_in_dop(
+        mem_mb in prop::collection::vec(1u64..2048, 1..5),
+        dop in 2usize..256,
+        nodes in 1usize..32,
+        ram_gb in 1u64..64,
+        cores in 1usize..16,
+    ) {
+        let cluster = ClusterSpec::local(nodes, ram_gb, cores);
+        let plan = plan_with_mb(&mem_mb);
+        if admit(&plan, dop, &cluster).is_ok() {
+            for lower in [1, dop / 2, dop - 1] {
+                prop_assert!(
+                    admit(&plan, lower, &cluster).is_ok(),
+                    "admitted at DoP {} but rejected at {}", dop, lower
+                );
+            }
+        }
+    }
+
+    /// The error message never panics to render and always names the
+    /// offending quantity (the serving layer surfaces these verbatim).
+    #[test]
+    fn error_display_is_informative(
+        dop in 0usize..4,
+        zero_memory in 0u8..2,
+    ) {
+        let plan = if zero_memory == 1 { plan_with_mb(&[0]) } else { plan_with_mb(&[10_000]) };
+        let cluster = ClusterSpec::local(1, 1, 2);
+        if let Err(e) = admit(&plan, dop, &cluster) {
+            let msg = e.to_string();
+            prop_assert!(!msg.is_empty());
+            match e {
+                SchedulingError::ZeroDop => prop_assert!(msg.contains("DoP 0")),
+                SchedulingError::ZeroMemoryPlan { .. } => {
+                    prop_assert!(msg.contains("zero memory"))
+                }
+                SchedulingError::InsufficientMemory { .. } => prop_assert!(msg.contains("GB")),
+                SchedulingError::DopExceedsCores { .. } => prop_assert!(msg.contains("cores")),
+                SchedulingError::LibraryConflict { .. } | SchedulingError::NodeFailed { .. } => {}
+            }
+        }
+    }
+}

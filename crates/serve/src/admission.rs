@@ -1,0 +1,165 @@
+//! Concurrent-query admission control.
+//!
+//! The paper's scheduler decides whether a *flow* fits the cluster; the
+//! serving layer asks the same question about queries. Each in-flight
+//! query is modeled as one worker of a one-operator flow whose cost
+//! model carries the per-query memory footprint, and the current
+//! concurrency level is the flow's DoP — so
+//! [`websift_flow::cluster::admit`] answers "can one more query run?"
+//! with exactly the core-budget and memory-envelope arithmetic the flow
+//! engine uses. Queries beyond the budget get the scheduler's typed
+//! [`SchedulingError`]s (which is why `admit` had to stop panicking on
+//! degenerate inputs — a concurrency counter reaching a weird state must
+//! surface as an error, not abort the server).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use websift_flow::cluster::{admit, ClusterSpec, SchedulingError};
+use websift_flow::{CostModel, LogicalPlan, Operator, Package};
+
+/// Admission state shared by all clients of one serving process.
+#[derive(Debug)]
+pub struct AdmissionController {
+    cluster: ClusterSpec,
+    /// The one-operator "query flow" admitted at DoP = concurrency.
+    query_plan: LogicalPlan,
+    active: Arc<AtomicUsize>,
+}
+
+/// RAII admission slot: holding one means the query it was issued for is
+/// counted against the cluster budget; dropping it releases the slot.
+#[derive(Debug)]
+pub struct QueryPermit {
+    active: Arc<AtomicUsize>,
+}
+
+impl Drop for QueryPermit {
+    fn drop(&mut self) {
+        self.active.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+impl AdmissionController {
+    /// A controller for `cluster`, charging `query_memory_bytes` per
+    /// in-flight query. Fails up front (rather than on the first query)
+    /// if even a single query cannot be admitted — e.g. a zero memory
+    /// footprint, which `admit` rejects as a missing cost model.
+    pub fn new(
+        cluster: ClusterSpec,
+        query_memory_bytes: u64,
+    ) -> Result<AdmissionController, SchedulingError> {
+        let mut plan = LogicalPlan::new();
+        let src = plan.source("queries");
+        let op = Operator::map("query", Package::Base, |r| r).with_cost(CostModel {
+            memory_bytes: query_memory_bytes,
+            ..CostModel::default()
+        });
+        let node = plan.add(src, op).expect("source id is valid");
+        plan.sink(node, "responses").expect("fresh plan has no sink");
+        admit(&plan, 1, &cluster)?;
+        Ok(AdmissionController {
+            cluster,
+            query_plan: plan,
+            active: Arc::new(AtomicUsize::new(0)),
+        })
+    }
+
+    /// Queries currently holding permits.
+    pub fn active(&self) -> usize {
+        self.active.load(Ordering::SeqCst)
+    }
+
+    /// The most queries this controller will ever run at once (the
+    /// scheduler's core budget caps DoP).
+    pub fn capacity(&self) -> usize {
+        let cores = self.cluster.total_cores();
+        (1..=cores)
+            .take_while(|&dop| admit(&self.query_plan, dop, &self.cluster).is_ok())
+            .count()
+    }
+
+    /// Tries to admit one more query: bumps the concurrency level and
+    /// asks the scheduler whether the query flow still fits at that DoP.
+    /// On rejection the level is restored and the scheduler's typed
+    /// error returned.
+    pub fn try_admit(&self) -> Result<QueryPermit, SchedulingError> {
+        let dop = self.active.fetch_add(1, Ordering::SeqCst) + 1;
+        match admit(&self.query_plan, dop, &self.cluster) {
+            Ok(_) => Ok(QueryPermit { active: Arc::clone(&self.active) }),
+            Err(e) => {
+                self.active.fetch_sub(1, Ordering::SeqCst);
+                Err(e)
+            }
+        }
+    }
+
+    /// Admits, waiting (by yielding) for a slot when the cluster is at
+    /// capacity. Rejections here are always transient — capacity errors
+    /// clear when another permit drops — because construction already
+    /// proved a lone query admissible.
+    pub fn admit_blocking(&self) -> QueryPermit {
+        loop {
+            match self.try_admit() {
+                Ok(permit) => return permit,
+                Err(_) => std::thread::yield_now(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn controller(nodes: usize, ram_gb: u64, cores: usize, query_mb: u64) -> AdmissionController {
+        AdmissionController::new(ClusterSpec::local(nodes, ram_gb, cores), query_mb << 20)
+            .unwrap()
+    }
+
+    #[test]
+    fn permits_are_bounded_by_core_budget() {
+        let ctl = controller(1, 64, 4, 10);
+        assert_eq!(ctl.capacity(), 4);
+        let permits: Vec<QueryPermit> =
+            (0..4).map(|_| ctl.try_admit().unwrap()).collect();
+        assert_eq!(ctl.active(), 4);
+        let err = ctl.try_admit().unwrap_err();
+        assert!(matches!(err, SchedulingError::DopExceedsCores { dop: 5, cores: 4 }));
+        drop(permits);
+        assert_eq!(ctl.active(), 0);
+        let _again = ctl.try_admit().unwrap();
+    }
+
+    #[test]
+    fn memory_envelope_limits_before_cores() {
+        // 1 GB node, 300 MB per query: 3 fit in memory, though 8 cores
+        let ctl = controller(1, 1, 8, 300);
+        assert_eq!(ctl.capacity(), 3);
+        let _permits: Vec<QueryPermit> =
+            (0..3).map(|_| ctl.try_admit().unwrap()).collect();
+        assert!(matches!(
+            ctl.try_admit().unwrap_err(),
+            SchedulingError::InsufficientMemory { .. }
+        ));
+    }
+
+    #[test]
+    fn zero_footprint_fails_at_construction() {
+        let err = AdmissionController::new(ClusterSpec::local(1, 8, 4), 0).unwrap_err();
+        assert!(matches!(err, SchedulingError::ZeroMemoryPlan { operators: 1 }));
+    }
+
+    #[test]
+    fn permits_release_on_panic_paths_too() {
+        let ctl = std::sync::Arc::new(controller(1, 64, 2, 10));
+        let inner = std::sync::Arc::clone(&ctl);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            let _permit = inner.try_admit().unwrap();
+            panic!("query died");
+        }));
+        assert!(result.is_err());
+        // the permit dropped during unwind
+        assert_eq!(ctl.active(), 0);
+    }
+}

@@ -1,0 +1,274 @@
+//! The serving layer's query language.
+//!
+//! Three verbs, whitespace-tokenized, case-sensitive keywords:
+//!
+//! ```text
+//! lookup <entity> [in <corpus>] [round <n>]
+//! cooccur <entity> <entity> [in <corpus>]
+//! stats <entity> [in <corpus>] [round <n>] [top <k>]
+//! ```
+//!
+//! Query strings arrive from clients, so they are untrusted input: the
+//! parser returns typed [`QueryError`]s and never panics (enforced by
+//! the `untrusted_unwrap` repo lint, which covers this file).
+
+use std::fmt;
+
+/// A parsed query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Query {
+    /// Every posting for an entity, optionally narrowed to a corpus
+    /// and/or crawl round.
+    Lookup {
+        entity: String,
+        corpus: Option<String>,
+        round: Option<u32>,
+    },
+    /// Pages where both entities occur, optionally within one corpus.
+    Cooccur {
+        left: String,
+        right: String,
+        corpus: Option<String>,
+    },
+    /// Per-corpus aggregate statistics for an entity (mention count,
+    /// span extremes, top pages).
+    Stats {
+        entity: String,
+        corpus: Option<String>,
+        round: Option<u32>,
+        /// How many top pages to report (default 3).
+        top: usize,
+    },
+}
+
+impl Query {
+    /// The verb, as a metric label.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Query::Lookup { .. } => "lookup",
+            Query::Cooccur { .. } => "cooccur",
+            Query::Stats { .. } => "stats",
+        }
+    }
+}
+
+/// Typed parse failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// Empty (or all-whitespace) query string.
+    Empty,
+    /// First token is not a known verb.
+    UnknownVerb { verb: String },
+    /// A verb or clause needed an argument that was not there.
+    MissingArgument { what: &'static str },
+    /// A numeric clause argument did not parse.
+    BadNumber { clause: &'static str, got: String },
+    /// A token where a clause keyword was expected.
+    UnexpectedToken { token: String },
+    /// The same clause appeared twice.
+    DuplicateClause { clause: &'static str },
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Empty => write!(f, "empty query"),
+            QueryError::UnknownVerb { verb } => {
+                write!(f, "unknown verb '{verb}' (expected lookup, cooccur, or stats)")
+            }
+            QueryError::MissingArgument { what } => write!(f, "missing {what}"),
+            QueryError::BadNumber { clause, got } => {
+                write!(f, "'{clause}' needs a non-negative integer, got '{got}'")
+            }
+            QueryError::UnexpectedToken { token } => {
+                write!(f, "unexpected token '{token}' (expected a clause keyword)")
+            }
+            QueryError::DuplicateClause { clause } => {
+                write!(f, "clause '{clause}' given twice")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// Optional trailing clauses shared by the verbs.
+#[derive(Default)]
+struct Clauses {
+    corpus: Option<String>,
+    round: Option<u32>,
+    top: Option<usize>,
+}
+
+/// Parses `[in <corpus>] [round <n>] [top <k>]` clauses from the
+/// remaining tokens. `allow` lists the clause keywords this verb
+/// accepts; anything else is an [`QueryError::UnexpectedToken`].
+fn parse_clauses<'a>(
+    mut tokens: impl Iterator<Item = &'a str>,
+    allow: &[&str],
+) -> Result<Clauses, QueryError> {
+    let mut out = Clauses::default();
+    while let Some(token) = tokens.next() {
+        if !allow.contains(&token) {
+            return Err(QueryError::UnexpectedToken { token: token.to_string() });
+        }
+        match token {
+            "in" => {
+                if out.corpus.is_some() {
+                    return Err(QueryError::DuplicateClause { clause: "in" });
+                }
+                let corpus = tokens
+                    .next()
+                    .ok_or(QueryError::MissingArgument { what: "corpus after 'in'" })?;
+                out.corpus = Some(corpus.to_string());
+            }
+            "round" => {
+                if out.round.is_some() {
+                    return Err(QueryError::DuplicateClause { clause: "round" });
+                }
+                let n = tokens
+                    .next()
+                    .ok_or(QueryError::MissingArgument { what: "number after 'round'" })?;
+                out.round = Some(n.parse().map_err(|_| QueryError::BadNumber {
+                    clause: "round",
+                    got: n.to_string(),
+                })?);
+            }
+            "top" => {
+                if out.top.is_some() {
+                    return Err(QueryError::DuplicateClause { clause: "top" });
+                }
+                let k = tokens
+                    .next()
+                    .ok_or(QueryError::MissingArgument { what: "number after 'top'" })?;
+                out.top = Some(k.parse().map_err(|_| QueryError::BadNumber {
+                    clause: "top",
+                    got: k.to_string(),
+                })?);
+            }
+            _ => return Err(QueryError::UnexpectedToken { token: token.to_string() }),
+        }
+    }
+    Ok(out)
+}
+
+/// Entities are matched case-insensitively; the store keys are
+/// lowercased at ingest, so queries lowercase too.
+fn entity_token(token: &str) -> String {
+    token.to_lowercase()
+}
+
+/// Parses one query string.
+pub fn parse_query(input: &str) -> Result<Query, QueryError> {
+    let mut tokens = input.split_whitespace();
+    let verb = tokens.next().ok_or(QueryError::Empty)?;
+    match verb {
+        "lookup" => {
+            let entity = tokens
+                .next()
+                .ok_or(QueryError::MissingArgument { what: "entity after 'lookup'" })?;
+            let clauses = parse_clauses(tokens, &["in", "round"])?;
+            Ok(Query::Lookup {
+                entity: entity_token(entity),
+                corpus: clauses.corpus,
+                round: clauses.round,
+            })
+        }
+        "cooccur" => {
+            let left = tokens
+                .next()
+                .ok_or(QueryError::MissingArgument { what: "first entity after 'cooccur'" })?;
+            let right = tokens
+                .next()
+                .ok_or(QueryError::MissingArgument { what: "second entity after 'cooccur'" })?;
+            let clauses = parse_clauses(tokens, &["in"])?;
+            Ok(Query::Cooccur {
+                left: entity_token(left),
+                right: entity_token(right),
+                corpus: clauses.corpus,
+            })
+        }
+        "stats" => {
+            let entity = tokens
+                .next()
+                .ok_or(QueryError::MissingArgument { what: "entity after 'stats'" })?;
+            let clauses = parse_clauses(tokens, &["in", "round", "top"])?;
+            Ok(Query::Stats {
+                entity: entity_token(entity),
+                corpus: clauses.corpus,
+                round: clauses.round,
+                top: clauses.top.unwrap_or(3),
+            })
+        }
+        other => Err(QueryError::UnknownVerb { verb: other.to_string() }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_each_verb() {
+        assert_eq!(
+            parse_query("lookup Aspirin in pubmed round 2").unwrap(),
+            Query::Lookup {
+                entity: "aspirin".into(),
+                corpus: Some("pubmed".into()),
+                round: Some(2),
+            }
+        );
+        assert_eq!(
+            parse_query("cooccur aspirin warfarin").unwrap(),
+            Query::Cooccur { left: "aspirin".into(), right: "warfarin".into(), corpus: None }
+        );
+        assert_eq!(
+            parse_query("stats tp53 top 5").unwrap(),
+            Query::Stats { entity: "tp53".into(), corpus: None, round: None, top: 5 }
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_queries_with_typed_errors() {
+        assert_eq!(parse_query("   "), Err(QueryError::Empty));
+        assert_eq!(
+            parse_query("droptable x"),
+            Err(QueryError::UnknownVerb { verb: "droptable".into() })
+        );
+        assert_eq!(
+            parse_query("lookup"),
+            Err(QueryError::MissingArgument { what: "entity after 'lookup'" })
+        );
+        assert_eq!(
+            parse_query("lookup aspirin round many"),
+            Err(QueryError::BadNumber { clause: "round", got: "many".into() })
+        );
+        assert_eq!(
+            parse_query("lookup aspirin top 3"),
+            Err(QueryError::UnexpectedToken { token: "top".into() })
+        );
+        assert_eq!(
+            parse_query("stats x in a in b"),
+            Err(QueryError::DuplicateClause { clause: "in" })
+        );
+        assert_eq!(
+            parse_query("cooccur aspirin"),
+            Err(QueryError::MissingArgument { what: "second entity after 'cooccur'" })
+        );
+        // errors render without panicking
+        assert!(parse_query("lookup aspirin round x")
+            .unwrap_err()
+            .to_string()
+            .contains("round"));
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_input() {
+        for garbage in [
+            "", " \t ", "lookup \u{0}", "stats e top 99999999999999999999",
+            "in in in", "lookup a b c", "cooccur a b in", "round",
+        ] {
+            let _ = parse_query(garbage); // must return, not panic
+        }
+    }
+}

@@ -23,6 +23,9 @@
 //! - [`resilience`] — deterministic fault injection, retry/backoff with
 //!   circuit breakers, and the checkpoint codec behind crawl and flow
 //!   kill-and-resume recovery;
+//! - [`serve`] — the serving layer: the sharded, provenance-carrying
+//!   extraction store fed by flow store-sinks, its snapshot codec, and
+//!   the admission-controlled query engine;
 //! - [`observe`] — the observability substrate: metrics registry,
 //!   logical-clock tracing with JSONL export, cost profiler with
 //!   folded-stack (flamegraph) output;
@@ -54,6 +57,7 @@ pub use websift_ner as ner;
 pub use websift_observe as observe;
 pub use websift_pipeline as pipeline;
 pub use websift_resilience as resilience;
+pub use websift_serve as serve;
 pub use websift_stats as stats;
 pub use websift_text as text;
 pub use websift_web as web;

@@ -1,0 +1,132 @@
+//! Whole-system serving determinism: a store fed by the real extraction
+//! pipeline must be byte-deterministic — same seed, same snapshot bytes,
+//! same query responses — and a store killed mid-ingest and resumed from
+//! a snapshot must be indistinguishable from one that never stopped.
+
+use std::sync::Arc;
+use websift::corpus::{CorpusKind, Document, Generator, Lexicon, LexiconScale};
+use websift::flow::IeResources;
+use websift::ner::EntityType;
+use websift::observe::Observer;
+use websift::pipeline::{entity_store_flow, run_over_documents_into};
+use websift::serve::{parse_query, ExtractionStore, QueryEngine, StoreSnapshot};
+
+fn resources() -> IeResources {
+    IeResources::quick_for_tests(LexiconScale::tiny())
+}
+
+fn docs(seed: u64, n: usize) -> Vec<Document> {
+    Generator::with_lexicon(
+        CorpusKind::Medline,
+        seed,
+        Arc::new(Lexicon::generate(LexiconScale::tiny())),
+    )
+    .documents(n)
+}
+
+/// Ingests `batches` of documents into `store` through the entity
+/// pipeline, one crawl round per batch.
+fn ingest(store: &mut ExtractionStore, resources: &IeResources, batches: &[&[Document]]) {
+    let plan = entity_store_flow(resources, EntityType::Gene, store.name());
+    for (round, batch) in batches.iter().enumerate() {
+        store.set_round(round as u32);
+        run_over_documents_into(&plan, batch, 2, store).expect("ingest flow");
+    }
+}
+
+fn built_store(seed: u64) -> ExtractionStore {
+    let res = resources();
+    let documents = docs(seed, 8);
+    let mut store = ExtractionStore::new("t", 4);
+    let (a, b) = documents.split_at(documents.len() / 2);
+    ingest(&mut store, &res, &[a, b]);
+    store
+}
+
+#[test]
+fn same_seed_pipelines_serve_byte_identical_responses() {
+    let (sa, sb) = (built_store(7), built_store(7));
+    assert!(sa.posting_count() > 0, "pipeline ingested nothing");
+    assert_eq!(sa.content_digest(), sb.content_digest());
+
+    // Query a few entities actually present in the store (single-token
+    // names only; the grammar takes one token per entity).
+    let entities: Vec<String> = sa
+        .iter()
+        .map(|(k, _)| k.entity.clone())
+        .filter(|e| !e.contains(char::is_whitespace))
+        .take(3)
+        .collect();
+    assert!(!entities.is_empty());
+    let mut texts: Vec<String> = Vec::new();
+    for e in &entities {
+        texts.push(format!("lookup {e}"));
+        texts.push(format!("stats {e} top 2"));
+        texts.push(format!("lookup {e} round 1"));
+    }
+    texts.push(format!("cooccur {} {}", entities[0], entities[entities.len() - 1]));
+
+    let (oa, ob) = (Observer::new(), Observer::new());
+    let (ea, eb) = (QueryEngine::new(&sa, &oa), QueryEngine::new(&sb, &ob));
+    let mut any_rows = false;
+    for (i, text) in texts.iter().enumerate() {
+        let q = parse_query(text).expect("test query parses");
+        let (ra, rb) = (ea.execute(&q, i as f64), eb.execute(&q, i as f64));
+        assert_eq!(ra.bytes(), rb.bytes(), "responses diverged for `{text}`");
+        any_rows |= !ra.rows.is_empty();
+    }
+    assert!(any_rows, "every query came back empty");
+    // identical query streams observe identically
+    assert_eq!(oa.tracer().to_jsonl(), ob.tracer().to_jsonl());
+}
+
+#[test]
+fn snapshot_frame_roundtrips_at_the_facade() {
+    let store = built_store(11);
+    let snap = StoreSnapshot::capture(&store);
+
+    // bytes -> frame -> store -> bytes is the identity
+    let reread = StoreSnapshot::from_bytes(snap.as_bytes()).expect("frame verifies");
+    let restored = reread.restore().expect("snapshot restores");
+    assert_eq!(restored.content_digest(), store.content_digest());
+    assert_eq!(StoreSnapshot::capture(&restored).as_bytes(), snap.as_bytes());
+
+    // a flipped payload byte must fail closed, not decode garbage
+    let mut corrupt = snap.as_bytes().to_vec();
+    let mid = corrupt.len() / 2;
+    corrupt[mid] ^= 0x40;
+    assert!(StoreSnapshot::from_bytes(&corrupt).is_err(), "corruption went unnoticed");
+}
+
+#[test]
+fn kill_and_resume_mid_ingest_matches_uninterrupted_run() {
+    let res = resources();
+    let documents = docs(23, 8);
+    let (first, second) = documents.split_at(documents.len() / 2);
+
+    // Uninterrupted: both rounds into one store.
+    let mut straight = ExtractionStore::new("t", 4);
+    ingest(&mut straight, &res, &[first, second]);
+
+    // Interrupted: round 0, snapshot, "kill", restore from the bytes,
+    // then round 1 into the restored store.
+    let mut victim = ExtractionStore::new("t", 4);
+    ingest(&mut victim, &res, &[first]);
+    let frame = StoreSnapshot::capture(&victim).as_bytes().to_vec();
+    drop(victim);
+    let mut resumed = StoreSnapshot::from_bytes(&frame)
+        .expect("mid-ingest frame verifies")
+        .restore()
+        .expect("mid-ingest snapshot restores");
+    let plan = entity_store_flow(&res, EntityType::Gene, resumed.name());
+    resumed.set_round(1);
+    run_over_documents_into(&plan, second, 2, &mut resumed).expect("resumed ingest");
+
+    assert_eq!(resumed.ingested_records(), straight.ingested_records());
+    assert_eq!(resumed.content_digest(), straight.content_digest());
+    assert_eq!(
+        StoreSnapshot::capture(&resumed).as_bytes(),
+        StoreSnapshot::capture(&straight).as_bytes(),
+        "kill-and-resume store is not byte-identical to the uninterrupted one"
+    );
+}
