@@ -62,3 +62,10 @@ echo "exp_throughput smoke: fused and combined throughput hold up ok"
 # digest mismatch), with admission-controlled concurrent clients.
 cargo run -q --release -p websift-bench --bin exp_serve -- --quick --check > /dev/null
 echo "exp_serve smoke: serving digests identical across shards and snapshot/resume ok"
+
+# Live incremental-execution smoke: the incremental session, a batch
+# full recompute, and a killed-and-resumed session must agree on every
+# store digest, and the delta pass must beat the recompute per new
+# document from round 2 on (--check exits non-zero otherwise).
+cargo run -q --release -p websift-bench --bin exp_live -- --quick --check > /dev/null
+echo "exp_live smoke: incremental == recompute == resumed digests, delta pass wins ok"

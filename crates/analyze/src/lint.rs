@@ -90,6 +90,10 @@ pub const WALL_CLOCK_ALLOWLIST: &[(&str, &str)] = &[
         "crates/bench/src/experiments/serve_exps.rs",
         "the serving harness measures real query latency and wall-clock QPS",
     ),
+    (
+        "crates/bench/src/experiments/live_exps.rs",
+        "the live harness reports real per-round crawl-to-queryable wall freshness",
+    ),
 ];
 
 /// Modules whose bytes end up in checkpoints, JSONL traces, or snapshots.
@@ -103,6 +107,8 @@ pub const DETERMINISTIC_OUTPUT_MODULES: &[&str] = &[
     "crates/observe/src/json.rs",
     "crates/bench/src/report.rs",
     "crates/serve/src/snapshot.rs",
+    "crates/live/src/watermark.rs",
+    "crates/live/src/incremental.rs",
 ];
 
 /// Modules that parse untrusted input (scripts, crawled pages): matched by

@@ -8,8 +8,8 @@
 //! Besides the markdown report, every result is collected and written to
 //! `BENCH_RESULTS.json` so the perf trajectory is machine-readable.
 use websift_bench::experiments::{
-    analyze_exps, content_exps, crawl_exps, profile_exps, recovery_exps, scaling_exps,
-    serve_exps, throughput_exps,
+    analyze_exps, content_exps, crawl_exps, live_exps, profile_exps, recovery_exps,
+    scaling_exps, serve_exps, throughput_exps,
 };
 use websift_bench::report::results_to_json;
 use websift_bench::ExperimentResult;
@@ -37,25 +37,25 @@ fn main() {
     // understates the ratios the standalone `exp_throughput` binary
     // reports from the same code. Their tables are still printed at the
     // usual place near the end of the report.
-    eprintln!("[1/20] wall-clock throughput (fused vs unfused vs pre-fusion; combined vs uncombined)");
+    eprintln!("[1/21] wall-clock throughput (fused vs unfused vs pre-fusion; combined vs uncombined)");
     let throughput = throughput_exps::throughput(480);
     let combining = throughput_exps::combining(480);
 
     let lexicon = Lexicon::generate(LexiconScale::default_scale());
-    eprintln!("[2/20] Table 1");
+    eprintln!("[2/21] Table 1");
     out(crawl_exps::table1(&lexicon));
 
     let web = crawl_exps::standard_web();
-    eprintln!("[3/20] crawl experiments");
+    eprintln!("[3/21] crawl experiments");
     for r in crawl_exps::crawl(&web, &lexicon, 40_000) {
         out(r);
     }
-    eprintln!("[4/20] classifier quality");
+    eprintln!("[4/21] classifier quality");
     out(crawl_exps::classifier(&web));
-    eprintln!("[5/20] boilerplate quality");
+    eprintln!("[5/21] boilerplate quality");
     out(crawl_exps::boilerplate(&web));
 
-    eprintln!("[6/20] Table 2 (PageRank)");
+    eprintln!("[6/21] Table 2 (PageRank)");
     let queries: Vec<String> = lexicon
         .search_terms(SearchCategory::General, 30)
         .into_iter()
@@ -73,45 +73,45 @@ fn main() {
     let _ = crawler.crawl(seeds.urls.clone());
     out(crawl_exps::table2(&mut crawler, 30));
 
-    eprintln!("[7/20] §5 trade-off");
+    eprintln!("[7/21] §5 trade-off");
     out(crawl_exps::tradeoff(&web, &seeds.urls, 2_500));
 
     let ctx = ExperimentContext::standard(42);
-    eprintln!("[8/20] Fig 3");
+    eprintln!("[8/21] Fig 3");
     for r in scaling_exps::fig3(&ctx) {
         out(r);
     }
-    eprintln!("[9/20] runtime shares");
+    eprintln!("[9/21] runtime shares");
     out(scaling_exps::runtime_shares(&ctx));
-    eprintln!("[10/20] cost decomposition (profiler)");
+    eprintln!("[10/21] cost decomposition (profiler)");
     out(profile_exps::cost_decomposition(&ctx, 40).result);
-    eprintln!("[11/20] Fig 4");
+    eprintln!("[11/21] Fig 4");
     out(scaling_exps::fig4(&ctx));
-    eprintln!("[12/20] Fig 5");
+    eprintln!("[12/21] Fig 5");
     out(scaling_exps::fig5(&ctx));
-    eprintln!("[13/20] war story");
+    eprintln!("[13/21] war story");
     out(scaling_exps::warstory(&ctx));
-    eprintln!("[14/20] static analysis pre-flight");
+    eprintln!("[14/21] static analysis pre-flight");
     out(analyze_exps::known_bad());
 
-    eprintln!("[15/20] Table 3");
+    eprintln!("[15/21] Table 3");
     out(content_exps::table3(&ctx));
-    eprintln!("[16/20] running analysis flows over all corpora");
+    eprintln!("[16/21] running analysis flows over all corpora");
     let results = content_exps::run_all_corpora(&ctx, 8);
     for r in content_exps::fig6(&results) {
         out(r);
     }
-    eprintln!("[17/20] Fig 7 / Table 4");
+    eprintln!("[17/21] Fig 7 / Table 4");
     out(content_exps::fig7(&results));
     for r in content_exps::table4(&results) {
         out(r);
     }
-    eprintln!("[18/20] Fig 8 / JSD");
+    eprintln!("[18/21] Fig 8 / JSD");
     for r in content_exps::fig8(&results) {
         out(r);
     }
 
-    eprintln!("[19/20] fault injection + recovery");
+    eprintln!("[19/21] fault injection + recovery");
     let default_hook = std::panic::take_hook();
     std::panic::set_hook(Box::new(move |info| {
         let injected = info
@@ -127,7 +127,7 @@ fn main() {
     }
     out(recovery_exps::flow_recovery());
 
-    eprintln!("[20/20] serving layer (QPS/latency under admission-controlled load)");
+    eprintln!("[20/21] serving layer (QPS/latency under admission-controlled load)");
     let serve = serve_exps::serve(96, 16, 42);
     out(serve.result.clone());
     match std::fs::write("BENCH_SERVE.json", serve_exps::serve_json(&serve) + "\n") {
@@ -138,6 +138,21 @@ fn main() {
             if serve.snapshot_agrees { "matches" } else { "MISMATCHES" },
         ),
         Err(e) => eprintln!("could not write BENCH_SERVE.json: {e}"),
+    }
+
+    eprintln!("[21/21] live incremental execution (delta pass vs batch recompute)");
+    let live = live_exps::live(150);
+    out(live.result.clone());
+    match std::fs::write("BENCH_LIVE.json", live_exps::live_json(&live) + "\n") {
+        Ok(()) => eprintln!(
+            "wrote BENCH_LIVE.json ({} rounds x DoP {:?}; digests {} across incremental / \
+             recompute / resume, delta pass {} recompute per new doc from round 2)",
+            live.rounds,
+            live.dops,
+            if live.digests_agree && live.resume_agrees { "agree" } else { "DISAGREE" },
+            if live.incremental_wins { "beats" } else { "LOSES TO" },
+        ),
+        Err(e) => eprintln!("could not write BENCH_LIVE.json: {e}"),
     }
 
     let throughput_json = throughput_exps::throughput_json(&throughput, &combining);

@@ -21,6 +21,7 @@
 //! | [`profile_exps::cost_decomposition`] | Fig. 8 cost split (startup vs per-record, live from the profiler) |
 //! | [`throughput_exps::throughput`] | wall-clock records/sec of the fused vs unfused vs pre-fusion executor |
 //! | [`serve_exps::serve`] | serving-layer QPS + latency under admission-controlled concurrent clients |
+//! | [`live_exps::live`] | incremental delta pass vs batch full recompute, per crawl round and DoP |
 //! | [`recovery_exps::crawl_recovery`] | crawl goodput + checkpoint overhead under injected faults |
 //! | [`recovery_exps::flow_recovery`] | flow partition/node-loss recovery + kill-and-resume check |
 //! | [`analyze_exps::known_bad`] | §4.2 failure modes caught pre-flight by the static analyzer |
@@ -28,6 +29,7 @@
 pub mod analyze_exps;
 pub mod content_exps;
 pub mod crawl_exps;
+pub mod live_exps;
 pub mod profile_exps;
 pub mod recovery_exps;
 pub mod scaling_exps;

@@ -213,6 +213,41 @@ fn try_entity_store_flow(
     Ok(plan)
 }
 
+/// The live-session flow: one plan that feeds both serving surfaces at
+/// once. Preprocessing fans out into (a) the entity branch — dictionary
+/// and ML annotation, dedup, and a `store:<store>/entities` sink for
+/// the serving store — and (b) the token branch, whose combinable
+/// `base.count_by` Reduce terminates in a plain sink so a live session
+/// can retain its per-key state across rounds.
+pub fn live_extraction_flow(
+    resources: &IeResources,
+    entity: EntityType,
+    store: &str,
+) -> LogicalPlan {
+    try_live_extraction_flow(resources, entity, store).expect(STATIC_PLAN)
+}
+
+fn try_live_extraction_flow(
+    resources: &IeResources,
+    entity: EntityType,
+    store: &str,
+) -> Result<LogicalPlan, PlanError> {
+    let mut plan = LogicalPlan::new();
+    let pre = preprocessing(&mut plan, "docs")?;
+
+    // Entity branch into the serving store.
+    let dict = plan.add(pre, ie::annotate_entities_dict(resources, entity))?;
+    let ml = plan.add(dict, ie::annotate_entities_ml(resources, entity))?;
+    let dedup = plan.add(ml, dc::dedup_entities())?;
+    plan.store_sink(dedup, store, "entities")?;
+
+    // Token-frequency branch with a retained terminal reduce.
+    let toks = plan.add(pre, explode_tokens())?;
+    let counts = plan.add(toks, base::count_by("token"))?;
+    plan.sink(counts, "token_frequencies")?;
+    Ok(plan)
+}
+
 /// Runs a plan over documents at the given DoP with a permissive local
 /// cluster (admission off): the everyday execution path.
 pub fn run_over_documents(

@@ -23,6 +23,6 @@ pub use entities::{
 pub use experiment::{paper, ExperimentContext};
 pub use flows::{
     entity_flow_for, entity_store_flow, full_analysis_plan, linguistic_flow, linguistic_report,
-    run_over_documents, run_over_documents_into, token_frequency_flow, LinguisticReport,
-    MethodSelection,
+    live_extraction_flow, run_over_documents, run_over_documents_into, token_frequency_flow,
+    LinguisticReport, MethodSelection,
 };

@@ -391,6 +391,27 @@ impl<'w> FocusedCrawler<'w> {
         feedback: Option<IeFeedback>,
         observer: Arc<Observer>,
     ) -> Result<(FocusedCrawler<'w>, CrawlReport, Vec<CrawlCheckpoint>), CodecError> {
+        let (mut crawler, mut filters, mut report, mut rt) =
+            Self::restore_parts(web, checkpoint, config, feedback, observer)?;
+        let mut checkpoints = Vec::new();
+        crawler.run_rounds(&mut report, &mut filters, &mut rt, options, &mut checkpoints);
+        crawler.finish(&mut report, &filters, &rt);
+        Ok((crawler, report, checkpoints))
+    }
+
+    /// Decodes `checkpoint` back into a crawler plus the loop state it
+    /// was sealed with, restoring the frame's registry snapshot into
+    /// `observer` — the shared decode behind
+    /// [`FocusedCrawler::resume_observed`] (which immediately reruns the
+    /// loop) and [`CrawlSession::resume`] (which hands the state back to
+    /// a stepping session without running).
+    fn restore_parts(
+        web: &'w SimulatedWeb,
+        checkpoint: &CrawlCheckpoint,
+        config: CrawlConfig,
+        feedback: Option<IeFeedback>,
+        observer: Arc<Observer>,
+    ) -> Result<(FocusedCrawler<'w>, FilterChain, CrawlReport, RetryState), CodecError> {
         let payload = checkpoint.payload()?;
         let mut r = Reader::new(payload);
         let crawldb = CrawlDb::decode_snapshot(&mut r)?;
@@ -401,15 +422,15 @@ impl<'w> FocusedCrawler<'w> {
         let threshold = r.f64()?;
         let seen_content = Snapshot::decode(&mut r)?;
         let filter_stats = FilterStats::decode(&mut r)?;
-        let mut report = CrawlReport::decode(&mut r)?;
-        let mut rt = RetryState::decode(&mut r)?;
+        let report = CrawlReport::decode(&mut r)?;
+        let rt = RetryState::decode(&mut r)?;
         let registry = RegistrySnapshot::decode(&mut r)?;
         if !r.is_empty() {
             return Err(CodecError::Truncated { what: "trailing checkpoint bytes" });
         }
         observer.registry().restore(&registry);
 
-        let mut crawler = FocusedCrawler {
+        let crawler = FocusedCrawler {
             web,
             classifier: NaiveBayes::from_parts(word_counts, class_tokens, class_docs, threshold),
             boilerplate: BoilerplateDetector::default(),
@@ -422,10 +443,7 @@ impl<'w> FocusedCrawler<'w> {
         };
         let mut filters = FilterChain::new(config.filters);
         filters.restore_stats(filter_stats);
-        let mut checkpoints = Vec::new();
-        crawler.run_rounds(&mut report, &mut filters, &mut rt, options, &mut checkpoints);
-        crawler.finish(&mut report, &filters, &rt);
-        Ok((crawler, report, checkpoints))
+        Ok((crawler, filters, report, rt))
     }
 
     /// Digest of the complete crawler + report state, for asserting the
@@ -778,6 +796,175 @@ impl<'w> FocusedCrawler<'w> {
                 }
             }
         }
+    }
+}
+
+/// A stepping handle over a focused crawl: the same loop as
+/// [`FocusedCrawler::crawl_resilient`], advanced one round ("segment")
+/// at a time so a long-running live session can interleave crawling with
+/// downstream incremental processing.
+///
+/// Stepping is bit-identical to an uninterrupted run: the fetcher the
+/// loop builds per call is stateless, every retry/backoff/breaker
+/// decision lives in the checkpointed [`RetryState`], and the loop-top
+/// stop check only ever *returns* — it never changes what a round does.
+/// So N calls to [`CrawlSession::step_round`] leave the crawler, report,
+/// and observer in exactly the state one `crawl_resilient` call reaches
+/// after N rounds.
+///
+/// Between steps the session exposes the *delta* of newly accepted pages
+/// ([`CrawlSession::take_new_pages`]) and can seal the standard crawl
+/// checkpoint frame ([`CrawlSession::checkpoint`]); [`CrawlSession::resume`]
+/// rebuilds a session from such a frame without rerunning the loop.
+pub struct CrawlSession<'w> {
+    crawler: FocusedCrawler<'w>,
+    report: CrawlReport,
+    filters: FilterChain,
+    rt: RetryState,
+    options: ResilienceOptions,
+    /// Cadence checkpoints taken inside the loop (per
+    /// `options.checkpoint_every_rounds`), drainable by the caller.
+    checkpoints: Vec<CrawlCheckpoint>,
+    done: bool,
+    drained_relevant: usize,
+    drained_irrelevant: usize,
+}
+
+impl<'w> CrawlSession<'w> {
+    /// Starts a stepping session: seeds are injected, nothing is fetched
+    /// yet. `options.stop_after_rounds` is ignored — the caller controls
+    /// the kill point by simply not calling [`CrawlSession::step_round`].
+    pub fn start(
+        mut crawler: FocusedCrawler<'w>,
+        seeds: Vec<Url>,
+        options: &ResilienceOptions,
+    ) -> CrawlSession<'w> {
+        let filters = FilterChain::new(crawler.config.filters);
+        crawler.crawldb.inject(seeds);
+        let rt = RetryState::new(options);
+        CrawlSession {
+            crawler,
+            report: CrawlReport::default(),
+            filters,
+            rt,
+            options: options.clone(),
+            checkpoints: Vec::new(),
+            done: false,
+            drained_relevant: 0,
+            drained_irrelevant: 0,
+        }
+    }
+
+    /// Rebuilds a session from a sealed crawl checkpoint without running
+    /// any rounds. The frame's registry snapshot is restored into
+    /// `observer`, and pages already in the checkpointed report count as
+    /// drained — the downstream consumer saw them before the kill.
+    pub fn resume(
+        web: &'w SimulatedWeb,
+        checkpoint: &CrawlCheckpoint,
+        config: CrawlConfig,
+        options: &ResilienceOptions,
+        feedback: Option<IeFeedback>,
+        observer: Arc<Observer>,
+    ) -> Result<CrawlSession<'w>, CodecError> {
+        let (crawler, filters, report, rt) =
+            FocusedCrawler::restore_parts(web, checkpoint, config, feedback, observer)?;
+        Ok(CrawlSession {
+            drained_relevant: report.relevant.len(),
+            drained_irrelevant: report.irrelevant.len(),
+            crawler,
+            report,
+            filters,
+            rt,
+            options: options.clone(),
+            checkpoints: Vec::new(),
+            done: false,
+        })
+    }
+
+    /// Advances the crawl exactly one round. Returns `false` once the
+    /// crawl is over (`max_pages` reached or frontier exhausted) — after
+    /// which the report carries its final derived statistics and further
+    /// calls are no-ops.
+    pub fn step_round(&mut self) -> bool {
+        if self.done {
+            return false;
+        }
+        let step = ResilienceOptions {
+            stop_after_rounds: Some(self.rt.round + 1),
+            ..self.options.clone()
+        };
+        let more = self.crawler.run_rounds(
+            &mut self.report,
+            &mut self.filters,
+            &mut self.rt,
+            &step,
+            &mut self.checkpoints,
+        );
+        if !more {
+            self.done = true;
+            // Derived report fields are filled exactly once, at the end —
+            // the same point `crawl_resilient` fills them — so mid-session
+            // state (and any checkpoint sealed from it) stays bit-identical
+            // to an uninterrupted run at the same round boundary.
+            self.crawler.finish(&mut self.report, &self.filters, &self.rt);
+        }
+        more
+    }
+
+    /// Pages accepted since the last call (or since start/resume):
+    /// `(relevant, irrelevant)` tail slices of the report, in acceptance
+    /// order. The cursor advances, so each page is returned exactly once.
+    pub fn take_new_pages(&mut self) -> (&[CrawledPage], &[CrawledPage]) {
+        let rel_from = self.drained_relevant;
+        let irr_from = self.drained_irrelevant;
+        self.drained_relevant = self.report.relevant.len();
+        self.drained_irrelevant = self.report.irrelevant.len();
+        (&self.report.relevant[rel_from..], &self.report.irrelevant[irr_from..])
+    }
+
+    /// Count of relevant pages already handed out via
+    /// [`CrawlSession::take_new_pages`] — the id offset for converting a
+    /// delta into globally numbered documents.
+    pub fn drained_relevant(&self) -> usize {
+        self.drained_relevant
+    }
+
+    /// Seals the complete crawler + loop state into the standard crawl
+    /// checkpoint frame — byte-compatible with the cadence checkpoints
+    /// `crawl_resilient` takes, so either kind can resume a session.
+    pub fn checkpoint(&self) -> CrawlCheckpoint {
+        self.crawler.take_checkpoint(&self.report, &self.filters, &self.rt)
+    }
+
+    /// Rounds completed so far.
+    pub fn round(&self) -> u64 {
+        self.rt.round
+    }
+
+    /// Has the crawl ended (frontier exhausted or `max_pages` reached)?
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    pub fn report(&self) -> &CrawlReport {
+        &self.report
+    }
+
+    pub fn crawler(&self) -> &FocusedCrawler<'w> {
+        &self.crawler
+    }
+
+    /// Digest of the complete crawler + report state (see
+    /// [`FocusedCrawler::state_digest`]) — the "crawler frontier digest"
+    /// a live watermark records.
+    pub fn state_digest(&self) -> u64 {
+        self.crawler.state_digest(&self.report)
+    }
+
+    /// Drains any cadence checkpoints the loop took during stepping.
+    pub fn take_cadence_checkpoints(&mut self) -> Vec<CrawlCheckpoint> {
+        std::mem::take(&mut self.checkpoints)
     }
 }
 
@@ -1156,6 +1343,98 @@ mod tests {
         assert_eq!(
             base_report.harvest_rate().to_bits(),
             resumed_report.harvest_rate().to_bits()
+        );
+    }
+
+    #[test]
+    fn stepped_session_matches_uninterrupted_crawl_bit_for_bit() {
+        let (web, nb) = setup();
+        let seeds = biomedical_seeds(&web, 20);
+        let opts = ResilienceOptions::injected(0x57E9, 0.05, 2);
+
+        let mut baseline = FocusedCrawler::new(&web, nb.clone(), resilient_config());
+        let (base_report, base_ckpts) = baseline.crawl_resilient(seeds.clone(), &opts);
+
+        let mut session = CrawlSession::start(
+            FocusedCrawler::new(&web, nb, resilient_config()),
+            seeds,
+            &opts,
+        );
+        let mut pages = 0;
+        while session.step_round() {
+            let (rel, irr) = session.take_new_pages();
+            pages += rel.len() + irr.len();
+        }
+        let (rel, irr) = session.take_new_pages();
+        pages += rel.len() + irr.len();
+
+        assert!(session.is_done());
+        assert_eq!(
+            pages,
+            base_report.relevant.len() + base_report.irrelevant.len(),
+            "delta pages do not add up to the full report"
+        );
+        assert_eq!(
+            baseline.state_digest(&base_report),
+            session.state_digest(),
+            "stepped session state diverged from the uninterrupted crawl"
+        );
+        assert_eq!(
+            base_report.simulated_secs.to_bits(),
+            session.report().simulated_secs.to_bits()
+        );
+        assert_eq!(base_report.resilience, session.report().resilience);
+        // cadence checkpoints sealed mid-stepping are byte-identical to
+        // the uninterrupted run's
+        let stepped_ckpts = session.take_cadence_checkpoints();
+        assert_eq!(base_ckpts.len(), stepped_ckpts.len());
+        for (a, b) in base_ckpts.iter().zip(&stepped_ckpts) {
+            assert_eq!(a.as_bytes(), b.as_bytes(), "cadence checkpoint diverged");
+        }
+    }
+
+    #[test]
+    fn session_resumed_from_mid_checkpoint_replays_identically() {
+        let (web, nb) = setup();
+        let seeds = biomedical_seeds(&web, 20);
+        let opts = ResilienceOptions::injected(0xBEE5, 0.05, 2);
+
+        let mut straight = CrawlSession::start(
+            FocusedCrawler::new(&web, nb.clone(), resilient_config()),
+            seeds.clone(),
+            &opts,
+        );
+        let mut frame_at_3 = None;
+        while straight.step_round() {
+            if straight.round() == 3 {
+                frame_at_3 = Some(straight.checkpoint());
+            }
+        }
+        let frame = frame_at_3.expect("crawl ended before round 3");
+
+        let mut resumed = CrawlSession::resume(
+            &web,
+            &frame,
+            resilient_config(),
+            &opts,
+            None,
+            Arc::new(Observer::new()),
+        )
+        .unwrap();
+        assert_eq!(resumed.round(), 3);
+        // pages from before the kill are not re-delivered
+        let (rel, irr) = resumed.take_new_pages();
+        assert!(rel.is_empty() && irr.is_empty(), "resume re-delivered old pages");
+        while resumed.step_round() {}
+
+        assert_eq!(
+            straight.state_digest(),
+            resumed.state_digest(),
+            "resumed session diverged from the uninterrupted one"
+        );
+        assert_eq!(
+            straight.report().simulated_secs.to_bits(),
+            resumed.report().simulated_secs.to_bits()
         );
     }
 }

@@ -21,6 +21,7 @@
 //! | WS009 | warning  | unknown field: read field nothing in the plan produces |
 //! | WS010 | info     | custom aggregate: a `Custom` Reduce silently disables partial aggregation |
 //! | WS011 | error    | store sink: malformed `store:` name, or a store the run cannot reach |
+//! | WS012 | warning  | live mode: a `Custom` Reduce cannot fold incrementally — each round recomputes it from the cumulative stream |
 //!
 //! (*WS002 is a warning without an admission context: a plan may run
 //! locally where the simulated class loader never materializes.)
@@ -51,6 +52,9 @@ pub struct AnalyzeOptions {
     /// this set. `None` (the default) only checks that store-sink names
     /// parse, since most callers execute plans without any store bound.
     pub known_stores: Option<BTreeSet<String>>,
+    /// When set, the plan is destined for incremental (live) execution:
+    /// WS012 fires for reduces that cannot fold round-by-round.
+    pub live: bool,
 }
 
 impl Default for AnalyzeOptions {
@@ -62,6 +66,7 @@ impl Default for AnalyzeOptions {
                 .collect(),
             admission: None,
             known_stores: None,
+            live: false,
         }
     }
 }
@@ -82,6 +87,13 @@ impl AnalyzeOptions {
         self.known_stores = Some(stores.into_iter().map(Into::into).collect());
         self
     }
+
+    /// Marks the plan as destined for incremental (live) execution,
+    /// enabling the WS012 per-round-recompute check.
+    pub fn with_live_mode(mut self) -> AnalyzeOptions {
+        self.live = true;
+        self
+    }
 }
 
 /// Runs all plan-level checks, returning diagnostics in canonical order.
@@ -97,6 +109,7 @@ pub fn analyze_plan(plan: &LogicalPlan, opts: &AnalyzeOptions) -> Vec<Diagnostic
     check_admission(plan, opts, &mut diags);
     check_combinability(plan, &mut diags);
     check_store_sinks(plan, opts, &mut diags);
+    check_live_recompute(plan, opts, &mut diags);
 
     sort_diagnostics(&mut diags);
     diags
@@ -441,6 +454,36 @@ fn check_store_sinks(plan: &LogicalPlan, opts: &AnalyzeOptions, out: &mut Vec<Di
     }
 }
 
+/// WS012: in live (incremental) mode a `Custom` reduce has no retainable
+/// per-key state — an opaque closure cannot be folded round-by-round —
+/// so the session must either reject the plan or recompute the reduce
+/// over the *cumulative* stream every round, forfeiting the entire
+/// incremental saving for that branch. Warning, not error: the live
+/// session accepts it behind an explicit opt-in.
+fn check_live_recompute(plan: &LogicalPlan, opts: &AnalyzeOptions, out: &mut Vec<Diagnostic>) {
+    if !opts.live {
+        return;
+    }
+    for node in plan.nodes() {
+        let NodeOp::Op(op) = &node.op else { continue };
+        if op.kind == crate::operator::Kind::Reduce && !op.combinable_reduce() {
+            out.push(
+                Diagnostic::warning(
+                    "WS012",
+                    format!(
+                        "reduce '{}' uses a custom aggregate closure, which cannot fold \
+                         incrementally: each live round must recompute it over the cumulative \
+                         record stream instead of the round's delta; use a typed Aggregate \
+                         (Count/Sum/Min/Max/Concat/TopK) to retain per-key state across rounds",
+                        op.name
+                    ),
+                )
+                .with_node(node.id),
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -661,6 +704,50 @@ write $pages 'out';";
             .unwrap();
         plan.sink(r, "out").unwrap();
         assert!(analyze_plan(&plan, &AnalyzeOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn live_mode_escalates_custom_aggregates_to_ws012() {
+        let custom_reduce = || {
+            Operator::reduce("tally", Package::Base, |r| format!("{:?}", r.get("corpus")), |k, rs| {
+                let mut out = Record::new();
+                out.set("key", k).set("count", rs.len());
+                vec![out]
+            })
+        };
+        let mut plan = LogicalPlan::new();
+        let src = plan.source("docs");
+        let r = plan.add(src, custom_reduce()).unwrap();
+        plan.sink(r, "out").unwrap();
+
+        // default mode: only the WS010 info
+        let diags = analyze_plan(&plan, &AnalyzeOptions::default());
+        assert_eq!(codes(&diags), vec!["WS010"]);
+
+        // live mode: WS012 joins as a warning on the same node
+        let diags = analyze_plan(&plan, &AnalyzeOptions::default().with_live_mode());
+        assert_eq!(codes(&diags), vec!["WS010", "WS012"]);
+        assert_eq!(diags[1].severity, Severity::Warning);
+        assert_eq!(diags[1].node, Some(1));
+        assert!(!has_errors(&diags));
+        assert!(diags[1].message.contains("cumulative"), "{}", diags[1].message);
+
+        // a typed aggregate stays clean even in live mode
+        let mut plan = LogicalPlan::new();
+        let src = plan.source("docs");
+        let r = plan
+            .add(
+                src,
+                Operator::reduce_agg(
+                    "tally",
+                    Package::Base,
+                    |r: &Record| format!("{:?}", r.get("corpus")),
+                    Aggregate::Count { into: "count".into() },
+                ),
+            )
+            .unwrap();
+        plan.sink(r, "out").unwrap();
+        assert!(analyze_plan(&plan, &AnalyzeOptions::default().with_live_mode()).is_empty());
     }
 
     #[test]

@@ -147,6 +147,22 @@ fn golden_custom_aggregate_disables_combining() {
     assert!(diags.iter().all(|d| d.severity == Severity::Info));
 }
 
+#[test]
+fn golden_custom_aggregate_in_live_mode_adds_ws012() {
+    let diags =
+        analyze_plan(&custom_aggregate_plan(), &AnalyzeOptions::default().with_live_mode());
+    assert_eq!(
+        diagnostics_to_json(&diags),
+        include_str!("golden/custom_aggregate_live.json").trim_end(),
+    );
+    // live mode escalates, but only to warning: a live session can still
+    // opt into the per-round recompute
+    assert_eq!(
+        diags.iter().map(|d| d.severity).collect::<Vec<_>>(),
+        vec![Severity::Info, Severity::Warning],
+    );
+}
+
 // ---------------------------------------------------------------------
 // Verdict invariance under optimization
 // ---------------------------------------------------------------------

@@ -85,14 +85,14 @@ impl<'a> QueryEngine<'a> {
     /// traces wall-clock free).
     pub fn execute(&self, query: &Query, t_secs: f64) -> QueryResponse {
         let (rows, postings_scanned) = match query {
-            Query::Lookup { entity, corpus, round } => {
-                self.lookup(entity, corpus.as_deref(), *round)
+            Query::Lookup { entity, corpus, round, since } => {
+                self.lookup(entity, corpus.as_deref(), *round, *since)
             }
             Query::Cooccur { left, right, corpus } => {
                 self.cooccur(left, right, corpus.as_deref())
             }
-            Query::Stats { entity, corpus, round, top } => {
-                self.stats(entity, corpus.as_deref(), *round, *top)
+            Query::Stats { entity, corpus, round, since, top } => {
+                self.stats(entity, corpus.as_deref(), *round, *since, *top)
             }
         };
         let simulated_cost_secs =
@@ -123,12 +123,13 @@ impl<'a> QueryEngine<'a> {
         entity: &str,
         corpus: Option<&str>,
         round: Option<u32>,
+        since: Option<u32>,
     ) -> (Vec<Record>, u64) {
         let mut rows = Vec::new();
         let mut scanned = 0u64;
         for (key, postings) in self.store.lookup_entity(entity) {
             scanned += postings.len() as u64;
-            if !key_matches(key, corpus, round) {
+            if !key_matches(key, corpus, round, since) {
                 continue;
             }
             for posting in postings {
@@ -147,7 +148,7 @@ impl<'a> QueryEngine<'a> {
                 let mut counts = BTreeMap::new();
                 for (key, postings) in self.store.lookup_entity(entity) {
                     scanned += postings.len() as u64;
-                    if !key_matches(key, corpus, None) {
+                    if !key_matches(key, corpus, None, None) {
                         continue;
                     }
                     for posting in postings {
@@ -184,6 +185,7 @@ impl<'a> QueryEngine<'a> {
         entity: &str,
         corpus: Option<&str>,
         round: Option<u32>,
+        since: Option<u32>,
         top: usize,
     ) -> (Vec<Record>, u64) {
         let aggregates: Vec<Aggregate> = vec![
@@ -200,7 +202,7 @@ impl<'a> QueryEngine<'a> {
             // the executor's combine-at-the-boundary shape
             let mut local: BTreeMap<String, Vec<AggState>> = BTreeMap::new();
             for (key, postings) in shard.postings.iter() {
-                if key.entity != entity || !key_matches(key, corpus, round) {
+                if key.entity != entity || !key_matches(key, corpus, round, since) {
                     continue;
                 }
                 scanned += postings.len() as u64;
@@ -247,9 +249,17 @@ impl<'a> QueryEngine<'a> {
     }
 }
 
-/// Does `key` survive the optional corpus/round filters?
-fn key_matches(key: &PostingKey, corpus: Option<&str>, round: Option<u32>) -> bool {
-    corpus.is_none_or(|c| key.corpus == c) && round.is_none_or(|r| key.round == r)
+/// Does `key` survive the optional corpus/round/freshness filters?
+/// `round` pins an exact crawl round; `since` keeps rounds `>= s`.
+fn key_matches(
+    key: &PostingKey,
+    corpus: Option<&str>,
+    round: Option<u32>,
+    since: Option<u32>,
+) -> bool {
+    corpus.is_none_or(|c| key.corpus == c)
+        && round.is_none_or(|r| key.round == r)
+        && since.is_none_or(|s| key.round >= s)
 }
 
 /// One posting as a result row (also the record shape stats folds over).
@@ -354,6 +364,31 @@ mod tests {
             assert!(row.get("last_end").is_some());
             assert!(row.get("top_pages").unwrap().as_array().unwrap().len() <= 2);
         }
+    }
+
+    #[test]
+    fn since_keeps_only_fresh_rounds() {
+        let mut store = ExtractionStore::new("serve", 4);
+        for round in 1..=3u32 {
+            let key = PostingKey {
+                entity: "aspirin".into(),
+                etype: "drug".into(),
+                corpus: "web".into(),
+                round,
+            };
+            store.insert(
+                key,
+                Posting { page: round as u64, start: 0, end: 5, method: Method::Dict },
+            );
+        }
+        assert_eq!(run(&store, "lookup aspirin").rows.len(), 3);
+        assert_eq!(run(&store, "lookup aspirin since 2").rows.len(), 2);
+        assert_eq!(run(&store, "lookup aspirin since 4").rows.len(), 0);
+        // round pins exactly; since is a lower bound — they compose
+        assert_eq!(run(&store, "lookup aspirin round 2 since 2").rows.len(), 1);
+        let stats = run(&store, "stats aspirin since 3");
+        assert_eq!(stats.rows.len(), 1);
+        assert_eq!(stats.rows[0].get("mentions").unwrap().as_int(), Some(1));
     }
 
     #[test]

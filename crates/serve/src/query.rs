@@ -3,10 +3,13 @@
 //! Three verbs, whitespace-tokenized, case-sensitive keywords:
 //!
 //! ```text
-//! lookup <entity> [in <corpus>] [round <n>]
+//! lookup <entity> [in <corpus>] [round <n>] [since <n>]
 //! cooccur <entity> <entity> [in <corpus>]
-//! stats <entity> [in <corpus>] [round <n>] [top <k>]
+//! stats <entity> [in <corpus>] [round <n>] [top <k>] [since <n>]
 //! ```
+//!
+//! `round` pins an exact crawl round; `since` keeps postings from round
+//! `n` onward — the freshness filter for live sessions.
 //!
 //! Query strings arrive from clients, so they are untrusted input: the
 //! parser returns typed [`QueryError`]s and never panics (enforced by
@@ -23,6 +26,8 @@ pub enum Query {
         entity: String,
         corpus: Option<String>,
         round: Option<u32>,
+        /// Only postings from this crawl round onward.
+        since: Option<u32>,
     },
     /// Pages where both entities occur, optionally within one corpus.
     Cooccur {
@@ -36,6 +41,8 @@ pub enum Query {
         entity: String,
         corpus: Option<String>,
         round: Option<u32>,
+        /// Only postings from this crawl round onward.
+        since: Option<u32>,
         /// How many top pages to report (default 3).
         top: usize,
     },
@@ -97,10 +104,11 @@ impl std::error::Error for QueryError {}
 struct Clauses {
     corpus: Option<String>,
     round: Option<u32>,
+    since: Option<u32>,
     top: Option<usize>,
 }
 
-/// Parses `[in <corpus>] [round <n>] [top <k>]` clauses from the
+/// Parses `[in <corpus>] [round <n>] [top <k>] [since <n>]` clauses from the
 /// remaining tokens. `allow` lists the clause keywords this verb
 /// accepts; anything else is an [`QueryError::UnexpectedToken`].
 fn parse_clauses<'a>(
@@ -131,6 +139,18 @@ fn parse_clauses<'a>(
                     .ok_or(QueryError::MissingArgument { what: "number after 'round'" })?;
                 out.round = Some(n.parse().map_err(|_| QueryError::BadNumber {
                     clause: "round",
+                    got: n.to_string(),
+                })?);
+            }
+            "since" => {
+                if out.since.is_some() {
+                    return Err(QueryError::DuplicateClause { clause: "since" });
+                }
+                let n = tokens
+                    .next()
+                    .ok_or(QueryError::MissingArgument { what: "number after 'since'" })?;
+                out.since = Some(n.parse().map_err(|_| QueryError::BadNumber {
+                    clause: "since",
                     got: n.to_string(),
                 })?);
             }
@@ -167,11 +187,12 @@ pub fn parse_query(input: &str) -> Result<Query, QueryError> {
             let entity = tokens
                 .next()
                 .ok_or(QueryError::MissingArgument { what: "entity after 'lookup'" })?;
-            let clauses = parse_clauses(tokens, &["in", "round"])?;
+            let clauses = parse_clauses(tokens, &["in", "round", "since"])?;
             Ok(Query::Lookup {
                 entity: entity_token(entity),
                 corpus: clauses.corpus,
                 round: clauses.round,
+                since: clauses.since,
             })
         }
         "cooccur" => {
@@ -192,11 +213,12 @@ pub fn parse_query(input: &str) -> Result<Query, QueryError> {
             let entity = tokens
                 .next()
                 .ok_or(QueryError::MissingArgument { what: "entity after 'stats'" })?;
-            let clauses = parse_clauses(tokens, &["in", "round", "top"])?;
+            let clauses = parse_clauses(tokens, &["in", "round", "top", "since"])?;
             Ok(Query::Stats {
                 entity: entity_token(entity),
                 corpus: clauses.corpus,
                 round: clauses.round,
+                since: clauses.since,
                 top: clauses.top.unwrap_or(3),
             })
         }
@@ -216,6 +238,7 @@ mod tests {
                 entity: "aspirin".into(),
                 corpus: Some("pubmed".into()),
                 round: Some(2),
+                since: None,
             }
         );
         assert_eq!(
@@ -224,7 +247,36 @@ mod tests {
         );
         assert_eq!(
             parse_query("stats tp53 top 5").unwrap(),
-            Query::Stats { entity: "tp53".into(), corpus: None, round: None, top: 5 }
+            Query::Stats { entity: "tp53".into(), corpus: None, round: None, since: None, top: 5 }
+        );
+    }
+
+    #[test]
+    fn parses_the_since_freshness_clause() {
+        assert_eq!(
+            parse_query("lookup aspirin since 3").unwrap(),
+            Query::Lookup { entity: "aspirin".into(), corpus: None, round: None, since: Some(3) }
+        );
+        assert_eq!(
+            parse_query("stats tp53 since 2 top 1").unwrap(),
+            Query::Stats { entity: "tp53".into(), corpus: None, round: None, since: Some(2), top: 1 }
+        );
+        assert_eq!(
+            parse_query("lookup a since 1 since 2"),
+            Err(QueryError::DuplicateClause { clause: "since" })
+        );
+        assert_eq!(
+            parse_query("lookup a since"),
+            Err(QueryError::MissingArgument { what: "number after 'since'" })
+        );
+        assert_eq!(
+            parse_query("lookup a since soon"),
+            Err(QueryError::BadNumber { clause: "since", got: "soon".into() })
+        );
+        // cooccur does not take freshness clauses
+        assert_eq!(
+            parse_query("cooccur a b since 1"),
+            Err(QueryError::UnexpectedToken { token: "since".into() })
         );
     }
 

@@ -26,6 +26,9 @@
 //! - [`serve`] — the serving layer: the sharded, provenance-carrying
 //!   extraction store fed by flow store-sinks, its snapshot codec, and
 //!   the admission-controlled query engine;
+//! - [`live`] — incremental crawl-to-query execution: stepped crawl
+//!   rounds feeding delta flow passes into the serving store, with
+//!   per-round watermarks and deterministic kill-and-resume replay;
 //! - [`observe`] — the observability substrate: metrics registry,
 //!   logical-clock tracing with JSONL export, cost profiler with
 //!   folded-stack (flamegraph) output;
@@ -53,6 +56,7 @@ pub use websift_analyze as analyze;
 pub use websift_corpus as corpus;
 pub use websift_crawler as crawler;
 pub use websift_flow as flow;
+pub use websift_live as live;
 pub use websift_ner as ner;
 pub use websift_observe as observe;
 pub use websift_pipeline as pipeline;
