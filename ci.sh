@@ -44,6 +44,17 @@ if ! echo "$analyze_a" | grep -q 'WS001'; then
 fi
 echo "exp_analyze smoke: deterministic diagnostics ok"
 
+# Field-flow explain differential: statically predicted fusion/combining
+# stage decisions must equal the executor's actual decisions on random
+# plans, and WS013–WS015 verdicts must survive optimizer rewrites.
+PROPTEST_CASES=64 cargo test -q -p websift-flow --test explain
+echo "explain differential: predicted stages == executed stages ok"
+
+# Explain artifact smoke: render the fusion/combining explain twice
+# in-process and fail on byte drift or predicted-vs-executed mismatch.
+cargo run -q --release -p websift-bench --bin exp_analyze -- --quick --check > /dev/null
+echo "exp_analyze check: explain byte-stable and matches executor decisions ok"
+
 # Partial-aggregation equivalence: the combining executor must be
 # byte-identical to the uncombined one on every deterministic surface.
 # Cases are pinned so CI explores the same search space every run.

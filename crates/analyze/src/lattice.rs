@@ -1,0 +1,262 @@
+//! Abstract domains for the field-flow plan analysis.
+//!
+//! The plan analyzer in `websift-flow::fieldflow` runs a forward abstract
+//! interpretation over the logical plan; this module holds the lattices it
+//! interprets into, kept here so any layer (serving's static query checker,
+//! the live session's pre-flight) can consume the inferred facts without
+//! depending on plan types:
+//!
+//! - [`Presence`] — is a record field definitely there, possibly there, or
+//!   absent after an operator? Join goes to `Possible`, the least precise
+//!   element: two branches disagreeing about a field can only promise
+//!   "maybe".
+//! - [`FieldType`] — the value type a writer declared for a field, with
+//!   `Unknown` as top (join of two different concrete types).
+//! - [`FieldFact`] — one field's presence + type + last producer, the unit
+//!   the per-edge schema maps field names to.
+//! - [`Interval`] / [`CostEnvelope`] — closed `[lo, hi]` ranges over
+//!   cardinality and byte estimates, propagated through per-operator
+//!   selectivity models.
+//!
+//! Everything here is a join-semilattice: `join` is commutative,
+//! associative, and idempotent, which is what makes the interpretation
+//! order-independent (the tests below pin those laws).
+
+use std::collections::BTreeMap;
+
+/// Three-valued field presence. `Absent` and `Definite` are the precise
+/// elements; `Possible` is the top they join to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Presence {
+    Absent,
+    Possible,
+    Definite,
+}
+
+impl Presence {
+    /// Least upper bound: agreement keeps the precise value, disagreement
+    /// (or any `Possible` input) yields `Possible`.
+    pub fn join(self, other: Presence) -> Presence {
+        if self == other {
+            self
+        } else {
+            Presence::Possible
+        }
+    }
+
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Presence::Absent => "absent",
+            Presence::Possible => "possible",
+            Presence::Definite => "definite",
+        }
+    }
+}
+
+/// The value type a field carries, mirroring the record model's `Value`
+/// variants. `Unknown` is the lattice top: an undeclared write, or the
+/// join of two conflicting declarations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FieldType {
+    Bool,
+    Int,
+    Float,
+    Str,
+    Array,
+    Object,
+    Unknown,
+}
+
+impl FieldType {
+    /// Least upper bound: equal types stay, different types widen to
+    /// `Unknown`.
+    pub fn join(self, other: FieldType) -> FieldType {
+        if self == other {
+            self
+        } else {
+            FieldType::Unknown
+        }
+    }
+
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FieldType::Bool => "bool",
+            FieldType::Int => "int",
+            FieldType::Float => "float",
+            FieldType::Str => "str",
+            FieldType::Array => "array",
+            FieldType::Object => "object",
+            FieldType::Unknown => "unknown",
+        }
+    }
+}
+
+/// Everything the analysis knows about one field on one plan edge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldFact {
+    pub presence: Presence,
+    pub ty: FieldType,
+    /// Name of the operator that last wrote the field (`None` for source
+    /// schema fields, or when two joined branches disagree).
+    pub producer: Option<String>,
+}
+
+impl FieldFact {
+    pub fn definite(ty: FieldType, producer: Option<&str>) -> FieldFact {
+        FieldFact { presence: Presence::Definite, ty, producer: producer.map(str::to_string) }
+    }
+
+    /// Pointwise join; producers that disagree are dropped.
+    pub fn join(&self, other: &FieldFact) -> FieldFact {
+        FieldFact {
+            presence: self.presence.join(other.presence),
+            ty: self.ty.join(other.ty),
+            producer: if self.producer == other.producer { self.producer.clone() } else { None },
+        }
+    }
+}
+
+/// Per-edge record schema: field name → inferred fact. Fields not in the
+/// map are `Absent`.
+pub type FieldSchema = BTreeMap<String, FieldFact>;
+
+/// A closed interval `[lo, hi]` over non-negative estimates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    pub lo: f64,
+    pub hi: f64,
+}
+
+impl Interval {
+    pub fn new(lo: f64, hi: f64) -> Interval {
+        Interval { lo: lo.min(hi), hi: lo.max(hi) }
+    }
+
+    pub fn point(v: f64) -> Interval {
+        Interval { lo: v, hi: v }
+    }
+
+    /// Elementwise product — composing a selectivity `[lo, hi]` onto an
+    /// estimate (both ends non-negative, so lo*lo / hi*hi is the hull).
+    pub fn scale(self, by: Interval) -> Interval {
+        Interval { lo: self.lo * by.lo, hi: self.hi * by.hi }
+    }
+
+    /// Convex hull — the interval join.
+    pub fn join(self, other: Interval) -> Interval {
+        Interval { lo: self.lo.min(other.lo), hi: self.hi.max(other.hi) }
+    }
+}
+
+impl std::ops::Add for Interval {
+    type Output = Interval;
+
+    fn add(self, other: Interval) -> Interval {
+        Interval { lo: self.lo + other.lo, hi: self.hi + other.hi }
+    }
+}
+
+/// Cardinality + byte estimates for the records flowing over one plan
+/// edge. Absolute when the analysis was seeded with a source estimate,
+/// otherwise relative to one source record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostEnvelope {
+    /// Record count flowing over the edge.
+    pub records: Interval,
+    /// Total bytes flowing over the edge.
+    pub bytes: Interval,
+}
+
+impl CostEnvelope {
+    pub fn new(records: Interval, bytes: Interval) -> CostEnvelope {
+        CostEnvelope { records, bytes }
+    }
+
+    pub fn join(self, other: CostEnvelope) -> CostEnvelope {
+        CostEnvelope {
+            records: self.records.join(other.records),
+            bytes: self.bytes.join(other.bytes),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PRESENCES: [Presence; 3] = [Presence::Absent, Presence::Possible, Presence::Definite];
+    const TYPES: [FieldType; 7] = [
+        FieldType::Bool,
+        FieldType::Int,
+        FieldType::Float,
+        FieldType::Str,
+        FieldType::Array,
+        FieldType::Object,
+        FieldType::Unknown,
+    ];
+
+    #[test]
+    fn presence_join_laws() {
+        for a in PRESENCES {
+            assert_eq!(a.join(a), a, "idempotent");
+            for b in PRESENCES {
+                assert_eq!(a.join(b), b.join(a), "commutative");
+                for c in PRESENCES {
+                    assert_eq!(a.join(b).join(c), a.join(b.join(c)), "associative");
+                }
+            }
+        }
+        assert_eq!(Presence::Absent.join(Presence::Definite), Presence::Possible);
+        assert_eq!(Presence::Possible.join(Presence::Definite), Presence::Possible);
+    }
+
+    #[test]
+    fn field_type_join_laws() {
+        for a in TYPES {
+            assert_eq!(a.join(a), a, "idempotent");
+            for b in TYPES {
+                assert_eq!(a.join(b), b.join(a), "commutative");
+                // Unknown is absorbing top
+                assert_eq!(a.join(FieldType::Unknown), FieldType::Unknown);
+            }
+        }
+        assert_eq!(FieldType::Int.join(FieldType::Str), FieldType::Unknown);
+    }
+
+    #[test]
+    fn fact_join_merges_pointwise() {
+        let a = FieldFact::definite(FieldType::Int, Some("writer-a"));
+        let b = FieldFact::definite(FieldType::Str, Some("writer-b"));
+        let joined = a.join(&b);
+        assert_eq!(joined.presence, Presence::Definite);
+        assert_eq!(joined.ty, FieldType::Unknown);
+        assert_eq!(joined.producer, None);
+        // agreement preserves everything
+        assert_eq!(a.join(&a), a);
+    }
+
+    #[test]
+    fn interval_arithmetic() {
+        let base = Interval::point(100.0);
+        let filtered = base.scale(Interval::new(0.0, 1.0));
+        assert_eq!(filtered, Interval { lo: 0.0, hi: 100.0 });
+        let fanned = filtered.scale(Interval::new(0.0, 8.0));
+        assert_eq!(fanned.hi, 800.0);
+        assert_eq!(base + Interval::point(1.0), Interval::point(101.0));
+        assert_eq!(
+            Interval::new(1.0, 2.0).join(Interval::new(0.5, 1.5)),
+            Interval { lo: 0.5, hi: 2.0 }
+        );
+        // constructor normalizes flipped bounds
+        assert_eq!(Interval::new(5.0, 2.0), Interval { lo: 2.0, hi: 5.0 });
+    }
+
+    #[test]
+    fn envelope_join_is_componentwise() {
+        let a = CostEnvelope::new(Interval::point(10.0), Interval::point(1000.0));
+        let b = CostEnvelope::new(Interval::new(0.0, 5.0), Interval::new(0.0, 4000.0));
+        let j = a.join(b);
+        assert_eq!(j.records, Interval { lo: 0.0, hi: 10.0 });
+        assert_eq!(j.bytes, Interval { lo: 0.0, hi: 4000.0 });
+    }
+}

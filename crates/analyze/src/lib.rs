@@ -13,12 +13,15 @@
 //!   ([`diagnostics_to_json`]) through the hand-rolled deterministic
 //!   writer, so diagnostic dumps are byte-stable across runs;
 //! - [`lint`] — the workspace source lints (wall-clock, hash-iteration,
-//!   untrusted-input `unwrap`) behind the `repo_lint` binary.
+//!   untrusted-input `unwrap`) behind the `repo_lint` binary;
+//! - [`lattice`] — the abstract domains (field presence/type lattices,
+//!   cost-envelope intervals) the field-flow plan analysis interprets into.
 //!
 //! The plan analyzer itself lives in `websift-flow::analyze` (it needs the
 //! plan and cluster types); this crate stays dependency-light so any layer
 //! can emit diagnostics.
 
+pub mod lattice;
 pub mod lint;
 
 use websift_observe::json::{array, ObjectWriter};

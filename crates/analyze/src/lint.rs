@@ -19,7 +19,12 @@
 //! - **`nondet_parallelism`** — every read of the host's core count
 //!   (`available_parallelism`) must justify inline why the value can only
 //!   size physical thread pools and never reaches simulated seconds, byte
-//!   accounting, or any checkpoint/JSONL/digest bytes.
+//!   accounting, or any checkpoint/JSONL/digest bytes;
+//! - **`lossy_cast`** — no narrowing `as` casts in the modules that
+//!   encode or decode durable frames ([`CODEC_MODULES`]): a value that
+//!   silently wraps at encode time replays as a *different* value, which
+//!   is exactly the corruption the sealed-frame digests exist to catch —
+//!   use `try_from` with a typed error instead.
 //!
 //! The escape hatch is an inline comment on the flagged line or the line
 //! directly above it:
@@ -57,12 +62,27 @@ pub const RULE_WALL_CLOCK: &str = "wall_clock";
 pub const RULE_HASH_ITERATION: &str = "hash_iteration";
 pub const RULE_UNTRUSTED_UNWRAP: &str = "untrusted_unwrap";
 pub const RULE_NONDET_PARALLELISM: &str = "nondet_parallelism";
+pub const RULE_LOSSY_CAST: &str = "lossy_cast";
 
 const WALL_CLOCK_PATTERNS: &[&str] = &[concat!("Instant", "::now"), concat!("System", "Time")];
 const HASH_PATTERNS: &[&str] = &[concat!("Hash", "Map"), concat!("Hash", "Set")];
 const UNWRAP_PATTERNS: &[&str] = &[concat!(".unwrap", "()"), concat!(".expect", "(")];
 const PARALLELISM_PATTERNS: &[&str] =
     &[concat!("available_", "parallelism"), concat!("num_", "cpus")];
+/// Narrowing targets: a cast *to* one of these from a wider integer (or
+/// from f64 to f32) can silently truncate. Widening casts (`as u64`,
+/// `as f64`, `as i64`) are not flagged.
+const LOSSY_CAST_PATTERNS: &[&str] = &[
+    concat!(" as ", "u8"),
+    concat!(" as ", "u16"),
+    concat!(" as ", "u32"),
+    concat!(" as ", "i8"),
+    concat!(" as ", "i16"),
+    concat!(" as ", "i32"),
+    concat!(" as ", "f32"),
+    concat!(" as ", "usize"),
+    concat!(" as ", "isize"),
+];
 
 /// Files allowed to contain wall-clock calls, each with the justification
 /// for why real time is acceptable there. Every occurrence inside these
@@ -94,6 +114,10 @@ pub const WALL_CLOCK_ALLOWLIST: &[(&str, &str)] = &[
         "crates/bench/src/experiments/live_exps.rs",
         "the live harness reports real per-round crawl-to-queryable wall freshness",
     ),
+    (
+        "crates/bench/src/experiments/analyze_exps.rs",
+        "reports the real wall cost of the static analysis itself, non-JSON mode only",
+    ),
 ];
 
 /// Modules whose bytes end up in checkpoints, JSONL traces, or snapshots.
@@ -114,6 +138,17 @@ pub const DETERMINISTIC_OUTPUT_MODULES: &[&str] = &[
 /// Modules that parse untrusted input (scripts, crawled pages): matched by
 /// file name, panics on input are forbidden.
 pub const UNTRUSTED_INPUT_FILES: &[&str] = &["parser.rs", "meteor.rs", "html.rs", "query.rs"];
+
+/// Modules that encode/decode durable frames (checkpoints, snapshots,
+/// watermarks, retained aggregate state). Lossy `as` casts here are
+/// silent frame corruption; [`RULE_LOSSY_CAST`] forbids them.
+pub const CODEC_MODULES: &[&str] = &[
+    "crates/resilience/src/codec.rs",
+    "crates/resilience/src/checkpoint.rs",
+    "crates/serve/src/snapshot.rs",
+    "crates/live/src/watermark.rs",
+    "crates/live/src/incremental.rs",
+];
 
 /// Returns `Some(justified)` when `line` carries an inline allow for
 /// `rule`: `justified` is true when a non-empty justification follows.
@@ -154,6 +189,7 @@ pub fn lint_file(rel: &str, content: &str) -> Vec<LintFinding> {
     let wall_clock_listed = WALL_CLOCK_ALLOWLIST.iter().any(|(p, _)| *p == rel);
     let deterministic_output = DETERMINISTIC_OUTPUT_MODULES.contains(&rel);
     let untrusted = UNTRUSTED_INPUT_FILES.contains(&file_name);
+    let codec = CODEC_MODULES.contains(&rel);
 
     let check = |findings: &mut Vec<LintFinding>,
                      i: usize,
@@ -243,6 +279,17 @@ pub fn lint_file(rel: &str, content: &str) -> Vec<LintFinding> {
                 i,
                 RULE_UNTRUSTED_UNWRAP,
                 "panic on untrusted input: return a typed error instead of unwrap/expect"
+                    .to_string(),
+            );
+        }
+        if codec && LOSSY_CAST_PATTERNS.iter().any(|p| line.contains(p)) {
+            check(
+                &mut findings,
+                i,
+                RULE_LOSSY_CAST,
+                "lossy `as` cast in a codec module: a silently wrapped value replays as a \
+                 different frame — use try_from with a typed error, or justify with \
+                 `// lint:allow(lossy_cast): <reason>`"
                     .to_string(),
             );
         }
@@ -400,6 +447,33 @@ mod tests {
         let findings = lint_file("crates/flow/src/executor.rs", &unjustified);
         assert_eq!(findings.len(), 1);
         assert!(findings[0].message.contains("justification"));
+    }
+
+    #[test]
+    fn lossy_cast_scoped_to_codec_modules() {
+        let narrow = format!("self.buf.push(v{}{});\n", " as ", "u8");
+        // outside codec modules: fine
+        assert!(lint_file("crates/flow/src/executor.rs", &narrow).is_empty());
+        // inside: flagged
+        let findings = lint_file("crates/resilience/src/codec.rs", &narrow);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, RULE_LOSSY_CAST);
+        assert!(findings[0].message.contains("try_from"));
+        // widening casts are not lossy
+        let widen = format!("let n = v{}{};\n", " as ", "u64");
+        assert!(lint_file("crates/resilience/src/codec.rs", &widen).is_empty());
+        // the escape hatch works, and needs a justification
+        let justified = format!(
+            "// lint:allow(lossy_cast): value is a bool, 0 or 1 by construction\n{narrow}"
+        );
+        assert!(lint_file("crates/resilience/src/codec.rs", &justified).is_empty());
+        let unjustified = format!("// lint:allow(lossy_cast)\n{narrow}");
+        let findings = lint_file("crates/resilience/src/codec.rs", &unjustified);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("justification"));
+        // test code is exempt, as for the other scoped rules
+        let tested = format!("#[cfg(test)]\nmod tests {{\n    {narrow}}}\n");
+        assert!(lint_file("crates/resilience/src/codec.rs", &tested).is_empty());
     }
 
     #[test]

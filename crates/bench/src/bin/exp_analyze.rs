@@ -1,9 +1,32 @@
 //! Static-analysis pre-flight report: the §4.2 failure modes as
-//! diagnostics, produced without executing a single record. Output is
+//! diagnostics plus the fusion/combining explain, produced without
+//! executing a single record (the explain's differential note runs one
+//! in-process flow to verify the prediction). Output is
 //! byte-deterministic; `ci.sh` runs `--json` twice and diffs.
+//!
+//! `--quick --check` runs the CI smoke instead of the report: renders
+//! the explain artifact twice in-process and compares bytes, then
+//! checks the predicted stage decisions against the executor's actual
+//! ones, exiting non-zero on any drift.
 use websift_bench::experiments::analyze_exps;
 use websift_bench::report;
 
 fn main() {
-    report::emit(&[analyze_exps::known_bad()]);
+    if std::env::args().any(|a| a == "--check") {
+        let first = analyze_exps::explain_json();
+        let second = analyze_exps::explain_json();
+        if first.is_empty() || first != second {
+            eprintln!("exp_analyze check: explain artifact is not byte-stable");
+            std::process::exit(1);
+        }
+        if !analyze_exps::explain_matches_execution() {
+            eprintln!(
+                "exp_analyze check: predicted stage decisions diverge from the executor"
+            );
+            std::process::exit(1);
+        }
+        println!("exp_analyze check: explain byte-stable and matches executor decisions");
+        return;
+    }
+    report::emit(&[analyze_exps::known_bad(), analyze_exps::explain()]);
 }

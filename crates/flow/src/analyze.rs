@@ -21,10 +21,31 @@
 //! | WS009 | warning  | unknown field: read field nothing in the plan produces |
 //! | WS010 | info     | custom aggregate: a `Custom` Reduce silently disables partial aggregation |
 //! | WS011 | error    | store sink: malformed `store:` name, or a store the run cannot reach |
-//! | WS012 | warning  | live mode: a `Custom` Reduce cannot fold incrementally — each round recomputes it from the cumulative stream |
+//! | WS012 | warning† | live mode: a `Custom` Reduce cannot fold incrementally — each round recomputes it from the cumulative stream |
+//! | WS013 | error    | field-type conflict: an operator reads a field under a declared type its producer wrote differently |
+//! | WS014 | error    | fused-stage admission: even the *peak fused stage's* footprint × co-located workers exceeds node RAM |
+//! | WS015 | warning  | redundant operator: an identically-annotated idempotent operator repeats on one path with nothing between touching its fields |
 //!
 //! (*WS002 is a warning without an admission context: a plan may run
-//! locally where the simulated class loader never materializes.)
+//! locally where the simulated class loader never materializes.
+//! †WS012 escalates to an error for a reduce that does not feed a sink
+//! directly: the live session's incremental compiler rejects such plans
+//! outright.)
+//!
+//! WS013–WS015 ride on the field-flow interpretation in
+//! [`crate::fieldflow`]. WS014 refines WS007: WS007 mirrors
+//! [`crate::cluster::admit`]'s conservative whole-plan sum, while WS014
+//! segments the plan into canonical fused stages and checks the heaviest
+//! stage alone — a plan it flags cannot be scheduled even one stage at a
+//! time, so fusion/combining cannot save it. It deliberately sums only
+//! static operator footprints (`cost.memory_bytes`): stage membership is
+//! invariant under the optimizer's within-stage reorderings, so the
+//! verdict is too, whereas byte-envelope terms would not commute.
+//!
+//! A node the unreachable check (WS006) flags is reported *only* as
+//! WS006: downstream codes on the same node (a use-before-def inside a
+//! dead branch, say) are suppressed — the actionable fix is reconnecting
+//! or deleting the branch, not repairing code that never runs.
 //!
 //! Messages deliberately never mention node ids — the optimizer's
 //! reorderings move operators between nodes, and the verdict-invariance
@@ -55,6 +76,15 @@ pub struct AnalyzeOptions {
     /// When set, the plan is destined for incremental (live) execution:
     /// WS012 fires for reduces that cannot fold round-by-round.
     pub live: bool,
+    /// `(records, avg_bytes_per_record)` expected from each source. Seeds
+    /// the field-flow cost envelopes with absolute numbers; without it
+    /// envelopes are relative to one nominal source record.
+    pub source_estimate: Option<(u64, u64)>,
+    /// Per-operator `(records_ratio, bytes_ratio)` measured on a previous
+    /// run (output/input from the profiler's per-operator metrics). A
+    /// calibrated operator's envelope uses the measured point ratios
+    /// instead of its declared/per-kind selectivity interval.
+    pub calibration: BTreeMap<String, (f64, f64)>,
 }
 
 impl Default for AnalyzeOptions {
@@ -67,6 +97,8 @@ impl Default for AnalyzeOptions {
             admission: None,
             known_stores: None,
             live: false,
+            source_estimate: None,
+            calibration: BTreeMap::new(),
         }
     }
 }
@@ -94,6 +126,25 @@ impl AnalyzeOptions {
         self.live = true;
         self
     }
+
+    /// Seeds the cost envelopes with `records` source records averaging
+    /// `avg_bytes` each.
+    pub fn with_source_estimate(mut self, records: u64, avg_bytes: u64) -> AnalyzeOptions {
+        self.source_estimate = Some((records, avg_bytes));
+        self
+    }
+
+    /// Records a measured `(records_ratio, bytes_ratio)` for the named
+    /// operator, overriding its declared/per-kind selectivity.
+    pub fn with_calibration(
+        mut self,
+        op_name: &str,
+        records_ratio: f64,
+        bytes_ratio: f64,
+    ) -> AnalyzeOptions {
+        self.calibration.insert(op_name.to_string(), (records_ratio, bytes_ratio));
+        self
+    }
 }
 
 /// Runs all plan-level checks, returning diagnostics in canonical order.
@@ -109,7 +160,19 @@ pub fn analyze_plan(plan: &LogicalPlan, opts: &AnalyzeOptions) -> Vec<Diagnostic
     check_admission(plan, opts, &mut diags);
     check_combinability(plan, &mut diags);
     check_store_sinks(plan, opts, &mut diags);
-    check_live_recompute(plan, opts, &mut diags);
+    check_live_recompute(plan, opts, &contributing, &mut diags);
+    check_type_conflicts(plan, opts, &contributing, &mut diags);
+    check_fused_admission(plan, opts, &mut diags);
+    check_redundant_ops(plan, &contributing, &mut diags);
+
+    // A node already reported unreachable gets no further codes: every
+    // other finding on it describes code that will never run.
+    let dead: BTreeSet<usize> = diags
+        .iter()
+        .filter(|d| d.code == "WS006")
+        .filter_map(|d| d.node)
+        .collect();
+    diags.retain(|d| d.code == "WS006" || d.node.is_none_or(|n| !dead.contains(&n)));
 
     sort_diagnostics(&mut diags);
     diags
@@ -174,6 +237,9 @@ fn check_field_availability(plan: &LogicalPlan, opts: &AnalyzeOptions, out: &mut
                 let mut set = avail[parent].clone();
                 if let NodeOp::Op(op) = &plan.nodes()[parent].op {
                     set.extend(op.writes.iter().cloned());
+                    // conditionally-written fields still count as defined:
+                    // use-before-def is about ordering, not coverage
+                    set.extend(op.maybe_writes.iter().cloned());
                 }
                 set
             }
@@ -186,7 +252,7 @@ fn check_field_availability(plan: &LogicalPlan, opts: &AnalyzeOptions, out: &mut
     let mut producers: BTreeMap<&str, &str> = BTreeMap::new();
     for node in plan.nodes() {
         if let NodeOp::Op(op) = &node.op {
-            for field in &op.writes {
+            for field in op.writes.iter().chain(&op.maybe_writes) {
                 producers.entry(field.as_str()).or_insert(op.name.as_str());
             }
         }
@@ -460,13 +526,45 @@ fn check_store_sinks(plan: &LogicalPlan, opts: &AnalyzeOptions, out: &mut Vec<Di
 /// over the *cumulative* stream every round, forfeiting the entire
 /// incremental saving for that branch. Warning, not error: the live
 /// session accepts it behind an explicit opt-in.
-fn check_live_recompute(plan: &LogicalPlan, opts: &AnalyzeOptions, out: &mut Vec<Diagnostic>) {
+///
+/// Tightened: a reduce (typed or custom) that does not feed exactly one
+/// sink directly gets an *error*-severity WS012 instead — the incremental
+/// compiler rejects such plans unconditionally (`ReduceNotTerminal`), so
+/// a warning would understate it. The terminality test mirrors that
+/// compiler's rule verbatim: one child, and it is a sink. Only reduces
+/// that contribute to some sink are considered; a reduce on a dead branch
+/// is WS006's finding, not this check's.
+fn check_live_recompute(
+    plan: &LogicalPlan,
+    opts: &AnalyzeOptions,
+    contributing: &BTreeSet<NodeId>,
+    out: &mut Vec<Diagnostic>,
+) {
     if !opts.live {
         return;
     }
     for node in plan.nodes() {
         let NodeOp::Op(op) = &node.op else { continue };
-        if op.kind == crate::operator::Kind::Reduce && !op.combinable_reduce() {
+        if op.kind != crate::operator::Kind::Reduce || !contributing.contains(&node.id) {
+            continue;
+        }
+        let children = plan.children(node.id);
+        let terminal =
+            children.len() == 1 && matches!(plan.nodes()[children[0]].op, NodeOp::Sink(_));
+        if !terminal {
+            out.push(
+                Diagnostic::error(
+                    "WS012",
+                    format!(
+                        "reduce '{}' feeds further operators instead of a sink; the live \
+                         session folds reduces as terminal per-round state and will reject \
+                         this plan — move post-aggregation work out of the live flow",
+                        op.name
+                    ),
+                )
+                .with_node(node.id),
+            );
+        } else if !op.combinable_reduce() {
             out.push(
                 Diagnostic::warning(
                     "WS012",
@@ -480,6 +578,172 @@ fn check_live_recompute(plan: &LogicalPlan, opts: &AnalyzeOptions, out: &mut Vec
                 )
                 .with_node(node.id),
             );
+        }
+    }
+}
+
+/// WS013: an operator declares it reads a field under one type while the
+/// field's producer (per the field-flow schema) declared another. The
+/// runtime record model would surface this as a confusing per-record
+/// failure deep into execution; statically it is a one-line contract
+/// violation.
+///
+/// `Unknown` on either side never conflicts (undeclared types are opaque,
+/// not wrong), and a field the schema does not carry at all is WS001 /
+/// WS009 territory, not a *type* conflict.
+fn check_type_conflicts(
+    plan: &LogicalPlan,
+    opts: &AnalyzeOptions,
+    contributing: &BTreeSet<NodeId>,
+    out: &mut Vec<Diagnostic>,
+) {
+    use websift_analyze::lattice::FieldType;
+    let flow = crate::fieldflow::field_flow(plan, opts);
+    for node in plan.nodes() {
+        let NodeOp::Op(op) = &node.op else { continue };
+        if op.read_types.is_empty() || !contributing.contains(&node.id) {
+            continue;
+        }
+        let Some(input) = flow.input(plan, node.id) else { continue };
+        for (field, want) in &op.read_types {
+            let Some(fact) = input.schema.get(field) else { continue };
+            if *want == FieldType::Unknown || fact.ty == FieldType::Unknown || fact.ty == *want {
+                continue;
+            }
+            let found = fact.ty.as_str();
+            let source = match &fact.producer {
+                Some(producer) => format!("'{producer}' writes it as {found}"),
+                None => format!("the source schema declares it as {found}"),
+            };
+            out.push(
+                Diagnostic::error(
+                    "WS013",
+                    format!(
+                        "operator '{}' reads field '{field}' as {} but {source}; align the \
+                         declared types or drop the stricter annotation",
+                        op.name,
+                        want.as_str()
+                    ),
+                )
+                .with_node(node.id),
+            );
+        }
+    }
+}
+
+/// WS014: the fusion-aware admission refinement. Segments the plan into
+/// canonical fused stages ([`crate::fieldflow::canonical_stages`]) and
+/// checks the *heaviest single stage* against the same
+/// per-node arithmetic as WS007 / [`crate::cluster::admit`]. A plan
+/// flagged here cannot be scheduled even stage-at-a-time: fusion and
+/// combining, the executor's two footprint-shrinking tools, have already
+/// been assumed. (WS007 alone means the conservative whole-plan bound
+/// failed; WS007 *without* WS014 means a stage-level schedule still
+/// fits.)
+fn check_fused_admission(plan: &LogicalPlan, opts: &AnalyzeOptions, out: &mut Vec<Diagnostic>) {
+    let Some((cluster, dop)) = &opts.admission else { return };
+    let stage_mem = |members: &[NodeId]| -> u64 {
+        members
+            .iter()
+            .filter_map(|&id| match &plan.nodes()[id].op {
+                NodeOp::Op(op) => Some(op.cost.memory_bytes),
+                _ => None,
+            })
+            .sum()
+    };
+    let peak = crate::fieldflow::canonical_stages(plan)
+        .iter()
+        .map(|s| stage_mem(&s.members))
+        .max()
+        .unwrap_or(0);
+    let workers_per_node = dop.div_ceil(cluster.nodes.len()).max(1);
+    let node_ram = cluster.nodes.iter().map(|n| n.ram_bytes).min().unwrap_or(0);
+    if peak.saturating_mul(workers_per_node as u64) > node_ram {
+        let gb = |b: u64| b as f64 / (1u64 << 30) as f64;
+        out.push(Diagnostic::error(
+            "WS014",
+            format!(
+                "even with operator fusion and combining, the heaviest fused stage needs \
+                 {:.1} GB per worker x {workers_per_node} workers/node but nodes have {:.1} GB; \
+                 no stage-level schedule fits — reduce operator footprints, lower DoP, or \
+                 split the flow",
+                gb(peak),
+                gb(node_ram)
+            ),
+        ));
+    }
+}
+
+/// WS015: the same operator applied twice in a row, effectively. Two
+/// operator nodes on one source-to-sink path with identical annotations
+/// (name, kind, package, library, reads/writes/maybe-writes) where no
+/// node between them — and neither occurrence itself — changes any field
+/// the operator touches are redundant: a `Filter` re-tests a predicate
+/// already true, and a `Map` whose writes are pure functions of unchanged
+/// reads recomputes the values it already wrote.
+///
+/// `FlatMap`s are excluded (applying one twice multiplies records),
+/// `Reduce`s restructure records entirely, self-reading writers
+/// (`writes ∩ reads ≠ ∅`) are not idempotent, and unannotated operators
+/// are opaque. An intervening `Reduce` ends the search: its regrouping
+/// changes what the second application sees.
+fn check_redundant_ops(
+    plan: &LogicalPlan,
+    contributing: &BTreeSet<NodeId>,
+    out: &mut Vec<Diagnostic>,
+) {
+    use crate::operator::{Kind, Operator};
+    fn touched(op: &Operator) -> BTreeSet<&str> {
+        op.reads
+            .iter()
+            .chain(&op.writes)
+            .chain(&op.maybe_writes)
+            .map(String::as_str)
+            .collect()
+    }
+    let same_sig = |a: &Operator, b: &Operator| {
+        a.name == b.name
+            && a.kind == b.kind
+            && a.package == b.package
+            && a.library == b.library
+            && a.reads == b.reads
+            && a.writes == b.writes
+            && a.maybe_writes == b.maybe_writes
+    };
+    for node in plan.nodes() {
+        let NodeOp::Op(op) = &node.op else { continue };
+        if !contributing.contains(&node.id)
+            || !matches!(op.kind, Kind::Map | Kind::Filter)
+            || (op.reads.is_empty() && op.writes.is_empty() && op.maybe_writes.is_empty())
+            || op.writes.iter().chain(&op.maybe_writes).any(|w| op.reads.contains(w))
+        {
+            continue;
+        }
+        let fields = touched(op);
+        let mut cur = node.input;
+        while let Some(id) = cur {
+            let NodeOp::Op(anc) = &plan.nodes()[id].op else { break };
+            if same_sig(anc, op) {
+                out.push(
+                    Diagnostic::warning(
+                        "WS015",
+                        format!(
+                            "operator '{}' appears twice on the same path with identical \
+                             annotations and nothing between them changes the fields it \
+                             touches; the second application is redundant",
+                            op.name
+                        ),
+                    )
+                    .with_node(node.id),
+                );
+                break;
+            }
+            if anc.kind == Kind::Reduce
+                || anc.writes.iter().chain(&anc.maybe_writes).any(|w| fields.contains(w.as_str()))
+            {
+                break;
+            }
+            cur = plan.nodes()[id].input;
         }
     }
 }
@@ -621,16 +885,19 @@ mod tests {
         let cluster = ClusterSpec::paper_cluster();
         let opts = AnalyzeOptions::default().with_admission(cluster.clone(), 28);
         let diags = analyze_plan(&plan, &opts);
-        assert_eq!(codes(&diags), vec!["WS007"]);
+        // the three maps fuse into one 60 GB stage, so the fused-stage
+        // refinement (WS014) agrees with the whole-plan bound (WS007)
+        assert_eq!(codes(&diags), vec!["WS007", "WS014"]);
         // the analyzer and the runtime admission agree on the arithmetic
         let err = admit(&plan, 28, &cluster).unwrap_err();
         assert!(err.to_string().contains("60.0 GB"), "{err}");
         assert!(diags[0].message.contains("60.0 GB per worker"));
         assert!(diags[0].message.contains("24.0 GB"));
+        assert!(diags[1].message.contains("60.0 GB per worker"));
 
         let opts = AnalyzeOptions::default().with_admission(cluster, 500);
         let diags = analyze_plan(&plan, &opts);
-        assert_eq!(codes(&diags), vec!["WS007", "WS008"]);
+        assert_eq!(codes(&diags), vec!["WS007", "WS008", "WS014"]);
     }
 
     #[test]
@@ -659,11 +926,13 @@ $pages = read 'crawl';
 $dead = apply ie.sentences $pages;
 write $pages 'out';";
         let diags = analyze_script(script, &reg, &AnalyzeOptions::default()).unwrap();
-        // $dead is unused, its node contributes to no sink, and its write
-        // (never reaching a sink) is dead — all mapped to script line 2
-        assert_eq!(codes(&diags), vec!["WS003", "WS006", "WS005"]);
+        // $dead's node contributes to no sink, so only WS006 reports it
+        // (the dead write on the same node is suppressed — fixing a write
+        // inside an unreachable branch is not the actionable repair) plus
+        // the script-level WS005 for the unused variable, both on line 2
+        assert_eq!(codes(&diags), vec!["WS006", "WS005"]);
         assert!(diags.iter().all(|d| d.line == Some(2)), "{diags:?}");
-        assert!(diags[2].message.contains("$dead"));
+        assert!(diags[1].message.contains("$dead"));
     }
 
     #[test]
@@ -748,6 +1017,194 @@ write $pages 'out';";
             .unwrap();
         plan.sink(r, "out").unwrap();
         assert!(analyze_plan(&plan, &AnalyzeOptions::default().with_live_mode()).is_empty());
+    }
+
+    #[test]
+    fn live_mode_rejects_non_terminal_reduces() {
+        let mut plan = LogicalPlan::new();
+        let src = plan.source("docs");
+        let r = plan
+            .add(
+                src,
+                Operator::reduce_agg(
+                    "tally",
+                    Package::Base,
+                    |r: &Record| format!("{:?}", r.get("corpus")),
+                    Aggregate::Count { into: "count".into() },
+                ),
+            )
+            .unwrap();
+        let post = plan.add(r, op("post", &[], &[])).unwrap();
+        plan.sink(post, "out").unwrap();
+
+        // batch mode: a typed reduce feeding a map is fine
+        assert!(analyze_plan(&plan, &AnalyzeOptions::default()).is_empty());
+
+        // live mode: the incremental compiler will reject it, so the
+        // pre-flight reports an error even though the aggregate is typed
+        let diags = analyze_plan(&plan, &AnalyzeOptions::default().with_live_mode());
+        assert_eq!(codes(&diags), vec!["WS012"]);
+        assert!(has_errors(&diags));
+        assert!(diags[0].message.contains("feeds further operators"), "{}", diags[0].message);
+    }
+
+    #[test]
+    fn type_conflict_flagged_ws013() {
+        use websift_analyze::lattice::FieldType;
+        let mut plan = LogicalPlan::new();
+        let src = plan.source("docs");
+        let w = plan
+            .add(
+                src,
+                op("sentences", &["text"], &["sentences"])
+                    .with_write_types(&[("sentences", FieldType::Array)]),
+            )
+            .unwrap();
+        let r = plan
+            .add(
+                w,
+                op("shout", &[], &["loud"]).with_read_types(&[("sentences", FieldType::Str)]),
+            )
+            .unwrap();
+        plan.sink(r, "out").unwrap();
+        let diags = analyze_plan(&plan, &AnalyzeOptions::default());
+        assert_eq!(codes(&diags), vec!["WS013"]);
+        assert!(has_errors(&diags));
+        assert_eq!(diags[0].node, Some(2));
+        assert!(
+            diags[0].message.contains("'sentences' writes it as array"),
+            "{}",
+            diags[0].message
+        );
+    }
+
+    #[test]
+    fn type_conflict_against_source_schema_and_unknown_tolerance() {
+        use websift_analyze::lattice::FieldType;
+        // reading a source field under the wrong type names the schema
+        let mut plan = LogicalPlan::new();
+        let src = plan.source("docs");
+        let r = plan
+            .add(src, op("idreader", &[], &[]).with_read_types(&[("id", FieldType::Str)]))
+            .unwrap();
+        plan.sink(r, "out").unwrap();
+        let diags = analyze_plan(&plan, &AnalyzeOptions::default());
+        assert_eq!(codes(&diags), vec!["WS013"]);
+        assert!(
+            diags[0].message.contains("the source schema declares it as int"),
+            "{}",
+            diags[0].message
+        );
+
+        // an untyped write never conflicts with a typed read
+        let mut plan = LogicalPlan::new();
+        let src = plan.source("docs");
+        let w = plan.add(src, op("writer", &["text"], &["x"])).unwrap();
+        let r = plan
+            .add(w, op("reader", &[], &[]).with_read_types(&[("x", FieldType::Int)]))
+            .unwrap();
+        plan.sink(r, "out").unwrap();
+        assert!(analyze_plan(&plan, &AnalyzeOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn fused_stage_refinement_passes_what_ws007_rejects() {
+        // two 20 GB maps split across a custom reduce: the whole-plan sum
+        // (40 GB) fails the conservative WS007 bound, but no single fused
+        // stage exceeds 20 GB, so the stage-level WS014 refinement knows a
+        // stage-at-a-time schedule still fits — no WS014
+        let fat = |name: &str| {
+            op(name, &["text"], &[]).with_cost(CostModel {
+                memory_bytes: 20 << 30,
+                ..CostModel::default()
+            })
+        };
+        let mut plan = LogicalPlan::new();
+        let src = plan.source("docs");
+        let a = plan.add(src, fat("fat-a")).unwrap();
+        let red = plan
+            .add(a, Operator::reduce("split", Package::Base, |_| String::new(), |_, rs| rs))
+            .unwrap();
+        let b = plan.add(red, fat("fat-b")).unwrap();
+        plan.sink(b, "out").unwrap();
+        let opts = AnalyzeOptions::default().with_admission(ClusterSpec::paper_cluster(), 28);
+        let diags = analyze_plan(&plan, &opts);
+        assert_eq!(codes(&diags), vec!["WS010", "WS007"]);
+        assert!(!codes(&diags).contains(&"WS014"));
+    }
+
+    #[test]
+    fn redundant_duplicate_flagged_ws015() {
+        let dup = || op("keep-english", &["text"], &[]);
+        let mut plan = LogicalPlan::new();
+        let src = plan.source("docs");
+        let a = plan.add(src, dup()).unwrap();
+        let mid = plan.add(a, op("sentences", &["text2"], &["sentences"])).unwrap();
+        let b = plan.add(mid, dup()).unwrap();
+        plan.sink(b, "out").unwrap();
+        // 'sentences' reads text2 (absent everywhere) -> WS009 rides along
+        let diags = analyze_plan(&plan, &AnalyzeOptions::default());
+        assert!(codes(&diags).contains(&"WS015"), "{diags:?}");
+        let ws015 = diags.iter().find(|d| d.code == "WS015").unwrap();
+        assert_eq!(ws015.severity, Severity::Warning);
+        assert_eq!(ws015.node, Some(3));
+        assert!(ws015.message.contains("'keep-english'"), "{}", ws015.message);
+    }
+
+    #[test]
+    fn intervening_writer_clears_ws015() {
+        let dup = || op("normalize", &["text"], &["clean"]);
+        let mut plan = LogicalPlan::new();
+        let src = plan.source("docs");
+        let a = plan.add(src, dup()).unwrap();
+        // rewrites 'text', which the duplicate reads: second run differs
+        let t = plan.add(a, op("truncate", &["clean"], &["text"])).unwrap();
+        let b = plan.add(t, dup()).unwrap();
+        plan.sink(b, "out").unwrap();
+        let diags = analyze_plan(&plan, &AnalyzeOptions::default());
+        assert!(!codes(&diags).contains(&"WS015"), "{diags:?}");
+    }
+
+    #[test]
+    fn self_reading_writers_are_not_redundant() {
+        // writes ∩ reads ≠ ∅: applying it twice is not idempotent
+        let dup = || op("accumulate", &["total"], &["total"]);
+        let mut plan = LogicalPlan::new();
+        let src = plan.source("docs");
+        let a = plan.add(src, dup()).unwrap();
+        let b = plan.add(a, dup()).unwrap();
+        plan.sink(b, "out").unwrap();
+        let diags = analyze_plan(&plan, &AnalyzeOptions::default());
+        assert!(!codes(&diags).contains(&"WS015"), "{diags:?}");
+    }
+
+    #[test]
+    fn unreachable_node_reports_only_ws006() {
+        let mut plan = LogicalPlan::new();
+        let src = plan.source("docs");
+        let a = plan.add(src, op("a", &["text"], &[])).unwrap();
+        // dead branch whose operator also reads an undefined field and
+        // leaves a dead write: without suppression this node would carry
+        // WS009 + WS003 + WS006 at once
+        plan.add(src, op("ghost", &["missing"], &["junk"])).unwrap();
+        plan.sink(a, "out").unwrap();
+        let diags = analyze_plan(&plan, &AnalyzeOptions::default());
+        assert_eq!(codes(&diags), vec!["WS006"]);
+        assert_eq!(diags[0].node, Some(2));
+    }
+
+    #[test]
+    fn maybe_writes_satisfy_availability() {
+        let mut plan = LogicalPlan::new();
+        let src = plan.source("docs");
+        let tagger = plan
+            .add(src, op("tagger", &["text"], &[]).with_maybe_writes(&["negation"]))
+            .unwrap();
+        let reader = plan.add(tagger, op("reader", &["negation"], &["loud"])).unwrap();
+        plan.sink(reader, "out").unwrap();
+        // a conditionally-written field is defined (no WS001/WS009):
+        // ordering is satisfied even though presence is only 'possible'
+        assert!(analyze_plan(&plan, &AnalyzeOptions::default()).is_empty());
     }
 
     #[test]

@@ -34,7 +34,7 @@ use crate::cluster::{admit, ClusterSpec, SchedulingError};
 use crate::logical::{parse_store_sink, LogicalPlan, NodeOp, STORE_SINK_PREFIX};
 use websift_analyze::{Diagnostic, Severity};
 use crate::operator::{AggState, Aggregate, Kind, OpFunc, Operator};
-use crate::optimizer::{fused_stage, FusedStage};
+use crate::optimizer::{fused_stage, FusedStage, StageDecision};
 use crate::record::Record;
 use crate::resilience::{FlowCheckpoint, FlowResilience};
 use serde::Serialize;
@@ -345,6 +345,12 @@ pub struct FlowOutput {
     /// Physical-only facts (shuffle bytes); never part of determinism
     /// comparisons.
     pub physical: PhysicalStats,
+    /// The fusion/combining decisions this run actually made, in
+    /// execution order — ground truth for the static
+    /// [`crate::optimizer::plan_stages`] prediction. A resumed run only
+    /// records the stages it executed itself. Physical-only, like
+    /// [`PhysicalStats`]: excluded from [`Self::deterministic_digest`].
+    pub stages: Vec<StageDecision>,
 }
 
 impl FlowOutput {
@@ -609,6 +615,7 @@ impl Executor {
         let started = Instant::now();
         let mut checkpoints = Vec::new();
         let mut physical = PhysicalStats::default();
+        let mut stages_run: Vec<StageDecision> = Vec::new();
 
         while state.next_node < plan.len() {
             if let Some(stop) = res.stop_after_nodes {
@@ -733,6 +740,11 @@ impl Executor {
                     } else {
                         FusedStage { len: 1, combined_reduce: false }
                     };
+                    stages_run.push(StageDecision {
+                        first: node.id,
+                        len: stage.len,
+                        combined_reduce: stage.combined_reduce,
+                    });
                     self.run_chain(
                         plan,
                         node.id,
@@ -797,6 +809,7 @@ impl Executor {
                 sinks: state.sinks,
                 metrics: state.metrics,
                 physical,
+                stages: stages_run,
             }),
             checkpoints,
         })
@@ -1646,8 +1659,10 @@ mod tests {
         let err = Executor::new(config).run(&plan, HashMap::new()).unwrap_err();
         match err {
             ExecutionError::PlanRejected { diagnostics } => {
-                assert_eq!(diagnostics.len(), 1);
-                assert_eq!(diagnostics[0].code, "WS007");
+                // WS007 (whole-plan sum) and WS014 (even the peak fused
+                // stage alone) both reject a single 100 GB operator
+                let codes: Vec<&str> = diagnostics.iter().map(|d| d.code.as_str()).collect();
+                assert_eq!(codes, vec!["WS007", "WS014"]);
             }
             other => panic!("expected PlanRejected, got {other:?}"),
         }

@@ -1,0 +1,619 @@
+//! Field-flow analysis: forward abstract interpretation over the logical
+//! plan.
+//!
+//! WS001–WS012 reason one node at a time; this pass walks the whole DAG
+//! once (parents always carry smaller ids, so a single forward sweep is a
+//! fixpoint) and infers, for every node's *output edge*:
+//!
+//! - the **record schema** — which fields are definitely present, possibly
+//!   present (a `maybe_writes` annotation, or surviving a custom reduce),
+//!   or absent, each with the value type its last producer declared
+//!   ([`websift_analyze::lattice`] holds the domains);
+//! - a **cost envelope** — closed `[lo, hi]` intervals over record count
+//!   and byte volume, propagated through per-operator selectivity models:
+//!   per-kind defaults, an explicit [`crate::operator::Operator::with_selectivity`]
+//!   override, or ratios calibrated from a previous run's per-operator
+//!   metrics (the profiler's startup/per-record split already isolates the
+//!   data-dependent part these ratios model).
+//!
+//! On top of the same sweep sit two stage views:
+//!
+//! - [`canonical_stages`] — identity-transparent, fusion- and
+//!   combining-aware segmentation used by the WS014 peak-memory
+//!   pre-flight. It deliberately ignores the optimizer's orphaned
+//!   `removed-identity` markers so verdicts stay invariant under
+//!   optimization (the invariance the WS001–WS009 suite pins).
+//! - [`crate::optimizer::plan_stages`] — the exact stage decisions a
+//!   fresh executor run makes, mirrored decision-for-decision; the
+//!   [`explain_plan`] report prints these, and the differential proptest
+//!   in `tests/explain.rs` pins them against the executor's actual
+//!   decisions.
+
+use crate::analyze::AnalyzeOptions;
+use crate::logical::{LogicalPlan, NodeId, NodeOp};
+use crate::operator::{Kind, OpFunc, Operator};
+use crate::optimizer::{plan_stages, REMOVED_IDENTITY};
+use std::collections::BTreeMap;
+use websift_analyze::lattice::{
+    CostEnvelope, FieldFact, FieldSchema, FieldType, Interval, Presence,
+};
+use websift_observe::json::{array, str_array, ObjectWriter};
+
+/// Assumed bytes per source record when no source estimate is given; the
+/// envelope is then *relative* — "per source record" with a nominal 4 KB
+/// page.
+const DEFAULT_SOURCE_BYTES: f64 = 4096.0;
+/// Bytes a written annotation field adds to a record.
+const WRITE_FIELD_BYTES: f64 = 256.0;
+/// Bytes per output record of a typed reduce (key + one aggregate value).
+const REDUCE_OUTPUT_BYTES: f64 = 128.0;
+/// Default fan-out ceiling for a `FlatMap` with no declared selectivity.
+const FLATMAP_MAX_FANOUT: f64 = 8.0;
+
+/// Value type of a well-known source schema field; anything else the
+/// corpus reader might attach is `Unknown`.
+pub fn source_field_type(field: &str) -> FieldType {
+    match field {
+        "id" => FieldType::Int,
+        "corpus" | "text" | "url" => FieldType::Str,
+        _ => FieldType::Unknown,
+    }
+}
+
+/// Everything inferred for one plan edge: the record schema and the cost
+/// envelope of the records flowing over it.
+#[derive(Debug, Clone)]
+pub struct EdgeState {
+    pub schema: FieldSchema,
+    pub envelope: CostEnvelope,
+}
+
+/// The result of the forward sweep: one [`EdgeState`] per node, describing
+/// that node's *output*.
+#[derive(Debug, Clone)]
+pub struct FieldFlow {
+    after: Vec<EdgeState>,
+}
+
+impl FieldFlow {
+    /// State on `id`'s output edge.
+    pub fn after(&self, id: NodeId) -> &EdgeState {
+        &self.after[id]
+    }
+
+    /// State on `id`'s input edge (its parent's output), if it has one.
+    pub fn input(&self, plan: &LogicalPlan, id: NodeId) -> Option<&EdgeState> {
+        plan.nodes()[id].input.map(|p| &self.after[p])
+    }
+}
+
+/// Is this node the optimizer's notion of a no-op: a `Map` writing
+/// nothing, named `identity` (pre-removal) or `removed-identity` (the
+/// orphaned marker left after removal)? The canonical stage segmentation
+/// looks *through* these so WS014 verdicts cannot change when the
+/// optimizer splices one out.
+fn is_transparent(op: &Operator) -> bool {
+    op.kind == Kind::Map
+        && op.writes.is_empty()
+        && (op.name == "identity" || op.name == REMOVED_IDENTITY)
+}
+
+/// First non-transparent ancestor of `id` (skipping identity chains).
+fn effective_parent(plan: &LogicalPlan, id: NodeId) -> Option<NodeId> {
+    let mut cur = plan.nodes()[id].input?;
+    loop {
+        match &plan.nodes()[cur].op {
+            NodeOp::Op(op) if is_transparent(op) => match plan.nodes()[cur].input {
+                Some(p) => cur = p,
+                None => return None,
+            },
+            _ => return Some(cur),
+        }
+    }
+}
+
+/// The per-kind default selectivity (output records per input record).
+fn default_selectivity(kind: Kind) -> Interval {
+    match kind {
+        Kind::Map => Interval::point(1.0),
+        Kind::Filter => Interval::new(0.0, 1.0),
+        Kind::FlatMap => Interval::new(0.0, FLATMAP_MAX_FANOUT),
+        Kind::Reduce => Interval::new(0.0, 1.0),
+    }
+}
+
+/// One operator's record-count selectivity: calibration beats the
+/// explicit annotation beats the per-kind default.
+fn op_selectivity(op: &Operator, opts: &AnalyzeOptions) -> Interval {
+    if let Some(&(records_ratio, _)) = opts.calibration.get(&op.name) {
+        return Interval::point(records_ratio);
+    }
+    match op.selectivity {
+        Some((lo, hi)) => Interval::new(lo, hi),
+        None => default_selectivity(op.kind),
+    }
+}
+
+fn declared_write_type(op: &Operator, field: &str) -> FieldType {
+    op.write_types
+        .iter()
+        .find(|(f, _)| f == field)
+        .map(|&(_, t)| t)
+        .unwrap_or(FieldType::Unknown)
+}
+
+/// Schema transfer function for one operator.
+fn apply_op_schema(op: &Operator, input: &FieldSchema) -> FieldSchema {
+    if let OpFunc::Reduce { aggregate, .. } = op.func() {
+        return match aggregate.output_field() {
+            // A typed aggregate builds fresh records: `key` plus the
+            // aggregate value. Everything inherited is gone.
+            Some((field, ty)) => {
+                let mut out = BTreeMap::new();
+                out.insert(
+                    "key".to_string(),
+                    FieldFact::definite(FieldType::Str, Some(&op.name)),
+                );
+                out.insert(field.to_string(), FieldFact::definite(ty, Some(&op.name)));
+                out
+            }
+            // A custom closure may pass fields through, drop them, or
+            // invent new ones: demote everything to possibly-present and
+            // trust only the declared writes.
+            None => {
+                let mut out: FieldSchema = input
+                    .iter()
+                    .map(|(f, fact)| {
+                        let mut fact = fact.clone();
+                        fact.presence = fact.presence.join(Presence::Absent);
+                        (f.clone(), fact)
+                    })
+                    .collect();
+                for f in &op.writes {
+                    out.insert(
+                        f.clone(),
+                        FieldFact::definite(declared_write_type(op, f), Some(&op.name)),
+                    );
+                }
+                out
+            }
+        };
+    }
+    let mut out = input.clone();
+    for f in &op.writes {
+        out.insert(f.clone(), FieldFact::definite(declared_write_type(op, f), Some(&op.name)));
+    }
+    for f in &op.maybe_writes {
+        let written = FieldFact::definite(declared_write_type(op, f), Some(&op.name));
+        let fact = match out.get(f) {
+            Some(old) => old.join(&written),
+            None => FieldFact { presence: Presence::Absent, ..written.clone() }.join(&written),
+        };
+        out.insert(f.clone(), fact);
+    }
+    out
+}
+
+/// Envelope transfer function for one operator.
+fn apply_op_envelope(op: &Operator, input: CostEnvelope, opts: &AnalyzeOptions) -> CostEnvelope {
+    let sel = op_selectivity(op, opts);
+    let records = input.records.scale(sel);
+    if op.kind == Kind::Reduce {
+        // Reduce output records are key + aggregate value, not the input
+        // payload (even a custom closure re-emits per group).
+        return CostEnvelope::new(records, records.scale(Interval::point(REDUCE_OUTPUT_BYTES)));
+    }
+    let mut bytes = match opts.calibration.get(&op.name) {
+        Some(&(_, bytes_ratio)) => input.bytes.scale(Interval::point(bytes_ratio)),
+        None => input.bytes.scale(sel),
+    };
+    // Definite writes grow both bounds; maybe-writes only the upper one.
+    bytes = bytes + records.scale(Interval::point(WRITE_FIELD_BYTES * op.writes.len() as f64));
+    bytes.hi += records.hi * WRITE_FIELD_BYTES * op.maybe_writes.len() as f64;
+    CostEnvelope::new(records, bytes)
+}
+
+/// Runs the forward sweep over the whole plan.
+pub fn field_flow(plan: &LogicalPlan, opts: &AnalyzeOptions) -> FieldFlow {
+    let (source_records, source_bytes) = match opts.source_estimate {
+        Some((records, avg_bytes)) => {
+            (records as f64, records as f64 * avg_bytes as f64)
+        }
+        None => (1.0, DEFAULT_SOURCE_BYTES),
+    };
+    let mut after: Vec<EdgeState> = Vec::with_capacity(plan.len());
+    for node in plan.nodes() {
+        let state = match &node.op {
+            NodeOp::Source(_) => {
+                let schema: FieldSchema = opts
+                    .source_fields
+                    .iter()
+                    .map(|f| {
+                        (f.clone(), FieldFact::definite(source_field_type(f), None))
+                    })
+                    .collect();
+                EdgeState {
+                    schema,
+                    envelope: CostEnvelope::new(
+                        Interval::point(source_records),
+                        Interval::point(source_bytes),
+                    ),
+                }
+            }
+            NodeOp::Sink(_) => {
+                let parent = node.input.expect("sinks have inputs");
+                after[parent].clone()
+            }
+            NodeOp::Op(op) => {
+                let parent = node.input.expect("ops have inputs");
+                let input = &after[parent];
+                EdgeState {
+                    schema: apply_op_schema(op, &input.schema),
+                    envelope: apply_op_envelope(op, input.envelope, opts),
+                }
+            }
+        };
+        after.push(state);
+    }
+    FieldFlow { after }
+}
+
+/// One canonical stage: member operator node ids in execution order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CanonicalStage {
+    pub members: Vec<NodeId>,
+    /// True when the stage's terminal member is a combinable Reduce.
+    pub combined_reduce: bool,
+}
+
+/// The identity-transparent, fusion- and combining-aware stage
+/// segmentation WS014 estimates peak memory over.
+///
+/// This is *not* byte-for-byte the executor's staging ([`plan_stages`] is
+/// that): the executor refuses to fuse across the orphaned
+/// `removed-identity` markers identity elimination leaves behind, while
+/// this view looks straight through identity chains — before *and* after
+/// removal — so the memory verdict cannot flip when the optimizer runs.
+/// Both views agree on every plan with no identity operators.
+pub fn canonical_stages(plan: &LogicalPlan) -> Vec<CanonicalStage> {
+    // How many non-transparent consumers (operators or sinks) each node
+    // effectively has, looking through identity chains.
+    let mut eff_consumers = vec![0usize; plan.len()];
+    for node in plan.nodes() {
+        let counts = match &node.op {
+            NodeOp::Op(op) => !is_transparent(op),
+            NodeOp::Sink(_) => true,
+            NodeOp::Source(_) => false,
+        };
+        if counts {
+            if let Some(p) = effective_parent(plan, node.id) {
+                eff_consumers[p] += 1;
+            }
+        }
+    }
+
+    let mut stages: Vec<CanonicalStage> = Vec::new();
+    let mut closed: Vec<bool> = Vec::new();
+    let mut stage_of: BTreeMap<NodeId, usize> = BTreeMap::new();
+    for node in plan.nodes() {
+        let NodeOp::Op(op) = &node.op else { continue };
+        if is_transparent(op) {
+            continue;
+        }
+        let joins = effective_parent(plan, node.id).and_then(|p| {
+            let parent_op = match &plan.nodes()[p].op {
+                NodeOp::Op(parent_op) => parent_op,
+                _ => return None,
+            };
+            if parent_op.is_pipelineable()
+                && eff_consumers[p] == 1
+                && (op.is_pipelineable() || op.combinable_reduce())
+            {
+                stage_of.get(&p).copied().filter(|&s| !closed[s])
+            } else {
+                None
+            }
+        });
+        let idx = match joins {
+            Some(idx) => {
+                stages[idx].members.push(node.id);
+                idx
+            }
+            None => {
+                stages.push(CanonicalStage { members: vec![node.id], combined_reduce: false });
+                closed.push(false);
+                stages.len() - 1
+            }
+        };
+        if !op.is_pipelineable() {
+            // a Reduce terminates its stage either way
+            closed[idx] = true;
+            stages[idx].combined_reduce = op.combinable_reduce();
+        }
+        stage_of.insert(node.id, idx);
+    }
+    stages
+}
+
+fn interval_json(i: Interval) -> String {
+    let mut one = String::new();
+    websift_observe::json::write_f64(&mut one, i.lo);
+    one.push(',');
+    websift_observe::json::write_f64(&mut one, i.hi);
+    format!("[{one}]")
+}
+
+/// Renders the deterministic "explain" report: the exact stage decisions
+/// a fresh run at this `fusion`/`combining` configuration makes, each with
+/// its inferred cost envelope and cost-model split, plus the inferred
+/// schema at every sink. Byte-stable for equal inputs.
+pub fn explain_plan(
+    plan: &LogicalPlan,
+    opts: &AnalyzeOptions,
+    fusion: bool,
+    combining: bool,
+) -> String {
+    let flow = field_flow(plan, opts);
+    let stages = plan_stages(plan, fusion, combining);
+
+    let stage_objs = stages.iter().map(|s| {
+        let members: Vec<NodeId> = (s.first..s.first + s.len).collect();
+        let names: Vec<&str> = members
+            .iter()
+            .filter_map(|&id| match &plan.nodes()[id].op {
+                NodeOp::Op(op) => Some(op.name.as_str()),
+                _ => None,
+            })
+            .collect();
+        let last = *members.last().expect("stages are non-empty");
+        let input = flow.input(plan, s.first).expect("op nodes have inputs");
+        let output = flow.after(last);
+        let (startup_secs, us_per_char, memory_bytes) = members.iter().fold(
+            (0.0f64, 0.0f64, 0u64),
+            |(s0, u, m), &id| match &plan.nodes()[id].op {
+                NodeOp::Op(op) => (
+                    s0 + op.cost.startup_secs,
+                    u + op.cost.us_per_char,
+                    m + op.cost.memory_bytes,
+                ),
+                _ => (s0, u, m),
+            },
+        );
+        let mut w = ObjectWriter::new();
+        w.u64("first", s.first as u64)
+            .raw("ops", &str_array(names))
+            .str("kind", if s.len > 1 { "fused" } else { "single" });
+        if s.combined_reduce {
+            w.str("reduce", "combined");
+        }
+        w.raw("records", &interval_json(output.envelope.records))
+            .raw("bytes", &interval_json(output.envelope.bytes))
+            .raw("input_bytes", &interval_json(input.envelope.bytes))
+            .f64("startup_secs", startup_secs)
+            .f64("us_per_char", us_per_char)
+            .u64("memory_bytes", memory_bytes);
+        w.finish()
+    });
+    let stages_json = array(stage_objs);
+
+    let sink_objs = plan.nodes().iter().filter_map(|node| {
+        let NodeOp::Sink(name) = &node.op else { return None };
+        let state = flow.after(node.id);
+        let fields = array(state.schema.iter().map(|(field, fact)| {
+            let mut w = ObjectWriter::new();
+            w.str("field", field)
+                .str("presence", fact.presence.as_str())
+                .str("type", fact.ty.as_str());
+            if let Some(p) = &fact.producer {
+                w.str("producer", p);
+            }
+            w.finish()
+        }));
+        let mut w = ObjectWriter::new();
+        w.str("sink", name)
+            .raw("records", &interval_json(state.envelope.records))
+            .raw("fields", &fields);
+        Some(w.finish())
+    });
+    let sinks_json = array(sink_objs);
+
+    ObjectWriter::new()
+        .str("fusion", if fusion { "on" } else { "off" })
+        .str("combining", if combining { "on" } else { "off" })
+        .raw("stages", &stages_json)
+        .raw("sinks", &sinks_json)
+        .finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::{Aggregate, Operator, Package};
+    use crate::optimizer::optimize;
+    use crate::record::Record;
+
+    fn map(name: &str, reads: &[&str], writes: &[&str]) -> Operator {
+        Operator::map(name, Package::Ie, |r| r).with_reads(reads).with_writes(writes)
+    }
+
+    #[test]
+    fn schema_tracks_presence_and_types() {
+        let mut plan = LogicalPlan::new();
+        let src = plan.source("docs");
+        let s = plan
+            .add(
+                src,
+                map("sentences", &["text"], &["sentences"])
+                    .with_write_types(&[("sentences", FieldType::Array)]),
+            )
+            .unwrap();
+        let n = plan
+            .add(
+                s,
+                map("negation", &["sentences"], &[]).with_maybe_writes(&["negation"]),
+            )
+            .unwrap();
+        let sink = plan.sink(n, "out").unwrap();
+        let flow = field_flow(&plan, &AnalyzeOptions::default());
+
+        let at_sink = &flow.after(sink).schema;
+        assert_eq!(at_sink["text"].presence, Presence::Definite);
+        assert_eq!(at_sink["text"].ty, FieldType::Str);
+        assert_eq!(at_sink["sentences"].presence, Presence::Definite);
+        assert_eq!(at_sink["sentences"].ty, FieldType::Array);
+        assert_eq!(at_sink["sentences"].producer.as_deref(), Some("sentences"));
+        // maybe_writes on a previously-absent field => possibly present
+        assert_eq!(at_sink["negation"].presence, Presence::Possible);
+    }
+
+    #[test]
+    fn typed_reduce_replaces_the_schema() {
+        let mut plan = LogicalPlan::new();
+        let src = plan.source("docs");
+        let r = plan
+            .add(
+                src,
+                Operator::reduce_agg(
+                    "tally",
+                    Package::Base,
+                    |r: &Record| format!("{:?}", r.get("corpus")),
+                    Aggregate::Count { into: "count".into() },
+                ),
+            )
+            .unwrap();
+        let sink = plan.sink(r, "out").unwrap();
+        let flow = field_flow(&plan, &AnalyzeOptions::default());
+        let schema = &flow.after(sink).schema;
+        assert_eq!(schema.len(), 2, "{schema:?}");
+        assert_eq!(schema["key"].ty, FieldType::Str);
+        assert_eq!(schema["count"].ty, FieldType::Int);
+        assert!(!schema.contains_key("text"), "inherited fields are dropped");
+    }
+
+    #[test]
+    fn custom_reduce_demotes_inherited_fields() {
+        let mut plan = LogicalPlan::new();
+        let src = plan.source("docs");
+        let r = plan
+            .add(
+                src,
+                Operator::reduce("pick", Package::Base, |_| String::new(), |_, rs| rs),
+            )
+            .unwrap();
+        let sink = plan.sink(r, "out").unwrap();
+        let flow = field_flow(&plan, &AnalyzeOptions::default());
+        let schema = &flow.after(sink).schema;
+        assert_eq!(schema["text"].presence, Presence::Possible);
+        assert_eq!(schema["text"].ty, FieldType::Str, "type survives the demotion");
+    }
+
+    #[test]
+    fn envelopes_compose_selectivities() {
+        let mut plan = LogicalPlan::new();
+        let src = plan.source("docs");
+        let split = plan
+            .add(
+                src,
+                Operator::flat_map("split", Package::Ie, |r| vec![r]).with_selectivity(4.0, 6.0),
+            )
+            .unwrap();
+        let keep = plan
+            .add(split, Operator::filter("keep", Package::Base, |_| true).with_reads(&["text"]))
+            .unwrap();
+        let sink = plan.sink(keep, "out").unwrap();
+
+        let opts = AnalyzeOptions::default().with_source_estimate(1000, 2048);
+        let flow = field_flow(&plan, &opts);
+        assert_eq!(flow.after(src).envelope.records, Interval::point(1000.0));
+        assert_eq!(flow.after(split).envelope.records, Interval::new(4000.0, 6000.0));
+        let out = flow.after(sink).envelope;
+        assert_eq!(out.records, Interval::new(0.0, 6000.0), "filter keeps [0,1]");
+        assert!(out.bytes.hi >= 2048.0 * 1000.0 * 6.0, "bytes scale with fan-out");
+    }
+
+    #[test]
+    fn calibration_overrides_defaults() {
+        let mut plan = LogicalPlan::new();
+        let src = plan.source("docs");
+        let keep = plan
+            .add(src, Operator::filter("keep", Package::Base, |_| true).with_reads(&["text"]))
+            .unwrap();
+        let sink = plan.sink(keep, "out").unwrap();
+        let opts = AnalyzeOptions::default()
+            .with_source_estimate(1000, 1000)
+            .with_calibration("keep", 0.25, 0.25);
+        let flow = field_flow(&plan, &opts);
+        let out = flow.after(sink).envelope;
+        assert_eq!(out.records, Interval::point(250.0));
+        assert_eq!(out.bytes, Interval::point(250_000.0));
+    }
+
+    #[test]
+    fn canonical_stages_look_through_identity_removal() {
+        let build = || {
+            let mut plan = LogicalPlan::new();
+            let src = plan.source("docs");
+            let a = plan.add(src, map("a", &["text"], &["x"])).unwrap();
+            let i = plan.add(a, Operator::map("identity", Package::Base, |r| r)).unwrap();
+            let b = plan.add(i, map("b", &["x"], &["y"])).unwrap();
+            plan.sink(b, "out").unwrap();
+            plan
+        };
+        let before = canonical_stages(&build());
+        let mut plan = build();
+        optimize(&mut plan);
+        let after = canonical_stages(&plan);
+        // one stage, members {a, b}, both before and after identity removal
+        assert_eq!(before.len(), 1);
+        assert_eq!(before, after, "segmentation invariant under identity elimination");
+        assert_eq!(before[0].members.len(), 2);
+    }
+
+    #[test]
+    fn canonical_stages_split_at_fan_out_and_close_at_reduce() {
+        let mut plan = LogicalPlan::new();
+        let src = plan.source("docs");
+        let a = plan.add(src, map("a", &["text"], &["x"])).unwrap();
+        let l = plan.add(a, map("left", &["x"], &[])).unwrap();
+        let r = plan.add(a, map("right", &["x"], &[])).unwrap();
+        let red = plan
+            .add(
+                l,
+                Operator::reduce_agg(
+                    "tally",
+                    Package::Base,
+                    |_: &Record| String::new(),
+                    Aggregate::Count { into: "n".into() },
+                ),
+            )
+            .unwrap();
+        plan.sink(red, "counts").unwrap();
+        plan.sink(r, "raw").unwrap();
+        let stages = canonical_stages(&plan);
+        // a alone (fan-out), then left+reduce (combining-aware), then right
+        assert_eq!(stages.len(), 3, "{stages:?}");
+        assert_eq!(stages[0].members, vec![a]);
+        assert_eq!(stages[1].members, vec![l, red]);
+        assert!(stages[1].combined_reduce);
+        assert_eq!(stages[2].members, vec![r]);
+    }
+
+    #[test]
+    fn explain_is_byte_stable_and_names_stages() {
+        let mut plan = LogicalPlan::new();
+        let src = plan.source("docs");
+        let a = plan.add(src, map("sentences", &["text"], &["sentences"])).unwrap();
+        let b = plan
+            .add(a, Operator::filter("keep", Package::Base, |_| true).with_reads(&["sentences"]))
+            .unwrap();
+        plan.sink(b, "out").unwrap();
+        let opts = AnalyzeOptions::default();
+        let one = explain_plan(&plan, &opts, true, true);
+        let two = explain_plan(&plan, &opts, true, true);
+        assert_eq!(one, two, "explain output must be byte-stable");
+        assert!(one.contains(r#""ops":["sentences","keep"]"#), "{one}");
+        assert!(one.contains(r#""kind":"fused""#), "{one}");
+        let unfused = explain_plan(&plan, &opts, false, true);
+        assert!(unfused.contains(r#""kind":"single""#), "{unfused}");
+    }
+}

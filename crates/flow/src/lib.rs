@@ -22,6 +22,9 @@
 //! - [`meteor`] — the declarative script front end;
 //! - [`analyze`] — static plan verification (use-before-def, library
 //!   conflicts, dead writes, admission pre-flight) run before execution;
+//! - [`fieldflow`] — forward abstract interpretation over the plan:
+//!   per-edge schema inference, selectivity-based cost envelopes, and the
+//!   static fusion/combining "explain" report;
 //! - [`resilience`] — fault-injection options, operator-granular
 //!   checkpoints, and the machinery behind [`Executor::resume_from`].
 
@@ -29,6 +32,7 @@ pub mod analyze;
 pub mod cluster;
 pub mod dfs;
 pub mod executor;
+pub mod fieldflow;
 pub mod logical;
 pub mod meteor;
 pub mod operator;
@@ -48,6 +52,7 @@ pub use resilience::{FlowCheckpoint, FlowResilience};
 pub use logical::{parse_store_sink, LogicalPlan, NodeId, NodeOp, PlanError, STORE_SINK_PREFIX};
 pub use meteor::{compile, compile_traced, MeteorError, ScriptInfo};
 pub use operator::{value_cmp, AggState, Aggregate, CostModel, Kind, OpFunc, Operator, Package};
-pub use optimizer::{fused_stage, optimize, FusedStage, Rewrite};
+pub use fieldflow::{canonical_stages, explain_plan, field_flow, EdgeState, FieldFlow};
+pub use optimizer::{fused_stage, optimize, plan_stages, FusedStage, Rewrite, StageDecision};
 pub use packages::{IeConfig, IeResources, OperatorRegistry};
 pub use record::{span_annotation, Record, Value};

@@ -19,6 +19,7 @@ use crate::record::{Record, Value};
 use serde::Serialize;
 use std::cmp::Ordering;
 use std::sync::Arc;
+use websift_analyze::lattice::FieldType;
 use websift_resilience::{CodecError, Reader, Snapshot, Writer};
 
 /// Operator package, per the paper's taxonomy.
@@ -369,6 +370,26 @@ impl Aggregate {
         vec![out]
     }
 
+    /// The output field a typed aggregate writes and the type it carries,
+    /// for the field-flow schema inference. `None` for `Custom` closures
+    /// (opaque output shape).
+    pub fn output_field(&self) -> Option<(&str, FieldType)> {
+        match self {
+            Aggregate::Count { into } | Aggregate::Sum { into, .. } => {
+                Some((into, FieldType::Int))
+            }
+            // Min/Max carry whatever type the source field had — and Null
+            // for empty groups — so the output type stays Unknown.
+            Aggregate::Min { into, .. } | Aggregate::Max { into, .. } => {
+                Some((into, FieldType::Unknown))
+            }
+            // Concat emits Null when no record carried the field.
+            Aggregate::Concat { into, .. } => Some((into, FieldType::Unknown)),
+            Aggregate::TopK { into, .. } => Some((into, FieldType::Array)),
+            Aggregate::Custom(_) => None,
+        }
+    }
+
     /// Applies the aggregate to one complete group — the serial (and
     /// `Custom`) path. For built-ins this is seed → fold each record in
     /// order → finish, so it agrees with any fold/merge split by
@@ -409,6 +430,19 @@ pub struct Operator {
     pub reads: Vec<String>,
     /// Record fields the UDF writes (semantic annotation).
     pub writes: Vec<String>,
+    /// Fields the UDF writes only on *some* records (e.g. an annotator
+    /// that tags matches and passes non-matches through untouched).
+    /// Downstream these are possibly-present, never definite.
+    pub maybe_writes: Vec<String>,
+    /// Declared value types for read fields; the field-flow analysis
+    /// checks them against what upstream writers declared (WS013).
+    pub read_types: Vec<(String, FieldType)>,
+    /// Declared value types for written fields, consumed by the field-flow
+    /// schema inference.
+    pub write_types: Vec<(String, FieldType)>,
+    /// Output-records-per-input-record range, overriding the per-kind
+    /// default selectivity in the cost-envelope propagation.
+    pub selectivity: Option<(f64, f64)>,
     pub cost: CostModel,
     /// External library dependency `(name, major version)`.
     pub library: Option<(String, u32)>,
@@ -439,6 +473,10 @@ impl Operator {
             kind: Kind::Map,
             reads: Vec::new(),
             writes: Vec::new(),
+            maybe_writes: Vec::new(),
+            read_types: Vec::new(),
+            write_types: Vec::new(),
+            selectivity: None,
             cost: CostModel::default(),
             library: None,
             func: OpFunc::Map(Arc::new(f)),
@@ -505,6 +543,42 @@ impl Operator {
     /// Declares the fields written.
     pub fn with_writes(mut self, fields: &[&str]) -> Operator {
         self.writes = fields.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    /// Declares fields written only on some records (conditionally
+    /// present downstream).
+    pub fn with_maybe_writes(mut self, fields: &[&str]) -> Operator {
+        self.maybe_writes = fields.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    /// Declares the value types this operator expects on fields it reads.
+    pub fn with_read_types(mut self, types: &[(&str, FieldType)]) -> Operator {
+        self.read_types = types.iter().map(|(f, t)| (f.to_string(), *t)).collect();
+        // A typed read is a read: keeping `read_types ⊆ reads` is what lets
+        // the optimizer's disjointness rules guarantee no rewrite moves a
+        // typed reader past the writer it was checked against (the WS013
+        // verdict-invariance the analyze proptest pins).
+        for (f, _) in &self.read_types {
+            if !self.reads.contains(f) {
+                self.reads.push(f.clone());
+            }
+        }
+        self
+    }
+
+    /// Declares the value types this operator writes.
+    pub fn with_write_types(mut self, types: &[(&str, FieldType)]) -> Operator {
+        self.write_types = types.iter().map(|(f, t)| (f.to_string(), *t)).collect();
+        self
+    }
+
+    /// Declares the output-records-per-input-record range, overriding the
+    /// per-kind default in cost-envelope propagation (e.g. a calibrated
+    /// sentence splitter averaging 4–6 sentences per document).
+    pub fn with_selectivity(mut self, lo: f64, hi: f64) -> Operator {
+        self.selectivity = Some((lo.min(hi), lo.max(hi)));
         self
     }
 
@@ -644,6 +718,37 @@ mod tests {
         assert_eq!(op.library, Some(("opennlp".to_string(), 15)));
         assert_eq!(op.cost.memory_bytes, 123);
         assert!(op.is_pipelineable());
+    }
+
+    #[test]
+    fn field_flow_annotations() {
+        let op = Operator::map("x", Package::Ie, |r| r)
+            .with_read_types(&[("text", FieldType::Str)])
+            .with_write_types(&[("pos", FieldType::Array)])
+            .with_maybe_writes(&["negation"])
+            .with_selectivity(6.0, 4.0); // flipped bounds normalize
+        assert_eq!(op.read_types, vec![("text".to_string(), FieldType::Str)]);
+        assert_eq!(op.reads, vec!["text"], "a typed read implies a read");
+        assert_eq!(op.write_types, vec![("pos".to_string(), FieldType::Array)]);
+        assert_eq!(op.maybe_writes, vec!["negation"]);
+        assert_eq!(op.selectivity, Some((4.0, 6.0)));
+    }
+
+    #[test]
+    fn aggregate_output_fields_typed() {
+        assert_eq!(
+            Aggregate::Count { into: "n".into() }.output_field(),
+            Some(("n", FieldType::Int))
+        );
+        assert_eq!(
+            Aggregate::TopK { field: "x".into(), k: 3, into: "top".into() }.output_field(),
+            Some(("top", FieldType::Array))
+        );
+        assert_eq!(
+            Aggregate::Min { field: "x".into(), into: "min".into() }.output_field(),
+            Some(("min", FieldType::Unknown))
+        );
+        assert_eq!(Aggregate::Custom(Arc::new(|_: &str, rs| rs)).output_field(), None);
     }
 
     #[test]

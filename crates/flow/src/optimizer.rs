@@ -118,6 +118,64 @@ pub fn fused_stage(
     FusedStage { len, combined_reduce: false }
 }
 
+/// One stage decision a fresh executor run makes: the stage starts at
+/// node `first` and spans `len` consecutive nodes;
+/// [`FusedStage::combined_reduce`] semantics for the terminal Reduce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageDecision {
+    pub first: NodeId,
+    pub len: usize,
+    pub combined_reduce: bool,
+}
+
+/// Statically predicts every stage decision a *fresh, unbarriered* run of
+/// the executor makes on this plan at the given `fusion`/`combining`
+/// configuration — the same walk `Executor::drive` performs, decision for
+/// decision. The differential proptest in `tests/explain.rs` pins this
+/// against [`crate::executor::FlowOutput::stages`], the decisions the
+/// executor actually recorded.
+///
+/// The executor skips an operator node when, at visit time, no consumer is
+/// left to take its output. On a fresh run consumers are decremented only
+/// by *later* nodes (children always carry larger ids), none of which have
+/// run when the node is visited — so that test reduces exactly to "the
+/// node has no children at all", which is what this walk checks. Barriers
+/// (checkpoint cadence, `stop_after`) never arise here because both only
+/// fire on resumed or truncated runs.
+pub fn plan_stages(plan: &LogicalPlan, fusion: bool, combining: bool) -> Vec<StageDecision> {
+    let mut stages = Vec::new();
+    let mut next = 0;
+    while next < plan.len() {
+        let node = &plan.nodes()[next];
+        let op = match &node.op {
+            NodeOp::Op(op) => op,
+            _ => {
+                next += 1;
+                continue;
+            }
+        };
+        if plan.children(next).is_empty() {
+            // orphaned operator (e.g. a spliced-out identity): never runs
+            next += 1;
+            continue;
+        }
+        let stage = if fusion && op.is_pipelineable() {
+            fused_stage(plan, next, |_| false, combining)
+        } else if combining && op.combinable_reduce() {
+            FusedStage { len: 1, combined_reduce: true }
+        } else {
+            FusedStage { len: 1, combined_reduce: false }
+        };
+        stages.push(StageDecision {
+            first: next,
+            len: stage.len,
+            combined_reduce: stage.combined_reduce,
+        });
+        next += stage.len;
+    }
+    stages
+}
+
 /// Name given to identity nodes spliced out by rule 3. They stay in the
 /// node vector (orphaned) so node ids remain stable; the executor and the
 /// static analyzer both skip nodes with this name.

@@ -13,6 +13,7 @@ use crate::packages::{IeResources, OperatorRegistry};
 use crate::record::{span_annotation, Record, Value};
 use std::sync::Arc;
 use std::sync::OnceLock;
+use websift_analyze::lattice::FieldType;
 use websift_ner::{EntityType, Mention};
 use websift_text::regexlite::Regex;
 use websift_text::tokenize::tokenize;
@@ -73,6 +74,7 @@ pub fn annotate_sentences() -> Operator {
     })
     .with_reads(&["text"])
     .with_writes(&["sentences"])
+    .with_write_types(&[("sentences", FieldType::Array)])
     .with_library("opennlp", 15)
     .with_cost(CostModel {
         us_per_char: 0.05,
@@ -93,6 +95,7 @@ pub fn annotate_tokens() -> Operator {
     })
     .with_reads(&["text"])
     .with_writes(&["tokens"])
+    .with_write_types(&[("tokens", FieldType::Array)])
     .with_library("opennlp", 15)
     .with_cost(CostModel {
         us_per_char: 0.08,

@@ -164,6 +164,148 @@ fn golden_custom_aggregate_in_live_mode_adds_ws012() {
 }
 
 // ---------------------------------------------------------------------
+// Field-flow goldens: WS013 / WS014 / WS015 + one clean plan
+// ---------------------------------------------------------------------
+
+use websift_analyze::lattice::FieldType;
+
+/// WS013: the sentence annotator declares its spans as an array, a
+/// downstream joiner insists on reading them as a string.
+fn type_conflict_plan() -> LogicalPlan {
+    let mut plan = LogicalPlan::new();
+    let src = plan.source("crawl");
+    let sents = plan
+        .add(
+            src,
+            Operator::map("ie.annotate_sentences", Package::Ie, |r| r)
+                .with_reads(&["text"])
+                .with_writes(&["sentences"])
+                .with_write_types(&[("sentences", FieldType::Array)]),
+        )
+        .expect("static plan");
+    let joiner = plan
+        .add(
+            sents,
+            Operator::map("wa.join_sentences", Package::Wa, |r| r)
+                .with_read_types(&[("sentences", FieldType::Str)])
+                .with_writes(&["flat"]),
+        )
+        .expect("static plan");
+    plan.sink(joiner, "flat").expect("static plan");
+    plan
+}
+
+#[test]
+fn golden_ws013_type_conflict() {
+    let diags = analyze_plan(&type_conflict_plan(), &AnalyzeOptions::default());
+    assert_eq!(
+        diagnostics_to_json(&diags),
+        include_str!("golden/ws013_type_conflict.json").trim_end(),
+    );
+    assert!(diags.iter().any(|d| d.severity == Severity::Error));
+}
+
+/// WS014: two 15 GB annotators that fuse into a single 30 GB stage — the
+/// whole-plan bound (WS007) and the stage-level refinement (WS014) both
+/// reject it, because fusing concentrates the footprints into one worker.
+fn fused_over_memory_plan() -> LogicalPlan {
+    let mut plan = LogicalPlan::new();
+    let src = plan.source("crawl");
+    let mut prev = src;
+    for (i, field) in ["pos", "ner"].iter().enumerate() {
+        prev = plan
+            .add(
+                prev,
+                Operator::map(&format!("ie.big_model_{i}"), Package::Ie, |r| r)
+                    .with_reads(&["text"])
+                    .with_writes(&[field])
+                    .with_cost(CostModel {
+                        memory_bytes: 15 << 30,
+                        ..CostModel::default()
+                    }),
+            )
+            .expect("static plan");
+    }
+    plan.sink(prev, "annotated").expect("static plan");
+    plan
+}
+
+#[test]
+fn golden_ws014_fused_stage_over_memory() {
+    let opts = AnalyzeOptions::default().with_admission(ClusterSpec::paper_cluster(), 28);
+    let diags = analyze_plan(&fused_over_memory_plan(), &opts);
+    assert_eq!(
+        diagnostics_to_json(&diags),
+        include_str!("golden/ws014_fused_over_memory.json").trim_end(),
+    );
+    assert!(diags.iter().any(|d| d.code == "WS014"));
+}
+
+/// WS015: the same language filter applied twice with only a sentence
+/// annotator (which touches none of the filter's fields) between.
+fn redundant_filter_plan() -> LogicalPlan {
+    let keep = || {
+        Operator::filter("dc.keep_english", Package::Dc, |_| true).with_reads(&["text"])
+    };
+    let mut plan = LogicalPlan::new();
+    let src = plan.source("crawl");
+    let first = plan.add(src, keep()).expect("static plan");
+    let sents = plan.add(first, ie::annotate_sentences()).expect("static plan");
+    let second = plan.add(sents, keep()).expect("static plan");
+    plan.sink(second, "english").expect("static plan");
+    plan
+}
+
+#[test]
+fn golden_ws015_redundant_filter() {
+    let diags = analyze_plan(&redundant_filter_plan(), &AnalyzeOptions::default());
+    assert_eq!(
+        diagnostics_to_json(&diags),
+        include_str!("golden/ws015_redundant_filter.json").trim_end(),
+    );
+    // advisory: the duplicate is wasteful, not wrong
+    assert!(diags.iter().all(|d| d.severity == Severity::Warning));
+}
+
+/// A fully-annotated, admission-checked, typed pipeline with nothing to
+/// report: the analyzer must stay silent (the golden pins the empty
+/// array, byte for byte).
+fn clean_typed_plan() -> LogicalPlan {
+    let mut plan = LogicalPlan::new();
+    let src = plan.source("crawl");
+    let sents = plan
+        .add(
+            src,
+            Operator::map("ie.annotate_sentences", Package::Ie, |r| r)
+                .with_reads(&["text"])
+                .with_writes(&["sentences"])
+                .with_write_types(&[("sentences", FieldType::Array)])
+                .with_read_types(&[("text", FieldType::Str)]),
+        )
+        .expect("static plan");
+    let keep = plan
+        .add(
+            sents,
+            Operator::filter("has-sentences", Package::Base, |_| true)
+                .with_read_types(&[("sentences", FieldType::Array)]),
+        )
+        .expect("static plan");
+    plan.sink(keep, "sentences").expect("static plan");
+    plan
+}
+
+#[test]
+fn golden_clean_plan_is_silent() {
+    let opts = AnalyzeOptions::default().with_admission(ClusterSpec::paper_cluster(), 28);
+    let diags = analyze_plan(&clean_typed_plan(), &opts);
+    assert_eq!(
+        diagnostics_to_json(&diags),
+        include_str!("golden/clean_typed.json").trim_end(),
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+// ---------------------------------------------------------------------
 // Verdict invariance under optimization
 // ---------------------------------------------------------------------
 
@@ -192,9 +334,18 @@ fn pool_op(idx: usize) -> Operator {
         7 => Operator::map("stage-a", Package::Ie, |r| r)
             .with_reads(&["text"])
             .with_writes(&["x"]),
-        _ => Operator::map("stage-b", Package::Ie, |r| r)
+        8 => Operator::map("stage-b", Package::Ie, |r| r)
             .with_reads(&["text"])
             .with_writes(&["x"]),
+        // typed writer/reader pair: any chain placing the reader below the
+        // writer trips WS013, and that error must survive optimization
+        9 => Operator::map("typed-writer", Package::Ie, |r| r)
+            .with_reads(&["text"])
+            .with_writes(&["typed"])
+            .with_write_types(&[("typed", FieldType::Int)]),
+        _ => Operator::filter("typed-reader", Package::Base, |_| true)
+            .with_read_types(&[("typed", FieldType::Str)])
+            .with_cost(CostModel { us_per_char: 0.02, ..CostModel::default() }),
     }
 }
 
@@ -226,7 +377,7 @@ proptest! {
 
     #[test]
     fn optimizer_never_changes_error_verdict(
-        indices in prop::collection::vec(0usize..9, 1..8),
+        indices in prop::collection::vec(0usize..11, 1..8),
     ) {
         let opts = AnalyzeOptions::default()
             .with_admission(ClusterSpec::paper_cluster(), 28);

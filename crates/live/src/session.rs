@@ -18,7 +18,10 @@ use std::sync::Arc;
 
 use websift_corpus::{CorpusKind, Document};
 use websift_crawler::{CrawlConfig, CrawlSession, NaiveBayes, ResilienceOptions};
-use websift_flow::{ExecutionConfig, Executor, LogicalPlan, Record};
+use websift_analyze::Diagnostic;
+use websift_flow::{
+    analyze_plan, AnalyzeOptions, ExecutionConfig, Executor, LogicalPlan, Record,
+};
 use websift_observe::{Labels, Observer};
 use websift_pipeline::documents_to_records;
 use websift_resilience::CodecError;
@@ -79,6 +82,20 @@ pub struct LiveSession<'w> {
 }
 
 impl<'w> LiveSession<'w> {
+    /// Static pre-flight for a live plan: the full plan analysis in live
+    /// mode (WS012 fires as an error for reduces that cannot fold
+    /// round-by-round) with the store bound, so WS011 checks sink
+    /// routing too. Purely advisory — [`LiveSession::start`] still
+    /// performs its own typed checks — but it surfaces the complete
+    /// diagnostic picture, field-flow checks included, before any
+    /// crawling happens.
+    pub fn preflight(plan: &LogicalPlan, store: &ExtractionStore) -> Vec<Diagnostic> {
+        let opts = AnalyzeOptions::default()
+            .with_live_mode()
+            .with_known_stores([store.name()]);
+        analyze_plan(plan, &opts)
+    }
+
     /// Starts a fresh session: compiles `plan` for delta execution,
     /// verifies its `store:` sinks actually name `store`, and seeds the
     /// crawler. Nothing is fetched until [`LiveSession::advance`].
@@ -348,5 +365,76 @@ fn check_store_routing(plan: &LogicalPlan, store: &ExtractionStore) -> Result<()
 impl From<CodecError> for LiveError {
     fn from(e: CodecError) -> LiveError {
         LiveError::Codec(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use websift_flow::{Aggregate, Operator, Package};
+
+    /// The static pre-flight and the incremental compiler must agree:
+    /// a plan the compiler rejects with `ReduceNotTerminal` carries a
+    /// WS012 error, and a plan it accepts carries none.
+    #[test]
+    fn preflight_agrees_with_the_incremental_compiler() {
+        let store = ExtractionStore::new("serve", 4);
+
+        let mut good = LogicalPlan::new();
+        let src = good.source("docs");
+        let tagged = good
+            .add(
+                src,
+                Operator::map("ie.extract", Package::Ie, |r| r)
+                    .with_reads(&["text"])
+                    .with_writes(&["entities"]),
+            )
+            .unwrap();
+        good.store_sink(tagged, "serve", "entities").unwrap();
+        let diags = LiveSession::preflight(&good, &store);
+        assert!(!websift_analyze::has_errors(&diags), "{diags:?}");
+        assert!(IncrementalFlow::compile(&good, false).is_ok());
+
+        let mut bad = LogicalPlan::new();
+        let src = bad.source("docs");
+        let reduce = bad
+            .add(
+                src,
+                Operator::reduce_agg(
+                    "tally",
+                    Package::Base,
+                    |_: &Record| "all".to_string(),
+                    Aggregate::Count { into: "n".into() },
+                ),
+            )
+            .unwrap();
+        let post = bad.add(reduce, Operator::map("post", Package::Base, |r| r)).unwrap();
+        bad.sink(post, "out").unwrap();
+        let diags = LiveSession::preflight(&bad, &store);
+        assert!(
+            diags.iter().any(|d| d.code == "WS012"
+                && d.severity == websift_analyze::Severity::Error),
+            "{diags:?}"
+        );
+        assert!(matches!(
+            IncrementalFlow::compile(&bad, false),
+            Err(LiveError::ReduceNotTerminal { .. })
+        ));
+    }
+
+    /// A misrouted store sink shows up in both paths: WS011 statically,
+    /// `MisroutedStoreSink` from the routing check.
+    #[test]
+    fn preflight_flags_misrouted_store_sinks_as_ws011() {
+        let store = ExtractionStore::new("serve", 4);
+        let mut plan = LogicalPlan::new();
+        let src = plan.source("docs");
+        plan.store_sink(src, "other", "entities").unwrap();
+        let diags = LiveSession::preflight(&plan, &store);
+        assert!(diags.iter().any(|d| d.code == "WS011"), "{diags:?}");
+        assert!(matches!(
+            check_store_routing(&plan, &store),
+            Err(LiveError::MisroutedStoreSink { .. })
+        ));
     }
 }

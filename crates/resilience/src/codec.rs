@@ -30,6 +30,9 @@ pub enum CodecError {
     BadUtf8,
     /// An enum discriminant had no mapping.
     BadTag { what: &'static str, tag: u8 },
+    /// A decoded value does not fit the platform type it targets
+    /// (e.g. a 64-bit length on a 32-bit host).
+    Oversize { what: &'static str, value: u64 },
 }
 
 impl fmt::Display for CodecError {
@@ -54,6 +57,9 @@ impl fmt::Display for CodecError {
             CodecError::BadTag { what, tag } => {
                 write!(f, "unknown {what} discriminant {tag} in checkpoint")
             }
+            CodecError::Oversize { what, value } => {
+                write!(f, "checkpoint {what} value {value} does not fit this platform")
+            }
         }
     }
 }
@@ -76,7 +82,7 @@ impl Writer {
     }
 
     pub fn bool(&mut self, v: bool) {
-        self.buf.push(v as u8);
+        self.buf.push(u8::from(v));
     }
 
     pub fn u16(&mut self, v: u16) {
@@ -173,7 +179,8 @@ impl<'a> Reader<'a> {
     }
 
     pub fn usize(&mut self) -> Result<usize, CodecError> {
-        Ok(self.u64()? as usize)
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| CodecError::Oversize { what: "usize", value: v })
     }
 
     pub fn f64(&mut self) -> Result<f64, CodecError> {

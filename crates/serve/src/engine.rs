@@ -80,6 +80,14 @@ impl<'a> QueryEngine<'a> {
         QueryEngine { store, obs }
     }
 
+    /// Statically checks `query` against what the store has actually
+    /// ingested (known corpora, current crawl round) — WS016
+    /// diagnostics; an empty vector means the query can plausibly
+    /// return rows. Purely advisory: `execute` never refuses a query.
+    pub fn check(&self, query: &Query) -> Vec<websift_analyze::Diagnostic> {
+        crate::check::check_query(query, &crate::check::StoreSchema::of(self.store))
+    }
+
     /// Runs `query`. `t_secs` is the caller's logical timestamp for the
     /// tracer span (the bench uses the query's sequence number, keeping
     /// traces wall-clock free).

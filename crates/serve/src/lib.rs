@@ -18,6 +18,10 @@
 //!   uninterrupted one.
 //! - [`query`] — a tiny query language (`lookup` / `cooccur` / `stats`)
 //!   parsed with typed errors; query strings are untrusted input.
+//! - [`check`] — static query checking (WS016): the field-flow analysis
+//!   from `websift-analyze` infers the record schema a plan delivers to
+//!   each `store:` sink, and parsed queries are checked against it (or
+//!   against a live store's ingested corpora/round) before execution.
 //! - [`engine`] — executes parsed queries against the store, reusing the
 //!   flow engine's combinable [`websift_flow::Aggregate`] machinery for
 //!   the stats path and reporting every query through `websift-observe`.
@@ -31,12 +35,14 @@
 //! independent of shard count and of how many queries run concurrently.
 
 pub mod admission;
+pub mod check;
 pub mod engine;
 pub mod query;
 pub mod snapshot;
 pub mod store;
 
 pub use admission::{AdmissionController, QueryPermit};
+pub use check::{check_query, StoreSchema};
 pub use engine::{QueryEngine, QueryResponse};
 pub use query::{parse_query, Query, QueryError};
 pub use snapshot::{StoreSnapshot, STORE_SNAPSHOT_TAG, STORE_SNAPSHOT_VERSION};
