@@ -61,12 +61,21 @@ echo "exp_analyze check: explain byte-stable and matches executor decisions ok"
 PROPTEST_CASES=64 cargo test -q -p websift-flow --test partial_agg
 echo "partial_agg: combining equivalence holds ok"
 
+# Batched-execution equivalence: any batch size must be byte-identical
+# to record-at-a-time on every deterministic surface, across fusion and
+# combining toggles, DoP {1,4,8}, fault seeds, fan-out tee plans, and
+# kill/resume with mismatched batch sizes. Cases pinned as above.
+PROPTEST_CASES=64 cargo test -q -p websift-flow --test batch
+echo "batch: batched == record-at-a-time equivalence holds ok"
+
 # Fusion + combining throughput smoke: the fused executor must not
 # regress wall-clock records/sec against its own unfused mode, and
 # combining must never lose to uncombined — including at DoP 1, where no
-# parallelism hides the fold (--check exits non-zero below a 0.95x ratio).
+# parallelism hides the fold — and the default batch size must not lose
+# to record-at-a-time dispatch at DoP 1 (--check exits non-zero below a
+# 0.95x ratio on any gate).
 cargo run -q --release -p websift-bench --bin exp_throughput -- --quick --check
-echo "exp_throughput smoke: fused and combined throughput hold up ok"
+echo "exp_throughput smoke: fused, combined, and batched throughput hold up ok"
 
 # Serving-layer smoke: query responses must be byte-identical across
 # shard counts and across snapshot/resume (--check exits non-zero on any

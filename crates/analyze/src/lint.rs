@@ -24,7 +24,15 @@
 //!   encode or decode durable frames ([`CODEC_MODULES`]): a value that
 //!   silently wraps at encode time replays as a *different* value, which
 //!   is exactly the corruption the sealed-frame digests exist to catch —
-//!   use `try_from` with a typed error instead.
+//!   use `try_from` with a typed error instead;
+//! - **`hot_loop_alloc`** — no `to_string()` / `format!(` /
+//!   `String::new` inside a declared hot region (the fused-stage worker
+//!   loop and the text-kernel inner loops). Hot regions are delimited in
+//!   source with begin/end comment markers — `lint:hot_loop` followed by
+//!   `(begin): <label>` opens one, the same prefix followed by `(end)`
+//!   closes it — so the rule guards exactly the loops the batching work
+//!   de-allocated, not whole files: a per-record allocation reintroduced
+//!   there silently undoes the arena/fast-path wins.
 //!
 //! The escape hatch is an inline comment on the flagged line or the line
 //! directly above it:
@@ -63,6 +71,7 @@ pub const RULE_HASH_ITERATION: &str = "hash_iteration";
 pub const RULE_UNTRUSTED_UNWRAP: &str = "untrusted_unwrap";
 pub const RULE_NONDET_PARALLELISM: &str = "nondet_parallelism";
 pub const RULE_LOSSY_CAST: &str = "lossy_cast";
+pub const RULE_HOT_LOOP_ALLOC: &str = "hot_loop_alloc";
 
 const WALL_CLOCK_PATTERNS: &[&str] = &[concat!("Instant", "::now"), concat!("System", "Time")];
 const HASH_PATTERNS: &[&str] = &[concat!("Hash", "Map"), concat!("Hash", "Set")];
@@ -83,6 +92,21 @@ const LOSSY_CAST_PATTERNS: &[&str] = &[
     concat!(" as ", "usize"),
     concat!(" as ", "isize"),
 ];
+/// Per-record allocators that must not appear inside a declared hot
+/// region (see [`RULE_HOT_LOOP_ALLOC`]).
+const HOT_ALLOC_PATTERNS: &[&str] = &[
+    concat!(".to_", "string()"),
+    concat!("format", "!("),
+    concat!("String", "::new"),
+    concat!("String", "::from"),
+    concat!(".to_", "owned()"),
+];
+/// Region delimiters for the hot-loop rule, assembled at runtime so this
+/// file's own mentions do not open a region. A begin marker carries a
+/// label naming the loop (`: fused worker`); the matching end marker
+/// closes it.
+const HOT_BEGIN: &str = concat!("lint:hot_loop", "(begin)");
+const HOT_END: &str = concat!("lint:hot_loop", "(end)");
 
 /// Files allowed to contain wall-clock calls, each with the justification
 /// for why real time is acceptable there. Every occurrence inside these
@@ -214,9 +238,54 @@ pub fn lint_file(rel: &str, content: &str) -> Vec<LintFinding> {
         }
     };
 
+    let mut hot_region = false;
     for (i, line) in lines.iter().enumerate() {
+        // Hot-region delimiters live in comments, so handle them before
+        // the comment-only skip.
+        if let Some(at) = line.find(HOT_BEGIN) {
+            let labeled = line[at + HOT_BEGIN.len()..]
+                .strip_prefix(':')
+                .is_some_and(|l| !l.trim().is_empty());
+            if hot_region || !labeled {
+                findings.push(LintFinding {
+                    rule: RULE_HOT_LOOP_ALLOC,
+                    file: rel.to_string(),
+                    line: i + 1,
+                    message: if hot_region {
+                        "nested hot_loop(begin): close the previous region first".to_string()
+                    } else {
+                        format!("hot_loop(begin) needs a label: `// {HOT_BEGIN}: <loop name>`")
+                    },
+                });
+            }
+            hot_region = true;
+            continue;
+        }
+        if line.contains(HOT_END) {
+            if !hot_region {
+                findings.push(LintFinding {
+                    rule: RULE_HOT_LOOP_ALLOC,
+                    file: rel.to_string(),
+                    line: i + 1,
+                    message: "hot_loop(end) without a matching begin".to_string(),
+                });
+            }
+            hot_region = false;
+            continue;
+        }
         if is_comment_only(line) {
             continue;
+        }
+        if hot_region && HOT_ALLOC_PATTERNS.iter().any(|p| line.contains(p)) {
+            check(
+                &mut findings,
+                i,
+                RULE_HOT_LOOP_ALLOC,
+                "per-record allocation inside a declared hot loop: hoist it out, use the \
+                 batch arena / reusable scratch, or justify with \
+                 `// lint:allow(hot_loop_alloc): <reason>`"
+                    .to_string(),
+            );
         }
         // wall_clock applies to every file, test code included: a test
         // that reads the clock is a flaky test waiting to happen.
@@ -293,6 +362,14 @@ pub fn lint_file(rel: &str, content: &str) -> Vec<LintFinding> {
                     .to_string(),
             );
         }
+    }
+    if hot_region {
+        findings.push(LintFinding {
+            rule: RULE_HOT_LOOP_ALLOC,
+            file: rel.to_string(),
+            line: lines.len(),
+            message: "hot_loop(begin) region never closed with hot_loop(end)".to_string(),
+        });
     }
     findings
 }
@@ -474,6 +551,72 @@ mod tests {
         // test code is exempt, as for the other scoped rules
         let tested = format!("#[cfg(test)]\nmod tests {{\n    {narrow}}}\n");
         assert!(lint_file("crates/resilience/src/codec.rs", &tested).is_empty());
+    }
+
+    #[test]
+    fn hot_loop_alloc_flagged_only_inside_declared_regions() {
+        let begin = format!("// {}{}: fused worker", "lint:hot_loop", "(begin)");
+        let end = format!("// {}{}", "lint:hot_loop", "(end)");
+        let alloc = format!("let s = x{}{};\n", ".to_", "string()");
+
+        // the same allocation outside any region is fine
+        assert!(lint_file("crates/flow/src/executor.rs", &alloc).is_empty());
+
+        // inside a region: flagged, with the arena hint
+        let hot = format!("{begin}\nfor r in batch {{\n    {alloc}}}\n{end}\n");
+        let findings = lint_file("crates/flow/src/executor.rs", &hot);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, RULE_HOT_LOOP_ALLOC);
+        assert_eq!(findings[0].line, 3);
+        assert!(findings[0].message.contains("batch arena"));
+
+        // format! and String::new are covered too
+        let fmt = format!("{begin}\nlet s = {}{}\"x{{y}}\");\n{end}\n", "format", "!(");
+        assert_eq!(lint_file("crates/flow/src/executor.rs", &fmt).len(), 1);
+        let snew = format!("{begin}\nlet s = {}{}();\n{end}\n", "String", "::new");
+        assert_eq!(lint_file("crates/flow/src/executor.rs", &snew).len(), 1);
+
+        // the escape hatch works and demands a justification
+        let justified = format!(
+            "{begin}\n// lint:allow(hot_loop_alloc): cold error path\n{alloc}{end}\n"
+        );
+        assert!(lint_file("crates/flow/src/executor.rs", &justified).is_empty());
+        let unjustified = format!("{begin}\n// lint:allow(hot_loop_alloc)\n{alloc}{end}\n");
+        let findings = lint_file("crates/flow/src/executor.rs", &unjustified);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("justification"));
+    }
+
+    #[test]
+    fn hot_loop_markers_must_be_labeled_and_balanced() {
+        let begin = format!("// {}{}: k", "lint:hot_loop", "(begin)");
+        let end = format!("// {}{}", "lint:hot_loop", "(end)");
+
+        // begin without a label
+        let bare = format!("// {}{}\n{end}\n", "lint:hot_loop", "(begin)");
+        let findings = lint_file("crates/flow/src/executor.rs", &bare);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("label"));
+
+        // end without begin
+        let findings = lint_file("crates/flow/src/executor.rs", &format!("{end}\n"));
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("without a matching begin"));
+
+        // begin never closed
+        let findings = lint_file("crates/flow/src/executor.rs", &format!("{begin}\n"));
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("never closed"));
+
+        // nested begin
+        let nested = format!("{begin}\n{begin}\n{end}\n");
+        let findings = lint_file("crates/flow/src/executor.rs", &nested);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("nested"));
+
+        // balanced, labeled, empty region: clean
+        let ok = format!("{begin}\n{end}\n");
+        assert!(lint_file("crates/flow/src/executor.rs", &ok).is_empty());
     }
 
     #[test]

@@ -4,7 +4,11 @@
 //! 2. filter ordering in the pre-selection chain (cheap-first vs
 //!    expensive-first);
 //! 3. optimizer on/off for a filter-behind-annotator plan;
-//! 4. CRF context features on/off (quality-for-speed trade).
+//! 4. CRF context features on/off (quality-for-speed trade);
+//! 5. text-kernel prefilters on hit-dense vs hit-sparse haystacks — the
+//!    SIMD-class skipping (SWAR byte tables) only pays on sparse text,
+//!    so both regimes are pinned: tokenizer byte scan, regexlite
+//!    prefiltered search, and the Aho-Corasick start-byte prefilter.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::collections::HashMap;
@@ -184,10 +188,103 @@ fn bench_crf_features(c: &mut Criterion) {
     group.finish();
 }
 
+/// A haystack where the needle terms actually occur every few words
+/// (hit-dense) — prefilters can barely skip, so this regime measures
+/// their overhead.
+fn dense_haystack(terms: &[&str], words: usize) -> String {
+    let mut s = String::new();
+    for i in 0..words {
+        if i % 4 == 0 {
+            s.push_str(terms[i / 4 % terms.len()]);
+        } else {
+            s.push_str("filler");
+        }
+        s.push(' ');
+    }
+    s
+}
+
+/// A haystack that never contains the needles' start bytes beyond plain
+/// lowercase filler (hit-sparse) — the regime the SWAR skipping exists
+/// for.
+fn sparse_haystack(words: usize) -> String {
+    let mut s = String::new();
+    for i in 0..words {
+        s.push_str(["lorem", "ipsum", "dolor", "sit"][i % 4]);
+        s.push(' ');
+    }
+    s
+}
+
+/// Ablation 5a: the tokenizer byte scan. Dense = corpus-like mixed text
+/// with digits, hyphens, and punctuation; sparse = plain lowercase words
+/// (the single-byte fast path end to end).
+fn bench_tokenizer(c: &mut Criterion) {
+    let dense = corpus_text(20_000);
+    let sparse = sparse_haystack(3_300);
+
+    let mut group = c.benchmark_group("ablation_tokenizer");
+    group.sample_size(30);
+    group.bench_function("corpus_text", |b| {
+        b.iter(|| black_box(websift_text::tokenize(black_box(&dense))).len())
+    });
+    group.bench_function("plain_ascii_words", |b| {
+        b.iter(|| black_box(websift_text::tokenize(black_box(&sparse))).len())
+    });
+    group.finish();
+}
+
+/// Ablation 5b: regexlite's prefiltered search on a gene-symbol-style
+/// pattern. On the sparse haystack the SWAR start-byte skip dominates;
+/// on the dense one every candidate reaches the NFA.
+fn bench_regexlite_prefilter(c: &mut Criterion) {
+    let re = websift_text::Regex::new(r"\b[A-Z][A-Z0-9]+-?[0-9]+\b").expect("bench pattern");
+    let dense = dense_haystack(&["BRCA1", "GAD-67", "TP53"], 3_300);
+    let sparse = sparse_haystack(3_300);
+    assert!(!re.find_iter(&dense).is_empty());
+    assert!(re.find_iter(&sparse).is_empty());
+
+    let mut group = c.benchmark_group("ablation_regexlite_prefilter");
+    group.sample_size(30);
+    group.bench_function("hit_dense", |b| {
+        b.iter(|| black_box(re.find_iter(black_box(&dense))).len())
+    });
+    group.bench_function("hit_sparse", |b| {
+        b.iter(|| black_box(re.find_iter(black_box(&sparse))).len())
+    });
+    group.finish();
+}
+
+/// Ablation 5c: the Aho-Corasick start-byte prefilter. Sparse text never
+/// leaves the root state, so the scan is one SWAR table sweep; dense
+/// text pays the full automaton walk.
+fn bench_ac_prefilter(c: &mut Criterion) {
+    let lexicon = Lexicon::generate(LexiconScale::tiny());
+    let patterns: Vec<String> = lexicon.genes().iter().map(|g| g.to_lowercase()).collect();
+    let automaton = AhoCorasick::new(&patterns, false);
+    let terms: Vec<&str> = patterns.iter().take(8).map(String::as_str).collect();
+    let dense = dense_haystack(&terms, 3_300);
+    let sparse = sparse_haystack(3_300);
+    assert!(!automaton.find_all(&dense).is_empty());
+
+    let mut group = c.benchmark_group("ablation_ac_prefilter");
+    group.sample_size(30);
+    group.bench_function("hit_dense", |b| {
+        b.iter(|| black_box(automaton.find_all(black_box(&dense))).len())
+    });
+    group.bench_function("hit_sparse", |b| {
+        b.iter(|| black_box(automaton.find_all(black_box(&sparse))).len())
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_dictionary_matching,
     bench_filter_ordering,
-    bench_crf_features
+    bench_crf_features,
+    bench_tokenizer,
+    bench_regexlite_prefilter,
+    bench_ac_prefilter
 );
 criterion_main!(benches);

@@ -456,7 +456,9 @@ fn check_admission(plan: &LogicalPlan, opts: &AnalyzeOptions, out: &mut Vec<Diag
 /// cannot pre-aggregate inside fused stages for these — opaque closures
 /// have no combine step — so the full group ships to the final reduce.
 /// Silent, correct, and often unintended when a typed
-/// [`crate::operator::Aggregate`] would express the same computation.
+/// [`crate::operator::Aggregate`] would express the same computation, or
+/// when the closure is associative and could declare an explicit merge
+/// contract via [`crate::operator::Operator::reduce_custom_combinable`].
 fn check_combinability(plan: &LogicalPlan, out: &mut Vec<Diagnostic>) {
     for node in plan.nodes() {
         let NodeOp::Op(op) = &node.op else { continue };
@@ -467,7 +469,9 @@ fn check_combinability(plan: &LogicalPlan, out: &mut Vec<Diagnostic>) {
                     format!(
                         "reduce '{}' uses a custom aggregate closure, which disables partial \
                          aggregation (every group ships uncombined); use a typed Aggregate \
-                         (Count/Sum/Min/Max/Concat/TopK) to enable combining",
+                         (Count/Sum/Min/Max/Concat/TopK), or opt in with an explicit \
+                         seed/fold/merge contract via reduce_custom_combinable, to enable \
+                         combining",
                         op.name
                     ),
                 )
@@ -572,7 +576,8 @@ fn check_live_recompute(
                         "reduce '{}' uses a custom aggregate closure, which cannot fold \
                          incrementally: each live round must recompute it over the cumulative \
                          record stream instead of the round's delta; use a typed Aggregate \
-                         (Count/Sum/Min/Max/Concat/TopK) to retain per-key state across rounds",
+                         (Count/Sum/Min/Max/Concat/TopK), or an explicit merge contract via \
+                         reduce_custom_combinable, to retain per-key state across rounds",
                         op.name
                     ),
                 )

@@ -1,0 +1,194 @@
+//! Batch-of-records execution support for the fused physical path.
+//!
+//! Fused workers used to pull per-worker mega-chunks (`ceil(n / dop)`
+//! records) off the queue and dispatch the stage closure per record.
+//! [`RecordBatch`] is the fixed-size unit workers pull instead: small
+//! enough that a batch's records and their per-stage outputs stay
+//! cache-resident, large enough to amortize queue locking and the
+//! stage-closure dispatch, which runs once per batch per stage.
+//!
+//! Batching is physical only. The analytic replay re-chunks each stage's
+//! per-record costs by the *simulated* partition size, independent of
+//! physical batch boundaries, and batch results merge in batch-index
+//! order (pipeline stages preserve record order) — so every deterministic
+//! surface (sink bytes, metrics, JSONL, digests, analyzer verdicts,
+//! checkpoints, watermarks, store snapshots) is bit-identical across
+//! batch sizes, including the legacy per-worker chunking.
+
+use crate::record::Record;
+
+/// Default batch size when [`crate::ExecutionConfig::batch_size`] is
+/// `None`: large enough to amortize dispatch, small enough that a batch
+/// of annotation-inflated records stays cache-friendly. The auto policy
+/// still splits smaller inputs `dop`-ways so every simulated worker has
+/// work.
+pub const DEFAULT_BATCH_SIZE: usize = 256;
+
+/// A fixed-size run of records — the unit of work fused workers pull off
+/// the stage queue.
+#[derive(Debug, Default)]
+pub struct RecordBatch {
+    pub records: Vec<Record>,
+}
+
+impl RecordBatch {
+    pub fn new(records: Vec<Record>) -> RecordBatch {
+        RecordBatch { records }
+    }
+
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Splits `records` into contiguous batches of at most `batch_size`,
+    /// preserving order. The concatenation of the result is exactly the
+    /// input.
+    pub fn split(records: Vec<Record>, batch_size: usize) -> Vec<RecordBatch> {
+        let batch_size = batch_size.max(1);
+        let mut batches = Vec::with_capacity(records.len().div_ceil(batch_size.max(1)));
+        let mut rest = records;
+        while rest.len() > batch_size {
+            let tail = rest.split_off(batch_size);
+            batches.push(RecordBatch::new(rest));
+            rest = tail;
+        }
+        if !rest.is_empty() {
+            batches.push(RecordBatch::new(rest));
+        }
+        batches
+    }
+}
+
+/// Index of a string allocated from a [`BatchArena`]. Valid until the
+/// arena is reset; resolving after a reset yields whatever bytes now
+/// occupy the range (never undefined behaviour — the arena hands out
+/// ranges, not pointers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArenaStr {
+    start: usize,
+    end: usize,
+}
+
+/// Bump allocator for short-lived per-batch strings and byte scratch.
+///
+/// Each worker owns one arena for its whole run. During a batch, strings
+/// bump-allocate out of one backing buffer ([`BatchArena::alloc_str`])
+/// and encode scratch borrows a recycled byte vector
+/// ([`BatchArena::take_scratch`]); at the batch boundary [`reset`]
+/// reclaims everything in O(1) while keeping the capacity, so steady
+/// state does no allocator traffic at all. Lifetime rule: an [`ArenaStr`]
+/// must not outlive the batch that allocated it — `reset` invalidates its
+/// contents (though never memory safety; ids index the backing buffer).
+///
+/// [`reset`]: BatchArena::reset
+#[derive(Debug, Default)]
+pub struct BatchArena {
+    buf: String,
+    scratch: Vec<u8>,
+}
+
+impl BatchArena {
+    pub fn new() -> BatchArena {
+        BatchArena::default()
+    }
+
+    /// Copies `s` into the arena and returns its handle.
+    pub fn alloc_str(&mut self, s: &str) -> ArenaStr {
+        let start = self.buf.len();
+        self.buf.push_str(s);
+        ArenaStr { start, end: self.buf.len() }
+    }
+
+    /// Resolves a handle allocated since the last [`BatchArena::reset`].
+    pub fn get(&self, id: ArenaStr) -> &str {
+        &self.buf[id.start..id.end]
+    }
+
+    /// Borrows the recycled byte buffer for a per-batch encode. The
+    /// buffer comes back cleared but with its high-water capacity.
+    pub fn take_scratch(&mut self) -> Vec<u8> {
+        let mut s = std::mem::take(&mut self.scratch);
+        s.clear();
+        s
+    }
+
+    /// Returns a buffer taken with [`BatchArena::take_scratch`] so the
+    /// next batch reuses its capacity.
+    pub fn put_scratch(&mut self, buf: Vec<u8>) {
+        if buf.capacity() > self.scratch.capacity() {
+            self.scratch = buf;
+        }
+    }
+
+    /// Reclaims all string allocations in O(1), keeping capacity.
+    pub fn reset(&mut self) {
+        self.buf.clear();
+    }
+
+    /// Bytes currently allocated to strings (diagnostics).
+    pub fn allocated(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{Record, Value};
+
+    fn recs(n: usize) -> Vec<Record> {
+        (0..n)
+            .map(|i| {
+                let mut r = Record::new();
+                r.set("id", i as i64).set("text", Value::from(format!("doc {i}")));
+                r
+            })
+            .collect()
+    }
+
+    #[test]
+    fn split_preserves_order_and_covers_input() {
+        for (n, b) in [(0usize, 4usize), (1, 4), (7, 3), (12, 4), (5, 100), (9, 1)] {
+            let batches = RecordBatch::split(recs(n), b);
+            assert!(batches.iter().all(|c| c.len() <= b.max(1) && !c.is_empty()));
+            let flat: Vec<i64> = batches
+                .iter()
+                .flat_map(|c| c.records.iter())
+                .map(|r| r.get("id").unwrap().as_int().unwrap())
+                .collect();
+            assert_eq!(flat, (0..n as i64).collect::<Vec<_>>(), "n={n} b={b}");
+        }
+    }
+
+    #[test]
+    fn arena_strings_round_trip_until_reset() {
+        let mut arena = BatchArena::new();
+        let a = arena.alloc_str("alpha");
+        let b = arena.alloc_str("");
+        let c = arena.alloc_str("β-batch");
+        assert_eq!(arena.get(a), "alpha");
+        assert_eq!(arena.get(b), "");
+        assert_eq!(arena.get(c), "β-batch");
+        assert_eq!(arena.allocated(), "alpha".len() + "β-batch".len());
+        arena.reset();
+        assert_eq!(arena.allocated(), 0);
+        let d = arena.alloc_str("next-batch");
+        assert_eq!(arena.get(d), "next-batch");
+    }
+
+    #[test]
+    fn scratch_buffer_keeps_capacity_across_batches() {
+        let mut arena = BatchArena::new();
+        let mut s = arena.take_scratch();
+        s.extend_from_slice(&[0u8; 4096]);
+        let cap = s.capacity();
+        arena.put_scratch(s);
+        let s2 = arena.take_scratch();
+        assert!(s2.is_empty());
+        assert!(s2.capacity() >= cap);
+    }
+}

@@ -30,6 +30,7 @@
 //! reproduces an uninterrupted run bit-for-bit (wall-clock fields aside).
 
 use crate::analyze::{analyze_plan, AnalyzeOptions};
+use crate::batch::{BatchArena, RecordBatch};
 use crate::cluster::{admit, ClusterSpec, SchedulingError};
 use crate::logical::{parse_store_sink, LogicalPlan, NodeOp, STORE_SINK_PREFIX};
 use websift_analyze::{Diagnostic, Severity};
@@ -106,6 +107,18 @@ pub struct ExecutionConfig {
     /// worker count must never leak into simulated numbers (see
     /// `worker_count_never_affects_deterministic_outputs`).
     pub max_workers: usize,
+    /// Physical batch size for fused stages: each simulated partition's
+    /// records run through the stage chain in fixed-size
+    /// [`RecordBatch`](crate::batch::RecordBatch)es, with one
+    /// stage-closure dispatch per batch and per-batch scratch reclaimed
+    /// from a worker-local [`BatchArena`](crate::batch::BatchArena)
+    /// between batches. `None` picks
+    /// [`DEFAULT_BATCH_SIZE`](crate::batch::DEFAULT_BATCH_SIZE).
+    /// Physical only: batches never span simulated partition boundaries
+    /// and results merge in batch order, so every deterministic surface
+    /// is bit-identical across batch sizes (see the `batching`
+    /// differential suite).
+    pub batch_size: Option<usize>,
 }
 
 /// Default physical worker cap: the machine's available parallelism.
@@ -132,6 +145,7 @@ impl ExecutionConfig {
             fusion: true,
             combining: true,
             max_workers: default_max_workers(),
+            batch_size: None,
         }
     }
 }
@@ -867,15 +881,22 @@ impl Executor {
         } else {
             None
         };
-        // Interior checkpoint boundaries: node boundaries `first + s + 1`
-        // that the checkpoint cadence hits strictly inside this stage.
-        // The physical pass taps the record stream crossing each one so
-        // the replay can synthesize the frame an unfused run would have
-        // written there.
+        // Interior boundaries the physical pass must tap (cloning the
+        // record stream crossing them, in unfused record order):
+        //
+        // - checkpoint boundaries `first + s + 1` the cadence hits
+        //   strictly inside this stage, so the replay can synthesize the
+        //   frame an unfused run would have written there;
+        // - tee boundaries — interior nodes with consumers outside the
+        //   chain (fan-out), whose tap becomes the node's live output so
+        //   those consumers read exactly what unfused execution would
+        //   have handed them.
         let every = res.checkpoint_every_nodes.filter(|&e| e > 0);
+        let teed = |s: usize| s + 1 < len && plan.children(first + s).len() > 1;
         let tapped_stages: Vec<usize> = (0..len)
             .filter(|&s| {
-                s + 1 < len && every.is_some_and(|e| (first + s + 1).is_multiple_of(e))
+                s + 1 < len
+                    && (every.is_some_and(|e| (first + s + 1).is_multiple_of(e)) || teed(s))
             })
             .collect();
 
@@ -985,18 +1006,29 @@ impl Executor {
         } else if physical_stages > 0 {
             // Phase 2 — the fused pass: partition the owned input into
             // contiguous chunks (same boundaries the unfused first stage
-            // would use) and push each chunk through every stage inside
+            // would use), split each chunk into fixed-size record
+            // batches, and push every batch through every stage inside
             // one thread scope, records moved by value throughout.
+            // Batching is physical only: batches never span chunk
+            // boundaries and each chunk's batches run in order, so the
+            // per-stage record streams (and everything derived from
+            // them) are identical for every batch size.
             let chunk_size = input.len().div_ceil(scheds[0].dop_eff).max(1);
-            let mut pending: Vec<Vec<Record>> = Vec::with_capacity(input.len() / chunk_size + 1);
+            let batch_size = self
+                .config
+                .batch_size
+                .unwrap_or(crate::batch::DEFAULT_BATCH_SIZE)
+                .max(1);
+            let mut pending: Vec<Vec<RecordBatch>> =
+                Vec::with_capacity(input.len() / chunk_size + 1);
             let mut rest = input;
             while rest.len() > chunk_size {
                 let tail = rest.split_off(chunk_size);
-                pending.push(rest);
+                pending.push(RecordBatch::split(rest, batch_size));
                 rest = tail;
             }
             if !rest.is_empty() {
-                pending.push(rest);
+                pending.push(RecordBatch::split(rest, batch_size));
             }
             let n_chunks = pending.len();
             // Sorted (key, partial state, per-key record costs) triples
@@ -1015,7 +1047,7 @@ impl Executor {
                 /// boundary, aligned with `tapped_stages`.
                 taps: Vec<Vec<Record>>,
             }
-            let slots: Vec<parking_lot::Mutex<Option<Vec<Record>>>> =
+            let slots: Vec<parking_lot::Mutex<Option<Vec<RecordBatch>>>> =
                 pending.into_iter().map(|c| parking_lot::Mutex::new(Some(c))).collect();
             let results: Vec<parking_lot::Mutex<Option<ChunkResult>>> =
                 (0..n_chunks).map(|_| parking_lot::Mutex::new(None)).collect();
@@ -1040,116 +1072,156 @@ impl Executor {
 
             std::thread::scope(|scope| {
                 for _ in 0..worker_count {
-                    scope.spawn(|| loop {
-                        if fatal.lock().is_some() {
-                            break;
-                        }
-                        let Some(i) = queue.lock().pop() else { break };
-                        let chunk = slots[i].lock().take().expect("each chunk is taken once");
-                        let stage_at = std::cell::Cell::new(0usize);
-                        let outcome = catch_unwind(AssertUnwindSafe(|| {
-                            let mut stages = Vec::with_capacity(stage_ops.len() + 1);
-                            let mut taps = Vec::with_capacity(tapped_stages.len());
-                            let mut cur = chunk;
-                            for (s, op) in stage_ops.iter().enumerate() {
-                                stage_at.set(s);
-                                // lint:allow(wall_clock): per-op wall_ms is runtime-only diagnostics
-                                let t0 = Instant::now();
-                                let mut tally = StageStats {
-                                    costs: Vec::with_capacity(cur.len()),
-                                    ..StageStats::default()
-                                };
-                                let mut next = Vec::with_capacity(cur.len());
-                                for r in cur {
-                                    tally.bytes_in += r.approx_bytes();
-                                    tally.costs.push(
-                                        self.config.work_scale
-                                            * op.cost.record_cost_secs(
-                                                r.text().map(str::len).unwrap_or(64),
-                                            ),
-                                    );
-                                    match op.func() {
-                                        OpFunc::Map(f) => next.push(f(r)),
-                                        OpFunc::FlatMap(f) => next.extend(f(r)),
-                                        OpFunc::Filter(f) => {
-                                            if f(&r) {
-                                                next.push(r);
+                    scope.spawn(|| {
+                        // Worker-persistent arena: per-batch scratch is
+                        // reclaimed (capacity kept) between batches, and
+                        // the combiner's wire encode reuses its byte
+                        // buffer across chunks.
+                        let mut arena = BatchArena::new();
+                        loop {
+                            if fatal.lock().is_some() {
+                                break;
+                            }
+                            let Some(i) = queue.lock().pop() else { break };
+                            let batches =
+                                slots[i].lock().take().expect("each chunk is taken once");
+                            let stage_at = std::cell::Cell::new(0usize);
+                            let arena = &mut arena;
+                            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                                let mut stages: Vec<StageStats> = (0..stage_ops.len())
+                                    .map(|_| StageStats::default())
+                                    .collect();
+                                let mut taps: Vec<Vec<Record>> =
+                                    vec![Vec::new(); tapped_stages.len()];
+                                let mut done: Vec<Record> = Vec::new();
+                                // lint:hot_loop(begin): fused-stage worker batch loop
+                                for batch in batches {
+                                    let mut cur = batch.records;
+                                    for (s, op) in stage_ops.iter().enumerate() {
+                                        stage_at.set(s);
+                                        // lint:allow(wall_clock): per-op wall_ms is runtime-only diagnostics
+                                        let t0 = Instant::now();
+                                        let tally = &mut stages[s];
+                                        let mut next = Vec::with_capacity(cur.len());
+                                        let charge = |tally: &mut StageStats, r: &Record| {
+                                            tally.bytes_in += r.approx_bytes();
+                                            tally.costs.push(
+                                                self.config.work_scale
+                                                    * op.cost.record_cost_secs(
+                                                        r.text().map(str::len).unwrap_or(64),
+                                                    ),
+                                            );
+                                        };
+                                        // One dispatch per batch per stage:
+                                        // the closure-variant match is
+                                        // hoisted out of the record loop.
+                                        match op.func() {
+                                            OpFunc::Map(f) => {
+                                                for r in cur {
+                                                    charge(tally, &r);
+                                                    next.push(f(r));
+                                                }
+                                            }
+                                            OpFunc::FlatMap(f) => {
+                                                for r in cur {
+                                                    charge(tally, &r);
+                                                    next.extend(f(r));
+                                                }
+                                            }
+                                            OpFunc::Filter(f) => {
+                                                for r in cur {
+                                                    charge(tally, &r);
+                                                    if f(&r) {
+                                                        next.push(r);
+                                                    }
+                                                }
+                                            }
+                                            OpFunc::Reduce { .. } => {
+                                                unreachable!("reduce is never part of a chain")
                                             }
                                         }
-                                        OpFunc::Reduce { .. } => {
-                                            unreachable!("reduce is never part of a chain")
+                                        tally.wall_ms +=
+                                            t0.elapsed().as_secs_f64() * 1000.0;
+                                        cur = next;
+                                        if let Some(t) =
+                                            tapped_stages.iter().position(|&ts| ts == s)
+                                        {
+                                            taps[t].extend(cur.iter().cloned());
                                         }
                                     }
+                                    done.extend(cur);
+                                    arena.reset();
                                 }
-                                tally.records_in = tally.costs.len() as u64;
-                                tally.wall_ms = t0.elapsed().as_secs_f64() * 1000.0;
-                                stages.push(tally);
-                                cur = next;
-                                if tapped_stages.contains(&s) {
-                                    taps.push(cur.clone());
+                                // lint:hot_loop(end)
+                                for tally in &mut stages {
+                                    tally.records_in = tally.costs.len() as u64;
                                 }
+                                let mut cur = done;
+                                let partial = if do_fold {
+                                    let (key, agg) =
+                                        combiner.as_ref().expect("fold implies a combiner");
+                                    stage_at.set(len - 1);
+                                    // lint:allow(wall_clock): per-op wall_ms is runtime-only diagnostics
+                                    let t0 = Instant::now();
+                                    let mut tally = StageStats::default();
+                                    let mut map: HashMap<String, (AggState, Vec<f64>)> =
+                                        HashMap::new();
+                                    for r in cur {
+                                        tally.records_in += 1;
+                                        tally.bytes_in += r.approx_bytes();
+                                        let cost = self.config.work_scale
+                                            * reduce_cost.record_cost_secs(
+                                                r.text().map(str::len).unwrap_or(64),
+                                            );
+                                        let e = map
+                                            .entry(key(&r))
+                                            .or_insert_with(|| (agg.seed(), Vec::new()));
+                                        agg.fold(&mut e.0, &r);
+                                        e.1.push(cost);
+                                    }
+                                    cur = Vec::new();
+                                    // The combiner's shuffle: only the
+                                    // sorted-key partial map crosses the
+                                    // boundary through the codec, not the
+                                    // record stream. The encode borrows
+                                    // the arena's recycled byte buffer.
+                                    let mut sorted: Vec<(String, (AggState, Vec<f64>))> =
+                                        map.into_iter().collect();
+                                    sorted.sort_by(|a, b| a.0.cmp(&b.0));
+                                    let mut w = Writer::from_vec(arena.take_scratch());
+                                    w.usize(sorted.len());
+                                    for (k, (st, _)) in &sorted {
+                                        w.str(k);
+                                        st.encode(&mut w);
+                                    }
+                                    let wire = w.into_bytes();
+                                    let shuffled = wire.len() as u64;
+                                    let mut rd = Reader::new(&wire);
+                                    let _n = rd.usize().expect("partial map round-trips");
+                                    let entries: Vec<(String, AggState, Vec<f64>)> = sorted
+                                        .into_iter()
+                                        .map(|(k, (_, costs))| {
+                                            let _k =
+                                                rd.str().expect("partial map round-trips");
+                                            let st = AggState::decode(&mut rd)
+                                                .expect("partial map round-trips");
+                                            (k, st, costs)
+                                        })
+                                        .collect();
+                                    arena.put_scratch(wire);
+                                    tally.wall_ms = t0.elapsed().as_secs_f64() * 1000.0;
+                                    stages.push(tally);
+                                    Some((entries, shuffled))
+                                } else {
+                                    None
+                                };
+                                let bytes_out = cur.iter().map(Record::approx_bytes).sum();
+                                ChunkResult { stages, out: cur, bytes_out, partial, taps }
+                            }));
+                            match outcome {
+                                Ok(r) => *results[i].lock() = Some(r),
+                                Err(_) => *fatal.lock() = Some((stage_at.get(), i)),
                             }
-                            let partial = if do_fold {
-                                let (key, agg) =
-                                    combiner.as_ref().expect("fold implies a combiner");
-                                stage_at.set(len - 1);
-                                // lint:allow(wall_clock): per-op wall_ms is runtime-only diagnostics
-                                let t0 = Instant::now();
-                                let mut tally = StageStats::default();
-                                let mut map: HashMap<String, (AggState, Vec<f64>)> =
-                                    HashMap::new();
-                                for r in cur {
-                                    tally.records_in += 1;
-                                    tally.bytes_in += r.approx_bytes();
-                                    let cost = self.config.work_scale
-                                        * reduce_cost.record_cost_secs(
-                                            r.text().map(str::len).unwrap_or(64),
-                                        );
-                                    let e = map
-                                        .entry(key(&r))
-                                        .or_insert_with(|| (agg.seed(), Vec::new()));
-                                    agg.fold(&mut e.0, &r);
-                                    e.1.push(cost);
-                                }
-                                cur = Vec::new();
-                                // The combiner's shuffle: only the
-                                // sorted-key partial map crosses the
-                                // boundary through the codec, not the
-                                // record stream.
-                                let mut sorted: Vec<(String, (AggState, Vec<f64>))> =
-                                    map.into_iter().collect();
-                                sorted.sort_by(|a, b| a.0.cmp(&b.0));
-                                let mut w = Writer::new();
-                                w.usize(sorted.len());
-                                for (k, (st, _)) in &sorted {
-                                    w.str(k);
-                                    st.encode(&mut w);
-                                }
-                                let wire = w.into_bytes();
-                                let shuffled = wire.len() as u64;
-                                let mut rd = Reader::new(&wire);
-                                let _n = rd.usize().expect("partial map round-trips");
-                                let entries: Vec<(String, AggState, Vec<f64>)> = sorted
-                                    .into_iter()
-                                    .map(|(k, (_, costs))| {
-                                        let _k = rd.str().expect("partial map round-trips");
-                                        let st = AggState::decode(&mut rd)
-                                            .expect("partial map round-trips");
-                                        (k, st, costs)
-                                    })
-                                    .collect();
-                                tally.wall_ms = t0.elapsed().as_secs_f64() * 1000.0;
-                                stages.push(tally);
-                                Some((entries, shuffled))
-                            } else {
-                                None
-                            };
-                            let bytes_out = cur.iter().map(Record::approx_bytes).sum();
-                            ChunkResult { stages, out: cur, bytes_out, partial, taps }
-                        }));
-                        match outcome {
-                            Ok(r) => *results[i].lock() = Some(r),
-                            Err(_) => *fatal.lock() = Some((stage_at.get(), i)),
                         }
                     });
                 }
@@ -1358,11 +1430,12 @@ impl Executor {
             // written at the node boundary `first + s + 1` when the
             // cadence hits strictly inside this stage. The ExecState is
             // momentarily shaped exactly as at that boundary — interior
-            // parents consumed, node `b - 1`'s output live (the tapped
-            // stream), `next_node` at the boundary — so the frame bytes
-            // match the unfused run's bit for bit, and a resume from it
-            // re-enters the plan mid-stage.
-            if tapped_stages.contains(&s) {
+            // parents consumed (tee'd ones keep their remaining
+            // consumers and live tapped stream), node `b - 1`'s output
+            // live (the tapped stream), `next_node` at the boundary — so
+            // the frame bytes match the unfused run's bit for bit, and a
+            // resume from it re-enters the plan mid-stage.
+            if s + 1 < len && every.is_some_and(|e| (first + s + 1).is_multiple_of(e)) {
                 let b = first + s + 1;
                 let lost = res.faults.as_ref().is_some_and(|fault_plan| {
                     fault_plan.injects_at(FaultKind::StoreWrite, "flow-checkpoint", b as u64)
@@ -1373,27 +1446,43 @@ impl Executor {
                     state.metrics.checkpoints_taken += 1;
                     mirror_flow_gauges(obs, &state.metrics);
                     for id in first..b - 1 {
-                        state.consumers_left[id] = 0;
+                        let extra = plan.children(id).len().saturating_sub(1);
+                        state.consumers_left[id] = extra;
+                        if extra > 0 {
+                            state.outputs[id] = Some(
+                                stage_taps.get(&(id - first)).cloned().unwrap_or_default(),
+                            );
+                        }
                     }
                     let saved_next = state.next_node;
                     state.next_node = b;
-                    state.outputs[b - 1] = Some(stage_taps.remove(&s).unwrap_or_default());
+                    state.outputs[b - 1] = Some(stage_taps.get(&s).cloned().unwrap_or_default());
                     let mut w = Writer::new();
                     state.encode(&mut w);
                     obs.registry().snapshot().encode(&mut w);
                     checkpoints.push(FlowCheckpoint::seal(b, &w.into_bytes()));
-                    state.outputs[b - 1] = None;
+                    for id in first..b {
+                        state.outputs[id] = None;
+                    }
                     state.next_node = saved_next;
                 }
             }
         }
 
         // Interior chain edges were consumed inside the pass: after an
-        // unfused run each interior node's single consumer would have
-        // taken its output, leaving `None` and zero consumers — reproduce
-        // that state so checkpoints at the chain boundary match.
+        // unfused run each interior node's single consumer (node id + 1)
+        // would have taken or cloned its output. Nodes whose only
+        // consumer was the chain end with `None` and zero consumers;
+        // tee'd nodes keep their remaining out-of-chain consumers and
+        // publish the tapped stream as their live output — exactly the
+        // state unfused execution leaves behind.
         for id in first..first + len - 1 {
-            state.consumers_left[id] = 0;
+            let extra = plan.children(id).len().saturating_sub(1);
+            state.consumers_left[id] = extra;
+            if extra > 0 {
+                state.outputs[id] =
+                    Some(stage_taps.remove(&(id - first)).unwrap_or_default());
+            }
         }
         state.outputs[first + len - 1] = Some(output);
         Ok(())

@@ -9,6 +9,8 @@
 //!
 //! - [`record`] — the JSON-like record model whose annotation growth
 //!   drives the network war story;
+//! - [`batch`] — fixed-size record batches and the per-worker bump arena
+//!   behind the fused executor's batched physical path;
 //! - [`operator`] — UDF operators with semantic (reads/writes) and
 //!   resource (memory/startup/cost) annotations;
 //! - [`packages`] — the BASE / IE / WA / DC operator packages and the
@@ -29,6 +31,7 @@
 //!   checkpoints, and the machinery behind [`Executor::resume_from`].
 
 pub mod analyze;
+pub mod batch;
 pub mod cluster;
 pub mod dfs;
 pub mod executor;
@@ -42,6 +45,7 @@ pub mod record;
 pub mod resilience;
 
 pub use analyze::{analyze_plan, analyze_script, AnalyzeOptions};
+pub use batch::{ArenaStr, BatchArena, RecordBatch, DEFAULT_BATCH_SIZE};
 pub use cluster::{admit, ClusterSpec, NodeSpec, Placement, SchedulingError};
 pub use dfs::{Dfs, DfsConfig, DfsError, DfsStats};
 pub use executor::{
@@ -51,8 +55,10 @@ pub use executor::{
 pub use resilience::{FlowCheckpoint, FlowResilience};
 pub use logical::{parse_store_sink, LogicalPlan, NodeId, NodeOp, PlanError, STORE_SINK_PREFIX};
 pub use meteor::{compile, compile_traced, MeteorError, ScriptInfo};
-pub use operator::{value_cmp, AggState, Aggregate, CostModel, Kind, OpFunc, Operator, Package};
+pub use operator::{
+    value_cmp, AggState, Aggregate, CostModel, CustomCombine, Kind, OpFunc, Operator, Package,
+};
 pub use fieldflow::{canonical_stages, explain_plan, field_flow, EdgeState, FieldFlow};
 pub use optimizer::{fused_stage, optimize, plan_stages, FusedStage, Rewrite, StageDecision};
 pub use packages::{IeConfig, IeResources, OperatorRegistry};
-pub use record::{span_annotation, Record, Value};
+pub use record::{span_annotation, FieldMap, Record, Value};

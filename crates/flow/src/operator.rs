@@ -92,6 +92,39 @@ pub type AggregateFn = Arc<dyn Fn(&str, Vec<Record>) -> Vec<Record> + Send + Syn
 /// A reduce operator's grouping-key function.
 pub type KeyFn = Arc<dyn Fn(&Record) -> String + Send + Sync>;
 
+/// The explicit merge contract that opts a user-defined aggregate back
+/// into partial aggregation ([`Aggregate::CustomCombinable`]). The
+/// per-key state is a [`Value`] so it rides the snapshot codec through
+/// combiner shuffles and checkpoint frames unchanged.
+///
+/// **Contract** (the caller's obligation — the executor cannot check
+/// closures): for all record splits,
+/// `merge(fold(seed(), xs), fold(seed(), ys)) == fold(seed(), xs ++ ys)`
+/// value-for-value, where `fold(st, rs)` folds each record in order.
+/// Under that law the combined plan (per-worker folds merged in input
+/// order at the stage boundary) finishes from exactly the state the
+/// serial fold would have reached, so outputs are bit-identical with
+/// combining on or off — the property `tests/partial_agg.rs` pins for
+/// the built-ins and for a custom contract.
+#[derive(Clone)]
+pub struct CustomCombine {
+    /// Fresh per-key state.
+    pub seed: Arc<dyn Fn() -> Value + Send + Sync>,
+    /// Folds one record into the state.
+    pub fold: CombineFold,
+    /// Merges a later partial state into an earlier one.
+    pub merge: CombineMerge,
+    /// Emits the final records for one key.
+    pub finish: CombineFinish,
+}
+
+/// Fold closure of a [`CustomCombine`]: state + one record → state.
+pub type CombineFold = Arc<dyn Fn(Value, &Record) -> Value + Send + Sync>;
+/// Merge closure of a [`CustomCombine`]: earlier partial + later → merged.
+pub type CombineMerge = Arc<dyn Fn(Value, Value) -> Value + Send + Sync>;
+/// Finish closure of a [`CustomCombine`]: key + final state → records.
+pub type CombineFinish = Arc<dyn Fn(&str, Value) -> Vec<Record> + Send + Sync>;
+
 /// A total order over [`Value`]s, used by `Min`/`Max`/`TopK` aggregates.
 /// Values of different types order by type tag (Null < Bool < Int < Float
 /// < Str < Array < Object); floats use IEEE `total_cmp` so NaN has a
@@ -163,6 +196,11 @@ pub enum Aggregate {
     TopK { field: String, k: usize, into: String },
     /// Arbitrary group function — not combinable.
     Custom(AggregateFn),
+    /// User-defined aggregate with an explicit seed/fold/merge/finish
+    /// contract ([`CustomCombine`]) — combinable, on the caller's word
+    /// that merge is exact. Build via
+    /// [`Operator::reduce_custom_combinable`].
+    CustomCombinable(CustomCombine),
 }
 
 /// Partial-aggregate state for one key, accumulated per fused worker and
@@ -175,6 +213,8 @@ pub enum AggState {
     MinMax(Option<Value>),
     Concat(Option<String>),
     TopK(Vec<Value>),
+    /// State of a [`Aggregate::CustomCombinable`] contract.
+    Custom(Value),
 }
 
 impl Snapshot for AggState {
@@ -206,6 +246,10 @@ impl Snapshot for AggState {
                 w.u8(4);
                 vs.encode(w);
             }
+            AggState::Custom(v) => {
+                w.u8(5);
+                v.encode(w);
+            }
         }
     }
 
@@ -216,6 +260,7 @@ impl Snapshot for AggState {
             2 => AggState::MinMax(if r.bool()? { Some(Value::decode(r)?) } else { None }),
             3 => AggState::Concat(if r.bool()? { Some(r.str()?) } else { None }),
             4 => AggState::TopK(Snapshot::decode(r)?),
+            5 => AggState::Custom(Value::decode(r)?),
             tag => return Err(CodecError::BadTag { what: "AggState", tag }),
         })
     }
@@ -236,6 +281,7 @@ impl Aggregate {
             Aggregate::Min { .. } | Aggregate::Max { .. } => AggState::MinMax(None),
             Aggregate::Concat { .. } => AggState::Concat(None),
             Aggregate::TopK { .. } => AggState::TopK(Vec::new()),
+            Aggregate::CustomCombinable(cc) => AggState::Custom((cc.seed)()),
             Aggregate::Custom(_) => unreachable!("custom aggregates are not combinable"),
         }
     }
@@ -286,6 +332,10 @@ impl Aggregate {
                     vs.truncate(*k);
                 }
             }
+            (Aggregate::CustomCombinable(cc), AggState::Custom(v)) => {
+                let cur = std::mem::replace(v, Value::Null);
+                *v = (cc.fold)(cur, r);
+            }
             _ => unreachable!("aggregate/state variant mismatch"),
         }
     }
@@ -327,6 +377,14 @@ impl Aggregate {
                     _ => {}
                 }
             }
+            (AggState::Custom(l), AggState::Custom(r)) => {
+                let cc = match self {
+                    Aggregate::CustomCombinable(cc) => cc,
+                    _ => unreachable!("custom state implies a custom-combinable aggregate"),
+                };
+                let cur = std::mem::replace(l, Value::Null);
+                *l = (cc.merge)(cur, r);
+            }
             (AggState::TopK(l), AggState::TopK(r)) => {
                 let k = match self {
                     Aggregate::TopK { k, .. } => *k,
@@ -353,6 +411,12 @@ impl Aggregate {
 
     /// Emits the final record for one key.
     pub fn finish(&self, key: &str, state: AggState) -> Vec<Record> {
+        if let AggState::Custom(v) = state {
+            let Aggregate::CustomCombinable(cc) = self else {
+                unreachable!("custom state implies a custom-combinable aggregate")
+            };
+            return (cc.finish)(key, v);
+        }
         let (into, value) = match (self, state) {
             (Aggregate::Count { into }, AggState::Count(n)) => (into, Value::Int(n)),
             (Aggregate::Sum { into, .. }, AggState::Sum(n)) => (into, Value::Int(n)),
@@ -386,7 +450,8 @@ impl Aggregate {
             // Concat emits Null when no record carried the field.
             Aggregate::Concat { into, .. } => Some((into, FieldType::Unknown)),
             Aggregate::TopK { into, .. } => Some((into, FieldType::Array)),
-            Aggregate::Custom(_) => None,
+            // Custom closures (combinable or not) have opaque output shape.
+            Aggregate::Custom(_) | Aggregate::CustomCombinable(_) => None,
         }
     }
 
@@ -397,6 +462,9 @@ impl Aggregate {
     pub fn apply_group(&self, key: &str, records: Vec<Record>) -> Vec<Record> {
         match self {
             Aggregate::Custom(f) => f(key, records),
+            // CustomCombinable takes the same seed → fold-in-order →
+            // finish path as the built-ins, so the serial result is the
+            // contract's own fold — the baseline combining must match.
             _ => {
                 let mut state = self.seed();
                 for r in &records {
@@ -519,6 +587,34 @@ impl Operator {
         Operator::reduce_agg(name, package, key, Aggregate::Custom(Arc::new(aggregate)))
     }
 
+    /// A reduce with a user-defined aggregate that carries an explicit
+    /// seed/fold/merge/finish contract ([`CustomCombine`]) — eligible for
+    /// partial aggregation inside fused stages, unlike
+    /// [`Operator::reduce`]'s opaque group closure. The caller warrants
+    /// the merge law documented on [`CustomCombine`]; the differential
+    /// suite in `tests/partial_agg.rs` shows how to pin it.
+    pub fn reduce_custom_combinable(
+        name: &str,
+        package: Package,
+        key: impl Fn(&Record) -> String + Send + Sync + 'static,
+        seed: impl Fn() -> Value + Send + Sync + 'static,
+        fold: impl Fn(Value, &Record) -> Value + Send + Sync + 'static,
+        merge: impl Fn(Value, Value) -> Value + Send + Sync + 'static,
+        finish: impl Fn(&str, Value) -> Vec<Record> + Send + Sync + 'static,
+    ) -> Operator {
+        Operator::reduce_agg(
+            name,
+            package,
+            key,
+            Aggregate::CustomCombinable(CustomCombine {
+                seed: Arc::new(seed),
+                fold: Arc::new(fold),
+                merge: Arc::new(merge),
+                finish: Arc::new(finish),
+            }),
+        )
+    }
+
     /// A reduce with a typed, combinable aggregate — eligible for partial
     /// aggregation inside fused stages.
     pub fn reduce_agg(
@@ -632,7 +728,7 @@ impl Operator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::record::Value;
+    use crate::record::{intern, Value};
 
     fn rec(id: i64) -> Record {
         let mut r = Record::new();
@@ -829,6 +925,12 @@ mod tests {
             AggState::Concat(None),
             AggState::Concat(Some("a|b".into())),
             AggState::TopK(vec![Value::Int(3), Value::Int(1)]),
+            AggState::Custom(Value::Null),
+            AggState::Custom(Value::Array(vec![
+                Value::Int(7),
+                Value::Float(f64::NAN),
+                Value::from("partial"),
+            ])),
         ];
         for s in states {
             let mut w = Writer::new();
@@ -858,7 +960,7 @@ mod tests {
             Value::from("a"),
             Value::from("b"),
             Value::Array(vec![Value::Int(1)]),
-            Value::Object([("k".to_string(), Value::Int(1))].into_iter().collect()),
+            Value::Object([(intern("k"), Value::Int(1))].into_iter().collect()),
         ];
         for a in &vals {
             assert_eq!(value_cmp(a, a), Ordering::Equal);
@@ -890,5 +992,88 @@ mod tests {
         assert_eq!(typed.apply(input.clone()), custom.apply(input));
         assert!(typed.combinable_reduce());
         assert!(!custom.combinable_reduce());
+    }
+
+    /// A count+sum pair aggregate carried as `Value::Array([count, sum])`
+    /// — the explicit seed/fold/merge/finish contract under test.
+    fn count_sum_combine() -> CustomCombine {
+        let unpack = |v: Value| match v {
+            Value::Array(parts) => {
+                let mut it = parts.into_iter();
+                let n = it.next().and_then(|v| v.as_int()).unwrap_or(0);
+                let sum = it.next().and_then(|v| v.as_int()).unwrap_or(0);
+                (n, sum)
+            }
+            _ => (0, 0),
+        };
+        CustomCombine {
+            seed: Arc::new(|| Value::Array(vec![Value::Int(0), Value::Int(0)])),
+            fold: Arc::new(move |acc, r: &Record| {
+                let (n, sum) = unpack(acc);
+                let x = r.get("x").and_then(Value::as_int).unwrap_or(0);
+                Value::Array(vec![Value::Int(n + 1), Value::Int(sum + x)])
+            }),
+            merge: Arc::new(move |l, r| {
+                let (ln, lsum) = unpack(l);
+                let (rn, rsum) = unpack(r);
+                Value::Array(vec![Value::Int(ln + rn), Value::Int(lsum + rsum)])
+            }),
+            finish: Arc::new(move |key: &str, v| {
+                let (n, sum) = unpack(v);
+                let mut out = Record::new();
+                out.set("key", key).set("n", n).set("sum", sum);
+                vec![out]
+            }),
+        }
+    }
+
+    #[test]
+    fn custom_combinable_fold_merge_agrees_with_serial_at_every_split() {
+        let agg = Aggregate::CustomCombinable(count_sum_combine());
+        let records = agg_records();
+        let serial = records_bytes(&agg.apply_group("k", records.clone()));
+        for split in 0..=records.len() {
+            let (a, b) = records.split_at(split);
+            let mut left = agg.seed();
+            for r in a {
+                agg.fold(&mut left, r);
+            }
+            let mut right = agg.seed();
+            for r in b {
+                agg.fold(&mut right, r);
+            }
+            agg.merge(&mut left, right);
+            assert_eq!(
+                records_bytes(&agg.finish("k", left)),
+                serial,
+                "split {split} diverged from serial"
+            );
+        }
+    }
+
+    #[test]
+    fn reduce_custom_combinable_is_combinable_and_matches_opaque_reduce() {
+        let key = |r: &Record| (r.get("id").unwrap().as_int().unwrap() % 2).to_string();
+        let cc = count_sum_combine();
+        let combinable = Operator::reduce_agg(
+            "pair",
+            Package::Base,
+            key,
+            Aggregate::CustomCombinable(cc),
+        );
+        let opaque = Operator::reduce("pair", Package::Base, key, |k, rs: Vec<Record>| {
+            let sum: i64 =
+                rs.iter().map(|r| r.get("x").and_then(Value::as_int).unwrap_or(0)).sum();
+            let mut out = Record::new();
+            out.set("key", k).set("n", rs.len() as i64).set("sum", sum);
+            vec![out]
+        });
+        let mut input: Vec<Record> = (0..9i64).map(rec).collect();
+        for (i, r) in input.iter_mut().enumerate() {
+            r.set("x", (i as i64) * 3 - 4);
+        }
+        assert_eq!(combinable.apply(input.clone()), opaque.apply(input));
+        assert!(combinable.combinable_reduce(), "explicit merge contract opts into combining");
+        assert!(!opaque.combinable_reduce());
     }
 }

@@ -26,12 +26,18 @@ use crate::operator::Kind;
 ///
 /// - node `j + 1` is an operator node whose input is exactly `j`,
 /// - both operators are pipelineable (Map/FlatMap/Filter — no shuffle),
-/// - `j` has no other consumer (fan-out edges, including edges kept by
-///   orphaned [`REMOVED_IDENTITY`] nodes, block fusion),
 /// - `j + 1` has at least one consumer (the executor skips orphaned
 ///   operators entirely, so fusing into one would change what runs),
 /// - the executor reports no `barrier` at `j + 1` (checkpoint or
 ///   stop-after boundaries must stay observable between stages).
+///
+/// Fan-out at `j` no longer blocks fusion: when `j` has consumers besides
+/// `j + 1`, the executor *tees* the fused pass — it taps the record
+/// stream crossing the `j`/`j + 1` boundary (in unfused record order) and
+/// publishes the tap as node `j`'s live output for the remaining
+/// consumers, which always carry ids beyond the chain. Edges kept by
+/// orphaned [`REMOVED_IDENTITY`] nodes tee harmlessly: the orphan never
+/// takes its input, exactly as in unfused execution.
 ///
 /// Non-contiguous ids never fuse: the executor replays per-constituent
 /// charges in node-id order, and fusing across an id gap would reorder
@@ -55,7 +61,6 @@ pub fn fusable_chain_len(
     while last + 1 < nodes.len()
         && nodes[last + 1].input == Some(last)
         && fusable(last + 1)
-        && plan.children(last).len() == 1
         && !plan.children(last + 1).is_empty()
         && !barrier(last + 1)
     {
@@ -79,8 +84,8 @@ pub struct FusedStage {
 /// Reduce's aggregate is provably combinable (typed, not `Custom`).
 ///
 /// The extension applies the same structural rules as
-/// [`fusable_chain_len`] to the Reduce node — contiguous id, single
-/// consumer of the chain tail, itself consumed, no `barrier` — because
+/// [`fusable_chain_len`] to the Reduce node — contiguous id, itself
+/// consumed, no `barrier`; fan-out at the chain tail tees — because
 /// the executor's replay walks constituents in node-id order and the
 /// Reduce must be this stage's sole terminal. A combinable Reduce that
 /// *heads* a stage is also planned as combined (chunked fold + merge):
@@ -109,7 +114,6 @@ pub fn fused_stage(
         && last + 1 < nodes.len()
         && nodes[last + 1].input == Some(last)
         && combinable(last + 1)
-        && plan.children(last).len() == 1
         && !plan.children(last + 1).is_empty()
         && !barrier(last + 1)
     {
@@ -485,7 +489,7 @@ mod tests {
     }
 
     #[test]
-    fn fan_out_and_barriers_block_fusion() {
+    fn fan_out_tees_and_barriers_block_fusion() {
         let mut plan = LogicalPlan::new();
         let src = plan.source("in");
         let a = plan.add(src, Operator::map("a", Package::Base, |r| r)).unwrap();
@@ -494,9 +498,12 @@ mod tests {
         let side = plan.add(b, Operator::map("side", Package::Base, |r| r)).unwrap();
         plan.sink(c, "x").unwrap();
         plan.sink(side, "y").unwrap();
-        // b has two consumers, so the chain from a stops at b
-        assert_eq!(fusable_chain_len(&plan, a, |_| false), 2);
-        // a checkpoint boundary between a and b stops the chain at a
+        // b has two consumers; the chain fuses through it anyway — the
+        // executor tees b's stream to `side` at the interior boundary
+        assert_eq!(fusable_chain_len(&plan, a, |_| false), 3);
+        // `side` is not contiguous with the chain, so it stands alone
+        assert_eq!(fusable_chain_len(&plan, side, |_| false), 1);
+        // a checkpoint boundary between a and b still stops the chain at a
         assert_eq!(fusable_chain_len(&plan, a, |id| id == b), 1);
     }
 
@@ -509,9 +516,10 @@ mod tests {
         let f = plan.add(i, cheap_filter("keep", "text")).unwrap();
         plan.sink(f, "out").unwrap();
         optimize(&mut plan);
-        // the orphaned identity keeps its input edge, so `a` now has two
-        // consumers (filter + orphan): nothing may fuse past it, and the
-        // orphan itself (zero consumers) must never be fused into
+        // the spliced-out identity is `a`'s contiguous successor but has
+        // zero consumers: it never runs, so nothing may fuse into it (the
+        // filter now hangs off `a` on a non-contiguous edge and the
+        // orphan's kept input edge merely tees)
         assert_eq!(fusable_chain_len(&plan, a, |_| false), 1);
         assert_eq!(fusable_chain_len(&plan, i, |_| false), 1);
     }

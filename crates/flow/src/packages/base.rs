@@ -38,9 +38,9 @@ pub fn filter_min_length(min_chars: usize) -> Operator {
 pub fn project(fields: Vec<String>) -> Operator {
     Operator::map("base.project", Package::Base, move |mut r| {
         let keep: Vec<String> = fields.clone();
-        let keys: Vec<String> = r.0.keys().cloned().collect();
+        let keys: Vec<std::sync::Arc<str>> = r.0.keys().cloned().collect();
         for k in keys {
-            if !keep.contains(&k) {
+            if !keep.iter().any(|f| f.as_str() == &*k) {
                 r.remove(&k);
             }
         }

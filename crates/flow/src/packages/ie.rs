@@ -121,9 +121,9 @@ pub fn annotate_pos(tagger: Arc<PosTagger>) -> Operator {
                         .into_iter()
                         .map(|t| Value::from(format!("{t:?}")))
                         .collect();
-                    let mut obj = std::collections::BTreeMap::new();
-                    obj.insert("sentence".to_string(), Value::Int(si as i64));
-                    obj.insert("tags".to_string(), Value::Array(tag_values));
+                    let mut obj = crate::record::FieldMap::with_capacity(2);
+                    obj.insert(crate::record::intern("sentence"), Value::Int(si as i64));
+                    obj.insert(crate::record::intern("tags"), Value::Array(tag_values));
                     annotations.push(Value::Object(obj));
                 }
                 Err(_) => errors += 1,

@@ -28,13 +28,19 @@ fn serialize_tokens(tokens: &[HtmlToken]) -> String {
     for t in tokens {
         match t {
             HtmlToken::Open { name, attrs } => {
-                if attrs.is_empty() {
-                    out.push_str(&format!("<{name}>"));
-                } else {
-                    out.push_str(&format!("<{name} {attrs}>"));
+                out.push('<');
+                out.push_str(name);
+                if !attrs.is_empty() {
+                    out.push(' ');
+                    out.push_str(attrs);
                 }
+                out.push('>');
             }
-            HtmlToken::Close { name } => out.push_str(&format!("</{name}>")),
+            HtmlToken::Close { name } => {
+                out.push_str("</");
+                out.push_str(name);
+                out.push('>');
+            }
             HtmlToken::Text(t) => out.push_str(t),
         }
     }

@@ -8,13 +8,140 @@
 //! the simulated cluster uses to account for that growth.
 
 use serde::Serialize;
-use std::collections::BTreeMap;
 use std::sync::Arc;
 use websift_resilience::{CodecError, Reader, Snapshot, Writer};
 
+/// The sorted field map backing [`Value::Object`] and [`Record`].
+///
+/// Annotation operators build millions of tiny `{start, end}` objects per
+/// run. A sorted `Vec<(key, value)>` keeps each one to a single
+/// right-sized allocation (~100 bytes for a two-field object, where a
+/// B-tree leaf node is over 500) and makes drops a linear walk instead of
+/// a tree teardown. Iteration order is sorted by key — exactly BTreeMap's
+/// — so codec bytes, JSON output, digests, and the `approx_bytes` size
+/// model are unchanged by the representation swap.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FieldMap(Vec<(Arc<str>, Value)>);
+
+impl FieldMap {
+    pub fn new() -> FieldMap {
+        FieldMap(Vec::new())
+    }
+
+    pub fn with_capacity(n: usize) -> FieldMap {
+        FieldMap(Vec::with_capacity(n))
+    }
+
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    fn idx(&self, key: &str) -> Result<usize, usize> {
+        self.0.binary_search_by(|(k, _)| (**k).cmp(key))
+    }
+
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.idx(key).ok().map(|i| &self.0[i].1)
+    }
+
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        self.idx(key).ok().map(|i| &mut self.0[i].1)
+    }
+
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.idx(key).is_ok()
+    }
+
+    /// Inserts, replacing and returning any previous value for the key —
+    /// `BTreeMap::insert` semantics. Appending in key order is O(1).
+    pub fn insert(&mut self, key: Arc<str>, value: Value) -> Option<Value> {
+        match self.0.last() {
+            Some((last, _)) if **last < *key => {
+                self.0.push((key, value));
+                None
+            }
+            _ => match self.idx(&key) {
+                Ok(i) => Some(std::mem::replace(&mut self.0[i].1, value)),
+                Err(i) => {
+                    self.0.insert(i, (key, value));
+                    None
+                }
+            },
+        }
+    }
+
+    pub fn remove(&mut self, key: &str) -> Option<Value> {
+        self.idx(key).ok().map(|i| self.0.remove(i).1)
+    }
+
+    pub fn keys(&self) -> impl Iterator<Item = &Arc<str>> {
+        self.0.iter().map(|(k, _)| k)
+    }
+
+    pub fn values(&self) -> impl Iterator<Item = &Value> {
+        self.0.iter().map(|(_, v)| v)
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&Arc<str>, &Value)> {
+        self.0.iter().map(|(k, v)| (k, v))
+    }
+}
+
+impl IntoIterator for FieldMap {
+    type Item = (Arc<str>, Value);
+    type IntoIter = std::vec::IntoIter<(Arc<str>, Value)>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a FieldMap {
+    type Item = (&'a Arc<str>, &'a Value);
+    type IntoIter = std::iter::Map<
+        std::slice::Iter<'a, (Arc<str>, Value)>,
+        fn(&'a (Arc<str>, Value)) -> (&'a Arc<str>, &'a Value),
+    >;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter().map(|(k, v)| (k, v))
+    }
+}
+
+impl FromIterator<(Arc<str>, Value)> for FieldMap {
+    /// Last value wins on duplicate keys, matching `BTreeMap::from_iter`.
+    fn from_iter<I: IntoIterator<Item = (Arc<str>, Value)>>(iter: I) -> FieldMap {
+        let mut v: Vec<(Arc<str>, Value)> = iter.into_iter().collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v.dedup_by(|cur, prev| {
+            if cur.0 == prev.0 {
+                std::mem::swap(cur, prev);
+                true
+            } else {
+                false
+            }
+        });
+        FieldMap(v)
+    }
+}
+
+impl std::ops::Index<&str> for FieldMap {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or_else(|| panic!("no field {key:?}"))
+    }
+}
+
+
 /// A JSON-like value. Strings are `Arc<str>` so the residual clones on
 /// fan-out and Reduce grouping are pointer bumps, not text copies — the
-/// codec bytes and [`Value::approx_bytes`] model are unaffected.
+/// codec bytes and [`Value::approx_bytes`] model are unaffected. Object
+/// (and [`Record`]) keys are `Arc<str>` too, built through [`intern`]:
+/// the annotation-heavy operators create millions of tiny `{start, end}`
+/// maps, and pooling the recurring key names turns every key into a
+/// refcount bump instead of a heap string.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 #[serde(untagged)]
 pub enum Value {
@@ -24,7 +151,7 @@ pub enum Value {
     Float(f64),
     Str(Arc<str>),
     Array(Vec<Value>),
-    Object(BTreeMap<String, Value>),
+    Object(FieldMap),
 }
 
 impl Value {
@@ -57,7 +184,7 @@ impl Value {
         }
     }
 
-    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+    pub fn as_object(&self) -> Option<&FieldMap> {
         match self {
             Value::Object(o) => Some(o),
             _ => None,
@@ -127,11 +254,13 @@ impl Snapshot for Value {
             4 => Value::Str(r.str()?.into()),
             5 => Value::Array(Snapshot::decode(r)?),
             6 => {
+                // Encoded maps are already in key order, so each insert
+                // takes FieldMap's O(1) append fast path.
                 let n = r.usize()?;
-                let mut o = BTreeMap::new();
+                let mut o = FieldMap::with_capacity(n);
                 for _ in 0..n {
                     let k = r.str()?;
-                    o.insert(k, Value::decode(r)?);
+                    o.insert(intern(&k), Value::decode(r)?);
                 }
                 Value::Object(o)
             }
@@ -190,7 +319,7 @@ impl<T: Into<Value>> From<Vec<T>> for Value {
 
 /// A record: a top-level JSON object.
 #[derive(Debug, Clone, PartialEq, Serialize)]
-pub struct Record(pub BTreeMap<String, Value>);
+pub struct Record(pub FieldMap);
 
 impl Default for Record {
     fn default() -> Self {
@@ -200,12 +329,12 @@ impl Default for Record {
 
 impl Record {
     pub fn new() -> Record {
-        Record(BTreeMap::new())
+        Record(FieldMap::new())
     }
 
     /// Builds a record from (key, value) pairs.
     pub fn from_pairs<const N: usize>(pairs: [(&str, Value); N]) -> Record {
-        Record(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+        Record(pairs.into_iter().map(|(k, v)| (intern(k), v)).collect())
     }
 
     pub fn get(&self, key: &str) -> Option<&Value> {
@@ -213,7 +342,7 @@ impl Record {
     }
 
     pub fn set(&mut self, key: &str, value: impl Into<Value>) -> &mut Record {
-        self.0.insert(key.to_string(), value.into());
+        self.0.insert(intern(key), value.into());
         self
     }
 
@@ -256,7 +385,7 @@ impl Record {
         match self.0.get_mut(key) {
             Some(Value::Array(a)) => a.push(value),
             _ => {
-                self.0.insert(key.to_string(), Value::Array(vec![value]));
+                self.0.insert(intern(key), Value::Array(vec![value]));
             }
         }
     }
@@ -282,14 +411,67 @@ impl Snapshot for Record {
     }
 }
 
+/// Recurring field keys across the workspace's flows, sorted for binary
+/// search. Hits in [`intern`] clone a pooled `Arc<str>` (a refcount bump);
+/// the list is an optimization only — unknown keys still work, they just
+/// pay one allocation.
+static COMMON_KEYS: &[&str] = &[
+    "annotations",
+    "class",
+    "corpus",
+    "count",
+    "end",
+    "entities",
+    "has_markup",
+    "id",
+    "key",
+    "links",
+    "mentions",
+    "method",
+    "name",
+    "negation",
+    "page",
+    "parentheses",
+    "pos",
+    "pronouns",
+    "round",
+    "score",
+    "sentence",
+    "sentences",
+    "start",
+    "tags",
+    "text",
+    "token",
+    "tokens",
+    "transcodable",
+    "type",
+    "url",
+];
+
+/// A shared handle for a field key: pooled for the workspace's recurring
+/// names, freshly allocated otherwise. The annotation operators build
+/// millions of small objects per run, and this is what keeps their key
+/// strings from being individually heap-allocated and freed.
+pub fn intern(key: &str) -> Arc<str> {
+    static POOL: std::sync::OnceLock<Vec<Arc<str>>> = std::sync::OnceLock::new();
+    let pool = POOL.get_or_init(|| COMMON_KEYS.iter().map(|&k| Arc::from(k)).collect());
+    match COMMON_KEYS.binary_search(&key) {
+        Ok(i) => pool[i].clone(),
+        Err(_) => Arc::from(key),
+    }
+}
+
 /// Builds an annotation object `{start, end, ...extra}` — the common shape
 /// for sentence/token/mention annotations.
 pub fn span_annotation(start: usize, end: usize, extra: &[(&str, Value)]) -> Value {
-    let mut obj = BTreeMap::new();
-    obj.insert("start".to_string(), Value::Int(start as i64));
-    obj.insert("end".to_string(), Value::Int(end as i64));
+    // "end" sorts before "start", so both inserts take the append path
+    // and the map is one exact-sized allocation for the common no-extra
+    // case.
+    let mut obj = FieldMap::with_capacity(2 + extra.len());
+    obj.insert(intern("end"), Value::Int(end as i64));
+    obj.insert(intern("start"), Value::Int(start as i64));
     for (k, v) in extra {
-        obj.insert(k.to_string(), v.clone());
+        obj.insert(intern(k), v.clone());
     }
     Value::Object(obj)
 }
@@ -379,7 +561,7 @@ mod tests {
         assert!(Value::Null.approx_bytes() < 10);
         assert_eq!(Value::Str("abcd".into()).approx_bytes(), 6);
         let obj = Value::Object(
-            [("k".to_string(), Value::Int(1))].into_iter().collect(),
+            [(intern("k"), Value::Int(1))].into_iter().collect(),
         );
         assert!(obj.approx_bytes() > 8);
     }

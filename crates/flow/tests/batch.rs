@@ -1,0 +1,382 @@
+//! Batched-execution equivalence properties (the byte-identity contract
+//! behind `ExecutionConfig::batch_size`):
+//!
+//! 1. batching is *physical only*: across randomly generated chain
+//!    plans, fault seeds, DoPs, checkpoint cadences, fusion and
+//!    combining toggles, a run at any batch size is indistinguishable
+//!    from a record-at-a-time run (`batch_size = 1`) on every
+//!    deterministic surface — sink `Snapshot` bytes, `FlowMetrics` codec
+//!    bytes, bit-exact `simulated_secs`, tracer JSONL, registry
+//!    snapshot, checkpoint frame bytes, and the WS00x analyzer verdict;
+//! 2. the same identity holds on fan-out plans, where the fused chain
+//!    now tees an interior node's stream to a side consumer;
+//! 3. a kill at a frame cut strictly inside a batched fused stage
+//!    resumes bit-exactly — even when the resuming executor uses a
+//!    *different* batch size than the killed run, because checkpoint
+//!    frames are batch-agnostic.
+//!
+//! The third axis of the `tests/fusion.rs` / `tests/partial_agg.rs`
+//! equivalence family.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use websift_analyze::diagnostics_to_json;
+use websift_flow::{
+    Aggregate, ExecutionConfig, ExecutionError, Executor, FlowOutput, FlowResilience, LogicalPlan,
+    Operator, Package, Record, Value,
+};
+use websift_observe::Observer;
+use websift_resilience::{Snapshot, Writer};
+
+/// The batch sizes every differential below sweeps: record-at-a-time,
+/// mid-size, larger than any test input (one batch per chunk), and the
+/// default (`None`).
+const BATCH_SIZES: [Option<usize>; 4] = [Some(1), Some(64), Some(1024), None];
+
+/// Same total-operator vocabulary as `tests/fusion.rs`: stamping maps,
+/// a duplicating flat-map, a parity filter, a custom (non-combinable)
+/// reduce, a byte-growing map, the WS001-tripping `needs-stamp` op (so
+/// rejected plans stay part of the property), and a combinable Count
+/// reduce the fused stage extends through.
+fn pool_op(idx: usize) -> Operator {
+    match idx {
+        0 => Operator::map("stamp", Package::Base, |mut r| {
+            let id = r.get("id").and_then(Value::as_int).unwrap_or(0);
+            r.set("stamp", id * 3 + 1);
+            r
+        })
+        .with_reads(&["id"])
+        .with_writes(&["stamp"]),
+        1 => Operator::flat_map("dup", Package::Base, |r| {
+            let mut copy = r.clone();
+            copy.set("half", 1i64);
+            vec![r, copy]
+        }),
+        2 => Operator::filter("parity", Package::Base, |r| {
+            r.get("id").and_then(Value::as_int).unwrap_or(0) % 2 == 0
+        })
+        .with_reads(&["id"]),
+        3 => Operator::reduce(
+            "group",
+            Package::Base,
+            |r| format!("g{}", r.get("id").and_then(Value::as_int).unwrap_or(0) % 3),
+            |key, group| {
+                let mut out = Record::new();
+                out.set("id", group.len() as i64);
+                out.set("text", format!("{key}:{}", group.len()));
+                vec![out]
+            },
+        ),
+        4 => Operator::map("grow", Package::Base, |mut r| {
+            let t = format!("{}{}", r.text().unwrap_or(""), " lorem ipsum dolor");
+            r.set("text", t);
+            r
+        })
+        .with_reads(&["text"])
+        .with_writes(&["text"]),
+        5 => Operator::map("needs-stamp", Package::Base, |r| r)
+            .with_reads(&["stamp"])
+            .with_writes(&["x"]),
+        _ => Operator::reduce_agg(
+            "tally",
+            Package::Base,
+            |r| format!("g{}", r.get("id").and_then(Value::as_int).unwrap_or(0) % 3),
+            Aggregate::Count { into: "id".into() },
+        ),
+    }
+}
+
+fn chain_plan(indices: &[usize]) -> LogicalPlan {
+    let mut plan = LogicalPlan::new();
+    let mut prev = plan.source("in");
+    for &i in indices {
+        prev = plan.add(prev, pool_op(i)).expect("chain plan");
+    }
+    plan.sink(prev, "out").expect("chain plan");
+    plan
+}
+
+/// stamp -> dup -> parity -> grow -> sink "out", with a side branch
+/// hanging off the node at `branch_at` (1-based into the chain) feeding
+/// a second sink — the fan-out shape the fused executor tees.
+fn fan_out_plan(branch_at: usize) -> LogicalPlan {
+    let mut plan = LogicalPlan::new();
+    let mut chain = vec![plan.source("in")];
+    for idx in [0usize, 1, 2, 4] {
+        let prev = *chain.last().expect("non-empty");
+        chain.push(plan.add(prev, pool_op(idx)).expect("fan-out plan"));
+    }
+    plan.sink(*chain.last().expect("non-empty"), "out").expect("fan-out plan");
+    let side = plan.add(chain[branch_at], pool_op(4)).expect("fan-out plan");
+    plan.sink(side, "side").expect("fan-out plan");
+    plan
+}
+
+fn docs(n: usize) -> Vec<Record> {
+    (0..n)
+        .map(|i| {
+            let mut r = Record::new();
+            r.set("id", i as i64);
+            r.set("text", format!("document {i} with a little body text"));
+            r
+        })
+        .collect()
+}
+
+/// Everything deterministic a run exposes, flattened to comparable
+/// bytes/strings — the `tests/partial_agg.rs` surface, checkpoint frames
+/// included (batching must not perturb what gets persisted).
+struct RunSurface {
+    sink_bytes: Option<Vec<u8>>,
+    metrics_bytes: Option<Vec<u8>>,
+    simulated_bits: Option<u64>,
+    digest: Option<u64>,
+    jsonl: String,
+    registry: websift_observe::RegistrySnapshot,
+    checkpoints: Vec<(usize, Vec<u8>)>,
+    error: Option<String>,
+}
+
+fn run_surface(
+    plan: &LogicalPlan,
+    input: Vec<Record>,
+    config: ExecutionConfig,
+    res: &FlowResilience,
+) -> RunSurface {
+    let obs = Observer::new();
+    let mut inputs = HashMap::new();
+    inputs.insert("in".to_string(), input);
+    let result = Executor::new(config).run_observed(plan, inputs, res, &obs);
+    let (output, checkpoints, error): (Option<FlowOutput>, _, Option<String>) = match result {
+        Ok(run) => (
+            run.output,
+            run.checkpoints
+                .iter()
+                .map(|c| (c.next_node, c.as_bytes().to_vec()))
+                .collect(),
+            None,
+        ),
+        Err(ExecutionError::PlanRejected { diagnostics }) => {
+            (None, Vec::new(), Some(format!("WS00x: {}", diagnostics_to_json(&diagnostics))))
+        }
+        Err(e) => (None, Vec::new(), Some(format!("{e}"))),
+    };
+    let mut surface = RunSurface {
+        sink_bytes: None,
+        metrics_bytes: None,
+        simulated_bits: None,
+        digest: None,
+        jsonl: obs.tracer().to_jsonl(),
+        registry: obs.registry().snapshot(),
+        checkpoints,
+        error,
+    };
+    if let Some(out) = output {
+        let mut w = Writer::new();
+        out.sinks.encode(&mut w);
+        surface.sink_bytes = Some(w.into_bytes());
+        let mut w = Writer::new();
+        out.metrics.encode(&mut w);
+        surface.metrics_bytes = Some(w.into_bytes());
+        surface.simulated_bits = Some(out.metrics.simulated_secs.to_bits());
+        surface.digest = Some(out.deterministic_digest());
+    }
+    surface
+}
+
+/// Asserts two surfaces are byte-identical; `ctx` labels failures.
+macro_rules! assert_surfaces_equal {
+    ($a:expr, $b:expr, $ctx:expr) => {{
+        let (a, b, ctx) = ($a, $b, $ctx);
+        prop_assert_eq!(a.error, b.error, "failure surface diverged: {}", ctx);
+        prop_assert_eq!(a.sink_bytes, b.sink_bytes, "sink bytes diverged: {}", ctx);
+        prop_assert_eq!(a.metrics_bytes, b.metrics_bytes, "metrics bytes diverged: {}", ctx);
+        prop_assert_eq!(a.simulated_bits, b.simulated_bits, "simulated clock diverged: {}", ctx);
+        prop_assert_eq!(a.digest, b.digest, "digest diverged: {}", ctx);
+        prop_assert_eq!(a.jsonl, b.jsonl, "tracer JSONL diverged: {}", ctx);
+        prop_assert_eq!(a.registry, b.registry, "registry diverged: {}", ctx);
+        prop_assert_eq!(a.checkpoints, b.checkpoints, "checkpoint frames diverged: {}", ctx);
+    }};
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The tentpole property: batch size is unobservable on every
+    /// deterministic surface, whatever the fusion/combining toggles,
+    /// DoP, fault seed, or checkpoint cadence.
+    #[test]
+    fn batch_size_is_byte_identical_to_record_at_a_time(
+        indices in prop::collection::vec(0usize..7, 1..8),
+        seed in 0u64..1_000_000,
+        rate_sel in 0usize..3,
+        dop_sel in 0usize..3,
+        n_docs in 0usize..40,
+        cadence in 1usize..4,
+        fusion_sel in 0usize..2,
+        combining_sel in 0usize..2,
+    ) {
+        let (fusion, combining) = (fusion_sel == 1, combining_sel == 1);
+        let dop = [1usize, 4, 8][dop_sel];
+        let plan = chain_plan(&indices);
+        let rate = [0.0, 0.15, 0.35][rate_sel];
+        let res = FlowResilience::injected(seed, rate, cadence);
+        let config = |batch_size: Option<usize>| ExecutionConfig {
+            fusion,
+            combining,
+            batch_size,
+            ..ExecutionConfig::local(dop)
+        };
+
+        let baseline = run_surface(&plan, docs(n_docs), config(Some(1)), &res);
+        for bs in [Some(64), Some(1024), None] {
+            let batched = run_surface(&plan, docs(n_docs), config(bs), &res);
+            let ctx = format!(
+                "indices={indices:?} seed={seed} dop={dop} fusion={fusion} \
+                 combining={combining} batch={bs:?}"
+            );
+            assert_surfaces_equal!(&batched, &baseline, ctx);
+        }
+    }
+}
+
+/// The fixed acceptance sweep: byte identity with injected faults at
+/// DoP {1, 4, 8} for four fault seeds, fusion x combining, across the
+/// full batch grid — the plan fuses through a combinable Reduce.
+#[test]
+fn fault_seed_sweep_holds_identity_at_every_batch_size() {
+    // stamp -> parity -> Count reduce -> grow
+    let plan = chain_plan(&[0, 2, 6, 4]);
+    for seed in [11u64, 222, 3333, 44444] {
+        for dop in [1usize, 4, 8] {
+            for (fusion, combining) in [(true, true), (true, false), (false, false)] {
+                let res = FlowResilience::injected(seed, 0.25, 2);
+                let config = |batch_size: Option<usize>| ExecutionConfig {
+                    fusion,
+                    combining,
+                    batch_size,
+                    ..ExecutionConfig::local(dop)
+                };
+                let baseline = run_surface(&plan, docs(24), config(Some(1)), &res);
+                for bs in [Some(64), Some(1024), None] {
+                    let b = run_surface(&plan, docs(24), config(bs), &res);
+                    let ctx =
+                        format!("seed {seed} dop {dop} fusion {fusion} combining {combining} batch {bs:?}");
+                    assert_eq!(b.error, baseline.error, "{ctx}");
+                    assert_eq!(b.sink_bytes, baseline.sink_bytes, "{ctx}");
+                    assert_eq!(b.metrics_bytes, baseline.metrics_bytes, "{ctx}");
+                    assert_eq!(b.simulated_bits, baseline.simulated_bits, "{ctx}");
+                    assert_eq!(b.jsonl, baseline.jsonl, "{ctx}");
+                    assert_eq!(b.checkpoints, baseline.checkpoints, "{ctx}");
+                }
+            }
+        }
+    }
+}
+
+/// Fan-out plans: the fused chain tees an interior node to a side sink.
+/// Every branch point must be batch-size-invariant and agree with the
+/// unfused engine on both sinks.
+#[test]
+fn fan_out_tee_is_batch_invariant_and_matches_unfused() {
+    for branch_at in 1..=4usize {
+        let plan = fan_out_plan(branch_at);
+        for dop in [1usize, 4, 8] {
+            for seed in [0u64, 909] {
+                let res = FlowResilience::injected(seed, 0.2, 2);
+                let unfused = run_surface(
+                    &plan,
+                    docs(24),
+                    ExecutionConfig {
+                        fusion: false,
+                        batch_size: Some(1),
+                        ..ExecutionConfig::local(dop)
+                    },
+                    &res,
+                );
+                assert!(
+                    unfused.error.is_none(),
+                    "fan-out plan must run: {:?}",
+                    unfused.error
+                );
+                for bs in BATCH_SIZES {
+                    let fused = run_surface(
+                        &plan,
+                        docs(24),
+                        ExecutionConfig { batch_size: bs, ..ExecutionConfig::local(dop) },
+                        &res,
+                    );
+                    let ctx = format!("branch_at {branch_at} dop {dop} seed {seed} batch {bs:?}");
+                    assert_eq!(fused.error, unfused.error, "{ctx}");
+                    assert_eq!(fused.sink_bytes, unfused.sink_bytes, "{ctx}");
+                    assert_eq!(fused.metrics_bytes, unfused.metrics_bytes, "{ctx}");
+                    assert_eq!(fused.simulated_bits, unfused.simulated_bits, "{ctx}");
+                    assert_eq!(fused.jsonl, unfused.jsonl, "{ctx}");
+                    assert_eq!(fused.checkpoints, unfused.checkpoints, "{ctx}");
+                }
+            }
+        }
+    }
+}
+
+/// Kill at a frame cut strictly inside a batched fused stage, then
+/// resume — with a *different* batch size than the killed run. The
+/// checkpoint frame is batch-agnostic, so every (kill batch, resume
+/// batch) pairing must reproduce the uninterrupted flow bit for bit.
+#[test]
+fn kill_inside_batched_stage_resumes_bit_exactly_across_batch_sizes() {
+    // Nodes: source(0) stamp(1) dup(2) parity(3) count-reduce(4) sink(5);
+    // the fused stage spans [stamp, dup, parity, reduce].
+    let plan = chain_plan(&[0, 1, 2, 6]);
+    let full_res =
+        FlowResilience { checkpoint_every_nodes: Some(1), ..FlowResilience::default() };
+    let config = |batch_size: Option<usize>| ExecutionConfig {
+        batch_size,
+        ..ExecutionConfig::local(4)
+    };
+
+    // The uninterrupted reference, record-at-a-time.
+    let mut inputs = HashMap::new();
+    inputs.insert("in".to_string(), docs(18));
+    let full = Executor::new(config(Some(1)))
+        .run_resilient(&plan, inputs, &full_res)
+        .unwrap()
+        .output
+        .unwrap();
+
+    for stop in [2usize, 3, 4] {
+        for kill_bs in [Some(1), Some(64), None] {
+            let killed_res =
+                FlowResilience { stop_after_nodes: Some(stop), ..full_res.clone() };
+            let mut inputs = HashMap::new();
+            inputs.insert("in".to_string(), docs(18));
+            let killed = Executor::new(config(kill_bs))
+                .run_resilient(&plan, inputs, &killed_res)
+                .unwrap();
+            assert!(killed.output.is_none(), "stop_after_nodes must interrupt");
+            let ckpt = killed.checkpoints.last().expect("checkpoint before the kill");
+
+            for resume_bs in [Some(1), Some(1024), None] {
+                let mut inputs = HashMap::new();
+                inputs.insert("in".to_string(), docs(18));
+                let resumed = Executor::new(config(resume_bs))
+                    .resume_from(&plan, ckpt, inputs, &full_res)
+                    .unwrap()
+                    .output
+                    .unwrap();
+                let ctx = format!("stop {stop} kill {kill_bs:?} resume {resume_bs:?}");
+                assert_eq!(resumed.sinks, full.sinks, "{ctx}");
+                assert_eq!(
+                    resumed.deterministic_digest(),
+                    full.deterministic_digest(),
+                    "{ctx}"
+                );
+                assert_eq!(
+                    resumed.metrics.simulated_secs.to_bits(),
+                    full.metrics.simulated_secs.to_bits(),
+                    "{ctx}"
+                );
+            }
+        }
+    }
+}

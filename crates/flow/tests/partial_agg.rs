@@ -79,7 +79,10 @@ fn group_key(r: &Record) -> String {
 }
 
 /// Every typed aggregate plus the `Custom` escape hatch (which the
-/// optimizer must refuse to combine).
+/// optimizer must refuse to combine) and the `CustomCombinable`
+/// opt-in (an explicit seed/fold/merge contract the optimizer *does*
+/// combine — its byte identity across combining on/off pins the merge
+/// law itself).
 fn agg_op(idx: usize) -> Operator {
     match idx {
         0 => Operator::reduce_agg(
@@ -118,12 +121,50 @@ fn agg_op(idx: usize) -> Operator {
             group_key,
             Aggregate::TopK { field: "score".into(), k: 2, into: "top".into() },
         ),
-        _ => Operator::reduce("group", Package::Base, group_key, |key, group| {
+        6 => Operator::reduce("group", Package::Base, group_key, |key, group| {
             let mut out = Record::new();
             out.set("id", group.len() as i64);
             out.set("text", format!("{key}:{}", group.len()));
             vec![out]
         }),
+        // Count+sum pair under an explicit merge contract: state is
+        // `Value::Array([count, sum])`, merged pairwise.
+        _ => Operator::reduce_custom_combinable(
+            "pair",
+            Package::Base,
+            group_key,
+            || Value::Array(vec![Value::Int(0), Value::Int(0)]),
+            |acc, r| {
+                let (n, sum) = unpack_pair(acc);
+                let x = r.get("id").and_then(Value::as_int).unwrap_or(0);
+                Value::Array(vec![Value::Int(n + 1), Value::Int(sum + x)])
+            },
+            |l, r| {
+                let (ln, lsum) = unpack_pair(l);
+                let (rn, rsum) = unpack_pair(r);
+                Value::Array(vec![Value::Int(ln + rn), Value::Int(lsum + rsum)])
+            },
+            |key, v| {
+                let (n, sum) = unpack_pair(v);
+                let mut out = Record::new();
+                out.set("id", sum).set("text", format!("{key}:{n}"));
+                vec![out]
+            },
+        ),
+    }
+}
+
+/// Unpacks the `Value::Array([count, sum])` state of the
+/// custom-combinable pair aggregate above.
+fn unpack_pair(v: Value) -> (i64, i64) {
+    match v {
+        Value::Array(parts) => {
+            let mut it = parts.into_iter();
+            let n = it.next().and_then(|v| v.as_int()).unwrap_or(0);
+            let sum = it.next().and_then(|v| v.as_int()).unwrap_or(0);
+            (n, sum)
+        }
+        _ => (0, 0),
     }
 }
 
@@ -238,7 +279,7 @@ proptest! {
     #[test]
     fn combining_is_byte_identical_to_uncombined(
         pipe in prop::collection::vec(0usize..6, 0..4),
-        agg_idx in 0usize..7,
+        agg_idx in 0usize..8,
         tail in prop::collection::vec(0usize..6, 0..3),
         seed in 0u64..1_000_000,
         rate_sel in 0usize..3,
@@ -409,4 +450,89 @@ fn combining_shrinks_shuffle_bytes_without_touching_surfaces() {
         c.physical.shuffle_bytes,
         u.physical.shuffle_bytes
     );
+}
+
+/// The custom-combinable opt-in rides the same physical machinery as the
+/// typed aggregates: byte identity across combining on/off and fault
+/// seeds, fewer shuffle bytes with combining on, and a kill strictly
+/// inside the fused stage resumes bit-exactly through the
+/// `AggState::Custom` checkpoint codec path.
+#[test]
+fn custom_combinable_reduce_combines_and_resumes_bit_exactly() {
+    // Nodes: source(0) stamp(1) dup(2) pair-reduce(3) grow(4) sink(5).
+    let plan = reduce_plan(&[0, 1], 7, &[3]);
+
+    for seed in [7u64, 7070] {
+        for dop in [1usize, 4, 8] {
+            let res = FlowResilience::injected(seed, 0.2, 2);
+            let c = run_surface(&plan, docs(24), ExecutionConfig::local(dop), &res);
+            let u = run_surface(
+                &plan,
+                docs(24),
+                ExecutionConfig { combining: false, ..ExecutionConfig::local(dop) },
+                &res,
+            );
+            assert_eq!(c.error, u.error, "seed {seed} dop {dop}");
+            assert_eq!(c.sink_bytes, u.sink_bytes, "seed {seed} dop {dop}");
+            assert_eq!(c.metrics_bytes, u.metrics_bytes, "seed {seed} dop {dop}");
+            assert_eq!(c.simulated_bits, u.simulated_bits, "seed {seed} dop {dop}");
+            assert_eq!(c.jsonl, u.jsonl, "seed {seed} dop {dop}");
+            assert_eq!(c.checkpoints, u.checkpoints, "seed {seed} dop {dop}");
+        }
+    }
+
+    // Fewer bytes cross the shuffle with partial aggregation on.
+    let res = FlowResilience::default();
+    let run = |combining: bool| {
+        let mut inputs = HashMap::new();
+        inputs.insert("in".to_string(), docs(30));
+        Executor::new(ExecutionConfig { combining, ..ExecutionConfig::local(4) })
+            .run_resilient(&plan, inputs, &res)
+            .unwrap()
+            .output
+            .unwrap()
+    };
+    let (c, u) = (run(true), run(false));
+    assert_eq!(c.sinks, u.sinks);
+    assert!(
+        c.physical.shuffle_bytes < u.physical.shuffle_bytes,
+        "custom-combinable combined {} !< uncombined {}",
+        c.physical.shuffle_bytes,
+        u.physical.shuffle_bytes
+    );
+
+    // Kill inside the fused [stamp, dup, reduce] stage and resume.
+    let full_res =
+        FlowResilience { checkpoint_every_nodes: Some(1), ..FlowResilience::default() };
+    let exec = Executor::new(ExecutionConfig::local(4));
+    for stop in [2usize, 3] {
+        let killed_res = FlowResilience { stop_after_nodes: Some(stop), ..full_res.clone() };
+        let mut inputs = HashMap::new();
+        inputs.insert("in".to_string(), docs(18));
+        let killed = exec.run_resilient(&plan, inputs, &killed_res).unwrap();
+        assert!(killed.output.is_none(), "stop_after_nodes must interrupt");
+        let ckpt = killed.checkpoints.last().expect("checkpoint before the kill");
+
+        let mut inputs = HashMap::new();
+        inputs.insert("in".to_string(), docs(18));
+        let resumed =
+            exec.resume_from(&plan, ckpt, inputs, &full_res).unwrap().output.unwrap();
+
+        let mut inputs = HashMap::new();
+        inputs.insert("in".to_string(), docs(18));
+        let full =
+            exec.run_resilient(&plan, inputs, &full_res).unwrap().output.unwrap();
+
+        assert_eq!(resumed.sinks, full.sinks, "stop {stop}");
+        assert_eq!(
+            resumed.deterministic_digest(),
+            full.deterministic_digest(),
+            "stop {stop}"
+        );
+        assert_eq!(
+            resumed.metrics.simulated_secs.to_bits(),
+            full.metrics.simulated_secs.to_bits(),
+            "stop {stop}"
+        );
+    }
 }

@@ -39,6 +39,16 @@ pub struct AhoCorasick {
     pattern_char_lens: Vec<u32>,
     case_insensitive: bool,
     pattern_count: usize,
+    /// Bytes at which a scan sitting in the root state must stop skipping:
+    /// ASCII bytes that can begin a pattern (including upper-case variants
+    /// under folding) plus every byte ≥ 0x80. Non-ASCII text always takes
+    /// the per-char path because a non-ASCII char can *fold to* an ASCII
+    /// pattern char (Kelvin sign → 'k'), so only ASCII bytes outside the
+    /// set are provably unable to start a match.
+    start_table: Box<[bool; 256]>,
+    /// Longest pattern length in chars — the ring-buffer depth needed to
+    /// recover match starts.
+    max_pattern_chars: u32,
 }
 
 impl AhoCorasick {
@@ -112,11 +122,30 @@ impl AhoCorasick {
             }
         }
 
+        let mut start_table = Box::new([false; 256]);
+        for b in 0x80..=0xFFusize {
+            start_table[b] = true;
+        }
+        for &c in nodes[0].next.keys() {
+            if c.is_ascii() {
+                let b = c as u8;
+                start_table[b as usize] = true;
+                if case_insensitive {
+                    // Children are stored folded (lower-case); the raw
+                    // haystack byte may be the upper-case form.
+                    start_table[b.to_ascii_uppercase() as usize] = true;
+                }
+            }
+        }
+        let max_pattern_chars = pattern_char_lens.iter().copied().max().unwrap_or(0);
+
         AhoCorasick {
             nodes,
             pattern_char_lens,
             case_insensitive,
             pattern_count: count,
+            start_table,
+            max_pattern_chars,
         }
     }
 
@@ -140,30 +169,54 @@ impl AhoCorasick {
     }
 
     /// Finds all pattern occurrences in `text`, including overlapping ones.
+    ///
+    /// While the automaton sits in the root state, the scan skips ahead
+    /// with a byte-table prefilter (ASCII bytes that cannot begin any
+    /// pattern are provably dead — see `start_table`). Match starts are
+    /// recovered from a ring buffer of the last `max_pattern_chars` char
+    /// boundaries instead of materializing a boundary index for the whole
+    /// haystack: every char of a match is consumed with a non-root state,
+    /// so a match's chars are always the most recently processed ones.
     pub fn find_all(&self, text: &str) -> Vec<AcMatch> {
         let mut out = Vec::new();
-        // Track byte offsets of the last `max_len` chars to recover starts.
-        // Simpler: collect char boundaries once.
-        let boundaries: Vec<usize> = text
-            .char_indices()
-            .map(|(i, _)| i)
-            .chain(std::iter::once(text.len()))
-            .collect();
+        if self.pattern_count == 0 {
+            return out;
+        }
+        let bytes = text.as_bytes();
+        let n = bytes.len();
+        let depth = self.max_pattern_chars as usize;
+        let mut ring = vec![0usize; depth];
+        let mut pos = 0usize; // processed-char counter
         let mut state = 0u32;
-        for (ci, c) in text.chars().enumerate() {
-            let c = fold(c, self.case_insensitive);
-            state = self.step(state, c);
+        let mut i = 0usize;
+        // lint:hot_loop(begin): Aho-Corasick prefiltered scan loop
+        while i < n {
+            if state == 0 {
+                // Skips only whole ASCII chars: every byte ≥ 0x80 is in
+                // the table, so a multi-byte char's lead byte stops the
+                // scan and `i` stays on a char boundary.
+                i = websift_text::swar::find_in_table(bytes, i, &self.start_table);
+                if i >= n {
+                    break;
+                }
+            }
+            let c = text[i..].chars().next().expect("i is on a char boundary");
+            let clen = c.len_utf8();
+            state = self.step(state, fold(c, self.case_insensitive));
+            ring[pos % depth] = i;
             let node = &self.nodes[state as usize];
             for &pid in &node.outputs {
                 let plen = self.pattern_char_lens[pid as usize] as usize;
-                let start_ci = ci + 1 - plen;
                 out.push(AcMatch {
                     pattern: pid as usize,
-                    start: boundaries[start_ci],
-                    end: boundaries[ci + 1],
+                    start: ring[(pos + 1 - plen) % depth],
+                    end: i + clen,
                 });
             }
+            pos += 1;
+            i += clen;
         }
+        // lint:hot_loop(end)
         out
     }
 
@@ -183,10 +236,14 @@ impl AhoCorasick {
 
 #[inline]
 fn fold(c: char, ci: bool) -> char {
-    if ci {
-        c.to_lowercase().next().unwrap_or(c)
-    } else {
+    if !ci {
         c
+    } else if c.is_ascii() {
+        // Same result as `to_lowercase` for ASCII, without the case-table
+        // iterator machinery on the hot scan path.
+        c.to_ascii_lowercase()
+    } else {
+        c.to_lowercase().next().unwrap_or(c)
     }
 }
 
@@ -267,6 +324,78 @@ mod tests {
         let large = AhoCorasick::new(&patterns, false);
         assert!(large.memory_estimate() > small.memory_estimate() * 10);
         assert!(large.state_count() > 1000);
+    }
+
+    /// The pre-prefilter scan, kept verbatim as the semantic reference:
+    /// a plain char loop over a full boundary index. `find_all` must
+    /// report the identical match list on every input.
+    fn reference_find_all(ac: &AhoCorasick, text: &str) -> Vec<AcMatch> {
+        let mut out = Vec::new();
+        let boundaries: Vec<usize> = text
+            .char_indices()
+            .map(|(i, _)| i)
+            .chain(std::iter::once(text.len()))
+            .collect();
+        let mut state = 0u32;
+        for (ci, c) in text.chars().enumerate() {
+            let c = fold(c, ac.case_insensitive);
+            state = ac.step(state, c);
+            for &pid in &ac.nodes[state as usize].outputs {
+                let plen = ac.pattern_char_lens[pid as usize] as usize;
+                out.push(AcMatch {
+                    pattern: pid as usize,
+                    start: boundaries[ci + 1 - plen],
+                    end: boundaries[ci + 1],
+                });
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn prefiltered_scan_agrees_with_reference() {
+        // Deterministic LCG; the palette mixes ASCII pattern bytes,
+        // upper-case variants, chars that case-fold to ASCII (Kelvin sign
+        // → 'k', 'İ' → 'i̇'), multi-byte non-pattern chars, and
+        // whitespace. Dictionaries include overlapping and empty entries.
+        let mut state = 0x0d15_ea5e_dead_beefu64;
+        let mut next = move |bound: usize| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as usize) % bound
+        };
+        let palette: Vec<char> = "kheris KHERIS\u{212A}\u{130}ü中 .()".chars().collect();
+        let dicts: Vec<Vec<&str>> = vec![
+            vec!["he", "she", "hers", "his"],
+            vec!["kelvin", "k", ""],
+            vec!["\u{212A}elvin", "İstanbul"],
+            vec!["er", "her", "here", "e"],
+        ];
+        for ci in [false, true] {
+            for dict in &dicts {
+                let ac = AhoCorasick::new(dict, ci);
+                for _ in 0..150 {
+                    let len = next(40);
+                    let text: String = (0..len).map(|_| palette[next(palette.len())]).collect();
+                    assert_eq!(
+                        ac.find_all(&text),
+                        reference_find_all(&ac, &text),
+                        "prefiltered scan diverges on {text:?} dict {dict:?} ci={ci}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prefilter_skips_do_not_drop_folding_matches() {
+        // A Kelvin sign is a non-ASCII byte that folds to 'k'; skipping
+        // high bytes would lose this match.
+        let ac = AhoCorasick::new(["kelvin"], true);
+        let ms = ac.find_all("the \u{212A}elvin scale");
+        assert_eq!(ms.len(), 1);
+        assert_eq!(&"the \u{212A}elvin scale"[ms[0].start..ms[0].end], "\u{212A}elvin");
+        // Case-sensitive: no fold, no match.
+        assert!(AhoCorasick::new(["kelvin"], false).find_all("\u{212A}elvin").is_empty());
     }
 
     #[test]

@@ -116,68 +116,139 @@ pub struct LinearChainCrf {
 
 #[inline]
 fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf29ce484222325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x100000001b3);
+    Fnv::new().upd(bytes).finish()
+}
+
+/// Streaming FNV-1a over byte pieces: `Fnv::new().upd(a).upd(b).finish()`
+/// equals `fnv1a` of the concatenation. This is what lets the feature
+/// extractor hash `"w=" + lowercase(token)` for ASCII tokens without
+/// materializing the string — the hash stays bit-identical to the
+/// `format!`-based extraction it replaced.
+#[derive(Clone, Copy)]
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf29ce484222325)
     }
-    h
+
+    #[inline]
+    fn upd(mut self, bytes: &[u8]) -> Fnv {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100000001b3);
+        }
+        self
+    }
+
+    /// Hashes `bytes` as if each had been ASCII-lowercased first.
+    #[inline]
+    fn upd_lower(mut self, bytes: &[u8]) -> Fnv {
+        for &b in bytes {
+            self.0 ^= b.to_ascii_lowercase() as u64;
+            self.0 = self.0.wrapping_mul(0x100000001b3);
+        }
+        self
+    }
+
+    fn finish(self) -> u64 {
+        self.0
+    }
 }
 
 /// Extracts hashed unary feature ids for position `i`.
+///
+/// All-ASCII tokens (the overwhelmingly common case on web text) take an
+/// allocation-free path: lowercasing folds into the hash loop and window
+/// features hash the prefix and token bytes in sequence. Tokens with
+/// multi-byte chars fall back to materializing `to_lowercase()` — which
+/// can change char counts (İ lowers to two chars), so the fallback also
+/// preserves the original length-feature semantics exactly.
 fn features(tokens: &[&str], i: usize, dim: usize, context: bool, out: &mut Vec<usize>) {
+    // lint:hot_loop(begin): CRF per-token feature extraction
     out.clear();
     let w = tokens[i];
-    let lower = w.to_lowercase();
-    let mut push = |s: &str| out.push((fnv1a(s.as_bytes()) % dim as u64) as usize);
+    let d = dim as u64;
+    let mut push_h = |h: u64| out.push((h % d) as usize);
 
-    push(&format!("w={lower}"));
+    // `prefix` + lowercased token, e.g. "w-1=brca1".
+    let word_h = |prefix: &[u8], t: &str| -> u64 {
+        let h = Fnv::new().upd(prefix);
+        if t.is_ascii() {
+            h.upd_lower(t.as_bytes()).finish()
+        } else {
+            h.upd(t.to_lowercase().as_bytes()).finish()
+        }
+    };
+
+    push_h(word_h(b"w=", w));
     if i > 0 {
-        push(&format!("w-1={}", tokens[i - 1].to_lowercase()));
+        push_h(word_h(b"w-1=", tokens[i - 1]));
     } else {
-        push("w-1=<bos>");
+        push_h(fnv1a(b"w-1=<bos>"));
     }
     if i + 1 < tokens.len() {
-        push(&format!("w+1={}", tokens[i + 1].to_lowercase()));
+        push_h(word_h(b"w+1=", tokens[i + 1]));
     } else {
-        push("w+1=<eos>");
+        push_h(fnv1a(b"w+1=<eos>"));
     }
-    let chars: Vec<char> = lower.chars().collect();
-    let n = chars.len();
-    if n >= 2 {
-        let s2: String = chars[n - 2..].iter().collect();
-        push(&format!("suf2={s2}"));
+
+    // Affix features over the lowercased form; `n` is its char count.
+    let n;
+    if w.is_ascii() {
+        let wb = w.as_bytes();
+        n = wb.len();
+        if n >= 2 {
+            push_h(Fnv::new().upd(b"suf2=").upd_lower(&wb[n - 2..]).finish());
+        }
+        if n >= 3 {
+            push_h(Fnv::new().upd(b"suf3=").upd_lower(&wb[n - 3..]).finish());
+            push_h(Fnv::new().upd(b"pre3=").upd_lower(&wb[..3]).finish());
+        }
+    } else {
+        let lower = w.to_lowercase();
+        let chars: Vec<char> = lower.chars().collect();
+        n = chars.len();
+        if n >= 2 {
+            let s2: String = chars[n - 2..].iter().collect();
+            // lint:allow(hot_loop_alloc): non-ASCII fallback, rare on web text
+            push_h(fnv1a(format!("suf2={s2}").as_bytes()));
+        }
+        if n >= 3 {
+            let s3: String = chars[n - 3..].iter().collect();
+            // lint:allow(hot_loop_alloc): non-ASCII fallback, rare on web text
+            push_h(fnv1a(format!("suf3={s3}").as_bytes()));
+            let p3: String = chars[..3].iter().collect();
+            // lint:allow(hot_loop_alloc): non-ASCII fallback, rare on web text
+            push_h(fnv1a(format!("pre3={p3}").as_bytes()));
+        }
     }
-    if n >= 3 {
-        let s3: String = chars[n - 3..].iter().collect();
-        push(&format!("suf3={s3}"));
-        let p3: String = chars[..3].iter().collect();
-        push(&format!("pre3={p3}"));
-    }
+
     // orthographic shape
     let has_digit = w.chars().any(|c| c.is_ascii_digit());
     let has_alpha = w.chars().any(char::is_alphabetic);
     let all_upper = has_alpha && w.chars().all(|c| !c.is_lowercase());
     let init_upper = w.chars().next().map(char::is_uppercase).unwrap_or(false);
     if has_digit {
-        push("shape=digit");
+        push_h(fnv1a(b"shape=digit"));
     }
     if all_upper {
-        push("shape=allcaps");
-        push(&format!("capslen={}", n.min(6)));
+        push_h(fnv1a(b"shape=allcaps"));
+        // `n.min(6)` is a single digit, so the formatted byte is exact.
+        push_h(Fnv::new().upd(b"capslen=").upd(&[b'0' + n.min(6) as u8]).finish());
     } else if init_upper {
-        push("shape=initcap");
+        push_h(fnv1a(b"shape=initcap"));
     }
     if has_digit && has_alpha {
-        push("shape=alnum-mix");
+        push_h(fnv1a(b"shape=alnum-mix"));
     }
     if w.contains('-') {
-        push("shape=hyphen");
+        push_h(fnv1a(b"shape=hyphen"));
     }
     if !has_alpha && !has_digit {
-        push("shape=punct");
+        push_h(fnv1a(b"shape=punct"));
     }
-    push(&format!("len={}", n.min(8)));
+    push_h(Fnv::new().upd(b"len=").upd(&[b'0' + n.min(8) as u8]).finish());
 
     if context {
         // Sentence-wide bag-of-words context: one feature per other token.
@@ -185,10 +256,11 @@ fn features(tokens: &[&str], i: usize, dim: usize, context: bool, out: &mut Vec<
         // the rich ML taggers quadratic per sentence (Fig. 3b).
         for (j, t) in tokens.iter().enumerate() {
             if j != i {
-                push(&format!("ctx={}", t.to_lowercase()));
+                push_h(word_h(b"ctx=", t));
             }
         }
     }
+    // lint:hot_loop(end)
 }
 
 #[inline]
@@ -570,5 +642,96 @@ mod tests {
         let tagger = CrfTagger::train(EntityType::Gene, &gene_examples(), quick_config());
         let labels = tagger.model.decode(&["a", "b", "c"]);
         assert_eq!(labels.len(), 3);
+    }
+
+    /// The pre-fast-path feature extractor, kept verbatim as the
+    /// reference: every hashed id must match, or trained-model outputs
+    /// (and the deterministic surfaces built on them) would drift.
+    fn reference_features(tokens: &[&str], i: usize, dim: usize, context: bool) -> Vec<usize> {
+        let mut out = Vec::new();
+        let w = tokens[i];
+        let lower = w.to_lowercase();
+        let mut push = |s: &str| out.push((fnv1a(s.as_bytes()) % dim as u64) as usize);
+        push(&format!("w={lower}"));
+        if i > 0 {
+            push(&format!("w-1={}", tokens[i - 1].to_lowercase()));
+        } else {
+            push("w-1=<bos>");
+        }
+        if i + 1 < tokens.len() {
+            push(&format!("w+1={}", tokens[i + 1].to_lowercase()));
+        } else {
+            push("w+1=<eos>");
+        }
+        let chars: Vec<char> = lower.chars().collect();
+        let n = chars.len();
+        if n >= 2 {
+            let s2: String = chars[n - 2..].iter().collect();
+            push(&format!("suf2={s2}"));
+        }
+        if n >= 3 {
+            let s3: String = chars[n - 3..].iter().collect();
+            push(&format!("suf3={s3}"));
+            let p3: String = chars[..3].iter().collect();
+            push(&format!("pre3={p3}"));
+        }
+        let has_digit = w.chars().any(|c| c.is_ascii_digit());
+        let has_alpha = w.chars().any(char::is_alphabetic);
+        let all_upper = has_alpha && w.chars().all(|c| !c.is_lowercase());
+        let init_upper = w.chars().next().map(char::is_uppercase).unwrap_or(false);
+        if has_digit {
+            push("shape=digit");
+        }
+        if all_upper {
+            push("shape=allcaps");
+            push(&format!("capslen={}", n.min(6)));
+        } else if init_upper {
+            push("shape=initcap");
+        }
+        if has_digit && has_alpha {
+            push("shape=alnum-mix");
+        }
+        if w.contains('-') {
+            push("shape=hyphen");
+        }
+        if !has_alpha && !has_digit {
+            push("shape=punct");
+        }
+        push(&format!("len={}", n.min(8)));
+        if context {
+            for (j, t) in tokens.iter().enumerate() {
+                if j != i {
+                    push(&format!("ctx={}", t.to_lowercase()));
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn ascii_fast_path_features_match_reference() {
+        // Sentences mixing the ASCII fast path with fallback tokens:
+        // all-caps, digits, hyphens, empty-adjacent shapes, and multi-byte
+        // chars including \u{130} whose lowercase has a different char
+        // count than the raw token.
+        let sentences: Vec<Vec<&str>> = vec![
+            vec!["BRCA1", "and", "GAD-67", "interact", "."],
+            vec!["\u{130}stanbul", "na\u{ef}ve", "\u{212A}elvin", "ok"],
+            vec!["x"],
+            vec!["TP53", "3.5", "a-b-c", "ALLCAPSLONGWORD", ",", "\u{df}"],
+        ];
+        for toks in &sentences {
+            for context in [false, true] {
+                for i in 0..toks.len() {
+                    let mut got = Vec::new();
+                    features(toks, i, 1 << 14, context, &mut got);
+                    assert_eq!(
+                        got,
+                        reference_features(toks, i, 1 << 14, context),
+                        "feature ids diverge at {i} in {toks:?} (context={context})"
+                    );
+                }
+            }
+        }
     }
 }

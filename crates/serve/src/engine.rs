@@ -294,7 +294,9 @@ fn copy_aggregate_field(agg: &Aggregate, finished: &Record, row: &mut Record) {
         | Aggregate::Max { into, .. }
         | Aggregate::Concat { into, .. }
         | Aggregate::TopK { into, .. } => into.as_str(),
-        Aggregate::Custom(_) => return,
+        // Custom closures (combinable or not) have no declared output
+        // field to copy.
+        Aggregate::Custom(_) | Aggregate::CustomCombinable(_) => return,
     };
     let value = finished.get(into).cloned().unwrap_or(Value::Null);
     row.set(into, value);

@@ -18,13 +18,16 @@
 //! - [`regexlite`] — a small Thompson-NFA regular expression engine used by
 //!   the linguistic annotators and the dictionary variant expansion;
 //! - [`pos`] — a trainable order-3 (trigram) HMM part-of-speech tagger with
-//!   Viterbi decoding and a suffix-based unknown-word model.
+//!   Viterbi decoding and a suffix-based unknown-word model;
+//! - [`swar`] — `u64`-word byte-skipping primitives backing the regexlite
+//!   and Aho-Corasick scan prefilters.
 
 pub mod langid;
 pub mod ngram;
 pub mod pos;
 pub mod regexlite;
 pub mod sentence;
+pub mod swar;
 pub mod tokenize;
 
 pub use langid::{Lang, LanguageId};

@@ -18,6 +18,7 @@
 //! Matching is leftmost-longest via breadth-first NFA simulation: worst case
 //! `O(len(text) · states)`, no exponential blow-up on pathological patterns.
 
+use crate::swar;
 use serde::Serialize;
 use std::fmt;
 
@@ -380,12 +381,52 @@ pub struct Regex {
     accept: u32,
     case_insensitive: bool,
     pattern: String,
-    /// Bytes a match can possibly start with, when that set is computable
-    /// and ASCII-only: the unanchored scan skips every position whose
-    /// byte is not in the set without touching the NFA. `None` (the
-    /// pattern can match empty, or can start with `.`/a negated class/a
-    /// non-ASCII char) disables the prefilter.
-    first_bytes: Option<Box<[bool; 256]>>,
+    /// Scan acceleration computed at compile time; `None` (the pattern
+    /// can match empty, or can start with `.`/a negated class/a
+    /// non-ASCII char) disables all prefilters. See [`Prefilter`].
+    prefilter: Option<Prefilter>,
+}
+
+/// Scan-acceleration layers for the unanchored byte scan in `find_at`.
+/// Every layer is an over-approximation: a skipped position provably
+/// cannot start a match, and anything uncertain falls through to the NFA.
+#[derive(Debug, Clone)]
+struct Prefilter {
+    /// Bytes a match can possibly start with. Entries are either ASCII or
+    /// UTF-8 lead bytes, so every marked position is a char boundary.
+    table: Box<[bool; 256]>,
+    /// The distinct ASCII candidate bytes when that set is small enough
+    /// (≤ [`swar::MAX_NEEDLES`]) to skip with a `u64` SWAR word loop
+    /// instead of a per-byte table probe.
+    rare: Option<Vec<u8>>,
+    /// The table also marks non-ASCII (UTF-8 lead) bytes, so a SWAR skip
+    /// must additionally stop at any high byte and re-sync on the table.
+    rare_high: bool,
+    /// Every path to the first consumed char passes a `\b`, and every
+    /// ASCII candidate byte is a word byte — so an ASCII candidate whose
+    /// previous byte is an ASCII word byte cannot start a match.
+    /// (Non-ASCII candidates always fall through to the NFA.)
+    word_start: bool,
+    /// (first byte, second byte) viability bitset; `None` when every row
+    /// would be all-ones and the check could never skip anything.
+    pairs: Option<PairFilter>,
+}
+
+/// Second-byte bitsets per first byte. A row is all-ones when the second
+/// position is statically unfilterable; `one_char` marks first bytes that
+/// can complete a match on their own, which also keeps the end-of-text
+/// candidate (no second byte at all) sound.
+#[derive(Debug, Clone)]
+struct PairFilter {
+    rows: Box<[[u64; 4]; 256]>,
+    one_char: Box<[bool; 256]>,
+}
+
+impl PairFilter {
+    #[inline(always)]
+    fn allows(&self, b0: u8, b1: u8) -> bool {
+        self.rows[b0 as usize][(b1 >> 6) as usize] & (1u64 << (b1 & 63)) != 0
+    }
 }
 
 struct Compiler {
@@ -517,8 +558,7 @@ impl Regex {
             classes: Vec::new(),
         };
         let (start, accept) = compiler.compile(&ast);
-        let first_bytes =
-            compute_first_bytes(&compiler.states, &compiler.classes, start, accept, ci);
+        let prefilter = Prefilter::build(&compiler.states, &compiler.classes, start, accept, ci);
         Ok(Regex {
             states: compiler.states,
             classes: compiler.classes,
@@ -526,7 +566,7 @@ impl Regex {
             accept,
             case_insensitive: ci,
             pattern: pattern.to_string(),
-            first_bytes,
+            prefilter,
         })
     }
 
@@ -554,38 +594,79 @@ impl Regex {
     /// Leftmost-longest match starting at or after byte `from` (which must
     /// lie on a char boundary).
     pub fn find_at(&self, text: &str, from: usize) -> Option<Match> {
-        let mut scratch = Scratch::for_states(self.states.len());
-        if let Some(table) = &self.first_bytes {
-            // Marked bytes are ASCII, so every marked position is a char
-            // boundary, and a filtered regex cannot match empty — the
-            // end-of-text position needs no attempt.
-            for (start, &b) in text.as_bytes().iter().enumerate().skip(from) {
-                if table[b as usize] {
-                    if let Some(end) = self.match_len(text, start, &mut scratch) {
-                        return Some(Match { start, end });
-                    }
-                }
-            }
-            return None;
-        }
-        let mut start = from;
-        loop {
-            if let Some(end) = self.match_len(text, start, &mut scratch) {
-                return Some(Match { start, end });
-            }
-            match text[start..].chars().next() {
-                Some(c) => start += c.len_utf8(),
-                None => return None,
-            }
-        }
+        Scratch::with(self.states.len(), |scratch| {
+            self.find_at_with(text, from, scratch)
+        })
     }
 
-    /// All non-overlapping leftmost-longest matches.
+    fn find_at_with(&self, text: &str, from: usize, scratch: &mut Scratch) -> Option<Match> {
+        let Some(pf) = &self.prefilter else {
+            let mut start = from;
+            loop {
+                if let Some(end) = self.match_len(text, start, scratch) {
+                    return Some(Match { start, end });
+                }
+                match text[start..].chars().next() {
+                    Some(c) => start += c.len_utf8(),
+                    None => return None,
+                }
+            }
+        };
+        // Candidate bytes are ASCII or UTF-8 lead bytes, so every marked
+        // position is a char boundary, and a filtered regex cannot match
+        // empty — the end-of-text position needs no attempt.
+        let bytes = text.as_bytes();
+        let n = bytes.len();
+        let mut i = from;
+        // lint:hot_loop(begin): regexlite prefiltered scan loop
+        while i < n {
+            i = match &pf.rare {
+                Some(needles) => {
+                    let j = swar::find_one_of_or_high(bytes, i, needles, pf.rare_high);
+                    swar::find_in_table(bytes, j, &pf.table)
+                }
+                None => swar::find_in_table(bytes, i, &pf.table),
+            };
+            if i >= n {
+                return None;
+            }
+            let b = bytes[i];
+            // An ASCII candidate is a word byte (word_start guarantees it);
+            // a word byte right before it makes the leading `\b` fail.
+            if pf.word_start && b.is_ascii() && i > 0 && is_ascii_word(bytes[i - 1]) {
+                i += 1;
+                continue;
+            }
+            if let Some(pairs) = &pf.pairs {
+                let viable = match bytes.get(i + 1) {
+                    Some(&b1) => pairs.allows(b, b1),
+                    None => pairs.one_char[b as usize],
+                };
+                if !viable {
+                    i += 1;
+                    continue;
+                }
+            }
+            if let Some(end) = self.match_len(text, i, scratch) {
+                return Some(Match { start: i, end });
+            }
+            i += 1;
+        }
+        // lint:hot_loop(end)
+        None
+    }
+
+    /// All non-overlapping leftmost-longest matches. One `Scratch` serves
+    /// the whole scan, so repeated `find_at` restarts stay allocation-free.
     pub fn find_iter(&self, text: &str) -> Vec<Match> {
+        Scratch::with(self.states.len(), |scratch| self.find_iter_with(text, scratch))
+    }
+
+    fn find_iter_with(&self, text: &str, scratch: &mut Scratch) -> Vec<Match> {
         let mut out = Vec::new();
         let mut pos = 0usize;
         while pos <= text.len() {
-            match self.find_at(text, pos) {
+            match self.find_at_with(text, pos, scratch) {
                 Some(m) => {
                     let next = if m.is_empty() {
                         // advance one char past an empty match
@@ -606,24 +687,28 @@ impl Regex {
     }
 
     /// Longest match length anchored at byte `start`; `None` if no match.
-    /// State sets and the closure worklist live in `scratch` so the
-    /// per-position caller (`find_at`) pays no allocations in its scan loop.
+    /// State sets live in `scratch` as sparse active-state lists with an
+    /// epoch-stamped membership array, so a candidate position costs
+    /// proportional to the states it actually touches — not the whole NFA
+    /// — and the per-position caller (`find_at`) pays no allocations.
     fn match_len(&self, text: &str, start: usize, scratch: &mut Scratch) -> Option<usize> {
-        let Scratch { current, next: next_set, stack } = scratch;
-        current.iter_mut().for_each(|b| *b = false);
+        let Scratch { current, next: next_list, mark, epoch, stack, start_cache } = scratch;
         let mut best: Option<usize> = None;
 
         let prev_char_at = |pos: usize| -> Option<char> { text[..pos].chars().next_back() };
 
-        // epsilon closure given position context
-        let closure = |set: &mut Vec<bool>,
+        // epsilon closure given position context; membership is
+        // `mark[s] == gen` for the generation the list was built under
+        let closure = |list: &mut Vec<u32>,
+                       mark: &mut Vec<u32>,
+                       gen: u32,
                        stack: &mut Vec<u32>,
                        pos: usize,
                        next: Option<char>,
                        slf: &Regex| {
             let prev = prev_char_at(pos);
             stack.clear();
-            stack.extend(set.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i as u32));
+            stack.extend_from_slice(list);
             while let Some(s) = stack.pop() {
                 for (edge, to) in &slf.states[s as usize].edges {
                     let pass = match edge {
@@ -637,33 +722,56 @@ impl Regex {
                         }
                         _ => false,
                     };
-                    if pass && !set[*to as usize] {
-                        set[*to as usize] = true;
+                    if pass && mark[*to as usize] != gen {
+                        mark[*to as usize] = gen;
+                        list.push(*to);
                         stack.push(*to);
                     }
                 }
             }
         };
 
-        current[self.start as usize] = true;
+        let mut gen = Scratch::bump(epoch, mark);
+        current.clear();
         let mut pos_iter = text[start..]
             .char_indices()
             .map(|(i, c)| (start + i, c))
             .peekable();
         let first_next = pos_iter.peek().map(|&(_, c)| c);
-        closure(current, stack, start, first_next, self);
-        if current[self.accept as usize] {
+        // The start closure depends on the position only through three
+        // booleans (the anchor predicates), so within one scan — where
+        // Scratch::with pins the cache to this regex — it is computed at
+        // most once per context instead of once per candidate position.
+        // Prefiltered scans attempt thousands of candidates per text, and
+        // re-walking an alternation's epsilon tree dominated their cost.
+        let pw = prev_char_at(start).map(is_word).unwrap_or(false);
+        let nw = first_next.map(is_word).unwrap_or(false);
+        let ctx = usize::from(start == 0)
+            | usize::from(first_next.is_none()) << 1
+            | usize::from(pw != nw) << 2;
+        match &start_cache[ctx] {
+            Some(cached) => {
+                for &s in cached {
+                    mark[s as usize] = gen;
+                }
+                current.extend_from_slice(cached);
+            }
+            None => {
+                mark[self.start as usize] = gen;
+                current.push(self.start);
+                closure(current, mark, gen, stack, start, first_next, self);
+                start_cache[ctx] = Some(current.clone());
+            }
+        }
+        if mark[self.accept as usize] == gen {
             best = Some(start);
         }
 
         while let Some((off, c)) = pos_iter.next() {
-            next_set.iter_mut().for_each(|b| *b = false);
-            let mut any = false;
-            for (i, &active) in current.iter().enumerate() {
-                if !active {
-                    continue;
-                }
-                for (edge, to) in &self.states[i].edges {
+            next_list.clear();
+            gen = Scratch::bump(epoch, mark);
+            for &si in current.iter() {
+                for (edge, to) in &self.states[si as usize].edges {
                     let pass = match edge {
                         Edge::Char(pc) => chars_eq(*pc, c, self.case_insensitive),
                         Edge::Any => c != '\n',
@@ -672,40 +780,118 @@ impl Regex {
                         }
                         _ => false,
                     };
-                    if pass {
-                        next_set[*to as usize] = true;
-                        any = true;
+                    if pass && mark[*to as usize] != gen {
+                        mark[*to as usize] = gen;
+                        next_list.push(*to);
                     }
                 }
             }
-            if !any {
+            if next_list.is_empty() {
                 break;
             }
             let after = off + c.len_utf8();
             let lookahead = pos_iter.peek().map(|&(_, nc)| nc);
-            closure(next_set, stack, after, lookahead, self);
-            if next_set[self.accept as usize] {
+            closure(next_list, mark, gen, stack, after, lookahead, self);
+            if mark[self.accept as usize] == gen {
                 best = Some(after);
             }
-            std::mem::swap(current, next_set);
+            std::mem::swap(current, next_list);
         }
         best
     }
 }
 
-/// Reusable NFA-simulation buffers: `find_at` allocates one `Scratch` and
-/// reuses it for every candidate start position, so scanning a long text
-/// costs zero allocations per position.
+/// Reusable NFA-simulation buffers: one `Scratch` serves every candidate
+/// position of a scan, so long texts cost zero allocations per position.
+/// `mark[s] == epoch` is sparse set membership; bumping the epoch empties
+/// every set in O(1).
 struct Scratch {
-    current: Vec<bool>,
-    next: Vec<bool>,
+    current: Vec<u32>,
+    next: Vec<u32>,
+    mark: Vec<u32>,
+    epoch: u32,
     stack: Vec<u32>,
+    /// Start-state epsilon closures keyed by anchor context (pos==0,
+    /// at-end, at-word-boundary). Valid only for the regex of the current
+    /// `Scratch::with` call, which clears it on entry.
+    start_cache: [Option<Vec<u32>>; 8],
 }
 
 impl Scratch {
     fn for_states(n: usize) -> Self {
-        Scratch { current: vec![false; n], next: vec![false; n], stack: Vec::new() }
+        Scratch {
+            current: Vec::new(),
+            next: Vec::new(),
+            mark: vec![0; n],
+            epoch: 0,
+            stack: Vec::new(),
+            start_cache: Default::default(),
+        }
     }
+
+    /// Runs `f` with this thread's shared scratch, grown to cover `n`
+    /// states. Callers like per-sentence annotators issue thousands of
+    /// short scans; reusing one scratch makes each scan allocation-free.
+    /// Fresh `mark` slots start at 0 and `bump` pre-increments, so stamps
+    /// left by earlier scans (same or other regexes) can never alias a
+    /// live generation.
+    fn with<R>(n: usize, f: impl FnOnce(&mut Scratch) -> R) -> R {
+        thread_local! {
+            static SCRATCH: std::cell::RefCell<Scratch> =
+                std::cell::RefCell::new(Scratch::for_states(0));
+        }
+        SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            if scratch.mark.len() < n {
+                scratch.mark.resize(n, 0);
+            }
+            scratch.start_cache = Default::default();
+            f(scratch)
+        })
+    }
+
+    /// Next generation stamp; clears `mark` on the (practically
+    /// unreachable) wrap so stale stamps can never alias a live set.
+    fn bump(epoch: &mut u32, mark: &mut [u32]) -> u32 {
+        *epoch = match epoch.checked_add(1) {
+            Some(e) => e,
+            None => {
+                mark.iter_mut().for_each(|m| *m = 0);
+                1
+            }
+        };
+        *epoch
+    }
+}
+
+/// UTF-8 lead bytes: the first byte of every multi-byte char. Under
+/// case-insensitive matching a non-ASCII char can fold *to* an ASCII
+/// letter (Kelvin sign → 'k', 'İ' → 'i'), so any letter candidate must
+/// also admit every lead byte or the prefilter would drop real matches.
+const LEAD_BYTES: std::ops::RangeInclusive<u8> = 0xC2..=0xF4;
+
+fn is_ascii_word(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// States reachable from `seeds` through epsilon and anchor edges, with
+/// anchors treated as passable — an over-approximation that only ever
+/// *adds* candidate chars downstream, never drops a real match.
+fn anchored_closure(states: &[State], seeds: &[u32]) -> Vec<bool> {
+    let mut seen = vec![false; states.len()];
+    let mut stack: Vec<u32> = seeds.to_vec();
+    for &s in seeds {
+        seen[s as usize] = true;
+    }
+    while let Some(s) = stack.pop() {
+        for (edge, to) in &states[s as usize].edges {
+            if matches!(edge, Edge::Epsilon | Edge::Anchor(_)) && !seen[*to as usize] {
+                seen[*to as usize] = true;
+                stack.push(*to);
+            }
+        }
+    }
+    seen
 }
 
 /// The set of bytes a match can start with: the char edges reachable from
@@ -714,7 +900,8 @@ impl Scratch {
 /// real match). Returns `None` — prefilter off — when the set is not a
 /// clean ASCII byte set: the pattern can match empty (accept reachable
 /// without consuming), or can open with `.`, a negated class, or a
-/// non-ASCII char.
+/// non-ASCII char. Under `ci`, any letter candidate also marks the UTF-8
+/// lead bytes, because a non-ASCII char can case-fold to an ASCII letter.
 fn compute_first_bytes(
     states: &[State],
     classes: &[ClassSet],
@@ -766,7 +953,182 @@ fn compute_first_bytes(
             }
         }
     }
+    if ci && (0..128u8).any(|b| table[b as usize] && b.is_ascii_alphabetic()) {
+        for b in LEAD_BYTES {
+            table[b as usize] = true;
+        }
+    }
     Some(Box::new(table))
+}
+
+impl Prefilter {
+    fn build(
+        states: &[State],
+        classes: &[ClassSet],
+        start: u32,
+        accept: u32,
+        ci: bool,
+    ) -> Option<Prefilter> {
+        let table = compute_first_bytes(states, classes, start, accept, ci)?;
+        let ascii: Vec<u8> = (0..128u8).filter(|&b| table[b as usize]).collect();
+        let rare_high = (128..=255u8).any(|b| table[b as usize]);
+        let rare = (ascii.len() <= swar::MAX_NEEDLES).then(|| ascii.clone());
+        let word_start =
+            requires_word_start(states, start) && ascii.iter().all(|&b| is_ascii_word(b));
+        let pairs = PairFilter::build(states, classes, start, accept, ci, &table);
+        Some(Prefilter { table, rare, rare_high, word_start, pairs })
+    }
+}
+
+/// True when every path from `start` to its first consumed char crosses a
+/// `\b` edge. Traversal passes epsilon and `^`/`$` anchors; reaching any
+/// consuming edge without a `\b` disqualifies the whole pattern.
+fn requires_word_start(states: &[State], start: u32) -> bool {
+    let mut seen = vec![false; states.len()];
+    let mut stack = vec![start];
+    seen[start as usize] = true;
+    while let Some(s) = stack.pop() {
+        for (edge, to) in &states[s as usize].edges {
+            match edge {
+                Edge::Anchor(AnchorKind::WordBoundary) => {}
+                Edge::Epsilon | Edge::Anchor(_) => {
+                    if !seen[*to as usize] {
+                        seen[*to as usize] = true;
+                        stack.push(*to);
+                    }
+                }
+                Edge::Char(_) | Edge::Any | Edge::Class(_) => return false,
+            }
+        }
+    }
+    true
+}
+
+impl PairFilter {
+    const ALL: [u64; 4] = [u64::MAX; 4];
+
+    fn build(
+        states: &[State],
+        classes: &[ClassSet],
+        start: u32,
+        accept: u32,
+        ci: bool,
+        table: &[bool; 256],
+    ) -> Option<PairFilter> {
+        let mut rows = Box::new([[0u64; 4]; 256]);
+        let mut one_char = Box::new([false; 256]);
+        let s0 = anchored_closure(states, &[start]);
+        for (i, _) in s0.iter().enumerate().filter(|(_, &a)| a) {
+            for (edge, to) in &states[i].edges {
+                // First bytes this consuming edge contributes. `Any` and
+                // non-ASCII heads cannot occur here (compute_first_bytes
+                // already returned a table), but stay defensive.
+                let b0s: Vec<u8> = match edge {
+                    Edge::Char(c) if c.is_ascii() => {
+                        let mut v = vec![*c as u8];
+                        if ci {
+                            let f = flip_case(*c);
+                            if f.is_ascii() {
+                                v.push(f as u8);
+                            }
+                        }
+                        v
+                    }
+                    Edge::Class(id) => (0..128u8)
+                        .filter(|&b| classes[*id as usize].matches(b as char, ci))
+                        .collect(),
+                    Edge::Char(_) | Edge::Any => return None,
+                    Edge::Epsilon | Edge::Anchor(_) => continue,
+                };
+                let post = anchored_closure(states, &[*to]);
+                let one = post[accept as usize];
+                let row = if one {
+                    // A one-char match makes any (or no) second byte viable.
+                    Self::ALL
+                } else {
+                    second_byte_row(states, classes, &post, ci).unwrap_or(Self::ALL)
+                };
+                for &b0 in &b0s {
+                    for (dst, src) in rows[b0 as usize].iter_mut().zip(row) {
+                        *dst |= src;
+                    }
+                    one_char[b0 as usize] |= one;
+                }
+            }
+        }
+        // Lead-byte first candidates (non-ASCII chars that may case-fold
+        // into the pattern) are opaque: admit everything after them.
+        for b in LEAD_BYTES {
+            if table[b as usize] {
+                rows[b as usize] = Self::ALL;
+                one_char[b as usize] = true;
+            }
+        }
+        // Only worth consulting if some candidate row can actually skip.
+        let useful = (0..=255u8)
+            .any(|b| table[b as usize] && (rows[b as usize] != Self::ALL || !one_char[b as usize]));
+        useful.then_some(PairFilter { rows, one_char })
+    }
+}
+
+/// Bitset of viable second bytes given the post-first-char state set, or
+/// `None` when the second position is statically unfilterable (`.`, a
+/// negated or non-ASCII class, or a non-ASCII char under folding).
+fn second_byte_row(
+    states: &[State],
+    classes: &[ClassSet],
+    post: &[bool],
+    ci: bool,
+) -> Option<[u64; 4]> {
+    let mut row = [0u64; 4];
+    let mut set = |b: u8| row[(b >> 6) as usize] |= 1u64 << (b & 63);
+    let mut letters = false;
+    for (i, _) in post.iter().enumerate().filter(|(_, &a)| a) {
+        for (edge, _) in &states[i].edges {
+            match edge {
+                Edge::Epsilon | Edge::Anchor(_) => {}
+                Edge::Any => return None,
+                Edge::Char(c) if c.is_ascii() => {
+                    set(*c as u8);
+                    letters |= c.is_ascii_alphabetic();
+                    if ci {
+                        let f = flip_case(*c);
+                        if f.is_ascii() {
+                            set(f as u8);
+                        }
+                    }
+                }
+                Edge::Char(c) => {
+                    if ci {
+                        // An unknown non-ASCII char could fold into `c`.
+                        return None;
+                    }
+                    let mut buf = [0u8; 4];
+                    set(c.encode_utf8(&mut buf).as_bytes()[0]);
+                }
+                Edge::Class(id) => {
+                    let cls = &classes[*id as usize];
+                    if cls.negated
+                        || cls.ranges.iter().any(|&(lo, hi)| !lo.is_ascii() || !hi.is_ascii())
+                    {
+                        return None;
+                    }
+                    for b in 0..128u8 {
+                        if cls.matches(b as char, ci) {
+                            set(b);
+                            letters |= b.is_ascii_alphabetic();
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if ci && letters {
+        for b in LEAD_BYTES {
+            set(b);
+        }
+    }
+    Some(row)
 }
 
 fn is_word(c: char) -> bool {
@@ -948,7 +1310,7 @@ mod tests {
         for pat in [r"\b(not|nor|neither)\b", r"\([^()]*\)", "n[ao]t", "x ?y"] {
             let filtered = Regex::case_insensitive(pat).unwrap();
             let mut unfiltered = filtered.clone();
-            unfiltered.first_bytes = None;
+            unfiltered.prefilter = None;
             assert_eq!(
                 filtered.find_iter(text),
                 unfiltered.find_iter(text),
@@ -959,18 +1321,18 @@ mod tests {
 
     #[test]
     fn prefilter_enabled_only_when_sound() {
-        assert!(Regex::new(r"\bcat\b").unwrap().first_bytes.is_some());
-        assert!(Regex::new("x?y").unwrap().first_bytes.is_some());
-        assert!(Regex::new("a*").unwrap().first_bytes.is_none(), "matches empty");
-        assert!(Regex::new(".x").unwrap().first_bytes.is_none(), "starts with any");
-        assert!(Regex::new("[^a]b").unwrap().first_bytes.is_none(), "negated class");
-        assert!(Regex::new("ärm").unwrap().first_bytes.is_none(), "non-ascii first");
+        assert!(Regex::new(r"\bcat\b").unwrap().prefilter.is_some());
+        assert!(Regex::new("x?y").unwrap().prefilter.is_some());
+        assert!(Regex::new("a*").unwrap().prefilter.is_none(), "matches empty");
+        assert!(Regex::new(".x").unwrap().prefilter.is_none(), "starts with any");
+        assert!(Regex::new("[^a]b").unwrap().prefilter.is_none(), "negated class");
+        assert!(Regex::new("ärm").unwrap().prefilter.is_none(), "non-ascii first");
     }
 
     #[test]
     fn empty_pattern_matches_empty_everywhere() {
         let r = Regex::new("").unwrap();
-        assert!(r.first_bytes.is_none(), "empty-match-capable pattern must not prefilter");
+        assert!(r.prefilter.is_none(), "empty-match-capable pattern must not prefilter");
         assert!(r.is_match(""));
         assert!(r.is_match("abc"));
         let m = r.find("abc").unwrap();
@@ -990,7 +1352,7 @@ mod tests {
     fn non_ascii_first_byte_disables_prefilter_but_still_matches() {
         for pat in ["ärm", "é+e", "√x"] {
             let r = Regex::new(pat).unwrap();
-            assert!(r.first_bytes.is_none(), "non-ASCII first byte must not prefilter: {pat}");
+            assert!(r.prefilter.is_none(), "non-ASCII first byte must not prefilter: {pat}");
         }
         assert_eq!(
             Regex::new("ärm").unwrap().find("wärme").map(|m| (m.start, m.end)),
@@ -1027,7 +1389,7 @@ mod tests {
             .map(|p| {
                 let filtered = Regex::case_insensitive(p).unwrap();
                 let mut unfiltered = filtered.clone();
-                unfiltered.first_bytes = None;
+                unfiltered.prefilter = None;
                 (filtered, unfiltered)
             })
             .collect();
@@ -1052,5 +1414,115 @@ mod tests {
         assert!(r.is_match("BRCA-1 mutation"));
         assert!(r.is_match("BRCA 1 mutation"));
         assert!(!r.is_match("BRCA11"));
+    }
+
+    #[test]
+    fn prefilter_layers_enabled_as_expected() {
+        // Negation annotator: two ASCII candidates → SWAR skip, leading \b
+        // over word chars → word-start skip, narrow second chars → pairs.
+        let neg = Regex::case_insensitive(r"\b(not|nor|neither)\b").unwrap();
+        let pf = neg.prefilter.as_ref().unwrap();
+        assert_eq!(pf.rare.as_deref(), Some(&b"Nn"[..]));
+        assert!(pf.rare_high, "ci letters admit folding non-ASCII heads");
+        assert!(pf.word_start);
+        let pairs = pf.pairs.as_ref().unwrap();
+        assert!(pairs.allows(b'n', b'o') && pairs.allows(b'N', b'E'));
+        assert!(!pairs.allows(b'n', b'n') && !pairs.allows(b'n', b'x'));
+        assert!(!pairs.one_char[b'n' as usize]);
+
+        // Parentheses annotator: single non-letter candidate, no \b.
+        let par = Regex::new(r"\([^()]*\)").unwrap();
+        let pf = par.prefilter.as_ref().unwrap();
+        assert_eq!(pf.rare.as_deref(), Some(&b"("[..]));
+        assert!(!pf.rare_high && !pf.word_start);
+
+        // Pronouns: dense letter head → table scan; "i" alone can match,
+        // so its row is wide open and end-of-text stays a candidate.
+        let pro = Regex::case_insensitive(r"\b(i|it|they|them)\b").unwrap();
+        let pf = pro.prefilter.as_ref().unwrap();
+        assert!(pf.rare.is_none() && pf.word_start);
+        let pairs = pf.pairs.as_ref().unwrap();
+        assert!(pairs.one_char[b'i' as usize] && pairs.allows(b'i', b'x'));
+        assert!(!pairs.one_char[b't' as usize]);
+        assert!(pairs.allows(b't', b'h') && !pairs.allows(b't', b'o'));
+
+        // No \b before the first char → no word-start skip.
+        assert!(!Regex::new("cat").unwrap().prefilter.unwrap().word_start);
+        // \b before a non-word first char must not enable the skip either.
+        assert!(!Regex::new(r"\b\(x\)").unwrap().prefilter.unwrap().word_start);
+    }
+
+    #[test]
+    fn ci_prefilter_keeps_non_ascii_case_folds() {
+        // Kelvin sign folds to 'k' and dotted capital I folds to 'i': the
+        // prefilter must leave room for multi-byte chars that case-fold
+        // into an ASCII pattern, at the first *and* second position.
+        let k = Regex::case_insensitive("kelvin").unwrap();
+        assert!(k.prefilter.is_some());
+        assert!(k.is_match("degrees \u{212A}elvin"));
+        let it = Regex::case_insensitive(r"\bit\b").unwrap();
+        assert!(it.is_match("\u{130}t works"));
+        let ski = Regex::case_insensitive("ski").unwrap();
+        assert!(ski.is_match("s\u{212A}i"), "fold at the second byte");
+        // Case-sensitive stays exact: no fold, no match.
+        assert!(!Regex::new("kelvin").unwrap().is_match("\u{212A}elvin"));
+    }
+
+    #[test]
+    fn word_start_skip_boundary_cases() {
+        let r = Regex::case_insensitive(r"\b(not|nor)\b").unwrap();
+        // Position 0 has no previous byte: never skipped.
+        assert_eq!(r.find("not now").map(|m| (m.start, m.end)), Some((0, 3)));
+        // Previous char non-ASCII and non-word: \b holds.
+        assert_eq!(r.find("é not").map(|m| m.start), Some(3));
+        // Previous char non-ASCII *word* char: the skip must not fire on
+        // the ASCII-prev fast test, and the NFA must still reject.
+        assert!(!r.is_match("änot"));
+        assert!(!r.is_match("xnot ynor_"));
+        // One-char haystack tail: pair end-of-text check.
+        assert!(!r.is_match("n"));
+        assert!(Regex::case_insensitive(r"\b(i|it)\b").unwrap().is_match("i"));
+    }
+
+    #[test]
+    fn prefilter_differential_with_folding_chars() {
+        // Same LCG differential as above, with a palette of chars that
+        // case-fold across the ASCII boundary (K → k, İ → i, ſ → S) plus
+        // word/non-word neighbors that exercise the \b skip and the pair
+        // table around multi-byte boundaries.
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut next = move |bound: usize| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as usize) % bound
+        };
+        let palette: Vec<char> = "intoheyK\u{212A}\u{130}\u{17f}_ .()ä√".chars().collect();
+        let patterns = [
+            r"\b(not|nor|neither)\b",
+            r"\b(i|it|they|them|this|that)\b",
+            r"\([^()]*\)",
+            r"\bski\b",
+            "kelvin",
+            "to{1,2}",
+        ];
+        let regexes: Vec<(Regex, Regex)> = patterns
+            .iter()
+            .map(|p| {
+                let filtered = Regex::case_insensitive(p).unwrap();
+                let mut unfiltered = filtered.clone();
+                unfiltered.prefilter = None;
+                (filtered, unfiltered)
+            })
+            .collect();
+        for _ in 0..300 {
+            let len = next(28);
+            let text: String = (0..len).map(|_| palette[next(palette.len())]).collect();
+            for ((filtered, unfiltered), pat) in regexes.iter().zip(patterns) {
+                assert_eq!(
+                    filtered.find_iter(&text),
+                    unfiltered.find_iter(&text),
+                    "prefilter diverges for {pat:?} on {text:?}"
+                );
+            }
+        }
     }
 }

@@ -1,0 +1,136 @@
+//! SWAR (SIMD-within-a-register) byte scanning.
+//!
+//! `u64`-word loops that test eight haystack bytes per iteration, the
+//! classic memchr technique: XOR the word against a splatted needle and
+//! detect a zero byte with `(x - 0x01…01) & !x & 0x80…80`. The regexlite
+//! scan prefilter and the Aho-Corasick start-byte skip use these to jump
+//! over runs with no candidate start, so the byte-at-a-time inner loops
+//! only run near positions that can actually begin a match.
+
+const LO: u64 = 0x0101_0101_0101_0101;
+const HI: u64 = 0x8080_8080_8080_8080;
+
+/// How many distinct needle bytes [`find_one_of`] stays profitable for;
+/// beyond this a table-lookup byte loop wins.
+pub const MAX_NEEDLES: usize = 3;
+
+#[inline(always)]
+fn splat(b: u8) -> u64 {
+    u64::from(b) * LO
+}
+
+/// True when any byte of `x` is zero.
+#[inline(always)]
+fn has_zero_byte(x: u64) -> bool {
+    x.wrapping_sub(LO) & !x & HI != 0
+}
+
+/// Index of the first occurrence at or after `from` of any byte in
+/// `needles`, or `haystack.len()` when there is none. Intended for small
+/// needle sets (≤ [`MAX_NEEDLES`]); correctness does not depend on the
+/// bound, only throughput.
+pub fn find_one_of(haystack: &[u8], from: usize, needles: &[u8]) -> usize {
+    find_one_of_or_high(haystack, from, needles, false)
+}
+
+/// Like [`find_one_of`], but with `include_high` it also stops at any
+/// byte ≥ 0x80 (detected as a word-wide high-bit test, essentially free).
+/// Case-insensitive scans need this because a non-ASCII char can fold
+/// into an ASCII needle; callers re-synchronize the returned position
+/// against their full candidate table.
+pub fn find_one_of_or_high(
+    haystack: &[u8],
+    from: usize,
+    needles: &[u8],
+    include_high: bool,
+) -> usize {
+    let n = haystack.len();
+    let mut i = from;
+    while i + 8 <= n {
+        let word = u64::from_ne_bytes(haystack[i..i + 8].try_into().unwrap());
+        let mut hit = include_high && word & HI != 0;
+        for &b in needles {
+            hit |= has_zero_byte(word ^ splat(b));
+        }
+        if hit {
+            break;
+        }
+        i += 8;
+    }
+    while i < n {
+        let b = haystack[i];
+        if needles.contains(&b) || (include_high && b >= 0x80) {
+            break;
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Index of the first byte at or after `from` whose `table` entry is true,
+/// or `haystack.len()` when there is none. The skip loop for candidate
+/// sets too dense for [`find_one_of`].
+pub fn find_in_table(haystack: &[u8], from: usize, table: &[bool; 256]) -> usize {
+    let n = haystack.len();
+    let mut i = from;
+    while i < n && !table[haystack[i] as usize] {
+        i += 1;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(haystack: &[u8], from: usize, needles: &[u8]) -> usize {
+        (from..haystack.len())
+            .find(|&i| needles.contains(&haystack[i]))
+            .unwrap_or(haystack.len())
+    }
+
+    #[test]
+    fn zero_byte_detection() {
+        assert!(has_zero_byte(0x0011_2233_4455_6677));
+        assert!(has_zero_byte(u64::from_ne_bytes(*b"abc\0defg")));
+        assert!(!has_zero_byte(u64::MAX));
+        assert!(!has_zero_byte(0x0101_0101_0101_0101));
+    }
+
+    #[test]
+    fn agrees_with_naive_scan() {
+        // Deterministic LCG; covers word-boundary straddles, 0x00/0x80
+        // bytes (the SWAR carry/borrow edge cases), and empty needle sets.
+        let mut state = 0x243f_6a88_85a3_08d3u64;
+        let mut next = move |bound: usize| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as usize) % bound
+        };
+        let palette: &[u8] = &[0x00, b'a', b'n', b'N', b'(', 0x7f, 0x80, 0xc3, 0xff];
+        for _ in 0..500 {
+            let len = next(40);
+            let hay: Vec<u8> = (0..len).map(|_| palette[next(palette.len())]).collect();
+            let k = next(MAX_NEEDLES + 1);
+            let needles: Vec<u8> = (0..k).map(|_| palette[next(palette.len())]).collect();
+            let from = next(len + 2).min(len);
+            assert_eq!(
+                find_one_of(&hay, from, &needles),
+                naive(&hay, from, &needles),
+                "swar diverges: hay={hay:?} from={from} needles={needles:?}"
+            );
+            let mut table = [false; 256];
+            for &b in &needles {
+                table[b as usize] = true;
+            }
+            assert_eq!(find_in_table(&hay, from, &table), naive(&hay, from, &needles));
+        }
+    }
+
+    #[test]
+    fn empty_and_bounds() {
+        assert_eq!(find_one_of(b"", 0, b"x"), 0);
+        assert_eq!(find_one_of(b"abc", 3, b"a"), 3);
+        assert_eq!(find_one_of(b"abc", 0, b""), 3);
+        assert_eq!(find_one_of(b"aaaaaaaaaaaaaaaab", 1, b"b"), 16);
+    }
+}
