@@ -89,3 +89,17 @@ echo "exp_serve smoke: serving digests identical across shards and snapshot/resu
 # document from round 2 on (--check exits non-zero otherwise).
 cargo run -q --release -p websift-bench --bin exp_live -- --quick --check > /dev/null
 echo "exp_live smoke: incremental == recompute == resumed digests, delta pass wins ok"
+
+# Sharded-execution equivalence: N worker shards (threads or real OS
+# processes exchanging length-prefixed frames) must be byte-identical to
+# the in-process engine on every deterministic surface, including
+# kill-and-resume at mismatched shard counts and spill-to-disk reduces.
+# Cases pinned as above.
+PROPTEST_CASES=64 cargo test -q -p websift-flow --test shuffle
+echo "shuffle: sharded == in-process equivalence holds ok"
+
+# Sharded scale-out smoke: every shard count (worker threads and real
+# worker processes) must reproduce the unsharded run's deterministic
+# digest (--check exits non-zero on any divergence).
+cargo run -q --release -p websift-bench --bin exp_shuffle -- --quick --check > /dev/null
+echo "exp_shuffle smoke: digests identical across shard counts ok"

@@ -142,6 +142,14 @@ pub const WALL_CLOCK_ALLOWLIST: &[(&str, &str)] = &[
         "crates/bench/src/experiments/analyze_exps.rs",
         "reports the real wall cost of the static analysis itself, non-JSON mode only",
     ),
+    (
+        "crates/flow/src/shuffle.rs",
+        "per-chunk wall_ms mirrors the executor's runtime-only diagnostics; stripped from frames' deterministic surfaces",
+    ),
+    (
+        "crates/bench/src/experiments/shuffle_exps.rs",
+        "the shuffle harness measures real scale-out records/sec across shard counts",
+    ),
 ];
 
 /// Modules whose bytes end up in checkpoints, JSONL traces, or snapshots.
@@ -157,11 +165,16 @@ pub const DETERMINISTIC_OUTPUT_MODULES: &[&str] = &[
     "crates/serve/src/snapshot.rs",
     "crates/live/src/watermark.rs",
     "crates/live/src/incremental.rs",
+    "crates/flow/src/transport.rs",
+    "crates/flow/src/shuffle.rs",
+    "crates/resilience/src/frame.rs",
 ];
 
-/// Modules that parse untrusted input (scripts, crawled pages): matched by
-/// file name, panics on input are forbidden.
-pub const UNTRUSTED_INPUT_FILES: &[&str] = &["parser.rs", "meteor.rs", "html.rs", "query.rs"];
+/// Modules that parse untrusted input (scripts, crawled pages, shuffle
+/// frames off the wire): matched by file name, panics on input are
+/// forbidden.
+pub const UNTRUSTED_INPUT_FILES: &[&str] =
+    &["parser.rs", "meteor.rs", "html.rs", "query.rs", "transport.rs", "frame.rs"];
 
 /// Modules that encode/decode durable frames (checkpoints, snapshots,
 /// watermarks, retained aggregate state). Lossy `as` casts here are

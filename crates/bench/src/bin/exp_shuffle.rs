@@ -1,0 +1,64 @@
+//! Scale-out of the sharded physical runtime: records/sec on a
+//! spec-built pipeline at shard counts {1, 2, 4, 8}, in-process thread
+//! workers vs real `shard_worker` OS processes, digest-gated against the
+//! unsharded engine.
+//!
+//! Flags:
+//! - `--quick` — smaller corpus and a {1, 2} shard sweep (CI smoke);
+//! - `--json`  — emit the `BENCH_SHUFFLE.json` payload instead of the
+//!   markdown table;
+//! - `--check` — exit non-zero unless every cell's deterministic digest
+//!   equals the unsharded baseline's (the sharding-is-physical-only
+//!   gate);
+//! - `--docs N` / `--shards A,B,C` — override corpus size / shard sweep
+//!   for targeted probes of a single cell.
+use websift_bench::experiments::shuffle_exps::{shuffle_at, shuffle_json, SHUFFLE_SHARDS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let has = |flag: &str| args.iter().any(|a| a == flag);
+    let quick = has("--quick");
+    let json = has("--json");
+    let check = has("--check");
+
+    let value_of = |flag: &str| {
+        args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+    };
+    let docs: usize = value_of("--docs")
+        .map(|v| v.parse().expect("--docs takes an integer"))
+        .unwrap_or(if quick { 120 } else { 600 });
+    let shards: Vec<usize> = match value_of("--shards") {
+        Some(v) => v
+            .split(',')
+            .map(|s| s.trim().parse().expect("--shards takes a comma-separated list"))
+            .collect(),
+        None if quick => vec![1, 2],
+        None => SHUFFLE_SHARDS.to_vec(),
+    };
+
+    let report = shuffle_at(docs, &shards);
+
+    if json {
+        println!("{}", shuffle_json(&report));
+    } else {
+        println!("{}", report.result.render());
+    }
+
+    if check {
+        if !report.digests_identical {
+            eprintln!(
+                "exp_shuffle --check FAILED: a sharded run's deterministic digest diverged \
+                 from the unsharded baseline ({:016x})",
+                report.baseline_digest
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "exp_shuffle check ok: digests identical across shard counts {:?} \
+             (baseline {:016x}); process workers {}",
+            report.shards,
+            report.baseline_digest,
+            if report.worker_bin.is_some() { "measured" } else { "skipped (binary not found)" }
+        );
+    }
+}

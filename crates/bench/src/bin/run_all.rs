@@ -9,7 +9,7 @@
 //! `BENCH_RESULTS.json` so the perf trajectory is machine-readable.
 use websift_bench::experiments::{
     analyze_exps, content_exps, crawl_exps, live_exps, profile_exps, recovery_exps,
-    scaling_exps, serve_exps, throughput_exps,
+    scaling_exps, serve_exps, shuffle_exps, throughput_exps,
 };
 use websift_bench::report::results_to_json;
 use websift_bench::ExperimentResult;
@@ -37,27 +37,27 @@ fn main() {
     // understates the ratios the standalone `exp_throughput` binary
     // reports from the same code. Their tables are still printed at the
     // usual place near the end of the report.
-    eprintln!("[1/21] wall-clock throughput (fused vs unfused vs pre-fusion; combined vs uncombined)");
+    eprintln!("[1/22] wall-clock throughput (fused vs unfused vs pre-fusion; combined vs uncombined)");
     let throughput = throughput_exps::throughput(480);
     let combining = throughput_exps::combining(480);
     let batches =
         throughput_exps::batch_grid_at(480, &[1, throughput_exps::ACCEPTANCE_DOP]);
 
     let lexicon = Lexicon::generate(LexiconScale::default_scale());
-    eprintln!("[2/21] Table 1");
+    eprintln!("[2/22] Table 1");
     out(crawl_exps::table1(&lexicon));
 
     let web = crawl_exps::standard_web();
-    eprintln!("[3/21] crawl experiments");
+    eprintln!("[3/22] crawl experiments");
     for r in crawl_exps::crawl(&web, &lexicon, 40_000) {
         out(r);
     }
-    eprintln!("[4/21] classifier quality");
+    eprintln!("[4/22] classifier quality");
     out(crawl_exps::classifier(&web));
-    eprintln!("[5/21] boilerplate quality");
+    eprintln!("[5/22] boilerplate quality");
     out(crawl_exps::boilerplate(&web));
 
-    eprintln!("[6/21] Table 2 (PageRank)");
+    eprintln!("[6/22] Table 2 (PageRank)");
     let queries: Vec<String> = lexicon
         .search_terms(SearchCategory::General, 30)
         .into_iter()
@@ -75,45 +75,45 @@ fn main() {
     let _ = crawler.crawl(seeds.urls.clone());
     out(crawl_exps::table2(&mut crawler, 30));
 
-    eprintln!("[7/21] §5 trade-off");
+    eprintln!("[7/22] §5 trade-off");
     out(crawl_exps::tradeoff(&web, &seeds.urls, 2_500));
 
     let ctx = ExperimentContext::standard(42);
-    eprintln!("[8/21] Fig 3");
+    eprintln!("[8/22] Fig 3");
     for r in scaling_exps::fig3(&ctx) {
         out(r);
     }
-    eprintln!("[9/21] runtime shares");
+    eprintln!("[9/22] runtime shares");
     out(scaling_exps::runtime_shares(&ctx));
-    eprintln!("[10/21] cost decomposition (profiler)");
+    eprintln!("[10/22] cost decomposition (profiler)");
     out(profile_exps::cost_decomposition(&ctx, 40).result);
-    eprintln!("[11/21] Fig 4");
+    eprintln!("[11/22] Fig 4");
     out(scaling_exps::fig4(&ctx));
-    eprintln!("[12/21] Fig 5");
+    eprintln!("[12/22] Fig 5");
     out(scaling_exps::fig5(&ctx));
-    eprintln!("[13/21] war story");
+    eprintln!("[13/22] war story");
     out(scaling_exps::warstory(&ctx));
-    eprintln!("[14/21] static analysis pre-flight");
+    eprintln!("[14/22] static analysis pre-flight");
     out(analyze_exps::known_bad());
 
-    eprintln!("[15/21] Table 3");
+    eprintln!("[15/22] Table 3");
     out(content_exps::table3(&ctx));
-    eprintln!("[16/21] running analysis flows over all corpora");
+    eprintln!("[16/22] running analysis flows over all corpora");
     let results = content_exps::run_all_corpora(&ctx, 8);
     for r in content_exps::fig6(&results) {
         out(r);
     }
-    eprintln!("[17/21] Fig 7 / Table 4");
+    eprintln!("[17/22] Fig 7 / Table 4");
     out(content_exps::fig7(&results));
     for r in content_exps::table4(&results) {
         out(r);
     }
-    eprintln!("[18/21] Fig 8 / JSD");
+    eprintln!("[18/22] Fig 8 / JSD");
     for r in content_exps::fig8(&results) {
         out(r);
     }
 
-    eprintln!("[19/21] fault injection + recovery");
+    eprintln!("[19/22] fault injection + recovery");
     let default_hook = std::panic::take_hook();
     std::panic::set_hook(Box::new(move |info| {
         let injected = info
@@ -129,7 +129,7 @@ fn main() {
     }
     out(recovery_exps::flow_recovery());
 
-    eprintln!("[20/21] serving layer (QPS/latency under admission-controlled load)");
+    eprintln!("[20/22] serving layer (QPS/latency under admission-controlled load)");
     let serve = serve_exps::serve(96, 16, 42);
     out(serve.result.clone());
     match std::fs::write("BENCH_SERVE.json", serve_exps::serve_json(&serve) + "\n") {
@@ -142,7 +142,7 @@ fn main() {
         Err(e) => eprintln!("could not write BENCH_SERVE.json: {e}"),
     }
 
-    eprintln!("[21/21] live incremental execution (delta pass vs batch recompute)");
+    eprintln!("[21/22] live incremental execution (delta pass vs batch recompute)");
     let live = live_exps::live(150);
     out(live.result.clone());
     match std::fs::write("BENCH_LIVE.json", live_exps::live_json(&live) + "\n") {
@@ -155,6 +155,21 @@ fn main() {
             if live.incremental_wins { "beats" } else { "LOSES TO" },
         ),
         Err(e) => eprintln!("could not write BENCH_LIVE.json: {e}"),
+    }
+
+    eprintln!("[22/22] sharded shuffle scale-out (worker threads and processes, digest-gated)");
+    let shuffle = shuffle_exps::shuffle_at(600, &shuffle_exps::SHUFFLE_SHARDS);
+    out(shuffle.result.clone());
+    match std::fs::write("BENCH_SHUFFLE.json", shuffle_exps::shuffle_json(&shuffle) + "\n") {
+        Ok(()) => eprintln!(
+            "wrote BENCH_SHUFFLE.json ({} cells; digests {} across shard counts {:?}; \
+             process workers {})",
+            shuffle.points.len(),
+            if shuffle.digests_identical { "identical" } else { "DIVERGED" },
+            shuffle.shards,
+            if shuffle.worker_bin.is_some() { "measured" } else { "skipped" },
+        ),
+        Err(e) => eprintln!("could not write BENCH_SHUFFLE.json: {e}"),
     }
 
     let throughput_json =

@@ -20,6 +20,7 @@
 //! | [`content_exps::fig8`] | Fig. 8 (annotation overlap, JSD) |
 //! | [`profile_exps::cost_decomposition`] | Fig. 8 cost split (startup vs per-record, live from the profiler) |
 //! | [`throughput_exps::throughput`] | wall-clock records/sec of the fused vs unfused vs pre-fusion executor |
+//! | [`shuffle_exps::shuffle_at`] | scale-out records/sec across worker-shard counts (threads and real processes), digest-gated |
 //! | [`serve_exps::serve`] | serving-layer QPS + latency under admission-controlled concurrent clients |
 //! | [`live_exps::live`] | incremental delta pass vs batch full recompute, per crawl round and DoP |
 //! | [`recovery_exps::crawl_recovery`] | crawl goodput + checkpoint overhead under injected faults |
@@ -34,4 +35,5 @@ pub mod profile_exps;
 pub mod recovery_exps;
 pub mod scaling_exps;
 pub mod serve_exps;
+pub mod shuffle_exps;
 pub mod throughput_exps;

@@ -1,0 +1,312 @@
+//! Scale-out harness for the sharded physical runtime: records/sec on a
+//! spec-built pipeline at shard counts {1, 2, 4, 8}, for both worker
+//! flavours — in-process socketpair threads and real OS worker processes
+//! (the `shard_worker` binary) speaking the frame protocol over pipes —
+//! against the unsharded in-process engine.
+//!
+//! Sharding is physical only: every cell computes byte-identical output,
+//! and the harness pins that by comparing every cell's deterministic
+//! digest against the unsharded baseline's (the `--check` gate in
+//! `exp_shuffle`). What the cells differ in is wall clock, frame counts,
+//! and wire bytes — which is why this module is on the lint's wall-clock
+//! allowlist.
+//!
+//! The worker binary is found via the `WEBSIFT_SHARD_WORKER` env var or
+//! as a sibling of the running benchmark executable; when neither works,
+//! process-mode cells are skipped with a note rather than failing the
+//! sweep (the in-process cells and the digest gate still run).
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use crate::report::ExperimentResult;
+use websift_flow::{
+    AggSpec, ExecutionConfig, Executor, KeySpec, LogicalPlan, OpSpec, Package, Record,
+    ShardConfig, SpecOp,
+};
+use websift_observe::json::{array, ObjectWriter};
+
+/// The shard counts the sweep measures.
+pub const SHUFFLE_SHARDS: [usize; 4] = [1, 2, 4, 8];
+
+/// Timed repetitions per cell; the reported wall time is the minimum,
+/// measured interleaved across modes so ambient drift hits every cell
+/// equally.
+const REPS: usize = 3;
+
+/// One measured (mode, shards) cell.
+#[derive(Debug, Clone)]
+pub struct ShufflePoint {
+    /// `"in-process"` baseline, `"threads"` (socketpair workers), or
+    /// `"processes"` (real `shard_worker` children).
+    pub mode: &'static str,
+    /// Worker shard count; 0 for the unsharded baseline.
+    pub shards: usize,
+    pub records: usize,
+    pub wall_secs: f64,
+    pub records_per_sec: f64,
+    /// `FlowOutput::deterministic_digest` of the run — identical across
+    /// every cell or the sweep is broken.
+    pub digest: u64,
+    pub frames: u64,
+    pub wire_bytes: u64,
+}
+
+/// The full harness outcome.
+#[derive(Debug)]
+pub struct ShuffleReport {
+    pub result: ExperimentResult,
+    pub points: Vec<ShufflePoint>,
+    pub docs: usize,
+    pub shards: Vec<usize>,
+    /// Every cell's digest equals the unsharded baseline's.
+    pub digests_identical: bool,
+    pub baseline_digest: u64,
+    /// The worker binary process-mode cells used, when found.
+    pub worker_bin: Option<PathBuf>,
+}
+
+/// Locates the `shard_worker` binary: `WEBSIFT_SHARD_WORKER` wins, then
+/// a sibling of the current executable (bench bins and flow bins land in
+/// the same target directory). `None` means process-mode cells are
+/// skipped.
+pub fn worker_binary() -> Option<PathBuf> {
+    if let Ok(p) = std::env::var("WEBSIFT_SHARD_WORKER") {
+        let p = PathBuf::from(p);
+        return p.is_file().then_some(p);
+    }
+    let sibling = std::env::current_exe().ok()?.with_file_name("shard_worker");
+    sibling.is_file().then_some(sibling)
+}
+
+/// The measured pipeline, built entirely from [`OpSpec`]s so every stage
+/// is eligible for worker shards: stamp -> dup -> parity -> grow ->
+/// upper -> tally (a combinable Count reduce).
+fn shuffle_plan() -> LogicalPlan {
+    let specs = [
+        OpSpec::new(
+            "stamp",
+            Package::Base,
+            SpecOp::MapStamp { field: "stamp".into(), from: "id".into(), mul: 3, add: 1 },
+        ),
+        OpSpec::new("dup", Package::Base, SpecOp::FlatMapDup { copies: 2, tag: "half".into() }),
+        OpSpec::new(
+            "parity",
+            Package::Base,
+            SpecOp::FilterIntMod { field: "id".into(), modulus: 2, keep: 0 },
+        ),
+        OpSpec::new(
+            "grow",
+            Package::Base,
+            SpecOp::MapGrow { suffix: " lorem ipsum dolor sit amet consectetur".into() },
+        ),
+        OpSpec::new("upper", Package::Base, SpecOp::MapUpper),
+        OpSpec::new(
+            "tally",
+            Package::Base,
+            SpecOp::Reduce {
+                key: KeySpec::IntMod { field: "id".into(), modulus: 17, prefix: "g".into() },
+                agg: AggSpec::Count { into: "id".into() },
+            },
+        ),
+    ];
+    let mut plan = LogicalPlan::new();
+    let mut prev = plan.source("docs");
+    for spec in specs {
+        prev = plan.add(prev, spec.build()).expect("shuffle plan");
+    }
+    plan.sink(prev, "out").expect("shuffle plan");
+    plan
+}
+
+fn shuffle_corpus(docs: usize) -> Vec<Record> {
+    (0..docs)
+        .map(|i| {
+            let mut r = Record::new();
+            r.set("id", i as i64);
+            r.set(
+                "text",
+                format!("document {i} with a body of web text long enough to cost something"),
+            );
+            r
+        })
+        .collect()
+}
+
+/// One timed run; returns wall seconds, the deterministic digest, and
+/// the (frames, wire bytes) that crossed shard channels.
+fn time_shuffle_run(
+    plan: &LogicalPlan,
+    records: &[Record],
+    sharding: Option<ShardConfig>,
+) -> (f64, u64, u64, u64) {
+    let config = ExecutionConfig { sharding, ..ExecutionConfig::local(4) };
+    let exec = Executor::new(config);
+    let mut inputs = HashMap::new();
+    inputs.insert("docs".to_string(), records.to_vec());
+    // lint:allow(wall_clock): the shuffle harness measures real scale-out wall time
+    let t = Instant::now();
+    let out = exec.run(plan, inputs).expect("shuffle flow");
+    let secs = t.elapsed().as_secs_f64();
+    std::hint::black_box(out.sinks.values().map(Vec::len).sum::<usize>());
+    (secs, out.deterministic_digest(), out.physical.shard_frames, out.physical.shard_wire_bytes)
+}
+
+/// Runs the sweep at the given shard counts.
+pub fn shuffle_at(docs: usize, shards: &[usize]) -> ShuffleReport {
+    let plan = shuffle_plan();
+    let records = shuffle_corpus(docs);
+    let worker_bin = worker_binary();
+
+    let mut result = ExperimentResult::new(
+        "Shuffle",
+        "Wall-clock records/sec by worker-shard count (interleaved best of 3)",
+        &["shards", "threads rec/s", "processes rec/s", "frames", "wire bytes", "digest"],
+    );
+
+    // Per shard count: the thread-worker config, plus the process-worker
+    // config when the binary is reachable.
+    let configs = |n: usize| -> Vec<(&'static str, ShardConfig)> {
+        let mut v = vec![("threads", ShardConfig::in_process(n))];
+        if let Some(bin) = &worker_bin {
+            v.push(("processes", ShardConfig::process(n, bin)));
+        }
+        v
+    };
+
+    // Warm-up plus the unsharded baseline digest.
+    let (_, baseline_digest, _, _) = time_shuffle_run(&plan, &records, None);
+    let mut best_base = f64::MAX;
+    let mut points = Vec::new();
+    for _ in 0..REPS {
+        let (secs, ..) = time_shuffle_run(&plan, &records, None);
+        best_base = best_base.min(secs);
+    }
+    points.push(ShufflePoint {
+        mode: "in-process",
+        shards: 0,
+        records: records.len(),
+        wall_secs: best_base,
+        records_per_sec: if best_base > 0.0 { records.len() as f64 / best_base } else { 0.0 },
+        digest: baseline_digest,
+        frames: 0,
+        wire_bytes: 0,
+    });
+
+    let mut digests_identical = true;
+    for &n in shards {
+        let mut row: Vec<String> = vec![n.to_string()];
+        let mut row_frames = 0u64;
+        let mut row_wire = 0u64;
+        let mut row_digest = baseline_digest;
+        for (mode, cfg) in configs(n) {
+            let mut best = f64::MAX;
+            let mut digest = 0u64;
+            let mut frames = 0u64;
+            let mut wire = 0u64;
+            for _ in 0..REPS {
+                let (secs, d, f, w) = time_shuffle_run(&plan, &records, Some(cfg.clone()));
+                best = best.min(secs);
+                (digest, frames, wire) = (d, f, w);
+            }
+            digests_identical &= digest == baseline_digest;
+            let rps = if best > 0.0 { records.len() as f64 / best } else { 0.0 };
+            row.push(format!("{rps:.0}"));
+            (row_frames, row_wire, row_digest) = (frames, wire, digest);
+            points.push(ShufflePoint {
+                mode,
+                shards: n,
+                records: records.len(),
+                wall_secs: best,
+                records_per_sec: rps,
+                digest,
+                frames,
+                wire_bytes: wire,
+            });
+        }
+        if worker_bin.is_none() {
+            row.push("(skipped)".to_string());
+        }
+        row.push(row_frames.to_string());
+        row.push(row_wire.to_string());
+        row.push(format!("{row_digest:016x}"));
+        result.row(&row);
+    }
+
+    result.note(format!(
+        "{docs} source records at DoP 4; sharding is physical only — every cell's \
+         deterministic digest {} the unsharded baseline's ({baseline_digest:016x}); \
+         worker binary: {}",
+        if digests_identical { "matches" } else { "DIVERGES FROM" },
+        match &worker_bin {
+            Some(p) => p.display().to_string(),
+            None => "not found, process-mode cells skipped".to_string(),
+        }
+    ));
+
+    ShuffleReport {
+        result,
+        points,
+        docs,
+        shards: shards.to_vec(),
+        digests_identical,
+        baseline_digest,
+        worker_bin,
+    }
+}
+
+/// Machine-readable report for `BENCH_SHUFFLE.json`. The host's logical
+/// core count and the measured shard grid are stamped in so a reader can
+/// tell whether a sweep measured real scale-out or single-core overhead.
+pub fn shuffle_json(report: &ShuffleReport) -> String {
+    let points = array(report.points.iter().map(|p| {
+        ObjectWriter::new()
+            .str("mode", p.mode)
+            .u64("shards", p.shards as u64)
+            .u64("records", p.records as u64)
+            .f64("wall_secs", p.wall_secs)
+            .f64("records_per_sec", p.records_per_sec)
+            .u64("digest", p.digest)
+            .u64("frames", p.frames)
+            .u64("wire_bytes", p.wire_bytes)
+            .finish()
+    }));
+    ObjectWriter::new()
+        .str("experiment", "shuffle")
+        .str("pipeline", "spec-built stamp/dup/parity/grow/upper/tally")
+        .u64("docs", report.docs as u64)
+        .u64("host_logical_cores", crate::report::host_logical_cores())
+        .raw("shards", &array(report.shards.iter().map(|s| s.to_string())))
+        .raw("process_workers_measured", if report.worker_bin.is_some() { "true" } else { "false" })
+        .raw("digests_identical", if report.digests_identical { "true" } else { "false" })
+        .u64("baseline_digest", report.baseline_digest)
+        .raw("points", &points)
+        .finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shuffle_smoke_produces_all_cells_and_identical_digests() {
+        let report = shuffle_at(24, &[1, 2]);
+        // baseline + per shard count: threads always, processes only
+        // when the worker binary is reachable from the test runner
+        let per_shard = if report.worker_bin.is_some() { 2 } else { 1 };
+        assert_eq!(report.points.len(), 1 + 2 * per_shard);
+        assert!(report.points.iter().all(|p| p.records_per_sec > 0.0));
+        assert!(report.digests_identical, "sharding must be digest-invariant");
+        let sharded_frames: u64 =
+            report.points.iter().filter(|p| p.shards > 0).map(|p| p.frames).sum();
+        assert!(sharded_frames > 0, "sharded cells crossed real channels");
+
+        let json = shuffle_json(&report);
+        assert!(json.contains("\"experiment\":\"shuffle\""));
+        assert!(json.contains("\"host_logical_cores\""));
+        assert!(json.contains("\"shards\":[1,2]"));
+        assert!(json.contains("\"digests_identical\":true"));
+        assert!(json.contains("\"mode\":\"threads\""));
+    }
+}

@@ -69,6 +69,11 @@ pub struct AnalyzeOptions {
     /// When set, run the admission pre-flight (WS002 escalates to error,
     /// WS007/WS008 fire) against this cluster at this DoP.
     pub admission: Option<(ClusterSpec, usize)>,
+    /// When set, the admission pre-flight models sharded execution: each
+    /// node hosts `ceil(shards / nodes)` worker *processes*, each with a
+    /// full per-worker memory footprint, instead of DoP threads sharing
+    /// one footprint (see [`crate::cluster::admit_sharded`]).
+    pub shards: Option<usize>,
     /// When set, WS011 fires for `store:` sinks naming a store outside
     /// this set. `None` (the default) only checks that store-sink names
     /// parse, since most callers execute plans without any store bound.
@@ -95,6 +100,7 @@ impl Default for AnalyzeOptions {
                 .map(|s| s.to_string())
                 .collect(),
             admission: None,
+            shards: None,
             known_stores: None,
             live: false,
             source_estimate: None,
@@ -107,6 +113,13 @@ impl AnalyzeOptions {
     /// Enables the admission pre-flight against `cluster` at `dop`.
     pub fn with_admission(mut self, cluster: ClusterSpec, dop: usize) -> AnalyzeOptions {
         self.admission = Some((cluster, dop));
+        self
+    }
+
+    /// Makes the admission pre-flight model `shards` worker processes
+    /// per plan instead of one multi-threaded process.
+    pub fn with_shards(mut self, shards: usize) -> AnalyzeOptions {
+        self.shards = Some(shards);
         self
     }
 
@@ -436,19 +449,30 @@ fn check_admission(plan: &LogicalPlan, opts: &AnalyzeOptions, out: &mut Vec<Diag
     }
 
     let memory_per_worker: u64 = plan.operators().map(|op| op.cost.memory_bytes).sum();
-    let workers_per_node = dop.div_ceil(cluster.nodes.len()).max(1);
+    let workers_per_node = workers_per_node(dop, opts.shards, cluster);
     let node_ram = cluster.nodes.iter().map(|n| n.ram_bytes).min().unwrap_or(0);
     if memory_per_worker.saturating_mul(workers_per_node as u64) > node_ram {
         let gb = |b: u64| b as f64 / (1u64 << 30) as f64;
+        let unit = if opts.shards.is_some() { "shards" } else { "workers" };
         out.push(Diagnostic::error(
             "WS007",
             format!(
-                "flow needs {:.1} GB per worker x {workers_per_node} workers/node but nodes \
+                "flow needs {:.1} GB per worker x {workers_per_node} {unit}/node but nodes \
                  have {:.1} GB; reduce operator footprints, lower DoP, or split the flow",
                 gb(memory_per_worker),
                 gb(node_ram)
             ),
         ));
+    }
+}
+
+/// Mirrors [`crate::cluster::admit_sharded`]'s placement arithmetic: with
+/// shards, each node hosts `ceil(shards / nodes)` full worker processes;
+/// without, DoP threads spread across nodes.
+fn workers_per_node(dop: usize, shards: Option<usize>, cluster: &ClusterSpec) -> usize {
+    match shards {
+        Some(s) => s.max(1).div_ceil(cluster.nodes.len()).max(1),
+        None => dop.div_ceil(cluster.nodes.len()).max(1),
     }
 }
 
@@ -661,15 +685,16 @@ fn check_fused_admission(plan: &LogicalPlan, opts: &AnalyzeOptions, out: &mut Ve
         .map(|s| stage_mem(&s.members))
         .max()
         .unwrap_or(0);
-    let workers_per_node = dop.div_ceil(cluster.nodes.len()).max(1);
+    let workers_per_node = workers_per_node(*dop, opts.shards, cluster);
     let node_ram = cluster.nodes.iter().map(|n| n.ram_bytes).min().unwrap_or(0);
     if peak.saturating_mul(workers_per_node as u64) > node_ram {
         let gb = |b: u64| b as f64 / (1u64 << 30) as f64;
+        let unit = if opts.shards.is_some() { "shards" } else { "workers" };
         out.push(Diagnostic::error(
             "WS014",
             format!(
                 "even with operator fusion and combining, the heaviest fused stage needs \
-                 {:.1} GB per worker x {workers_per_node} workers/node but nodes have {:.1} GB; \
+                 {:.1} GB per worker x {workers_per_node} {unit}/node but nodes have {:.1} GB; \
                  no stage-level schedule fits — reduce operator footprints, lower DoP, or \
                  split the flow",
                 gb(peak),

@@ -1,0 +1,16 @@
+//! Worker-shard entry point: speaks the shuffle frame protocol over
+//! stdio until the parent says BYE (or closes the pipe). Spawned per
+//! shard by the executor when `WorkerKind::Process` is configured, and
+//! by the differential tests to prove byte-identity across real
+//! process boundaries.
+
+use std::io::{stdin, stdout};
+
+fn main() {
+    let input = stdin().lock();
+    let output = stdout().lock();
+    if let Err(e) = websift_flow::shuffle::worker_serve(input, output) {
+        eprintln!("shard worker failed: {e}");
+        std::process::exit(1);
+    }
+}

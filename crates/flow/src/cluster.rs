@@ -184,6 +184,21 @@ pub struct Placement {
 /// operator footprints — the paper's "roughly 60 GB main memory per worker
 /// thread" arithmetic.
 pub fn admit(plan: &LogicalPlan, dop: usize, cluster: &ClusterSpec) -> Result<Placement, SchedulingError> {
+    admit_sharded(plan, dop, cluster, None)
+}
+
+/// [`admit`] for sharded execution: with `shards = Some(n)` the unit of
+/// placement is a worker *process*, not a thread — each shard co-hosts
+/// the whole operator chain, so a node running `ceil(shards / nodes)`
+/// shard processes needs that many full per-worker footprints resident
+/// at once. `None` reproduces the one-process thread model, where DoP
+/// threads share a single footprint per node slot.
+pub fn admit_sharded(
+    plan: &LogicalPlan,
+    dop: usize,
+    cluster: &ClusterSpec,
+    shards: Option<usize>,
+) -> Result<Placement, SchedulingError> {
     if dop == 0 {
         return Err(SchedulingError::ZeroDop);
     }
@@ -217,7 +232,10 @@ pub fn admit(plan: &LogicalPlan, dop: usize, cluster: &ClusterSpec) -> Result<Pl
     if memory_per_worker == 0 {
         return Err(SchedulingError::ZeroMemoryPlan { operators: plan.operator_count() });
     }
-    let workers_per_node = dop.div_ceil(cluster.nodes.len()).max(1);
+    let workers_per_node = match shards {
+        Some(s) => s.max(1).div_ceil(cluster.nodes.len()).max(1),
+        None => dop.div_ceil(cluster.nodes.len()).max(1),
+    };
     let node_ram = cluster.nodes.iter().map(|n| n.ram_bytes).min().unwrap_or(0);
     if memory_per_worker.saturating_mul(workers_per_node as u64) > node_ram {
         return Err(SchedulingError::InsufficientMemory {
@@ -289,6 +307,29 @@ mod tests {
         // 84 workers on 28 nodes: 3 workers/node -> 30 GB > 24 GB
         let err = admit(&plan, 84, &ClusterSpec::paper_cluster()).unwrap_err();
         assert!(matches!(err, SchedulingError::InsufficientMemory { .. }));
+    }
+
+    #[test]
+    fn sharding_multiplies_the_per_node_footprint() {
+        let plan = plan_with_memory(&[10]); // 10 GB/worker
+        let cluster = ClusterSpec::local(2, 24, 8);
+        // one process per node at DoP 2: 10 GB fits 24 GB
+        let p = admit(&plan, 2, &cluster).unwrap();
+        assert_eq!(p.workers_per_node, 1);
+        // same DoP, but 8 shard *processes*: 4/node x 10 GB > 24 GB
+        let err = admit_sharded(&plan, 2, &cluster, Some(8)).unwrap_err();
+        assert!(matches!(
+            err,
+            SchedulingError::InsufficientMemory { workers_per_node: 4, .. }
+        ));
+        // 4 shards spread 2/node: 20 GB still fits
+        let p = admit_sharded(&plan, 2, &cluster, Some(4)).unwrap();
+        assert_eq!(p.workers_per_node, 2);
+        // shards = None delegates to the thread model
+        assert_eq!(
+            admit_sharded(&plan, 2, &cluster, None).unwrap(),
+            admit(&plan, 2, &cluster).unwrap()
+        );
     }
 
     #[test]

@@ -31,13 +31,17 @@
 
 use crate::analyze::{analyze_plan, AnalyzeOptions};
 use crate::batch::{BatchArena, RecordBatch};
-use crate::cluster::{admit, ClusterSpec, SchedulingError};
+use crate::cluster::{admit_sharded, ClusterSpec, SchedulingError};
 use crate::logical::{parse_store_sink, LogicalPlan, NodeOp, STORE_SINK_PREFIX};
 use websift_analyze::{Diagnostic, Severity};
 use crate::operator::{AggState, Aggregate, Kind, OpFunc, Operator};
 use crate::optimizer::{fused_stage, FusedStage, StageDecision};
 use crate::record::Record;
 use crate::resilience::{FlowCheckpoint, FlowResilience};
+use crate::shuffle::{
+    run_reduce_sharded, run_stage_sharded, ChunkOut, OpSpec, ShardConfig, ShardPool,
+    ShardRunError, SpecOp, StageTask,
+};
 use serde::Serialize;
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -119,6 +123,15 @@ pub struct ExecutionConfig {
     /// is bit-identical across batch sizes (see the `batching`
     /// differential suite).
     pub batch_size: Option<usize>,
+    /// Sharded physical execution: run fused stages on N worker shards
+    /// (threads or real OS processes) over the frame protocol in
+    /// [`crate::shuffle`] instead of the in-process thread pool.
+    /// Physical only: chunk boundaries, per-record costs, and merge
+    /// order are identical, so every deterministic surface is
+    /// bit-identical across shard counts and worker kinds (see the
+    /// `shuffle` differential suite). Stages containing operators
+    /// without serializable specs silently fall back in-process.
+    pub sharding: Option<ShardConfig>,
 }
 
 /// Default physical worker cap: the machine's available parallelism.
@@ -146,6 +159,7 @@ impl ExecutionConfig {
             combining: true,
             max_workers: default_max_workers(),
             batch_size: None,
+            sharding: None,
         }
     }
 }
@@ -278,6 +292,19 @@ pub enum ExecutionError {
     /// must never silently fall on the floor, so [`Executor::run_into`]
     /// rejects the whole run instead of keeping the records in-memory.
     UnknownStore { sink: String, store: String },
+    /// A worker shard died mid-run (crash or injected kill) with
+    /// `respawn_lost` off. Carries every resilience checkpoint taken
+    /// before the loss so the caller can [`Executor::resume_from`] the
+    /// latest frame — at any shard count — and reproduce the
+    /// uninterrupted run bit for bit.
+    ShardLost {
+        shard: usize,
+        operator: String,
+        checkpoints: Vec<FlowCheckpoint>,
+    },
+    /// A shard channel desynchronized (unexpected frame kind, corrupt
+    /// payload, or a spawn failure).
+    ShardProtocol { shard: usize, detail: String },
 }
 
 impl std::fmt::Display for ExecutionError {
@@ -315,6 +342,14 @@ impl std::fmt::Display for ExecutionError {
                 f,
                 "sink '{sink}' targets store '{store}', which this run cannot reach"
             ),
+            ExecutionError::ShardLost { shard, operator, checkpoints } => write!(
+                f,
+                "worker shard {shard} lost during '{operator}'; {} checkpoint(s) survive for resume",
+                checkpoints.len()
+            ),
+            ExecutionError::ShardProtocol { shard, detail } => {
+                write!(f, "shard {shard} channel desynchronized: {detail}")
+            }
         }
     }
 }
@@ -333,6 +368,18 @@ pub struct PhysicalStats {
     /// partial-aggregate maps for a combined one. The combined-vs-
     /// uncombined reduction here is the combiner's bandwidth win.
     pub shuffle_bytes: u64,
+    /// Worker shards the run actually spawned (0 for in-process runs).
+    pub shards_used: u64,
+    /// Frames carried over shard channels, both directions.
+    pub shard_frames: u64,
+    /// Frame payload bytes carried over shard channels.
+    pub shard_wire_bytes: u64,
+    /// Worker shards respawned after a loss (`respawn_lost`).
+    pub shard_respawns: u64,
+    /// Sorted disk runs written by over-memory Reduce group tables.
+    pub spill_runs: u64,
+    /// Bytes written to spill run files.
+    pub spill_bytes: u64,
 }
 
 /// A destination for `store:`-prefixed sinks: anything that can accept a
@@ -555,10 +602,14 @@ impl Executor {
                 versions: vec![],
             })
         })?;
+        let shards = self.config.sharding.as_ref().map(|s| s.shards);
         if self.config.analyze {
             let mut opts = AnalyzeOptions::default();
             if self.config.admission {
                 opts = opts.with_admission(self.config.cluster.clone(), self.config.dop);
+                if let Some(n) = shards {
+                    opts = opts.with_shards(n);
+                }
             }
             let errors: Vec<Diagnostic> = analyze_plan(plan, &opts)
                 .into_iter()
@@ -569,7 +620,7 @@ impl Executor {
             }
         }
         if self.config.admission {
-            admit(plan, self.config.dop, &self.config.cluster)
+            admit_sharded(plan, self.config.dop, &self.config.cluster, shards)
                 .map_err(ExecutionError::Scheduling)?;
         }
         let state = ExecState::fresh(plan, self.config.cluster.nodes.len());
@@ -630,6 +681,10 @@ impl Executor {
         let mut checkpoints = Vec::new();
         let mut physical = PhysicalStats::default();
         let mut stages_run: Vec<StageDecision> = Vec::new();
+        // The worker-shard pool, created lazily on the first sharded
+        // stage and kept for the whole run (workers persist across
+        // stages; kill counting is cumulative per channel).
+        let mut pool: Option<ShardPool> = None;
 
         while state.next_node < plan.len() {
             if let Some(stop) = res.stop_after_nodes {
@@ -769,6 +824,7 @@ impl Executor {
                         obs,
                         &mut checkpoints,
                         &mut physical,
+                        &mut pool,
                     )?;
                     state.next_node += stage.len - 1;
                 }
@@ -853,6 +909,91 @@ impl Executor {
     /// byte-identically from tapped intermediate streams. Stage shape
     /// therefore never changes a deterministic number.
     #[allow(clippy::too_many_lines, clippy::too_many_arguments)]
+    /// The in-process physical pass for one fused stage: chunks run on
+    /// a local thread pool, each through the same
+    /// [`crate::shuffle::StageKernel`] worker shards run, and results
+    /// come back in chunk order. `Err((stage, chunk))` reports a genuine
+    /// UDF panic.
+    #[allow(clippy::too_many_arguments)]
+    fn run_stage_local(
+        &self,
+        stage_ops: &[&Operator],
+        combiner: &Option<(crate::operator::KeyFn, Aggregate)>,
+        do_fold: bool,
+        reduce_cost: crate::operator::CostModel,
+        tapped_stages: &[usize],
+        chain_len: usize,
+        chunks: Vec<Vec<Record>>,
+        batch_size: usize,
+        dop_eff: usize,
+    ) -> Result<Vec<ChunkOut>, (usize, usize)> {
+        let n_chunks = chunks.len();
+        let pending: Vec<Vec<RecordBatch>> = chunks
+            .into_iter()
+            .map(|c| RecordBatch::split(c, batch_size))
+            .collect();
+        let kernel = crate::shuffle::StageKernel {
+            ops: stage_ops,
+            fold: combiner
+                .as_ref()
+                .filter(|_| do_fold)
+                .map(|(key, agg)| (key, agg, reduce_cost)),
+            tapped: tapped_stages,
+            work_scale: self.config.work_scale,
+            chain_len,
+        };
+        let slots: Vec<parking_lot::Mutex<Option<Vec<RecordBatch>>>> =
+            pending.into_iter().map(|c| parking_lot::Mutex::new(Some(c))).collect();
+        let results: Vec<parking_lot::Mutex<Option<ChunkOut>>> =
+            (0..n_chunks).map(|_| parking_lot::Mutex::new(None)).collect();
+        let queue: parking_lot::Mutex<Vec<usize>> =
+            parking_lot::Mutex::new((0..n_chunks).rev().collect());
+        // (stage, chunk) of a genuine UDF panic — injected panics are
+        // accounted analytically in the replay and never fire here
+        let fatal: parking_lot::Mutex<Option<(usize, usize)>> = parking_lot::Mutex::new(None);
+        let worker_count = dop_eff.min(n_chunks).min(self.config.max_workers).max(1);
+        std::thread::scope(|scope| {
+            for _ in 0..worker_count {
+                scope.spawn(|| {
+                    // Worker-persistent arena: per-batch scratch is
+                    // reclaimed (capacity kept) between batches, and
+                    // the combiner's wire encode reuses its byte
+                    // buffer across chunks.
+                    let mut arena = BatchArena::new();
+                    loop {
+                        if fatal.lock().is_some() {
+                            break;
+                        }
+                        let Some(i) = queue.lock().pop() else { break };
+                        let batches =
+                            slots[i].lock().take().expect("each chunk is taken once");
+                        let stage_at = std::cell::Cell::new(0usize);
+                        let arena = &mut arena;
+                        let outcome = catch_unwind(AssertUnwindSafe(|| {
+                            kernel.run_chunk(batches, arena, &stage_at)
+                        }));
+                        match outcome {
+                            Ok(r) => *results[i].lock() = Some(r),
+                            Err(_) => *fatal.lock() = Some((stage_at.get(), i)),
+                        }
+                    }
+                });
+            }
+        });
+        if let Some(hit) = fatal.into_inner() {
+            // A genuine (non-injected) UDF panic is a deterministic
+            // programming bug: every retry would fail identically, so
+            // the exhausted budget is reported directly. The flow aborts
+            // and nothing from this chain is committed.
+            return Err(hit);
+        }
+        Ok(results
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("every chunk completed"))
+            .collect())
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn run_chain(
         &self,
         plan: &LogicalPlan,
@@ -864,6 +1005,7 @@ impl Executor {
         obs: &Observer,
         checkpoints: &mut Vec<FlowCheckpoint>,
         physical: &mut PhysicalStats,
+        pool: &mut Option<ShardPool>,
     ) -> Result<(), ExecutionError> {
         let len = stage.len;
         let ops: Vec<&Operator> = (first..first + len)
@@ -899,6 +1041,26 @@ impl Executor {
                     && (every.is_some_and(|e| (first + s + 1).is_multiple_of(e)) || teed(s))
             })
             .collect();
+
+        // Maps a sharded-runtime failure onto the executor's error
+        // vocabulary. A worker-reported panic is the same deterministic
+        // bug the in-process path reports; a lost shard carries every
+        // checkpoint taken so far so the caller can resume.
+        let shard_err = |e: ShardRunError, checkpoints: &[FlowCheckpoint]| match e {
+            ShardRunError::Panicked { stage, chunk } => ExecutionError::OperatorPanicked {
+                operator: ops[stage.min(len - 1)].name.clone(),
+                partition: chunk,
+                attempts: res.partition_retries + 1,
+            },
+            ShardRunError::Lost { shard } => ExecutionError::ShardLost {
+                shard,
+                operator: ops[0].name.clone(),
+                checkpoints: checkpoints.to_vec(),
+            },
+            ShardRunError::Protocol { shard, detail } => {
+                ExecutionError::ShardProtocol { shard, detail }
+            }
+        };
 
         // Phase 1 — schedule: node losses and effective DoP per
         // constituent are pure functions of the fault plan and node ids,
@@ -944,14 +1106,9 @@ impl Executor {
         // Per-stage observations from the physical pass, merged across
         // chunks in chunk order (pipeline stages preserve record order,
         // so concatenated per-chunk tallies reproduce the record order an
-        // unfused run would have seen).
-        #[derive(Default)]
-        struct StageStats {
-            costs: Vec<f64>,
-            records_in: u64,
-            bytes_in: u64,
-            wall_ms: f64,
-        }
+        // unfused run would have seen). Shared with the sharded runtime:
+        // worker shards ship these back through the frame codec.
+        use crate::shuffle::ChunkStats as StageStats;
         let mut stats: Vec<StageStats> = (0..physical_stages).map(|_| StageStats::default()).collect();
         let mut output: Vec<Record> = Vec::new();
         let mut final_bytes_out: u64 = 0;
@@ -977,21 +1134,87 @@ impl Executor {
             let st = &mut stats[0];
             let n = input.len();
             st.records_in = n as u64;
-            let mut shuf = Writer::new();
-            for r in input {
-                st.bytes_in += r.approx_bytes();
-                r.encode(&mut shuf);
-            }
-            let wire = shuf.into_bytes();
-            physical.shuffle_bytes += wire.len() as u64;
-            let mut rd = Reader::new(&wire);
-            let mut groups: HashMap<String, Vec<Record>> = HashMap::new();
-            for _ in 0..n {
-                let r = Record::decode(&mut rd).expect("shuffled records round-trip");
-                groups.entry(key(&r)).or_default().push(r);
-            }
-            let mut grouped: Vec<(String, Vec<Record>)> = groups.into_iter().collect();
-            grouped.sort_by(|a, b| a.0.cmp(&b.0));
+            // The shard pool performs this shuffle for real when
+            // sharding is on and the Reduce carries a serializable key
+            // spec: contiguous per-shard input slices stream to worker
+            // group tables (spilling over-memory groups to sorted disk
+            // runs) and come back as key-sorted, arrival-ordered groups.
+            // Concatenating shard outputs in shard order rebuilds the
+            // exact grouping of the serial path below, so the shared
+            // cost/apply tail is bit-identical either way.
+            let shard_key = match (&self.config.sharding, ops[0].spec()) {
+                (Some(_), Some(spec)) => match &spec.op {
+                    SpecOp::Reduce { key: k, .. } => Some(k.clone()),
+                    _ => None,
+                },
+                _ => None,
+            };
+            let grouped: Vec<(String, Vec<Record>)> = if let Some(kspec) = shard_key {
+                for r in &input {
+                    st.bytes_in += r.approx_bytes();
+                }
+                let cfg = self.config.sharding.clone().expect("sharded branch");
+                let pool = pool.get_or_insert_with(|| ShardPool::new(cfg));
+                let n_shards = pool.shards();
+                let slice_len = n.div_ceil(n_shards).max(1);
+                let chunk_size = n.div_ceil(scheds[0].dop_eff).max(1);
+                let mut slices: Vec<Vec<Vec<Record>>> = Vec::with_capacity(n_shards);
+                let mut rest = input;
+                while !rest.is_empty() {
+                    let tail = if rest.len() > slice_len {
+                        rest.split_off(slice_len)
+                    } else {
+                        Vec::new()
+                    };
+                    let mut subs: Vec<Vec<Record>> = Vec::new();
+                    let mut cur = rest;
+                    while cur.len() > chunk_size {
+                        let t = cur.split_off(chunk_size);
+                        subs.push(cur);
+                        cur = t;
+                    }
+                    if !cur.is_empty() {
+                        subs.push(cur);
+                    }
+                    slices.push(subs);
+                    rest = tail;
+                }
+                while slices.len() < n_shards {
+                    slices.push(Vec::new());
+                }
+                let shard_outs = run_reduce_sharded(pool, &kspec, slices)
+                    .map_err(|e| shard_err(e, checkpoints))?;
+                let mut merged: BTreeMap<String, Vec<Record>> = BTreeMap::new();
+                for so in shard_outs {
+                    physical.spill_runs += so.spill_runs;
+                    physical.spill_bytes += so.spill_bytes;
+                    for (k, rs) in so.groups {
+                        merged.entry(k).or_default().extend(rs);
+                    }
+                }
+                physical.shards_used = pool.shards() as u64;
+                physical.shard_frames = pool.frames_total();
+                physical.shard_wire_bytes = pool.wire_bytes_total();
+                physical.shard_respawns = pool.respawns;
+                merged.into_iter().collect()
+            } else {
+                let mut shuf = Writer::new();
+                for r in input {
+                    st.bytes_in += r.approx_bytes();
+                    r.encode(&mut shuf);
+                }
+                let wire = shuf.into_bytes();
+                physical.shuffle_bytes += wire.len() as u64;
+                let mut rd = Reader::new(&wire);
+                let mut groups: HashMap<String, Vec<Record>> = HashMap::new();
+                for _ in 0..n {
+                    let r = Record::decode(&mut rd).expect("shuffled records round-trip");
+                    groups.entry(key(&r)).or_default().push(r);
+                }
+                let mut grouped: Vec<(String, Vec<Record>)> = groups.into_iter().collect();
+                grouped.sort_by(|a, b| a.0.cmp(&b.0));
+                grouped
+            };
             let mut work_secs = 0.0f64;
             for (k, rs) in grouped {
                 for r in &rs {
@@ -1019,48 +1242,17 @@ impl Executor {
                 .batch_size
                 .unwrap_or(crate::batch::DEFAULT_BATCH_SIZE)
                 .max(1);
-            let mut pending: Vec<Vec<RecordBatch>> =
+            let mut chunks: Vec<Vec<Record>> =
                 Vec::with_capacity(input.len() / chunk_size + 1);
             let mut rest = input;
             while rest.len() > chunk_size {
                 let tail = rest.split_off(chunk_size);
-                pending.push(RecordBatch::split(rest, batch_size));
+                chunks.push(rest);
                 rest = tail;
             }
             if !rest.is_empty() {
-                pending.push(RecordBatch::split(rest, batch_size));
+                chunks.push(rest);
             }
-            let n_chunks = pending.len();
-            // Sorted (key, partial state, per-key record costs) triples
-            // plus the chunk's emulated shuffle bytes.
-            type ChunkPartials = (Vec<(String, AggState, Vec<f64>)>, u64);
-            struct ChunkResult {
-                stages: Vec<StageStats>,
-                out: Vec<Record>,
-                bytes_out: u64,
-                /// Sorted-key partial aggregates (shipped through the
-                /// codec) plus this chunk's shuffle bytes, when the stage
-                /// ends in a combined Reduce. Per-key record costs ride
-                /// along (simulation metadata, not shuffled payload).
-                partial: Option<ChunkPartials>,
-                /// Clones of the record stream at each tapped interior
-                /// boundary, aligned with `tapped_stages`.
-                taps: Vec<Vec<Record>>,
-            }
-            let slots: Vec<parking_lot::Mutex<Option<Vec<RecordBatch>>>> =
-                pending.into_iter().map(|c| parking_lot::Mutex::new(Some(c))).collect();
-            let results: Vec<parking_lot::Mutex<Option<ChunkResult>>> =
-                (0..n_chunks).map(|_| parking_lot::Mutex::new(None)).collect();
-            let queue: parking_lot::Mutex<Vec<usize>> =
-                parking_lot::Mutex::new((0..n_chunks).rev().collect());
-            // (stage, chunk) of a genuine UDF panic — injected panics are
-            // accounted analytically in the replay and never fire here
-            let fatal: parking_lot::Mutex<Option<(usize, usize)>> = parking_lot::Mutex::new(None);
-            let worker_count = scheds[0]
-                .dop_eff
-                .min(n_chunks)
-                .min(self.config.max_workers)
-                .max(1);
             // Pipeline constituents run per chunk; a combined Reduce is
             // folded after them (only when every constituent survives the
             // schedule — a dead constituent means the replay errors out
@@ -1070,181 +1262,69 @@ impl Executor {
             let do_fold = combiner.is_some() && physical_stages == len;
             let reduce_cost = ops[len - 1].cost;
 
-            std::thread::scope(|scope| {
-                for _ in 0..worker_count {
-                    scope.spawn(|| {
-                        // Worker-persistent arena: per-batch scratch is
-                        // reclaimed (capacity kept) between batches, and
-                        // the combiner's wire encode reuses its byte
-                        // buffer across chunks.
-                        let mut arena = BatchArena::new();
-                        loop {
-                            if fatal.lock().is_some() {
-                                break;
-                            }
-                            let Some(i) = queue.lock().pop() else { break };
-                            let batches =
-                                slots[i].lock().take().expect("each chunk is taken once");
-                            let stage_at = std::cell::Cell::new(0usize);
-                            let arena = &mut arena;
-                            let outcome = catch_unwind(AssertUnwindSafe(|| {
-                                let mut stages: Vec<StageStats> = (0..stage_ops.len())
-                                    .map(|_| StageStats::default())
-                                    .collect();
-                                let mut taps: Vec<Vec<Record>> =
-                                    vec![Vec::new(); tapped_stages.len()];
-                                let mut done: Vec<Record> = Vec::new();
-                                // lint:hot_loop(begin): fused-stage worker batch loop
-                                for batch in batches {
-                                    let mut cur = batch.records;
-                                    for (s, op) in stage_ops.iter().enumerate() {
-                                        stage_at.set(s);
-                                        // lint:allow(wall_clock): per-op wall_ms is runtime-only diagnostics
-                                        let t0 = Instant::now();
-                                        let tally = &mut stages[s];
-                                        let mut next = Vec::with_capacity(cur.len());
-                                        let charge = |tally: &mut StageStats, r: &Record| {
-                                            tally.bytes_in += r.approx_bytes();
-                                            tally.costs.push(
-                                                self.config.work_scale
-                                                    * op.cost.record_cost_secs(
-                                                        r.text().map(str::len).unwrap_or(64),
-                                                    ),
-                                            );
-                                        };
-                                        // One dispatch per batch per stage:
-                                        // the closure-variant match is
-                                        // hoisted out of the record loop.
-                                        match op.func() {
-                                            OpFunc::Map(f) => {
-                                                for r in cur {
-                                                    charge(tally, &r);
-                                                    next.push(f(r));
-                                                }
-                                            }
-                                            OpFunc::FlatMap(f) => {
-                                                for r in cur {
-                                                    charge(tally, &r);
-                                                    next.extend(f(r));
-                                                }
-                                            }
-                                            OpFunc::Filter(f) => {
-                                                for r in cur {
-                                                    charge(tally, &r);
-                                                    if f(&r) {
-                                                        next.push(r);
-                                                    }
-                                                }
-                                            }
-                                            OpFunc::Reduce { .. } => {
-                                                unreachable!("reduce is never part of a chain")
-                                            }
-                                        }
-                                        tally.wall_ms +=
-                                            t0.elapsed().as_secs_f64() * 1000.0;
-                                        cur = next;
-                                        if let Some(t) =
-                                            tapped_stages.iter().position(|&ts| ts == s)
-                                        {
-                                            taps[t].extend(cur.iter().cloned());
-                                        }
-                                    }
-                                    done.extend(cur);
-                                    arena.reset();
-                                }
-                                // lint:hot_loop(end)
-                                for tally in &mut stages {
-                                    tally.records_in = tally.costs.len() as u64;
-                                }
-                                let mut cur = done;
-                                let partial = if do_fold {
-                                    let (key, agg) =
-                                        combiner.as_ref().expect("fold implies a combiner");
-                                    stage_at.set(len - 1);
-                                    // lint:allow(wall_clock): per-op wall_ms is runtime-only diagnostics
-                                    let t0 = Instant::now();
-                                    let mut tally = StageStats::default();
-                                    let mut map: HashMap<String, (AggState, Vec<f64>)> =
-                                        HashMap::new();
-                                    for r in cur {
-                                        tally.records_in += 1;
-                                        tally.bytes_in += r.approx_bytes();
-                                        let cost = self.config.work_scale
-                                            * reduce_cost.record_cost_secs(
-                                                r.text().map(str::len).unwrap_or(64),
-                                            );
-                                        let e = map
-                                            .entry(key(&r))
-                                            .or_insert_with(|| (agg.seed(), Vec::new()));
-                                        agg.fold(&mut e.0, &r);
-                                        e.1.push(cost);
-                                    }
-                                    cur = Vec::new();
-                                    // The combiner's shuffle: only the
-                                    // sorted-key partial map crosses the
-                                    // boundary through the codec, not the
-                                    // record stream. The encode borrows
-                                    // the arena's recycled byte buffer.
-                                    let mut sorted: Vec<(String, (AggState, Vec<f64>))> =
-                                        map.into_iter().collect();
-                                    sorted.sort_by(|a, b| a.0.cmp(&b.0));
-                                    let mut w = Writer::from_vec(arena.take_scratch());
-                                    w.usize(sorted.len());
-                                    for (k, (st, _)) in &sorted {
-                                        w.str(k);
-                                        st.encode(&mut w);
-                                    }
-                                    let wire = w.into_bytes();
-                                    let shuffled = wire.len() as u64;
-                                    let mut rd = Reader::new(&wire);
-                                    let _n = rd.usize().expect("partial map round-trips");
-                                    let entries: Vec<(String, AggState, Vec<f64>)> = sorted
-                                        .into_iter()
-                                        .map(|(k, (_, costs))| {
-                                            let _k =
-                                                rd.str().expect("partial map round-trips");
-                                            let st = AggState::decode(&mut rd)
-                                                .expect("partial map round-trips");
-                                            (k, st, costs)
-                                        })
-                                        .collect();
-                                    arena.put_scratch(wire);
-                                    tally.wall_ms = t0.elapsed().as_secs_f64() * 1000.0;
-                                    stages.push(tally);
-                                    Some((entries, shuffled))
-                                } else {
-                                    None
-                                };
-                                let bytes_out = cur.iter().map(Record::approx_bytes).sum();
-                                ChunkResult { stages, out: cur, bytes_out, partial, taps }
-                            }));
-                            match outcome {
-                                Ok(r) => *results[i].lock() = Some(r),
-                                Err(_) => *fatal.lock() = Some((stage_at.get(), i)),
-                            }
+            // Sharded placement: when every constituent (and the folded
+            // Reduce, if any) carries a serializable spec, the chunks run
+            // on worker shards over the frame protocol instead of local
+            // threads. Chunk boundaries and merge order are identical, so
+            // this choice is invisible to every deterministic surface.
+            let sharded_task = match &self.config.sharding {
+                Some(_) => {
+                    let fold_spec: Option<OpSpec> =
+                        if do_fold { ops[len - 1].spec().cloned() } else { None };
+                    let chain_specs: Option<Vec<OpSpec>> =
+                        stage_ops.iter().map(|op| op.spec().cloned()).collect();
+                    match chain_specs {
+                        Some(specs) if !do_fold || fold_spec.is_some() => {
+                            Some(StageTask::Pipeline {
+                                ops: specs,
+                                fold: fold_spec,
+                                tapped: tapped_stages.clone(),
+                                work_scale: self.config.work_scale,
+                                batch_size,
+                                chain_len: len,
+                            })
                         }
-                    });
+                        _ => None,
+                    }
                 }
-            });
+                None => None,
+            };
 
-            if let Some((stage, chunk)) = fatal.into_inner() {
-                // A genuine (non-injected) UDF panic is a deterministic
-                // programming bug: every retry would fail identically, so
-                // the exhausted budget is reported directly. The flow
-                // aborts and nothing from this chain is committed.
-                return Err(ExecutionError::OperatorPanicked {
+            let chunk_outs: Vec<ChunkOut> = if let Some(task) = sharded_task {
+                let cfg = self.config.sharding.clone().expect("sharded task implies config");
+                let pool = pool.get_or_insert_with(|| ShardPool::new(cfg));
+                let outs = run_stage_sharded(pool, &task, chunks)
+                    .map_err(|e| shard_err(e, checkpoints))?;
+                physical.shards_used = pool.shards() as u64;
+                physical.shard_frames = pool.frames_total();
+                physical.shard_wire_bytes = pool.wire_bytes_total();
+                physical.shard_respawns = pool.respawns;
+                outs
+            } else {
+                self.run_stage_local(
+                    stage_ops,
+                    &combiner,
+                    do_fold,
+                    reduce_cost,
+                    &tapped_stages,
+                    len,
+                    chunks,
+                    batch_size,
+                    scheds[0].dop_eff,
+                )
+                .map_err(|(stage, chunk)| ExecutionError::OperatorPanicked {
                     operator: ops[stage].name.clone(),
                     partition: chunk,
                     attempts: res.partition_retries + 1,
-                });
-            }
+                })?
+            };
+
             // Merge chunk results in chunk order: pipeline stages
             // preserve record order, so concatenation reproduces the
             // record order an unfused run would have seen — including the
             // per-key cost lists the reduce-work replay depends on.
             let mut merged: BTreeMap<String, (AggState, Vec<f64>)> = BTreeMap::new();
-            for slot in results {
-                let r = slot.into_inner().expect("every chunk completed");
+            for r in chunk_outs {
                 for (s, t) in r.stages.into_iter().enumerate() {
                     stats[s].records_in += t.records_in;
                     stats[s].bytes_in += t.bytes_in;

@@ -28,7 +28,12 @@
 //!   per-edge schema inference, selectivity-based cost envelopes, and the
 //!   static fusion/combining "explain" report;
 //! - [`resilience`] — fault-injection options, operator-granular
-//!   checkpoints, and the machinery behind [`Executor::resume_from`].
+//!   checkpoints, and the machinery behind [`Executor::resume_from`];
+//! - [`transport`] / [`shuffle`] — the sharded physical runtime: worker
+//!   shards (threads or real OS processes) exchanging length-prefixed
+//!   record/partial-aggregate frames over pipes and unix sockets, with
+//!   credit-window backpressure and spill-to-disk grouping, while every
+//!   deterministic surface stays byte-identical to in-process runs.
 
 pub mod analyze;
 pub mod batch;
@@ -43,10 +48,12 @@ pub mod optimizer;
 pub mod packages;
 pub mod record;
 pub mod resilience;
+pub mod shuffle;
+pub mod transport;
 
 pub use analyze::{analyze_plan, analyze_script, AnalyzeOptions};
 pub use batch::{ArenaStr, BatchArena, RecordBatch, DEFAULT_BATCH_SIZE};
-pub use cluster::{admit, ClusterSpec, NodeSpec, Placement, SchedulingError};
+pub use cluster::{admit, admit_sharded, ClusterSpec, NodeSpec, Placement, SchedulingError};
 pub use dfs::{Dfs, DfsConfig, DfsError, DfsStats};
 pub use executor::{
     ExecutionConfig, ExecutionError, Executor, FlowMetrics, FlowOutput, OpMetrics, PhysicalStats,
@@ -62,3 +69,7 @@ pub use fieldflow::{canonical_stages, explain_plan, field_flow, EdgeState, Field
 pub use optimizer::{fused_stage, optimize, plan_stages, FusedStage, Rewrite, StageDecision};
 pub use packages::{IeConfig, IeResources, OperatorRegistry};
 pub use record::{span_annotation, FieldMap, Record, Value};
+pub use shuffle::{
+    AggSpec, KeySpec, KillSpec, OpSpec, ShardConfig, SpecOp, StageKernel, WorkerKind,
+};
+pub use transport::{CreditWindow, FrameChannel, TransportError};

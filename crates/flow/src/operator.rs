@@ -514,6 +514,12 @@ pub struct Operator {
     pub cost: CostModel,
     /// External library dependency `(name, major version)`.
     pub library: Option<(String, u32)>,
+    /// The serializable recipe this operator was built from, when it
+    /// came from the [`crate::shuffle::OpSpec`] algebra. Stages whose
+    /// operators all carry specs can run on worker shards in separate
+    /// processes; closure-built operators (`spec == None`) pin their
+    /// stage to the in-process path.
+    pub spec: Option<crate::shuffle::OpSpec>,
     func: OpFunc,
 }
 
@@ -547,6 +553,7 @@ impl Operator {
             selectivity: None,
             cost: CostModel::default(),
             library: None,
+            spec: None,
             func: OpFunc::Map(Arc::new(f)),
         }
     }
@@ -686,6 +693,17 @@ impl Operator {
     pub fn with_library(mut self, name: &str, major: u32) -> Operator {
         self.library = Some((name.to_string(), major));
         self
+    }
+
+    /// Attaches the serializable recipe this operator was built from
+    /// (set by [`crate::shuffle::OpSpec::build`]).
+    pub fn with_spec(mut self, spec: crate::shuffle::OpSpec) -> Operator {
+        self.spec = Some(spec);
+        self
+    }
+
+    pub fn spec(&self) -> Option<&crate::shuffle::OpSpec> {
+        self.spec.as_ref()
     }
 
     pub fn func(&self) -> &OpFunc {

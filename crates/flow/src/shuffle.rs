@@ -1,0 +1,2161 @@
+//! Sharded physical execution: N worker shards — separate OS processes,
+//! or isolated in-process runtimes behind the same frame protocol —
+//! exchanging length-prefixed record and partial-aggregate frames over
+//! real channels (pipes / unix socket pairs), with bounded per-edge
+//! backpressure and spill-to-disk for over-memory Reduce groups.
+//!
+//! # The byte-identity contract
+//!
+//! Sharding is *physical only*, like fusion, combining, and batching
+//! before it: every deterministic surface (sink bytes, metrics codec
+//! bytes, simulated seconds, digests, tracer JSONL, registry snapshots,
+//! checkpoint frames, store snapshots) is bit-identical to in-process
+//! execution. The trick is the same one the executor already plays —
+//! the physical dataflow and the simulated accounting are decoupled:
+//!
+//! - chunk boundaries are computed by the parent exactly as the
+//!   in-process pass computes them, and results merge in chunk order;
+//! - every worker runs the *same* per-chunk [`StageKernel`] the
+//!   in-process thread pool runs, so per-record f64 costs, partial
+//!   aggregate states, and tapped streams are computed by shared code;
+//! - costs and aggregate states cross the process boundary through the
+//!   deterministic [`Snapshot`] codec (f64s travel as IEEE-754 bits);
+//! - the analytic replay in `run_chain` charges the simulated cost
+//!   model from the merged observations, exactly as before.
+//!
+//! Operators reach worker processes as [`OpSpec`]s — a closed algebra
+//! of operator recipes — because closures cannot cross `fork`/`exec`.
+//! Stages containing spec-less operators silently fall back to the
+//! in-process pass; nothing observable changes either way.
+//!
+//! # Worker loss
+//!
+//! The parent counts frames per shard; a configured [`KillSpec`] (or a
+//! real crash) surfaces as [`ShardRunError::Lost`], which the executor
+//! converts to `ExecutionError::ShardLost` carrying every resilience
+//! checkpoint taken so far — so callers resume from the last frame,
+//! optionally at a different shard count, and reproduce the
+//! uninterrupted run bit for bit. With `respawn_lost` the pool instead
+//! respawns a fresh worker and re-runs the chunks that never reported
+//! results.
+
+use crate::batch::{BatchArena, RecordBatch};
+use crate::operator::{AggState, Aggregate, CostModel, KeyFn, OpFunc, Operator, Package};
+use crate::record::{Record, Value};
+use crate::transport::{
+    FrameChannel, TransportError, K_ACK, K_BYE, K_DATA, K_DONE, K_EOF_DATA, K_ERR, K_GROUPS,
+    K_RESULT, K_STAGE,
+};
+use std::cell::Cell;
+// lint:allow(hash_iteration): index maps only; every iteration order below comes from side vectors or sorts
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::os::unix::net::UnixStream;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+// lint:allow(wall_clock): see the StageKernel wall_ms notes — runtime-only diagnostics
+use std::time::Instant;
+use websift_resilience::frame::{read_frame, write_frame};
+use websift_resilience::{CodecError, Reader, Snapshot, Writer};
+
+// ---------------------------------------------------------------------------
+// Spec algebra: operators that can cross a process boundary
+// ---------------------------------------------------------------------------
+
+/// A grouping key recipe for spec-built Reduces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KeySpec {
+    /// The string form of `field`'s value (`Str` as-is, `Int` printed,
+    /// anything else the empty key).
+    Field(String),
+    /// `"{prefix}{value(field) mod modulus}"` over the Euclidean
+    /// remainder, the workhorse of the differential test vocabulary.
+    IntMod { field: String, modulus: i64, prefix: String },
+}
+
+impl KeySpec {
+    /// The field this key reads (for operator annotations).
+    pub fn field(&self) -> &str {
+        match self {
+            KeySpec::Field(f) => f,
+            KeySpec::IntMod { field, .. } => field,
+        }
+    }
+
+    /// Materializes the key closure. Workers and parents built from the
+    /// same spec get the same function, which is what keeps sharded
+    /// grouping identical to in-process grouping.
+    pub fn key_fn(&self) -> KeyFn {
+        match self.clone() {
+            KeySpec::Field(field) => Arc::new(move |r: &Record| match r.get(&field) {
+                Some(v) => v
+                    .as_str()
+                    .map(str::to_string)
+                    .or_else(|| v.as_int().map(|i| i.to_string()))
+                    .unwrap_or_default(),
+                None => String::new(),
+            }),
+            KeySpec::IntMod { field, modulus, prefix } => {
+                let m = modulus.max(1);
+                Arc::new(move |r: &Record| {
+                    let v = r.get(&field).and_then(Value::as_int).unwrap_or(0);
+                    format!("{prefix}{}", v.rem_euclid(m))
+                })
+            }
+        }
+    }
+}
+
+impl Snapshot for KeySpec {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            KeySpec::Field(f) => {
+                w.u8(0);
+                w.str(f);
+            }
+            KeySpec::IntMod { field, modulus, prefix } => {
+                w.u8(1);
+                w.str(field);
+                w.i64(*modulus);
+                w.str(prefix);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<KeySpec, CodecError> {
+        match r.u8()? {
+            0 => Ok(KeySpec::Field(r.str()?)),
+            1 => Ok(KeySpec::IntMod { field: r.str()?, modulus: r.i64()?, prefix: r.str()? }),
+            tag => Err(CodecError::BadTag { what: "key spec", tag }),
+        }
+    }
+}
+
+/// A combinable aggregate recipe, mirroring the built-in
+/// [`Aggregate`] variants (`Custom` closures cannot cross processes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AggSpec {
+    Count { into: String },
+    Sum { field: String, into: String },
+    Min { field: String, into: String },
+    Max { field: String, into: String },
+    Concat { field: String, sep: String, into: String },
+    TopK { field: String, k: usize, into: String },
+}
+
+impl AggSpec {
+    pub fn to_aggregate(&self) -> Aggregate {
+        match self.clone() {
+            AggSpec::Count { into } => Aggregate::Count { into },
+            AggSpec::Sum { field, into } => Aggregate::Sum { field, into },
+            AggSpec::Min { field, into } => Aggregate::Min { field, into },
+            AggSpec::Max { field, into } => Aggregate::Max { field, into },
+            AggSpec::Concat { field, sep, into } => Aggregate::Concat { field, sep, into },
+            AggSpec::TopK { field, k, into } => Aggregate::TopK { field, k, into },
+        }
+    }
+
+    fn field_read(&self) -> Option<&str> {
+        match self {
+            AggSpec::Count { .. } => None,
+            AggSpec::Sum { field, .. }
+            | AggSpec::Min { field, .. }
+            | AggSpec::Max { field, .. }
+            | AggSpec::Concat { field, .. }
+            | AggSpec::TopK { field, .. } => Some(field),
+        }
+    }
+
+    fn output_field(&self) -> &str {
+        match self {
+            AggSpec::Count { into }
+            | AggSpec::Sum { into, .. }
+            | AggSpec::Min { into, .. }
+            | AggSpec::Max { into, .. }
+            | AggSpec::Concat { into, .. }
+            | AggSpec::TopK { into, .. } => into,
+        }
+    }
+}
+
+impl Snapshot for AggSpec {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            AggSpec::Count { into } => {
+                w.u8(0);
+                w.str(into);
+            }
+            AggSpec::Sum { field, into } => {
+                w.u8(1);
+                w.str(field);
+                w.str(into);
+            }
+            AggSpec::Min { field, into } => {
+                w.u8(2);
+                w.str(field);
+                w.str(into);
+            }
+            AggSpec::Max { field, into } => {
+                w.u8(3);
+                w.str(field);
+                w.str(into);
+            }
+            AggSpec::Concat { field, sep, into } => {
+                w.u8(4);
+                w.str(field);
+                w.str(sep);
+                w.str(into);
+            }
+            AggSpec::TopK { field, k, into } => {
+                w.u8(5);
+                w.str(field);
+                w.usize(*k);
+                w.str(into);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<AggSpec, CodecError> {
+        match r.u8()? {
+            0 => Ok(AggSpec::Count { into: r.str()? }),
+            1 => Ok(AggSpec::Sum { field: r.str()?, into: r.str()? }),
+            2 => Ok(AggSpec::Min { field: r.str()?, into: r.str()? }),
+            3 => Ok(AggSpec::Max { field: r.str()?, into: r.str()? }),
+            4 => Ok(AggSpec::Concat { field: r.str()?, sep: r.str()?, into: r.str()? }),
+            5 => Ok(AggSpec::TopK { field: r.str()?, k: r.usize()?, into: r.str()? }),
+            tag => Err(CodecError::BadTag { what: "aggregate spec", tag }),
+        }
+    }
+}
+
+/// The operator recipe algebra. Small by design: just enough shapes to
+/// exercise Map/FlatMap/Filter/Reduce chains with data-dependent costs,
+/// field reads/writes, and fan-out in the differential suites, while
+/// staying serializable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecOp {
+    /// `record[field] = record[from] * mul + add` (wrapping arithmetic,
+    /// missing/non-int `from` reads as 0).
+    MapStamp { field: String, from: String, mul: i64, add: i64 },
+    /// Uppercases the `text` field.
+    MapUpper,
+    /// Appends `suffix` to the `text` field (grows per-record cost).
+    MapGrow { suffix: String },
+    /// Emits `copies` clones, stamping the copy index under `tag`.
+    FlatMapDup { copies: usize, tag: String },
+    /// Keeps records where `record[field] mod modulus == keep`.
+    FilterIntMod { field: String, modulus: i64, keep: i64 },
+    /// A combinable Reduce.
+    Reduce { key: KeySpec, agg: AggSpec },
+}
+
+impl Snapshot for SpecOp {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            SpecOp::MapStamp { field, from, mul, add } => {
+                w.u8(0);
+                w.str(field);
+                w.str(from);
+                w.i64(*mul);
+                w.i64(*add);
+            }
+            SpecOp::MapUpper => w.u8(1),
+            SpecOp::MapGrow { suffix } => {
+                w.u8(2);
+                w.str(suffix);
+            }
+            SpecOp::FlatMapDup { copies, tag } => {
+                w.u8(3);
+                w.usize(*copies);
+                w.str(tag);
+            }
+            SpecOp::FilterIntMod { field, modulus, keep } => {
+                w.u8(4);
+                w.str(field);
+                w.i64(*modulus);
+                w.i64(*keep);
+            }
+            SpecOp::Reduce { key, agg } => {
+                w.u8(5);
+                key.encode(w);
+                agg.encode(w);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<SpecOp, CodecError> {
+        match r.u8()? {
+            0 => Ok(SpecOp::MapStamp {
+                field: r.str()?,
+                from: r.str()?,
+                mul: r.i64()?,
+                add: r.i64()?,
+            }),
+            1 => Ok(SpecOp::MapUpper),
+            2 => Ok(SpecOp::MapGrow { suffix: r.str()? }),
+            3 => Ok(SpecOp::FlatMapDup { copies: r.usize()?, tag: r.str()? }),
+            4 => Ok(SpecOp::FilterIntMod {
+                field: r.str()?,
+                modulus: r.i64()?,
+                keep: r.i64()?,
+            }),
+            5 => Ok(SpecOp::Reduce {
+                key: KeySpec::decode(r)?,
+                agg: AggSpec::decode(r)?,
+            }),
+            tag => Err(CodecError::BadTag { what: "spec op", tag }),
+        }
+    }
+}
+
+fn package_tag(p: Package) -> u8 {
+    match p {
+        Package::Base => 0,
+        Package::Ie => 1,
+        Package::Wa => 2,
+        Package::Dc => 3,
+    }
+}
+
+fn package_from_tag(tag: u8) -> Result<Package, CodecError> {
+    match tag {
+        0 => Ok(Package::Base),
+        1 => Ok(Package::Ie),
+        2 => Ok(Package::Wa),
+        3 => Ok(Package::Dc),
+        tag => Err(CodecError::BadTag { what: "operator package", tag }),
+    }
+}
+
+/// A serializable operator: everything a worker shard needs to rebuild
+/// the [`Operator`] — recipe, name, package, cost model. `build()` also
+/// attaches the analyzer annotations (reads/writes) each recipe
+/// implies, so spec-built plans exercise the static analyzer the same
+/// way hand-built ones do.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpSpec {
+    pub name: String,
+    pub package: Package,
+    pub op: SpecOp,
+    pub cost: CostModel,
+}
+
+impl OpSpec {
+    pub fn new(name: &str, package: Package, op: SpecOp) -> OpSpec {
+        OpSpec { name: name.to_string(), package, op, cost: CostModel::default() }
+    }
+
+    pub fn with_cost(mut self, cost: CostModel) -> OpSpec {
+        self.cost = cost;
+        self
+    }
+
+    /// Rebuilds the operator this spec describes. Parent and worker call
+    /// this on byte-identical specs, so both sides run the same
+    /// closures over the same cost model.
+    pub fn build(&self) -> Operator {
+        let op = match self.op.clone() {
+            SpecOp::MapStamp { field, from, mul, add } => {
+                let (reads, writes) = (from.clone(), field.clone());
+                Operator::map(&self.name, self.package, move |mut r| {
+                    let v = r.get(&from).and_then(Value::as_int).unwrap_or(0);
+                    r.set(&field, v.wrapping_mul(mul).wrapping_add(add));
+                    r
+                })
+                .with_reads(&[&reads])
+                .with_writes(&[&writes])
+            }
+            SpecOp::MapUpper => Operator::map(&self.name, self.package, |mut r| {
+                let t = r.text().map(str::to_uppercase).unwrap_or_default();
+                r.set("text", t);
+                r
+            })
+            .with_reads(&["text"])
+            .with_writes(&["text"]),
+            SpecOp::MapGrow { suffix } => Operator::map(&self.name, self.package, move |mut r| {
+                let t = format!("{}{}", r.text().unwrap_or(""), suffix);
+                r.set("text", t);
+                r
+            })
+            .with_reads(&["text"])
+            .with_writes(&["text"]),
+            SpecOp::FlatMapDup { copies, tag } => {
+                let writes = tag.clone();
+                Operator::flat_map(&self.name, self.package, move |r| {
+                    (0..copies)
+                        .map(|c| {
+                            let mut dup = r.clone();
+                            dup.set(&tag, c as i64);
+                            dup
+                        })
+                        .collect()
+                })
+                .with_writes(&[&writes])
+            }
+            SpecOp::FilterIntMod { field, modulus, keep } => {
+                let reads = field.clone();
+                let m = modulus.max(1);
+                Operator::filter(&self.name, self.package, move |r| {
+                    r.get(&field).and_then(Value::as_int).unwrap_or(0).rem_euclid(m) == keep
+                })
+                .with_reads(&[&reads])
+            }
+            SpecOp::Reduce { key, agg } => {
+                let key_fn = key.key_fn();
+                let mut reads: Vec<&str> = vec![key.field()];
+                if let Some(f) = agg.field_read() {
+                    if f != key.field() {
+                        reads.push(f);
+                    }
+                }
+                Operator::reduce_agg(&self.name, self.package, move |r| key_fn(r), agg.to_aggregate())
+                    .with_reads(&reads)
+                    .with_writes(&[agg.output_field()])
+            }
+        };
+        op.with_cost(self.cost).with_spec(self.clone())
+    }
+}
+
+impl Snapshot for OpSpec {
+    fn encode(&self, w: &mut Writer) {
+        w.str(&self.name);
+        w.u8(package_tag(self.package));
+        self.op.encode(w);
+        w.f64(self.cost.startup_secs);
+        w.u64(self.cost.memory_bytes);
+        w.f64(self.cost.us_per_char);
+        self.cost.quadratic_ref.encode(w);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<OpSpec, CodecError> {
+        Ok(OpSpec {
+            name: r.str()?,
+            package: package_from_tag(r.u8()?)?,
+            op: SpecOp::decode(r)?,
+            cost: CostModel {
+                startup_secs: r.f64()?,
+                memory_bytes: r.u64()?,
+                us_per_char: r.f64()?,
+                quadratic_ref: Snapshot::decode(r)?,
+            },
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shard configuration
+// ---------------------------------------------------------------------------
+
+/// How worker shards are hosted.
+#[derive(Debug, Clone)]
+pub enum WorkerKind {
+    /// Isolated in-process runtimes: each shard is a thread running the
+    /// same [`worker_serve`] loop over a unix socket pair — the full
+    /// frame protocol without process-spawn latency.
+    InProcess,
+    /// Real OS processes: `cmd` is spawned per shard and speaks the
+    /// frame protocol over its stdio pipes (see the `shard_worker`
+    /// binary).
+    Process { cmd: PathBuf },
+}
+
+/// Forces the loss of one worker shard after the shard's channel has
+/// carried `after_frames` frames (both directions) — the soak-test hook
+/// for worker-loss recovery. Fires at most once per pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KillSpec {
+    pub shard: usize,
+    pub after_frames: u64,
+}
+
+/// Sharded-execution configuration, carried on
+/// [`ExecutionConfig::sharding`](crate::executor::ExecutionConfig).
+#[derive(Debug, Clone)]
+pub struct ShardConfig {
+    /// Worker shard count (N ≥ 1). Physical only: never feeds simulated
+    /// numbers.
+    pub shards: usize,
+    pub worker: WorkerKind,
+    /// Per-edge credit window: at most this many unanswered data frames
+    /// outstanding toward one shard.
+    pub window: usize,
+    /// Reduce workers spill their group table to sorted disk runs when
+    /// its approximate footprint exceeds this.
+    pub spill_threshold_bytes: usize,
+    /// Respawn a lost worker and re-run its unfinished chunks instead of
+    /// failing the run with `ShardLost`.
+    pub respawn_lost: bool,
+    /// Injected worker loss (tests).
+    pub kill: Option<KillSpec>,
+}
+
+impl ShardConfig {
+    pub fn in_process(shards: usize) -> ShardConfig {
+        ShardConfig {
+            shards: shards.max(1),
+            worker: WorkerKind::InProcess,
+            window: 4,
+            spill_threshold_bytes: 8 << 20,
+            respawn_lost: false,
+            kill: None,
+        }
+    }
+
+    pub fn process(shards: usize, cmd: impl Into<PathBuf>) -> ShardConfig {
+        ShardConfig { worker: WorkerKind::Process { cmd: cmd.into() }, ..ShardConfig::in_process(shards) }
+    }
+
+    pub fn with_window(mut self, window: usize) -> ShardConfig {
+        self.window = window.max(1);
+        self
+    }
+
+    pub fn with_spill_threshold(mut self, bytes: usize) -> ShardConfig {
+        self.spill_threshold_bytes = bytes.max(1);
+        self
+    }
+
+    pub fn with_respawn(mut self, respawn: bool) -> ShardConfig {
+        self.respawn_lost = respawn;
+        self
+    }
+
+    pub fn with_kill(mut self, kill: KillSpec) -> ShardConfig {
+        self.kill = Some(kill);
+        self
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The shared per-chunk stage kernel
+// ---------------------------------------------------------------------------
+
+/// Per-stage observations for one chunk. `wall_ms` is runtime-only
+/// diagnostics: excluded from the wire codec (it would differ across
+/// hosts) exactly as it is excluded from checkpoints and digests —
+/// chunks arriving from worker processes report `0.0`.
+#[derive(Debug, Default, Clone)]
+pub struct ChunkStats {
+    /// Per-record simulated costs, in record order.
+    pub costs: Vec<f64>,
+    pub records_in: u64,
+    pub bytes_in: u64,
+    pub wall_ms: f64,
+}
+
+impl Snapshot for ChunkStats {
+    fn encode(&self, w: &mut Writer) {
+        self.costs.encode(w);
+        w.u64(self.records_in);
+        w.u64(self.bytes_in);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<ChunkStats, CodecError> {
+        Ok(ChunkStats {
+            costs: Snapshot::decode(r)?,
+            records_in: r.u64()?,
+            bytes_in: r.u64()?,
+            wall_ms: 0.0,
+        })
+    }
+}
+
+/// Sorted `(key, partial state, per-key record costs)` triples plus the
+/// chunk's emulated shuffle bytes, for stages ending in a combined
+/// Reduce.
+pub type ChunkPartials = (Vec<(String, AggState, Vec<f64>)>, u64);
+
+/// Everything one chunk's pass produces — the unit merged (in chunk
+/// order) by the executor, whether the chunk ran on a local thread or a
+/// worker shard.
+#[derive(Debug, Default)]
+pub struct ChunkOut {
+    pub stages: Vec<ChunkStats>,
+    pub out: Vec<Record>,
+    pub bytes_out: u64,
+    pub partial: Option<ChunkPartials>,
+    /// Clones of the record stream at each tapped interior boundary.
+    pub taps: Vec<Vec<Record>>,
+}
+
+impl Snapshot for ChunkOut {
+    fn encode(&self, w: &mut Writer) {
+        self.stages.encode(w);
+        self.out.encode(w);
+        w.u64(self.bytes_out);
+        match &self.partial {
+            None => w.bool(false),
+            Some((entries, shuffled)) => {
+                w.bool(true);
+                w.usize(entries.len());
+                for (k, st, costs) in entries {
+                    w.str(k);
+                    st.encode(w);
+                    costs.encode(w);
+                }
+                w.u64(*shuffled);
+            }
+        }
+        self.taps.encode(w);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<ChunkOut, CodecError> {
+        let stages = Snapshot::decode(r)?;
+        let out = Snapshot::decode(r)?;
+        let bytes_out = r.u64()?;
+        let partial = if r.bool()? {
+            let n = r.usize()?;
+            let mut entries = Vec::with_capacity(n);
+            for _ in 0..n {
+                entries.push((r.str()?, AggState::decode(r)?, Snapshot::decode(r)?));
+            }
+            Some((entries, r.u64()?))
+        } else {
+            None
+        };
+        Ok(ChunkOut { stages, out, bytes_out, partial, taps: Snapshot::decode(r)? })
+    }
+}
+
+/// The per-chunk fused-stage pass, extracted from the executor's worker
+/// closure so the in-process thread pool and worker shards run *the
+/// same code* — byte-identity across placements by construction, not by
+/// parallel maintenance of two loops.
+pub struct StageKernel<'a> {
+    /// Chain constituents executed per batch.
+    pub ops: &'a [&'a Operator],
+    /// Trailing combinable Reduce folded after the chain (key,
+    /// aggregate, its cost model), when the whole stage survived the
+    /// schedule.
+    pub fold: Option<(&'a KeyFn, &'a Aggregate, CostModel)>,
+    /// Interior boundaries to tap, as in-chain stage indices.
+    pub tapped: &'a [usize],
+    pub work_scale: f64,
+    /// Total constituent count of the stage (fold stage attribution).
+    pub chain_len: usize,
+}
+
+impl StageKernel<'_> {
+    /// Runs one chunk through the whole stage. `stage_at` tracks the
+    /// stage index currently executing so a panic can be attributed.
+    pub fn run_chunk(
+        &self,
+        batches: Vec<RecordBatch>,
+        arena: &mut BatchArena,
+        stage_at: &Cell<usize>,
+    ) -> ChunkOut {
+        let mut stages: Vec<ChunkStats> =
+            (0..self.ops.len()).map(|_| ChunkStats::default()).collect();
+        let mut taps: Vec<Vec<Record>> = vec![Vec::new(); self.tapped.len()];
+        let mut done: Vec<Record> = Vec::new();
+        // lint:hot_loop(begin): fused-stage worker batch loop
+        for batch in batches {
+            let mut cur = batch.records;
+            for (s, op) in self.ops.iter().enumerate() {
+                stage_at.set(s);
+                // lint:allow(wall_clock): per-op wall_ms is runtime-only diagnostics
+                let t0 = Instant::now();
+                let tally = &mut stages[s];
+                let mut next = Vec::with_capacity(cur.len());
+                let charge = |tally: &mut ChunkStats, r: &Record| {
+                    tally.bytes_in += r.approx_bytes();
+                    tally.costs.push(
+                        self.work_scale
+                            * op.cost.record_cost_secs(r.text().map(str::len).unwrap_or(64)),
+                    );
+                };
+                // One dispatch per batch per stage: the closure-variant
+                // match is hoisted out of the record loop.
+                match op.func() {
+                    OpFunc::Map(f) => {
+                        for r in cur {
+                            charge(tally, &r);
+                            next.push(f(r));
+                        }
+                    }
+                    OpFunc::FlatMap(f) => {
+                        for r in cur {
+                            charge(tally, &r);
+                            next.extend(f(r));
+                        }
+                    }
+                    OpFunc::Filter(f) => {
+                        for r in cur {
+                            charge(tally, &r);
+                            if f(&r) {
+                                next.push(r);
+                            }
+                        }
+                    }
+                    OpFunc::Reduce { .. } => {
+                        unreachable!("reduce is never part of a chain")
+                    }
+                }
+                tally.wall_ms += t0.elapsed().as_secs_f64() * 1000.0;
+                cur = next;
+                if let Some(t) = self.tapped.iter().position(|&ts| ts == s) {
+                    taps[t].extend(cur.iter().cloned());
+                }
+            }
+            done.extend(cur);
+            arena.reset();
+        }
+        // lint:hot_loop(end)
+        for tally in &mut stages {
+            tally.records_in = tally.costs.len() as u64;
+        }
+        let mut cur = done;
+        let partial = if let Some((key, agg, reduce_cost)) = &self.fold {
+            stage_at.set(self.chain_len - 1);
+            // lint:allow(wall_clock): per-op wall_ms is runtime-only diagnostics
+            let t0 = Instant::now();
+            let mut tally = ChunkStats::default();
+            // lint:allow(hash_iteration): drained into a sorted vec below
+            let mut map: HashMap<String, (AggState, Vec<f64>)> = HashMap::new();
+            for r in cur {
+                tally.records_in += 1;
+                tally.bytes_in += r.approx_bytes();
+                let cost = self.work_scale
+                    * reduce_cost.record_cost_secs(r.text().map(str::len).unwrap_or(64));
+                let e = map.entry(key(&r)).or_insert_with(|| (agg.seed(), Vec::new()));
+                agg.fold(&mut e.0, &r);
+                e.1.push(cost);
+            }
+            cur = Vec::new();
+            // The combiner's shuffle: only the sorted-key partial map
+            // crosses the boundary through the codec, not the record
+            // stream. The encode borrows the arena's recycled buffer.
+            let mut sorted: Vec<(String, (AggState, Vec<f64>))> = map.into_iter().collect();
+            sorted.sort_by(|a, b| a.0.cmp(&b.0));
+            let mut w = Writer::from_vec(arena.take_scratch());
+            w.usize(sorted.len());
+            for (k, (st, _)) in &sorted {
+                w.str(k);
+                st.encode(&mut w);
+            }
+            let wire = w.into_bytes();
+            let shuffled = wire.len() as u64;
+            let mut rd = Reader::new(&wire);
+            let _n = rd.usize().expect("partial map round-trips");
+            let entries: Vec<(String, AggState, Vec<f64>)> = sorted
+                .into_iter()
+                .map(|(k, (_, costs))| {
+                    let _k = rd.str().expect("partial map round-trips");
+                    let st = AggState::decode(&mut rd).expect("partial map round-trips");
+                    (k, st, costs)
+                })
+                .collect();
+            arena.put_scratch(wire);
+            tally.wall_ms = t0.elapsed().as_secs_f64() * 1000.0;
+            stages.push(tally);
+            Some((entries, shuffled))
+        } else {
+            None
+        };
+        let bytes_out = cur.iter().map(Record::approx_bytes).sum();
+        ChunkOut { stages, out: cur, bytes_out, partial, taps }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wire tasks
+// ---------------------------------------------------------------------------
+
+/// The stage setup shipped to a worker in a `K_STAGE` frame.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(clippy::large_enum_variant)] // one StageTask per run; size is irrelevant
+pub enum StageTask {
+    /// A fused Map/FlatMap/Filter chain, optionally folding a trailing
+    /// combinable Reduce; one `K_RESULT` per `K_DATA` chunk.
+    Pipeline {
+        ops: Vec<OpSpec>,
+        fold: Option<OpSpec>,
+        tapped: Vec<usize>,
+        work_scale: f64,
+        batch_size: usize,
+        chain_len: usize,
+    },
+    /// The uncombined-Reduce shuffle target: group arriving records by
+    /// key (arrival order preserved per key, spilling over-memory
+    /// tables to sorted disk runs), then stream sorted groups back
+    /// after `K_EOF_DATA`.
+    GroupBy { key: KeySpec, spill_threshold: usize },
+}
+
+impl Snapshot for StageTask {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            StageTask::Pipeline { ops, fold, tapped, work_scale, batch_size, chain_len } => {
+                w.u8(0);
+                ops.encode(w);
+                fold.encode(w);
+                tapped.encode(w);
+                w.f64(*work_scale);
+                w.usize(*batch_size);
+                w.usize(*chain_len);
+            }
+            StageTask::GroupBy { key, spill_threshold } => {
+                w.u8(1);
+                key.encode(w);
+                w.usize(*spill_threshold);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<StageTask, CodecError> {
+        match r.u8()? {
+            0 => Ok(StageTask::Pipeline {
+                ops: Snapshot::decode(r)?,
+                fold: Snapshot::decode(r)?,
+                tapped: Snapshot::decode(r)?,
+                work_scale: r.f64()?,
+                batch_size: r.usize()?,
+                chain_len: r.usize()?,
+            }),
+            1 => Ok(StageTask::GroupBy { key: KeySpec::decode(r)?, spill_threshold: r.usize()? }),
+            tag => Err(CodecError::BadTag { what: "stage task", tag }),
+        }
+    }
+}
+
+fn encode_chunk_payload(chunk_idx: usize, records: &[Record]) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.usize(chunk_idx);
+    w.usize(records.len());
+    for r in records {
+        r.encode(&mut w);
+    }
+    w.into_bytes()
+}
+
+fn decode_chunk_payload(payload: &[u8]) -> Result<(usize, Vec<Record>), CodecError> {
+    let mut r = Reader::new(payload);
+    let chunk_idx = r.usize()?;
+    let n = r.usize()?;
+    let mut records = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        records.push(Record::decode(&mut r)?);
+    }
+    Ok((chunk_idx, records))
+}
+
+// ---------------------------------------------------------------------------
+// Worker side
+// ---------------------------------------------------------------------------
+
+/// Monotone id for spill-run temp files (no wall clock — deterministic
+/// surfaces must not depend on time, and file names never leave the
+/// worker anyway).
+static SPILL_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A worker-side group table with spill-to-disk: groups preserve
+/// arrival order (insertion-ordered via `order`; `index` is only a
+/// lookup), and when the approximate in-memory footprint exceeds the
+/// threshold the table drains to a sorted-run file on disk.
+struct GroupTable {
+    key: KeyFn,
+    spill_threshold: usize,
+    // lint:allow(hash_iteration): lookup only; iteration order comes from `order`
+    index: HashMap<String, usize>,
+    order: Vec<(String, Vec<Record>)>,
+    mem_bytes: usize,
+    runs: Vec<PathBuf>,
+    spill_bytes: u64,
+}
+
+impl GroupTable {
+    fn new(key: KeyFn, spill_threshold: usize) -> GroupTable {
+        GroupTable {
+            key,
+            spill_threshold: spill_threshold.max(1),
+            // lint:allow(hash_iteration): lookup index only; emission walks `order` (arrival order)
+            index: HashMap::new(),
+            order: Vec::new(),
+            mem_bytes: 0,
+            runs: Vec::new(),
+            spill_bytes: 0,
+        }
+    }
+
+    fn fold(&mut self, records: Vec<Record>) -> Result<(), TransportError> {
+        for r in records {
+            let k = (self.key)(&r);
+            self.mem_bytes += r.approx_bytes() as usize + k.len();
+            match self.index.get(&k) {
+                Some(&slot) => self.order[slot].1.push(r),
+                None => {
+                    self.index.insert(k.clone(), self.order.len());
+                    self.order.push((k, vec![r]));
+                }
+            }
+        }
+        if self.mem_bytes > self.spill_threshold {
+            self.spill()?;
+        }
+        Ok(())
+    }
+
+    /// Drains the in-memory table to one sorted-run file. Within a run
+    /// each key appears once with its records in arrival order; across
+    /// runs, earlier runs hold earlier arrivals — the merge preserves
+    /// global arrival order per key.
+    fn spill(&mut self) -> Result<(), TransportError> {
+        let mut drained = std::mem::take(&mut self.order);
+        self.index.clear();
+        self.mem_bytes = 0;
+        if drained.is_empty() {
+            return Ok(());
+        }
+        drained.sort_by(|a, b| a.0.cmp(&b.0));
+        let path = std::env::temp_dir().join(format!(
+            "websift-spill-{}-{}.run",
+            std::process::id(),
+            SPILL_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let file = File::create(&path)?;
+        let mut out = BufWriter::new(file);
+        for (k, rs) in &drained {
+            let mut w = Writer::new();
+            w.str(k);
+            w.usize(rs.len());
+            for r in rs {
+                r.encode(&mut w);
+            }
+            let bytes = w.into_bytes();
+            self.spill_bytes += bytes.len() as u64;
+            write_frame(&mut out, 0, &bytes)?;
+        }
+        out.flush()?;
+        self.runs.push(path);
+        Ok(())
+    }
+
+    /// Streams the merged, key-sorted groups back as batched `K_GROUPS`
+    /// frames followed by `K_DONE`, then resets the table.
+    fn emit_groups<R: Read, W: Write>(
+        &mut self,
+        chan: &mut FrameChannel<R, W>,
+    ) -> Result<(), TransportError> {
+        let mut mem = std::mem::take(&mut self.order);
+        self.index.clear();
+        self.mem_bytes = 0;
+        mem.sort_by(|a, b| a.0.cmp(&b.0));
+        // Merge cursors: spill runs in spill order (earliest arrivals
+        // first), the in-memory remainder last (latest arrivals).
+        let runs = std::mem::take(&mut self.runs);
+        let mut cursors: Vec<Cursor> = Vec::with_capacity(runs.len() + 1);
+        for path in &runs {
+            let file = File::open(path)?;
+            cursors.push(Cursor { head: None, rest: CursorRest::Run(BufReader::new(file)) });
+        }
+        cursors.push(Cursor { head: None, rest: CursorRest::Mem(mem.into_iter()) });
+        for c in &mut cursors {
+            c.advance()?;
+        }
+        let flush_bytes = self.spill_threshold;
+        let mut batch: Vec<(String, Vec<Record>)> = Vec::new();
+        let mut batch_bytes = 0usize;
+        while let Some(min_key) =
+            cursors.iter().filter_map(|c| c.head.as_ref().map(|(k, _)| k.clone())).min()
+        {
+            let mut records: Vec<Record> = Vec::new();
+            for c in &mut cursors {
+                if c.head.as_ref().is_some_and(|(k, _)| *k == min_key) {
+                    if let Some((_, rs)) = c.head.take() {
+                        records.extend(rs);
+                    }
+                    c.advance()?;
+                }
+            }
+            batch_bytes +=
+                min_key.len() + records.iter().map(|r| r.approx_bytes() as usize).sum::<usize>();
+            batch.push((min_key, records));
+            if batch_bytes >= flush_bytes {
+                let mut w = Writer::new();
+                batch.encode(&mut w);
+                chan.send(K_GROUPS, &w.into_bytes())?;
+                batch = Vec::new();
+                batch_bytes = 0;
+            }
+        }
+        if !batch.is_empty() {
+            let mut w = Writer::new();
+            batch.encode(&mut w);
+            chan.send(K_GROUPS, &w.into_bytes())?;
+        }
+        let mut w = Writer::new();
+        w.u64(runs.len() as u64);
+        w.u64(self.spill_bytes);
+        chan.send(K_DONE, &w.into_bytes())?;
+        for path in runs {
+            let _ = std::fs::remove_file(path);
+        }
+        self.spill_bytes = 0;
+        Ok(())
+    }
+}
+
+struct Cursor {
+    head: Option<(String, Vec<Record>)>,
+    rest: CursorRest,
+}
+
+enum CursorRest {
+    Run(BufReader<File>),
+    Mem(std::vec::IntoIter<(String, Vec<Record>)>),
+}
+
+impl Cursor {
+    fn advance(&mut self) -> Result<(), TransportError> {
+        self.head = match &mut self.rest {
+            CursorRest::Run(file) => match read_frame(file)? {
+                Some((_, payload)) => {
+                    let mut r = Reader::new(&payload);
+                    let key = r.str().map_err(TransportError::Codec)?;
+                    let n = r.usize().map_err(TransportError::Codec)?;
+                    let mut rs = Vec::with_capacity(n.min(1 << 20));
+                    for _ in 0..n {
+                        rs.push(Record::decode(&mut r).map_err(TransportError::Codec)?);
+                    }
+                    Some((key, rs))
+                }
+                None => None,
+            },
+            CursorRest::Mem(it) => it.next(),
+        };
+        Ok(())
+    }
+}
+
+#[allow(clippy::large_enum_variant)] // one WorkerMode per serve loop; size is irrelevant
+enum WorkerMode {
+    Pipeline {
+        ops: Vec<Operator>,
+        fold_op: Option<Operator>,
+        tapped: Vec<usize>,
+        work_scale: f64,
+        batch_size: usize,
+        chain_len: usize,
+        arena: BatchArena,
+    },
+    GroupBy(GroupTable),
+}
+
+/// The worker shard's serve loop: speaks the frame protocol over any
+/// byte channel until `K_BYE` or a clean end-of-stream. Run by the
+/// `shard_worker` binary over stdio, and by in-process shard threads
+/// over a unix socket pair. A UDF panic inside a chunk is caught and
+/// reported as a `K_ERR` frame; channel/codec trouble ends the loop
+/// with a typed error.
+pub fn worker_serve(reader: impl Read, writer: impl Write) -> Result<(), TransportError> {
+    let mut chan = FrameChannel::new(reader, writer);
+    let mut mode: Option<WorkerMode> = None;
+    loop {
+        let Some((kind, payload)) = chan.recv()? else {
+            return Ok(());
+        };
+        match kind {
+            K_BYE => return Ok(()),
+            K_STAGE => {
+                let mut r = Reader::new(&payload);
+                let task = StageTask::decode(&mut r).map_err(TransportError::Codec)?;
+                mode = Some(match task {
+                    StageTask::Pipeline { ops, fold, tapped, work_scale, batch_size, chain_len } => {
+                        let built: Vec<Operator> = ops.iter().map(OpSpec::build).collect();
+                        let fold_op = fold.as_ref().map(OpSpec::build);
+                        if let Some(f) = &fold_op {
+                            if !matches!(f.func(), OpFunc::Reduce { .. }) {
+                                return Err(TransportError::Protocol {
+                                    expected: "a reduce fold spec",
+                                    got: K_STAGE,
+                                });
+                            }
+                        }
+                        WorkerMode::Pipeline {
+                            ops: built,
+                            fold_op,
+                            tapped,
+                            work_scale,
+                            batch_size: batch_size.max(1),
+                            chain_len,
+                            arena: BatchArena::new(),
+                        }
+                    }
+                    StageTask::GroupBy { key, spill_threshold } => {
+                        WorkerMode::GroupBy(GroupTable::new(key.key_fn(), spill_threshold))
+                    }
+                });
+            }
+            K_DATA => {
+                let (chunk_idx, records) =
+                    decode_chunk_payload(&payload).map_err(TransportError::Codec)?;
+                match &mut mode {
+                    Some(WorkerMode::Pipeline {
+                        ops,
+                        fold_op,
+                        tapped,
+                        work_scale,
+                        batch_size,
+                        chain_len,
+                        arena,
+                    }) => {
+                        let refs: Vec<&Operator> = ops.iter().collect();
+                        let fold = fold_op.as_ref().and_then(|f| match f.func() {
+                            OpFunc::Reduce { key, aggregate } => Some((key, aggregate, f.cost)),
+                            _ => None,
+                        });
+                        let kernel = StageKernel {
+                            ops: &refs,
+                            fold,
+                            tapped,
+                            work_scale: *work_scale,
+                            chain_len: *chain_len,
+                        };
+                        let batches = RecordBatch::split(records, *batch_size);
+                        let stage_at = Cell::new(0usize);
+                        let outcome = catch_unwind(AssertUnwindSafe(|| {
+                            kernel.run_chunk(batches, arena, &stage_at)
+                        }));
+                        match outcome {
+                            Ok(out) => {
+                                let mut w = Writer::new();
+                                w.usize(chunk_idx);
+                                out.encode(&mut w);
+                                chan.send(K_RESULT, &w.into_bytes())?;
+                            }
+                            Err(panic) => {
+                                let msg = panic
+                                    .downcast_ref::<&str>()
+                                    .map(|s| (*s).to_string())
+                                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                                    .unwrap_or_else(|| "worker UDF panicked".to_string());
+                                let mut w = Writer::new();
+                                w.usize(stage_at.get());
+                                w.usize(chunk_idx);
+                                w.str(&msg);
+                                chan.send(K_ERR, &w.into_bytes())?;
+                                // a panic may have poisoned the arena
+                                *arena = BatchArena::new();
+                            }
+                        }
+                    }
+                    Some(WorkerMode::GroupBy(table)) => {
+                        table.fold(records)?;
+                        let mut w = Writer::new();
+                        w.usize(chunk_idx);
+                        chan.send(K_ACK, &w.into_bytes())?;
+                    }
+                    None => {
+                        return Err(TransportError::Protocol {
+                            expected: "a STAGE frame before DATA",
+                            got: K_DATA,
+                        })
+                    }
+                }
+                chan.flush()?;
+            }
+            K_EOF_DATA => {
+                match &mut mode {
+                    Some(WorkerMode::GroupBy(table)) => {
+                        table.emit_groups(&mut chan)?;
+                    }
+                    // pipeline stages need no end-of-input marker; the
+                    // next STAGE frame resets the mode
+                    Some(WorkerMode::Pipeline { .. }) | None => {}
+                }
+                chan.flush()?;
+            }
+            other => {
+                return Err(TransportError::Protocol {
+                    expected: "STAGE, DATA, EOF_DATA, or BYE",
+                    got: other,
+                })
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parent side: the shard pool and stage orchestration
+// ---------------------------------------------------------------------------
+
+type BoxedRead = Box<dyn Read + Send>;
+type BoxedWrite = Box<dyn Write + Send>;
+type ShardChannel = FrameChannel<BoxedRead, BoxedWrite>;
+
+enum Peer {
+    Thread { join: Option<std::thread::JoinHandle<()>>, kill: UnixStream },
+    Child(Child),
+}
+
+struct ShardHandle {
+    chan: ShardChannel,
+    peer: Peer,
+}
+
+impl ShardHandle {
+    fn frames_total(&self) -> u64 {
+        self.chan.frames_sent + self.chan.frames_received
+    }
+
+    /// Simulates (or performs) abrupt worker loss: the channel dies
+    /// mid-conversation from the peer's point of view.
+    fn force_kill(&mut self) {
+        match &mut self.peer {
+            Peer::Thread { join, kill } => {
+                let _ = kill.shutdown(std::net::Shutdown::Both);
+                if let Some(j) = join.take() {
+                    let _ = j.join();
+                }
+            }
+            Peer::Child(child) => {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+        }
+    }
+
+    fn shutdown(mut self) {
+        let _ = self.chan.send(K_BYE, &[]);
+        let _ = self.chan.flush();
+        match self.peer {
+            Peer::Thread { join, .. } => {
+                if let Some(j) = join {
+                    let _ = j.join();
+                }
+            }
+            Peer::Child(mut child) => {
+                let _ = child.wait();
+            }
+        }
+    }
+}
+
+fn spawn_worker(kind: &WorkerKind) -> Result<ShardHandle, TransportError> {
+    match kind {
+        WorkerKind::InProcess => {
+            let (parent, worker) = UnixStream::pair()?;
+            let worker_r = worker.try_clone()?;
+            let join = std::thread::Builder::new()
+                .name("websift-shard".to_string())
+                .spawn(move || {
+                    let _ = worker_serve(BufReader::new(worker_r), worker);
+                })?;
+            let kill = parent.try_clone()?;
+            let parent_r = parent.try_clone()?;
+            Ok(ShardHandle {
+                chan: FrameChannel::new(
+                    Box::new(BufReader::new(parent_r)),
+                    Box::new(parent),
+                ),
+                peer: Peer::Thread { join: Some(join), kill },
+            })
+        }
+        WorkerKind::Process { cmd } => {
+            let mut child = Command::new(cmd)
+                .stdin(Stdio::piped())
+                .stdout(Stdio::piped())
+                .spawn()?;
+            let stdin = child.stdin.take().ok_or(TransportError::Closed)?;
+            let stdout = child.stdout.take().ok_or(TransportError::Closed)?;
+            Ok(ShardHandle {
+                chan: FrameChannel::new(
+                    Box::new(BufReader::new(stdout)),
+                    Box::new(BufWriter::new(stdin)),
+                ),
+                peer: Peer::Child(child),
+            })
+        }
+    }
+}
+
+/// Failures of a sharded stage run, mapped by the executor onto its
+/// own error vocabulary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardRunError {
+    /// A worker reported a UDF panic (`K_ERR`) — same semantics as an
+    /// in-process chunk panic.
+    Panicked { stage: usize, chunk: usize },
+    /// The shard's channel died mid-conversation (crash or injected
+    /// kill) and `respawn_lost` was off.
+    Lost { shard: usize },
+    /// The conversation desynchronized (unexpected frame, corrupt
+    /// payload).
+    Protocol { shard: usize, detail: String },
+}
+
+impl std::fmt::Display for ShardRunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardRunError::Panicked { stage, chunk } => {
+                write!(f, "worker reported a panic in stage {stage}, chunk {chunk}")
+            }
+            ShardRunError::Lost { shard } => write!(f, "worker shard {shard} lost"),
+            ShardRunError::Protocol { shard, detail } => {
+                write!(f, "shard {shard} protocol violation: {detail}")
+            }
+        }
+    }
+}
+
+/// A pool of N worker shards, living for the duration of one executor
+/// run. Spawns shards lazily, counts frames for the kill hook, and
+/// shuts every worker down (BYE + join/wait) on drop.
+pub struct ShardPool {
+    cfg: ShardConfig,
+    handles: Vec<Option<ShardHandle>>,
+    kill_fired: Arc<AtomicBool>,
+    /// Channel totals of shards that have died (their live counters are
+    /// gone with the handle).
+    dead_frames: u64,
+    dead_wire: u64,
+    /// Workers respawned after a loss.
+    pub respawns: u64,
+}
+
+impl ShardPool {
+    pub fn new(cfg: ShardConfig) -> ShardPool {
+        let n = cfg.shards.max(1);
+        ShardPool {
+            cfg,
+            handles: (0..n).map(|_| None).collect(),
+            kill_fired: Arc::new(AtomicBool::new(false)),
+            dead_frames: 0,
+            dead_wire: 0,
+            respawns: 0,
+        }
+    }
+
+    pub fn config(&self) -> &ShardConfig {
+        &self.cfg
+    }
+
+    pub fn shards(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Total frames carried over all shard channels so far (both
+    /// directions, dead shards included).
+    pub fn frames_total(&self) -> u64 {
+        self.dead_frames
+            + self
+                .handles
+                .iter()
+                .flatten()
+                .map(ShardHandle::frames_total)
+                .sum::<u64>()
+    }
+
+    /// Total frame payload bytes over all shard channels so far.
+    pub fn wire_bytes_total(&self) -> u64 {
+        self.dead_wire
+            + self
+                .handles
+                .iter()
+                .flatten()
+                .map(|h| h.chan.payload_bytes)
+                .sum::<u64>()
+    }
+
+    fn take_or_spawn(&mut self, shard: usize) -> Result<ShardHandle, ShardRunError> {
+        match self.handles[shard].take() {
+            Some(h) => Ok(h),
+            None => spawn_worker(&self.cfg.worker).map_err(|e| ShardRunError::Protocol {
+                shard,
+                detail: format!("spawn failed: {e}"),
+            }),
+        }
+    }
+
+    fn kill_threshold(&self, shard: usize) -> Option<u64> {
+        match self.cfg.kill {
+            Some(k) if k.shard == shard && !self.kill_fired.load(Ordering::Relaxed) => {
+                Some(k.after_frames)
+            }
+            _ => None,
+        }
+    }
+
+    fn bury(&mut self, handle: ShardHandle) {
+        self.dead_frames += handle.frames_total();
+        self.dead_wire += handle.chan.payload_bytes;
+        drop(handle);
+    }
+}
+
+impl Drop for ShardPool {
+    fn drop(&mut self) {
+        for slot in &mut self.handles {
+            if let Some(handle) = slot.take() {
+                handle.shutdown();
+            }
+        }
+    }
+}
+
+/// What one shard's conversation produced this stage.
+struct ShardThreadOut {
+    shard: usize,
+    results: Vec<(usize, ChunkOut)>,
+    err: Option<ShardRunError>,
+    /// The handle, unless the shard died.
+    handle: Option<ShardHandle>,
+    /// Work items that never produced a result (for respawn re-runs).
+    undone: Vec<(usize, Vec<Record>)>,
+}
+
+fn lost_or_protocol(shard: usize, e: TransportError) -> ShardRunError {
+    match e {
+        TransportError::Frame(_) | TransportError::Closed => ShardRunError::Lost { shard },
+        other => ShardRunError::Protocol { shard, detail: other.to_string() },
+    }
+}
+
+/// Drives one shard through a pipeline stage: STAGE, then DATA frames
+/// under the credit window, collecting RESULT frames.
+fn drive_pipeline_shard(
+    shard: usize,
+    mut handle: ShardHandle,
+    task_bytes: &[u8],
+    work: Vec<(usize, Vec<Record>)>,
+    window: usize,
+    kill_after: Option<u64>,
+    kill_fired: &AtomicBool,
+) -> ShardThreadOut {
+    let mut results: Vec<(usize, ChunkOut)> = Vec::new();
+    let outcome: Result<(), ShardRunError> = (|| {
+        handle
+            .chan
+            .send(K_STAGE, task_bytes)
+            .and_then(|()| handle.chan.flush())
+            .map_err(|e| lost_or_protocol(shard, e))?;
+        let kill_due = |chan: &ShardChannel| {
+            kill_after.is_some_and(|n| chan.frames_sent + chan.frames_received >= n)
+        };
+        let mut win = crate::transport::CreditWindow::new(window);
+        let mut cursor = 0usize;
+        loop {
+            while win.has_credit() && cursor < work.len() {
+                let (idx, records) = &work[cursor];
+                let payload = encode_chunk_payload(*idx, records);
+                handle
+                    .chan
+                    .send(K_DATA, &payload)
+                    .and_then(|()| handle.chan.flush())
+                    .map_err(|e| lost_or_protocol(shard, e))?;
+                win.on_sent();
+                cursor += 1;
+                if kill_due(&handle.chan) {
+                    kill_fired.store(true, Ordering::Relaxed);
+                    handle.force_kill();
+                    return Err(ShardRunError::Lost { shard });
+                }
+            }
+            if win.in_flight() == 0 && cursor >= work.len() {
+                return Ok(());
+            }
+            match handle.chan.recv() {
+                Ok(Some((K_RESULT, payload))) => {
+                    let mut r = Reader::new(&payload);
+                    let parsed = r
+                        .usize()
+                        .and_then(|idx| ChunkOut::decode(&mut r).map(|out| (idx, out)));
+                    match parsed {
+                        Ok(pair) => results.push(pair),
+                        Err(e) => {
+                            return Err(ShardRunError::Protocol {
+                                shard,
+                                detail: format!("bad RESULT payload: {e}"),
+                            })
+                        }
+                    }
+                    win.on_answered();
+                    if kill_due(&handle.chan) {
+                        kill_fired.store(true, Ordering::Relaxed);
+                        handle.force_kill();
+                        return Err(ShardRunError::Lost { shard });
+                    }
+                }
+                Ok(Some((K_ERR, payload))) => {
+                    let mut r = Reader::new(&payload);
+                    let stage = r.usize().unwrap_or(0);
+                    let chunk = r.usize().unwrap_or(0);
+                    return Err(ShardRunError::Panicked { stage, chunk });
+                }
+                Ok(Some((kind, _))) => {
+                    return Err(ShardRunError::Protocol {
+                        shard,
+                        detail: format!("unexpected frame kind {kind:#04x} awaiting RESULT"),
+                    })
+                }
+                Ok(None) => return Err(ShardRunError::Lost { shard }),
+                Err(e) => return Err(lost_or_protocol(shard, e)),
+            }
+        }
+    })();
+    let err = outcome.err();
+    // lint:allow(hash_iteration): membership test only; `undone` keeps `work`'s order
+    let done: std::collections::HashSet<usize> =
+        results.iter().map(|(idx, _)| *idx).collect();
+    let undone = work.into_iter().filter(|(idx, _)| !done.contains(idx)).collect();
+    ShardThreadOut { shard, results, err, handle: Some(handle), undone }
+}
+
+/// A shard's assignment for one stage run: `(shard index, live handle,
+/// [(chunk index, records)], kill-after-frames test hook)`.
+type ShardWork = (usize, ShardHandle, Vec<(usize, Vec<Record>)>, Option<u64>);
+
+/// What a reduce feeder thread hands back: `(shard index, output when
+/// clean, error, handle when still joinable, the slice for re-runs)`.
+type ReduceThreadOut = (
+    usize,
+    Option<ReduceShardOut>,
+    Option<ShardRunError>,
+    Option<ShardHandle>,
+    Vec<(usize, Vec<Record>)>,
+);
+
+/// Runs one pipeline stage across the pool: chunks are dealt
+/// round-robin over the shards, each shard driven by its own feeder
+/// thread under the per-edge credit window, and results are merged
+/// back in chunk order — the exact merge order of the in-process pass.
+pub fn run_stage_sharded(
+    pool: &mut ShardPool,
+    task: &StageTask,
+    chunks: Vec<Vec<Record>>,
+) -> Result<Vec<ChunkOut>, ShardRunError> {
+    let n_chunks = chunks.len();
+    if n_chunks == 0 {
+        return Ok(Vec::new());
+    }
+    let n_shards = pool.shards();
+    let mut assigned: Vec<Vec<(usize, Vec<Record>)>> = (0..n_shards).map(|_| Vec::new()).collect();
+    for (i, c) in chunks.into_iter().enumerate() {
+        assigned[i % n_shards].push((i, c));
+    }
+    let mut task_w = Writer::new();
+    task.encode(&mut task_w);
+    let task_bytes = task_w.into_bytes();
+    let window = pool.cfg.window;
+
+    let mut shard_work: Vec<ShardWork> = Vec::new();
+    for (shard, work) in assigned.into_iter().enumerate() {
+        if work.is_empty() {
+            continue;
+        }
+        let handle = pool.take_or_spawn(shard)?;
+        let kill_after = pool.kill_threshold(shard);
+        shard_work.push((shard, handle, work, kill_after));
+    }
+
+    let kill_fired = Arc::clone(&pool.kill_fired);
+    let outs: Vec<ShardThreadOut> = std::thread::scope(|scope| {
+        let task_bytes = &task_bytes;
+        let kill_fired = &kill_fired;
+        let joins: Vec<_> = shard_work
+            .into_iter()
+            .map(|(shard, handle, work, kill_after)| {
+                scope.spawn(move || {
+                    drive_pipeline_shard(
+                        shard, handle, task_bytes, work, window, kill_after, kill_fired,
+                    )
+                })
+            })
+            .collect();
+        joins
+            .into_iter()
+            .map(|j| j.join().unwrap_or(ShardThreadOut {
+                shard: 0,
+                results: Vec::new(),
+                err: Some(ShardRunError::Protocol {
+                    shard: 0,
+                    detail: "shard feeder thread panicked".to_string(),
+                }),
+                handle: None,
+                undone: Vec::new(),
+            }))
+            .collect()
+    });
+
+    let mut slots: Vec<Option<ChunkOut>> = (0..n_chunks).map(|_| None).collect();
+    let mut first_err: Option<ShardRunError> = None;
+    for out in outs {
+        for (idx, chunk_out) in out.results {
+            slots[idx] = Some(chunk_out);
+        }
+        // A handle that hit any error is dead or desynchronized: bury it
+        // (keeping its frame counters) rather than ever reusing it.
+        match (&out.err, out.handle) {
+            (None, Some(h)) => pool.handles[out.shard] = Some(h),
+            (_, Some(h)) => pool.bury(h),
+            (_, None) => {}
+        }
+        if let Some(err) = out.err {
+            match err {
+                ShardRunError::Lost { shard } if pool.cfg.respawn_lost => {
+                    // Respawn and re-run whatever never reported back.
+                    pool.respawns += 1;
+                    let fresh = pool.take_or_spawn(shard)?;
+                    let redo = drive_pipeline_shard(
+                        shard,
+                        fresh,
+                        &task_bytes,
+                        out.undone,
+                        window,
+                        None,
+                        &pool.kill_fired,
+                    );
+                    for (idx, chunk_out) in redo.results {
+                        slots[idx] = Some(chunk_out);
+                    }
+                    match (&redo.err, redo.handle) {
+                        (None, Some(h)) => pool.handles[shard] = Some(h),
+                        (_, Some(h)) => pool.bury(h),
+                        (_, None) => {}
+                    }
+                    if let Some(e) = redo.err {
+                        first_err.get_or_insert(e);
+                    }
+                }
+                // a panic outranks a loss: it is deterministic and the
+                // in-process path would have surfaced it too
+                ShardRunError::Panicked { .. } => {
+                    first_err = Some(err);
+                }
+                other => {
+                    first_err.get_or_insert(other);
+                }
+            }
+        }
+    }
+    if let Some(err) = first_err {
+        return Err(err);
+    }
+    let mut out = Vec::with_capacity(n_chunks);
+    for (idx, slot) in slots.into_iter().enumerate() {
+        match slot {
+            Some(c) => out.push(c),
+            None => {
+                return Err(ShardRunError::Protocol {
+                    shard: idx % n_shards,
+                    detail: format!("chunk {idx} never produced a result"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// One shard's reduce contribution: key-sorted groups (records in
+/// arrival order within each key) plus spill statistics.
+#[derive(Debug, Default)]
+pub struct ReduceShardOut {
+    pub groups: Vec<(String, Vec<Record>)>,
+    pub spill_runs: u64,
+    pub spill_bytes: u64,
+}
+
+fn drive_reduce_shard(
+    shard: usize,
+    mut handle: ShardHandle,
+    task_bytes: &[u8],
+    work: Vec<(usize, Vec<Record>)>,
+    window: usize,
+    kill_after: Option<u64>,
+    kill_fired: &AtomicBool,
+) -> (Option<ReduceShardOut>, Option<ShardRunError>, ShardHandle) {
+    let mut reduce_out = ReduceShardOut::default();
+    let outcome: Result<(), ShardRunError> = (|| {
+        handle
+            .chan
+            .send(K_STAGE, task_bytes)
+            .and_then(|()| handle.chan.flush())
+            .map_err(|e| lost_or_protocol(shard, e))?;
+        let kill_due = |chan: &ShardChannel| {
+            kill_after.is_some_and(|n| chan.frames_sent + chan.frames_received >= n)
+        };
+        let mut win = crate::transport::CreditWindow::new(window);
+        let mut cursor = 0usize;
+        // Feed every sub-chunk under the credit window (ACK per DATA).
+        while cursor < work.len() || win.in_flight() > 0 {
+            while win.has_credit() && cursor < work.len() {
+                let (idx, records) = &work[cursor];
+                let payload = encode_chunk_payload(*idx, records);
+                handle
+                    .chan
+                    .send(K_DATA, &payload)
+                    .and_then(|()| handle.chan.flush())
+                    .map_err(|e| lost_or_protocol(shard, e))?;
+                win.on_sent();
+                cursor += 1;
+                if kill_due(&handle.chan) {
+                    kill_fired.store(true, Ordering::Relaxed);
+                    handle.force_kill();
+                    return Err(ShardRunError::Lost { shard });
+                }
+            }
+            if win.in_flight() == 0 {
+                continue;
+            }
+            match handle.chan.recv() {
+                Ok(Some((K_ACK, _))) => {
+                    win.on_answered();
+                    if kill_due(&handle.chan) {
+                        kill_fired.store(true, Ordering::Relaxed);
+                        handle.force_kill();
+                        return Err(ShardRunError::Lost { shard });
+                    }
+                }
+                Ok(Some((kind, _))) => {
+                    return Err(ShardRunError::Protocol {
+                        shard,
+                        detail: format!("unexpected frame kind {kind:#04x} awaiting ACK"),
+                    })
+                }
+                Ok(None) => return Err(ShardRunError::Lost { shard }),
+                Err(e) => return Err(lost_or_protocol(shard, e)),
+            }
+        }
+        handle
+            .chan
+            .send(K_EOF_DATA, &[])
+            .and_then(|()| handle.chan.flush())
+            .map_err(|e| lost_or_protocol(shard, e))?;
+        // Collect the sorted group stream.
+        loop {
+            match handle.chan.recv() {
+                Ok(Some((K_GROUPS, payload))) => {
+                    let mut r = Reader::new(&payload);
+                    let batch: Vec<(String, Vec<Record>)> =
+                        Snapshot::decode(&mut r).map_err(|e| ShardRunError::Protocol {
+                            shard,
+                            detail: format!("bad GROUPS payload: {e}"),
+                        })?;
+                    reduce_out.groups.extend(batch);
+                    if kill_due(&handle.chan) {
+                        kill_fired.store(true, Ordering::Relaxed);
+                        handle.force_kill();
+                        return Err(ShardRunError::Lost { shard });
+                    }
+                }
+                Ok(Some((K_DONE, payload))) => {
+                    let mut r = Reader::new(&payload);
+                    reduce_out.spill_runs = r.u64().unwrap_or(0);
+                    reduce_out.spill_bytes = r.u64().unwrap_or(0);
+                    return Ok(());
+                }
+                Ok(Some((kind, _))) => {
+                    return Err(ShardRunError::Protocol {
+                        shard,
+                        detail: format!("unexpected frame kind {kind:#04x} awaiting GROUPS"),
+                    })
+                }
+                Ok(None) => return Err(ShardRunError::Lost { shard }),
+                Err(e) => return Err(lost_or_protocol(shard, e)),
+            }
+        }
+    })();
+    let err = outcome.err();
+    (if err.is_none() { Some(reduce_out) } else { None }, err, handle)
+}
+
+/// Runs an uncombined Reduce's shuffle across the pool. `slices[s]` is
+/// shard `s`'s *contiguous* run of sub-chunks — contiguity is what lets
+/// the parent rebuild global arrival order per key by concatenating
+/// shard outputs in shard order. Returns one [`ReduceShardOut`] per
+/// shard, in shard order.
+pub fn run_reduce_sharded(
+    pool: &mut ShardPool,
+    key: &KeySpec,
+    slices: Vec<Vec<Vec<Record>>>,
+) -> Result<Vec<ReduceShardOut>, ShardRunError> {
+    let n_shards = pool.shards();
+    let task = StageTask::GroupBy {
+        key: key.clone(),
+        spill_threshold: pool.cfg.spill_threshold_bytes,
+    };
+    let mut task_w = Writer::new();
+    task.encode(&mut task_w);
+    let task_bytes = task_w.into_bytes();
+    let window = pool.cfg.window;
+
+    let mut shard_work: Vec<ShardWork> = Vec::new();
+    let mut active: Vec<usize> = Vec::new();
+    for (shard, slice) in slices.into_iter().enumerate().take(n_shards) {
+        if slice.is_empty() {
+            continue;
+        }
+        let work: Vec<(usize, Vec<Record>)> = slice.into_iter().enumerate().collect();
+        let handle = pool.take_or_spawn(shard)?;
+        let kill_after = pool.kill_threshold(shard);
+        shard_work.push((shard, handle, work, kill_after));
+        active.push(shard);
+    }
+
+    let kill_fired = Arc::clone(&pool.kill_fired);
+    let outs: Vec<ReduceThreadOut> = std::thread::scope(|scope| {
+        let task_bytes = &task_bytes;
+        let kill_fired = &kill_fired;
+        let joins: Vec<_> = shard_work
+            .into_iter()
+            .map(|(shard, handle, work, kill_after)| {
+                scope.spawn(move || {
+                    let redo = work.clone();
+                    let (out, err, handle) = drive_reduce_shard(
+                        shard, handle, task_bytes, work, window, kill_after, kill_fired,
+                    );
+                    (shard, out, err, Some(handle), redo)
+                })
+            })
+            .collect();
+        joins
+            .into_iter()
+            .map(|j| {
+                j.join().unwrap_or((
+                    0,
+                    None,
+                    Some(ShardRunError::Protocol {
+                        shard: 0,
+                        detail: "shard feeder thread panicked".to_string(),
+                    }),
+                    None,
+                    Vec::new(),
+                ))
+            })
+            .collect()
+    });
+
+    let mut per_shard: Vec<Option<ReduceShardOut>> = (0..n_shards).map(|_| None).collect();
+    let mut first_err: Option<ShardRunError> = None;
+    for (shard, out, err, handle, redo_work) in outs {
+        // Bury errored handles (keeping counters); restore healthy ones.
+        match (&err, handle) {
+            (None, Some(h)) => pool.handles[shard] = Some(h),
+            (_, Some(h)) => pool.bury(h),
+            (_, None) => {}
+        }
+        if let Some(o) = out {
+            per_shard[shard] = Some(o);
+        }
+        if let Some(err) = err {
+            match err {
+                ShardRunError::Lost { .. } if pool.cfg.respawn_lost => {
+                    // Groups only commit at DONE, so a lost reduce shard
+                    // simply re-runs its whole slice on a fresh worker.
+                    pool.respawns += 1;
+                    let fresh = pool.take_or_spawn(shard)?;
+                    let (out, err, handle) = drive_reduce_shard(
+                        shard,
+                        fresh,
+                        &task_bytes,
+                        redo_work,
+                        window,
+                        None,
+                        &pool.kill_fired,
+                    );
+                    match (&err, handle) {
+                        (None, h) => pool.handles[shard] = Some(h),
+                        (_, h) => pool.bury(h),
+                    }
+                    if let Some(o) = out {
+                        per_shard[shard] = Some(o);
+                    }
+                    if let Some(e) = err {
+                        first_err.get_or_insert(e);
+                    }
+                }
+                other => {
+                    first_err.get_or_insert(other);
+                }
+            }
+        }
+    }
+    if let Some(err) = first_err {
+        return Err(err);
+    }
+    let mut result = Vec::with_capacity(n_shards);
+    for (shard, slot) in per_shard.into_iter().enumerate() {
+        match slot {
+            Some(o) => result.push(o),
+            None if active.contains(&shard) => {
+                return Err(ShardRunError::Protocol {
+                    shard,
+                    detail: "reduce shard never reported DONE".to_string(),
+                })
+            }
+            None => result.push(ReduceShardOut::default()),
+        }
+    }
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap as Map;
+
+    fn docs(n: usize) -> Vec<Record> {
+        (0..n)
+            .map(|i| {
+                let mut r = Record::new();
+                r.set("id", i as i64)
+                    .set("text", format!("document {i} with a little body text"));
+                r
+            })
+            .collect()
+    }
+
+    fn stamp_spec() -> OpSpec {
+        OpSpec::new(
+            "stamp",
+            Package::Base,
+            SpecOp::MapStamp { field: "stamp".into(), from: "id".into(), mul: 3, add: 1 },
+        )
+    }
+
+    fn reduce_spec() -> OpSpec {
+        OpSpec::new(
+            "tally",
+            Package::Base,
+            SpecOp::Reduce {
+                key: KeySpec::IntMod { field: "id".into(), modulus: 3, prefix: "g".into() },
+                agg: AggSpec::Count { into: "n".into() },
+            },
+        )
+    }
+
+    #[test]
+    fn specs_roundtrip_through_the_codec() {
+        let specs = vec![
+            stamp_spec(),
+            OpSpec::new("upper", Package::Ie, SpecOp::MapUpper),
+            OpSpec::new("grow", Package::Wa, SpecOp::MapGrow { suffix: " lorem".into() }),
+            OpSpec::new("dup", Package::Dc, SpecOp::FlatMapDup { copies: 2, tag: "half".into() }),
+            OpSpec::new(
+                "parity",
+                Package::Base,
+                SpecOp::FilterIntMod { field: "id".into(), modulus: 2, keep: 0 },
+            ),
+            reduce_spec().with_cost(CostModel {
+                startup_secs: 2.5,
+                memory_bytes: 1 << 20,
+                us_per_char: 0.25,
+                quadratic_ref: Some(900.0),
+            }),
+        ];
+        for spec in specs {
+            let mut w = Writer::new();
+            spec.encode(&mut w);
+            let bytes = w.into_bytes();
+            let mut r = Reader::new(&bytes);
+            let back = OpSpec::decode(&mut r).unwrap();
+            assert_eq!(back, spec);
+            assert!(r.is_empty());
+        }
+    }
+
+    #[test]
+    fn bad_spec_tags_are_typed_errors() {
+        let mut w = Writer::new();
+        w.str("x");
+        w.u8(200); // bogus package tag
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(OpSpec::decode(&mut r), Err(CodecError::BadTag { .. })));
+    }
+
+    #[test]
+    fn built_operators_execute_their_recipes() {
+        let stamp = stamp_spec().build();
+        let OpFunc::Map(f) = stamp.func() else { panic!("stamp is a map") };
+        let mut r = Record::new();
+        r.set("id", 7i64);
+        let out = f(r);
+        assert_eq!(out.get("stamp").and_then(Value::as_int), Some(22));
+        assert_eq!(stamp.reads, vec!["id".to_string()]);
+        assert_eq!(stamp.writes, vec!["stamp".to_string()]);
+        assert!(stamp.spec().is_some());
+    }
+
+    #[test]
+    fn worker_serves_a_pipeline_stage_identically_to_a_direct_kernel_run() {
+        let specs = vec![
+            stamp_spec(),
+            OpSpec::new(
+                "parity",
+                Package::Base,
+                SpecOp::FilterIntMod { field: "id".into(), modulus: 2, keep: 0 },
+            ),
+        ];
+        let ops: Vec<Operator> = specs.iter().map(OpSpec::build).collect();
+        let refs: Vec<&Operator> = ops.iter().collect();
+        let kernel = StageKernel {
+            ops: &refs,
+            fold: None,
+            tapped: &[],
+            work_scale: 1.0,
+            chain_len: 2,
+        };
+        let mut arena = BatchArena::new();
+        let direct = kernel.run_chunk(
+            RecordBatch::split(docs(10), 4),
+            &mut arena,
+            &Cell::new(0),
+        );
+
+        let mut pool = ShardPool::new(ShardConfig::in_process(1));
+        let task = StageTask::Pipeline {
+            ops: specs,
+            fold: None,
+            tapped: vec![],
+            work_scale: 1.0,
+            batch_size: 4,
+            chain_len: 2,
+        };
+        let outs = run_stage_sharded(&mut pool, &task, vec![docs(10)]).unwrap();
+        assert_eq!(outs.len(), 1);
+        let sharded = &outs[0];
+        assert_eq!(sharded.out, direct.out);
+        assert_eq!(sharded.bytes_out, direct.bytes_out);
+        assert_eq!(sharded.stages.len(), direct.stages.len());
+        for (a, b) in sharded.stages.iter().zip(&direct.stages) {
+            assert_eq!(a.records_in, b.records_in);
+            assert_eq!(a.bytes_in, b.bytes_in);
+            assert_eq!(
+                a.costs.iter().map(|c| c.to_bits()).collect::<Vec<_>>(),
+                b.costs.iter().map(|c| c.to_bits()).collect::<Vec<_>>()
+            );
+        }
+        assert!(pool.frames_total() > 0);
+    }
+
+    #[test]
+    fn group_by_worker_spills_and_streams_sorted_arrival_ordered_groups() {
+        let key = KeySpec::IntMod { field: "id".into(), modulus: 3, prefix: "g".into() };
+        // Tiny threshold: every fold spills, the merge walks disk runs.
+        let mut pool = ShardPool::new(ShardConfig::in_process(1).with_spill_threshold(64));
+        let input = docs(30);
+        let slices = vec![input.chunks(7).map(<[Record]>::to_vec).collect()];
+        let outs = run_reduce_sharded(&mut pool, &key, slices).unwrap();
+        assert_eq!(outs.len(), 1);
+        let out = &outs[0];
+        assert!(out.spill_runs > 0, "tiny threshold must force spills");
+        assert!(out.spill_bytes > 0);
+        let keys: Vec<&str> = out.groups.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, vec!["g0", "g1", "g2"]);
+        // Arrival order within each key: ids ascending (input order).
+        for (k, rs) in &out.groups {
+            let ids: Vec<i64> = rs.iter().filter_map(|r| r.get("id").and_then(Value::as_int)).collect();
+            let mut sorted = ids.clone();
+            sorted.sort_unstable();
+            assert_eq!(ids, sorted, "group {k} lost arrival order");
+            assert_eq!(ids.len(), 10);
+        }
+    }
+
+    #[test]
+    fn killed_shard_surfaces_as_lost() {
+        let cfg = ShardConfig::in_process(2).with_kill(KillSpec { shard: 1, after_frames: 2 });
+        let mut pool = ShardPool::new(cfg);
+        let task = StageTask::Pipeline {
+            ops: vec![stamp_spec()],
+            fold: None,
+            tapped: vec![],
+            work_scale: 1.0,
+            batch_size: 8,
+            chain_len: 1,
+        };
+        let chunks: Vec<Vec<Record>> = (0..6).map(|_| docs(4)).collect();
+        match run_stage_sharded(&mut pool, &task, chunks) {
+            Err(ShardRunError::Lost { shard }) => assert_eq!(shard, 1),
+            other => panic!("expected Lost, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn respawned_shard_recovers_all_chunks() {
+        let cfg = ShardConfig::in_process(2)
+            .with_kill(KillSpec { shard: 0, after_frames: 3 })
+            .with_respawn(true);
+        let mut pool = ShardPool::new(cfg);
+        let task = StageTask::Pipeline {
+            ops: vec![stamp_spec()],
+            fold: None,
+            tapped: vec![],
+            work_scale: 1.0,
+            batch_size: 8,
+            chain_len: 1,
+        };
+        let chunks: Vec<Vec<Record>> = (0..6).map(|i| docs(3 + i)).collect();
+        let outs = run_stage_sharded(&mut pool, &task, chunks).unwrap();
+        assert_eq!(outs.len(), 6);
+        assert_eq!(pool.respawns, 1);
+        for (i, out) in outs.iter().enumerate() {
+            assert_eq!(out.out.len(), 3 + i);
+            assert!(out.out.iter().all(|r| r.contains("stamp")));
+        }
+    }
+
+    #[test]
+    fn chunk_out_roundtrips_with_partials_and_taps() {
+        let entries = vec![
+            ("a".to_string(), AggState::Count(3), vec![0.5, 0.25]),
+            ("b".to_string(), AggState::Sum(41), vec![1.0]),
+        ];
+        let original = ChunkOut {
+            stages: vec![ChunkStats {
+                costs: vec![0.125, 0.25],
+                records_in: 2,
+                bytes_in: 99,
+                wall_ms: 7.0,
+            }],
+            out: docs(3),
+            bytes_out: 123,
+            partial: Some((entries, 456)),
+            taps: vec![docs(1), Vec::new()],
+        };
+        let mut w = Writer::new();
+        original.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let back = ChunkOut::decode(&mut r).unwrap();
+        assert!(r.is_empty());
+        assert_eq!(back.out, original.out);
+        assert_eq!(back.bytes_out, original.bytes_out);
+        assert_eq!(back.taps, original.taps);
+        assert_eq!(back.stages[0].records_in, 2);
+        assert_eq!(back.stages[0].wall_ms, 0.0, "wall_ms never crosses the wire");
+        let (entries, shuffled) = back.partial.unwrap();
+        assert_eq!(shuffled, 456);
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].0, "a");
+        assert_eq!(entries[0].1, AggState::Count(3));
+        assert_eq!(entries[1].2, vec![1.0]);
+    }
+
+    #[test]
+    fn key_specs_group_consistently_with_their_built_closures() {
+        let spec = KeySpec::IntMod { field: "id".into(), modulus: 4, prefix: "p".into() };
+        let f = spec.key_fn();
+        let mut seen: Map<String, usize> = Map::new();
+        for r in docs(12) {
+            *seen.entry(f(&r)).or_default() += 1;
+        }
+        let mut keys: Vec<(String, usize)> = seen.into_iter().collect();
+        keys.sort();
+        assert_eq!(
+            keys,
+            vec![
+                ("p0".to_string(), 3),
+                ("p1".to_string(), 3),
+                ("p2".to_string(), 3),
+                ("p3".to_string(), 3)
+            ]
+        );
+    }
+}

@@ -1,0 +1,246 @@
+//! Typed frame protocol between the executor and its worker shards.
+//!
+//! The raw streaming layer ([`websift_resilience::frame`]) moves opaque
+//! `(kind, payload)` frames over a pipe or socket; this module gives the
+//! shuffle its vocabulary (frame kinds), a counting [`FrameChannel`]
+//! wrapper, and the [`CreditWindow`] that bounds how much data the
+//! parent may have in flight toward one shard — the per-edge
+//! backpressure of the sharded runtime.
+//!
+//! Everything arriving on a channel is untrusted: a worker process may
+//! have died mid-frame, a stream may have desynchronized, a kind byte
+//! may be garbage. Every decode path here returns a typed
+//! [`TransportError`]; nothing panics on wire bytes.
+
+use std::fmt;
+use std::io::{Read, Write};
+
+use websift_resilience::frame::{read_frame, write_frame, FrameError};
+use websift_resilience::CodecError;
+
+/// Stage setup: the serialized stage task a worker must execute.
+pub const K_STAGE: u8 = 0x01;
+/// A chunk of input records (parent → worker).
+pub const K_DATA: u8 = 0x02;
+/// End of input for the current stage (parent → worker).
+pub const K_EOF_DATA: u8 = 0x03;
+/// Receipt of one `K_DATA` frame (worker → parent, group-by mode).
+pub const K_ACK: u8 = 0x04;
+/// One chunk's full result (worker → parent, pipeline mode).
+pub const K_RESULT: u8 = 0x05;
+/// A batch of grouped records (worker → parent, group-by mode).
+pub const K_GROUPS: u8 = 0x06;
+/// End of the worker's group stream, carrying spill statistics.
+pub const K_DONE: u8 = 0x07;
+/// Worker-side failure (panic or bad stage spec), with context.
+pub const K_ERR: u8 = 0x08;
+/// Orderly shutdown request (parent → worker).
+pub const K_BYE: u8 = 0x09;
+
+/// Errors on a shard channel.
+#[derive(Debug)]
+pub enum TransportError {
+    /// The frame layer failed (I/O, truncation, corruption).
+    Frame(FrameError),
+    /// A frame payload failed to decode.
+    Codec(CodecError),
+    /// A frame of an unexpected kind arrived.
+    Protocol { expected: &'static str, got: u8 },
+    /// The peer closed the stream where a frame was required.
+    Closed,
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::Frame(e) => write!(f, "shard channel frame error: {e}"),
+            TransportError::Codec(e) => write!(f, "shard frame payload corrupt: {e}"),
+            TransportError::Protocol { expected, got } => {
+                write!(f, "shard protocol violation: expected {expected}, got frame kind {got:#04x}")
+            }
+            TransportError::Closed => write!(f, "shard channel closed mid-conversation"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+impl From<FrameError> for TransportError {
+    fn from(e: FrameError) -> TransportError {
+        TransportError::Frame(e)
+    }
+}
+
+impl From<CodecError> for TransportError {
+    fn from(e: CodecError) -> TransportError {
+        TransportError::Codec(e)
+    }
+}
+
+impl From<std::io::Error> for TransportError {
+    fn from(e: std::io::Error) -> TransportError {
+        TransportError::Frame(FrameError::Io(e))
+    }
+}
+
+/// A counted frame channel over any `Read`/`Write` pair — a child
+/// process's stdio pipes or one end of a `UnixStream` pair.
+#[derive(Debug)]
+pub struct FrameChannel<R, W> {
+    reader: R,
+    writer: W,
+    /// Frames written to the peer.
+    pub frames_sent: u64,
+    /// Frames read from the peer.
+    pub frames_received: u64,
+    /// Total payload bytes moved in either direction.
+    pub payload_bytes: u64,
+}
+
+impl<R: Read, W: Write> FrameChannel<R, W> {
+    pub fn new(reader: R, writer: W) -> FrameChannel<R, W> {
+        FrameChannel { reader, writer, frames_sent: 0, frames_received: 0, payload_bytes: 0 }
+    }
+
+    /// Writes one frame. Not flushed — call [`Self::flush`] at
+    /// turn-taking points so pipelined frames share syscalls.
+    pub fn send(&mut self, kind: u8, payload: &[u8]) -> Result<(), TransportError> {
+        write_frame(&mut self.writer, kind, payload)?;
+        self.frames_sent += 1;
+        self.payload_bytes += payload.len() as u64;
+        Ok(())
+    }
+
+    pub fn flush(&mut self) -> Result<(), TransportError> {
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    /// Reads the next frame; `Ok(None)` on clean end-of-stream.
+    pub fn recv(&mut self) -> Result<Option<(u8, Vec<u8>)>, TransportError> {
+        match read_frame(&mut self.reader)? {
+            Some((kind, payload)) => {
+                self.frames_received += 1;
+                self.payload_bytes += payload.len() as u64;
+                Ok(Some((kind, payload)))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Reads the next frame, treating end-of-stream as
+    /// [`TransportError::Closed`] — for protocol points where the peer
+    /// owes us an answer.
+    pub fn recv_required(&mut self, expected: &'static str) -> Result<(u8, Vec<u8>), TransportError> {
+        match self.recv()? {
+            Some(frame) => Ok(frame),
+            None => {
+                let _ = expected;
+                Err(TransportError::Closed)
+            }
+        }
+    }
+}
+
+/// Bounded per-edge backpressure: the parent may have at most `window`
+/// unanswered data frames outstanding toward one shard. The shard
+/// answers each `K_DATA` with a `K_RESULT` (pipeline mode) or `K_ACK`
+/// (group-by mode); the parent blocks on those answers before sending
+/// more, so a slow worker throttles its feeder instead of buffering an
+/// unbounded queue in the pipe.
+#[derive(Debug, Clone, Copy)]
+pub struct CreditWindow {
+    window: usize,
+    in_flight: usize,
+}
+
+impl CreditWindow {
+    pub fn new(window: usize) -> CreditWindow {
+        CreditWindow { window: window.max(1), in_flight: 0 }
+    }
+
+    /// May another data frame be sent without waiting for an answer?
+    pub fn has_credit(&self) -> bool {
+        self.in_flight < self.window
+    }
+
+    /// Records one data frame sent.
+    pub fn on_sent(&mut self) {
+        self.in_flight += 1;
+    }
+
+    /// Records one answer received, releasing one credit.
+    pub fn on_answered(&mut self) {
+        self.in_flight = self.in_flight.saturating_sub(1);
+    }
+
+    /// Data frames currently unanswered.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_roundtrips_and_counts() {
+        let mut wire = Vec::new();
+        {
+            let mut ch = FrameChannel::new(std::io::empty(), &mut wire);
+            ch.send(K_DATA, b"records").unwrap();
+            ch.send(K_EOF_DATA, b"").unwrap();
+            ch.flush().unwrap();
+            assert_eq!(ch.frames_sent, 2);
+            assert_eq!(ch.payload_bytes, 7);
+        }
+        let mut ch = FrameChannel::new(&wire[..], std::io::sink());
+        assert_eq!(ch.recv().unwrap(), Some((K_DATA, b"records".to_vec())));
+        assert_eq!(ch.recv().unwrap(), Some((K_EOF_DATA, Vec::new())));
+        assert_eq!(ch.recv().unwrap(), None);
+        assert_eq!(ch.frames_received, 2);
+    }
+
+    #[test]
+    fn required_recv_reports_closed_stream() {
+        let mut ch = FrameChannel::new(std::io::empty(), std::io::sink());
+        assert!(matches!(
+            ch.recv_required("a result"),
+            Err(TransportError::Closed)
+        ));
+    }
+
+    #[test]
+    fn truncated_stream_is_a_typed_frame_error() {
+        let mut wire = Vec::new();
+        {
+            let mut ch = FrameChannel::new(std::io::empty(), &mut wire);
+            ch.send(K_RESULT, b"partial aggregate bytes").unwrap();
+        }
+        let cut = &wire[..wire.len() - 3];
+        let mut ch = FrameChannel::new(cut, std::io::sink());
+        assert!(matches!(ch.recv(), Err(TransportError::Frame(_))));
+    }
+
+    #[test]
+    fn credit_window_bounds_in_flight_data() {
+        let mut win = CreditWindow::new(2);
+        assert!(win.has_credit());
+        win.on_sent();
+        win.on_sent();
+        assert!(!win.has_credit());
+        assert_eq!(win.in_flight(), 2);
+        win.on_answered();
+        assert!(win.has_credit());
+        win.on_answered();
+        win.on_answered(); // extra answers never underflow
+        assert_eq!(win.in_flight(), 0);
+    }
+
+    #[test]
+    fn zero_window_is_clamped_to_one() {
+        let win = CreditWindow::new(0);
+        assert!(win.has_credit());
+    }
+}

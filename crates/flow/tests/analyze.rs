@@ -108,6 +108,53 @@ fn golden_over_memory() {
     );
 }
 
+/// The sharded variant of §4.2 failure 3: a 10 GB flow that fits a
+/// two-node 24 GB cluster at DoP 2 in the one-process model (one worker
+/// per node sharing the footprint), but not as 8 worker *processes* —
+/// 4 shards per node each need the full 10 GB resident, and 40 GB > 24 GB.
+fn sharded_memory_plan() -> LogicalPlan {
+    let mut plan = LogicalPlan::new();
+    let src = plan.source("crawl");
+    let fat = plan
+        .add(
+            src,
+            Operator::map("ie.fat_model", Package::Ie, |r| r)
+                .with_reads(&["text"])
+                .with_writes(&["fat"])
+                .with_cost(CostModel {
+                    memory_bytes: 10u64 << 30,
+                    ..CostModel::default()
+                }),
+        )
+        .expect("static plan");
+    plan.sink(fat, "out").expect("static plan");
+    plan
+}
+
+#[test]
+fn golden_sharded_over_memory() {
+    let cluster = ClusterSpec::local(2, 24, 8);
+    let plan = sharded_memory_plan();
+
+    // one multi-threaded process per node: 10 GB fits 24 GB nodes
+    let unsharded = AnalyzeOptions::default().with_admission(cluster.clone(), 2);
+    assert!(
+        analyze_plan(&plan, &unsharded).is_empty(),
+        "the unsharded plan is admissible"
+    );
+    websift_flow::admit(&plan, 2, &cluster).expect("runtime admission agrees");
+
+    // 8 shard processes across 2 nodes: 4 x 10 GB per node does not
+    let sharded = unsharded.with_shards(8);
+    let diags = analyze_plan(&plan, &sharded);
+    assert_eq!(
+        diagnostics_to_json(&diags),
+        include_str!("golden/sharded_over_memory.json").trim_end(),
+    );
+    let err = websift_flow::admit_sharded(&plan, 2, &cluster, Some(8)).unwrap_err();
+    assert!(err.to_string().contains("10.0 GB"), "{err}");
+}
+
 /// The silent-pitfall golden: a per-corpus tally written as a `Custom`
 /// closure. The plan is correct and runs, but the executor cannot
 /// pre-aggregate it inside fused stages — the optimizer must say so

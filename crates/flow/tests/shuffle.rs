@@ -1,0 +1,544 @@
+//! Sharded-execution equivalence properties (the byte-identity contract
+//! behind `ExecutionConfig::sharding`):
+//!
+//! 1. sharding is *physical only*: across randomly generated chain
+//!    plans, fault seeds, DoPs, fusion and combining toggles, and shard
+//!    counts, a run on N worker shards is indistinguishable from the
+//!    in-process run on every deterministic surface — sink `Snapshot`
+//!    bytes, `FlowMetrics` codec bytes, bit-exact `simulated_secs`,
+//!    the deterministic digest, tracer JSONL, registry snapshot,
+//!    checkpoint frame bytes, and the WS00x analyzer verdict;
+//! 2. the identity holds when the shards are real OS processes (the
+//!    `shard_worker` binary) exchanging length-prefixed frames over
+//!    pipes, not just in-process socketpair threads;
+//! 3. a worker killed mid-run surfaces as `ShardLost` carrying the
+//!    checkpoints taken so far, and resuming from them — even at a
+//!    *different* shard count than the killed run, or unsharded —
+//!    reproduces the uninterrupted flow bit for bit;
+//! 4. an over-memory Reduce spills its group table to sorted disk runs
+//!    and still matches the in-memory grouping byte for byte;
+//! 5. records routed to a store sink (`Executor::run_into`) land
+//!    identically, so serve-side snapshots cannot observe sharding.
+//!
+//! The fourth axis of the `tests/fusion.rs` / `tests/partial_agg.rs` /
+//! `tests/batch.rs` equivalence family.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use websift_analyze::diagnostics_to_json;
+use websift_flow::{
+    AggSpec, ExecutionConfig, ExecutionError, Executor, FlowOutput, FlowResilience, KeySpec,
+    KillSpec, LogicalPlan, OpSpec, Operator, Package, Record, ShardConfig, SpecOp, StoreSink,
+    Value,
+};
+use websift_observe::Observer;
+use websift_resilience::{Snapshot, Writer};
+
+/// The path of the real worker-process binary, resolved by Cargo for
+/// this crate's own `shard_worker` bin target.
+fn worker_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_shard_worker")
+}
+
+/// The `tests/batch.rs` operator vocabulary rebuilt from [`OpSpec`]s, so
+/// every operator (closure and annotations alike) can be shipped to a
+/// worker shard byte-identically: stamping maps, a duplicating
+/// flat-map, a parity filter, a byte-growing map, the WS001-tripping
+/// `needs-stamp` op (so rejected plans stay part of the property), and a
+/// combinable Count reduce. Index 3 is the one deliberate exception — a
+/// `Custom`-closure reduce with no spec, which pins its stage to the
+/// in-process path and so proves the silent fallback is also identical.
+fn pool_op(idx: usize) -> Operator {
+    match idx {
+        0 => OpSpec::new(
+            "stamp",
+            Package::Base,
+            SpecOp::MapStamp { field: "stamp".into(), from: "id".into(), mul: 3, add: 1 },
+        )
+        .build(),
+        1 => OpSpec::new(
+            "dup",
+            Package::Base,
+            SpecOp::FlatMapDup { copies: 2, tag: "half".into() },
+        )
+        .build(),
+        2 => OpSpec::new(
+            "parity",
+            Package::Base,
+            SpecOp::FilterIntMod { field: "id".into(), modulus: 2, keep: 0 },
+        )
+        .build(),
+        3 => Operator::reduce(
+            "group",
+            Package::Base,
+            |r| format!("g{}", r.get("id").and_then(Value::as_int).unwrap_or(0) % 3),
+            |key, group| {
+                let mut out = Record::new();
+                out.set("id", group.len() as i64);
+                out.set("text", format!("{key}:{}", group.len()));
+                vec![out]
+            },
+        ),
+        4 => OpSpec::new(
+            "grow",
+            Package::Base,
+            SpecOp::MapGrow { suffix: " lorem ipsum dolor".into() },
+        )
+        .build(),
+        5 => OpSpec::new(
+            "needs-stamp",
+            Package::Base,
+            SpecOp::MapStamp { field: "x".into(), from: "stamp".into(), mul: 1, add: 0 },
+        )
+        .build(),
+        _ => OpSpec::new(
+            "tally",
+            Package::Base,
+            SpecOp::Reduce {
+                key: KeySpec::IntMod { field: "id".into(), modulus: 3, prefix: "g".into() },
+                agg: AggSpec::Count { into: "id".into() },
+            },
+        )
+        .build(),
+    }
+}
+
+fn chain_plan(indices: &[usize]) -> LogicalPlan {
+    let mut plan = LogicalPlan::new();
+    let mut prev = plan.source("in");
+    for &i in indices {
+        prev = plan.add(prev, pool_op(i)).expect("chain plan");
+    }
+    plan.sink(prev, "out").expect("chain plan");
+    plan
+}
+
+/// stamp -> dup -> parity -> grow -> sink "out", with a side branch
+/// hanging off the node at `branch_at` (1-based into the chain) feeding
+/// a second sink — the fan-out shape whose interior taps the worker
+/// shards must ship back alongside the main stream.
+fn fan_out_plan(branch_at: usize) -> LogicalPlan {
+    let mut plan = LogicalPlan::new();
+    let mut chain = vec![plan.source("in")];
+    for idx in [0usize, 1, 2, 4] {
+        let prev = *chain.last().expect("non-empty");
+        chain.push(plan.add(prev, pool_op(idx)).expect("fan-out plan"));
+    }
+    plan.sink(*chain.last().expect("non-empty"), "out").expect("fan-out plan");
+    let side = plan.add(chain[branch_at], pool_op(4)).expect("fan-out plan");
+    plan.sink(side, "side").expect("fan-out plan");
+    plan
+}
+
+fn docs(n: usize) -> Vec<Record> {
+    (0..n)
+        .map(|i| {
+            let mut r = Record::new();
+            r.set("id", i as i64);
+            r.set("text", format!("document {i} with a little body text"));
+            r
+        })
+        .collect()
+}
+
+fn inputs_for(input: Vec<Record>) -> HashMap<String, Vec<Record>> {
+    HashMap::from([("in".to_string(), input)])
+}
+
+/// Everything deterministic a run exposes, flattened to comparable
+/// bytes/strings — the `tests/batch.rs` surface. Physical facts
+/// (`PhysicalStats`, wire counters) are deliberately absent: they are
+/// *allowed* to differ across shard counts.
+struct RunSurface {
+    sink_bytes: Option<Vec<u8>>,
+    metrics_bytes: Option<Vec<u8>>,
+    simulated_bits: Option<u64>,
+    digest: Option<u64>,
+    jsonl: String,
+    registry: websift_observe::RegistrySnapshot,
+    checkpoints: Vec<(usize, Vec<u8>)>,
+    error: Option<String>,
+}
+
+fn run_surface(
+    plan: &LogicalPlan,
+    input: Vec<Record>,
+    config: ExecutionConfig,
+    res: &FlowResilience,
+) -> RunSurface {
+    let obs = Observer::new();
+    let result = Executor::new(config).run_observed(plan, inputs_for(input), res, &obs);
+    let (output, checkpoints, error): (Option<FlowOutput>, _, Option<String>) = match result {
+        Ok(run) => (
+            run.output,
+            run.checkpoints
+                .iter()
+                .map(|c| (c.next_node, c.as_bytes().to_vec()))
+                .collect(),
+            None,
+        ),
+        Err(ExecutionError::PlanRejected { diagnostics }) => {
+            (None, Vec::new(), Some(format!("WS00x: {}", diagnostics_to_json(&diagnostics))))
+        }
+        Err(e) => (None, Vec::new(), Some(format!("{e}"))),
+    };
+    let mut surface = RunSurface {
+        sink_bytes: None,
+        metrics_bytes: None,
+        simulated_bits: None,
+        digest: None,
+        jsonl: obs.tracer().to_jsonl(),
+        registry: obs.registry().snapshot(),
+        checkpoints,
+        error,
+    };
+    if let Some(out) = output {
+        let mut w = Writer::new();
+        out.sinks.encode(&mut w);
+        surface.sink_bytes = Some(w.into_bytes());
+        let mut w = Writer::new();
+        out.metrics.encode(&mut w);
+        surface.metrics_bytes = Some(w.into_bytes());
+        surface.simulated_bits = Some(out.metrics.simulated_secs.to_bits());
+        surface.digest = Some(out.deterministic_digest());
+    }
+    surface
+}
+
+/// Asserts two surfaces are byte-identical inside a proptest; `ctx`
+/// labels failures.
+macro_rules! prop_assert_surfaces_equal {
+    ($a:expr, $b:expr, $ctx:expr) => {{
+        let (a, b, ctx) = ($a, $b, $ctx);
+        prop_assert_eq!(a.error, b.error, "failure surface diverged: {}", ctx);
+        prop_assert_eq!(a.sink_bytes, b.sink_bytes, "sink bytes diverged: {}", ctx);
+        prop_assert_eq!(a.metrics_bytes, b.metrics_bytes, "metrics bytes diverged: {}", ctx);
+        prop_assert_eq!(a.simulated_bits, b.simulated_bits, "simulated clock diverged: {}", ctx);
+        prop_assert_eq!(a.digest, b.digest, "digest diverged: {}", ctx);
+        prop_assert_eq!(a.jsonl, b.jsonl, "tracer JSONL diverged: {}", ctx);
+        prop_assert_eq!(a.registry, b.registry, "registry diverged: {}", ctx);
+        prop_assert_eq!(a.checkpoints, b.checkpoints, "checkpoint frames diverged: {}", ctx);
+    }};
+}
+
+/// The pinned-test sibling of [`prop_assert_surfaces_equal`].
+macro_rules! assert_surfaces_equal {
+    ($a:expr, $b:expr, $ctx:expr) => {{
+        let (a, b, ctx) = ($a, $b, $ctx);
+        assert_eq!(a.error, b.error, "failure surface diverged: {ctx}");
+        assert_eq!(a.sink_bytes, b.sink_bytes, "sink bytes diverged: {ctx}");
+        assert_eq!(a.metrics_bytes, b.metrics_bytes, "metrics bytes diverged: {ctx}");
+        assert_eq!(a.simulated_bits, b.simulated_bits, "simulated clock diverged: {ctx}");
+        assert_eq!(a.digest, b.digest, "digest diverged: {ctx}");
+        assert_eq!(a.jsonl, b.jsonl, "tracer JSONL diverged: {ctx}");
+        assert_eq!(a.registry, b.registry, "registry diverged: {ctx}");
+        assert_eq!(a.checkpoints, b.checkpoints, "checkpoint frames diverged: {ctx}");
+    }};
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The tentpole property: the worker-shard count is unobservable on
+    /// every deterministic surface, whatever the fusion/combining
+    /// toggles, DoP, fault seed, or checkpoint cadence.
+    #[test]
+    fn shard_count_is_byte_identical_to_in_process_execution(
+        indices in prop::collection::vec(0usize..7, 1..8),
+        seed in 0u64..1_000_000,
+        rate_sel in 0usize..3,
+        dop_sel in 0usize..3,
+        n_docs in 0usize..40,
+        cadence in 1usize..4,
+        fusion_sel in 0usize..2,
+        combining_sel in 0usize..2,
+    ) {
+        let (fusion, combining) = (fusion_sel == 1, combining_sel == 1);
+        let dop = [1usize, 4, 8][dop_sel];
+        let plan = chain_plan(&indices);
+        let rate = [0.0, 0.15, 0.35][rate_sel];
+        let res = FlowResilience::injected(seed, rate, cadence);
+        let config = |sharding: Option<ShardConfig>| ExecutionConfig {
+            fusion,
+            combining,
+            sharding,
+            ..ExecutionConfig::local(dop)
+        };
+
+        let baseline = run_surface(&plan, docs(n_docs), config(None), &res);
+        for shards in [1usize, 2, 4] {
+            let sharded =
+                run_surface(&plan, docs(n_docs), config(Some(ShardConfig::in_process(shards))), &res);
+            let ctx = format!(
+                "indices={indices:?} seed={seed} dop={dop} fusion={fusion} \
+                 combining={combining} shards={shards}"
+            );
+            prop_assert_surfaces_equal!(&sharded, &baseline, ctx);
+        }
+    }
+}
+
+/// The fixed acceptance sweep with *real OS worker processes*: the
+/// `shard_worker` binary, spawned N >= 2 times, speaking the frame
+/// protocol over stdin/stdout pipes, must match the in-process engine
+/// byte for byte — with injected faults, across fusion x combining and
+/// the shard grid.
+#[test]
+fn real_worker_processes_match_in_process_execution() {
+    // stamp -> dup -> parity -> tally -> grow: a fused pipeline into a
+    // combinable reduce, so combining=false also exercises the sharded
+    // uncombined shuffle.
+    let plan = chain_plan(&[0, 1, 2, 6, 4]);
+    for seed in [7u64, 4242] {
+        for (fusion, combining) in [(true, true), (true, false), (false, false)] {
+            for dop in [1usize, 4] {
+                let res = FlowResilience::injected(seed, 0.2, 2);
+                let config = |sharding: Option<ShardConfig>| ExecutionConfig {
+                    fusion,
+                    combining,
+                    sharding,
+                    ..ExecutionConfig::local(dop)
+                };
+                let baseline = run_surface(&plan, docs(24), config(None), &res);
+                for shards in [2usize, 3] {
+                    let cfg = ShardConfig::process(shards, worker_bin());
+                    let sharded = run_surface(&plan, docs(24), config(Some(cfg)), &res);
+                    let ctx = format!(
+                        "seed {seed} dop {dop} fusion {fusion} combining {combining} \
+                         shards {shards} (process)"
+                    );
+                    assert_surfaces_equal!(&sharded, &baseline, ctx);
+                }
+            }
+        }
+    }
+
+    // The run really went through worker processes: physical stats count
+    // the shards and the frames/bytes that crossed the pipes.
+    let cfg = ExecutionConfig {
+        sharding: Some(ShardConfig::process(2, worker_bin())),
+        ..ExecutionConfig::local(4)
+    };
+    let out = Executor::new(cfg)
+        .run(&chain_plan(&[0, 2, 4]), inputs_for(docs(24)))
+        .expect("sharded run succeeds");
+    assert_eq!(out.physical.shards_used, 2, "two real worker processes");
+    assert!(out.physical.shard_frames > 0, "frames crossed the pipes");
+    assert!(out.physical.shard_wire_bytes > 0, "payload bytes crossed the pipes");
+}
+
+/// Kill a worker shard mid-run: the run fails as `ShardLost` carrying
+/// every checkpoint taken so far, and resuming from the last one — at a
+/// *different* shard count than the killed run, at the same count, or
+/// entirely unsharded — reproduces the uninterrupted flow bit for bit.
+#[test]
+fn killed_shard_resumes_bit_exactly_at_mismatched_shard_counts() {
+    // stamp -> parity -> tally -> grow, unfused so every node is its own
+    // constituent and checkpoints land between them; combining off so the
+    // tally runs the sharded uncombined shuffle.
+    let plan = chain_plan(&[0, 2, 6, 4]);
+    let full_res = FlowResilience { checkpoint_every_nodes: Some(1), ..FlowResilience::default() };
+    let config = |sharding: Option<ShardConfig>| ExecutionConfig {
+        fusion: false,
+        combining: false,
+        sharding,
+        ..ExecutionConfig::local(4)
+    };
+
+    let full = Executor::new(config(Some(ShardConfig::in_process(2))))
+        .run_resilient(&plan, inputs_for(docs(24)), &full_res)
+        .expect("uninterrupted run succeeds")
+        .output
+        .expect("uninterrupted run completes");
+
+    let mut resumes = 0usize;
+    for after_frames in [6u64, 12, 18] {
+        let kill = KillSpec { shard: 0, after_frames };
+        let cfg = ShardConfig::in_process(2).with_kill(kill);
+        let result =
+            Executor::new(config(Some(cfg))).run_resilient(&plan, inputs_for(docs(24)), &full_res);
+        match result {
+            Err(ExecutionError::ShardLost { shard, checkpoints, .. }) => {
+                assert_eq!(shard, 0, "the killed shard is the lost one");
+                let Some(ckpt) = checkpoints.last() else {
+                    // killed inside the first constituent, before any
+                    // checkpoint existed — nothing to resume from
+                    continue;
+                };
+                // resume at a mismatched shard count, the same count,
+                // and unsharded: checkpoint frames are shard-agnostic
+                for resume_sharding in
+                    [Some(ShardConfig::in_process(3)), Some(ShardConfig::in_process(2)), None]
+                {
+                    let label = match &resume_sharding {
+                        Some(s) => format!("{} shards", s.shards),
+                        None => "unsharded".to_string(),
+                    };
+                    let resumed = Executor::new(config(resume_sharding))
+                        .resume_from(&plan, ckpt, inputs_for(docs(24)), &full_res)
+                        .expect("resume succeeds")
+                        .output
+                        .expect("resume completes");
+                    let ctx = format!("after_frames {after_frames}, resume {label}");
+                    assert_eq!(resumed.sinks, full.sinks, "{ctx}");
+                    assert_eq!(
+                        resumed.deterministic_digest(),
+                        full.deterministic_digest(),
+                        "{ctx}"
+                    );
+                    assert_eq!(
+                        resumed.metrics.simulated_secs.to_bits(),
+                        full.metrics.simulated_secs.to_bits(),
+                        "{ctx}"
+                    );
+                }
+                resumes += 1;
+            }
+            Ok(run) => {
+                // the kill threshold was past the run's total traffic
+                let out = run.output.expect("uninterrupted run completes");
+                assert_eq!(out.deterministic_digest(), full.deterministic_digest());
+            }
+            Err(e) => panic!("unexpected failure: {e}"),
+        }
+    }
+    assert!(resumes >= 1, "at least one kill fired mid-run and resumed");
+}
+
+/// With `respawn_lost`, the pool replaces the killed worker and re-runs
+/// its unfinished chunks: the run completes, every surface matches the
+/// unsharded baseline, and the respawn is visible in physical stats.
+#[test]
+fn respawned_worker_completes_the_run_identically() {
+    let plan = chain_plan(&[0, 1, 2, 4]);
+    let res = FlowResilience::default();
+    let config = |sharding: Option<ShardConfig>| ExecutionConfig {
+        sharding,
+        ..ExecutionConfig::local(4)
+    };
+    let baseline = run_surface(&plan, docs(24), config(None), &res);
+
+    let cfg = ShardConfig::in_process(2)
+        .with_kill(KillSpec { shard: 1, after_frames: 3 })
+        .with_respawn(true);
+    let sharded = run_surface(&plan, docs(24), config(Some(cfg)), &res);
+    assert_surfaces_equal!(&sharded, &baseline, "respawned run");
+
+    let cfg = ShardConfig::in_process(2)
+        .with_kill(KillSpec { shard: 1, after_frames: 3 })
+        .with_respawn(true);
+    let out = Executor::new(config(Some(cfg)))
+        .run(&plan, inputs_for(docs(24)))
+        .expect("respawned run succeeds");
+    assert!(out.physical.shard_respawns >= 1, "the lost worker was respawned");
+}
+
+/// An uncombined Reduce whose group table exceeds the (tiny) memory
+/// threshold spills to sorted disk runs mid-shuffle; the merged groups
+/// still reproduce the in-memory grouping byte for byte, and the spill
+/// is visible in physical stats.
+#[test]
+fn over_memory_reduce_spills_to_disk_and_stays_byte_identical() {
+    let plan = chain_plan(&[0, 6]);
+    let res = FlowResilience::default();
+    let config = |sharding: Option<ShardConfig>| ExecutionConfig {
+        combining: false,
+        sharding,
+        ..ExecutionConfig::local(4)
+    };
+    let baseline = run_surface(&plan, docs(80), config(None), &res);
+    let sharded = run_surface(
+        &plan,
+        docs(80),
+        config(Some(ShardConfig::in_process(2).with_spill_threshold(64))),
+        &res,
+    );
+    assert_surfaces_equal!(&sharded, &baseline, "spilling reduce");
+
+    let out = Executor::new(config(Some(ShardConfig::in_process(2).with_spill_threshold(64))))
+        .run(&plan, inputs_for(docs(80)))
+        .expect("spilling run succeeds");
+    assert!(out.physical.spill_runs > 0, "the group table spilled at least once");
+    assert!(out.physical.spill_bytes > 0, "spilled bytes are accounted");
+}
+
+/// Fan-out plans: the fused chain tees an interior node to a side sink,
+/// so worker shards must ship tap streams back alongside the main
+/// stream. Every branch point must be shard-invariant on both sinks.
+#[test]
+fn fan_out_tee_is_shard_invariant() {
+    for branch_at in 1..=4usize {
+        let plan = fan_out_plan(branch_at);
+        for seed in [0u64, 909] {
+            let res = FlowResilience::injected(seed, 0.2, 2);
+            let baseline =
+                run_surface(&plan, docs(24), ExecutionConfig::local(4), &res);
+            assert!(baseline.error.is_none(), "fan-out plan must run: {:?}", baseline.error);
+            for shards in [2usize, 4] {
+                let sharded = run_surface(
+                    &plan,
+                    docs(24),
+                    ExecutionConfig {
+                        sharding: Some(ShardConfig::in_process(shards)),
+                        ..ExecutionConfig::local(4)
+                    },
+                    &res,
+                );
+                let ctx = format!("branch_at {branch_at} seed {seed} shards {shards}");
+                assert_surfaces_equal!(&sharded, &baseline, ctx);
+            }
+        }
+    }
+}
+
+/// A store sink capturing exactly what the executor delivers, encoded
+/// through the same `Snapshot` codec the serve-side stores persist.
+struct RecordingStore {
+    rows: Vec<(String, Vec<u8>)>,
+}
+
+impl StoreSink for RecordingStore {
+    fn store_name(&self) -> &str {
+        "kb"
+    }
+    fn append(&mut self, dataset: &str, records: Vec<Record>) {
+        for r in records {
+            let mut w = Writer::new();
+            r.encode(&mut w);
+            self.rows.push((dataset.to_string(), w.into_bytes()));
+        }
+    }
+}
+
+/// The eighth surface: records routed into a store via
+/// [`Executor::run_into`] arrive in the same order with the same bytes
+/// whatever the shard count, so serve-side snapshots built from a
+/// sharded run are byte-identical to in-process ones.
+#[test]
+fn store_snapshots_cannot_observe_sharding() {
+    let mut plan = LogicalPlan::new();
+    let mut prev = plan.source("in");
+    for idx in [0usize, 1, 2, 4] {
+        prev = plan.add(prev, pool_op(idx)).expect("store plan");
+    }
+    plan.sink(prev, "store:kb/docs").expect("store plan");
+
+    let run = |sharding: Option<ShardConfig>| {
+        let mut store = RecordingStore { rows: Vec::new() };
+        let out = Executor::new(ExecutionConfig {
+            sharding,
+            ..ExecutionConfig::local(4)
+        })
+        .run_into(&plan, inputs_for(docs(30)), &mut store)
+        .expect("store run succeeds");
+        (store.rows, out.deterministic_digest())
+    };
+
+    let (base_rows, base_digest) = run(None);
+    assert!(!base_rows.is_empty(), "records reached the store");
+    for shards in [1usize, 2, 4] {
+        let (rows, digest) = run(Some(ShardConfig::in_process(shards)));
+        assert_eq!(rows, base_rows, "store rows diverged at {shards} shards");
+        assert_eq!(digest, base_digest, "digest diverged at {shards} shards");
+    }
+}

@@ -41,11 +41,16 @@ pub struct LiveOptions {
     /// `Aggregate::Custom` reduces instead of rejecting them
     /// (see [`LiveError::NonCombinableReduce`]).
     pub allow_recompute: bool,
+    /// When set, each round's delta pass runs on worker shards instead of
+    /// in-process threads. Sharding never changes what a round produces —
+    /// store postings, watermarks, and metrics stay byte-identical — so
+    /// this is purely a physical-runtime choice.
+    pub sharding: Option<websift_flow::ShardConfig>,
 }
 
 impl Default for LiveOptions {
     fn default() -> LiveOptions {
-        LiveOptions { dop: 2, allow_recompute: false }
+        LiveOptions { dop: 2, allow_recompute: false, sharding: None }
     }
 }
 
@@ -217,7 +222,9 @@ impl<'w> LiveSession<'w> {
         let inputs =
             HashMap::from([(self.flow.source().to_string(), records)]);
         self.store.set_round(round_id);
-        let executor = Executor::new(ExecutionConfig::local(self.options.dop));
+        let mut exec_config = ExecutionConfig::local(self.options.dop);
+        exec_config.sharding = self.options.sharding.clone();
+        let executor = Executor::new(exec_config);
         let mut out = executor.run_into(self.flow.delta_plan(), inputs, &mut self.store)?;
 
         // Fold retained-reduce streams out of the sink map.

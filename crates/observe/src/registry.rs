@@ -358,6 +358,35 @@ impl RegistrySnapshot {
     pub fn by_name<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a (String, Labels, MetricValue)> {
         self.entries.iter().filter(move |(n, _, _)| n == name)
     }
+
+    /// Merges `other` into `self`, keyed by `(name, labels)`: counters
+    /// add, histograms merge bucket-wise ([`HistogramState::merge`]), and
+    /// gauges take `other`'s value (last write wins — per-shard gauges
+    /// report the same point-in-time fact, not a partition of it). Entries
+    /// only in `other` are inserted. The result stays sorted by
+    /// `(name, labels)`, so merging per-shard snapshots in shard order is
+    /// deterministic and byte-stable.
+    ///
+    /// Kind mismatches (one side's counter is the other's gauge) keep
+    /// `self`'s value: a merge must never invent a third kind.
+    pub fn merge(&mut self, other: &RegistrySnapshot) {
+        for (name, labels, value) in &other.entries {
+            let at = self
+                .entries
+                .binary_search_by(|(n, l, _)| n.cmp(name).then_with(|| l.cmp(labels)));
+            match at {
+                Err(insert_at) => {
+                    self.entries.insert(insert_at, (name.clone(), labels.clone(), value.clone()));
+                }
+                Ok(i) => match (&mut self.entries[i].2, value) {
+                    (MetricValue::Counter(a), MetricValue::Counter(b)) => *a += b,
+                    (MetricValue::Gauge(a), MetricValue::Gauge(b)) => *a = *b,
+                    (MetricValue::Histogram(a), MetricValue::Histogram(b)) => a.merge(b),
+                    _ => {}
+                },
+            }
+        }
+    }
 }
 
 impl Snapshot for RegistrySnapshot {
@@ -589,5 +618,48 @@ mod tests {
         assert_eq!(merged.count, 3);
         assert_eq!(merged.min, 0.5);
         assert_eq!(merged.max, 4.0);
+    }
+
+    #[test]
+    fn snapshot_merge_combines_per_shard_registries() {
+        let shard0 = MetricsRegistry::default();
+        shard0.counter("records", &Labels::empty()).add(10);
+        shard0.gauge("watermark", &Labels::empty()).set(3.0);
+        shard0.histogram("latency", &Labels::empty()).record(1.0);
+        shard0.counter("only0", &Labels::empty()).add(1);
+
+        let shard1 = MetricsRegistry::default();
+        shard1.counter("records", &Labels::empty()).add(5);
+        shard1.gauge("watermark", &Labels::empty()).set(4.0);
+        shard1.histogram("latency", &Labels::empty()).record(9.0);
+        shard1.counter("only1", &Labels::empty()).add(2);
+
+        let mut merged = shard0.snapshot();
+        merged.merge(&shard1.snapshot());
+
+        assert_eq!(
+            merged.get("records", &Labels::empty()),
+            Some(&MetricValue::Counter(15)),
+            "counters add"
+        );
+        assert_eq!(
+            merged.get("watermark", &Labels::empty()),
+            Some(&MetricValue::Gauge(4.0)),
+            "gauges take the merged-in value"
+        );
+        match merged.get("latency", &Labels::empty()) {
+            Some(MetricValue::Histogram(h)) => {
+                assert_eq!((h.count, h.min, h.max), (2, 1.0, 9.0), "histograms merge")
+            }
+            other => panic!("latency is a histogram, got {other:?}"),
+        }
+        assert_eq!(merged.get("only0", &Labels::empty()), Some(&MetricValue::Counter(1)));
+        assert_eq!(merged.get("only1", &Labels::empty()), Some(&MetricValue::Counter(2)));
+
+        // merging keeps the (name, labels) sort, so the merged snapshot's
+        // bytes are identical to a registry that saw both shards' updates
+        let both = MetricsRegistry::default();
+        both.restore(&merged);
+        assert_eq!(both.snapshot(), merged);
     }
 }

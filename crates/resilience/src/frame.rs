@@ -1,0 +1,262 @@
+//! Streaming frame layer for inter-process shuffle channels.
+//!
+//! The sealed-frame codec in [`crate::codec`] wraps a complete byte
+//! buffer; worker shards instead speak a *stream* of length-prefixed
+//! frames over pipes or sockets, where the reader cannot know the
+//! frame boundary until it has parsed the header. Each frame is
+//!
+//! ```text
+//! magic "WSFR" (4) | kind u8 | len u64 LE | payload | fnv64(payload)
+//! ```
+//!
+//! so a truncated, corrupted, or desynchronized stream surfaces as a
+//! typed [`FrameError`] instead of a panic or a silently-wrong record.
+//! A clean end-of-stream *between* frames decodes as `Ok(None)`; EOF
+//! anywhere inside a frame is [`FrameError::Truncated`].
+
+use std::fmt;
+use std::io::{self, ErrorKind, Read, Write};
+
+use crate::codec::digest;
+
+/// Leading magic of every shuffle frame.
+pub const FRAME_MAGIC: [u8; 4] = *b"WSFR";
+
+/// Upper bound on a single frame's payload. A length prefix beyond
+/// this is treated as stream corruption rather than an allocation
+/// request — a desynchronized reader must not OOM the worker.
+pub const MAX_FRAME_BYTES: u64 = 1 << 30;
+
+/// Errors surfaced while reading or writing a shuffle frame stream.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying channel failed.
+    Io(io::Error),
+    /// Stream position does not start with the frame magic.
+    BadMagic { found: [u8; 4] },
+    /// The stream ended inside a frame.
+    Truncated { what: &'static str },
+    /// Payload checksum mismatch — the bytes were corrupted in flight.
+    BadChecksum { expected: u64, found: u64 },
+    /// Length prefix exceeds [`MAX_FRAME_BYTES`].
+    Oversize { len: u64 },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame channel i/o error: {e}"),
+            FrameError::BadMagic { found } => write!(
+                f,
+                "bad frame magic: expected {:?}, found {:?}",
+                String::from_utf8_lossy(&FRAME_MAGIC),
+                String::from_utf8_lossy(found)
+            ),
+            FrameError::Truncated { what } => {
+                write!(f, "frame stream truncated while reading {what}")
+            }
+            FrameError::BadChecksum { expected, found } => {
+                write!(f, "frame checksum mismatch: stored {expected:#018x}, computed {found:#018x}")
+            }
+            FrameError::Oversize { len } => {
+                write!(f, "frame length {len} exceeds the {MAX_FRAME_BYTES}-byte cap")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FrameError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> FrameError {
+        FrameError::Io(e)
+    }
+}
+
+/// Writes one `kind`-tagged frame to the channel. Does not flush; the
+/// caller batches flushes at protocol turn-taking points.
+pub fn write_frame(w: &mut impl Write, kind: u8, payload: &[u8]) -> Result<(), FrameError> {
+    if payload.len() as u64 > MAX_FRAME_BYTES {
+        return Err(FrameError::Oversize { len: payload.len() as u64 });
+    }
+    w.write_all(&FRAME_MAGIC)?;
+    w.write_all(&[kind])?;
+    w.write_all(&(payload.len() as u64).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.write_all(&digest(payload).to_le_bytes())?;
+    Ok(())
+}
+
+/// Fills `buf` exactly, mapping an early EOF to [`FrameError::Truncated`].
+fn read_exact_or(
+    r: &mut impl Read,
+    buf: &mut [u8],
+    what: &'static str,
+) -> Result<(), FrameError> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == ErrorKind::UnexpectedEof {
+            FrameError::Truncated { what }
+        } else {
+            FrameError::Io(e)
+        }
+    })
+}
+
+/// Reads the next frame from the channel.
+///
+/// Returns `Ok(None)` on a clean end-of-stream (zero bytes available at
+/// a frame boundary); EOF after the first magic byte is `Truncated`.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<(u8, Vec<u8>)>, FrameError> {
+    let mut magic = [0u8; 4];
+    let mut got = 0;
+    while got < 4 {
+        match r.read(&mut magic[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => return Err(FrameError::Truncated { what: "frame magic" }),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    if magic != FRAME_MAGIC {
+        return Err(FrameError::BadMagic { found: magic });
+    }
+    let mut kind = [0u8; 1];
+    read_exact_or(r, &mut kind, "frame kind")?;
+    let mut len_bytes = [0u8; 8];
+    read_exact_or(r, &mut len_bytes, "frame length")?;
+    let len = u64::from_le_bytes(len_bytes);
+    if len > MAX_FRAME_BYTES {
+        return Err(FrameError::Oversize { len });
+    }
+    let mut payload = vec![0u8; len as usize];
+    read_exact_or(r, &mut payload, "frame payload")?;
+    let mut sum_bytes = [0u8; 8];
+    read_exact_or(r, &mut sum_bytes, "frame checksum")?;
+    let stored = u64::from_le_bytes(sum_bytes);
+    let computed = digest(&payload);
+    if stored != computed {
+        return Err(FrameError::BadChecksum { expected: stored, found: computed });
+    }
+    Ok(Some((kind[0], payload)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn encode(kind: u8, payload: &[u8]) -> Vec<u8> {
+        let mut out = Vec::new();
+        write_frame(&mut out, kind, payload).unwrap();
+        out
+    }
+
+    #[test]
+    fn stream_roundtrip() {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, 1, b"alpha").unwrap();
+        write_frame(&mut stream, 2, b"").unwrap();
+        write_frame(&mut stream, 9, &[0u8; 1000]).unwrap();
+        let mut r = &stream[..];
+        assert_eq!(read_frame(&mut r).unwrap(), Some((1, b"alpha".to_vec())));
+        assert_eq!(read_frame(&mut r).unwrap(), Some((2, Vec::new())));
+        assert_eq!(read_frame(&mut r).unwrap(), Some((9, vec![0u8; 1000])));
+        assert_eq!(read_frame(&mut r).unwrap(), None);
+        assert_eq!(read_frame(&mut r).unwrap(), None);
+    }
+
+    #[test]
+    fn truncation_inside_a_frame_is_typed() {
+        let full = encode(3, b"payload bytes");
+        for cut in 1..full.len() {
+            let mut r = &full[..cut];
+            match read_frame(&mut r) {
+                Err(FrameError::Truncated { .. }) => {}
+                other => panic!("cut at {cut}: expected Truncated, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn corruption_is_typed() {
+        let full = encode(3, b"payload bytes");
+        for i in 0..full.len() {
+            let mut bad = full.clone();
+            bad[i] ^= 0x41;
+            let mut r = &bad[..];
+            // Any single-byte flip must decode to a typed error or (for
+            // kind-byte flips) a frame that is not byte-equal — never a
+            // panic and never the original frame.
+            if let Ok(Some((kind, payload))) = read_frame(&mut r) {
+                assert!(kind != 3 || payload != b"payload bytes");
+            }
+        }
+    }
+
+    #[test]
+    fn oversize_length_is_rejected_without_allocating() {
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&FRAME_MAGIC);
+        stream.push(1);
+        stream.extend_from_slice(&u64::MAX.to_le_bytes());
+        let mut r = &stream[..];
+        assert!(matches!(read_frame(&mut r), Err(FrameError::Oversize { .. })));
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut stream = b"XXXX".to_vec();
+        stream.extend_from_slice(&encode(1, b"x")[4..]);
+        let mut r = &stream[..];
+        assert!(matches!(read_frame(&mut r), Err(FrameError::BadMagic { .. })));
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn frames_roundtrip(
+                payloads in prop::collection::vec(
+                    prop::collection::vec(0u8..=255, 0..256), 0..8),
+                kinds in prop::collection::vec(0u8..=255, 8..9),
+            ) {
+                let mut stream = Vec::new();
+                for (i, payload) in payloads.iter().enumerate() {
+                    write_frame(&mut stream, kinds[i], payload).unwrap();
+                }
+                let mut r = &stream[..];
+                for (i, payload) in payloads.iter().enumerate() {
+                    prop_assert_eq!(read_frame(&mut r).unwrap(), Some((kinds[i], payload.clone())));
+                }
+                prop_assert_eq!(read_frame(&mut r).unwrap(), None);
+            }
+
+            #[test]
+            fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(0u8..=255, 0..256)) {
+                let mut r = &bytes[..];
+                // Drain the stream; every outcome must be typed.
+                while let Ok(Some(_)) = read_frame(&mut r) {}
+            }
+
+            #[test]
+            fn truncated_frame_is_typed(payload in prop::collection::vec(0u8..=255, 0..256),
+                                        kind in 0u8..=255,
+                                        cut_back in 1usize..16) {
+                let mut stream = Vec::new();
+                write_frame(&mut stream, kind, &payload).unwrap();
+                let cut = stream.len().saturating_sub(cut_back).max(1);
+                let mut r = &stream[..cut];
+                prop_assert!(matches!(read_frame(&mut r), Err(FrameError::Truncated { .. })));
+            }
+        }
+    }
+}
